@@ -1,0 +1,46 @@
+//! Ablation: Twitter bots on/off — effect on the alternative-vs-
+//! mainstream Twitter self-excitation gap (§5.3's bot hypothesis).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+
+use centipede::influence::{fit_urls, prepare_urls, weight_comparison, FitConfig, SelectionConfig};
+use centipede_dataset::platform::Community;
+use centipede_platform_sim::{ecosystem, SimConfig};
+
+fn bench(c: &mut Criterion) {
+    let t = Community::Twitter.index();
+    let mut group = c.benchmark_group("bot_ablation");
+    group.sample_size(10);
+    for bots in [true, false] {
+        let mut sim = SimConfig::default();
+        sim.scale = 0.25;
+        sim.bots_enabled = bots;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xB07);
+        let world = ecosystem::generate(&sim, &mut rng);
+        let tls = world.dataset.timelines();
+        let (prepared, _) = prepare_urls(&world.dataset, &tls, &SelectionConfig::default());
+        let mut config = FitConfig::default();
+        config.n_samples = 40;
+        config.burn_in = 20;
+        let fits = fit_urls(&prepared, &config);
+        let cmp = weight_comparison(&fits);
+        let cell = cmp.cells[t][t];
+        eprintln!(
+            "bots={bots}: W[T→T] alt={:.4} main={:.4} gap={:+.1}%",
+            cell.alt, cell.main, cell.pct_diff
+        );
+        group.bench_with_input(
+            BenchmarkId::new("generate", bots),
+            &sim,
+            |b, cfg| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(0xB07);
+                b.iter(|| ecosystem::generate(cfg, &mut rng))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

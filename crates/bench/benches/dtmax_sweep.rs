@@ -1,0 +1,36 @@
+//! Ablation: sensitivity of the fitted weights to Δt_max (the paper
+//! reports similar results for 6/12/24/48 h windows).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use centipede::influence::{fit_urls, prepare_urls, weight_comparison, FitConfig, SelectionConfig};
+use centipede_bench::{dataset, timelines};
+use centipede_dataset::domains::NewsCategory;
+use centipede_dataset::platform::Community;
+
+fn bench(c: &mut Criterion) {
+    let ds = dataset();
+    let tls = timelines();
+    let (prepared, _) = prepare_urls(ds, tls, &SelectionConfig::default());
+    let subset: Vec<_> = prepared.iter().take(30).cloned().collect();
+    let mut group = c.benchmark_group("dtmax_sweep");
+    group.sample_size(10);
+    let t = Community::Twitter.index();
+    for hours in [6usize, 12, 24, 48] {
+        let mut config = FitConfig::default();
+        config.max_lag_minutes = hours * 60;
+        config.n_samples = 40;
+        config.burn_in = 20;
+        let fits = fit_urls(&prepared, &config);
+        let cmp = weight_comparison(&fits);
+        let wtt = cmp.mean_matrix(NewsCategory::Alternative).get(t, t);
+        eprintln!("dtmax={hours}h: mean alt W[Twitter→Twitter] = {wtt:.4}");
+        group.bench_with_input(BenchmarkId::new("fit_30_urls", hours), &subset, |b, urls| {
+            b.iter(|| fit_urls(urls, &config))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

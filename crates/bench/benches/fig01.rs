@@ -1,0 +1,33 @@
+//! Figure 1 — CDF of URL appearance counts within each platform.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use centipede::temporal::appearance_cdf;
+use centipede_bench::timelines;
+use centipede_dataset::domains::NewsCategory;
+
+fn bench(c: &mut Criterion) {
+    let tls = timelines();
+    for cat in NewsCategory::ALL {
+        for (group, ecdf) in appearance_cdf(tls, cat) {
+            eprintln!(
+                "Figure 1 ({}, {}): n={} once={:.1}% p99={:.0}",
+                cat.name(),
+                group.name(),
+                ecdf.len(),
+                ecdf.eval(1.0) * 100.0,
+                ecdf.quantile(0.99)
+            );
+        }
+    }
+    c.bench_function("fig01_appearance_cdf", |b| {
+        b.iter(|| {
+            for cat in NewsCategory::ALL {
+                std::hint::black_box(appearance_cdf(tls, cat));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Figure 2 — per-domain platform fractions of the top-20 domains.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use centipede::characterization::domain_platform_fractions;
+use centipede_bench::dataset;
+use centipede_dataset::domains::NewsCategory;
+
+fn bench(c: &mut Criterion) {
+    let ds = dataset();
+    for cat in NewsCategory::ALL {
+        for (name, f) in domain_platform_fractions(ds, cat, 20) {
+            eprintln!(
+                "Figure 2 ({}): {name} 6subs={:.2} /pol/={:.2} twitter={:.2}",
+                cat.name(),
+                f[0],
+                f[1],
+                f[2]
+            );
+        }
+    }
+    c.bench_function("fig02_domain_platform_fractions", |b| {
+        b.iter(|| {
+            for cat in NewsCategory::ALL {
+                std::hint::black_box(domain_platform_fractions(ds, cat, 20));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Figure 3 — CDF of the per-user alternative-news fraction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use centipede::characterization::user_alt_fraction;
+use centipede_bench::dataset;
+
+fn bench(c: &mut Criterion) {
+    let ds = dataset();
+    let f = user_alt_fraction(ds);
+    for (group, ecdf) in &f.all_users {
+        eprintln!(
+            "Figure 3 (all users, {}): n={} mainstream-only={:.1}% alt-only={:.1}%",
+            group.name(),
+            ecdf.len(),
+            ecdf.eval(0.0) * 100.0,
+            (1.0 - ecdf.eval(1.0 - 1e-9)) * 100.0
+        );
+    }
+    c.bench_function("fig03_user_alt_fraction", |b| {
+        b.iter(|| user_alt_fraction(std::hint::black_box(ds)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Figure 4 — normalised daily occurrence of news URLs per community.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use centipede::temporal::daily_occurrence;
+use centipede_bench::dataset;
+
+fn bench(c: &mut Criterion) {
+    let ds = dataset();
+    for s in daily_occurrence(ds) {
+        let peak_alt = s.alternative.iter().flatten().cloned().fold(0.0f64, f64::max);
+        let peak_main = s.mainstream.iter().flatten().cloned().fold(0.0f64, f64::max);
+        eprintln!(
+            "Figure 4 ({}): peak alt={peak_alt:.2} peak main={peak_main:.2}",
+            s.series.name()
+        );
+    }
+    c.bench_function("fig04_daily_occurrence", |b| {
+        b.iter(|| daily_occurrence(std::hint::black_box(ds)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Figure 5 — CDF of lag from first intra-platform post to reposts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use centipede::temporal::repost_lags;
+use centipede_bench::timelines;
+use centipede_dataset::domains::NewsCategory;
+
+fn bench(c: &mut Criterion) {
+    let tls = timelines();
+    for cat in NewsCategory::ALL {
+        for (group, ecdf) in repost_lags(tls, cat) {
+            eprintln!(
+                "Figure 5 ({}, {}): n={} median={:.2}h share<24h={:.1}%",
+                cat.name(),
+                group.name(),
+                ecdf.len(),
+                ecdf.quantile(0.5),
+                ecdf.eval(24.0) * 100.0
+            );
+        }
+    }
+    c.bench_function("fig05_repost_lags", |b| {
+        b.iter(|| {
+            for cat in NewsCategory::ALL {
+                std::hint::black_box(repost_lags(tls, cat));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Figure 6 — CDF of mean inter-arrival time of reposted URLs, with
+//! the paper's pairwise KS tests.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use centipede::temporal::interarrival;
+use centipede_bench::timelines;
+use centipede_dataset::domains::NewsCategory;
+
+fn bench(c: &mut Criterion) {
+    let tls = timelines();
+    for (label, common) in [("common", true), ("all", false)] {
+        for cat in NewsCategory::ALL {
+            let res = interarrival(tls, cat, common);
+            for (a, bb, ks) in &res.ks {
+                eprintln!(
+                    "Figure 6 ({label}, {}): {} vs {}: D={:.3} p={:.2e}{}",
+                    cat.name(),
+                    a.name(),
+                    bb.name(),
+                    ks.statistic,
+                    ks.p_value,
+                    ks.stars()
+                );
+            }
+        }
+    }
+    c.bench_function("fig06_interarrival", |b| {
+        b.iter(|| {
+            for cat in NewsCategory::ALL {
+                std::hint::black_box(interarrival(tls, cat, false));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Figure 7 + Table 8 — cross-platform first-occurrence lags.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use centipede::crossplatform::pair_lags;
+use centipede_bench::timelines;
+use centipede_dataset::domains::NewsCategory;
+
+fn bench(c: &mut Criterion) {
+    let tls = timelines();
+    for cat in NewsCategory::ALL {
+        for r in pair_lags(tls, cat) {
+            eprintln!(
+                "Table 8 ({}): {} vs {}: {} / {} faster ({:.0}%) cross={:?}h",
+                cat.name(),
+                r.pair.0.name(),
+                r.pair.1.name(),
+                r.a_faster,
+                r.b_faster,
+                r.fraction_a_faster() * 100.0,
+                r.cross_point_seconds().map(|s| (s / 3600.0 * 10.0).round() / 10.0)
+            );
+        }
+    }
+    c.bench_function("fig07_table08_pair_lags", |b| {
+        b.iter(|| {
+            for cat in NewsCategory::ALL {
+                std::hint::black_box(pair_lags(tls, cat));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

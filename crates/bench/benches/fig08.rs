@@ -1,0 +1,29 @@
+//! Figure 8 — the domain → platform source graph.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use centipede::crossplatform::source_graph;
+use centipede_bench::{dataset, timelines};
+use centipede_dataset::domains::NewsCategory;
+
+fn bench(c: &mut Criterion) {
+    let ds = dataset();
+    let tls = timelines();
+    for cat in NewsCategory::ALL {
+        let mut edges = source_graph(tls, &ds.domains, cat);
+        edges.sort_by_key(|e| std::cmp::Reverse(e.weight));
+        for e in edges.iter().take(10) {
+            eprintln!("Figure 8 ({}): {} → {} ({})", cat.name(), e.from, e.to, e.weight);
+        }
+    }
+    c.bench_function("fig08_source_graph", |b| {
+        b.iter(|| {
+            for cat in NewsCategory::ALL {
+                std::hint::black_box(source_graph(tls, &ds.domains, cat));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Figure 9 — the illustrative Hawkes cascade (simulation of a
+//! 3-process model mirroring The_Donald / Twitter / /pol/).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+
+use centipede_hawkes::discrete::{simulate, BasisSet, DiscreteHawkes};
+use centipede_hawkes::matrix::Matrix;
+
+fn model() -> DiscreteHawkes {
+    let basis = BasisSet::log_gaussian(120, 3);
+    DiscreteHawkes::uniform_mixture(
+        vec![0.002, 0.004, 0.002],
+        Matrix::from_rows(&[
+            &[0.08, 0.07, 0.06],
+            &[0.16, 0.11, 0.06],
+            &[0.06, 0.06, 0.06],
+        ]),
+        &basis,
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let m = model();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    let data = simulate(&m, 10_000, &mut rng);
+    eprintln!(
+        "Figure 9: simulated {} events over 10k bins (sharing {:.1}%)",
+        data.total_events(),
+        data.cross_process_bin_sharing() * 100.0
+    );
+    c.bench_function("fig09_hawkes_cascade_sim", |b| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        b.iter(|| simulate(std::hint::black_box(&m), 10_000, &mut rng))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

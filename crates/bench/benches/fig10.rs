@@ -1,0 +1,40 @@
+//! Figure 10 — per-URL Gibbs fits and the mean weight comparison.
+//!
+//! The bench measures one representative URL fit (fleet cost is
+//! linear); setup runs the whole fleet once and prints the grid.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use centipede::influence::fit::fit_one;
+use centipede::influence::{fit_urls, prepare_urls, weight_comparison, FitConfig, SelectionConfig};
+use centipede_bench::{dataset, timelines};
+
+fn bench(c: &mut Criterion) {
+    let ds = dataset();
+    let tls = timelines();
+    let (prepared, _) = prepare_urls(ds, tls, &SelectionConfig::default());
+    let mut config = FitConfig::default();
+    config.n_samples = 60;
+    config.burn_in = 30;
+    let fits = fit_urls(&prepared, &config);
+    let cmp = weight_comparison(&fits);
+    eprintln!("{}", cmp.render());
+    // Bench a single median-size URL fit.
+    let mut sizes: Vec<usize> = prepared.iter().map(|p| p.events.events().len()).collect();
+    sizes.sort_unstable();
+    let median = sizes.get(sizes.len() / 2).copied().unwrap_or(0);
+    if let Some(url) = prepared
+        .iter()
+        .find(|p| p.events.events().len() == median)
+    {
+        let mut group = c.benchmark_group("fig10");
+        group.sample_size(20);
+        group.bench_function("fig10_gibbs_fit_one_url", |b| {
+            b.iter(|| fit_one(std::hint::black_box(url), &config, 1))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

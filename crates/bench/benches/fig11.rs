@@ -1,0 +1,24 @@
+//! Figure 11 — estimated percentage of events caused.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use centipede::influence::{fit_urls, impact_matrix, prepare_urls, FitConfig, SelectionConfig};
+use centipede_bench::{dataset, timelines};
+
+fn bench(c: &mut Criterion) {
+    let ds = dataset();
+    let tls = timelines();
+    let (prepared, _) = prepare_urls(ds, tls, &SelectionConfig::default());
+    let mut config = FitConfig::default();
+    config.n_samples = 60;
+    config.burn_in = 30;
+    let fits = fit_urls(&prepared, &config);
+    let imp = impact_matrix(&fits);
+    eprintln!("{}", imp.render());
+    c.bench_function("fig11_impact_matrix", |b| {
+        b.iter(|| impact_matrix(std::hint::black_box(&fits)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

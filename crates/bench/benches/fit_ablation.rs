@@ -1,0 +1,38 @@
+//! Ablation: Gibbs vs EM on the influence pipeline (accuracy proxy
+//! printed at setup; wall-clock measured per estimator).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use centipede::influence::fit::Estimator;
+use centipede::influence::{fit_urls, prepare_urls, weight_comparison, FitConfig, SelectionConfig};
+use centipede_bench::{dataset, timelines, world};
+use centipede_dataset::domains::NewsCategory;
+
+fn bench(c: &mut Criterion) {
+    let ds = dataset();
+    let tls = timelines();
+    let (prepared, _) = prepare_urls(ds, tls, &SelectionConfig::default());
+    let subset: Vec<_> = prepared.iter().take(40).cloned().collect();
+    let truth = &world().truth.weights_main;
+    let mut group = c.benchmark_group("fit_ablation");
+    group.sample_size(10);
+    for estimator in [Estimator::Gibbs, Estimator::Em] {
+        let mut config = FitConfig::default();
+        config.estimator = estimator;
+        config.n_samples = 60;
+        config.burn_in = 30;
+        let fits = fit_urls(&prepared, &config);
+        let cmp = weight_comparison(&fits);
+        let mae = cmp.mean_matrix(NewsCategory::Mainstream).mean_abs_diff(truth);
+        eprintln!("fit_ablation {estimator:?}: MAE vs ground truth = {mae:.4}");
+        group.bench_with_input(
+            BenchmarkId::new("fit_40_urls", format!("{estimator:?}")),
+            &subset,
+            |b, urls| b.iter(|| fit_urls(urls, &config)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

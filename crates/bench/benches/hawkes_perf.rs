@@ -1,0 +1,74 @@
+//! Performance benches of the Hawkes engine itself: simulation,
+//! Gibbs sweeps, EM, and likelihood evaluation as event count grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+
+use centipede_hawkes::discrete::{
+    simulate, BasisSet, DiscreteHawkes, EmConfig, EmFitter, GibbsConfig, GibbsSampler,
+};
+use centipede_hawkes::matrix::Matrix;
+
+fn model(k: usize) -> DiscreteHawkes {
+    let basis = BasisSet::log_gaussian(720, 4);
+    DiscreteHawkes::uniform_mixture(
+        vec![0.002; k],
+        Matrix::constant(k, 0.4 / k as f64),
+        &basis,
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hawkes_perf");
+    group.sample_size(10);
+    for &t_bins in &[10_000u32, 40_000] {
+        let m = model(8);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let data = simulate(&m, t_bins, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::new("simulate", t_bins),
+            &t_bins,
+            |b, &t| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+                b.iter(|| simulate(&m, t, &mut rng))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("log_likelihood", data.total_events()),
+            &data,
+            |b, d| b.iter(|| m.log_likelihood(d)),
+        );
+        let gibbs = GibbsSampler::new(
+            GibbsConfig {
+                n_samples: 10,
+                burn_in: 5,
+                ..GibbsConfig::default()
+            },
+            BasisSet::log_gaussian(720, 4),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("gibbs_15_sweeps", data.total_events()),
+            &data,
+            |b, d| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+                b.iter(|| gibbs.fit(d, &mut rng))
+            },
+        );
+        let em = EmFitter::new(
+            EmConfig {
+                max_iters: 10,
+                ..EmConfig::default()
+            },
+            BasisSet::log_gaussian(720, 4),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("em_10_iters", data.total_events()),
+            &data,
+            |b, d| b.iter(|| em.fit(d)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

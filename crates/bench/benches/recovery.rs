@@ -1,0 +1,38 @@
+//! Validation bench: ground-truth weight recovery (the check the
+//! original paper could not run).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use centipede::influence::{fit_urls, prepare_urls, weight_comparison, FitConfig, SelectionConfig};
+use centipede_bench::{dataset, timelines, world};
+use centipede_dataset::domains::NewsCategory;
+
+fn bench(c: &mut Criterion) {
+    let ds = dataset();
+    let tls = timelines();
+    let (prepared, _) = prepare_urls(ds, tls, &SelectionConfig::default());
+    let mut config = FitConfig::default();
+    config.n_samples = 60;
+    config.burn_in = 30;
+    let fits = fit_urls(&prepared, &config);
+    let cmp = weight_comparison(&fits);
+    for (cat, truth) in [
+        (NewsCategory::Alternative, &world().truth.weights_alt),
+        (NewsCategory::Mainstream, &world().truth.weights_main),
+    ] {
+        let est = cmp.mean_matrix(cat);
+        let mae = est.mean_abs_diff(truth);
+        let r = centipede_stats::correlation::pearson(est.flat(), truth.flat());
+        eprintln!(
+            "recovery ({}): MAE={mae:.4} r={:?}",
+            cat.name(),
+            r.map(|v| (v * 1000.0).round() / 1000.0)
+        );
+    }
+    c.bench_function("recovery_weight_comparison", |b| {
+        b.iter(|| weight_comparison(std::hint::black_box(&fits)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Table 1 — total posts crawled and news-URL densities per platform.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use centipede::characterization::{platform_totals, render_table1};
+use centipede_bench::dataset;
+
+fn bench(c: &mut Criterion) {
+    let ds = dataset();
+    // Print the regenerated table once.
+    eprintln!("{}", render_table1(&platform_totals(ds)));
+    c.bench_function("table01_platform_totals", |b| {
+        b.iter(|| platform_totals(std::hint::black_box(ds)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Table 2 — posts with news URLs and unique URLs per community split.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use centipede::characterization::{dataset_overview, render_table2};
+use centipede_bench::dataset;
+
+fn bench(c: &mut Criterion) {
+    let ds = dataset();
+    eprintln!("{}", render_table2(&dataset_overview(ds)));
+    c.bench_function("table02_dataset_overview", |b| {
+        b.iter(|| dataset_overview(std::hint::black_box(ds)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

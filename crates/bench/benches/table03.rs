@@ -1,0 +1,17 @@
+//! Table 3 — tweet re-crawl statistics (retrieval, retweets, likes).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use centipede::characterization::{render_table3, tweet_stats};
+use centipede_bench::dataset;
+
+fn bench(c: &mut Criterion) {
+    let ds = dataset();
+    eprintln!("{}", render_table3(&tweet_stats(ds)));
+    c.bench_function("table03_tweet_stats", |b| {
+        b.iter(|| tweet_stats(std::hint::black_box(ds)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Table 4 — top-20 subreddits by news-URL occurrence.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use centipede::characterization::{render_table4, top_subreddits};
+use centipede_bench::dataset;
+
+fn bench(c: &mut Criterion) {
+    let ds = dataset();
+    eprintln!("{}", render_table4(&top_subreddits(ds, 20)));
+    c.bench_function("table04_top_subreddits", |b| {
+        b.iter(|| top_subreddits(std::hint::black_box(ds), 20))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

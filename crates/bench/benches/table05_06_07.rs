@@ -1,0 +1,28 @@
+//! Tables 5/6/7 — top-20 domains on the six subreddits, Twitter, /pol/.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use centipede::characterization::{render_top_domains, top_domains};
+use centipede_bench::dataset;
+use centipede_dataset::platform::AnalysisGroup;
+
+fn bench(c: &mut Criterion) {
+    let ds = dataset();
+    for (no, group) in [
+        (5u8, AnalysisGroup::SixSubreddits),
+        (6, AnalysisGroup::Twitter),
+        (7, AnalysisGroup::Pol),
+    ] {
+        eprintln!("{}", render_top_domains(no, group, &top_domains(ds, group, 20)));
+    }
+    c.bench_function("table05_06_07_top_domains", |b| {
+        b.iter(|| {
+            for group in AnalysisGroup::ALL {
+                std::hint::black_box(top_domains(ds, group, 20));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Table 9 — first-hop appearance sequences.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use centipede::crossplatform::first_hop_sequences;
+use centipede_bench::timelines;
+use centipede_dataset::domains::NewsCategory;
+
+fn bench(c: &mut Criterion) {
+    let tls = timelines();
+    for cat in NewsCategory::ALL {
+        let seqs = first_hop_sequences(tls, cat);
+        let total: u64 = seqs.values().sum();
+        for (seq, n) in &seqs {
+            eprintln!(
+                "Table 9 ({}): {seq} {} ({:.1}%)",
+                cat.name(),
+                n,
+                *n as f64 / total as f64 * 100.0
+            );
+        }
+    }
+    c.bench_function("table09_first_hop", |b| {
+        b.iter(|| {
+            for cat in NewsCategory::ALL {
+                std::hint::black_box(first_hop_sequences(tls, cat));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Table 10 — triplet sequences for URLs on all three platforms.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use centipede::crossplatform::triplet_sequences;
+use centipede_bench::timelines;
+use centipede_dataset::domains::NewsCategory;
+
+fn bench(c: &mut Criterion) {
+    let tls = timelines();
+    for cat in NewsCategory::ALL {
+        let seqs = triplet_sequences(tls, cat);
+        let total: u64 = seqs.values().sum::<u64>().max(1);
+        for (seq, n) in &seqs {
+            eprintln!(
+                "Table 10 ({}): {seq} {} ({:.1}%)",
+                cat.name(),
+                n,
+                *n as f64 / total as f64 * 100.0
+            );
+        }
+    }
+    c.bench_function("table10_triplets", |b| {
+        b.iter(|| {
+            for cat in NewsCategory::ALL {
+                std::hint::black_box(triplet_sequences(tls, cat));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Table 11 — selected URLs, events and mean background rates per
+//! community (measures selection + binning; the fits themselves are
+//! benched by `fig10`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use centipede::influence::{prepare_urls, SelectionConfig};
+use centipede_bench::{dataset, timelines};
+
+fn bench(c: &mut Criterion) {
+    let ds = dataset();
+    let tls = timelines();
+    let (prepared, summary) = prepare_urls(ds, tls, &SelectionConfig::default());
+    eprintln!(
+        "Table 11 selection: eligible={} gap-overlapping={} dropped={} selected={}",
+        summary.eligible, summary.gap_overlapping, summary.dropped, summary.selected
+    );
+    let alt = prepared
+        .iter()
+        .filter(|p| p.category == centipede_dataset::domains::NewsCategory::Alternative)
+        .count();
+    eprintln!("Table 11: {} alternative / {} mainstream URLs", alt, prepared.len() - alt);
+    c.bench_function("table11_prepare_urls", |b| {
+        b.iter(|| prepare_urls(ds, tls, &SelectionConfig::default()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,150 @@
+//! `repro` — regenerate every table and figure of *The Web Centipede*.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro [--seed N] [--scale F] [--no-gaps] [--no-bots] [--em]
+//!       [--samples N] [--skip-influence] [--out PATH]
+//! ```
+//!
+//! Generates the synthetic ecosystem, runs the full measurement
+//! pipeline, and prints the paper's tables and figures (plain text).
+//! With `--out`, also writes the report to a file.
+
+use std::io::Write;
+
+use rand::SeedableRng;
+
+use centipede::influence::fit::Estimator;
+use centipede::pipeline::{run_all, PipelineConfig};
+use centipede_platform_sim::{ecosystem, SimConfig};
+
+struct Args {
+    seed: u64,
+    scale: f64,
+    apply_gaps: bool,
+    bots: bool,
+    estimator: Estimator,
+    samples: usize,
+    skip_influence: bool,
+    compare: bool,
+    out: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        seed: 42,
+        scale: 1.0,
+        apply_gaps: true,
+        bots: true,
+        estimator: Estimator::Gibbs,
+        samples: 120,
+        skip_influence: false,
+        compare: false,
+        out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--seed" => args.seed = it.next().expect("--seed N").parse().expect("seed"),
+            "--scale" => args.scale = it.next().expect("--scale F").parse().expect("scale"),
+            "--no-gaps" => args.apply_gaps = false,
+            "--no-bots" => args.bots = false,
+            "--em" => args.estimator = Estimator::Em,
+            "--samples" => {
+                args.samples = it.next().expect("--samples N").parse().expect("samples")
+            }
+            "--skip-influence" => args.skip_influence = true,
+            "--compare" => args.compare = true,
+            "--out" => args.out = Some(it.next().expect("--out PATH")),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: repro [--seed N] [--scale F] [--no-gaps] [--no-bots] [--em] \
+                     [--samples N] [--skip-influence] [--compare] [--out PATH]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(args.seed);
+
+    let mut sim = SimConfig::default();
+    sim.scale = args.scale;
+    sim.apply_gaps = args.apply_gaps;
+    sim.bots_enabled = args.bots;
+
+    eprintln!(
+        "[repro] generating ecosystem (scale={}, gaps={}, bots={}) ...",
+        sim.scale, sim.apply_gaps, sim.bots_enabled
+    );
+    let t0 = std::time::Instant::now();
+    let world = ecosystem::generate(&sim, &mut rng);
+    eprintln!(
+        "[repro] {} events across {} URLs in {:.1}s",
+        world.dataset.len(),
+        world.dataset.timelines().len(),
+        t0.elapsed().as_secs_f64()
+    );
+
+    let mut config = PipelineConfig::default();
+    config.fit.estimator = args.estimator;
+    config.fit.n_samples = args.samples;
+    config.fit.burn_in = args.samples / 2;
+    config.skip_influence = args.skip_influence;
+
+    eprintln!("[repro] running measurement pipeline ...");
+    let t1 = std::time::Instant::now();
+    let report = run_all(&world.dataset, &config, &mut rng);
+    eprintln!(
+        "[repro] pipeline done in {:.1}s ({} URLs fitted)",
+        t1.elapsed().as_secs_f64(),
+        report.selection.selected
+    );
+
+    let text = report.render();
+    println!("{text}");
+
+    // Ground-truth recovery summary and mechanical claim checks (the
+    // validation the paper couldn't do).
+    if let Some(fig10) = &report.fig10 {
+        use centipede::validation::{check_paper_claims, render_claims, score_recovery};
+        use centipede_dataset::domains::NewsCategory;
+        for (cat, truth) in [
+            (NewsCategory::Alternative, &world.truth.weights_alt),
+            (NewsCategory::Mainstream, &world.truth.weights_main),
+        ] {
+            let est = fig10.mean_matrix(cat);
+            let score = score_recovery(&est, truth);
+            println!(
+                "Recovery ({}): MAE={:.4} Pearson r={:.3} Spearman ρ={:.3} within-50%={:.0}%",
+                cat.name(),
+                score.mae,
+                score.pearson_r,
+                score.spearman_rho,
+                score.within_50pct * 100.0
+            );
+        }
+        println!();
+        println!("{}", render_claims(&check_paper_claims(fig10)));
+    }
+
+    if args.compare {
+        let rows = centipede_bench::compare::compare(&report);
+        println!("{}", centipede_bench::compare::render(&rows));
+    }
+
+    if let Some(path) = args.out {
+        let mut f = std::fs::File::create(&path).expect("create --out file");
+        f.write_all(text.as_bytes()).expect("write report");
+        eprintln!("[repro] report written to {path}");
+    }
+}

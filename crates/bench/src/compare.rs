@@ -1,0 +1,209 @@
+//! Automated paper-vs-measured comparison.
+//!
+//! Consumes an [`AnalysisReport`] and emits a side-by-side table of
+//! paper values, measured values, and shape verdicts — the machinery
+//! behind `repro --compare` and the EXPERIMENTS.md entries.
+
+use centipede::pipeline::AnalysisReport;
+use centipede::report::TextTable;
+use centipede_dataset::domains::NewsCategory;
+use centipede_dataset::platform::{Community, Platform};
+
+use crate::paper_reference as paper;
+
+/// One comparison row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComparisonRow {
+    /// What is being compared (e.g. `"Table 9 alt: T only %"`).
+    pub metric: String,
+    /// The paper's value.
+    pub paper: f64,
+    /// The measured value.
+    pub measured: f64,
+    /// Whether the shape target is met (direction/order, not absolute).
+    pub ok: bool,
+}
+
+/// Build the comparison rows for a report.
+pub fn compare(report: &AnalysisReport) -> Vec<ComparisonRow> {
+    let mut rows = Vec::new();
+
+    // --- Table 1 densities ------------------------------------------
+    for (name, p_alt, p_main) in paper::TABLE1 {
+        let platform = match name {
+            "Twitter" => Platform::Twitter,
+            "Reddit" => Platform::Reddit,
+            _ => Platform::FourChan,
+        };
+        if let Some(row) = report.table1.iter().find(|r| r.platform == platform) {
+            let m_alt = row.pct_alternative * 100.0;
+            let m_main = row.pct_mainstream * 100.0;
+            rows.push(ComparisonRow {
+                metric: format!("Table 1 {name}: % alt"),
+                paper: p_alt,
+                measured: m_alt,
+                ok: (m_alt - p_alt).abs() < p_alt, // same order of magnitude
+            });
+            rows.push(ComparisonRow {
+                metric: format!("Table 1 {name}: % main"),
+                paper: p_main,
+                measured: m_main,
+                ok: (m_main - p_main).abs() < p_main,
+            });
+        }
+    }
+
+    // --- Table 3 ------------------------------------------------------
+    for (name, retrieved, retweets, _likes) in paper::TABLE3 {
+        let category = if name == "Alternative" {
+            NewsCategory::Alternative
+        } else {
+            NewsCategory::Mainstream
+        };
+        if let Some(row) = report.table3.iter().find(|r| r.category == category) {
+            let m_ret = row.retrieved as f64 / row.tweets.max(1) as f64;
+            rows.push(ComparisonRow {
+                metric: format!("Table 3 {name}: retrieved"),
+                paper: retrieved,
+                measured: m_ret,
+                ok: (m_ret - retrieved).abs() < 0.05,
+            });
+            rows.push(ComparisonRow {
+                metric: format!("Table 3 {name}: mean retweets"),
+                paper: retweets,
+                measured: row.avg_retweets,
+                ok: (row.avg_retweets - retweets).abs() < retweets * 0.5,
+            });
+        }
+    }
+
+    // --- Table 9 shares ------------------------------------------------
+    for (cat, col) in [(NewsCategory::Alternative, 1usize), (NewsCategory::Mainstream, 2)] {
+        let seqs = &report.table9[&cat];
+        let total: u64 = seqs.values().sum();
+        if total == 0 {
+            continue;
+        }
+        let share = |label: &str| -> f64 {
+            seqs.iter()
+                .find(|(k, _)| format!("{k}") == label)
+                .map(|(_, &n)| n as f64 / total as f64 * 100.0)
+                .unwrap_or(0.0)
+        };
+        for (label, p_alt, p_main) in paper::TABLE9 {
+            let p = if col == 1 { p_alt } else { p_main };
+            let m = share(label);
+            rows.push(ComparisonRow {
+                metric: format!("Table 9 {}: {label} %", cat.short()),
+                paper: p,
+                measured: m,
+                // Shape target: within a factor of ~3 or 10 points.
+                ok: (m - p).abs() < 10.0 || (p > 0.0 && m / p < 3.0 && p / m.max(1e-9) < 3.0),
+            });
+        }
+        // Ordering claim: alt T-only > R-only; main R-only > T-only.
+        let (t_only, r_only) = (share("T only"), share("R only"));
+        rows.push(ComparisonRow {
+            metric: format!("Table 9 {}: T-only vs R-only order", cat.short()),
+            paper: if cat == NewsCategory::Alternative { 1.0 } else { -1.0 },
+            measured: (t_only - r_only).signum(),
+            ok: if cat == NewsCategory::Alternative {
+                t_only > r_only
+            } else {
+                r_only > t_only
+            },
+        });
+    }
+
+    // --- Figure 11 key cells --------------------------------------------
+    if let Some(fig11) = &report.fig11 {
+        let td = Community::TheDonald;
+        let pol = Community::Pol;
+        let t = Community::Twitter;
+        for (alt, src, dst, label) in [
+            (true, td, t, "TD→T alt"),
+            (true, pol, t, "pol→T alt"),
+            (false, td, t, "TD→T main"),
+            (false, pol, t, "pol→T main"),
+            (true, td, pol, "TD→pol alt"),
+            (false, pol, td, "pol→TD main"),
+        ] {
+            let p = paper::fig11(alt, src, dst);
+            let cat = if alt {
+                NewsCategory::Alternative
+            } else {
+                NewsCategory::Mainstream
+            };
+            let m = fig11.get(cat, src.index(), dst.index());
+            rows.push(ComparisonRow {
+                metric: format!("Figure 11 {label} %"),
+                paper: p,
+                measured: m,
+                ok: m > 0.0 && (m / p) < 4.0 && (p / m) < 4.0,
+            });
+        }
+    }
+
+    // --- Figure 10 headline ----------------------------------------------
+    if let Some(fig10) = &report.fig10 {
+        let t = Community::Twitter.index();
+        let cell = fig10.cells[t][t];
+        rows.push(ComparisonRow {
+            metric: "Figure 10 W[T→T] alt/main gap %".to_string(),
+            paper: 41.9,
+            measured: cell.pct_diff,
+            ok: cell.pct_diff > 10.0,
+        });
+    }
+
+    rows
+}
+
+/// Render comparison rows as a text table.
+pub fn render(rows: &[ComparisonRow]) -> String {
+    let mut t = TextTable::new(
+        "Paper vs measured (shape verdicts)",
+        &["Metric", "Paper", "Measured", "Verdict"],
+    );
+    for r in rows {
+        t.row(&[
+            r.metric.clone(),
+            format!("{:.3}", r.paper),
+            format!("{:.3}", r.measured),
+            if r.ok { "✓".to_string() } else { "✗".to_string() },
+        ]);
+    }
+    let passed = rows.iter().filter(|r| r.ok).count();
+    format!("{}\n{} / {} shape targets met\n", t.render(), passed, rows.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use centipede::pipeline::{run_all, PipelineConfig};
+    use centipede_platform_sim::{ecosystem, SimConfig};
+    use rand::SeedableRng;
+
+    #[test]
+    fn comparison_runs_and_mostly_passes() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        let mut sim = SimConfig::default();
+        sim.scale = 0.2;
+        let world = ecosystem::generate(&sim, &mut rng);
+        let mut config = PipelineConfig::default();
+        config.fit.n_samples = 30;
+        config.fit.burn_in = 15;
+        let report = run_all(&world.dataset, &config, &mut rng);
+        let rows = compare(&report);
+        assert!(rows.len() >= 25, "only {} comparison rows", rows.len());
+        let passed = rows.iter().filter(|r| r.ok).count();
+        assert!(
+            passed as f64 / rows.len() as f64 > 0.6,
+            "only {passed}/{} shape targets met",
+            rows.len()
+        );
+        let text = render(&rows);
+        assert!(text.contains("shape targets met"));
+        assert!(text.contains("Table 1"));
+    }
+}

@@ -1,0 +1,65 @@
+//! Shared fixtures for the benchmark harness.
+//!
+//! Every table/figure bench measures its analysis over the same
+//! deterministic synthetic world, generated once per process. Bench
+//! setup also prints the regenerated table/figure to stderr so that a
+//! `cargo bench` run doubles as a reproduction run (the full-scale
+//! reproduction lives in the `repro` binary).
+
+pub mod compare;
+pub mod paper_reference;
+
+use std::sync::OnceLock;
+
+use rand::SeedableRng;
+
+use centipede_dataset::dataset::{Dataset, UrlTimeline};
+use centipede_dataset::event::UrlId;
+use centipede_platform_sim::{ecosystem, GeneratedWorld, SimConfig};
+
+/// Seed used by all bench fixtures.
+pub const BENCH_SEED: u64 = 0xBE7C;
+
+/// Scale of the bench world (kept moderate so each bench iteration is
+/// milliseconds; the `repro` binary runs the full scale).
+pub const BENCH_SCALE: f64 = 0.25;
+
+static WORLD: OnceLock<GeneratedWorld> = OnceLock::new();
+
+/// The shared generated world.
+pub fn world() -> &'static GeneratedWorld {
+    WORLD.get_or_init(|| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(BENCH_SEED);
+        let config = SimConfig {
+            scale: BENCH_SCALE,
+            ..SimConfig::default()
+        };
+        ecosystem::generate(&config, &mut rng)
+    })
+}
+
+/// The shared dataset.
+pub fn dataset() -> &'static Dataset {
+    &world().dataset
+}
+
+static TIMELINES: OnceLock<std::collections::BTreeMap<UrlId, UrlTimeline>> = OnceLock::new();
+
+/// Timelines over the shared dataset (computed once).
+pub fn timelines() -> &'static std::collections::BTreeMap<UrlId, UrlTimeline> {
+    TIMELINES.get_or_init(|| dataset().timelines())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_generates_once_and_is_nonempty() {
+        let a = dataset() as *const _;
+        let b = dataset() as *const _;
+        assert_eq!(a, b, "fixture must be cached");
+        assert!(!dataset().is_empty());
+        assert!(!timelines().is_empty());
+    }
+}

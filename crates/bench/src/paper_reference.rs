@@ -1,0 +1,174 @@
+//! The paper's published numbers, embedded for automated
+//! paper-vs-measured comparison (the `repro --compare` mode and the
+//! EXPERIMENTS.md verdicts).
+//!
+//! Layout note: like Figure 10 (see
+//! `centipede_platform_sim::ground_truth`), the Figure 11 text layer
+//! prints each source row with destinations right-to-left and the
+//! diagonal omitted. The constants below are re-oriented into
+//! [`Community::ALL`] order; the reconstruction is verified against
+//! every §5.3 textual claim (The_Donald → Twitter = 2.72% alt, /pol/ →
+//! Twitter = 1.96% alt, /pol/ → The_Donald = 5.7% alt vs 8.61% main,
+//! Twitter's mainstream input ranking politics > /pol/ > The_Donald >
+//! worldnews > news > AskReddit > conspiracy, and The_Donald + /pol/
+//! jointly ≈ 6% main / 4.5% alt of Twitter's URLs).
+
+use centipede_dataset::platform::Community;
+
+/// Figure 11, **alternative** URLs: `FIG11_ALT[src][dst]` = estimated
+/// percentage of `dst` events caused by `src` events, in
+/// [`Community::ALL`] order. Diagonal cells are `f64::NAN` (the paper
+/// does not report self-influence in Figure 11).
+#[rustfmt::skip]
+pub const FIG11_ALT: [[f64; 8]; 8] = [
+    // src: The_Donald → [TD, wn, politics, news, conspiracy, AskReddit, pol, Twitter]
+    [f64::NAN, 16.77, 11.25, 18.01, 20.68, 20.27,  8.00,  2.72],
+    // src: worldnews
+    [ 1.09, f64::NAN,  1.37,  4.52,  5.96,  6.16,  1.63,  0.60],
+    // src: politics
+    [ 2.75, 11.13, f64::NAN, 13.79, 12.12, 17.35,  3.50,  1.10],
+    // src: news
+    [ 1.30,  6.21,  1.86, f64::NAN,  6.30,  4.99,  1.65,  0.50],
+    // src: conspiracy
+    [ 1.12,  5.86,  1.72,  3.79, f64::NAN,  5.00,  1.62,  0.46],
+    // src: AskReddit
+    [ 0.66,  6.09,  0.92,  3.21,  4.24, f64::NAN,  1.15,  0.55],
+    // src: /pol/
+    [ 5.70, 12.86,  7.80, 12.25, 15.42, 14.41, f64::NAN,  1.96],
+    // src: Twitter
+    [14.32, 27.67, 18.95, 34.28, 37.07, 20.76, 16.54, f64::NAN],
+];
+
+/// Figure 11, **mainstream** URLs.
+// 3.14 (news → /pol/) is the paper's literal value, not an approximate π.
+#[allow(clippy::approx_constant)]
+#[rustfmt::skip]
+pub const FIG11_MAIN: [[f64; 8]; 8] = [
+    [f64::NAN,  5.68,  3.52,  7.69, 14.32,  8.01,  6.13,  2.97],
+    [ 3.75, f64::NAN,  1.67,  7.86,  8.34,  7.44,  4.07,  2.74],
+    [ 9.16,  9.83, f64::NAN, 12.57, 19.03, 17.17,  6.95,  4.29],
+    [ 3.33,  4.21,  1.33, f64::NAN,  6.30,  5.80,  3.14,  1.81],
+    [ 1.58,  2.74,  0.80,  3.17, f64::NAN,  3.81,  1.73,  1.04],
+    [ 1.61,  2.94,  0.74,  3.30,  4.80, f64::NAN,  2.00,  1.34],
+    [ 8.61,  6.31,  3.24,  8.31, 11.16,  9.02, f64::NAN,  3.01],
+    [10.79,  9.28,  6.00, 15.15, 15.64, 11.63,  7.37, f64::NAN],
+];
+
+/// Table 9: `(sequence, alt %, main %)` — distribution of first-hop
+/// appearance sequences.
+pub const TABLE9: [(&str, f64, f64); 9] = [
+    ("4 only", 4.4, 3.7),
+    ("4→R", 1.5, 0.9),
+    ("4→T", 0.5, 0.17),
+    ("R only", 33.3, 46.1),
+    ("R→4", 3.0, 2.3),
+    ("R→T", 6.5, 3.35),
+    ("T only", 44.5, 41.0),
+    ("T→4", 0.8, 0.26),
+    ("T→R", 5.5, 2.12),
+];
+
+/// Table 10: `(sequence, alt %, main %)` — triplet sequences.
+pub const TABLE10: [(&str, f64, f64); 6] = [
+    ("4→R→T", 5.5, 8.9),
+    ("4→T→R", 6.2, 4.7),
+    ("R→4→T", 14.4, 24.5),
+    ("R→T→4", 36.3, 35.3),
+    ("T→4→R", 8.2, 7.8),
+    ("T→R→4", 29.0, 18.8),
+];
+
+/// Table 1: `(platform, % alt, % main)`.
+pub const TABLE1: [(&str, f64, f64); 3] = [
+    ("Twitter", 0.022, 0.070),
+    ("Reddit", 0.023, 0.181),
+    ("4chan", 0.050, 0.197),
+];
+
+/// Table 3: `(category, retrieved fraction, mean retweets, mean likes)`.
+pub const TABLE3: [(&str, f64, f64, f64); 2] = [
+    ("Alternative", 0.832, 341.0, 0.82),
+    ("Mainstream", 0.877, 404.0, 0.96),
+];
+
+/// Look up a Figure 11 reference cell by community pair.
+pub fn fig11(alt: bool, src: Community, dst: Community) -> f64 {
+    let table = if alt { &FIG11_ALT } else { &FIG11_MAIN };
+    table[src.index()][dst.index()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig11_diagonals_are_nan_and_off_diagonals_positive() {
+        for table in [&FIG11_ALT, &FIG11_MAIN] {
+            for (i, row) in table.iter().enumerate() {
+                for (j, &v) in row.iter().enumerate() {
+                    if i == j {
+                        assert!(v.is_nan(), "diagonal ({i},{j}) not NaN");
+                    } else {
+                        assert!(v > 0.0 && v < 100.0, "cell ({i},{j}) = {v}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fig11_matches_section53_claims() {
+        let td = Community::TheDonald;
+        let pol = Community::Pol;
+        let t = Community::Twitter;
+        // "The_Donald ... causing an estimated 2.72% of alternative news
+        // URLs tweeted."
+        assert_eq!(fig11(true, td, t), 2.72);
+        // "The_Donald causes 8% of /pol/'s alternative news URLs, while
+        // /pol/'s influence on The_Donald is less, at 5.7%."
+        assert_eq!(fig11(true, td, pol), 8.00);
+        assert_eq!(fig11(true, pol, td), 5.70);
+        // "/pol/'s influence on The_Donald is 8.61% [main] whereas
+        // The_Donald's influence on /pol/ is 6.13%."
+        assert_eq!(fig11(false, pol, td), 8.61);
+        assert_eq!(fig11(false, td, pol), 6.13);
+        // Mainstream influences on Twitter, descending:
+        // politics 4.29, /pol/ 3.01, The_Donald 2.97, worldnews 2.74,
+        // news 1.81, AskReddit 1.34, conspiracy 1.04.
+        let expect = [
+            (Community::Politics, 4.29),
+            (Community::Pol, 3.01),
+            (Community::TheDonald, 2.97),
+            (Community::Worldnews, 2.74),
+            (Community::News, 1.81),
+            (Community::AskReddit, 1.34),
+            (Community::Conspiracy, 1.04),
+        ];
+        for (src, v) in expect {
+            assert_eq!(fig11(false, src, t), v, "{src:?}");
+        }
+        // "The_Donald and /pol/ are responsible for around 6% of
+        // mainstream news URLs and over 4.5% of alternative news URLs
+        // posted to Twitter."
+        let main_sum = fig11(false, td, t) + fig11(false, pol, t);
+        let alt_sum = fig11(true, td, t) + fig11(true, pol, t);
+        assert!((main_sum - 5.98).abs() < 1e-9);
+        assert!((alt_sum - 4.68).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table9_shares_sum_to_about_100() {
+        let alt: f64 = TABLE9.iter().map(|(_, a, _)| a).sum();
+        let main: f64 = TABLE9.iter().map(|(_, _, m)| m).sum();
+        assert!((alt - 100.0).abs() < 1.0, "alt sums to {alt}");
+        assert!((main - 100.0).abs() < 1.0, "main sums to {main}");
+    }
+
+    #[test]
+    fn table10_shares_sum_to_about_100() {
+        let alt: f64 = TABLE10.iter().map(|(_, a, _)| a).sum();
+        let main: f64 = TABLE10.iter().map(|(_, _, m)| m).sum();
+        assert!((alt - 100.0).abs() < 1.0);
+        assert!((main - 100.0).abs() < 1.0);
+    }
+}

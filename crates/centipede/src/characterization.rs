@@ -1,0 +1,653 @@
+//! §3 — General characterization (Tables 1–7, Figures 2–3).
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+
+use centipede_dataset::dataset::Dataset;
+use centipede_dataset::domains::{DomainId, NewsCategory};
+use centipede_dataset::event::{UrlId, UserId};
+use centipede_dataset::platform::{AnalysisGroup, Platform, Venue};
+use centipede_stats::descriptive::{mean, stddev};
+use centipede_stats::ecdf::Ecdf;
+
+use crate::report::{count_pct, group_digits, pct, TextTable};
+
+/// One row of Table 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlatformTotalsRow {
+    /// Platform.
+    pub platform: Platform,
+    /// Total posts crawled.
+    pub total_posts: u64,
+    /// Fraction of posts with alternative-news URLs.
+    pub pct_alternative: f64,
+    /// Fraction of posts with mainstream-news URLs.
+    pub pct_mainstream: f64,
+}
+
+/// Table 1: total crawled posts and news-URL densities.
+pub fn platform_totals(dataset: &Dataset) -> Vec<PlatformTotalsRow> {
+    Platform::ALL
+        .into_iter()
+        .map(|platform| {
+            let totals = dataset.totals.get(&platform).copied().unwrap_or_default();
+            let denom = totals.total_posts.max(1) as f64;
+            PlatformTotalsRow {
+                platform,
+                total_posts: totals.total_posts,
+                pct_alternative: totals.posts_with_alternative as f64 / denom,
+                pct_mainstream: totals.posts_with_mainstream as f64 / denom,
+            }
+        })
+        .collect()
+}
+
+/// Render Table 1.
+pub fn render_table1(rows: &[PlatformTotalsRow]) -> String {
+    let mut t = TextTable::new(
+        "Table 1: Total posts crawled and % containing news URLs",
+        &["Platform", "Total Posts", "% Alt.", "% Main."],
+    );
+    for r in rows {
+        t.row(&[
+            r.platform.name().to_string(),
+            group_digits(r.total_posts),
+            pct(r.pct_alternative, 3),
+            pct(r.pct_mainstream, 3),
+        ]);
+    }
+    t.render()
+}
+
+/// The five collection splits of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DatasetSplit {
+    /// Twitter.
+    Twitter,
+    /// The six selected subreddits.
+    SixSubreddits,
+    /// All other subreddits.
+    OtherSubreddits,
+    /// 4chan /pol/.
+    Pol,
+    /// 4chan /int/, /sci/, /sp/.
+    OtherBoards,
+}
+
+impl DatasetSplit {
+    /// All splits in the paper's Table 2 order.
+    pub const ALL: [DatasetSplit; 5] = [
+        DatasetSplit::Twitter,
+        DatasetSplit::SixSubreddits,
+        DatasetSplit::OtherSubreddits,
+        DatasetSplit::Pol,
+        DatasetSplit::OtherBoards,
+    ];
+
+    /// Display name matching Table 2.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetSplit::Twitter => "Twitter",
+            DatasetSplit::SixSubreddits => "Reddit (six selected subreddits)",
+            DatasetSplit::OtherSubreddits => "Reddit (all other subreddits)",
+            DatasetSplit::Pol => "4chan (/pol/)",
+            DatasetSplit::OtherBoards => "4chan (/int/, /sci/, /sp/)",
+        }
+    }
+
+    /// Which split a venue belongs to.
+    pub fn of(venue: &Venue) -> DatasetSplit {
+        match venue.analysis_group() {
+            Some(AnalysisGroup::Twitter) => DatasetSplit::Twitter,
+            Some(AnalysisGroup::SixSubreddits) => DatasetSplit::SixSubreddits,
+            Some(AnalysisGroup::Pol) => DatasetSplit::Pol,
+            None => match venue.platform() {
+                Platform::Reddit => DatasetSplit::OtherSubreddits,
+                Platform::FourChan => DatasetSplit::OtherBoards,
+                Platform::Twitter => DatasetSplit::Twitter,
+            },
+        }
+    }
+}
+
+/// One row of Table 2.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OverviewRow {
+    /// The collection split.
+    pub split: DatasetSplit,
+    /// Posts/comments containing a news URL.
+    pub posts: u64,
+    /// Unique alternative URLs.
+    pub unique_alt: u64,
+    /// Unique mainstream URLs.
+    pub unique_main: u64,
+}
+
+/// Table 2: posts and unique URLs per collection split.
+pub fn dataset_overview(dataset: &Dataset) -> Vec<OverviewRow> {
+    let mut posts: HashMap<DatasetSplit, u64> = HashMap::new();
+    let mut uniq: HashMap<(DatasetSplit, NewsCategory), HashSet<UrlId>> = HashMap::new();
+    for e in &dataset.events {
+        let split = DatasetSplit::of(&e.venue);
+        *posts.entry(split).or_default() += 1;
+        uniq.entry((split, dataset.category_of(e)))
+            .or_default()
+            .insert(e.url);
+    }
+    DatasetSplit::ALL
+        .into_iter()
+        .map(|split| OverviewRow {
+            split,
+            posts: posts.get(&split).copied().unwrap_or(0),
+            unique_alt: uniq
+                .get(&(split, NewsCategory::Alternative))
+                .map_or(0, |s| s.len() as u64),
+            unique_main: uniq
+                .get(&(split, NewsCategory::Mainstream))
+                .map_or(0, |s| s.len() as u64),
+        })
+        .collect()
+}
+
+/// Render Table 2.
+pub fn render_table2(rows: &[OverviewRow]) -> String {
+    let mut t = TextTable::new(
+        "Table 2: Posts with news URLs and unique URLs per community",
+        &["Community", "Posts/Comments", "Alt. URLs", "Main. URLs"],
+    );
+    for r in rows {
+        t.row(&[
+            r.split.name().to_string(),
+            group_digits(r.posts),
+            group_digits(r.unique_alt),
+            group_digits(r.unique_main),
+        ]);
+    }
+    t.render()
+}
+
+/// One row of Table 3 (per news category).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TweetStatsRow {
+    /// News category.
+    pub category: NewsCategory,
+    /// Total tweets carrying URLs of this category.
+    pub tweets: u64,
+    /// Tweets still retrievable at re-crawl.
+    pub retrieved: u64,
+    /// Mean retweets over retrieved tweets.
+    pub avg_retweets: f64,
+    /// Standard deviation of retweets.
+    pub sd_retweets: f64,
+    /// Mean likes over retrieved tweets.
+    pub avg_likes: f64,
+    /// Standard deviation of likes.
+    pub sd_likes: f64,
+}
+
+/// Table 3: tweet re-crawl statistics per category.
+pub fn tweet_stats(dataset: &Dataset) -> Vec<TweetStatsRow> {
+    NewsCategory::ALL
+        .into_iter()
+        .map(|category| {
+            let mut retweets = Vec::new();
+            let mut likes = Vec::new();
+            let mut tweets = 0u64;
+            let mut retrieved = 0u64;
+            for e in dataset.events_in_category(category) {
+                if e.venue != Venue::Twitter {
+                    continue;
+                }
+                tweets += 1;
+                if let Some(g) = e.engagement {
+                    if g.retrieved {
+                        retrieved += 1;
+                        retweets.push(g.retweets as f64);
+                        likes.push(g.likes as f64);
+                    }
+                }
+            }
+            TweetStatsRow {
+                category,
+                tweets,
+                retrieved,
+                avg_retweets: mean(&retweets).unwrap_or(0.0),
+                sd_retweets: stddev(&retweets).unwrap_or(0.0),
+                avg_likes: mean(&likes).unwrap_or(0.0),
+                sd_likes: stddev(&likes).unwrap_or(0.0),
+            }
+        })
+        .collect()
+}
+
+/// Render Table 3.
+pub fn render_table3(rows: &[TweetStatsRow]) -> String {
+    let mut t = TextTable::new(
+        "Table 3: Tweet re-crawl statistics",
+        &["", "Tweets", "Retrieved (%)", "Avg. Retweets", "Avg. Likes"],
+    );
+    for r in rows {
+        t.row(&[
+            match r.category {
+                NewsCategory::Alternative => "Alternative".to_string(),
+                NewsCategory::Mainstream => "Mainstream".to_string(),
+            },
+            group_digits(r.tweets),
+            count_pct(r.retrieved, r.tweets),
+            format!("{:.0} ± {:.0}", r.avg_retweets, r.sd_retweets),
+            format!("{:.2} ± {:.1}", r.avg_likes, r.sd_likes),
+        ]);
+    }
+    t.render()
+}
+
+/// Table 4: top subreddits per category `(name, share of Reddit events
+/// of that category)`.
+pub fn top_subreddits(
+    dataset: &Dataset,
+    top_n: usize,
+) -> BTreeMap<NewsCategory, Vec<(String, f64)>> {
+    let mut counts: HashMap<(NewsCategory, String), u64> = HashMap::new();
+    let mut totals: HashMap<NewsCategory, u64> = HashMap::new();
+    for e in &dataset.events {
+        if let Venue::Subreddit(name) = &e.venue {
+            let cat = dataset.category_of(e);
+            *counts.entry((cat, name.clone())).or_default() += 1;
+            *totals.entry(cat).or_default() += 1;
+        }
+    }
+    let mut out = BTreeMap::new();
+    for cat in NewsCategory::ALL {
+        let total = totals.get(&cat).copied().unwrap_or(0).max(1) as f64;
+        let mut rows: Vec<(String, f64)> = counts
+            .iter()
+            .filter(|((c, _), _)| *c == cat)
+            .map(|((_, name), &n)| (name.clone(), n as f64 / total))
+            .collect();
+        rows.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN"));
+        rows.truncate(top_n);
+        out.insert(cat, rows);
+    }
+    out
+}
+
+/// Render Table 4.
+pub fn render_table4(rows: &BTreeMap<NewsCategory, Vec<(String, f64)>>) -> String {
+    let mut t = TextTable::new(
+        "Table 4: Top subreddits by news-URL occurrence (share of Reddit)",
+        &["Subreddit (Alt.)", "%", "Subreddit (Main.)", "%"],
+    );
+    let alt = &rows[&NewsCategory::Alternative];
+    let main = &rows[&NewsCategory::Mainstream];
+    for i in 0..alt.len().max(main.len()) {
+        let (an, ap) = alt
+            .get(i)
+            .map(|(n, p)| (n.clone(), pct(*p, 2)))
+            .unwrap_or_default();
+        let (mn, mp) = main
+            .get(i)
+            .map(|(n, p)| (n.clone(), pct(*p, 2)))
+            .unwrap_or_default();
+        t.row(&[an, ap, mn, mp]);
+    }
+    t.render()
+}
+
+/// Tables 5/6/7: top domains `(domain, share of category URLs)` for one
+/// analysis group, computed over URL *occurrences* within the group.
+pub fn top_domains(
+    dataset: &Dataset,
+    group: AnalysisGroup,
+    top_n: usize,
+) -> BTreeMap<NewsCategory, Vec<(String, f64)>> {
+    let mut counts: HashMap<(NewsCategory, DomainId), u64> = HashMap::new();
+    let mut totals: HashMap<NewsCategory, u64> = HashMap::new();
+    for e in &dataset.events {
+        if e.venue.analysis_group() != Some(group) {
+            continue;
+        }
+        let cat = dataset.category_of(e);
+        *counts.entry((cat, e.domain)).or_default() += 1;
+        *totals.entry(cat).or_default() += 1;
+    }
+    let mut out = BTreeMap::new();
+    for cat in NewsCategory::ALL {
+        let total = totals.get(&cat).copied().unwrap_or(0).max(1) as f64;
+        let mut rows: Vec<(String, f64)> = counts
+            .iter()
+            .filter(|((c, _), _)| *c == cat)
+            .map(|((_, id), &n)| (dataset.domains.get(*id).name.clone(), n as f64 / total))
+            .collect();
+        rows.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN"));
+        rows.truncate(top_n);
+        out.insert(cat, rows);
+    }
+    out
+}
+
+/// Render one of Tables 5/6/7.
+pub fn render_top_domains(
+    table_no: u8,
+    group: AnalysisGroup,
+    rows: &BTreeMap<NewsCategory, Vec<(String, f64)>>,
+) -> String {
+    let mut t = TextTable::new(
+        &format!("Table {table_no}: Top domains on {}", group.name()),
+        &["Domain (Alt.)", "%", "Domain (Main.)", "%"],
+    );
+    let alt = &rows[&NewsCategory::Alternative];
+    let main = &rows[&NewsCategory::Mainstream];
+    for i in 0..alt.len().max(main.len()) {
+        let (an, ap) = alt
+            .get(i)
+            .map(|(n, p)| (n.clone(), pct(*p, 2)))
+            .unwrap_or_default();
+        let (mn, mp) = main
+            .get(i)
+            .map(|(n, p)| (n.clone(), pct(*p, 2)))
+            .unwrap_or_default();
+        t.row(&[an, ap, mn, mp]);
+    }
+    t.render()
+}
+
+/// Figure 2: for the top `top_n` domains of a category (by global
+/// occurrence), the fraction of their occurrences on each analysis
+/// group. Returns `(domain, [six subreddits, /pol/, Twitter])`.
+pub fn domain_platform_fractions(
+    dataset: &Dataset,
+    category: NewsCategory,
+    top_n: usize,
+) -> Vec<(String, [f64; 3])> {
+    let mut per_domain: HashMap<DomainId, [u64; 3]> = HashMap::new();
+    for e in &dataset.events {
+        let Some(group) = e.venue.analysis_group() else {
+            continue;
+        };
+        if dataset.category_of(e) != category {
+            continue;
+        }
+        let slot = match group {
+            AnalysisGroup::SixSubreddits => 0,
+            AnalysisGroup::Pol => 1,
+            AnalysisGroup::Twitter => 2,
+        };
+        per_domain.entry(e.domain).or_default()[slot] += 1;
+    }
+    let mut rows: Vec<(DomainId, [u64; 3], u64)> = per_domain
+        .into_iter()
+        .map(|(d, c)| (d, c, c.iter().sum()))
+        .collect();
+    rows.sort_by_key(|&(_, _, total)| std::cmp::Reverse(total));
+    rows.truncate(top_n);
+    rows.into_iter()
+        .map(|(d, counts, total)| {
+            let total = total.max(1) as f64;
+            (
+                dataset.domains.get(d).name.clone(),
+                [
+                    counts[0] as f64 / total,
+                    counts[1] as f64 / total,
+                    counts[2] as f64 / total,
+                ],
+            )
+        })
+        .collect()
+}
+
+/// Figure 3 output: per-user alternative-news fraction ECDFs for
+/// Twitter and the six selected subreddits.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UserAltFractions {
+    /// All users: `(group, ECDF of alt fraction)`.
+    pub all_users: Vec<(AnalysisGroup, Ecdf)>,
+    /// Only users that shared both categories.
+    pub mixed_users: Vec<(AnalysisGroup, Ecdf)>,
+}
+
+/// Figure 3: per-user alternative fractions. 4chan is excluded (posts
+/// are anonymous).
+pub fn user_alt_fraction(dataset: &Dataset) -> UserAltFractions {
+    let mut per_user: HashMap<(AnalysisGroup, UserId), (u64, u64)> = HashMap::new();
+    for e in &dataset.events {
+        let (Some(group), Some(user)) = (e.venue.analysis_group(), e.user) else {
+            continue;
+        };
+        if group == AnalysisGroup::Pol {
+            continue;
+        }
+        let entry = per_user.entry((group, user)).or_default();
+        match dataset.category_of(e) {
+            NewsCategory::Alternative => entry.0 += 1,
+            NewsCategory::Mainstream => entry.1 += 1,
+        }
+    }
+    let mut all: HashMap<AnalysisGroup, Vec<f64>> = HashMap::new();
+    let mut mixed: HashMap<AnalysisGroup, Vec<f64>> = HashMap::new();
+    for ((group, _), (a, m)) in per_user {
+        let frac = a as f64 / (a + m).max(1) as f64;
+        all.entry(group).or_default().push(frac);
+        if a > 0 && m > 0 {
+            mixed.entry(group).or_default().push(frac);
+        }
+    }
+    let to_ecdfs = |map: HashMap<AnalysisGroup, Vec<f64>>| {
+        let mut v: Vec<(AnalysisGroup, Ecdf)> = map
+            .into_iter()
+            .filter(|(_, xs)| !xs.is_empty())
+            .map(|(g, xs)| (g, Ecdf::new(xs)))
+            .collect();
+        v.sort_by_key(|(g, _)| *g);
+        v
+    };
+    UserAltFractions {
+        all_users: to_ecdfs(all),
+        mixed_users: to_ecdfs(mixed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use centipede_dataset::dataset::PlatformTotals;
+    use centipede_dataset::domains::DomainTable;
+    use centipede_dataset::event::{Engagement, NewsEvent};
+
+    fn toy_dataset() -> Dataset {
+        let domains = DomainTable::standard();
+        let alt = domains.id_by_name("breitbart.com").unwrap();
+        let alt2 = domains.id_by_name("rt.com").unwrap();
+        let main = domains.id_by_name("nytimes.com").unwrap();
+        let mut events = vec![
+            // Twitter: two alt (one deleted), one main.
+            NewsEvent {
+                timestamp: 10,
+                venue: Venue::Twitter,
+                url: UrlId(0),
+                domain: alt,
+                user: Some(UserId(1)),
+                engagement: Some(Engagement {
+                    retweets: 10,
+                    likes: 2,
+                    retrieved: true,
+                }),
+            },
+            NewsEvent {
+                timestamp: 20,
+                venue: Venue::Twitter,
+                url: UrlId(1),
+                domain: alt2,
+                user: Some(UserId(1)),
+                engagement: Some(Engagement {
+                    retweets: 0,
+                    likes: 0,
+                    retrieved: false,
+                }),
+            },
+            NewsEvent {
+                timestamp: 30,
+                venue: Venue::Twitter,
+                url: UrlId(2),
+                domain: main,
+                user: Some(UserId(2)),
+                engagement: Some(Engagement {
+                    retweets: 30,
+                    likes: 0,
+                    retrieved: true,
+                }),
+            },
+        ];
+        // Six subreddits + other subreddits + boards.
+        events.push(NewsEvent {
+            timestamp: 40,
+            venue: Venue::Subreddit("The_Donald".into()),
+            url: UrlId(0),
+            domain: alt,
+            user: Some(UserId(3)),
+            engagement: None,
+        });
+        events.push(NewsEvent {
+            timestamp: 50,
+            venue: Venue::Subreddit("cats".into()),
+            url: UrlId(2),
+            domain: main,
+            user: Some(UserId(3)),
+            engagement: None,
+        });
+        events.push(NewsEvent::basic(
+            60,
+            Venue::Board("pol".into()),
+            UrlId(0),
+            alt,
+        ));
+        events.push(NewsEvent::basic(
+            70,
+            Venue::Board("sp".into()),
+            UrlId(3),
+            main,
+        ));
+        let mut totals = BTreeMap::new();
+        totals.insert(
+            Platform::Twitter,
+            PlatformTotals {
+                total_posts: 10_000,
+                posts_with_alternative: 2,
+                posts_with_mainstream: 1,
+            },
+        );
+        Dataset::new(domains, events, totals, BTreeMap::new())
+    }
+
+    #[test]
+    fn table1_percentages() {
+        let rows = platform_totals(&toy_dataset());
+        let twitter = rows.iter().find(|r| r.platform == Platform::Twitter).unwrap();
+        assert_eq!(twitter.total_posts, 10_000);
+        assert!((twitter.pct_alternative - 0.0002).abs() < 1e-12);
+        assert!((twitter.pct_mainstream - 0.0001).abs() < 1e-12);
+        let text = render_table1(&rows);
+        assert!(text.contains("Twitter"));
+        assert!(text.contains("10,000"));
+    }
+
+    #[test]
+    fn table2_split_accounting() {
+        let rows = dataset_overview(&toy_dataset());
+        let get = |s: DatasetSplit| rows.iter().find(|r| r.split == s).unwrap().clone();
+        let tw = get(DatasetSplit::Twitter);
+        assert_eq!(tw.posts, 3);
+        assert_eq!(tw.unique_alt, 2);
+        assert_eq!(tw.unique_main, 1);
+        let six = get(DatasetSplit::SixSubreddits);
+        assert_eq!(six.posts, 1);
+        assert_eq!(six.unique_alt, 1);
+        let other = get(DatasetSplit::OtherSubreddits);
+        assert_eq!(other.posts, 1);
+        assert_eq!(other.unique_main, 1);
+        let pol = get(DatasetSplit::Pol);
+        assert_eq!(pol.posts, 1);
+        let boards = get(DatasetSplit::OtherBoards);
+        assert_eq!(boards.posts, 1);
+        assert!(render_table2(&rows).contains("six selected"));
+    }
+
+    #[test]
+    fn table3_ignores_deleted_tweets_in_means() {
+        let rows = tweet_stats(&toy_dataset());
+        let alt = rows
+            .iter()
+            .find(|r| r.category == NewsCategory::Alternative)
+            .unwrap();
+        assert_eq!(alt.tweets, 2);
+        assert_eq!(alt.retrieved, 1);
+        assert_eq!(alt.avg_retweets, 10.0);
+        let main = rows
+            .iter()
+            .find(|r| r.category == NewsCategory::Mainstream)
+            .unwrap();
+        assert_eq!(main.retrieved, 1);
+        assert_eq!(main.avg_retweets, 30.0);
+        assert!(render_table3(&rows).contains("Retrieved"));
+    }
+
+    #[test]
+    fn table4_shares_sum_within_category() {
+        let t = top_subreddits(&toy_dataset(), 20);
+        let alt = &t[&NewsCategory::Alternative];
+        assert_eq!(alt.len(), 1);
+        assert_eq!(alt[0].0, "The_Donald");
+        assert!((alt[0].1 - 1.0).abs() < 1e-12);
+        let main = &t[&NewsCategory::Mainstream];
+        assert_eq!(main[0].0, "cats");
+        assert!(render_table4(&t).contains("The_Donald"));
+    }
+
+    #[test]
+    fn top_domains_per_group() {
+        let d = toy_dataset();
+        let tw = top_domains(&d, AnalysisGroup::Twitter, 5);
+        let alt = &tw[&NewsCategory::Alternative];
+        assert_eq!(alt.len(), 2);
+        // breitbart and rt each 50%.
+        assert!((alt[0].1 - 0.5).abs() < 1e-12);
+        let pol = top_domains(&d, AnalysisGroup::Pol, 5);
+        assert_eq!(pol[&NewsCategory::Alternative].len(), 1);
+        assert!(pol[&NewsCategory::Mainstream].is_empty());
+        assert!(render_top_domains(7, AnalysisGroup::Pol, &pol).contains("breitbart"));
+    }
+
+    #[test]
+    fn figure2_fractions_sum_to_one() {
+        let d = toy_dataset();
+        let rows = domain_platform_fractions(&d, NewsCategory::Alternative, 10);
+        assert!(!rows.is_empty());
+        for (name, fracs) in &rows {
+            let sum: f64 = fracs.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "{name}: {fracs:?}");
+        }
+        // breitbart appears on all three groups: 1/3 each.
+        let bb = rows.iter().find(|(n, _)| n == "breitbart.com").unwrap();
+        assert!((bb.1[0] - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn figure3_user_fractions() {
+        let d = toy_dataset();
+        let f = user_alt_fraction(&d);
+        // Twitter: user 1 has fraction 1.0 (2 alt), user 2 has 0.0.
+        let (_, tw) = f
+            .all_users
+            .iter()
+            .find(|(g, _)| *g == AnalysisGroup::Twitter)
+            .unwrap();
+        assert_eq!(tw.len(), 2);
+        assert_eq!(tw.eval(0.0), 0.5);
+        assert_eq!(tw.eval(1.0), 1.0);
+        // No mixed users in the toy dataset.
+        assert!(f
+            .mixed_users
+            .iter()
+            .all(|(_, e)| e.len() == 0 || e.len() > 0)); // present or absent both fine
+    }
+}

@@ -1,0 +1,421 @@
+//! §4.2 — Cross-platform analysis (Figure 7, Tables 8–10, Figure 8).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use centipede_dataset::dataset::UrlTimeline;
+use centipede_dataset::domains::NewsCategory;
+use centipede_dataset::event::UrlId;
+use centipede_dataset::platform::AnalysisGroup;
+use centipede_stats::ecdf::Ecdf;
+use centipede_stats::ks::{ks_two_sample, KsResult};
+
+/// The three platform pairs compared in Figure 7 / Table 8, in the
+/// paper's order.
+pub const PAIRS: [(AnalysisGroup, AnalysisGroup); 3] = [
+    (AnalysisGroup::SixSubreddits, AnalysisGroup::Twitter),
+    (AnalysisGroup::Pol, AnalysisGroup::Twitter),
+    (AnalysisGroup::Pol, AnalysisGroup::SixSubreddits),
+];
+
+/// Result of one pairwise lag comparison for one news category.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PairLagResult {
+    /// The pair `(a, b)`.
+    pub pair: (AnalysisGroup, AnalysisGroup),
+    /// News category.
+    pub category: NewsCategory,
+    /// Number of URLs where `a` saw the URL first.
+    pub a_faster: u64,
+    /// Number of URLs where `b` saw the URL first.
+    pub b_faster: u64,
+    /// Lags (seconds) for URLs first on `a`, then on `b`.
+    pub lags_a_first: Option<Ecdf>,
+    /// Lags (seconds) for URLs first on `b`, then on `a`.
+    pub lags_b_first: Option<Ecdf>,
+    /// KS test between the two lag distributions (None if either side
+    /// is empty).
+    pub ks: Option<KsResult>,
+}
+
+impl PairLagResult {
+    /// Fraction of common URLs that appeared on `a` first — the
+    /// paper's "X% of the time platform A is faster" statistic.
+    pub fn fraction_a_faster(&self) -> f64 {
+        let total = self.a_faster + self.b_faster;
+        if total == 0 {
+            return 0.0;
+        }
+        self.a_faster as f64 / total as f64
+    }
+
+    /// The "cross point": the lag at which the two CDFs intersect,
+    /// estimated on a shared log-spaced grid. Below this delay one
+    /// platform dominates, above it the other (the paper's turning
+    /// point discussion).
+    pub fn cross_point_seconds(&self) -> Option<f64> {
+        let (a, b) = (self.lags_a_first.as_ref()?, self.lags_b_first.as_ref()?);
+        let lo = a.min().min(b.min()).max(1.0);
+        let hi = a.max().max(b.max());
+        if hi <= lo {
+            return None;
+        }
+        let mut prev_diff: Option<f64> = None;
+        let mut prev_x = lo;
+        for i in 0..200 {
+            let x = (lo.ln() + (hi.ln() - lo.ln()) * i as f64 / 199.0).exp();
+            let diff = a.eval(x) - b.eval(x);
+            if let Some(pd) = prev_diff {
+                if pd != 0.0 && diff != 0.0 && pd.signum() != diff.signum() {
+                    return Some((prev_x * x).sqrt());
+                }
+            }
+            if diff != 0.0 {
+                prev_diff = Some(diff);
+                prev_x = x;
+            }
+        }
+        None
+    }
+}
+
+/// Figure 7 + Table 8: first-occurrence lag comparison for every pair
+/// and category.
+pub fn pair_lags(
+    timelines: &BTreeMap<UrlId, UrlTimeline>,
+    category: NewsCategory,
+) -> Vec<PairLagResult> {
+    PAIRS
+        .into_iter()
+        .map(|(a, b)| {
+            let mut a_first: Vec<f64> = Vec::new();
+            let mut b_first: Vec<f64> = Vec::new();
+            for tl in timelines.values().filter(|tl| tl.category == category) {
+                let (Some(ta), Some(tb)) = (tl.first_in_group(a), tl.first_in_group(b)) else {
+                    continue;
+                };
+                let lag = (tb - ta).unsigned_abs() as f64;
+                let lag = lag.max(1.0);
+                if ta <= tb {
+                    a_first.push(lag);
+                } else {
+                    b_first.push(lag);
+                }
+            }
+            let ks = if !a_first.is_empty() && !b_first.is_empty() {
+                Some(ks_two_sample(&a_first, &b_first))
+            } else {
+                None
+            };
+            PairLagResult {
+                pair: (a, b),
+                category,
+                a_faster: a_first.len() as u64,
+                b_faster: b_first.len() as u64,
+                lags_a_first: (!a_first.is_empty()).then(|| Ecdf::new(a_first)),
+                lags_b_first: (!b_first.is_empty()).then(|| Ecdf::new(b_first)),
+                ks,
+            }
+        })
+        .collect()
+}
+
+/// A first-hop appearance sequence (Table 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FirstHop {
+    /// Appeared on exactly one group.
+    Only(AnalysisGroupCode),
+    /// Appeared on ≥2 groups: first and second.
+    Hop(AnalysisGroupCode, AnalysisGroupCode),
+}
+
+/// Compact platform code used by the sequence tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AnalysisGroupCode {
+    /// 4chan /pol/ ("4").
+    Four,
+    /// The six selected subreddits ("R").
+    R,
+    /// Twitter ("T").
+    T,
+}
+
+impl AnalysisGroupCode {
+    /// From an analysis group.
+    pub fn of(group: AnalysisGroup) -> Self {
+        match group {
+            AnalysisGroup::Pol => AnalysisGroupCode::Four,
+            AnalysisGroup::SixSubreddits => AnalysisGroupCode::R,
+            AnalysisGroup::Twitter => AnalysisGroupCode::T,
+        }
+    }
+
+    /// The printable code.
+    pub fn code(&self) -> char {
+        match self {
+            AnalysisGroupCode::Four => '4',
+            AnalysisGroupCode::R => 'R',
+            AnalysisGroupCode::T => 'T',
+        }
+    }
+}
+
+impl std::fmt::Display for FirstHop {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FirstHop::Only(c) => write!(f, "{} only", c.code()),
+            FirstHop::Hop(a, b) => write!(f, "{}→{}", a.code(), b.code()),
+        }
+    }
+}
+
+/// Sort a timeline's groups by first-occurrence time.
+fn ordered_groups(tl: &UrlTimeline) -> Vec<(AnalysisGroup, i64)> {
+    let mut firsts: Vec<(AnalysisGroup, i64)> = AnalysisGroup::ALL
+        .into_iter()
+        .filter_map(|g| tl.first_in_group(g).map(|t| (g, t)))
+        .collect();
+    firsts.sort_by_key(|&(_, t)| t);
+    firsts
+}
+
+/// Table 9: distribution of first-hop sequences per category.
+pub fn first_hop_sequences(
+    timelines: &BTreeMap<UrlId, UrlTimeline>,
+    category: NewsCategory,
+) -> BTreeMap<FirstHop, u64> {
+    let mut out: BTreeMap<FirstHop, u64> = BTreeMap::new();
+    for tl in timelines.values().filter(|tl| tl.category == category) {
+        let firsts = ordered_groups(tl);
+        if firsts.is_empty() {
+            continue;
+        }
+        let key = if firsts.len() == 1 {
+            FirstHop::Only(AnalysisGroupCode::of(firsts[0].0))
+        } else {
+            FirstHop::Hop(
+                AnalysisGroupCode::of(firsts[0].0),
+                AnalysisGroupCode::of(firsts[1].0),
+            )
+        };
+        *out.entry(key).or_default() += 1;
+    }
+    out
+}
+
+/// Table 10: full triplet sequences for URLs that appeared on all
+/// three groups. Key is e.g. `"R→T→4"`.
+pub fn triplet_sequences(
+    timelines: &BTreeMap<UrlId, UrlTimeline>,
+    category: NewsCategory,
+) -> BTreeMap<String, u64> {
+    let mut out: BTreeMap<String, u64> = BTreeMap::new();
+    for tl in timelines.values().filter(|tl| tl.category == category) {
+        let firsts = ordered_groups(tl);
+        if firsts.len() < 3 {
+            continue;
+        }
+        let key: Vec<String> = firsts
+            .iter()
+            .map(|(g, _)| AnalysisGroupCode::of(*g).code().to_string())
+            .collect();
+        *out.entry(key.join("→")).or_default() += 1;
+    }
+    out
+}
+
+/// One edge of the Figure 8 source graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SourceEdge {
+    /// Source node: a domain name or a group name.
+    pub from: String,
+    /// Destination node (always a group name).
+    pub to: String,
+    /// Number of unique URLs flowing along this edge.
+    pub weight: u64,
+}
+
+/// Figure 8: the news-ecosystem source graph for one category. For
+/// each URL, an edge `domain → first group`, and (if a second group
+/// exists) `first group → second group`.
+pub fn source_graph(
+    timelines: &BTreeMap<UrlId, UrlTimeline>,
+    domains: &centipede_dataset::domains::DomainTable,
+    category: NewsCategory,
+) -> Vec<SourceEdge> {
+    let mut weights: BTreeMap<(String, String), u64> = BTreeMap::new();
+    for tl in timelines.values().filter(|tl| tl.category == category) {
+        let firsts = ordered_groups(tl);
+        if firsts.is_empty() {
+            continue;
+        }
+        let domain = domains.get(tl.domain).name.clone();
+        let first = firsts[0].0.name().to_string();
+        *weights.entry((domain, first.clone())).or_default() += 1;
+        if firsts.len() >= 2 {
+            let second = firsts[1].0.name().to_string();
+            *weights.entry((first, second)).or_default() += 1;
+        }
+    }
+    weights
+        .into_iter()
+        .map(|((from, to), weight)| SourceEdge { from, to, weight })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use centipede_dataset::dataset::Dataset;
+    use centipede_dataset::domains::DomainTable;
+    use centipede_dataset::event::NewsEvent;
+    use centipede_dataset::platform::Venue;
+
+    fn mk_dataset() -> Dataset {
+        let domains = DomainTable::standard();
+        let bb = domains.id_by_name("breitbart.com").unwrap();
+        let rt = domains.id_by_name("rt.com").unwrap();
+        let events = vec![
+            // URL 0: R (t=0) → T (t=100) → 4 (t=500).
+            NewsEvent::basic(0, Venue::Subreddit("politics".into()), UrlId(0), bb),
+            NewsEvent::basic(100, Venue::Twitter, UrlId(0), bb),
+            NewsEvent::basic(500, Venue::Board("pol".into()), UrlId(0), bb),
+            // URL 1: T (t=50) → R (t=250).
+            NewsEvent::basic(50, Venue::Twitter, UrlId(1), rt),
+            NewsEvent::basic(250, Venue::Subreddit("news".into()), UrlId(1), rt),
+            // URL 2: T only.
+            NewsEvent::basic(10, Venue::Twitter, UrlId(2), rt),
+            // URL 3: R only (two posts).
+            NewsEvent::basic(10, Venue::Subreddit("worldnews".into()), UrlId(3), bb),
+            NewsEvent::basic(20, Venue::Subreddit("news".into()), UrlId(3), bb),
+        ];
+        Dataset::new(
+            domains,
+            events,
+            std::collections::BTreeMap::new(),
+            std::collections::BTreeMap::new(),
+        )
+    }
+
+    #[test]
+    fn pair_lag_directions() {
+        let d = mk_dataset();
+        let tls = d.timelines();
+        let results = pair_lags(&tls, NewsCategory::Alternative);
+        // Pair (R, T): URL 0 R-first (lag 100), URL 1 T-first (lag 200).
+        let rt = results
+            .iter()
+            .find(|r| r.pair == (AnalysisGroup::SixSubreddits, AnalysisGroup::Twitter))
+            .unwrap();
+        assert_eq!(rt.a_faster, 1);
+        assert_eq!(rt.b_faster, 1);
+        assert_eq!(rt.fraction_a_faster(), 0.5);
+        assert_eq!(rt.lags_a_first.as_ref().unwrap().max(), 100.0);
+        assert_eq!(rt.lags_b_first.as_ref().unwrap().max(), 200.0);
+        // Pair (4, T): URL 0 only; Twitter first by 400.
+        let ft = results
+            .iter()
+            .find(|r| r.pair == (AnalysisGroup::Pol, AnalysisGroup::Twitter))
+            .unwrap();
+        assert_eq!(ft.a_faster, 0);
+        assert_eq!(ft.b_faster, 1);
+        assert!(ft.ks.is_none());
+    }
+
+    #[test]
+    fn first_hop_distribution() {
+        let d = mk_dataset();
+        let tls = d.timelines();
+        let seqs = first_hop_sequences(&tls, NewsCategory::Alternative);
+        assert_eq!(
+            seqs[&FirstHop::Hop(AnalysisGroupCode::R, AnalysisGroupCode::T)],
+            1
+        );
+        assert_eq!(
+            seqs[&FirstHop::Hop(AnalysisGroupCode::T, AnalysisGroupCode::R)],
+            1
+        );
+        assert_eq!(seqs[&FirstHop::Only(AnalysisGroupCode::T)], 1);
+        assert_eq!(seqs[&FirstHop::Only(AnalysisGroupCode::R)], 1);
+        let total: u64 = seqs.values().sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn triplets_only_for_three_group_urls() {
+        let d = mk_dataset();
+        let tls = d.timelines();
+        let seqs = triplet_sequences(&tls, NewsCategory::Alternative);
+        assert_eq!(seqs.len(), 1);
+        assert_eq!(seqs["R→T→4"], 1);
+    }
+
+    #[test]
+    fn source_graph_edges() {
+        let d = mk_dataset();
+        let tls = d.timelines();
+        let edges = source_graph(&tls, &d.domains, NewsCategory::Alternative);
+        let find = |from: &str, to: &str| {
+            edges
+                .iter()
+                .find(|e| e.from == from && e.to == to)
+                .map(|e| e.weight)
+        };
+        // URL 0 and URL 3: breitbart first seen on the six subreddits.
+        assert_eq!(find("breitbart.com", "6 selected subreddits"), Some(2));
+        // URL 1 and 2: rt first on Twitter.
+        assert_eq!(find("rt.com", "Twitter"), Some(2));
+        // First hops: R→T (URL 0), T→R (URL 1).
+        assert_eq!(find("6 selected subreddits", "Twitter"), Some(1));
+        assert_eq!(find("Twitter", "6 selected subreddits"), Some(1));
+        // /pol/ never a first platform.
+        assert!(edges.iter().all(|e| e.from != "/pol/"));
+    }
+
+    #[test]
+    fn first_hop_display() {
+        assert_eq!(
+            format!("{}", FirstHop::Only(AnalysisGroupCode::Four)),
+            "4 only"
+        );
+        assert_eq!(
+            format!(
+                "{}",
+                FirstHop::Hop(AnalysisGroupCode::R, AnalysisGroupCode::T)
+            ),
+            "R→T"
+        );
+    }
+
+    #[test]
+    fn cross_point_detection() {
+        // Build a case where the a-first lags are short and b-first lags
+        // long: the CDFs cross.
+        let a_lags: Vec<f64> = (1..100).map(|i| i as f64 * 10.0).collect();
+        let b_lags: Vec<f64> = (1..100).map(|i| 500.0 + i as f64 * 100.0).collect();
+        let r = PairLagResult {
+            pair: (AnalysisGroup::SixSubreddits, AnalysisGroup::Twitter),
+            category: NewsCategory::Alternative,
+            a_faster: 99,
+            b_faster: 99,
+            lags_a_first: Some(Ecdf::new(a_lags)),
+            lags_b_first: Some(Ecdf::new(b_lags)),
+            ks: None,
+        };
+        let cp = r.cross_point_seconds();
+        // a's CDF is above b's everywhere here (a stochastically
+        // smaller), so no crossing.
+        assert!(cp.is_none());
+        // Interleaved distributions that cross once.
+        let a2: Vec<f64> = vec![1.0, 2.0, 3.0, 1000.0, 2000.0, 3000.0];
+        let b2: Vec<f64> = vec![50.0, 60.0, 70.0, 80.0, 90.0, 100.0];
+        let r2 = PairLagResult {
+            lags_a_first: Some(Ecdf::new(a2)),
+            lags_b_first: Some(Ecdf::new(b2)),
+            ..r
+        };
+        let cp2 = r2.cross_point_seconds().expect("should cross");
+        assert!(cp2 > 3.0 && cp2 < 1000.0, "cp={cp2}");
+    }
+}

@@ -1,0 +1,185 @@
+//! Machine-readable exports of the analysis report.
+//!
+//! * [`report_to_json`] — the full [`AnalysisReport`] as a JSON value
+//!   (figure series included), for plotting outside Rust.
+//! * [`source_graph_to_dot`] — the Figure 8 graph in Graphviz DOT, so
+//!   `dot -Tpdf` reproduces the paper's force-directed rendering.
+
+use serde_json::{json, Value};
+
+use crate::crossplatform::SourceEdge;
+use crate::pipeline::AnalysisReport;
+
+/// Serialise the full report to JSON.
+///
+/// Enum-keyed maps (Table 9's sequence keys) are converted to their
+/// display strings so the output is plain JSON objects.
+pub fn report_to_json(report: &AnalysisReport) -> Value {
+    let mut value = serde_json::to_value(ReportShim(report)).expect("report serialises");
+    // Replace table9 with string-keyed objects.
+    let table9: Value = report
+        .table9
+        .iter()
+        .map(|(cat, seqs)| {
+            let inner: serde_json::Map<String, Value> = seqs
+                .iter()
+                .map(|(seq, n)| (format!("{seq}"), json!(n)))
+                .collect();
+            (format!("{cat:?}"), Value::Object(inner))
+        })
+        .collect::<serde_json::Map<String, Value>>()
+        .into();
+    value["table9"] = table9;
+    value
+}
+
+/// Wrapper that skips the enum-keyed `table9` field during the derive
+/// pass (it is re-inserted with string keys by [`report_to_json`]).
+struct ReportShim<'a>(&'a AnalysisReport);
+
+impl serde::Serialize for ReportShim<'_> {
+    fn serialize<S>(&self, serializer: S) -> Result<S::Ok, S::Error>
+    where
+        S: serde::Serializer,
+    {
+        use serde::ser::SerializeStruct;
+        let r = self.0;
+        let mut s = serializer.serialize_struct("AnalysisReport", 18)?;
+        s.serialize_field("table1", &r.table1)?;
+        s.serialize_field("table2", &r.table2)?;
+        s.serialize_field("table3", &r.table3)?;
+        s.serialize_field("table4", &r.table4)?;
+        s.serialize_field("top_domains", &r.top_domains)?;
+        s.serialize_field("fig1", &r.fig1)?;
+        s.serialize_field("fig2", &r.fig2)?;
+        s.serialize_field("fig3", &r.fig3)?;
+        s.serialize_field("fig4", &r.fig4)?;
+        s.serialize_field("fig5", &r.fig5)?;
+        s.serialize_field("fig6_common", &r.fig6_common)?;
+        s.serialize_field("fig6_all", &r.fig6_all)?;
+        s.serialize_field("pair_lags", &r.pair_lags)?;
+        s.serialize_field("table9", &Value::Null)?; // replaced by caller
+        s.serialize_field("table10", &r.table10)?;
+        s.serialize_field("fig8", &r.fig8)?;
+        s.serialize_field("table11", &r.table11)?;
+        s.serialize_field("fig10", &r.fig10)?;
+        s.end()
+    }
+}
+
+/// Escape a string for a DOT identifier.
+fn dot_escape(s: &str) -> String {
+    format!("\"{}\"", s.replace('"', "\\\""))
+}
+
+/// Render a Figure 8 edge list as a Graphviz digraph.
+///
+/// Node styling mirrors the paper: platform nodes are boxes, domain
+/// nodes are ellipses; edge pen-width scales with `log(weight)`.
+pub fn source_graph_to_dot(edges: &[SourceEdge], title: &str) -> String {
+    const PLATFORM_NODES: [&str; 3] = ["Twitter", "6 selected subreddits", "/pol/"];
+    let mut out = String::new();
+    out.push_str(&format!("digraph {} {{\n", dot_escape(title)));
+    out.push_str("  rankdir=LR;\n  node [fontsize=10];\n");
+    // Collect nodes.
+    let mut nodes: Vec<&str> = Vec::new();
+    for e in edges {
+        for n in [e.from.as_str(), e.to.as_str()] {
+            if !nodes.contains(&n) {
+                nodes.push(n);
+            }
+        }
+    }
+    for n in &nodes {
+        let shape = if PLATFORM_NODES.contains(n) {
+            "box, style=filled, fillcolor=lightblue"
+        } else {
+            "ellipse"
+        };
+        out.push_str(&format!("  {} [shape={shape}];\n", dot_escape(n)));
+    }
+    for e in edges {
+        let width = 1.0 + (e.weight as f64).ln().max(0.0);
+        out.push_str(&format!(
+            "  {} -> {} [penwidth={:.2}, label={}];\n",
+            dot_escape(&e.from),
+            dot_escape(&e.to),
+            width,
+            e.weight
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{run_all, PipelineConfig};
+    use centipede_platform_sim::{ecosystem, SimConfig};
+    use rand::SeedableRng;
+
+    fn tiny_report() -> AnalysisReport {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut sim = SimConfig::small();
+        sim.scale = 0.04;
+        let world = ecosystem::generate(&sim, &mut rng);
+        let config = PipelineConfig {
+            skip_influence: true,
+            ..PipelineConfig::default()
+        };
+        run_all(&world.dataset, &config, &mut rng)
+    }
+
+    #[test]
+    fn json_export_is_valid_and_complete() {
+        let report = tiny_report();
+        let v = report_to_json(&report);
+        assert!(v.get("table1").is_some());
+        assert!(v["table1"].as_array().unwrap().len() == 3);
+        assert!(v.get("fig8").is_some());
+        // Table 9 keys are display strings.
+        let t9 = v["table9"].as_object().unwrap();
+        for (_cat, seqs) in t9 {
+            for key in seqs.as_object().unwrap().keys() {
+                assert!(
+                    key.contains("only") || key.contains('→'),
+                    "unexpected key {key}"
+                );
+            }
+        }
+        // Round-trips through a string.
+        let text = serde_json::to_string(&v).unwrap();
+        let _back: Value = serde_json::from_str(&text).unwrap();
+    }
+
+    #[test]
+    fn dot_export_structure() {
+        let edges = vec![
+            SourceEdge {
+                from: "breitbart.com".into(),
+                to: "Twitter".into(),
+                weight: 10,
+            },
+            SourceEdge {
+                from: "Twitter".into(),
+                to: "/pol/".into(),
+                weight: 3,
+            },
+        ];
+        let dot = source_graph_to_dot(&edges, "alt");
+        assert!(dot.starts_with("digraph \"alt\" {"));
+        assert!(dot.contains("\"breitbart.com\" -> \"Twitter\""));
+        assert!(dot.contains("label=10"));
+        assert!(dot.contains("shape=box"), "platform nodes styled");
+        assert!(dot.contains("shape=ellipse"), "domain nodes styled");
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn dot_export_empty_graph() {
+        let dot = source_graph_to_dot(&[], "empty");
+        assert!(dot.contains("digraph"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+}

@@ -1,0 +1,195 @@
+//! Figure 11: estimated percentage of events caused.
+//!
+//! The paper converts weights into total impact:
+//!
+//! ```text
+//! Pct(A→B) = Σ_urls ( W[A,B] · events_A ) / Σ_urls events_B
+//! ```
+//!
+//! i.e. the expected number of `B`-events caused by `A`-events,
+//! divided by the number of `B`-events actually observed.
+
+use serde::{Deserialize, Serialize};
+
+use centipede_dataset::domains::NewsCategory;
+use centipede_dataset::platform::Community;
+
+use crate::report::TextTable;
+
+use super::fit::UrlFit;
+
+/// The Figure 11 grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ImpactMatrix {
+    /// `pct[cat][src][dst]` with cat 0 = alternative, 1 = mainstream;
+    /// values are percentages (0–100).
+    pub pct: [Vec<Vec<f64>>; 2],
+}
+
+impl ImpactMatrix {
+    /// Impact of `src` on `dst` for a category, in percent.
+    pub fn get(&self, category: NewsCategory, src: usize, dst: usize) -> f64 {
+        let c = match category {
+            NewsCategory::Alternative => 0,
+            NewsCategory::Mainstream => 1,
+        };
+        self.pct[c][src][dst]
+    }
+
+    /// Difference (alt − main) for a cell, in percentage points.
+    pub fn diff(&self, src: usize, dst: usize) -> f64 {
+        self.pct[0][src][dst] - self.pct[1][src][dst]
+    }
+
+    /// The most influential external source for a destination (ignoring
+    /// self-influence).
+    pub fn top_external_source(&self, category: NewsCategory, dst: usize) -> usize {
+        (0..8)
+            .filter(|&src| src != dst)
+            .max_by(|&a, &b| {
+                self.get(category, a, dst)
+                    .partial_cmp(&self.get(category, b, dst))
+                    .expect("no NaN")
+            })
+            .expect("eight communities")
+    }
+
+    /// Render as text.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(
+            "Figure 11: estimated % of events caused (A=alt, M=main)",
+            &[
+                "src \\ dst",
+                "The_Donald",
+                "worldnews",
+                "politics",
+                "news",
+                "conspiracy",
+                "AskReddit",
+                "/pol/",
+                "Twitter",
+            ],
+        );
+        for src in 0..8 {
+            let mut row = vec![Community::from_index(src).name().to_string()];
+            for dst in 0..8 {
+                row.push(format!(
+                    "A:{:.2}% M:{:.2}% {:+.2}",
+                    self.pct[0][src][dst],
+                    self.pct[1][src][dst],
+                    self.diff(src, dst)
+                ));
+            }
+            t.row(&row);
+        }
+        t.render()
+    }
+}
+
+/// Compute the Figure 11 impact percentages from per-URL fits.
+pub fn impact_matrix(fits: &[UrlFit]) -> ImpactMatrix {
+    let mut pct = [
+        vec![vec![0.0f64; 8]; 8],
+        vec![vec![0.0f64; 8]; 8],
+    ];
+    for (c, category) in [NewsCategory::Alternative, NewsCategory::Mainstream]
+        .into_iter()
+        .enumerate()
+    {
+        let mut caused = vec![vec![0.0f64; 8]; 8];
+        let mut observed = [0.0f64; 8];
+        for f in fits.iter().filter(|f| f.category == category) {
+            for dst in 0..8 {
+                observed[dst] += f.events_per_community[dst] as f64;
+                for src in 0..8 {
+                    caused[src][dst] +=
+                        f.weights.get(src, dst) * f.events_per_community[src] as f64;
+                }
+            }
+        }
+        for src in 0..8 {
+            for dst in 0..8 {
+                pct[c][src][dst] = if observed[dst] > 0.0 {
+                    caused[src][dst] / observed[dst] * 100.0
+                } else {
+                    0.0
+                };
+            }
+        }
+    }
+    ImpactMatrix { pct }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use centipede_dataset::event::UrlId;
+    use centipede_hawkes::matrix::Matrix;
+
+    fn fit(category: NewsCategory, w_matrix: Matrix, events: [u64; 8]) -> UrlFit {
+        UrlFit {
+            url: UrlId(0),
+            category,
+            weights: w_matrix,
+            lambda0: [0.001; 8],
+            events_per_community: events,
+            n_bins: 1_000,
+        }
+    }
+
+    #[test]
+    fn impact_formula_single_url() {
+        // One alt URL: W[7→0] = 0.1, 50 events on Twitter (7), 10 on
+        // The_Donald (0). Pct(7→0) = 0.1·50/10 = 50%.
+        let mut w = Matrix::zeros(8);
+        w.set(7, 0, 0.1);
+        let mut events = [0u64; 8];
+        events[7] = 50;
+        events[0] = 10;
+        let fits = vec![fit(NewsCategory::Alternative, w, events)];
+        let m = impact_matrix(&fits);
+        assert!((m.get(NewsCategory::Alternative, 7, 0) - 50.0).abs() < 1e-9);
+        assert_eq!(m.get(NewsCategory::Mainstream, 7, 0), 0.0);
+        assert!((m.diff(7, 0) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn impact_pools_events_across_urls() {
+        let mut w = Matrix::zeros(8);
+        w.set(7, 6, 0.2);
+        let mut e1 = [0u64; 8];
+        e1[7] = 10;
+        e1[6] = 10;
+        let mut e2 = [0u64; 8];
+        e2[7] = 30;
+        e2[6] = 10;
+        let fits = vec![
+            fit(NewsCategory::Mainstream, w.clone(), e1),
+            fit(NewsCategory::Mainstream, w, e2),
+        ];
+        let m = impact_matrix(&fits);
+        // caused = 0.2·10 + 0.2·30 = 8; observed on 6 = 20 → 40%.
+        assert!((m.get(NewsCategory::Mainstream, 7, 6) - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn top_external_source_ignores_self() {
+        let mut w = Matrix::zeros(8);
+        w.set(0, 0, 10.0); // huge self weight, must be ignored
+        w.set(7, 0, 0.5);
+        w.set(6, 0, 0.1);
+        let mut events = [1u64; 8];
+        events[7] = 10;
+        let fits = vec![fit(NewsCategory::Alternative, w, events)];
+        let m = impact_matrix(&fits);
+        assert_eq!(m.top_external_source(NewsCategory::Alternative, 0), 7);
+    }
+
+    #[test]
+    fn render_contains_grid() {
+        let m = impact_matrix(&[]);
+        let text = m.render();
+        assert!(text.contains("Figure 11"));
+        assert!(text.lines().count() >= 11);
+    }
+}

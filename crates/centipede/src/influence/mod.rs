@@ -1,0 +1,19 @@
+//! §5 — Influence estimation via discrete-time Hawkes processes.
+//!
+//! * [`prepare`] — URL selection (events on Twitter, /pol/, and at
+//!   least one selected subreddit), the 10% gap-mitigation drop, and
+//!   per-minute binning into `EventSeq`s.
+//! * [`fit`] — the per-URL Gibbs fitting fleet (parallel over URLs).
+//! * [`weights`] — Figure 10: per-category mean weight matrices,
+//!   percentage differences, KS significance stars; Table 11 summary.
+//! * [`impact`] — Figure 11: estimated percentage of events caused.
+
+pub mod fit;
+pub mod impact;
+pub mod prepare;
+pub mod weights;
+
+pub use fit::{fit_urls, FitConfig, UrlFit};
+pub use impact::{impact_matrix, ImpactMatrix};
+pub use prepare::{prepare_urls, PreparedUrl, SelectionConfig, SelectionSummary};
+pub use weights::{weight_comparison, CellComparison, Table11, WeightComparison};

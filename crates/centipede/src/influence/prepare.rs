@@ -1,0 +1,289 @@
+//! URL selection and binning for the Hawkes fits (§5.2).
+//!
+//! The paper selects URLs with at least one event on Twitter, at least
+//! one on /pol/, and at least one on any of the six subreddits. URLs
+//! whose observation window overlaps the missing Twitter data are
+//! mitigated by dropping the 10% of gap-overlapping URLs with the
+//! shortest total duration. Each surviving URL is binned into
+//! one-minute bins over `[first event, last event]` across the eight
+//! communities.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use centipede_dataset::dataset::{Dataset, UrlTimeline};
+use centipede_dataset::domains::NewsCategory;
+use centipede_dataset::event::UrlId;
+use centipede_dataset::platform::{AnalysisGroup, Community, Platform};
+use centipede_hawkes::events::EventSeq;
+
+/// Selection parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SelectionConfig {
+    /// Bin width in seconds (the paper uses Δt = 1 minute).
+    pub bin_seconds: i64,
+    /// Fraction of gap-overlapping URLs (shortest-duration first) to
+    /// drop. The paper uses 0.10.
+    pub gap_drop_fraction: f64,
+    /// Skip URLs with more than this many events (defensive bound on
+    /// fitting cost; far above anything the generator produces).
+    pub max_events: usize,
+}
+
+impl Default for SelectionConfig {
+    fn default() -> Self {
+        SelectionConfig {
+            bin_seconds: 60,
+            gap_drop_fraction: 0.10,
+            max_events: 50_000,
+        }
+    }
+}
+
+/// A URL ready for Hawkes fitting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PreparedUrl {
+    /// Which URL.
+    pub url: UrlId,
+    /// Its category.
+    pub category: NewsCategory,
+    /// Binned event counts over the eight communities.
+    pub events: EventSeq,
+    /// Events per community (sum over bins), in [`Community::ALL`]
+    /// order.
+    pub events_per_community: [u64; 8],
+    /// Total duration (seconds) from first to last event.
+    pub duration: i64,
+}
+
+/// Accounting of the selection process (the numbers behind Table 11's
+/// caption).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SelectionSummary {
+    /// URLs satisfying the three-community criterion.
+    pub eligible: usize,
+    /// Of those, URLs whose span overlapped missing Twitter data.
+    pub gap_overlapping: usize,
+    /// URLs dropped by the 10% shortest-duration rule.
+    pub dropped: usize,
+    /// URLs retained for fitting.
+    pub selected: usize,
+}
+
+/// Select and bin URLs per the paper's §5.2 procedure.
+pub fn prepare_urls(
+    dataset: &Dataset,
+    timelines: &BTreeMap<UrlId, UrlTimeline>,
+    config: &SelectionConfig,
+) -> (Vec<PreparedUrl>, SelectionSummary) {
+    assert!(config.bin_seconds > 0, "SelectionConfig: bin_seconds ≤ 0");
+    assert!(
+        (0.0..1.0).contains(&config.gap_drop_fraction),
+        "SelectionConfig: gap_drop_fraction out of [0,1)"
+    );
+    let twitter_gaps = dataset.gaps_for(Platform::Twitter);
+
+    // Eligibility: ≥1 event on Twitter, /pol/, and ≥1 of the six
+    // subreddits (i.e. communities 0..6 collectively).
+    let mut eligible: Vec<&UrlTimeline> = timelines
+        .values()
+        .filter(|tl| {
+            tl.first_in_group(AnalysisGroup::Twitter).is_some()
+                && tl.first_in_group(AnalysisGroup::Pol).is_some()
+                && tl.first_in_group(AnalysisGroup::SixSubreddits).is_some()
+                && tl.len() <= config.max_events
+        })
+        .collect();
+    eligible.sort_by_key(|tl| tl.url);
+    let mut summary = SelectionSummary {
+        eligible: eligible.len(),
+        ..SelectionSummary::default()
+    };
+
+    // Gap mitigation: among gap-overlapping URLs, drop the shortest
+    // `gap_drop_fraction` by total duration.
+    let mut overlapping: Vec<(UrlId, i64)> = Vec::new();
+    for tl in &eligible {
+        let (lo, hi) = tl.span().expect("eligible URLs have events");
+        if twitter_gaps.overlaps(lo, hi + 1) {
+            overlapping.push((tl.url, hi - lo));
+        }
+    }
+    summary.gap_overlapping = overlapping.len();
+    overlapping.sort_by_key(|&(_, d)| d);
+    let n_drop = (overlapping.len() as f64 * config.gap_drop_fraction).floor() as usize;
+    let dropped: std::collections::HashSet<UrlId> = overlapping
+        .iter()
+        .take(n_drop)
+        .map(|&(u, _)| u)
+        .collect();
+    summary.dropped = dropped.len();
+
+    let mut prepared = Vec::new();
+    for tl in eligible {
+        if dropped.contains(&tl.url) {
+            continue;
+        }
+        let (first, last) = tl.span().expect("non-empty");
+        // Per-minute binning over the URL's own window.
+        let mut points: Vec<(u32, u16)> = Vec::new();
+        let mut per_community = [0u64; 8];
+        for (t, c) in tl.times.iter().zip(&tl.communities) {
+            let Some(community) = c else { continue };
+            let bin = ((t - first) / config.bin_seconds) as u32;
+            points.push((bin, community.index() as u16));
+            per_community[community.index()] += 1;
+        }
+        if points.is_empty() {
+            continue;
+        }
+        let n_bins = points.iter().map(|&(t, _)| t).max().expect("non-empty") + 1;
+        prepared.push(PreparedUrl {
+            url: tl.url,
+            category: tl.category,
+            events: EventSeq::from_points(n_bins, Community::COUNT, &points),
+            events_per_community: per_community,
+            duration: last - first,
+        });
+    }
+    summary.selected = prepared.len();
+    (prepared, summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use centipede_dataset::domains::DomainTable;
+    use centipede_dataset::event::NewsEvent;
+    use centipede_dataset::gaps::Gaps;
+    use centipede_dataset::platform::Venue;
+    use centipede_dataset::time::ymd_to_unix;
+
+    fn eligible_url(events: &mut Vec<NewsEvent>, url: u32, t0: i64, domain: centipede_dataset::domains::DomainId) {
+        events.push(NewsEvent::basic(t0, Venue::Twitter, UrlId(url), domain));
+        events.push(NewsEvent::basic(
+            t0 + 120,
+            Venue::Board("pol".into()),
+            UrlId(url),
+            domain,
+        ));
+        events.push(NewsEvent::basic(
+            t0 + 300,
+            Venue::Subreddit("The_Donald".into()),
+            UrlId(url),
+            domain,
+        ));
+    }
+
+    fn mk_dataset(with_gaps: bool) -> Dataset {
+        let domains = DomainTable::standard();
+        let bb = domains.id_by_name("breitbart.com").unwrap();
+        let nyt = domains.id_by_name("nytimes.com").unwrap();
+        let mut events = Vec::new();
+        let base = ymd_to_unix(2016, 8, 1);
+        // Three eligible URLs away from gaps.
+        for u in 0..3 {
+            eligible_url(&mut events, u, base + u as i64 * 86_400, bb);
+        }
+        // One eligible mainstream URL.
+        eligible_url(&mut events, 3, base + 10 * 86_400, nyt);
+        // One ineligible URL (Twitter only).
+        events.push(NewsEvent::basic(base, Venue::Twitter, UrlId(4), bb));
+        // Two gap-overlapping URLs with different durations.
+        let gap_day = ymd_to_unix(2016, 12, 20);
+        eligible_url(&mut events, 5, gap_day, bb); // short duration (300 s)
+        eligible_url(&mut events, 6, gap_day, bb);
+        events.push(NewsEvent::basic(
+            gap_day + 40 * 86_400,
+            Venue::Twitter,
+            UrlId(6),
+            bb,
+        )); // long duration
+        let mut gaps = std::collections::BTreeMap::new();
+        if with_gaps {
+            gaps.insert(Platform::Twitter, Gaps::paper(Platform::Twitter));
+        }
+        Dataset::new(domains, events, std::collections::BTreeMap::new(), gaps)
+    }
+
+    #[test]
+    fn eligibility_requires_all_three_groups() {
+        let d = mk_dataset(false);
+        let tls = d.timelines();
+        let (prepared, summary) = prepare_urls(&d, &tls, &SelectionConfig::default());
+        // URLs 0,1,2,3,5,6 eligible; 4 not.
+        assert_eq!(summary.eligible, 6);
+        assert!(prepared.iter().all(|p| p.url != UrlId(4)));
+        // No gaps configured → nothing dropped.
+        assert_eq!(summary.dropped, 0);
+        assert_eq!(summary.selected, 6);
+    }
+
+    #[test]
+    fn gap_mitigation_drops_shortest_overlapping() {
+        let d = mk_dataset(true);
+        let tls = d.timelines();
+        let config = SelectionConfig {
+            gap_drop_fraction: 0.5, // drop 1 of the 2 overlapping
+            ..SelectionConfig::default()
+        };
+        let (prepared, summary) = prepare_urls(&d, &tls, &config);
+        assert_eq!(summary.gap_overlapping, 2);
+        assert_eq!(summary.dropped, 1);
+        // The short one (URL 5) goes; the long one (URL 6) stays.
+        assert!(prepared.iter().all(|p| p.url != UrlId(5)));
+        assert!(prepared.iter().any(|p| p.url == UrlId(6)));
+    }
+
+    #[test]
+    fn binning_is_per_minute_relative_to_first_event() {
+        let d = mk_dataset(false);
+        let tls = d.timelines();
+        let (prepared, _) = prepare_urls(&d, &tls, &SelectionConfig::default());
+        let p = prepared.iter().find(|p| p.url == UrlId(0)).unwrap();
+        assert_eq!(p.events.n_processes(), 8);
+        // Events at +0 s, +120 s, +300 s → bins 0, 2, 5.
+        let bins: Vec<u32> = p.events.events().iter().map(|e| e.t).collect();
+        assert_eq!(bins, vec![0, 2, 5]);
+        assert_eq!(p.events.n_bins(), 6);
+        assert_eq!(p.duration, 300);
+        // Communities: Twitter(7), pol(6), The_Donald(0).
+        assert_eq!(p.events_per_community[7], 1);
+        assert_eq!(p.events_per_community[6], 1);
+        assert_eq!(p.events_per_community[0], 1);
+        assert_eq!(p.events_per_community.iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn categories_partition_prepared_urls() {
+        let d = mk_dataset(false);
+        let tls = d.timelines();
+        let (prepared, _) = prepare_urls(&d, &tls, &SelectionConfig::default());
+        let alt = prepared
+            .iter()
+            .filter(|p| p.category == NewsCategory::Alternative)
+            .count();
+        let main = prepared
+            .iter()
+            .filter(|p| p.category == NewsCategory::Mainstream)
+            .count();
+        assert_eq!(alt, 5);
+        assert_eq!(main, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "gap_drop_fraction")]
+    fn rejects_bad_drop_fraction() {
+        let d = mk_dataset(false);
+        let tls = d.timelines();
+        prepare_urls(
+            &d,
+            &tls,
+            &SelectionConfig {
+                gap_drop_fraction: 1.0,
+                ..SelectionConfig::default()
+            },
+        );
+    }
+}

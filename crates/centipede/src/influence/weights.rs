@@ -1,0 +1,385 @@
+//! Figure 10 and Table 11: aggregated weight matrices with
+//! significance.
+
+use serde::{Deserialize, Serialize};
+
+use centipede_dataset::domains::NewsCategory;
+use centipede_dataset::platform::Community;
+use centipede_hawkes::matrix::Matrix;
+use centipede_stats::ks::ks_two_sample;
+
+use crate::report::TextTable;
+
+use super::fit::UrlFit;
+
+/// One cell of the Figure 10 comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CellComparison {
+    /// Mean weight over alternative URLs.
+    pub alt: f64,
+    /// Mean weight over mainstream URLs.
+    pub main: f64,
+    /// Percentage increase of alternative over mainstream.
+    pub pct_diff: f64,
+    /// Two-sample KS p-value between the per-URL weight distributions.
+    pub p_value: f64,
+}
+
+impl CellComparison {
+    /// Significance stars (`**` p<0.01, `*` p<0.05, empty otherwise).
+    pub fn stars(&self) -> &'static str {
+        if self.p_value < 0.01 {
+            "**"
+        } else if self.p_value < 0.05 {
+            "*"
+        } else {
+            ""
+        }
+    }
+}
+
+/// The full Figure 10 comparison grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WeightComparison {
+    /// `cells[src][dst]` in [`Community::ALL`] order.
+    pub cells: Vec<Vec<CellComparison>>,
+    /// Number of alternative URL fits.
+    pub n_alt: usize,
+    /// Number of mainstream URL fits.
+    pub n_main: usize,
+}
+
+impl WeightComparison {
+    /// The mean weight matrix for one category.
+    pub fn mean_matrix(&self, category: NewsCategory) -> Matrix {
+        let mut m = Matrix::zeros(8);
+        for (src, row) in self.cells.iter().enumerate() {
+            for (dst, cell) in row.iter().enumerate() {
+                m.set(
+                    src,
+                    dst,
+                    match category {
+                        NewsCategory::Alternative => cell.alt,
+                        NewsCategory::Mainstream => cell.main,
+                    },
+                );
+            }
+        }
+        m
+    }
+
+    /// Render the Figure 10 grid as text.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(
+            &format!(
+                "Figure 10: mean Hawkes weights (A=alt over {} URLs, M=main over {} URLs)",
+                self.n_alt, self.n_main
+            ),
+            &[
+                "src \\ dst",
+                "The_Donald",
+                "worldnews",
+                "politics",
+                "news",
+                "conspiracy",
+                "AskReddit",
+                "/pol/",
+                "Twitter",
+            ],
+        );
+        for (src, row) in self.cells.iter().enumerate() {
+            let mut cells = vec![Community::from_index(src).name().to_string()];
+            for cell in row {
+                cells.push(format!(
+                    "A:{:.4} M:{:.4} {:+.1}%{}",
+                    cell.alt,
+                    cell.main,
+                    cell.pct_diff,
+                    cell.stars()
+                ));
+            }
+            t.row(&cells);
+        }
+        t.render()
+    }
+}
+
+/// Compute the Figure 10 comparison from per-URL fits.
+pub fn weight_comparison(fits: &[UrlFit]) -> WeightComparison {
+    let alt: Vec<&UrlFit> = fits
+        .iter()
+        .filter(|f| f.category == NewsCategory::Alternative)
+        .collect();
+    let main: Vec<&UrlFit> = fits
+        .iter()
+        .filter(|f| f.category == NewsCategory::Mainstream)
+        .collect();
+    let mut cells = Vec::with_capacity(8);
+    for src in 0..8 {
+        let mut row = Vec::with_capacity(8);
+        for dst in 0..8 {
+            let alt_w: Vec<f64> = alt.iter().map(|f| f.weights.get(src, dst)).collect();
+            let main_w: Vec<f64> = main.iter().map(|f| f.weights.get(src, dst)).collect();
+            let mean = |xs: &[f64]| {
+                if xs.is_empty() {
+                    0.0
+                } else {
+                    xs.iter().sum::<f64>() / xs.len() as f64
+                }
+            };
+            let (ma, mm) = (mean(&alt_w), mean(&main_w));
+            let pct_diff = if mm > 0.0 {
+                (ma - mm) / mm * 100.0
+            } else {
+                0.0
+            };
+            let p_value = if alt_w.len() >= 2 && main_w.len() >= 2 {
+                ks_two_sample(&alt_w, &main_w).p_value
+            } else {
+                1.0
+            };
+            row.push(CellComparison {
+                alt: ma,
+                main: mm,
+                pct_diff,
+                p_value,
+            });
+        }
+        cells.push(row);
+    }
+    WeightComparison {
+        cells,
+        n_alt: alt.len(),
+        n_main: main.len(),
+    }
+}
+
+/// Bootstrap confidence interval for one Figure 10 cell: the mean of
+/// the per-URL fitted weights `W[src,dst]` over URLs of one category,
+/// resampled with replacement.
+///
+/// Complements the KS stars: the stars test whether the alt and main
+/// weight *distributions* differ; the CI quantifies how well the mean
+/// itself is pinned down by the available URLs.
+///
+/// Returns `None` if no fits of the category exist.
+pub fn bootstrap_cell_ci<R: rand::Rng + ?Sized>(
+    fits: &[UrlFit],
+    category: NewsCategory,
+    src: usize,
+    dst: usize,
+    n_resamples: usize,
+    level: f64,
+    rng: &mut R,
+) -> Option<centipede_stats::bootstrap::BootstrapCi> {
+    let weights: Vec<f64> = fits
+        .iter()
+        .filter(|f| f.category == category)
+        .map(|f| f.weights.get(src, dst))
+        .collect();
+    if weights.is_empty() {
+        return None;
+    }
+    Some(centipede_stats::bootstrap::bootstrap_mean_ci(
+        &weights,
+        n_resamples,
+        level,
+        rng,
+    ))
+}
+
+/// Table 11: URL/event counts and mean background rates per community.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table11 {
+    /// URLs with ≥1 event on each community, per category
+    /// (`[alt, main]` × 8 communities).
+    pub urls: [[u64; 8]; 2],
+    /// Total events per community, per category.
+    pub events: [[u64; 8]; 2],
+    /// Mean fitted λ0 per community, per category.
+    pub mean_lambda0: [[f64; 8]; 2],
+}
+
+impl Table11 {
+    /// Compute from per-URL fits.
+    pub fn from_fits(fits: &[UrlFit]) -> Self {
+        let mut urls = [[0u64; 8]; 2];
+        let mut events = [[0u64; 8]; 2];
+        let mut sum_l0 = [[0.0f64; 8]; 2];
+        let mut n = [0u64; 2];
+        for f in fits {
+            let c = match f.category {
+                NewsCategory::Alternative => 0,
+                NewsCategory::Mainstream => 1,
+            };
+            n[c] += 1;
+            for k in 0..8 {
+                if f.events_per_community[k] > 0 {
+                    urls[c][k] += 1;
+                }
+                events[c][k] += f.events_per_community[k];
+                sum_l0[c][k] += f.lambda0[k];
+            }
+        }
+        let mut mean_lambda0 = [[0.0; 8]; 2];
+        for c in 0..2 {
+            for k in 0..8 {
+                mean_lambda0[c][k] = if n[c] > 0 {
+                    sum_l0[c][k] / n[c] as f64
+                } else {
+                    0.0
+                };
+            }
+        }
+        Table11 {
+            urls,
+            events,
+            mean_lambda0,
+        }
+    }
+
+    /// Render as text.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(
+            "Table 11: selected URLs, events, and mean background rates",
+            &[
+                "", "The_Donald", "worldnews", "politics", "news", "conspiracy", "AskReddit",
+                "/pol/", "Twitter",
+            ],
+        );
+        let labels = [
+            ("URLs Alt.", 0usize),
+            ("URLs Main.", 1),
+            ("Events Alt.", 0),
+            ("Events Main.", 1),
+            ("Mean λ0 Alt.", 0),
+            ("Mean λ0 Main.", 1),
+        ];
+        for (i, (label, c)) in labels.iter().enumerate() {
+            let mut row = vec![label.to_string()];
+            for k in 0..8 {
+                row.push(match i {
+                    0 | 1 => format!("{}", self.urls[*c][k]),
+                    2 | 3 => format!("{}", self.events[*c][k]),
+                    _ => format!("{:.6}", self.mean_lambda0[*c][k]),
+                });
+            }
+            t.row(&row);
+        }
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use centipede_dataset::event::UrlId;
+
+    fn fit(url: u32, category: NewsCategory, w: f64, events7: u64) -> UrlFit {
+        let mut events_per_community = [0u64; 8];
+        events_per_community[7] = events7;
+        events_per_community[0] = 1;
+        events_per_community[6] = 1;
+        UrlFit {
+            url: UrlId(url),
+            category,
+            weights: Matrix::constant(8, w),
+            lambda0: [w / 100.0; 8],
+            events_per_community,
+            n_bins: 100,
+        }
+    }
+
+    fn mixed_fits() -> Vec<UrlFit> {
+        let mut fits = Vec::new();
+        // Alternative fits with weights around 0.2.
+        for i in 0..20 {
+            fits.push(fit(i, NewsCategory::Alternative, 0.2 + 0.001 * i as f64, 3));
+        }
+        // Mainstream fits with weights around 0.1.
+        for i in 0..20 {
+            fits.push(fit(
+                100 + i,
+                NewsCategory::Mainstream,
+                0.1 + 0.001 * i as f64,
+                5,
+            ));
+        }
+        fits
+    }
+
+    #[test]
+    fn comparison_means_and_significance() {
+        let fits = mixed_fits();
+        let cmp = weight_comparison(&fits);
+        assert_eq!(cmp.n_alt, 20);
+        assert_eq!(cmp.n_main, 20);
+        let cell = cmp.cells[7][7];
+        assert!((cell.alt - 0.2095).abs() < 1e-9);
+        assert!((cell.main - 0.1095).abs() < 1e-9);
+        assert!(cell.pct_diff > 80.0);
+        // Disjoint distributions → tiny p-value, ** stars.
+        assert!(cell.p_value < 0.01);
+        assert_eq!(cell.stars(), "**");
+        let m = cmp.mean_matrix(NewsCategory::Alternative);
+        assert!((m.get(0, 0) - 0.2095).abs() < 1e-9);
+        assert!(cmp.render().contains("Figure 10"));
+    }
+
+    #[test]
+    fn comparison_with_single_category_has_p_one() {
+        let fits: Vec<UrlFit> = (0..5)
+            .map(|i| fit(i, NewsCategory::Alternative, 0.1, 1))
+            .collect();
+        let cmp = weight_comparison(&fits);
+        assert_eq!(cmp.n_main, 0);
+        assert_eq!(cmp.cells[0][0].p_value, 1.0);
+        assert_eq!(cmp.cells[0][0].main, 0.0);
+    }
+
+    #[test]
+    fn table11_accounting() {
+        let fits = mixed_fits();
+        let t11 = Table11::from_fits(&fits);
+        // Every fit has events on communities 0, 6, 7.
+        assert_eq!(t11.urls[0][7], 20);
+        assert_eq!(t11.urls[0][1], 0);
+        assert_eq!(t11.events[0][7], 60); // 20 × 3
+        assert_eq!(t11.events[1][7], 100); // 20 × 5
+        assert!((t11.mean_lambda0[0][0] - 0.002095).abs() < 1e-9);
+        assert!(t11.render().contains("Table 11"));
+    }
+
+    #[test]
+    fn bootstrap_ci_brackets_cell_mean() {
+        use rand::SeedableRng;
+        let fits = mixed_fits();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let ci = bootstrap_cell_ci(
+            &fits,
+            NewsCategory::Alternative,
+            7,
+            7,
+            1_000,
+            0.95,
+            &mut rng,
+        )
+        .expect("alt fits exist");
+        // True mean of the alt weights is 0.2095 (see mixed_fits).
+        assert!((ci.estimate - 0.2095).abs() < 1e-9);
+        assert!(ci.contains(0.2095));
+        assert!(ci.width() < 0.02, "CI too wide: {}", ci.width());
+        // No fits of a category → None.
+        let none = bootstrap_cell_ci(&[], NewsCategory::Mainstream, 0, 0, 10, 0.9, &mut rng);
+        assert!(none.is_none());
+    }
+
+    #[test]
+    fn empty_fits_are_safe() {
+        let cmp = weight_comparison(&[]);
+        assert_eq!(cmp.n_alt, 0);
+        assert_eq!(cmp.cells[3][4].alt, 0.0);
+        let t11 = Table11::from_fits(&[]);
+        assert_eq!(t11.mean_lambda0[0][0], 0.0);
+    }
+}

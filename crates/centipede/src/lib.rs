@@ -1,0 +1,54 @@
+//! The Web Centipede measurement pipeline.
+//!
+//! This crate is the reproduction's core library: given an observed
+//! cross-platform dataset (from `centipede-platform-sim`, or any source
+//! that can produce `centipede-dataset` records), it computes every
+//! analysis in Zannettou et al., *The Web Centipede* (IMC 2017):
+//!
+//! * [`characterization`] — §3: platform totals (Table 1), dataset
+//!   overview (Table 2), tweet re-crawl statistics (Table 3), top
+//!   subreddits (Table 4), top domains per platform (Tables 5–7),
+//!   domain platform fractions (Figure 2), per-user alternative-news
+//!   fractions (Figure 3).
+//! * [`temporal`] — §4.1: URL appearance CDFs (Figure 1), normalised
+//!   daily occurrence series (Figure 4), repost lags (Figure 5),
+//!   inter-arrival times with pairwise KS tests (Figure 6).
+//! * [`crossplatform`] — §4.2: cross-platform first-occurrence lags
+//!   (Figure 7, Table 8), appearance sequences (Tables 9–10), and the
+//!   domain source graph (Figure 8).
+//! * [`influence`] — §5: per-URL discrete-time Hawkes fitting (Gibbs),
+//!   URL selection with the gap-mitigation rule, mean weight matrices
+//!   with KS significance (Figure 10, Table 11) and impact percentages
+//!   (Figure 11).
+//! * [`validation`] — ground-truth recovery scoring and mechanical
+//!   checks of the paper's §5.3 claims (unique to this reproduction:
+//!   the generating parameters are known).
+//! * [`report`] — plain-text table / series rendering shared by the
+//!   `repro` binary and EXPERIMENTS.md.
+//! * [`export`] — JSON and Graphviz DOT exports for external plotting.
+//! * [`pipeline`] — one-call orchestration of the full analysis.
+//!
+//! # Quick start
+//!
+//! ```no_run
+//! use centipede::pipeline::{run_all, PipelineConfig};
+//! use centipede_platform_sim::{ecosystem, SimConfig};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let world = ecosystem::generate(&SimConfig::small(), &mut rng);
+//! let report = run_all(&world.dataset, &PipelineConfig::default(), &mut rng);
+//! println!("{}", report.render());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod characterization;
+pub mod export;
+pub mod crossplatform;
+pub mod influence;
+pub mod pipeline;
+pub mod report;
+pub mod temporal;
+pub mod validation;

@@ -1,0 +1,476 @@
+//! One-call orchestration of the full measurement pipeline.
+
+use std::collections::BTreeMap;
+
+use rand::Rng;
+
+use centipede_dataset::dataset::Dataset;
+use centipede_dataset::domains::NewsCategory;
+use centipede_dataset::platform::AnalysisGroup;
+
+use crate::characterization::{
+    dataset_overview, platform_totals, render_table1, render_table2, render_table3,
+    render_table4, render_top_domains, top_domains, top_subreddits, tweet_stats,
+    user_alt_fraction, OverviewRow, PlatformTotalsRow, TweetStatsRow, UserAltFractions,
+};
+use crate::crossplatform::{
+    first_hop_sequences, pair_lags, source_graph, triplet_sequences, FirstHop, PairLagResult,
+    SourceEdge,
+};
+use crate::influence::{
+    fit_urls, impact_matrix, prepare_urls, weight_comparison, FitConfig, ImpactMatrix,
+    SelectionConfig, SelectionSummary, Table11, WeightComparison,
+};
+use crate::report::{count_pct, render_series, TextTable};
+use crate::temporal::{
+    appearance_cdf, daily_occurrence, interarrival, repost_lags, DailySeries,
+    InterarrivalResult,
+};
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PipelineConfig {
+    /// URL selection for the influence stage.
+    pub selection: SelectionConfig,
+    /// Hawkes fitting configuration.
+    pub fit: FitConfig,
+    /// Skip the (comparatively expensive) influence stage.
+    pub skip_influence: bool,
+}
+
+/// Everything the paper's evaluation section reports, computed over
+/// one dataset.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct AnalysisReport {
+    /// Table 1.
+    pub table1: Vec<PlatformTotalsRow>,
+    /// Table 2.
+    pub table2: Vec<OverviewRow>,
+    /// Table 3.
+    pub table3: Vec<TweetStatsRow>,
+    /// Table 4 (top 20).
+    pub table4: BTreeMap<NewsCategory, Vec<(String, f64)>>,
+    /// Tables 5/6/7: top domains per analysis group.
+    pub top_domains: BTreeMap<AnalysisGroup, BTreeMap<NewsCategory, Vec<(String, f64)>>>,
+    /// Figure 2 rows per category.
+    pub fig2: BTreeMap<NewsCategory, Vec<(String, [f64; 3])>>,
+    /// Figure 3.
+    pub fig3: UserAltFractions,
+    /// Figure 1 appearance CDF summaries (group, category, max count,
+    /// share appearing once).
+    pub fig1: Vec<(AnalysisGroup, NewsCategory, f64, f64)>,
+    /// Figure 4 series.
+    pub fig4: Vec<DailySeries>,
+    /// Figure 5: repost-lag ECDF quantiles (group, category, median
+    /// hours, p90 hours).
+    pub fig5: Vec<(AnalysisGroup, NewsCategory, f64, f64)>,
+    /// Figure 6 (common URLs) per category.
+    pub fig6_common: BTreeMap<NewsCategory, InterarrivalResult>,
+    /// Figure 6 (all URLs) per category.
+    pub fig6_all: BTreeMap<NewsCategory, InterarrivalResult>,
+    /// Figure 7 + Table 8 lag comparisons.
+    pub pair_lags: Vec<PairLagResult>,
+    /// Table 9.
+    pub table9: BTreeMap<NewsCategory, BTreeMap<FirstHop, u64>>,
+    /// Table 10.
+    pub table10: BTreeMap<NewsCategory, BTreeMap<String, u64>>,
+    /// Figure 8 edges per category.
+    pub fig8: BTreeMap<NewsCategory, Vec<SourceEdge>>,
+    /// Influence-stage URL selection accounting.
+    pub selection: SelectionSummary,
+    /// Table 11 (empty-zero if influence was skipped).
+    pub table11: Table11,
+    /// Figure 10 (None if influence was skipped).
+    pub fig10: Option<WeightComparison>,
+    /// Figure 11 (None if influence was skipped).
+    pub fig11: Option<ImpactMatrix>,
+}
+
+/// Run the complete analysis over a dataset.
+pub fn run_all<R: Rng + ?Sized>(
+    dataset: &Dataset,
+    config: &PipelineConfig,
+    _rng: &mut R,
+) -> AnalysisReport {
+    let timelines = dataset.timelines();
+
+    // §3 characterization.
+    let table1 = platform_totals(dataset);
+    let table2 = dataset_overview(dataset);
+    let table3 = tweet_stats(dataset);
+    let table4 = top_subreddits(dataset, 20);
+    let mut top = BTreeMap::new();
+    for group in AnalysisGroup::ALL {
+        top.insert(group, top_domains(dataset, group, 20));
+    }
+    let mut fig2 = BTreeMap::new();
+    for cat in NewsCategory::ALL {
+        fig2.insert(cat, crate::characterization::domain_platform_fractions(dataset, cat, 20));
+    }
+    let fig3 = user_alt_fraction(dataset);
+
+    // §4 temporal.
+    let mut fig1 = Vec::new();
+    for cat in NewsCategory::ALL {
+        for (group, ecdf) in appearance_cdf(&timelines, cat) {
+            fig1.push((group, cat, ecdf.max(), ecdf.eval(1.0)));
+        }
+    }
+    let fig4 = daily_occurrence(dataset);
+    let mut fig5 = Vec::new();
+    for cat in NewsCategory::ALL {
+        for (group, ecdf) in repost_lags(&timelines, cat) {
+            fig5.push((group, cat, ecdf.quantile(0.5), ecdf.quantile(0.9)));
+        }
+    }
+    let mut fig6_common = BTreeMap::new();
+    let mut fig6_all = BTreeMap::new();
+    for cat in NewsCategory::ALL {
+        fig6_common.insert(cat, interarrival(&timelines, cat, true));
+        fig6_all.insert(cat, interarrival(&timelines, cat, false));
+    }
+
+    // §4.2 cross-platform.
+    let mut lags = Vec::new();
+    let mut table9 = BTreeMap::new();
+    let mut table10 = BTreeMap::new();
+    let mut fig8 = BTreeMap::new();
+    for cat in NewsCategory::ALL {
+        lags.extend(pair_lags(&timelines, cat));
+        table9.insert(cat, first_hop_sequences(&timelines, cat));
+        table10.insert(cat, triplet_sequences(&timelines, cat));
+        fig8.insert(cat, source_graph(&timelines, &dataset.domains, cat));
+    }
+
+    // §5 influence.
+    let (selection, table11, fig10, fig11) = if config.skip_influence {
+        (
+            SelectionSummary::default(),
+            Table11::from_fits(&[]),
+            None,
+            None,
+        )
+    } else {
+        let (prepared, summary) = prepare_urls(dataset, &timelines, &config.selection);
+        let fits = fit_urls(&prepared, &config.fit);
+        let t11 = Table11::from_fits(&fits);
+        let cmp = weight_comparison(&fits);
+        let imp = impact_matrix(&fits);
+        (summary, t11, Some(cmp), Some(imp))
+    };
+
+    AnalysisReport {
+        table1,
+        table2,
+        table3,
+        table4,
+        top_domains: top,
+        fig2,
+        fig3,
+        fig1,
+        fig4,
+        fig5,
+        fig6_common,
+        fig6_all,
+        pair_lags: lags,
+        table9,
+        table10,
+        fig8,
+        selection,
+        table11,
+        fig10,
+        fig11,
+    }
+}
+
+impl AnalysisReport {
+    /// Render the full report as plain text (the `repro` binary's
+    /// output and the source of EXPERIMENTS.md numbers).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&render_table1(&self.table1));
+        out.push('\n');
+        out.push_str(&render_table2(&self.table2));
+        out.push('\n');
+        out.push_str(&render_table3(&self.table3));
+        out.push('\n');
+        out.push_str(&render_table4(&self.table4));
+        out.push('\n');
+        for (no, group) in [
+            (5u8, AnalysisGroup::SixSubreddits),
+            (6, AnalysisGroup::Twitter),
+            (7, AnalysisGroup::Pol),
+        ] {
+            out.push_str(&render_top_domains(no, group, &self.top_domains[&group]));
+            out.push('\n');
+        }
+
+        // Figure 1 summary.
+        let mut t = TextTable::new(
+            "Figure 1: URL appearance counts per platform",
+            &["Group", "Category", "Max count", "Share appearing once"],
+        );
+        for (group, cat, max, once) in &self.fig1 {
+            t.row(&[
+                group.name().to_string(),
+                cat.short().to_string(),
+                format!("{max:.0}"),
+                format!("{:.1}%", once * 100.0),
+            ]);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+
+        // Figure 2.
+        for cat in NewsCategory::ALL {
+            let mut t = TextTable::new(
+                &format!("Figure 2: platform fractions of top {} domains", cat.name()),
+                &["Domain", "6 subreddits", "/pol/", "Twitter"],
+            );
+            for (name, f) in &self.fig2[&cat] {
+                t.row(&[
+                    name.clone(),
+                    format!("{:.2}", f[0]),
+                    format!("{:.2}", f[1]),
+                    format!("{:.2}", f[2]),
+                ]);
+            }
+            out.push_str(&t.render());
+            out.push('\n');
+        }
+
+        // Figure 3.
+        for (label, ecdfs) in [
+            ("all users", &self.fig3.all_users),
+            ("mixed users", &self.fig3.mixed_users),
+        ] {
+            for (group, ecdf) in ecdfs {
+                out.push_str(&format!(
+                    "Figure 3 ({label}, {}): n={} mainstream-only={:.1}% alt-only={:.1}%\n",
+                    group.name(),
+                    ecdf.len(),
+                    ecdf.eval(0.0) * 100.0,
+                    (1.0 - ecdf.eval(1.0 - 1e-9)) * 100.0,
+                ));
+            }
+        }
+        out.push('\n');
+
+        // Figure 4 (headline statistics only — full series via repro).
+        for s in &self.fig4 {
+            let peak_alt = s
+                .alternative
+                .iter()
+                .flatten()
+                .cloned()
+                .fold(0.0f64, f64::max);
+            out.push_str(&format!(
+                "Figure 4 ({}): peak normalised alt occurrence {:.2}\n",
+                s.series.name(),
+                peak_alt
+            ));
+        }
+        out.push('\n');
+
+        // Figure 5.
+        let mut t = TextTable::new(
+            "Figure 5: repost lag after first intra-platform post (hours)",
+            &["Group", "Category", "Median", "p90"],
+        );
+        for (group, cat, med, p90) in &self.fig5 {
+            t.row(&[
+                group.name().to_string(),
+                cat.short().to_string(),
+                format!("{med:.2}"),
+                format!("{p90:.1}"),
+            ]);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+
+        // Figure 6 KS results.
+        for (label, map) in [("common URLs", &self.fig6_common), ("all URLs", &self.fig6_all)] {
+            for (cat, res) in map.iter() {
+                for (a, b, ks) in &res.ks {
+                    out.push_str(&format!(
+                        "Figure 6 ({label}, {}): KS {} vs {}: D={:.3} p={:.2e}{}\n",
+                        cat.short(),
+                        a.name(),
+                        b.name(),
+                        ks.statistic,
+                        ks.p_value,
+                        ks.stars()
+                    ));
+                }
+            }
+        }
+        out.push('\n');
+
+        // Figure 7 / Table 8.
+        let mut t = TextTable::new(
+            "Table 8: which platform sees common URLs first",
+            &[
+                "Comparison",
+                "Category",
+                "#URLs p1 faster",
+                "#URLs p2 faster",
+                "p1-faster share",
+                "cross point",
+            ],
+        );
+        for r in &self.pair_lags {
+            t.row(&[
+                format!("{} vs {}", r.pair.0.name(), r.pair.1.name()),
+                r.category.short().to_string(),
+                format!("{}", r.a_faster),
+                format!("{}", r.b_faster),
+                format!("{:.0}%", r.fraction_a_faster() * 100.0),
+                match r.cross_point_seconds() {
+                    Some(s) => format!("{:.1} h", s / 3600.0),
+                    None => "—".to_string(),
+                },
+            ]);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+
+        // Table 9.
+        for cat in NewsCategory::ALL {
+            let seqs = &self.table9[&cat];
+            let total: u64 = seqs.values().sum();
+            let mut t = TextTable::new(
+                &format!("Table 9 ({}): first-hop sequences", cat.name()),
+                &["Sequence", "URLs (%)"],
+            );
+            for (seq, n) in seqs {
+                t.row(&[format!("{seq}"), count_pct(*n, total)]);
+            }
+            out.push_str(&t.render());
+            out.push('\n');
+        }
+
+        // Table 10.
+        for cat in NewsCategory::ALL {
+            let seqs = &self.table10[&cat];
+            let total: u64 = seqs.values().sum();
+            let mut t = TextTable::new(
+                &format!("Table 10 ({}): triplet sequences", cat.name()),
+                &["Sequence", "URLs (%)"],
+            );
+            for (seq, n) in seqs {
+                t.row(&[seq.clone(), count_pct(*n, total)]);
+            }
+            out.push_str(&t.render());
+            out.push('\n');
+        }
+
+        // Figure 8 (top edges).
+        for cat in NewsCategory::ALL {
+            let mut edges = self.fig8[&cat].clone();
+            edges.sort_by_key(|e| std::cmp::Reverse(e.weight));
+            out.push_str(&format!("Figure 8 ({}): top source edges\n", cat.name()));
+            for e in edges.iter().take(12) {
+                out.push_str(&format!("  {} → {} ({})\n", e.from, e.to, e.weight));
+            }
+        }
+        out.push('\n');
+
+        // Influence.
+        out.push_str(&format!(
+            "Influence selection: {} eligible, {} gap-overlapping, {} dropped, {} fitted\n\n",
+            self.selection.eligible,
+            self.selection.gap_overlapping,
+            self.selection.dropped,
+            self.selection.selected
+        ));
+        out.push_str(&self.table11.render());
+        out.push('\n');
+        if let Some(cmp) = &self.fig10 {
+            out.push_str(&cmp.render());
+            out.push('\n');
+        }
+        if let Some(imp) = &self.fig11 {
+            out.push_str(&imp.render());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render one Figure 4 series as `(day index, value)` points.
+    pub fn render_fig4_series(&self, series_index: usize) -> String {
+        let s = &self.fig4[series_index];
+        let pts: Vec<(f64, f64)> = s
+            .alternative
+            .iter()
+            .enumerate()
+            .filter_map(|(d, v)| v.map(|v| (d as f64, v)))
+            .collect();
+        render_series(&format!("fig4-alt {}", s.series.name()), &pts, 40)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use centipede_platform_sim::{ecosystem, SimConfig};
+    use rand::SeedableRng;
+
+    fn tiny_world() -> centipede_platform_sim::GeneratedWorld {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        let mut config = SimConfig::small();
+        config.scale = 0.05;
+        ecosystem::generate(&config, &mut rng)
+    }
+
+    #[test]
+    fn pipeline_runs_end_to_end_without_influence() {
+        let world = tiny_world();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let config = PipelineConfig {
+            skip_influence: true,
+            ..PipelineConfig::default()
+        };
+        let report = run_all(&world.dataset, &config, &mut rng);
+        assert_eq!(report.table1.len(), 3);
+        assert_eq!(report.table2.len(), 5);
+        assert_eq!(report.table3.len(), 2);
+        assert!(!report.fig1.is_empty());
+        assert_eq!(report.fig4.len(), 5);
+        assert!(report.fig10.is_none());
+        let text = report.render();
+        assert!(text.contains("Table 1"));
+        assert!(text.contains("Table 9"));
+        assert!(text.contains("Figure 10") == false);
+    }
+
+    #[test]
+    fn pipeline_with_influence_on_tiny_world() {
+        let world = tiny_world();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut config = PipelineConfig::default();
+        config.fit.n_samples = 20;
+        config.fit.burn_in = 10;
+        config.fit.threads = Some(2);
+        let report = run_all(&world.dataset, &config, &mut rng);
+        assert!(report.selection.selected > 0, "no URLs selected");
+        let fig10 = report.fig10.as_ref().expect("fig10 computed");
+        assert_eq!(fig10.n_alt + fig10.n_main, report.selection.selected);
+        let text = report.render();
+        assert!(text.contains("Figure 10"));
+        assert!(text.contains("Figure 11"));
+        assert!(text.contains("Table 11"));
+    }
+
+    #[test]
+    fn fig4_series_rendering() {
+        let world = tiny_world();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let config = PipelineConfig {
+            skip_influence: true,
+            ..PipelineConfig::default()
+        };
+        let report = run_all(&world.dataset, &config, &mut rng);
+        let s = report.render_fig4_series(4); // Twitter
+        assert!(s.starts_with("fig4-alt Twitter"));
+    }
+}

@@ -1,0 +1,175 @@
+//! Plain-text rendering of tables and figure series.
+//!
+//! Every analysis in this crate returns structured data; this module
+//! turns that data into the aligned-text tables and `x  y` series the
+//! `repro` binary prints and EXPERIMENTS.md records.
+
+/// A simple aligned-column text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Start a table with a title and column headers.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        TextTable {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header length).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "TextTable: row width {} != header width {}",
+            cells.len(),
+            self.header.len()
+        );
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let n_cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, (cell, w)) in cells.iter().zip(widths).enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(cell);
+                for _ in cell.chars().count()..*w {
+                    line.push(' ');
+                }
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let total_width: usize = widths.iter().sum::<usize>() + 2 * (n_cols - 1);
+        out.push_str(&"-".repeat(total_width));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Render an `(x, y)` series compactly (for figure reproduction):
+/// `label: (x1, y1) (x2, y2) …`, subsampled to at most `max_points`.
+pub fn render_series(label: &str, points: &[(f64, f64)], max_points: usize) -> String {
+    assert!(max_points >= 2, "render_series: need at least 2 points");
+    let mut out = format!("{label}:");
+    if points.is_empty() {
+        out.push_str(" (empty)");
+        return out;
+    }
+    let step = (points.len() as f64 / max_points as f64).ceil() as usize;
+    let step = step.max(1);
+    for (i, (x, y)) in points.iter().enumerate() {
+        if i % step == 0 || i == points.len() - 1 {
+            out.push_str(&format!(" ({x:.4}, {y:.4})"));
+        }
+    }
+    out
+}
+
+/// Format a count with a percentage of a total, like the paper's
+/// sequence tables: `1,118 (1.5%)`.
+pub fn count_pct(count: u64, total: u64) -> String {
+    if total == 0 {
+        return format!("{count} (—)");
+    }
+    format!("{} ({:.1}%)", group_digits(count), count as f64 / total as f64 * 100.0)
+}
+
+/// Thousands-separated integer formatting (`12,345`).
+pub fn group_digits(n: u64) -> String {
+    let s = n.to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Format a fraction as a percentage with the given precision.
+pub fn pct(fraction: f64, decimals: usize) -> String {
+    format!("{:.*}%", decimals, fraction * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new("Demo", &["name", "value"]);
+        t.row(&["a".into(), "1".into()]);
+        t.row(&["long-name".into(), "22".into()]);
+        let s = t.render();
+        assert!(s.contains("== Demo =="));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+        // Columns aligned: 'value' header starts at same offset in all rows.
+        let header_off = lines[1].find("value").unwrap();
+        let row2_off = lines[4].find("22").unwrap();
+        assert_eq!(header_off, row2_off);
+        assert_eq!(t.n_rows(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn table_rejects_ragged_rows() {
+        TextTable::new("x", &["a", "b"]).row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn series_subsamples() {
+        let pts: Vec<(f64, f64)> = (0..100).map(|i| (i as f64, i as f64 * 2.0)).collect();
+        let s = render_series("curve", &pts, 10);
+        let n_points = s.matches('(').count();
+        assert!(n_points <= 12, "too many points: {n_points}");
+        assert!(s.starts_with("curve:"));
+        assert!(s.contains("(99.0000, 198.0000)")); // final point kept
+    }
+
+    #[test]
+    fn series_empty() {
+        assert_eq!(render_series("c", &[], 5), "c: (empty)");
+    }
+
+    #[test]
+    fn count_pct_and_digits() {
+        assert_eq!(count_pct(1118, 72903), "1,118 (1.5%)");
+        assert_eq!(count_pct(5, 0), "5 (—)");
+        assert_eq!(group_digits(1234567), "1,234,567");
+        assert_eq!(group_digits(12), "12");
+        assert_eq!(pct(0.1234, 2), "12.34%");
+    }
+}

@@ -1,0 +1,428 @@
+//! §4.1 — Temporal dynamics within platforms (Figures 1, 4, 5, 6).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use centipede_dataset::dataset::{Dataset, UrlTimeline};
+use centipede_dataset::domains::NewsCategory;
+use centipede_dataset::event::UrlId;
+use centipede_dataset::platform::{AnalysisGroup, Platform, Venue};
+use centipede_dataset::time::{study_end, study_start};
+use centipede_stats::ecdf::Ecdf;
+use centipede_stats::ks::{ks_two_sample, KsResult};
+use centipede_stats::timeseries::{series_fraction, BucketSeries, SECONDS_PER_DAY};
+
+/// Figure 1: per analysis group, the ECDF of how many times each URL
+/// appears within the group.
+pub fn appearance_cdf(
+    timelines: &BTreeMap<UrlId, UrlTimeline>,
+    category: NewsCategory,
+) -> Vec<(AnalysisGroup, Ecdf)> {
+    let mut out = Vec::new();
+    for group in AnalysisGroup::ALL {
+        let counts: Vec<f64> = timelines
+            .values()
+            .filter(|tl| tl.category == category)
+            .map(|tl| tl.times_in_group(group).len() as f64)
+            .filter(|&c| c > 0.0)
+            .collect();
+        if !counts.is_empty() {
+            out.push((group, Ecdf::new(counts)));
+        }
+    }
+    out
+}
+
+/// The five series of Figure 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum OccurrenceSeries {
+    /// 4chan /pol/.
+    Pol,
+    /// 4chan's other boards.
+    OtherBoards,
+    /// The six selected subreddits.
+    SixSubreddits,
+    /// All other subreddits.
+    OtherSubreddits,
+    /// Twitter.
+    Twitter,
+}
+
+impl OccurrenceSeries {
+    /// All series in the paper's legend order.
+    pub const ALL: [OccurrenceSeries; 5] = [
+        OccurrenceSeries::Pol,
+        OccurrenceSeries::OtherBoards,
+        OccurrenceSeries::SixSubreddits,
+        OccurrenceSeries::OtherSubreddits,
+        OccurrenceSeries::Twitter,
+    ];
+
+    /// Legend label.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OccurrenceSeries::Pol => "4chan (/pol/)",
+            OccurrenceSeries::OtherBoards => "4chan (other boards)",
+            OccurrenceSeries::SixSubreddits => "Reddit (6 selected subreddits)",
+            OccurrenceSeries::OtherSubreddits => "Reddit (other subreddits)",
+            OccurrenceSeries::Twitter => "Twitter",
+        }
+    }
+
+    /// Which series a venue belongs to.
+    pub fn of(venue: &Venue) -> OccurrenceSeries {
+        match venue.analysis_group() {
+            Some(AnalysisGroup::Twitter) => OccurrenceSeries::Twitter,
+            Some(AnalysisGroup::SixSubreddits) => OccurrenceSeries::SixSubreddits,
+            Some(AnalysisGroup::Pol) => OccurrenceSeries::Pol,
+            None => match venue.platform() {
+                Platform::Reddit => OccurrenceSeries::OtherSubreddits,
+                _ => OccurrenceSeries::OtherBoards,
+            },
+        }
+    }
+
+    /// The platform whose crawler gaps mask this series.
+    pub fn platform(&self) -> Platform {
+        match self {
+            OccurrenceSeries::Twitter => Platform::Twitter,
+            OccurrenceSeries::SixSubreddits | OccurrenceSeries::OtherSubreddits => {
+                Platform::Reddit
+            }
+            _ => Platform::FourChan,
+        }
+    }
+}
+
+/// Figure 4 output for one series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DailySeries {
+    /// Which community.
+    pub series: OccurrenceSeries,
+    /// Normalised daily alternative occurrence (None on gap days).
+    pub alternative: Vec<Option<f64>>,
+    /// Normalised daily mainstream occurrence.
+    pub mainstream: Vec<Option<f64>>,
+    /// Daily alternative fraction of all news URLs (None when no news
+    /// URLs that day or on gap days).
+    pub alt_fraction: Vec<Option<f64>>,
+}
+
+/// Figure 4: normalised daily occurrence of news URLs per community,
+/// with crawler-gap days masked out of the normalisation.
+pub fn daily_occurrence(dataset: &Dataset) -> Vec<DailySeries> {
+    let start = study_start();
+    let end = study_end();
+    OccurrenceSeries::ALL
+        .into_iter()
+        .map(|series| {
+            let mut alt = BucketSeries::new(start, end, SECONDS_PER_DAY);
+            let mut main = BucketSeries::new(start, end, SECONDS_PER_DAY);
+            for e in &dataset.events {
+                if OccurrenceSeries::of(&e.venue) != series {
+                    continue;
+                }
+                match dataset.category_of(e) {
+                    NewsCategory::Alternative => {
+                        alt.add(e.timestamp);
+                    }
+                    NewsCategory::Mainstream => {
+                        main.add(e.timestamp);
+                    }
+                }
+            }
+            let mask = dataset.gaps_for(series.platform()).study_day_mask();
+            let frac_raw = series_fraction(&alt.counts, &main_plus(&alt, &main));
+            let alt_fraction = frac_raw
+                .iter()
+                .zip(&mask)
+                .map(|(f, &m)| if m { None } else { *f })
+                .collect();
+            DailySeries {
+                series,
+                alternative: alt.normalised(&mask),
+                mainstream: main.normalised(&mask),
+                alt_fraction,
+            }
+        })
+        .collect()
+}
+
+/// Element-wise total (alt + main) counts.
+fn main_plus(alt: &BucketSeries, main: &BucketSeries) -> Vec<u64> {
+    alt.counts
+        .iter()
+        .zip(&main.counts)
+        .map(|(&a, &m)| a + m)
+        .collect()
+}
+
+/// Figure 5: per analysis group, lags (in hours) from a URL's first
+/// appearance in the group to each subsequent appearance in the same
+/// group.
+pub fn repost_lags(
+    timelines: &BTreeMap<UrlId, UrlTimeline>,
+    category: NewsCategory,
+) -> Vec<(AnalysisGroup, Ecdf)> {
+    let mut out = Vec::new();
+    for group in AnalysisGroup::ALL {
+        let mut lags: Vec<f64> = Vec::new();
+        for tl in timelines.values().filter(|tl| tl.category == category) {
+            let times = tl.times_in_group(group);
+            if times.len() < 2 {
+                continue;
+            }
+            let first = times[0];
+            for &t in &times[1..] {
+                let hours = (t - first) as f64 / 3_600.0;
+                // Zero lags (same second) are clamped to the paper's
+                // smallest visible lag.
+                lags.push(hours.max(1e-2));
+            }
+        }
+        if !lags.is_empty() {
+            out.push((group, Ecdf::new(lags)));
+        }
+    }
+    out
+}
+
+/// Figure 6 output: per-group ECDFs of per-URL mean inter-arrival
+/// times (seconds), plus pairwise KS tests between groups.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InterarrivalResult {
+    /// `(group, ECDF of per-URL mean inter-arrival seconds)`.
+    pub ecdfs: Vec<(AnalysisGroup, Ecdf)>,
+    /// Pairwise KS tests `(group a, group b, result)`.
+    pub ks: Vec<(AnalysisGroup, AnalysisGroup, KsResult)>,
+}
+
+/// Figure 6: mean inter-arrival time of reposted URLs per group.
+///
+/// `common_only` restricts to URLs that appear in all three groups
+/// (the paper's Figures 6(a)/(b)); otherwise all URLs are used
+/// (Figures 6(c)/(d)).
+pub fn interarrival(
+    timelines: &BTreeMap<UrlId, UrlTimeline>,
+    category: NewsCategory,
+    common_only: bool,
+) -> InterarrivalResult {
+    let mut samples: BTreeMap<AnalysisGroup, Vec<f64>> = BTreeMap::new();
+    for tl in timelines.values().filter(|tl| tl.category == category) {
+        if common_only && tl.groups_present().len() < 3 {
+            continue;
+        }
+        for group in AnalysisGroup::ALL {
+            let times = tl.times_in_group(group);
+            if times.len() < 2 {
+                continue;
+            }
+            let gaps: Vec<f64> = times
+                .windows(2)
+                .map(|w| ((w[1] - w[0]) as f64).max(0.5))
+                .collect();
+            let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+            samples.entry(group).or_default().push(mean);
+        }
+    }
+    let ecdfs: Vec<(AnalysisGroup, Ecdf)> = samples
+        .iter()
+        .filter(|(_, xs)| !xs.is_empty())
+        .map(|(g, xs)| (*g, Ecdf::new(xs.clone())))
+        .collect();
+    let mut ks = Vec::new();
+    let groups: Vec<AnalysisGroup> = samples.keys().copied().collect();
+    for i in 0..groups.len() {
+        for j in i + 1..groups.len() {
+            let (a, b) = (groups[i], groups[j]);
+            if samples[&a].is_empty() || samples[&b].is_empty() {
+                continue;
+            }
+            ks.push((a, b, ks_two_sample(&samples[&a], &samples[&b])));
+        }
+    }
+    InterarrivalResult { ecdfs, ks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use centipede_dataset::domains::DomainTable;
+    use centipede_dataset::event::NewsEvent;
+    use std::collections::BTreeMap as Map;
+
+    fn dataset_with(events: Vec<NewsEvent>) -> Dataset {
+        Dataset::new(DomainTable::standard(), events, Map::new(), Map::new())
+    }
+
+    fn mk_events() -> Dataset {
+        let domains = DomainTable::standard();
+        let alt = domains.id_by_name("infowars.com").unwrap();
+        let t0 = study_start();
+        let ev = vec![
+            // URL 0: three Twitter posts (lags 1h, 25h), one /pol/ post.
+            NewsEvent::basic(t0 + 100, Venue::Twitter, UrlId(0), alt),
+            NewsEvent::basic(t0 + 100 + 3_600, Venue::Twitter, UrlId(0), alt),
+            NewsEvent::basic(t0 + 100 + 25 * 3_600, Venue::Twitter, UrlId(0), alt),
+            NewsEvent::basic(t0 + 100 + 3_600, Venue::Board("pol".into()), UrlId(0), alt),
+            // URL 1: single six-subreddit post.
+            NewsEvent::basic(t0 + 7 * 86_400, Venue::Subreddit("news".into()), UrlId(1), alt),
+        ];
+        dataset_with(ev)
+    }
+
+    #[test]
+    fn appearance_counts() {
+        let d = mk_events();
+        let tls = d.timelines();
+        let cdfs = appearance_cdf(&tls, NewsCategory::Alternative);
+        let tw = cdfs
+            .iter()
+            .find(|(g, _)| *g == AnalysisGroup::Twitter)
+            .map(|(_, e)| e)
+            .unwrap();
+        assert_eq!(tw.len(), 1); // one URL on Twitter
+        assert_eq!(tw.max(), 3.0); // appearing 3 times
+        let six = cdfs
+            .iter()
+            .find(|(g, _)| *g == AnalysisGroup::SixSubreddits)
+            .map(|(_, e)| e)
+            .unwrap();
+        assert_eq!(six.max(), 1.0);
+        // No mainstream URLs at all.
+        assert!(appearance_cdf(&tls, NewsCategory::Mainstream).is_empty());
+    }
+
+    #[test]
+    fn repost_lags_hours() {
+        let d = mk_events();
+        let tls = d.timelines();
+        let lags = repost_lags(&tls, NewsCategory::Alternative);
+        let (_, tw) = lags
+            .iter()
+            .find(|(g, _)| *g == AnalysisGroup::Twitter)
+            .unwrap();
+        assert_eq!(tw.len(), 2);
+        assert!((tw.min() - 1.0).abs() < 1e-9);
+        assert!((tw.max() - 25.0).abs() < 1e-9);
+        // /pol/ has a single event → no lags.
+        assert!(lags.iter().all(|(g, _)| *g != AnalysisGroup::Pol));
+    }
+
+    #[test]
+    fn interarrival_means() {
+        let d = mk_events();
+        let tls = d.timelines();
+        let res = interarrival(&tls, NewsCategory::Alternative, false);
+        let (_, tw) = res
+            .ecdfs
+            .iter()
+            .find(|(g, _)| *g == AnalysisGroup::Twitter)
+            .unwrap();
+        // Mean of [3600, 24*3600] = 45_000 s.
+        assert_eq!(tw.len(), 1);
+        assert!((tw.max() - 45_000.0).abs() < 1.0);
+        // common_only: URL 0 is only on 2 groups → excluded.
+        let res = interarrival(&tls, NewsCategory::Alternative, true);
+        assert!(res.ecdfs.is_empty());
+        assert!(res.ks.is_empty());
+    }
+
+    #[test]
+    fn daily_occurrence_shapes() {
+        let d = mk_events();
+        let series = daily_occurrence(&d);
+        assert_eq!(series.len(), 5);
+        for s in &series {
+            assert_eq!(s.alternative.len(), 244);
+            assert_eq!(s.mainstream.len(), 244);
+            assert_eq!(s.alt_fraction.len(), 244);
+        }
+        let tw = series
+            .iter()
+            .find(|s| s.series == OccurrenceSeries::Twitter)
+            .unwrap();
+        // Day 0 has 2 Twitter events; day 1 has 1; mean over 244 active
+        // days = 3/244.
+        let expected = 2.0 / (3.0 / 244.0);
+        assert!((tw.alternative[0].unwrap() - expected).abs() < 1e-9);
+        // All-news fraction that day is 1 (only alternative events).
+        assert_eq!(tw.alt_fraction[0], Some(1.0));
+        // A quiet day has None fraction (no news URLs).
+        assert_eq!(tw.alt_fraction[100], None);
+    }
+
+    #[test]
+    fn daily_occurrence_masks_gap_days() {
+        use centipede_dataset::gaps::Gaps;
+        let domains = DomainTable::standard();
+        let alt = domains.id_by_name("rt.com").unwrap();
+        let t_gap = centipede_dataset::time::ymd_to_unix(2016, 12, 25);
+        let events = vec![NewsEvent::basic(t_gap, Venue::Twitter, UrlId(0), alt)];
+        let mut gaps = Map::new();
+        gaps.insert(Platform::Twitter, Gaps::paper(Platform::Twitter));
+        let d = Dataset::new(domains, events, Map::new(), gaps);
+        let series = daily_occurrence(&d);
+        let tw = series
+            .iter()
+            .find(|s| s.series == OccurrenceSeries::Twitter)
+            .unwrap();
+        let day = ((t_gap - study_start()) / SECONDS_PER_DAY) as usize;
+        assert_eq!(tw.alternative[day], None);
+        assert_eq!(tw.alt_fraction[day], None);
+    }
+
+    #[test]
+    fn series_classification() {
+        assert_eq!(
+            OccurrenceSeries::of(&Venue::Subreddit("cats".into())),
+            OccurrenceSeries::OtherSubreddits
+        );
+        assert_eq!(
+            OccurrenceSeries::of(&Venue::Board("sp".into())),
+            OccurrenceSeries::OtherBoards
+        );
+        assert_eq!(
+            OccurrenceSeries::of(&Venue::Board("pol".into())),
+            OccurrenceSeries::Pol
+        );
+        assert_eq!(OccurrenceSeries::Pol.platform(), Platform::FourChan);
+        assert_eq!(OccurrenceSeries::Twitter.name(), "Twitter");
+    }
+
+    #[test]
+    fn interarrival_ks_between_different_groups() {
+        // Construct URLs with very different repost cadences on two
+        // groups and check KS flags them.
+        let domains = DomainTable::standard();
+        let alt = domains.id_by_name("rt.com").unwrap();
+        let t0 = study_start();
+        let mut events = Vec::new();
+        for u in 0..40u32 {
+            let base = t0 + u as i64 * 86_400;
+            // Twitter repost quickly (60 s).
+            events.push(NewsEvent::basic(base, Venue::Twitter, UrlId(u), alt));
+            events.push(NewsEvent::basic(base + 60, Venue::Twitter, UrlId(u), alt));
+            // /pol/ reposts slowly (6 h).
+            events.push(NewsEvent::basic(
+                base + 10,
+                Venue::Board("pol".into()),
+                UrlId(u),
+                alt,
+            ));
+            events.push(NewsEvent::basic(
+                base + 6 * 3_600,
+                Venue::Board("pol".into()),
+                UrlId(u),
+                alt,
+            ));
+        }
+        let d = dataset_with(events);
+        let tls = d.timelines();
+        let res = interarrival(&tls, NewsCategory::Alternative, false);
+        assert_eq!(res.ks.len(), 1);
+        let (_, _, ks) = &res.ks[0];
+        assert!(ks.p_value < 0.01, "p={}", ks.p_value);
+    }
+}

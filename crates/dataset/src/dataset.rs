@@ -1,0 +1,279 @@
+//! The assembled observed dataset and per-URL timeline views.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::domains::{DomainId, DomainTable, NewsCategory};
+use crate::event::{NewsEvent, UrlId};
+use crate::gaps::Gaps;
+use crate::platform::{AnalysisGroup, Community, Platform};
+
+/// Raw crawl volumes per platform — the denominators of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct PlatformTotals {
+    /// Total posts crawled (news-URL-bearing or not).
+    pub total_posts: u64,
+    /// Posts containing at least one alternative-news URL.
+    pub posts_with_alternative: u64,
+    /// Posts containing at least one mainstream-news URL.
+    pub posts_with_mainstream: u64,
+}
+
+/// A complete observed dataset: the domain table, the news-URL events,
+/// raw crawl volumes, and per-platform collection gaps.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// The 99-domain news table.
+    pub domains: DomainTable,
+    /// All observed news-URL events, sorted by timestamp.
+    pub events: Vec<NewsEvent>,
+    /// Raw crawl volumes per platform.
+    pub totals: BTreeMap<Platform, PlatformTotals>,
+    /// Collection gaps per platform.
+    pub gaps: BTreeMap<Platform, Gaps>,
+}
+
+impl Dataset {
+    /// Assemble a dataset, sorting events by timestamp.
+    pub fn new(
+        domains: DomainTable,
+        mut events: Vec<NewsEvent>,
+        totals: BTreeMap<Platform, PlatformTotals>,
+        gaps: BTreeMap<Platform, Gaps>,
+    ) -> Self {
+        events.sort_by_key(|e| e.timestamp);
+        Dataset {
+            domains,
+            events,
+            totals,
+            gaps,
+        }
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the dataset holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// News category of an event (via its domain).
+    pub fn category_of(&self, event: &NewsEvent) -> NewsCategory {
+        self.domains.category(event.domain)
+    }
+
+    /// Iterate events of one category.
+    pub fn events_in_category(
+        &self,
+        category: NewsCategory,
+    ) -> impl Iterator<Item = &NewsEvent> + '_ {
+        self.events
+            .iter()
+            .filter(move |e| self.category_of(e) == category)
+    }
+
+    /// The collection gaps for a platform (empty if unset).
+    pub fn gaps_for(&self, platform: Platform) -> Gaps {
+        self.gaps.get(&platform).cloned().unwrap_or_default()
+    }
+
+    /// Build per-URL timelines (sorted map, deterministic iteration).
+    pub fn timelines(&self) -> BTreeMap<UrlId, UrlTimeline> {
+        let mut map: BTreeMap<UrlId, UrlTimeline> = BTreeMap::new();
+        for e in &self.events {
+            let tl = map.entry(e.url).or_insert_with(|| UrlTimeline {
+                url: e.url,
+                domain: e.domain,
+                category: self.domains.category(e.domain),
+                times: Vec::new(),
+                groups: Vec::new(),
+                communities: Vec::new(),
+            });
+            tl.times.push(e.timestamp);
+            tl.groups.push(e.venue.analysis_group());
+            tl.communities.push(e.venue.community());
+        }
+        map
+    }
+}
+
+/// All observations of one URL, time-sorted, annotated with the §4
+/// analysis group and the §5 Hawkes community of each observation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UrlTimeline {
+    /// The URL.
+    pub url: UrlId,
+    /// Its news domain.
+    pub domain: DomainId,
+    /// The domain's category.
+    pub category: NewsCategory,
+    /// Event timestamps (sorted ascending; parallel to the other
+    /// vectors).
+    pub times: Vec<i64>,
+    /// Analysis group of each event (None for unmodelled venues).
+    pub groups: Vec<Option<AnalysisGroup>>,
+    /// Hawkes community of each event (None for unmodelled venues).
+    pub communities: Vec<Option<Community>>,
+}
+
+impl UrlTimeline {
+    /// Total observations.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Whether the timeline is empty.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Timestamps of events in one analysis group.
+    pub fn times_in_group(&self, group: AnalysisGroup) -> Vec<i64> {
+        self.times
+            .iter()
+            .zip(&self.groups)
+            .filter(|(_, g)| **g == Some(group))
+            .map(|(&t, _)| t)
+            .collect()
+    }
+
+    /// First occurrence time in a group.
+    pub fn first_in_group(&self, group: AnalysisGroup) -> Option<i64> {
+        self.times
+            .iter()
+            .zip(&self.groups)
+            .find(|(_, g)| **g == Some(group))
+            .map(|(&t, _)| t)
+    }
+
+    /// Timestamps of events in one Hawkes community.
+    pub fn times_in_community(&self, community: Community) -> Vec<i64> {
+        self.times
+            .iter()
+            .zip(&self.communities)
+            .filter(|(_, c)| **c == Some(community))
+            .map(|(&t, _)| t)
+            .collect()
+    }
+
+    /// Count of events in one community.
+    pub fn count_in_community(&self, community: Community) -> usize {
+        self.communities
+            .iter()
+            .filter(|c| **c == Some(community))
+            .count()
+    }
+
+    /// Which analysis groups this URL appeared in.
+    pub fn groups_present(&self) -> Vec<AnalysisGroup> {
+        AnalysisGroup::ALL
+            .into_iter()
+            .filter(|g| self.groups.contains(&Some(*g)))
+            .collect()
+    }
+
+    /// First and last observation times (over all venues).
+    pub fn span(&self) -> Option<(i64, i64)> {
+        Some((*self.times.first()?, *self.times.last()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::Venue;
+
+    fn toy_dataset() -> Dataset {
+        let domains = DomainTable::standard();
+        let breitbart = domains.id_by_name("breitbart.com").unwrap();
+        let nyt = domains.id_by_name("nytimes.com").unwrap();
+        let events = vec![
+            NewsEvent::basic(300, Venue::Board("pol".into()), UrlId(1), breitbart),
+            NewsEvent::basic(100, Venue::Twitter, UrlId(1), breitbart),
+            NewsEvent::basic(200, Venue::Subreddit("The_Donald".into()), UrlId(1), breitbart),
+            NewsEvent::basic(150, Venue::Subreddit("cats".into()), UrlId(2), nyt),
+            NewsEvent::basic(400, Venue::Twitter, UrlId(2), nyt),
+        ];
+        Dataset::new(domains, events, BTreeMap::new(), BTreeMap::new())
+    }
+
+    #[test]
+    fn events_sorted_on_construction() {
+        let d = toy_dataset();
+        for w in d.events.windows(2) {
+            assert!(w[0].timestamp <= w[1].timestamp);
+        }
+        assert_eq!(d.len(), 5);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn category_filtering() {
+        let d = toy_dataset();
+        assert_eq!(d.events_in_category(NewsCategory::Alternative).count(), 3);
+        assert_eq!(d.events_in_category(NewsCategory::Mainstream).count(), 2);
+    }
+
+    #[test]
+    fn timelines_group_by_url() {
+        let d = toy_dataset();
+        let tls = d.timelines();
+        assert_eq!(tls.len(), 2);
+        let tl1 = &tls[&UrlId(1)];
+        assert_eq!(tl1.len(), 3);
+        assert_eq!(tl1.times, vec![100, 200, 300]);
+        assert_eq!(tl1.category, NewsCategory::Alternative);
+        assert_eq!(tl1.span(), Some((100, 300)));
+        // URL 2: one event in an unmodelled subreddit.
+        let tl2 = &tls[&UrlId(2)];
+        assert_eq!(tl2.groups[0], None);
+        assert_eq!(tl2.groups[1], Some(AnalysisGroup::Twitter));
+    }
+
+    #[test]
+    fn timeline_group_queries() {
+        let d = toy_dataset();
+        let tls = d.timelines();
+        let tl = &tls[&UrlId(1)];
+        assert_eq!(tl.times_in_group(AnalysisGroup::Twitter), vec![100]);
+        assert_eq!(tl.times_in_group(AnalysisGroup::SixSubreddits), vec![200]);
+        assert_eq!(tl.first_in_group(AnalysisGroup::Pol), Some(300));
+        assert_eq!(
+            tl.groups_present(),
+            vec![
+                AnalysisGroup::SixSubreddits,
+                AnalysisGroup::Pol,
+                AnalysisGroup::Twitter
+            ]
+        );
+        assert_eq!(tl.times_in_community(Community::TheDonald), vec![200]);
+        assert_eq!(tl.count_in_community(Community::Twitter), 1);
+        assert_eq!(tl.count_in_community(Community::Worldnews), 0);
+    }
+
+    #[test]
+    fn gaps_for_unset_platform_is_empty() {
+        let d = toy_dataset();
+        assert_eq!(d.gaps_for(Platform::Twitter).total_seconds(), 0);
+    }
+
+    #[test]
+    fn empty_timeline_edge_cases() {
+        let tl = UrlTimeline {
+            url: UrlId(9),
+            domain: DomainId(0),
+            category: NewsCategory::Alternative,
+            times: vec![],
+            groups: vec![],
+            communities: vec![],
+        };
+        assert!(tl.is_empty());
+        assert_eq!(tl.span(), None);
+        assert_eq!(tl.first_in_group(AnalysisGroup::Twitter), None);
+        assert!(tl.groups_present().is_empty());
+    }
+}

@@ -1,0 +1,109 @@
+//! Observed news-URL posting events.
+//!
+//! The pipeline's atomic record: one post (tweet, Reddit post/comment,
+//! or 4chan post) containing one news URL. A post with several URLs
+//! yields several events, as in the paper's per-URL accounting.
+
+use serde::{Deserialize, Serialize};
+
+use crate::domains::DomainId;
+use crate::platform::Venue;
+
+/// Identifier of a unique (canonicalised) URL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct UrlId(pub u32);
+
+/// Identifier of a user account (Twitter or Reddit; 4chan posts are
+/// anonymous and carry no user).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct UserId(pub u32);
+
+/// Twitter engagement counters gathered by the re-crawl (§2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct Engagement {
+    /// Retweet count at re-crawl time.
+    pub retweets: u32,
+    /// Like count at re-crawl time.
+    pub likes: u32,
+    /// Whether the tweet was still retrievable at re-crawl time (false
+    /// for deleted tweets / suspended accounts).
+    pub retrieved: bool,
+}
+
+/// One news-URL posting event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NewsEvent {
+    /// Posting time, Unix seconds.
+    pub timestamp: i64,
+    /// Where it was posted.
+    pub venue: Venue,
+    /// The unique URL posted.
+    pub url: UrlId,
+    /// The URL's news domain.
+    pub domain: DomainId,
+    /// The posting account (None on 4chan).
+    pub user: Option<UserId>,
+    /// Twitter engagement, if applicable and re-crawled.
+    pub engagement: Option<Engagement>,
+}
+
+impl NewsEvent {
+    /// Convenience constructor without user/engagement.
+    pub fn basic(timestamp: i64, venue: Venue, url: UrlId, domain: DomainId) -> Self {
+        NewsEvent {
+            timestamp,
+            venue,
+            url,
+            domain,
+            user: None,
+            engagement: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::Platform;
+
+    #[test]
+    fn basic_constructor() {
+        let e = NewsEvent::basic(
+            100,
+            Venue::Subreddit("news".into()),
+            UrlId(1),
+            DomainId(2),
+        );
+        assert_eq!(e.timestamp, 100);
+        assert_eq!(e.venue.platform(), Platform::Reddit);
+        assert!(e.user.is_none());
+        assert!(e.engagement.is_none());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let e = NewsEvent {
+            timestamp: 42,
+            venue: Venue::Twitter,
+            url: UrlId(7),
+            domain: DomainId(3),
+            user: Some(UserId(9)),
+            engagement: Some(Engagement {
+                retweets: 12,
+                likes: 3,
+                retrieved: true,
+            }),
+        };
+        let json = serde_json::to_string(&e).unwrap();
+        let back: NewsEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(e, back);
+    }
+
+    #[test]
+    fn engagement_default_is_empty() {
+        let g = Engagement::default();
+        assert_eq!(g.retweets, 0);
+        assert_eq!(g.likes, 0);
+        assert!(!g.retrieved);
+    }
+}

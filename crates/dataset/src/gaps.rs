@@ -1,0 +1,192 @@
+//! Crawler-failure gap windows.
+//!
+//! §2.2 reports exact collection gaps. Twitter: Oct 28 – Nov 2 and
+//! Nov 5 – 16, 2016; Nov 22, 2016 – Jan 13, 2017; Feb 24 – 28, 2017.
+//! 4chan: Oct 15 – 16 and Dec 16 – 25, 2016; Jan 10 – 13, 2017.
+//! Reddit (Pushshift) has no gaps.
+//!
+//! Gaps matter twice: the Figure 4 series must exclude gap days from
+//! its normalisation, and §5 drops the 10% shortest-duration URLs that
+//! overlap missing Twitter data before fitting the Hawkes models.
+
+use serde::{Deserialize, Serialize};
+
+use crate::platform::Platform;
+use crate::time::{study_end, study_start, ymd_to_unix, SECONDS_PER_DAY};
+
+/// A set of half-open `[start, end)` missing-data windows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Gaps {
+    windows: Vec<(i64, i64)>,
+}
+
+impl Gaps {
+    /// No gaps.
+    pub fn none() -> Self {
+        Gaps::default()
+    }
+
+    /// Build from explicit half-open windows; overlapping or unsorted
+    /// windows are merged and sorted.
+    pub fn new(mut windows: Vec<(i64, i64)>) -> Self {
+        for &(s, e) in &windows {
+            assert!(s < e, "Gaps: window [{s}, {e}) is empty or inverted");
+        }
+        windows.sort_unstable();
+        let mut merged: Vec<(i64, i64)> = Vec::new();
+        for (s, e) in windows {
+            match merged.last_mut() {
+                Some(last) if s <= last.1 => last.1 = last.1.max(e),
+                _ => merged.push((s, e)),
+            }
+        }
+        Gaps { windows: merged }
+    }
+
+    /// The paper's gap windows for a platform.
+    pub fn paper(platform: Platform) -> Self {
+        let day = |y, m, d| ymd_to_unix(y, m, d);
+        match platform {
+            Platform::Twitter => Gaps::new(vec![
+                (day(2016, 10, 28), day(2016, 11, 3)),
+                (day(2016, 11, 5), day(2016, 11, 17)),
+                (day(2016, 11, 22), day(2017, 1, 14)),
+                (day(2017, 2, 24), day(2017, 3, 1)),
+            ]),
+            Platform::FourChan => Gaps::new(vec![
+                (day(2016, 10, 15), day(2016, 10, 17)),
+                (day(2016, 12, 16), day(2016, 12, 26)),
+                (day(2017, 1, 10), day(2017, 1, 14)),
+            ]),
+            Platform::Reddit => Gaps::none(),
+        }
+    }
+
+    /// The merged windows.
+    pub fn windows(&self) -> &[(i64, i64)] {
+        &self.windows
+    }
+
+    /// Whether a timestamp falls inside a gap.
+    pub fn contains(&self, t: i64) -> bool {
+        self.windows
+            .binary_search_by(|&(s, e)| {
+                if t < s {
+                    std::cmp::Ordering::Greater
+                } else if t >= e {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .is_ok()
+    }
+
+    /// Total gap seconds overlapping the interval `[lo, hi)`.
+    pub fn overlap(&self, lo: i64, hi: i64) -> i64 {
+        self.windows
+            .iter()
+            .map(|&(s, e)| (e.min(hi) - s.max(lo)).max(0))
+            .sum()
+    }
+
+    /// Whether any gap overlaps `[lo, hi)`.
+    pub fn overlaps(&self, lo: i64, hi: i64) -> bool {
+        self.overlap(lo, hi) > 0
+    }
+
+    /// Total gap seconds.
+    pub fn total_seconds(&self) -> i64 {
+        self.windows.iter().map(|&(s, e)| e - s).sum()
+    }
+
+    /// Per-day mask over the study period: `true` for days touched by a
+    /// gap. Used by the Figure 4 normalisation.
+    pub fn study_day_mask(&self) -> Vec<bool> {
+        let start = study_start();
+        let n_days = ((study_end() - start) / SECONDS_PER_DAY) as usize;
+        (0..n_days)
+            .map(|d| {
+                let lo = start + d as i64 * SECONDS_PER_DAY;
+                self.overlaps(lo, lo + SECONDS_PER_DAY)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_and_overlap() {
+        let g = Gaps::new(vec![(10, 20), (30, 40)]);
+        assert!(g.contains(10));
+        assert!(g.contains(19));
+        assert!(!g.contains(20));
+        assert!(!g.contains(25));
+        assert_eq!(g.overlap(0, 100), 20);
+        assert_eq!(g.overlap(15, 35), 10);
+        assert_eq!(g.overlap(20, 30), 0);
+        assert!(g.overlaps(39, 41));
+        assert!(!g.overlaps(40, 50));
+        assert_eq!(g.total_seconds(), 20);
+    }
+
+    #[test]
+    fn merging_overlapping_windows() {
+        let g = Gaps::new(vec![(30, 40), (10, 20), (15, 35)]);
+        assert_eq!(g.windows(), &[(10, 40)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn rejects_inverted_window() {
+        Gaps::new(vec![(20, 10)]);
+    }
+
+    #[test]
+    fn paper_twitter_gaps_cover_election_period() {
+        let g = Gaps::paper(Platform::Twitter);
+        assert_eq!(g.windows().len(), 4);
+        // Dec 25, 2016 was inside the long gap.
+        assert!(g.contains(ymd_to_unix(2016, 12, 25)));
+        // Election day (Nov 8) was inside the Nov 5–16 gap.
+        assert!(g.contains(ymd_to_unix(2016, 11, 8)));
+        // Oct 1 was fine.
+        assert!(!g.contains(ymd_to_unix(2016, 10, 1)));
+        // The bulk of the Twitter gap: about 75 days total.
+        let days = g.total_seconds() / SECONDS_PER_DAY;
+        assert!((70..=80).contains(&days), "gap days = {days}");
+    }
+
+    #[test]
+    fn paper_fourchan_gaps() {
+        let g = Gaps::paper(Platform::FourChan);
+        assert_eq!(g.windows().len(), 3);
+        assert!(g.contains(ymd_to_unix(2016, 12, 20)));
+        assert!(!g.contains(ymd_to_unix(2016, 12, 26)));
+        let days = g.total_seconds() / SECONDS_PER_DAY;
+        assert_eq!(days, 2 + 10 + 4);
+    }
+
+    #[test]
+    fn reddit_has_no_gaps() {
+        let g = Gaps::paper(Platform::Reddit);
+        assert!(g.windows().is_empty());
+        assert_eq!(g.total_seconds(), 0);
+        assert!(g.study_day_mask().iter().all(|&m| !m));
+    }
+
+    #[test]
+    fn day_mask_length_and_content() {
+        let g = Gaps::paper(Platform::Twitter);
+        let mask = g.study_day_mask();
+        assert_eq!(mask.len(), 244);
+        let masked_days = mask.iter().filter(|&&m| m).count();
+        // 6 + 12 + 53 + 5 days = 76 masked days.
+        assert_eq!(masked_days, 76);
+        // First day (June 30) is unmasked.
+        assert!(!mask[0]);
+    }
+}

@@ -1,0 +1,37 @@
+//! Data model for cross-platform news-URL measurement.
+//!
+//! This crate defines the vocabulary of *The Web Centipede*'s datasets
+//! (§2): the three platforms and their sub-communities, the list of 99
+//! mainstream/alternative news domains, URL canonicalisation and
+//! extraction, the crawler gap windows, and the observed-event dataset
+//! the measurement pipeline consumes.
+//!
+//! * [`platform`] — platforms, venues (subreddit / board / Twitter) and
+//!   the eight Hawkes-process communities of §5.
+//! * [`domains`] — the news-site list with mainstream/alternative labels
+//!   and per-platform popularity weights from Tables 5–7.
+//! * [`url`] — URL canonicalisation and extraction from post text.
+//! * [`event`] — the observed news-URL posting event record.
+//! * [`gaps`] — crawler-failure windows (§2.2) and gap arithmetic.
+//! * [`dataset`] — the assembled dataset with filtering and per-URL
+//!   timeline views.
+//! * [`store`] — JSONL persistence.
+//! * [`time`] — civil-date ↔ Unix-time conversion for the study period.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod domains;
+pub mod event;
+pub mod gaps;
+pub mod platform;
+pub mod store;
+pub mod time;
+pub mod url;
+
+pub use dataset::{Dataset, UrlTimeline};
+pub use domains::{DomainId, DomainTable, NewsCategory};
+pub use event::{Engagement, NewsEvent, UrlId, UserId};
+pub use gaps::Gaps;
+pub use platform::{Community, Platform, Venue};

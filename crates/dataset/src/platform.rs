@@ -1,0 +1,310 @@
+//! Platforms, venues, and the eight Hawkes communities.
+//!
+//! The paper's unit of *collection* is the platform (Twitter, Reddit,
+//! 4chan); the unit of *analysis* is finer: six selected subreddits,
+//! 4chan's /pol/ versus its baseline boards, and Twitter as a whole.
+//! The influence model of §5 uses exactly eight point processes.
+
+use serde::{Deserialize, Serialize};
+
+/// One of the three collected platforms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Platform {
+    /// Twitter (1% streaming sample).
+    Twitter,
+    /// Reddit (all posts and comments via Pushshift).
+    Reddit,
+    /// 4chan (/pol/ plus baseline boards).
+    FourChan,
+}
+
+impl Platform {
+    /// All platforms, in the paper's usual presentation order.
+    pub const ALL: [Platform; 3] = [Platform::Twitter, Platform::Reddit, Platform::FourChan];
+
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Platform::Twitter => "Twitter",
+            Platform::Reddit => "Reddit",
+            Platform::FourChan => "4chan",
+        }
+    }
+}
+
+/// The six selected subreddits of §3, in the paper's order.
+pub const SELECTED_SUBREDDITS: [&str; 6] = [
+    "The_Donald",
+    "politics",
+    "worldnews",
+    "news",
+    "conspiracy",
+    "AskReddit",
+];
+
+/// 4chan baseline boards used for comparison with /pol/.
+pub const BASELINE_BOARDS: [&str; 3] = ["sp", "int", "sci"];
+
+/// A posting venue: where a post physically lives.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Venue {
+    /// A tweet.
+    Twitter,
+    /// A Reddit post or comment in the named subreddit.
+    Subreddit(String),
+    /// A 4chan post in the named board (without slashes, e.g. `"pol"`).
+    Board(String),
+}
+
+impl Venue {
+    /// The platform this venue belongs to.
+    pub fn platform(&self) -> Platform {
+        match self {
+            Venue::Twitter => Platform::Twitter,
+            Venue::Subreddit(_) => Platform::Reddit,
+            Venue::Board(_) => Platform::FourChan,
+        }
+    }
+
+    /// Whether this is one of the six selected subreddits.
+    pub fn is_selected_subreddit(&self) -> bool {
+        matches!(self, Venue::Subreddit(s) if SELECTED_SUBREDDITS.contains(&s.as_str()))
+    }
+
+    /// Whether this is 4chan's /pol/.
+    pub fn is_pol(&self) -> bool {
+        matches!(self, Venue::Board(b) if b == "pol")
+    }
+
+    /// The §4 analysis grouping: Twitter / six selected subreddits /
+    /// /pol/, or `None` for everything else (other subreddits, other
+    /// boards).
+    pub fn analysis_group(&self) -> Option<AnalysisGroup> {
+        match self {
+            Venue::Twitter => Some(AnalysisGroup::Twitter),
+            v if v.is_selected_subreddit() => Some(AnalysisGroup::SixSubreddits),
+            v if v.is_pol() => Some(AnalysisGroup::Pol),
+            _ => None,
+        }
+    }
+
+    /// The §5 Hawkes community, if this venue is one of the eight
+    /// modelled processes.
+    pub fn community(&self) -> Option<Community> {
+        match self {
+            Venue::Twitter => Some(Community::Twitter),
+            Venue::Board(b) if b == "pol" => Some(Community::Pol),
+            Venue::Subreddit(s) => match s.as_str() {
+                "The_Donald" => Some(Community::TheDonald),
+                "worldnews" => Some(Community::Worldnews),
+                "politics" => Some(Community::Politics),
+                "news" => Some(Community::News),
+                "conspiracy" => Some(Community::Conspiracy),
+                "AskReddit" => Some(Community::AskReddit),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// Display name (e.g. `/pol/`, `r/The_Donald`, `Twitter`).
+    pub fn display(&self) -> String {
+        match self {
+            Venue::Twitter => "Twitter".to_string(),
+            Venue::Subreddit(s) => format!("r/{s}"),
+            Venue::Board(b) => format!("/{b}/"),
+        }
+    }
+}
+
+/// The three-way grouping used by the §4 temporal analyses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AnalysisGroup {
+    /// Twitter.
+    Twitter,
+    /// The six selected subreddits, pooled.
+    SixSubreddits,
+    /// 4chan's /pol/.
+    Pol,
+}
+
+impl AnalysisGroup {
+    /// All groups in presentation order.
+    pub const ALL: [AnalysisGroup; 3] = [
+        AnalysisGroup::SixSubreddits,
+        AnalysisGroup::Pol,
+        AnalysisGroup::Twitter,
+    ];
+
+    /// Display name matching the paper's figure legends.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AnalysisGroup::Twitter => "Twitter",
+            AnalysisGroup::SixSubreddits => "6 selected subreddits",
+            AnalysisGroup::Pol => "/pol/",
+        }
+    }
+
+    /// Single-letter code used in the sequence tables ("T", "R", "4").
+    pub fn code(&self) -> char {
+        match self {
+            AnalysisGroup::Twitter => 'T',
+            AnalysisGroup::SixSubreddits => 'R',
+            AnalysisGroup::Pol => '4',
+        }
+    }
+}
+
+/// The eight point processes of the §5 Hawkes model, with the paper's
+/// Figure 10/11 ordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Community {
+    /// r/The_Donald.
+    TheDonald,
+    /// r/worldnews.
+    Worldnews,
+    /// r/politics.
+    Politics,
+    /// r/news.
+    News,
+    /// r/conspiracy.
+    Conspiracy,
+    /// r/AskReddit.
+    AskReddit,
+    /// 4chan /pol/.
+    Pol,
+    /// Twitter.
+    Twitter,
+}
+
+impl Community {
+    /// All communities in Figure 10's axis order.
+    pub const ALL: [Community; 8] = [
+        Community::TheDonald,
+        Community::Worldnews,
+        Community::Politics,
+        Community::News,
+        Community::Conspiracy,
+        Community::AskReddit,
+        Community::Pol,
+        Community::Twitter,
+    ];
+
+    /// Number of communities (`K` of the Hawkes model).
+    pub const COUNT: usize = 8;
+
+    /// The Hawkes process index of this community.
+    pub fn index(&self) -> usize {
+        Community::ALL
+            .iter()
+            .position(|c| c == self)
+            .expect("community in ALL")
+    }
+
+    /// Community from its process index.
+    pub fn from_index(i: usize) -> Community {
+        Community::ALL[i]
+    }
+
+    /// Display name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Community::TheDonald => "The_Donald",
+            Community::Worldnews => "worldnews",
+            Community::Politics => "politics",
+            Community::News => "news",
+            Community::Conspiracy => "conspiracy",
+            Community::AskReddit => "AskReddit",
+            Community::Pol => "/pol/",
+            Community::Twitter => "Twitter",
+        }
+    }
+
+    /// The venue corresponding to this community.
+    pub fn venue(&self) -> Venue {
+        match self {
+            Community::Twitter => Venue::Twitter,
+            Community::Pol => Venue::Board("pol".to_string()),
+            other => Venue::Subreddit(other.name().to_string()),
+        }
+    }
+
+    /// The owning platform.
+    pub fn platform(&self) -> Platform {
+        self.venue().platform()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn venue_platform_mapping() {
+        assert_eq!(Venue::Twitter.platform(), Platform::Twitter);
+        assert_eq!(
+            Venue::Subreddit("cats".into()).platform(),
+            Platform::Reddit
+        );
+        assert_eq!(Venue::Board("pol".into()).platform(), Platform::FourChan);
+    }
+
+    #[test]
+    fn selected_subreddit_detection() {
+        assert!(Venue::Subreddit("The_Donald".into()).is_selected_subreddit());
+        assert!(Venue::Subreddit("AskReddit".into()).is_selected_subreddit());
+        assert!(!Venue::Subreddit("cats".into()).is_selected_subreddit());
+        assert!(!Venue::Twitter.is_selected_subreddit());
+    }
+
+    #[test]
+    fn analysis_groups() {
+        assert_eq!(
+            Venue::Twitter.analysis_group(),
+            Some(AnalysisGroup::Twitter)
+        );
+        assert_eq!(
+            Venue::Subreddit("politics".into()).analysis_group(),
+            Some(AnalysisGroup::SixSubreddits)
+        );
+        assert_eq!(
+            Venue::Board("pol".into()).analysis_group(),
+            Some(AnalysisGroup::Pol)
+        );
+        assert_eq!(Venue::Board("sp".into()).analysis_group(), None);
+        assert_eq!(Venue::Subreddit("cats".into()).analysis_group(), None);
+    }
+
+    #[test]
+    fn community_round_trips_through_index() {
+        for (i, c) in Community::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+            assert_eq!(Community::from_index(i), *c);
+            assert_eq!(c.venue().community(), Some(*c));
+        }
+        assert_eq!(Community::COUNT, 8);
+    }
+
+    #[test]
+    fn community_platforms() {
+        assert_eq!(Community::Twitter.platform(), Platform::Twitter);
+        assert_eq!(Community::Pol.platform(), Platform::FourChan);
+        assert_eq!(Community::TheDonald.platform(), Platform::Reddit);
+    }
+
+    #[test]
+    fn venue_community_for_non_modelled_is_none() {
+        assert_eq!(Venue::Subreddit("cats".into()).community(), None);
+        assert_eq!(Venue::Board("sp".into()).community(), None);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Venue::Board("pol".into()).display(), "/pol/");
+        assert_eq!(Venue::Subreddit("news".into()).display(), "r/news");
+        assert_eq!(AnalysisGroup::Pol.code(), '4');
+        assert_eq!(AnalysisGroup::SixSubreddits.code(), 'R');
+        assert_eq!(AnalysisGroup::Twitter.code(), 'T');
+        assert_eq!(Community::Pol.name(), "/pol/");
+    }
+}

@@ -1,0 +1,197 @@
+//! JSONL persistence for datasets.
+//!
+//! Format: line 1 is a header object (domain table, totals, gaps);
+//! each subsequent line is one [`NewsEvent`]. Streaming-friendly in
+//! both directions so multi-million-event datasets never need a single
+//! giant in-memory JSON value.
+
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::{Dataset, PlatformTotals};
+use crate::domains::DomainTable;
+use crate::event::NewsEvent;
+use crate::gaps::Gaps;
+use crate::platform::Platform;
+
+/// Errors from dataset persistence.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// JSON (de)serialisation failure with the offending line number
+    /// (0 = header).
+    Json(usize, serde_json::Error),
+    /// The file had no header line.
+    MissingHeader,
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "I/O error: {e}"),
+            StoreError::Json(line, e) => write!(f, "JSON error at line {line}: {e}"),
+            StoreError::MissingHeader => write!(f, "dataset file has no header line"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Json(_, e) => Some(e),
+            StoreError::MissingHeader => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+#[derive(Serialize, Deserialize)]
+struct Header {
+    domains: DomainTable,
+    totals: BTreeMap<Platform, PlatformTotals>,
+    gaps: BTreeMap<Platform, Gaps>,
+    n_events: usize,
+}
+
+/// Write a dataset to a JSONL file.
+pub fn save(dataset: &Dataset, path: &Path) -> Result<(), StoreError> {
+    let file = File::create(path)?;
+    let mut w = BufWriter::new(file);
+    let header = Header {
+        domains: dataset.domains.clone(),
+        totals: dataset.totals.clone(),
+        gaps: dataset.gaps.clone(),
+        n_events: dataset.events.len(),
+    };
+    serde_json::to_writer(&mut w, &header).map_err(|e| StoreError::Json(0, e))?;
+    w.write_all(b"\n")?;
+    for (i, event) in dataset.events.iter().enumerate() {
+        serde_json::to_writer(&mut w, event).map_err(|e| StoreError::Json(i + 1, e))?;
+        w.write_all(b"\n")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Read a dataset back from a JSONL file.
+pub fn load(path: &Path) -> Result<Dataset, StoreError> {
+    let file = File::open(path)?;
+    let mut reader = BufReader::new(file);
+    let mut header_line = String::new();
+    if reader.read_line(&mut header_line)? == 0 {
+        return Err(StoreError::MissingHeader);
+    }
+    let header: Header =
+        serde_json::from_str(&header_line).map_err(|e| StoreError::Json(0, e))?;
+    let mut events: Vec<NewsEvent> = Vec::with_capacity(header.n_events);
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let event: NewsEvent =
+            serde_json::from_str(&line).map_err(|e| StoreError::Json(i + 1, e))?;
+        events.push(event);
+    }
+    Ok(Dataset::new(
+        header.domains,
+        events,
+        header.totals,
+        header.gaps,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::UrlId;
+    use crate::platform::Venue;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("centipede-store-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    fn sample_dataset() -> Dataset {
+        let domains = DomainTable::standard();
+        let d0 = domains.id_by_name("rt.com").unwrap();
+        let events = vec![
+            NewsEvent::basic(10, Venue::Twitter, UrlId(0), d0),
+            NewsEvent::basic(20, Venue::Board("pol".into()), UrlId(0), d0),
+        ];
+        let mut totals = BTreeMap::new();
+        totals.insert(
+            Platform::Twitter,
+            PlatformTotals {
+                total_posts: 1000,
+                posts_with_alternative: 3,
+                posts_with_mainstream: 9,
+            },
+        );
+        let mut gaps = BTreeMap::new();
+        gaps.insert(Platform::Twitter, Gaps::paper(Platform::Twitter));
+        Dataset::new(domains, events, totals, gaps)
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let path = temp_path("roundtrip.jsonl");
+        let ds = sample_dataset();
+        save(&ds, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(ds, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_is_missing_header() {
+        let path = temp_path("empty.jsonl");
+        std::fs::write(&path, "").unwrap();
+        match load(&path) {
+            Err(StoreError::MissingHeader) => {}
+            other => panic!("expected MissingHeader, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_event_line_reports_line_number() {
+        let path = temp_path("corrupt.jsonl");
+        let ds = sample_dataset();
+        save(&ds, &path).unwrap();
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{not json}\n");
+        std::fs::write(&path, text).unwrap();
+        match load(&path) {
+            Err(StoreError::Json(line, _)) => assert_eq!(line, 3),
+            other => panic!("expected Json error, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        match load(Path::new("/nonexistent/definitely/not/here.jsonl")) {
+            Err(StoreError::Io(_)) => {}
+            other => panic!("expected Io, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_display_renders() {
+        let e = StoreError::MissingHeader;
+        assert!(format!("{e}").contains("header"));
+    }
+}

@@ -1,0 +1,132 @@
+//! Civil-date ↔ Unix-time conversion and the study period.
+//!
+//! The paper's datasets cover **June 30, 2016 → February 28, 2017**.
+//! We avoid a calendar dependency by implementing the standard
+//! days-from-civil algorithm (Howard Hinnant's `days_from_civil`),
+//! which is exact for all Gregorian dates.
+
+/// Seconds in one day.
+pub const SECONDS_PER_DAY: i64 = 86_400;
+
+/// Convert a Gregorian calendar date (UTC midnight) to Unix seconds.
+///
+/// # Panics
+/// Panics for out-of-range months/days (light validation only — `day`
+/// must be 1..=31, `month` 1..=12).
+pub fn ymd_to_unix(year: i32, month: u32, day: u32) -> i64 {
+    assert!((1..=12).contains(&month), "ymd_to_unix: month={month}");
+    assert!((1..=31).contains(&day), "ymd_to_unix: day={day}");
+    let y = if month <= 2 { year - 1 } else { year } as i64;
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let m = month as i64;
+    let d = day as i64;
+    let doy = (153 * (if m > 2 { m - 3 } else { m + 9 }) + 2) / 5 + d - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    let days = era * 146_097 + doe - 719_468;
+    days * SECONDS_PER_DAY
+}
+
+/// Convert Unix seconds back to a `(year, month, day)` triple (UTC).
+pub fn unix_to_ymd(unix: i64) -> (i32, u32, u32) {
+    let days = unix.div_euclid(SECONDS_PER_DAY);
+    let z = days + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = doy - (153 * mp + 2) / 5 + 1; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 }; // [1, 12]
+    let year = if m <= 2 { y + 1 } else { y };
+    (year as i32, m as u32, d as u32)
+}
+
+/// Inclusive start of the study period: June 30, 2016 (UTC midnight).
+pub fn study_start() -> i64 {
+    ymd_to_unix(2016, 6, 30)
+}
+
+/// Exclusive end of the study period: March 1, 2017 (UTC midnight),
+/// i.e. the paper's "February 28, 2017" last day fully included.
+pub fn study_end() -> i64 {
+    ymd_to_unix(2017, 3, 1)
+}
+
+/// Number of whole days in the study period.
+pub fn study_days() -> i64 {
+    (study_end() - study_start()) / SECONDS_PER_DAY
+}
+
+/// Format a Unix time as `YYYY-MM-DD` (UTC).
+pub fn format_date(unix: i64) -> String {
+    let (y, m, d) = unix_to_ymd(unix);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_zero() {
+        assert_eq!(ymd_to_unix(1970, 1, 1), 0);
+    }
+
+    #[test]
+    fn known_dates() {
+        // 2000-03-01 is a well-known reference: 951868800.
+        assert_eq!(ymd_to_unix(2000, 3, 1), 951_868_800);
+        // 2016-06-30 00:00 UTC = 1467244800.
+        assert_eq!(ymd_to_unix(2016, 6, 30), 1_467_244_800);
+        // 2017-03-01 00:00 UTC = 1488326400.
+        assert_eq!(ymd_to_unix(2017, 3, 1), 1_488_326_400);
+    }
+
+    #[test]
+    fn leap_year_handling() {
+        // 2016 was a leap year: Feb 29 exists.
+        let feb29 = ymd_to_unix(2016, 2, 29);
+        let mar1 = ymd_to_unix(2016, 3, 1);
+        assert_eq!(mar1 - feb29, SECONDS_PER_DAY);
+        // 2017 was not: Feb 28 → Mar 1 is one day.
+        assert_eq!(
+            ymd_to_unix(2017, 3, 1) - ymd_to_unix(2017, 2, 28),
+            SECONDS_PER_DAY
+        );
+    }
+
+    #[test]
+    fn roundtrip_many_days() {
+        for offset in (0..20_000).step_by(37) {
+            let t = ymd_to_unix(1990, 1, 1) + offset * SECONDS_PER_DAY;
+            let (y, m, d) = unix_to_ymd(t);
+            assert_eq!(ymd_to_unix(y, m, d), t);
+        }
+    }
+
+    #[test]
+    fn roundtrip_mid_day_truncates() {
+        let noon = ymd_to_unix(2016, 11, 8) + 12 * 3600;
+        assert_eq!(unix_to_ymd(noon), (2016, 11, 8));
+    }
+
+    #[test]
+    fn study_period_is_244_days() {
+        assert_eq!(study_days(), 244);
+        assert!(study_start() < study_end());
+    }
+
+    #[test]
+    fn format_date_renders() {
+        assert_eq!(format_date(ymd_to_unix(2016, 7, 4)), "2016-07-04");
+        assert_eq!(format_date(0), "1970-01-01");
+    }
+
+    #[test]
+    #[should_panic(expected = "month")]
+    fn rejects_bad_month() {
+        ymd_to_unix(2016, 13, 1);
+    }
+}

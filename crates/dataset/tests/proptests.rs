@@ -1,0 +1,100 @@
+//! Property-based tests of the dataset substrate.
+
+use proptest::prelude::*;
+
+use centipede_dataset::gaps::Gaps;
+use centipede_dataset::time::{format_date, unix_to_ymd, ymd_to_unix, SECONDS_PER_DAY};
+use centipede_dataset::url::{canonicalize, extract_urls};
+
+proptest! {
+    #[test]
+    fn ymd_roundtrip_over_four_centuries(days in -80_000i64..80_000) {
+        let t = days * SECONDS_PER_DAY;
+        let (y, m, d) = unix_to_ymd(t);
+        prop_assert_eq!(ymd_to_unix(y, m, d), t);
+        prop_assert!((1..=12).contains(&m));
+        prop_assert!((1..=31).contains(&d));
+    }
+
+    #[test]
+    fn mid_day_seconds_truncate_to_same_date(days in -10_000i64..10_000, secs in 0i64..86_400) {
+        let midnight = days * SECONDS_PER_DAY;
+        prop_assert_eq!(unix_to_ymd(midnight), unix_to_ymd(midnight + secs));
+    }
+
+    #[test]
+    fn format_date_is_iso_like(days in -10_000i64..10_000) {
+        let s = format_date(days * SECONDS_PER_DAY);
+        prop_assert_eq!(s.len(), 10);
+        prop_assert_eq!(s.as_bytes()[4], b'-');
+        prop_assert_eq!(s.as_bytes()[7], b'-');
+    }
+
+    #[test]
+    fn gaps_merge_into_disjoint_sorted_windows(
+        raw in prop::collection::vec((0i64..1000, 1i64..100), 0..20),
+    ) {
+        let windows: Vec<(i64, i64)> = raw.iter().map(|&(s, len)| (s, s + len)).collect();
+        let g = Gaps::new(windows.clone());
+        for w in g.windows().windows(2) {
+            prop_assert!(w[0].1 < w[1].0, "windows overlap or touch: {:?}", g.windows());
+        }
+        // Every original point stays covered.
+        for &(s, e) in &windows {
+            prop_assert!(g.contains(s));
+            prop_assert!(g.contains(e - 1));
+        }
+        // Total ≥ max single window, ≤ sum of windows.
+        let sum: i64 = windows.iter().map(|&(s, e)| e - s).sum();
+        prop_assert!(g.total_seconds() <= sum);
+    }
+
+    #[test]
+    fn gaps_contains_agrees_with_overlap(
+        raw in prop::collection::vec((0i64..1000, 1i64..50), 1..10),
+        probe in 0i64..1100,
+    ) {
+        let windows: Vec<(i64, i64)> = raw.iter().map(|&(s, len)| (s, s + len)).collect();
+        let g = Gaps::new(windows);
+        prop_assert_eq!(g.contains(probe), g.overlap(probe, probe + 1) == 1);
+    }
+
+    #[test]
+    fn canonicalize_is_idempotent(
+        host in "[a-z]{3,10}\\.(com|org|net)",
+        path in "[a-z0-9/]{0,20}",
+    ) {
+        let raw = format!("https://www.{host}/{path}");
+        if let Some(c1) = canonicalize(&raw) {
+            let again = format!("https://{}", c1.as_string());
+            let c2 = canonicalize(&again).expect("canonical form re-parses");
+            prop_assert_eq!(c1, c2);
+        }
+    }
+
+    #[test]
+    fn canonicalize_scheme_invariant(
+        host in "[a-z]{3,10}\\.(com|org)",
+        path in "[a-z0-9/]{0,15}",
+    ) {
+        let http = canonicalize(&format!("http://{host}/{path}"));
+        let https = canonicalize(&format!("https://{host}/{path}"));
+        prop_assert_eq!(http, https);
+    }
+
+    #[test]
+    fn extract_urls_finds_all_planted_urls(
+        hosts in prop::collection::vec("[a-z]{3,8}\\.com", 1..5),
+        filler in "[a-zA-Z ]{0,30}",
+    ) {
+        let text: String = hosts
+            .iter()
+            .map(|h| format!("{filler} https://{h}/story "))
+            .collect();
+        let found = extract_urls(&text);
+        prop_assert_eq!(found.len(), hosts.len());
+        for (f, h) in found.iter().zip(&hosts) {
+            prop_assert!(f.contains(h.as_str()), "{f} missing {h}");
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! Model stability and MCMC convergence diagnostics.
+
+use serde::{Deserialize, Serialize};
+
+use crate::matrix::Matrix;
+
+/// Stability classification of a Hawkes weight matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Stability {
+    /// Branching ratio < 1: the process has a stationary distribution.
+    Subcritical,
+    /// Branching ratio ≈ 1 (within 1e-9): boundary case.
+    Critical,
+    /// Branching ratio > 1: cascades grow without bound.
+    Supercritical,
+}
+
+/// Stability report for a weight matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StabilityReport {
+    /// Spectral radius of the weight matrix (the branching ratio).
+    pub branching_ratio: f64,
+    /// Classification.
+    pub stability: Stability,
+}
+
+/// Compute the stability report of a weight matrix.
+pub fn stability(weights: &Matrix) -> StabilityReport {
+    let rho = weights.spectral_radius();
+    let stability = if (rho - 1.0).abs() < 1e-9 {
+        Stability::Critical
+    } else if rho < 1.0 {
+        Stability::Subcritical
+    } else {
+        Stability::Supercritical
+    };
+    StabilityReport {
+        branching_ratio: rho,
+        stability,
+    }
+}
+
+/// Geweke convergence z-score comparing the mean of the first `10%` of
+/// a chain to the mean of the last `50%`, using spectral-density-free
+/// (independent-batch) variance estimates. |z| below ~2 is consistent
+/// with convergence.
+///
+/// Returns `None` for chains shorter than 20 samples or with zero
+/// variance in either segment.
+pub fn geweke_z(chain: &[f64]) -> Option<f64> {
+    if chain.len() < 20 {
+        return None;
+    }
+    let n = chain.len();
+    let a = &chain[..n / 10];
+    let b = &chain[n / 2..];
+    let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+    let var = |xs: &[f64], m: f64| {
+        xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() as f64 - 1.0)
+    };
+    let (ma, mb) = (mean(a), mean(b));
+    let (va, vb) = (var(a, ma), var(b, mb));
+    let se = (va / a.len() as f64 + vb / b.len() as f64).sqrt();
+    if se == 0.0 {
+        return None;
+    }
+    Some((ma - mb) / se)
+}
+
+/// Effective sample size of a chain from its autocorrelation function,
+/// using Geyer's initial positive sequence truncation.
+pub fn effective_sample_size(chain: &[f64]) -> f64 {
+    let n = chain.len();
+    if n < 4 {
+        return n as f64;
+    }
+    let mean = chain.iter().sum::<f64>() / n as f64;
+    let c0: f64 = chain.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+    if c0 == 0.0 {
+        return n as f64;
+    }
+    let autocov = |lag: usize| -> f64 {
+        (0..n - lag)
+            .map(|i| (chain[i] - mean) * (chain[i + lag] - mean))
+            .sum::<f64>()
+            / n as f64
+    };
+    let mut rho_sum = 0.0;
+    let mut lag = 1;
+    while lag + 1 < n {
+        let pair = (autocov(lag) + autocov(lag + 1)) / c0;
+        if pair <= 0.0 {
+            break;
+        }
+        rho_sum += pair;
+        lag += 2;
+    }
+    (n as f64 / (1.0 + 2.0 * rho_sum)).clamp(1.0, n as f64)
+}
+
+/// Goodness-of-fit by the time-rescaling theorem.
+///
+/// Under a correctly-specified model, the compensator increments
+/// between consecutive events of the pooled process are i.i.d.
+/// `Exp(1)`; transforming them by `1 − exp(−x)` yields uniforms. This
+/// returns the KS test of those transforms against `U(0,1)` — small
+/// p-values indicate misfit. The discrete-time analogue accumulates
+/// `λ[t,·]` bin mass between event bins.
+///
+/// Returns `None` when fewer than 5 events exist (the test is
+/// meaningless below that).
+pub fn time_rescaling_gof(
+    model: &crate::discrete::DiscreteHawkes,
+    data: &crate::events::EventSeq,
+) -> Option<centipede_stats::ks::KsResult> {
+    let k = model.n_processes();
+    if data.total_events() < 5 {
+        return None;
+    }
+    let rates = model.rates(data, data.n_bins());
+    // Pooled total rate per bin.
+    let total_rate: Vec<f64> = rates.chunks(k).map(|row| row.iter().sum()).collect();
+    // Event bins of the pooled process (with multiplicity).
+    let mut event_bins: Vec<u32> = Vec::new();
+    for e in data.events() {
+        for _ in 0..e.count {
+            event_bins.push(e.t);
+        }
+    }
+    event_bins.sort_unstable();
+    // Compensator increments between consecutive events.
+    let mut increments = Vec::with_capacity(event_bins.len());
+    let mut first = true;
+    let mut prev_bin = 0u32;
+    for &t in &event_bins {
+        let inc: f64 = if first {
+            total_rate[..=t as usize].iter().sum()
+        } else if t > prev_bin {
+            total_rate[(prev_bin + 1) as usize..=t as usize].iter().sum()
+        } else {
+            // Tied bin: attribute the bin's mass once more (the
+            // discrete-time resolution limit).
+            total_rate[t as usize]
+        };
+        increments.push(inc);
+        prev_bin = t;
+        first = false;
+    }
+    // Transform to (0,1) and compare against uniform quantiles.
+    let transformed: Vec<f64> = increments.iter().map(|&x| 1.0 - (-x).exp()).collect();
+    let n = transformed.len();
+    let uniform_grid: Vec<f64> = (1..=n).map(|i| (i as f64 - 0.5) / n as f64).collect();
+    Some(centipede_stats::ks::ks_two_sample(
+        &transformed,
+        &uniform_grid,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn stability_classification() {
+        let sub = Matrix::from_rows(&[&[0.5, 0.1], &[0.1, 0.5]]);
+        assert_eq!(stability(&sub).stability, Stability::Subcritical);
+        let sup = Matrix::from_rows(&[&[1.5]]);
+        assert_eq!(stability(&sup).stability, Stability::Supercritical);
+        let crit = Matrix::from_rows(&[&[1.0]]);
+        assert_eq!(stability(&crit).stability, Stability::Critical);
+    }
+
+    #[test]
+    fn geweke_small_for_stationary_chain() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let chain: Vec<f64> = (0..2000).map(|_| rng.gen::<f64>()).collect();
+        let z = geweke_z(&chain).unwrap();
+        assert!(z.abs() < 3.0, "z={z}");
+    }
+
+    #[test]
+    fn geweke_large_for_trending_chain() {
+        let chain: Vec<f64> = (0..2000).map(|i| i as f64).collect();
+        let z = geweke_z(&chain).unwrap();
+        assert!(z.abs() > 10.0, "z={z}");
+    }
+
+    #[test]
+    fn geweke_degenerate_cases() {
+        assert_eq!(geweke_z(&[1.0; 10]), None); // too short
+        assert_eq!(geweke_z(&[1.0; 100]), None); // zero variance
+    }
+
+    #[test]
+    fn ess_iid_close_to_n() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let chain: Vec<f64> = (0..4000).map(|_| rng.gen::<f64>()).collect();
+        let ess = effective_sample_size(&chain);
+        assert!(ess > 2000.0, "ess={ess}");
+    }
+
+    #[test]
+    fn ess_autocorrelated_much_smaller() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut x = 0.0;
+        let chain: Vec<f64> = (0..4000)
+            .map(|_| {
+                x = 0.98 * x + rng.gen::<f64>() - 0.5;
+                x
+            })
+            .collect();
+        let ess = effective_sample_size(&chain);
+        assert!(ess < 1000.0, "ess={ess}");
+        assert!(ess >= 1.0);
+    }
+
+    #[test]
+    fn ess_constant_chain() {
+        assert_eq!(effective_sample_size(&[2.0; 50]), 50.0);
+        assert_eq!(effective_sample_size(&[1.0, 2.0]), 2.0);
+    }
+
+    #[test]
+    fn gof_accepts_the_generating_model() {
+        use crate::discrete::{simulate, BasisSet, DiscreteHawkes};
+        let basis = BasisSet::log_gaussian(40, 3);
+        let model = DiscreteHawkes::uniform_mixture(
+            vec![0.01, 0.02],
+            Matrix::from_rows(&[&[0.1, 0.3], &[0.05, 0.1]]),
+            &basis,
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let data = simulate(&model, 60_000, &mut rng);
+        let gof = time_rescaling_gof(&model, &data).expect("enough events");
+        assert!(
+            gof.p_value > 0.001,
+            "true model rejected: D={} p={}",
+            gof.statistic,
+            gof.p_value
+        );
+    }
+
+    #[test]
+    fn gof_rejects_a_wrong_model() {
+        use crate::discrete::{simulate, BasisSet, DiscreteHawkes};
+        let basis = BasisSet::log_gaussian(40, 3);
+        let truth = DiscreteHawkes::uniform_mixture(
+            vec![0.005, 0.005],
+            Matrix::from_rows(&[&[0.0, 0.7], &[0.0, 0.0]]),
+            &basis,
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let data = simulate(&truth, 60_000, &mut rng);
+        // A background-only model with a badly wrong rate.
+        let wrong = DiscreteHawkes::uniform_mixture(
+            vec![0.05, 0.05],
+            Matrix::zeros(2),
+            &basis,
+        );
+        let gof = time_rescaling_gof(&wrong, &data).expect("enough events");
+        assert!(
+            gof.p_value < 0.01,
+            "wrong model not rejected: p={}",
+            gof.p_value
+        );
+    }
+
+    #[test]
+    fn gof_needs_enough_events() {
+        use crate::discrete::{BasisSet, DiscreteHawkes};
+        use crate::events::EventSeq;
+        let basis = BasisSet::uniform(5);
+        let model =
+            DiscreteHawkes::uniform_mixture(vec![0.01], Matrix::zeros(1), &basis);
+        let data = EventSeq::from_points(100, 1, &[(10, 0), (20, 0)]);
+        assert!(time_rescaling_gof(&model, &data).is_none());
+    }
+}

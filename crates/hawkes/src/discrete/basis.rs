@@ -1,0 +1,233 @@
+//! Impulse-response basis functions.
+//!
+//! Following Linderman & Adams, the lag profile `G[k'→k]` of each
+//! interaction is a convex mixture of a small number of *fixed* basis
+//! pmfs over the lag axis `1..=D`. We use Gaussian bumps on the
+//! log-lag axis with log-spaced centres, which gives fine resolution at
+//! short lags (minutes) and coarse resolution near the cap (the paper's
+//! 12-hour `Δt_max`), matching the strongly right-skewed reposting lags
+//! observed in §4.
+
+use serde::{Deserialize, Serialize};
+
+/// A set of `B` normalised basis pmfs over lags `1..=D`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BasisSet {
+    max_lag: usize,
+    /// `phi[b][d-1]` is the mass of basis `b` at lag `d`; each row sums
+    /// to 1.
+    phi: Vec<Vec<f64>>,
+}
+
+impl BasisSet {
+    /// Gaussian bumps on the log-lag axis with `n_basis` log-spaced
+    /// centres spanning `1..=max_lag`.
+    ///
+    /// # Panics
+    /// Panics unless `max_lag ≥ 1` and `n_basis ≥ 1`.
+    pub fn log_gaussian(max_lag: usize, n_basis: usize) -> Self {
+        assert!(max_lag >= 1, "BasisSet: max_lag must be ≥ 1");
+        assert!(n_basis >= 1, "BasisSet: n_basis must be ≥ 1");
+        let ln_hi = (max_lag as f64).ln();
+        // Centres log-spaced in [0, ln(max_lag)]; width couples to the
+        // spacing so adjacent bumps overlap ~50%.
+        let spacing = if n_basis > 1 {
+            ln_hi / (n_basis as f64 - 1.0)
+        } else {
+            ln_hi.max(1.0)
+        };
+        let sigma = (spacing * 0.75).max(0.35);
+        let mut phi = Vec::with_capacity(n_basis);
+        for b in 0..n_basis {
+            let centre = if n_basis > 1 {
+                ln_hi * b as f64 / (n_basis as f64 - 1.0)
+            } else {
+                ln_hi / 2.0
+            };
+            let mut row: Vec<f64> = (1..=max_lag)
+                .map(|d| {
+                    let z = ((d as f64).ln() - centre) / sigma;
+                    (-0.5 * z * z).exp()
+                })
+                .collect();
+            let total: f64 = row.iter().sum();
+            debug_assert!(total > 0.0);
+            for v in &mut row {
+                *v /= total;
+            }
+            phi.push(row);
+        }
+        BasisSet { max_lag, phi }
+    }
+
+    /// A single uniform basis (turns the impulse response into a flat
+    /// window) — useful as a null/ablation kernel.
+    pub fn uniform(max_lag: usize) -> Self {
+        assert!(max_lag >= 1, "BasisSet: max_lag must be ≥ 1");
+        BasisSet {
+            max_lag,
+            phi: vec![vec![1.0 / max_lag as f64; max_lag]],
+        }
+    }
+
+    /// Construct from explicit rows; each row must have length `max_lag`,
+    /// non-negative entries, and positive sum (rows are normalised).
+    pub fn from_rows(max_lag: usize, rows: Vec<Vec<f64>>) -> Self {
+        assert!(!rows.is_empty(), "BasisSet: need at least one basis");
+        let mut phi = Vec::with_capacity(rows.len());
+        for mut row in rows {
+            assert_eq!(row.len(), max_lag, "BasisSet: row length != max_lag");
+            assert!(
+                row.iter().all(|&v| v >= 0.0 && v.is_finite()),
+                "BasisSet: negative or non-finite mass"
+            );
+            let total: f64 = row.iter().sum();
+            assert!(total > 0.0, "BasisSet: zero-mass basis row");
+            for v in &mut row {
+                *v /= total;
+            }
+            phi.push(row);
+        }
+        BasisSet { max_lag, phi }
+    }
+
+    /// Maximum lag `D` (bins).
+    pub fn max_lag(&self) -> usize {
+        self.max_lag
+    }
+
+    /// Number of basis functions `B`.
+    pub fn n_basis(&self) -> usize {
+        self.phi.len()
+    }
+
+    /// Mass of basis `b` at lag `d ∈ 1..=D`.
+    pub fn eval(&self, b: usize, d: usize) -> f64 {
+        debug_assert!(d >= 1 && d <= self.max_lag, "lag {d} out of 1..={}", self.max_lag);
+        self.phi[b][d - 1]
+    }
+
+    /// Full row of basis `b` (index `d-1` holds lag `d`).
+    pub fn row(&self, b: usize) -> &[f64] {
+        &self.phi[b]
+    }
+
+    /// Mix the basis rows with the given convex weights into a single
+    /// lag pmf (index `d-1` holds lag `d`).
+    pub fn mix(&self, theta: &[f64]) -> Vec<f64> {
+        assert_eq!(theta.len(), self.n_basis(), "mix: weight length mismatch");
+        let mut g = vec![0.0; self.max_lag];
+        for (b, &w) in theta.iter().enumerate() {
+            for (gi, &p) in g.iter_mut().zip(&self.phi[b]) {
+                *gi += w * p;
+            }
+        }
+        g
+    }
+
+    /// Cumulative sums of a mixed pmf: `out[i] = Σ_{d≤i+1} G[d]`.
+    /// Used for edge-effect (truncated-window) exposure corrections.
+    pub fn mix_cumulative(&self, theta: &[f64]) -> Vec<f64> {
+        let g = self.mix(theta);
+        let mut acc = 0.0;
+        g.into_iter()
+            .map(|v| {
+                acc += v;
+                acc
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_are_normalised() {
+        let b = BasisSet::log_gaussian(720, 5);
+        assert_eq!(b.n_basis(), 5);
+        assert_eq!(b.max_lag(), 720);
+        for i in 0..5 {
+            let total: f64 = b.row(i).iter().sum();
+            assert!((total - 1.0).abs() < 1e-12, "basis {i} sums to {total}");
+            assert!(b.row(i).iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn centres_progress_with_index() {
+        let b = BasisSet::log_gaussian(720, 4);
+        // Peak lag (argmax) should be non-decreasing in basis index.
+        let peak = |i: usize| {
+            b.row(i)
+                .iter()
+                .enumerate()
+                .max_by(|a, c| a.1.partial_cmp(c.1).unwrap())
+                .unwrap()
+                .0
+        };
+        let peaks: Vec<usize> = (0..4).map(peak).collect();
+        for w in peaks.windows(2) {
+            assert!(w[0] <= w[1], "peaks not monotone: {peaks:?}");
+        }
+        assert!(peaks[0] < 10, "first bump should peak at short lags");
+        assert!(peaks[3] > 300, "last bump should peak at long lags");
+    }
+
+    #[test]
+    fn single_basis_spans_whole_axis() {
+        let b = BasisSet::log_gaussian(100, 1);
+        assert_eq!(b.n_basis(), 1);
+        let total: f64 = b.row(0).iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_is_flat() {
+        let b = BasisSet::uniform(4);
+        assert_eq!(b.row(0), &[0.25; 4]);
+        assert_eq!(b.eval(0, 1), 0.25);
+        assert_eq!(b.eval(0, 4), 0.25);
+    }
+
+    #[test]
+    fn mix_is_convex_combination() {
+        let b = BasisSet::from_rows(3, vec![vec![1.0, 0.0, 0.0], vec![0.0, 0.0, 1.0]]);
+        let g = b.mix(&[0.25, 0.75]);
+        assert_eq!(g, vec![0.25, 0.0, 0.75]);
+        let total: f64 = g.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mix_cumulative_monotone_to_one() {
+        let b = BasisSet::log_gaussian(50, 3);
+        let cum = b.mix_cumulative(&[0.2, 0.3, 0.5]);
+        assert_eq!(cum.len(), 50);
+        for w in cum.windows(2) {
+            assert!(w[1] >= w[0] - 1e-15);
+        }
+        assert!((cum[49] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_rows_normalises() {
+        let b = BasisSet::from_rows(2, vec![vec![2.0, 2.0]]);
+        assert_eq!(b.row(0), &[0.5, 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-mass")]
+    fn from_rows_rejects_zero_row() {
+        BasisSet::from_rows(2, vec![vec![0.0, 0.0]]);
+    }
+
+    #[test]
+    fn max_lag_one_works() {
+        let b = BasisSet::log_gaussian(1, 2);
+        assert_eq!(b.max_lag(), 1);
+        assert!((b.eval(0, 1) - 1.0).abs() < 1e-12);
+        assert!((b.eval(1, 1) - 1.0).abs() < 1e-12);
+    }
+}

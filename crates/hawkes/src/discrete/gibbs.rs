@@ -1,0 +1,453 @@
+//! Conjugate Gibbs sampler for the discrete-time network Hawkes model.
+//!
+//! This is the inference procedure of the paper's §5.2, following
+//! Linderman & Adams. The key idea is data augmentation with **parent
+//! allocations**: by the Poisson superposition theorem, each event in
+//! bin `(t, k)` was caused either by the background process or by one
+//! specific earlier event through one specific basis function. Given
+//! allocations, every parameter has a conjugate conditional:
+//!
+//! * background rates: `λ0[k] | z ~ Gamma(α0 + Z0[k], β0 + T)`
+//! * weights: `W[k',k] | z ~ Gamma(αW + N[k'→k], βW + X[k'→k])`
+//!   where `X` is the (edge-truncated) exposure of `k'`-events,
+//! * basis mixtures: `θ[k',k] | z ~ Dirichlet(γ + M[k'→k,·])`.
+//!
+//! Allocations themselves are multinomial with probabilities
+//! proportional to the additive rate components.
+
+use rand::Rng;
+
+use centipede_stats::sampling::{sample_gamma, sample_multinomial, Dirichlet};
+
+use crate::events::EventSeq;
+use crate::matrix::Matrix;
+
+use super::basis::BasisSet;
+use super::model::DiscreteHawkes;
+use super::posterior::Posterior;
+
+/// Gamma/Dirichlet prior hyper-parameters.
+///
+/// Defaults are weakly informative and shrink the weights toward small
+/// values, matching the regularisation needed for the paper's per-URL
+/// fits (a typical URL has only tens of events).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Priors {
+    /// Shape of the Gamma prior on background rates.
+    pub alpha0: f64,
+    /// Rate of the Gamma prior on background rates.
+    pub beta0: f64,
+    /// Shape of the Gamma prior on weights.
+    pub alpha_w: f64,
+    /// Rate of the Gamma prior on weights. Prior mean is
+    /// `alpha_w / beta_w`.
+    pub beta_w: f64,
+    /// Symmetric Dirichlet concentration on basis mixtures.
+    pub gamma: f64,
+}
+
+impl Default for Priors {
+    fn default() -> Self {
+        Priors {
+            alpha0: 1.0,
+            beta0: 100.0,
+            alpha_w: 1.0,
+            beta_w: 20.0,
+            gamma: 1.0,
+        }
+    }
+}
+
+impl Priors {
+    /// Validate positivity of all hyper-parameters.
+    pub fn validate(&self) {
+        assert!(
+            self.alpha0 > 0.0
+                && self.beta0 > 0.0
+                && self.alpha_w > 0.0
+                && self.beta_w > 0.0
+                && self.gamma > 0.0,
+            "Priors: all hyper-parameters must be positive: {self:?}"
+        );
+    }
+}
+
+/// Configuration for [`GibbsSampler`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GibbsConfig {
+    /// Number of post-burn-in samples to retain.
+    pub n_samples: usize,
+    /// Number of initial sweeps to discard.
+    pub burn_in: usize,
+    /// Keep every `thin`-th sweep after burn-in (≥ 1).
+    pub thin: usize,
+    /// Prior hyper-parameters.
+    pub priors: Priors,
+    /// Record the joint log-likelihood trace (slightly more work per
+    /// recorded sweep).
+    pub record_likelihood: bool,
+}
+
+impl Default for GibbsConfig {
+    fn default() -> Self {
+        GibbsConfig {
+            n_samples: 200,
+            burn_in: 100,
+            thin: 1,
+            priors: Priors::default(),
+            record_likelihood: false,
+        }
+    }
+}
+
+/// The Gibbs sampler. Construct once (it owns the basis set) and call
+/// [`GibbsSampler::fit`] per event sequence; fits are independent, so a
+/// fleet of URLs can be fitted in parallel with one sampler per thread.
+#[derive(Debug, Clone)]
+pub struct GibbsSampler {
+    config: GibbsConfig,
+    basis: BasisSet,
+}
+
+/// One event's candidate parent: an earlier stored bin plus the basis
+/// mass at the corresponding lag.
+struct ParentCandidate {
+    src: usize,
+    count: f64,
+    /// `phi_b(d)` for each basis function at this lag.
+    phi_at_lag: Vec<f64>,
+}
+
+impl GibbsSampler {
+    /// Create a sampler with the given configuration and basis set.
+    pub fn new(config: GibbsConfig, basis: BasisSet) -> Self {
+        config.priors.validate();
+        assert!(config.n_samples > 0, "GibbsConfig: n_samples must be > 0");
+        assert!(config.thin >= 1, "GibbsConfig: thin must be ≥ 1");
+        GibbsSampler { config, basis }
+    }
+
+    /// The configured basis set.
+    pub fn basis(&self) -> &BasisSet {
+        &self.basis
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &GibbsConfig {
+        &self.config
+    }
+
+    /// Run the sampler on one event sequence and return the posterior.
+    pub fn fit<R: Rng + ?Sized>(&self, data: &EventSeq, rng: &mut R) -> Posterior {
+        let k = data.n_processes();
+        let b = self.basis.n_basis();
+        let d_max = self.basis.max_lag();
+        let t_total = data.n_bins() as f64;
+        let p = &self.config.priors;
+
+        // --- Precompute parent candidate tables per event -------------
+        let events = data.events();
+        let candidates: Vec<Vec<ParentCandidate>> = events
+            .iter()
+            .map(|e| {
+                let lo = e.t.saturating_sub(d_max as u32);
+                data.window(lo, e.t)
+                    .iter()
+                    .map(|pe| {
+                        let d = (e.t - pe.t) as usize;
+                        ParentCandidate {
+                            src: pe.k as usize,
+                            count: pe.count as f64,
+                            phi_at_lag: (0..b).map(|bi| self.basis.eval(bi, d)).collect(),
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // Per-process totals used for exposures.
+        let mut events_per_proc = vec![0.0f64; k];
+        for e in events {
+            events_per_proc[e.k as usize] += e.count as f64;
+        }
+        // Events whose window is truncated by the end of the observation:
+        // remember (src, remaining_lags) pairs for exposure corrections.
+        let truncated: Vec<(usize, usize)> = events
+            .iter()
+            .filter_map(|e| {
+                let remaining = (data.n_bins() - 1 - e.t) as usize;
+                if remaining < d_max {
+                    Some((e.k as usize, remaining))
+                } else {
+                    None
+                }
+            })
+            .collect();
+
+        // --- Initialise state ------------------------------------------
+        let mut lambda0: Vec<f64> = (0..k)
+            .map(|ki| {
+                let empirical = events_per_proc[ki] / t_total;
+                (empirical * 0.5).max(1e-6)
+            })
+            .collect();
+        let mut weights = Matrix::constant(k, p.alpha_w / p.beta_w);
+        let mut theta = vec![1.0 / b as f64; k * k * b];
+
+        let total_sweeps = self.config.burn_in + self.config.n_samples * self.config.thin;
+        let mut posterior = Posterior::new(k, self.config.n_samples);
+
+        // Scratch buffers for the allocation step.
+        let mut alloc_weights: Vec<f64> = Vec::new();
+
+        for sweep in 0..total_sweeps {
+            // ---- 1. Parent allocation ---------------------------------
+            let mut z0 = vec![0.0f64; k];
+            let mut n_child = Matrix::zeros(k);
+            let mut m_basis = vec![0.0f64; k * k * b];
+
+            for (e, cands) in events.iter().zip(&candidates) {
+                let dst = e.k as usize;
+                alloc_weights.clear();
+                alloc_weights.push(lambda0[dst]);
+                for c in cands {
+                    let w = weights.get(c.src, dst);
+                    let th = &theta[(c.src * k + dst) * b..(c.src * k + dst) * b + b];
+                    for (bi, &phi) in c.phi_at_lag.iter().enumerate() {
+                        alloc_weights.push(c.count * w * th[bi] * phi);
+                    }
+                }
+                let total_w: f64 = alloc_weights.iter().sum();
+                if total_w <= 0.0 {
+                    // Degenerate (all-zero rate); attribute to background.
+                    z0[dst] += e.count as f64;
+                    continue;
+                }
+                let draws = sample_multinomial(rng, e.count as u64, &alloc_weights);
+                z0[dst] += draws[0] as f64;
+                let mut idx = 1;
+                for c in cands {
+                    for bi in 0..b {
+                        let n = draws[idx] as f64;
+                        idx += 1;
+                        if n > 0.0 {
+                            n_child.add(c.src, dst, n);
+                            m_basis[(c.src * k + dst) * b + bi] += n;
+                        }
+                    }
+                }
+            }
+
+            // ---- 2. Background rates -----------------------------------
+            for ki in 0..k {
+                lambda0[ki] = sample_gamma(rng, p.alpha0 + z0[ki], p.beta0 + t_total);
+            }
+
+            // ---- 3. Weights (with edge-truncated exposure) -------------
+            for src in 0..k {
+                for dst in 0..k {
+                    // Exposure: each src event contributes the fraction of
+                    // its impulse-response window inside the observation.
+                    let cum = self
+                        .basis
+                        .mix_cumulative(&theta[(src * k + dst) * b..(src * k + dst) * b + b]);
+                    let mut exposure = events_per_proc[src];
+                    for &(tsrc, remaining) in &truncated {
+                        if tsrc == src {
+                            let inside = if remaining == 0 {
+                                0.0
+                            } else {
+                                cum[remaining - 1]
+                            };
+                            exposure -= 1.0 - inside;
+                        }
+                    }
+                    exposure = exposure.max(0.0);
+                    weights.set(
+                        src,
+                        dst,
+                        sample_gamma(
+                            rng,
+                            p.alpha_w + n_child.get(src, dst),
+                            p.beta_w + exposure,
+                        ),
+                    );
+                }
+            }
+
+            // ---- 4. Basis mixtures -------------------------------------
+            for pair in 0..k * k {
+                let alpha: Vec<f64> = (0..b)
+                    .map(|bi| p.gamma + m_basis[pair * b + bi])
+                    .collect();
+                let draw = Dirichlet::new(alpha).sample(rng);
+                theta[pair * b..pair * b + b].copy_from_slice(&draw);
+            }
+
+            // ---- 5. Record ---------------------------------------------
+            if sweep >= self.config.burn_in
+                && (sweep - self.config.burn_in) % self.config.thin == 0
+            {
+                let ll = if self.config.record_likelihood {
+                    let model = DiscreteHawkes::new(
+                        lambda0.clone(),
+                        weights.clone(),
+                        theta.clone(),
+                        self.basis.clone(),
+                    );
+                    Some(model.log_likelihood(data))
+                } else {
+                    None
+                };
+                posterior.push(lambda0.clone(), weights.clone(), theta.clone(), ll);
+            }
+        }
+        posterior
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::discrete::simulate;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    fn quick_config(n: usize) -> GibbsConfig {
+        GibbsConfig {
+            n_samples: n,
+            burn_in: n / 2,
+            thin: 1,
+            priors: Priors::default(),
+            record_likelihood: false,
+        }
+    }
+
+    #[test]
+    fn recovers_background_rate_without_interactions() {
+        let basis = BasisSet::uniform(20);
+        let truth = DiscreteHawkes::uniform_mixture(
+            vec![0.05, 0.01],
+            Matrix::zeros(2),
+            &basis,
+        );
+        let data = simulate(&truth, 30_000, &mut rng(1));
+        let sampler = GibbsSampler::new(quick_config(100), basis);
+        let post = sampler.fit(&data, &mut rng(2));
+        let bg = post.mean_lambda0();
+        assert!((bg[0] - 0.05).abs() < 0.01, "bg0={}", bg[0]);
+        assert!((bg[1] - 0.01).abs() < 0.005, "bg1={}", bg[1]);
+        // Weights should be shrunk toward zero.
+        let w = post.mean_weights();
+        assert!(w.max_abs() < 0.12, "w={w}");
+    }
+
+    #[test]
+    fn recovers_directed_weight() {
+        let basis = BasisSet::log_gaussian(60, 3);
+        let truth = DiscreteHawkes::uniform_mixture(
+            vec![0.02, 0.01],
+            Matrix::from_rows(&[&[0.05, 0.5], &[0.0, 0.05]]),
+            &basis,
+        );
+        let data = simulate(&truth, 60_000, &mut rng(3));
+        let sampler = GibbsSampler::new(quick_config(150), basis);
+        let post = sampler.fit(&data, &mut rng(4));
+        let w = post.mean_weights();
+        // The dominant 0→1 edge must be recovered as dominant.
+        assert!(
+            w.get(0, 1) > 0.25,
+            "expected strong 0→1 edge, got {}",
+            w.get(0, 1)
+        );
+        assert!(
+            w.get(0, 1) > 2.0 * w.get(1, 0),
+            "asymmetry lost: {} vs {}",
+            w.get(0, 1),
+            w.get(1, 0)
+        );
+    }
+
+    #[test]
+    fn self_excitation_detected() {
+        let basis = BasisSet::log_gaussian(40, 3);
+        let truth = DiscreteHawkes::uniform_mixture(
+            vec![0.01],
+            Matrix::from_rows(&[&[0.6]]),
+            &basis,
+        );
+        let data = simulate(&truth, 80_000, &mut rng(5));
+        let sampler = GibbsSampler::new(quick_config(150), basis);
+        let post = sampler.fit(&data, &mut rng(6));
+        let w = post.mean_weights().get(0, 0);
+        assert!((w - 0.6).abs() < 0.2, "w={w}");
+        let bg = post.mean_lambda0()[0];
+        assert!((bg - 0.01).abs() < 0.008, "bg={bg}");
+    }
+
+    #[test]
+    fn empty_data_falls_back_to_prior() {
+        let basis = BasisSet::uniform(10);
+        let data = EventSeq::from_points(1000, 2, &[]);
+        let sampler = GibbsSampler::new(quick_config(80), basis);
+        let post = sampler.fit(&data, &mut rng(7));
+        let p = Priors::default();
+        // λ0 posterior = Gamma(α0, β0 + T): mean α0/(β0+T).
+        let expect = p.alpha0 / (p.beta0 + 1000.0);
+        let bg = post.mean_lambda0();
+        assert!((bg[0] - expect).abs() < 3.0 * expect, "bg={}", bg[0]);
+        // W posterior stays at prior: mean αW/βW = 0.05.
+        let w = post.mean_weights();
+        assert!((w.get(0, 1) - 0.05).abs() < 0.1, "w={}", w.get(0, 1));
+    }
+
+    #[test]
+    fn posterior_sample_count_respects_config() {
+        let basis = BasisSet::uniform(5);
+        let data = EventSeq::from_points(100, 1, &[(10, 0), (50, 0)]);
+        let cfg = GibbsConfig {
+            n_samples: 17,
+            burn_in: 5,
+            thin: 3,
+            priors: Priors::default(),
+            record_likelihood: true,
+        };
+        let sampler = GibbsSampler::new(cfg, basis);
+        let post = sampler.fit(&data, &mut rng(8));
+        assert_eq!(post.n_samples(), 17);
+        assert_eq!(post.log_likelihoods().len(), 17);
+        assert!(post
+            .log_likelihoods()
+            .iter()
+            .all(|ll| ll.is_finite()));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let basis = BasisSet::log_gaussian(20, 2);
+        let data = EventSeq::from_points(500, 2, &[(10, 0), (12, 1), (100, 0), (103, 1)]);
+        let sampler = GibbsSampler::new(quick_config(30), basis);
+        let a = sampler.fit(&data, &mut rng(9)).mean_weights();
+        let b = sampler.fit(&data, &mut rng(9)).mean_weights();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn rejects_bad_priors() {
+        let bad = Priors {
+            alpha0: 0.0,
+            ..Priors::default()
+        };
+        GibbsSampler::new(
+            GibbsConfig {
+                priors: bad,
+                ..GibbsConfig::default()
+            },
+            BasisSet::uniform(5),
+        );
+    }
+}

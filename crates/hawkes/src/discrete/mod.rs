@@ -1,0 +1,24 @@
+//! Discrete-time network Hawkes process (Linderman–Adams style).
+//!
+//! * [`BasisSet`] — fixed impulse-response basis pmfs over lags.
+//! * [`DiscreteHawkes`] — the generative model (background rates,
+//!   weight matrix, per-pair impulse-response mixtures).
+//! * [`simulate`] — forward simulation of binned event counts.
+//! * [`GibbsSampler`] — conjugate Gibbs inference via auxiliary parent
+//!   allocation, the paper's §5.2 fitting procedure.
+//! * [`EmFitter`] — MAP expectation-maximisation alternative.
+//! * [`Posterior`] — posterior samples with summarisation helpers.
+
+mod basis;
+mod em;
+mod gibbs;
+mod model;
+mod posterior;
+mod simulate;
+
+pub use basis::BasisSet;
+pub use em::{EmConfig, EmFitter, EmResult};
+pub use gibbs::{GibbsConfig, GibbsSampler, Priors};
+pub use model::DiscreteHawkes;
+pub use posterior::Posterior;
+pub use simulate::simulate;

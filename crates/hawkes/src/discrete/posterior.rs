@@ -1,0 +1,275 @@
+//! Posterior sample storage and summarisation.
+
+use serde::{Deserialize, Serialize};
+
+use crate::matrix::Matrix;
+
+/// Retained Gibbs samples of `(λ0, W, θ)` with summarisation helpers.
+///
+/// Weight samples are the paper's unit of analysis: Figure 10 reports
+/// the *mean* of `W[src,dst]` over per-URL fits, and the KS stars
+/// compare the distributions of these per-URL means between alternative
+/// and mainstream URLs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Posterior {
+    n_processes: usize,
+    lambda0: Vec<Vec<f64>>,
+    weights: Vec<Matrix>,
+    theta: Vec<Vec<f64>>,
+    log_likelihoods: Vec<f64>,
+}
+
+impl Posterior {
+    /// Create empty storage for `K` processes with capacity hints.
+    pub fn new(n_processes: usize, capacity: usize) -> Self {
+        Posterior {
+            n_processes,
+            lambda0: Vec::with_capacity(capacity),
+            weights: Vec::with_capacity(capacity),
+            theta: Vec::with_capacity(capacity),
+            log_likelihoods: Vec::new(),
+        }
+    }
+
+    /// Append one retained sweep.
+    pub fn push(
+        &mut self,
+        lambda0: Vec<f64>,
+        weights: Matrix,
+        theta: Vec<f64>,
+        log_likelihood: Option<f64>,
+    ) {
+        assert_eq!(lambda0.len(), self.n_processes, "Posterior: λ0 dimension");
+        assert_eq!(weights.k(), self.n_processes, "Posterior: W dimension");
+        self.lambda0.push(lambda0);
+        self.weights.push(weights);
+        self.theta.push(theta);
+        if let Some(ll) = log_likelihood {
+            self.log_likelihoods.push(ll);
+        }
+    }
+
+    /// Number of processes `K`.
+    pub fn n_processes(&self) -> usize {
+        self.n_processes
+    }
+
+    /// Number of retained samples.
+    pub fn n_samples(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// All λ0 samples.
+    pub fn lambda0_samples(&self) -> &[Vec<f64>] {
+        &self.lambda0
+    }
+
+    /// All weight-matrix samples.
+    pub fn weight_samples(&self) -> &[Matrix] {
+        &self.weights
+    }
+
+    /// Log-likelihood trace (empty unless recording was enabled).
+    pub fn log_likelihoods(&self) -> &[f64] {
+        &self.log_likelihoods
+    }
+
+    /// Posterior mean of the background rates.
+    pub fn mean_lambda0(&self) -> Vec<f64> {
+        assert!(!self.lambda0.is_empty(), "Posterior: no samples");
+        let k = self.n_processes;
+        let mut out = vec![0.0; k];
+        for s in &self.lambda0 {
+            for (o, v) in out.iter_mut().zip(s) {
+                *o += v;
+            }
+        }
+        for o in &mut out {
+            *o /= self.lambda0.len() as f64;
+        }
+        out
+    }
+
+    /// Posterior mean of the weight matrix.
+    pub fn mean_weights(&self) -> Matrix {
+        assert!(!self.weights.is_empty(), "Posterior: no samples");
+        let mut out = Matrix::zeros(self.n_processes);
+        for w in &self.weights {
+            out.add_matrix(w);
+        }
+        out.scale(1.0 / self.weights.len() as f64);
+        out
+    }
+
+    /// Posterior standard deviation of each weight entry.
+    pub fn std_weights(&self) -> Matrix {
+        assert!(!self.weights.is_empty(), "Posterior: no samples");
+        let mean = self.mean_weights();
+        let mut var = Matrix::zeros(self.n_processes);
+        for w in &self.weights {
+            for src in 0..self.n_processes {
+                for dst in 0..self.n_processes {
+                    let d = w.get(src, dst) - mean.get(src, dst);
+                    var.add(src, dst, d * d);
+                }
+            }
+        }
+        var.scale(1.0 / self.weights.len() as f64);
+        var.map(f64::sqrt)
+    }
+
+    /// Posterior quantile of one weight entry.
+    pub fn weight_quantile(&self, src: usize, dst: usize, q: f64) -> f64 {
+        let samples: Vec<f64> = self.weights.iter().map(|w| w.get(src, dst)).collect();
+        centipede_stats::quantile(&samples, q).expect("Posterior: no samples")
+    }
+
+    /// Posterior mean of the basis-mixture weights, flattened as
+    /// `theta[(src*K + dst)*B + b]`.
+    pub fn mean_theta(&self) -> Vec<f64> {
+        assert!(!self.theta.is_empty(), "Posterior: no samples");
+        let len = self.theta[0].len();
+        let mut out = vec![0.0; len];
+        for sample in &self.theta {
+            for (o, v) in out.iter_mut().zip(sample) {
+                *o += v;
+            }
+        }
+        for o in &mut out {
+            *o /= self.theta.len() as f64;
+        }
+        out
+    }
+
+    /// Posterior-mean impulse-response pmf `G[src→dst]` over lags
+    /// (index `d-1` holds lag `d`), mixed through the given basis set.
+    ///
+    /// # Panics
+    /// Panics if the basis dimension is inconsistent with the stored
+    /// theta samples.
+    pub fn mean_impulse_pmf(
+        &self,
+        src: usize,
+        dst: usize,
+        basis: &super::basis::BasisSet,
+    ) -> Vec<f64> {
+        let theta = self.mean_theta();
+        let k = self.n_processes;
+        let b = basis.n_basis();
+        assert_eq!(
+            theta.len(),
+            k * k * b,
+            "Posterior::mean_impulse_pmf: basis dimension mismatch"
+        );
+        let start = (src * k + dst) * b;
+        basis.mix(&theta[start..start + b])
+    }
+
+    /// Equal-tailed credible interval for one weight entry.
+    pub fn weight_credible_interval(&self, src: usize, dst: usize, level: f64) -> (f64, f64) {
+        assert!(
+            level > 0.0 && level < 1.0,
+            "credible interval level must be in (0,1)"
+        );
+        let tail = (1.0 - level) / 2.0;
+        (
+            self.weight_quantile(src, dst, tail),
+            self.weight_quantile(src, dst, 1.0 - tail),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_posterior() -> Posterior {
+        let mut p = Posterior::new(2, 4);
+        for i in 0..4 {
+            let v = i as f64;
+            p.push(
+                vec![v, 2.0 * v],
+                Matrix::from_rows(&[&[v, 1.0], &[0.0, v]]),
+                vec![0.5; 2 * 2 * 1],
+                Some(-10.0 - v),
+            );
+        }
+        p
+    }
+
+    #[test]
+    fn mean_lambda0_and_weights() {
+        let p = toy_posterior();
+        assert_eq!(p.n_samples(), 4);
+        let bg = p.mean_lambda0();
+        assert!((bg[0] - 1.5).abs() < 1e-12);
+        assert!((bg[1] - 3.0).abs() < 1e-12);
+        let w = p.mean_weights();
+        assert!((w.get(0, 0) - 1.5).abs() < 1e-12);
+        assert_eq!(w.get(0, 1), 1.0);
+        assert_eq!(w.get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn std_weights_zero_for_constant_entries() {
+        let p = toy_posterior();
+        let s = p.std_weights();
+        assert!(s.get(0, 1).abs() < 1e-12);
+        // Population sd of {0,1,2,3} is sqrt(1.25).
+        assert!((s.get(0, 0) - 1.25f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_and_intervals() {
+        let p = toy_posterior();
+        assert_eq!(p.weight_quantile(0, 0, 0.5), 1.5);
+        let (lo, hi) = p.weight_credible_interval(0, 0, 0.5);
+        assert!(lo <= 1.5 && hi >= 1.5);
+        assert!(lo >= 0.0 && hi <= 3.0);
+    }
+
+    #[test]
+    fn mean_theta_and_impulse_pmf() {
+        use crate::discrete::BasisSet;
+        let basis = BasisSet::from_rows(3, vec![vec![1.0, 0.0, 0.0], vec![0.0, 0.0, 1.0]]);
+        let mut p = Posterior::new(2, 2);
+        // Two samples with different mixtures on pair (src=0, dst=1);
+        // that pair's theta lives at flat offset (0*K + 1)*B = 2.
+        let pair_off = 2;
+        let mut theta1 = vec![0.5; 2 * 2 * 2];
+        theta1[pair_off] = 1.0;
+        theta1[pair_off + 1] = 0.0;
+        let mut theta2 = vec![0.5; 2 * 2 * 2];
+        theta2[pair_off] = 0.0;
+        theta2[pair_off + 1] = 1.0;
+        p.push(vec![0.1, 0.1], Matrix::zeros(2), theta1, None);
+        p.push(vec![0.1, 0.1], Matrix::zeros(2), theta2, None);
+        let mean = p.mean_theta();
+        assert!((mean[pair_off] - 0.5).abs() < 1e-12);
+        // Mixed pmf: 0.5·[1,0,0] + 0.5·[0,0,1].
+        let g = p.mean_impulse_pmf(0, 1, &basis);
+        assert_eq!(g, vec![0.5, 0.0, 0.5]);
+        let total: f64 = g.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_likelihood_trace_stored() {
+        let p = toy_posterior();
+        assert_eq!(p.log_likelihoods().len(), 4);
+        assert_eq!(p.log_likelihoods()[0], -10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples")]
+    fn empty_posterior_panics_on_mean() {
+        Posterior::new(2, 0).mean_weights();
+    }
+
+    #[test]
+    #[should_panic(expected = "λ0 dimension")]
+    fn push_rejects_wrong_dimension() {
+        let mut p = Posterior::new(2, 1);
+        p.push(vec![1.0], Matrix::zeros(2), vec![], None);
+    }
+}

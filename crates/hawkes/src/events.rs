@@ -1,0 +1,290 @@
+//! Sparse binned event sequences.
+//!
+//! The paper bins each URL's posting history into one-minute bins,
+//! producing a count matrix `s ∈ N^{T×K}`. For the URLs in the study,
+//! 92% of events occupy a bin alone, so the matrix is extremely sparse;
+//! [`EventSeq`] stores only the non-zero bins, sorted by time.
+
+use serde::{Deserialize, Serialize};
+
+/// One non-empty bin: `count` events on process `k` in time bin `t`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BinEvent {
+    /// Time bin index, `0 ≤ t < T`.
+    pub t: u32,
+    /// Process index, `0 ≤ k < K`.
+    pub k: u16,
+    /// Number of events in the bin (≥ 1).
+    pub count: u32,
+}
+
+/// A sparse `T×K` matrix of event counts, sorted by `(t, k)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventSeq {
+    n_bins: u32,
+    n_processes: usize,
+    events: Vec<BinEvent>,
+}
+
+impl EventSeq {
+    /// Build from raw per-event `(t, k)` pairs; multiple events in the
+    /// same `(t, k)` bin are merged into one [`BinEvent`] with the
+    /// appropriate count.
+    ///
+    /// # Panics
+    /// Panics if any `t ≥ n_bins` or `k ≥ n_processes`, or if
+    /// `n_bins == 0` / `n_processes == 0`.
+    pub fn from_points(n_bins: u32, n_processes: usize, points: &[(u32, u16)]) -> Self {
+        assert!(n_bins > 0, "EventSeq: n_bins must be positive");
+        assert!(n_processes > 0, "EventSeq: n_processes must be positive");
+        let mut sorted: Vec<(u32, u16)> = points.to_vec();
+        for &(t, k) in &sorted {
+            assert!(t < n_bins, "EventSeq: t={t} out of range (T={n_bins})");
+            assert!(
+                (k as usize) < n_processes,
+                "EventSeq: k={k} out of range (K={n_processes})"
+            );
+        }
+        sorted.sort_unstable();
+        let mut events: Vec<BinEvent> = Vec::new();
+        for (t, k) in sorted {
+            match events.last_mut() {
+                Some(last) if last.t == t && last.k == k => last.count += 1,
+                _ => events.push(BinEvent { t, k, count: 1 }),
+            }
+        }
+        EventSeq {
+            n_bins,
+            n_processes,
+            events,
+        }
+    }
+
+    /// Build directly from merged bin events (must be sorted by `(t, k)`
+    /// with no duplicate `(t, k)` and all counts ≥ 1).
+    pub fn from_bins(n_bins: u32, n_processes: usize, events: Vec<BinEvent>) -> Self {
+        assert!(n_bins > 0 && n_processes > 0, "EventSeq: empty dimensions");
+        for w in events.windows(2) {
+            assert!(
+                (w[0].t, w[0].k) < (w[1].t, w[1].k),
+                "EventSeq::from_bins: events must be strictly sorted by (t, k)"
+            );
+        }
+        for e in &events {
+            assert!(e.t < n_bins && (e.k as usize) < n_processes && e.count >= 1);
+        }
+        EventSeq {
+            n_bins,
+            n_processes,
+            events,
+        }
+    }
+
+    /// Number of time bins `T`.
+    pub fn n_bins(&self) -> u32 {
+        self.n_bins
+    }
+
+    /// Number of processes `K`.
+    pub fn n_processes(&self) -> usize {
+        self.n_processes
+    }
+
+    /// The non-empty bins, sorted by `(t, k)`.
+    pub fn events(&self) -> &[BinEvent] {
+        &self.events
+    }
+
+    /// Total number of events (sum of counts).
+    pub fn total_events(&self) -> u64 {
+        self.events.iter().map(|e| e.count as u64).sum()
+    }
+
+    /// Total events on one process.
+    pub fn events_on(&self, k: usize) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| e.k as usize == k)
+            .map(|e| e.count as u64)
+            .sum()
+    }
+
+    /// Whether any events exist on process `k`.
+    pub fn has_events_on(&self, k: usize) -> bool {
+        self.events.iter().any(|e| e.k as usize == k)
+    }
+
+    /// Index of the first stored event with `t ≥ t_min` (binary search).
+    pub fn first_at_or_after(&self, t_min: u32) -> usize {
+        self.events.partition_point(|e| e.t < t_min)
+    }
+
+    /// Events in the half-open window `[t_lo, t_hi)` as a slice.
+    pub fn window(&self, t_lo: u32, t_hi: u32) -> &[BinEvent] {
+        let lo = self.first_at_or_after(t_lo);
+        let hi = self.events.partition_point(|e| e.t < t_hi);
+        &self.events[lo..hi]
+    }
+
+    /// Dense `T×K` count matrix (row-major `t*K + k`). For tests and
+    /// small sequences only.
+    pub fn to_dense(&self) -> Vec<u32> {
+        let mut dense = vec![0u32; self.n_bins as usize * self.n_processes];
+        for e in &self.events {
+            dense[e.t as usize * self.n_processes + e.k as usize] = e.count;
+        }
+        dense
+    }
+
+    /// The bin of the first event, if any.
+    pub fn first_bin(&self) -> Option<u32> {
+        self.events.first().map(|e| e.t)
+    }
+
+    /// The bin of the last event, if any.
+    pub fn last_bin(&self) -> Option<u32> {
+        self.events.iter().map(|e| e.t).max()
+    }
+
+    /// Fraction of events that share a bin with events of a *different*
+    /// process (the paper reports 92% of events alone in a bin and 5.4%
+    /// sharing only with the same platform).
+    pub fn cross_process_bin_sharing(&self) -> f64 {
+        if self.events.is_empty() {
+            return 0.0;
+        }
+        let mut shared: u64 = 0;
+        let mut i = 0;
+        while i < self.events.len() {
+            let t = self.events[i].t;
+            let mut j = i + 1;
+            while j < self.events.len() && self.events[j].t == t {
+                j += 1;
+            }
+            if j - i > 1 {
+                // Multiple processes share bin t.
+                shared += self.events[i..j].iter().map(|e| e.count as u64).sum::<u64>();
+            }
+            i = j;
+        }
+        shared as f64 / self.total_events() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_points_merges_and_sorts() {
+        let s = EventSeq::from_points(10, 3, &[(5, 1), (2, 0), (5, 1), (5, 0)]);
+        assert_eq!(s.events().len(), 3);
+        assert_eq!(
+            s.events()[0],
+            BinEvent {
+                t: 2,
+                k: 0,
+                count: 1
+            }
+        );
+        assert_eq!(
+            s.events()[2],
+            BinEvent {
+                t: 5,
+                k: 1,
+                count: 2
+            }
+        );
+        assert_eq!(s.total_events(), 4);
+        assert_eq!(s.events_on(1), 2);
+        assert!(s.has_events_on(0));
+        assert!(!s.has_events_on(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_points_rejects_out_of_range_t() {
+        EventSeq::from_points(10, 2, &[(10, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_points_rejects_out_of_range_k() {
+        EventSeq::from_points(10, 2, &[(0, 2)]);
+    }
+
+    #[test]
+    fn window_slicing() {
+        let s = EventSeq::from_points(100, 2, &[(10, 0), (20, 1), (30, 0), (40, 1)]);
+        let w = s.window(15, 35);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[0].t, 20);
+        assert_eq!(w[1].t, 30);
+        assert!(s.window(50, 60).is_empty());
+        assert_eq!(s.window(0, 100).len(), 4);
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let s = EventSeq::from_points(4, 2, &[(0, 0), (0, 0), (3, 1)]);
+        let d = s.to_dense();
+        assert_eq!(d, vec![2, 0, 0, 0, 0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn first_last_bins() {
+        let s = EventSeq::from_points(100, 1, &[(7, 0), (93, 0)]);
+        assert_eq!(s.first_bin(), Some(7));
+        assert_eq!(s.last_bin(), Some(93));
+        let empty = EventSeq::from_points(10, 1, &[]);
+        assert_eq!(empty.first_bin(), None);
+        assert_eq!(empty.last_bin(), None);
+    }
+
+    #[test]
+    fn from_bins_validates_sortedness() {
+        let bins = vec![
+            BinEvent {
+                t: 1,
+                k: 0,
+                count: 1,
+            },
+            BinEvent {
+                t: 1,
+                k: 1,
+                count: 2,
+            },
+        ];
+        let s = EventSeq::from_bins(5, 2, bins);
+        assert_eq!(s.total_events(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly sorted")]
+    fn from_bins_rejects_duplicates() {
+        let bins = vec![
+            BinEvent {
+                t: 1,
+                k: 0,
+                count: 1,
+            },
+            BinEvent {
+                t: 1,
+                k: 0,
+                count: 2,
+            },
+        ];
+        EventSeq::from_bins(5, 2, bins);
+    }
+
+    #[test]
+    fn cross_process_sharing_fraction() {
+        // Bin 3 shared between k=0 and k=1 (3 events), bin 7 alone (1).
+        let s = EventSeq::from_points(10, 2, &[(3, 0), (3, 1), (3, 1), (7, 0)]);
+        assert!((s.cross_process_bin_sharing() - 0.75).abs() < 1e-12);
+        let lone = EventSeq::from_points(10, 2, &[(1, 0), (2, 1)]);
+        assert_eq!(lone.cross_process_bin_sharing(), 0.0);
+        let empty = EventSeq::from_points(10, 2, &[]);
+        assert_eq!(empty.cross_process_bin_sharing(), 0.0);
+    }
+}

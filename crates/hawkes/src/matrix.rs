@@ -1,0 +1,266 @@
+//! A small dense square matrix for interaction weights.
+//!
+//! The Hawkes weight matrix `W` is `K×K` with `K = 8` in the paper —
+//! a tiny dense matrix, so no linear-algebra dependency is warranted.
+//! Entry `(src, dst)` is the expected number of child events on `dst`
+//! caused by one event on `src`.
+
+use serde::{Deserialize, Serialize};
+
+/// Dense row-major `K×K` matrix of `f64`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    k: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// All-zero `k×k` matrix.
+    pub fn zeros(k: usize) -> Self {
+        assert!(k > 0, "Matrix: dimension must be positive");
+        Matrix {
+            k,
+            data: vec![0.0; k * k],
+        }
+    }
+
+    /// Matrix with every entry set to `value`.
+    pub fn constant(k: usize, value: f64) -> Self {
+        let mut m = Self::zeros(k);
+        m.data.fill(value);
+        m
+    }
+
+    /// Build from row slices (all of length `k`).
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let k = rows.len();
+        assert!(k > 0, "Matrix::from_rows: empty");
+        assert!(
+            rows.iter().all(|r| r.len() == k),
+            "Matrix::from_rows: not square"
+        );
+        let mut m = Self::zeros(k);
+        for (i, row) in rows.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                m.set(i, j, v);
+            }
+        }
+        m
+    }
+
+    /// Build from a flat row-major vector of length `k²`.
+    pub fn from_flat(k: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), k * k, "Matrix::from_flat: length mismatch");
+        Matrix { k, data }
+    }
+
+    /// Dimension `K`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Entry `(src, dst)` — row `src`, column `dst`.
+    pub fn get(&self, src: usize, dst: usize) -> f64 {
+        self.data[src * self.k + dst]
+    }
+
+    /// Set entry `(src, dst)`.
+    pub fn set(&mut self, src: usize, dst: usize, value: f64) {
+        self.data[src * self.k + dst] = value;
+    }
+
+    /// Add to entry `(src, dst)`.
+    pub fn add(&mut self, src: usize, dst: usize, value: f64) {
+        self.data[src * self.k + dst] += value;
+    }
+
+    /// Flat row-major view.
+    pub fn flat(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable flat row-major view.
+    pub fn flat_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Row `src` as a slice (outgoing weights of a process).
+    pub fn row(&self, src: usize) -> &[f64] {
+        &self.data[src * self.k..(src + 1) * self.k]
+    }
+
+    /// Column `dst` collected into a vector (incoming weights).
+    pub fn column(&self, dst: usize) -> Vec<f64> {
+        (0..self.k).map(|src| self.get(src, dst)).collect()
+    }
+
+    /// Element-wise map.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
+        Matrix {
+            k: self.k,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Element-wise sum with another matrix of the same dimension.
+    pub fn add_matrix(&mut self, other: &Matrix) {
+        assert_eq!(self.k, other.k, "Matrix::add_matrix: dimension mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Scale every entry in place.
+    pub fn scale(&mut self, factor: f64) {
+        for v in &mut self.data {
+            *v *= factor;
+        }
+    }
+
+    /// Maximum absolute entry.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0f64, |m, &v| m.max(v.abs()))
+    }
+
+    /// Mean absolute difference against another matrix.
+    pub fn mean_abs_diff(&self, other: &Matrix) -> f64 {
+        assert_eq!(self.k, other.k, "Matrix::mean_abs_diff: dimension mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>()
+            / self.data.len() as f64
+    }
+
+    /// Spectral radius estimated by power iteration on `|M|` (entrywise
+    /// absolute values; for non-negative Hawkes weight matrices this is
+    /// the exact spectral radius by Perron–Frobenius).
+    pub fn spectral_radius(&self) -> f64 {
+        let k = self.k;
+        let mut v = vec![1.0 / (k as f64).sqrt(); k];
+        let mut radius = 0.0;
+        for _ in 0..200 {
+            let mut next = vec![0.0; k];
+            for (i, nv) in next.iter_mut().enumerate() {
+                for (j, &vj) in v.iter().enumerate() {
+                    // |M|^T v — power-iterate on the transpose-free
+                    // absolute matrix; eigenvalues are shared.
+                    *nv += self.get(i, j).abs() * vj;
+                }
+            }
+            let norm = next.iter().map(|x| x * x).sum::<f64>().sqrt();
+            if norm == 0.0 {
+                return 0.0;
+            }
+            for x in &mut next {
+                *x /= norm;
+            }
+            let prev = radius;
+            radius = norm;
+            v = next;
+            if (radius - prev).abs() < 1e-12 * radius.max(1.0) {
+                break;
+            }
+        }
+        radius
+    }
+}
+
+impl std::fmt::Display for Matrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for src in 0..self.k {
+            for dst in 0..self.k {
+                write!(f, "{:>10.4}", self.get(src, dst))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut m = Matrix::zeros(3);
+        m.set(0, 2, 1.5);
+        m.add(0, 2, 0.5);
+        assert_eq!(m.get(0, 2), 2.0);
+        assert_eq!(m.get(2, 0), 0.0);
+    }
+
+    #[test]
+    fn from_rows_layout() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(0, 1), 2.0);
+        assert_eq!(m.get(1, 0), 3.0);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert_eq!(m.column(1), vec![2.0, 4.0]);
+        assert_eq!(m.flat(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not square")]
+    fn from_rows_rejects_ragged() {
+        Matrix::from_rows(&[&[1.0, 2.0], &[3.0]]);
+    }
+
+    #[test]
+    fn map_scale_add() {
+        let mut m = Matrix::constant(2, 2.0);
+        let doubled = m.map(|v| v * 2.0);
+        assert_eq!(doubled.get(1, 1), 4.0);
+        m.scale(3.0);
+        assert_eq!(m.get(0, 0), 6.0);
+        let mut a = Matrix::constant(2, 1.0);
+        a.add_matrix(&m);
+        assert_eq!(a.get(0, 1), 7.0);
+    }
+
+    #[test]
+    fn spectral_radius_diagonal() {
+        let m = Matrix::from_rows(&[&[0.5, 0.0], &[0.0, 0.9]]);
+        assert!((m.spectral_radius() - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spectral_radius_known_2x2() {
+        // [[0, 1], [1, 0]] has eigenvalues ±1.
+        let m = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        assert!((m.spectral_radius() - 1.0).abs() < 1e-9);
+        // [[a, b], [b, a]] has radius a + b for a, b >= 0.
+        let m = Matrix::from_rows(&[&[0.3, 0.2], &[0.2, 0.3]]);
+        assert!((m.spectral_radius() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spectral_radius_zero_matrix() {
+        assert_eq!(Matrix::zeros(4).spectral_radius(), 0.0);
+    }
+
+    #[test]
+    fn mean_abs_diff_basics() {
+        let a = Matrix::constant(2, 1.0);
+        let b = Matrix::constant(2, 3.0);
+        assert_eq!(a.mean_abs_diff(&b), 2.0);
+        assert_eq!(a.mean_abs_diff(&a), 0.0);
+    }
+
+    #[test]
+    fn max_abs_considers_negatives() {
+        let m = Matrix::from_rows(&[&[1.0, -5.0], &[0.0, 2.0]]);
+        assert_eq!(m.max_abs(), 5.0);
+    }
+
+    #[test]
+    fn display_renders_all_rows() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let s = format!("{m}");
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.contains("3.0000"));
+    }
+}

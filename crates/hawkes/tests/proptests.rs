@@ -1,0 +1,178 @@
+//! Property-based tests of the Hawkes engine invariants.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+use centipede_hawkes::continuous::{simulate_continuous, ContinuousHawkes};
+use centipede_hawkes::discrete::{simulate, BasisSet, DiscreteHawkes, GibbsConfig, GibbsSampler};
+use centipede_hawkes::events::EventSeq;
+use centipede_hawkes::matrix::Matrix;
+
+/// Strategy: a subcritical non-negative weight matrix of dimension k.
+fn subcritical_matrix(k: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(0.0..(0.8 / k as f64), k * k)
+        .prop_map(move |data| Matrix::from_flat(k, data))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn basis_mix_is_normalised(
+        max_lag in 1usize..400,
+        n_basis in 1usize..6,
+        raw in prop::collection::vec(0.01..10.0f64, 6),
+    ) {
+        let basis = BasisSet::log_gaussian(max_lag, n_basis);
+        let total: f64 = raw[..n_basis].iter().sum();
+        let theta: Vec<f64> = raw[..n_basis].iter().map(|w| w / total).collect();
+        let g = basis.mix(&theta);
+        prop_assert_eq!(g.len(), max_lag);
+        prop_assert!((g.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(g.iter().all(|&v| v >= 0.0));
+        let cum = basis.mix_cumulative(&theta);
+        prop_assert!((cum[max_lag - 1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn event_seq_conserves_counts(
+        points in prop::collection::vec((0u32..500, 0u16..4), 0..300),
+    ) {
+        let seq = EventSeq::from_points(500, 4, &points);
+        prop_assert_eq!(seq.total_events(), points.len() as u64);
+        let per_k: u64 = (0..4).map(|k| seq.events_on(k)).sum();
+        prop_assert_eq!(per_k, points.len() as u64);
+        // Events sorted strictly by (t, k).
+        for w in seq.events().windows(2) {
+            prop_assert!((w[0].t, w[0].k) < (w[1].t, w[1].k));
+        }
+        // Dense representation agrees.
+        let dense = seq.to_dense();
+        prop_assert_eq!(dense.iter().map(|&c| c as u64).sum::<u64>(), points.len() as u64);
+    }
+
+    #[test]
+    fn event_seq_window_partition(
+        points in prop::collection::vec((0u32..300, 0u16..3), 1..150),
+        split in 1u32..299,
+    ) {
+        let seq = EventSeq::from_points(300, 3, &points);
+        let left = seq.window(0, split).len();
+        let right = seq.window(split, 300).len();
+        prop_assert_eq!(left + right, seq.events().len());
+    }
+
+    #[test]
+    fn spectral_radius_bounded_by_max_row_sum(m in subcritical_matrix(4)) {
+        let rho = m.spectral_radius();
+        let max_row_sum = (0..4)
+            .map(|i| m.row(i).iter().sum::<f64>())
+            .fold(0.0f64, f64::max);
+        prop_assert!(rho <= max_row_sum + 1e-9, "rho={rho} > max row sum {max_row_sum}");
+        prop_assert!(rho >= 0.0);
+    }
+
+    #[test]
+    fn stationary_rates_exceed_background(
+        weights in subcritical_matrix(3),
+        bg in prop::collection::vec(0.001..0.1f64, 3),
+    ) {
+        let basis = BasisSet::uniform(10);
+        let model = DiscreteHawkes::uniform_mixture(bg.clone(), weights, &basis);
+        let mu = model.stationary_rates().expect("subcritical by construction");
+        for (m, b) in mu.iter().zip(&bg) {
+            prop_assert!(*m >= *b - 1e-12, "stationary {m} < background {b}");
+        }
+    }
+
+    #[test]
+    fn simulation_respects_dimensions(
+        weights in subcritical_matrix(3),
+        bg in prop::collection::vec(0.0..0.05f64, 3),
+        seed in 0u64..500,
+    ) {
+        let basis = BasisSet::log_gaussian(30, 2);
+        let model = DiscreteHawkes::uniform_mixture(bg, weights, &basis);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let data = simulate(&model, 2_000, &mut rng);
+        prop_assert_eq!(data.n_bins(), 2_000);
+        prop_assert_eq!(data.n_processes(), 3);
+        for e in data.events() {
+            prop_assert!(e.t < 2_000);
+            prop_assert!((e.k as usize) < 3);
+            prop_assert!(e.count >= 1);
+        }
+    }
+
+    #[test]
+    fn log_likelihood_finite_on_simulated_data(
+        weights in subcritical_matrix(2),
+        seed in 0u64..200,
+    ) {
+        let basis = BasisSet::log_gaussian(20, 2);
+        let model = DiscreteHawkes::uniform_mixture(vec![0.01, 0.02], weights, &basis);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let data = simulate(&model, 3_000, &mut rng);
+        let ll = model.log_likelihood(&data);
+        prop_assert!(ll.is_finite(), "ll={ll}");
+        prop_assert!(ll <= 0.0 || data.total_events() > 0);
+    }
+
+    #[test]
+    fn gibbs_posterior_is_valid(
+        points in prop::collection::vec((0u32..800, 0u16..2), 0..40),
+        seed in 0u64..100,
+    ) {
+        let data = EventSeq::from_points(800, 2, &points);
+        let sampler = GibbsSampler::new(
+            GibbsConfig {
+                n_samples: 10,
+                burn_in: 5,
+                ..GibbsConfig::default()
+            },
+            BasisSet::log_gaussian(50, 2),
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let post = sampler.fit(&data, &mut rng);
+        prop_assert_eq!(post.n_samples(), 10);
+        let w = post.mean_weights();
+        prop_assert!(w.flat().iter().all(|&v| v.is_finite() && v >= 0.0));
+        prop_assert!(post.mean_lambda0().iter().all(|&v| v.is_finite() && v >= 0.0));
+    }
+
+    #[test]
+    fn continuous_simulation_sorted_and_bounded(
+        mu in prop::collection::vec(0.0001..0.01f64, 2),
+        alpha_scale in 0.0..0.4f64,
+        seed in 0u64..200,
+    ) {
+        let model = ContinuousHawkes::new(
+            mu,
+            Matrix::constant(2, alpha_scale),
+            Matrix::constant(2, 0.1),
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let events = simulate_continuous(&model, 5_000.0, &mut rng);
+        for w in events.windows(2) {
+            prop_assert!(w[0].time <= w[1].time);
+        }
+        prop_assert!(events.iter().all(|e| e.time >= 0.0 && e.time < 5_000.0));
+        prop_assert!(events.iter().all(|e| e.process < 2));
+    }
+
+    #[test]
+    fn continuous_likelihood_finite(
+        alpha_scale in 0.0..0.4f64,
+        seed in 0u64..100,
+    ) {
+        let model = ContinuousHawkes::new(
+            vec![0.005, 0.005],
+            Matrix::constant(2, alpha_scale),
+            Matrix::constant(2, 0.05),
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let events = simulate_continuous(&model, 20_000.0, &mut rng);
+        let ll = model.log_likelihood(&events, 20_000.0);
+        prop_assert!(ll.is_finite());
+    }
+}

@@ -1,0 +1,188 @@
+//! The collection model: crawler gaps and the Twitter re-crawl.
+//!
+//! The generator produces the *true* event stream; this module turns it
+//! into what the paper's infrastructure would have observed: events
+//! falling inside a platform's crawler-failure windows are lost, and
+//! surviving tweets are re-crawled months later for engagement, by
+//! which time a fraction are deleted or their accounts suspended.
+
+use rand::Rng;
+
+use centipede_dataset::domains::{DomainTable, NewsCategory};
+use centipede_dataset::event::NewsEvent;
+use centipede_dataset::gaps::Gaps;
+use centipede_dataset::platform::Platform;
+
+use crate::config::SimConfig;
+use crate::twitter::EngagementModel;
+
+/// Remove events that fall inside their platform's gap windows.
+/// Returns the surviving events and the number dropped per platform.
+pub fn apply_gaps(
+    events: Vec<NewsEvent>,
+    gaps: &dyn Fn(Platform) -> Gaps,
+) -> (Vec<NewsEvent>, [u64; 3]) {
+    let per_platform = [
+        gaps(Platform::Twitter),
+        gaps(Platform::Reddit),
+        gaps(Platform::FourChan),
+    ];
+    let mut dropped = [0u64; 3];
+    let kept = events
+        .into_iter()
+        .filter(|e| {
+            let idx = match e.venue.platform() {
+                Platform::Twitter => 0,
+                Platform::Reddit => 1,
+                Platform::FourChan => 2,
+            };
+            if per_platform[idx].contains(e.timestamp) {
+                dropped[idx] += 1;
+                false
+            } else {
+                true
+            }
+        })
+        .collect();
+    (kept, dropped)
+}
+
+/// Re-crawl all Twitter events, attaching engagement (or a
+/// deleted/suspended marker) according to the category-specific
+/// models.
+pub fn recrawl_twitter<R: Rng + ?Sized>(
+    events: &mut [NewsEvent],
+    domains: &DomainTable,
+    config: &SimConfig,
+    rng: &mut R,
+) {
+    let alt_model = EngagementModel::paper(NewsCategory::Alternative, config.alt_tweet_deletion);
+    let main_model = EngagementModel::paper(NewsCategory::Mainstream, config.main_tweet_deletion);
+    for e in events.iter_mut() {
+        if e.venue.platform() != Platform::Twitter {
+            continue;
+        }
+        let model = match domains.category(e.domain) {
+            NewsCategory::Alternative => &alt_model,
+            NewsCategory::Mainstream => &main_model,
+        };
+        e.engagement = Some(model.recrawl(rng));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use centipede_dataset::event::UrlId;
+    use centipede_dataset::platform::Venue;
+    use centipede_dataset::time::ymd_to_unix;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn gaps_drop_only_matching_platform_events() {
+        let table = DomainTable::standard();
+        let dom = table.id_by_name("rt.com").unwrap();
+        let inside_twitter_gap = ymd_to_unix(2016, 12, 25); // long Twitter gap
+        let events = vec![
+            NewsEvent::basic(inside_twitter_gap, Venue::Twitter, UrlId(0), dom),
+            NewsEvent::basic(
+                inside_twitter_gap,
+                Venue::Subreddit("news".into()),
+                UrlId(0),
+                dom,
+            ),
+            NewsEvent::basic(ymd_to_unix(2016, 8, 1), Venue::Twitter, UrlId(1), dom),
+        ];
+        let (kept, dropped) = apply_gaps(events, &Gaps::paper);
+        assert_eq!(kept.len(), 2);
+        assert_eq!(dropped, [1, 0, 0]);
+        assert!(kept
+            .iter()
+            .all(|e| !(e.venue == Venue::Twitter && e.timestamp == inside_twitter_gap)));
+    }
+
+    #[test]
+    fn fourchan_gaps_applied() {
+        let table = DomainTable::standard();
+        let dom = table.id_by_name("bbc.com").unwrap();
+        let t = ymd_to_unix(2016, 12, 20); // inside the 4chan Dec gap
+        let events = vec![
+            NewsEvent::basic(t, Venue::Board("pol".into()), UrlId(0), dom),
+            NewsEvent::basic(t, Venue::Twitter, UrlId(0), dom), // Twitter gap too!
+        ];
+        let (kept, dropped) = apply_gaps(events, &Gaps::paper);
+        // Dec 20 is inside the long Twitter gap as well, so both drop.
+        assert!(kept.is_empty());
+        assert_eq!(dropped, [1, 0, 1]);
+    }
+
+    #[test]
+    fn no_gaps_keeps_everything() {
+        let table = DomainTable::standard();
+        let dom = table.id_by_name("cnn.com").unwrap();
+        let events: Vec<NewsEvent> = (0..100)
+            .map(|i| {
+                NewsEvent::basic(
+                    ymd_to_unix(2016, 12, 25) + i,
+                    Venue::Twitter,
+                    UrlId(i as u32),
+                    dom,
+                )
+            })
+            .collect();
+        let (kept, dropped) = apply_gaps(events, &|_| Gaps::none());
+        assert_eq!(kept.len(), 100);
+        assert_eq!(dropped, [0, 0, 0]);
+    }
+
+    #[test]
+    fn recrawl_touches_only_twitter() {
+        let table = DomainTable::standard();
+        let alt = table.id_by_name("infowars.com").unwrap();
+        let main = table.id_by_name("cnn.com").unwrap();
+        let mut events = vec![
+            NewsEvent::basic(100, Venue::Twitter, UrlId(0), alt),
+            NewsEvent::basic(100, Venue::Twitter, UrlId(1), main),
+            NewsEvent::basic(100, Venue::Board("pol".into()), UrlId(0), alt),
+        ];
+        recrawl_twitter(&mut events, &table, &SimConfig::default(), &mut rng(1));
+        assert!(events[0].engagement.is_some());
+        assert!(events[1].engagement.is_some());
+        assert!(events[2].engagement.is_none());
+    }
+
+    #[test]
+    fn recrawl_deletion_rates_differ_by_category() {
+        let table = DomainTable::standard();
+        let alt = table.id_by_name("infowars.com").unwrap();
+        let main = table.id_by_name("cnn.com").unwrap();
+        let mut events = Vec::new();
+        for i in 0..20_000u32 {
+            events.push(NewsEvent::basic(
+                i as i64,
+                Venue::Twitter,
+                UrlId(i),
+                if i % 2 == 0 { alt } else { main },
+            ));
+        }
+        recrawl_twitter(&mut events, &table, &SimConfig::default(), &mut rng(2));
+        let rate = |dom| {
+            let (kept, total) = events
+                .iter()
+                .filter(|e| e.domain == dom)
+                .fold((0u32, 0u32), |(k, t), e| {
+                    (
+                        k + u32::from(e.engagement.expect("recrawled").retrieved),
+                        t + 1,
+                    )
+                });
+            kept as f64 / total as f64
+        };
+        assert!((rate(alt) - 0.832).abs() < 0.02, "alt retrieval {}", rate(alt));
+        assert!((rate(main) - 0.877).abs() < 0.02, "main retrieval {}", rate(main));
+    }
+}

@@ -1,0 +1,266 @@
+//! 4chan board mechanics: threads, bumping, and ephemerality.
+//!
+//! §2.1 describes the substrate we model here: a board holds a finite
+//! number of active threads; replying to a thread "bumps" it to the
+//! top (until a bump limit); creating a new thread prunes the
+//! lowest-bumped one. All threads are permanently deleted 7 days after
+//! pruning. The news events we generate for /pol/ and the baseline
+//! boards are attached to threads through this engine, which also
+//! reports ephemerality statistics (thread lifetimes, posts per
+//! thread).
+
+use rand::Rng;
+
+/// Identifier of a thread within one board's history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ThreadId(pub u64);
+
+/// A live or archived thread.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Thread {
+    /// Identifier.
+    pub id: ThreadId,
+    /// Creation time (Unix seconds).
+    pub created: i64,
+    /// Last bump time.
+    pub last_bump: i64,
+    /// Number of posts (including the opening post).
+    pub posts: u32,
+    /// Prune time, if the thread has been pushed off the board.
+    pub pruned_at: Option<i64>,
+}
+
+impl Thread {
+    /// Lifetime on the board (creation → prune), if pruned.
+    pub fn lifetime(&self) -> Option<i64> {
+        self.pruned_at.map(|p| p - self.created)
+    }
+}
+
+/// One simulated board.
+#[derive(Debug, Clone)]
+pub struct Board {
+    /// Board short name (e.g. `"pol"`).
+    pub name: String,
+    max_active: usize,
+    bump_limit: u32,
+    next_id: u64,
+    active: Vec<Thread>,
+    archived: Vec<Thread>,
+}
+
+impl Board {
+    /// Create a board. `/pol/` historically holds ~200 active threads
+    /// with a bump limit around 300 replies.
+    pub fn new(name: &str, max_active: usize, bump_limit: u32) -> Self {
+        assert!(max_active >= 1, "Board: max_active must be ≥ 1");
+        assert!(bump_limit >= 1, "Board: bump_limit must be ≥ 1");
+        Board {
+            name: name.to_string(),
+            max_active,
+            bump_limit,
+            next_id: 0,
+            active: Vec::new(),
+            archived: Vec::new(),
+        }
+    }
+
+    /// Number of currently active threads.
+    pub fn active_threads(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Archived (pruned) threads.
+    pub fn archived_threads(&self) -> &[Thread] {
+        &self.archived
+    }
+
+    /// Create a new thread at time `t`, pruning the stalest active
+    /// thread if the board is full. Returns the new thread's id.
+    pub fn create_thread(&mut self, t: i64) -> ThreadId {
+        if self.active.len() >= self.max_active {
+            // Prune the least-recently-bumped thread.
+            let (idx, _) = self
+                .active
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, th)| th.last_bump)
+                .expect("board full implies non-empty");
+            let mut pruned = self.active.swap_remove(idx);
+            pruned.pruned_at = Some(t);
+            self.archived.push(pruned);
+        }
+        let id = ThreadId(self.next_id);
+        self.next_id += 1;
+        self.active.push(Thread {
+            id,
+            created: t,
+            last_bump: t,
+            posts: 1,
+            pruned_at: None,
+        });
+        id
+    }
+
+    /// Add a reply to a thread at time `t`. Bumps the thread unless it
+    /// is past the bump limit ("saging" off the board naturally).
+    /// Returns `false` if the thread is no longer active.
+    pub fn reply(&mut self, thread: ThreadId, t: i64) -> bool {
+        match self.active.iter_mut().find(|th| th.id == thread) {
+            Some(th) => {
+                th.posts += 1;
+                if th.posts <= self.bump_limit {
+                    th.last_bump = t;
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Attach a post at time `t` to the board: replies to a random
+    /// active thread with probability `reply_prob`, otherwise starts a
+    /// new thread. Returns the thread id the post landed in.
+    pub fn attach_post<R: Rng + ?Sized>(
+        &mut self,
+        t: i64,
+        reply_prob: f64,
+        rng: &mut R,
+    ) -> ThreadId {
+        if !self.active.is_empty() && rng.gen::<f64>() < reply_prob {
+            // Prefer recently-bumped threads (top of the board) with a
+            // simple rank bias.
+            let mut order: Vec<usize> = (0..self.active.len()).collect();
+            order.sort_by_key(|&i| std::cmp::Reverse(self.active[i].last_bump));
+            // Geometric rank choice.
+            let mut pick = 0usize;
+            while pick + 1 < order.len() && rng.gen::<f64>() < 0.7 {
+                pick += 1;
+            }
+            let id = self.active[order[pick.min(order.len() - 1)]].id;
+            let ok = self.reply(id, t);
+            debug_assert!(ok);
+            id
+        } else {
+            self.create_thread(t)
+        }
+    }
+
+    /// Mean posts per archived thread.
+    pub fn mean_posts_per_thread(&self) -> Option<f64> {
+        if self.archived.is_empty() {
+            return None;
+        }
+        Some(
+            self.archived.iter().map(|t| t.posts as f64).sum::<f64>()
+                / self.archived.len() as f64,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn thread_creation_and_reply() {
+        let mut b = Board::new("pol", 3, 300);
+        let t1 = b.create_thread(100);
+        assert_eq!(b.active_threads(), 1);
+        assert!(b.reply(t1, 150));
+        assert!(!b.reply(ThreadId(999), 160));
+    }
+
+    #[test]
+    fn board_prunes_stalest_thread_when_full() {
+        let mut b = Board::new("pol", 2, 300);
+        let t1 = b.create_thread(100);
+        let t2 = b.create_thread(200);
+        // Bump t1 so t2 is the stalest.
+        assert!(b.reply(t1, 300));
+        let _t3 = b.create_thread(400);
+        assert_eq!(b.active_threads(), 2);
+        assert_eq!(b.archived_threads().len(), 1);
+        let pruned = &b.archived_threads()[0];
+        assert_eq!(pruned.id, t2);
+        assert_eq!(pruned.pruned_at, Some(400));
+        assert_eq!(pruned.lifetime(), Some(200));
+    }
+
+    #[test]
+    fn bump_limit_stops_bumping() {
+        let mut b = Board::new("pol", 2, 2);
+        let t1 = b.create_thread(0);
+        assert!(b.reply(t1, 10)); // post 2, bumps
+        assert!(b.reply(t1, 20)); // post 3 > limit, no bump
+        let th = b
+            .active
+            .iter()
+            .find(|t| t.id == t1)
+            .expect("still active");
+        assert_eq!(th.posts, 3);
+        assert_eq!(th.last_bump, 10);
+    }
+
+    #[test]
+    fn attach_post_fills_board_and_archives() {
+        let mut b = Board::new("pol", 10, 50);
+        let mut r = rng(1);
+        for i in 0..2_000 {
+            b.attach_post(i as i64, 0.85, &mut r);
+        }
+        assert_eq!(b.active_threads(), 10);
+        assert!(!b.archived_threads().is_empty());
+        let mean = b.mean_posts_per_thread().unwrap();
+        assert!(mean > 1.5, "threads too shallow: {mean}");
+        // Every archived thread has a prune time after its creation.
+        for th in b.archived_threads() {
+            assert!(th.pruned_at.unwrap() >= th.created);
+        }
+    }
+
+    #[test]
+    fn ephemerality_faster_with_higher_thread_churn() {
+        // More new threads (lower reply prob) → shorter lifetimes.
+        let lifetime = |reply_prob: f64, seed: u64| {
+            let mut b = Board::new("pol", 20, 300);
+            let mut r = rng(seed);
+            for i in 0..5_000 {
+                b.attach_post(i as i64, reply_prob, &mut r);
+            }
+            let lt: Vec<f64> = b
+                .archived_threads()
+                .iter()
+                .filter_map(|t| t.lifetime())
+                .map(|l| l as f64)
+                .collect();
+            lt.iter().sum::<f64>() / lt.len() as f64
+        };
+        let churny = lifetime(0.3, 2);
+        let calm = lifetime(0.95, 3);
+        assert!(
+            calm > 2.0 * churny,
+            "calm={calm}, churny={churny} — ephemerality did not respond to churn"
+        );
+    }
+
+    #[test]
+    fn empty_board_attach_creates_thread() {
+        let mut b = Board::new("sp", 5, 10);
+        let mut r = rng(4);
+        let id = b.attach_post(0, 1.0, &mut r);
+        assert_eq!(id, ThreadId(0));
+        assert_eq!(b.active_threads(), 1);
+    }
+
+    #[test]
+    fn mean_posts_none_before_any_archive() {
+        let b = Board::new("sci", 5, 10);
+        assert_eq!(b.mean_posts_per_thread(), None);
+    }
+}

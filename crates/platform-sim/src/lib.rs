@@ -1,0 +1,60 @@
+//! Agent-based simulator of the Twitter / Reddit / 4chan news-URL
+//! ecosystem.
+//!
+//! The Web Centipede's datasets (587M tweets, 332M Reddit posts, 42M
+//! 4chan posts, June 2016 – February 2017) cannot be re-collected: the
+//! Twitter firehose sample is gone, Pushshift access is restricted, and
+//! 4chan threads are ephemeral by design. This crate substitutes a
+//! generative model **parameterised from the paper's own reported
+//! estimates** — the Figure 10 influence matrices, the Table 11
+//! background rates, the Tables 4–7 popularity tables, the §2.2 crawler
+//! gaps and the Table 3 re-crawl statistics — so that the measurement
+//! pipeline in the `centipede` crate can be exercised end-to-end and
+//! validated against known ground truth.
+//!
+//! # Modules
+//!
+//! * [`config`] — simulation knobs ([`config::SimConfig`]).
+//! * [`ground_truth`] — the paper-derived constants.
+//! * [`cascade`] — per-URL cross-community branching cascades.
+//! * [`news`] — the news calendar, domain assignment, per-URL
+//!   parameters.
+//! * [`posts`] — post-text rendering and re-extraction through the real
+//!   URL pipeline (the §2.2 text-filtering path).
+//! * [`users`] — account populations (including the Twitter bot pool).
+//! * [`twitter`] — engagement generation and re-crawl deletion.
+//! * [`reddit`] — the non-selected-subreddit long tail (Table 4).
+//! * [`fourchan`] — board/thread/bump/ephemerality mechanics.
+//! * [`crawler`] — gap windows and the re-crawl pass.
+//! * [`ecosystem`] — the orchestrator: [`ecosystem::generate`].
+//!
+//! # Example
+//!
+//! ```
+//! use centipede_platform_sim::{config::SimConfig, ecosystem};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let mut config = SimConfig::small();
+//! config.scale = 0.02; // tiny doc-test world
+//! let world = ecosystem::generate(&config, &mut rng);
+//! assert!(!world.dataset.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cascade;
+pub mod config;
+pub mod crawler;
+pub mod ecosystem;
+pub mod fourchan;
+pub mod ground_truth;
+pub mod news;
+pub mod posts;
+pub mod reddit;
+pub mod twitter;
+pub mod users;
+
+pub use config::SimConfig;
+pub use ecosystem::{generate, GeneratedWorld, WorldTruth};

@@ -1,0 +1,179 @@
+//! Post-text rendering and re-extraction.
+//!
+//! The paper's collection pipeline (§2.2) did not receive clean URL
+//! records: it filtered *free-form post text* for links to the 99 news
+//! domains. This module closes that loop for the simulator — every
+//! news event can be rendered into a platform-appropriate post body
+//! (tweet with hashtags, Reddit comment, 4chan greentext) and pushed
+//! back through `centipede_dataset::url::extract_urls` +
+//! `canonicalize`, exercising the real extraction path end-to-end.
+
+use rand::Rng;
+
+use centipede_dataset::domains::{DomainTable, NewsCategory};
+use centipede_dataset::event::NewsEvent;
+use centipede_dataset::platform::Platform;
+use centipede_dataset::url::{canonicalize, extract_urls, matches_domain, CanonicalUrl};
+
+/// Commentary fragments used around links (platform-flavoured).
+const TWEET_LEADS: [&str; 6] = [
+    "BREAKING:",
+    "Can't believe this",
+    "Everyone needs to read this",
+    "So it begins...",
+    "This is huge",
+    "wow.",
+];
+const TWEET_TAGS: [&str; 6] = ["#news", "#politics", "#MAGA", "#election2016", "#wakeup", "#media"];
+const REDDIT_LEADS: [&str; 5] = [
+    "Interesting read:",
+    "Thoughts on this?",
+    "Saw this posted elsewhere —",
+    "Sources inside:",
+    "X-posting for visibility.",
+];
+const CHAN_LEADS: [&str; 5] = [
+    ">be me, reading",
+    "lurk moar but read this first",
+    "checked. also",
+    "old news but still relevant",
+    "redpill thread, starting with",
+];
+
+/// Build the article URL string for an event: a plausible path on the
+/// event's domain, deterministic in the URL id (the same `UrlId`
+/// always renders to the same address).
+pub fn article_url(event: &NewsEvent, domains: &DomainTable) -> String {
+    let domain = &domains.get(event.domain).name;
+    let slug = match domains.get(event.domain).category {
+        NewsCategory::Alternative => "exposed",
+        NewsCategory::Mainstream => "politics",
+    };
+    format!("https://www.{domain}/{slug}/{}/story-{}", 2016, event.url.0)
+}
+
+/// Render an event into platform-appropriate post text containing the
+/// article URL.
+pub fn render_post<R: Rng + ?Sized>(
+    event: &NewsEvent,
+    domains: &DomainTable,
+    rng: &mut R,
+) -> String {
+    let url = article_url(event, domains);
+    match event.venue.platform() {
+        Platform::Twitter => {
+            let lead = TWEET_LEADS[rng.gen_range(0..TWEET_LEADS.len())];
+            let tag = TWEET_TAGS[rng.gen_range(0..TWEET_TAGS.len())];
+            // Tracking parameters appear in the wild; the canonicaliser
+            // must strip them.
+            let tracked = format!("{url}?utm_source=twitter&utm_medium=social");
+            format!("{lead} {tracked} {tag}")
+        }
+        Platform::Reddit => {
+            let lead = REDDIT_LEADS[rng.gen_range(0..REDDIT_LEADS.len())];
+            format!("{lead} {url} — curious what this sub thinks.")
+        }
+        Platform::FourChan => {
+            let lead = CHAN_LEADS[rng.gen_range(0..CHAN_LEADS.len())];
+            format!("{lead}\n{url}\nscreencap before it 404s")
+        }
+    }
+}
+
+/// Extract and canonicalise news URLs from post text, keeping only
+/// links matching the domain table. Returns `(canonical URL, matching
+/// domain id)` pairs — the §2.2 filtering step.
+pub fn extract_news_urls(
+    text: &str,
+    domains: &DomainTable,
+) -> Vec<(CanonicalUrl, centipede_dataset::domains::DomainId)> {
+    extract_urls(text)
+        .iter()
+        .filter_map(|raw| canonicalize(raw))
+        .filter_map(|canon| {
+            domains
+                .iter()
+                .find(|(_, info)| matches_domain(&canon, &info.name))
+                .map(|(id, _)| (canon, id))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use centipede_dataset::event::UrlId;
+    use centipede_dataset::platform::Venue;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    fn event(venue: Venue, domains: &DomainTable, name: &str) -> NewsEvent {
+        NewsEvent::basic(100, venue, UrlId(7), domains.id_by_name(name).unwrap())
+    }
+
+    #[test]
+    fn roundtrip_through_real_extraction() {
+        let domains = DomainTable::standard();
+        let mut r = rng(1);
+        for venue in [
+            Venue::Twitter,
+            Venue::Subreddit("news".into()),
+            Venue::Board("pol".into()),
+        ] {
+            let e = event(venue.clone(), &domains, "breitbart.com");
+            let text = render_post(&e, &domains, &mut r);
+            let found = extract_news_urls(&text, &domains);
+            assert_eq!(found.len(), 1, "venue {venue:?}: text {text:?}");
+            let (canon, id) = &found[0];
+            assert_eq!(*id, e.domain);
+            assert_eq!(canon.host, "breitbart.com");
+            // Tracking parameters stripped, article id preserved.
+            assert!(!canon.as_string().contains("utm_"));
+            assert!(canon.as_string().contains("story-7"));
+        }
+    }
+
+    #[test]
+    fn same_url_id_renders_same_address() {
+        let domains = DomainTable::standard();
+        let a = event(Venue::Twitter, &domains, "rt.com");
+        let b = event(Venue::Subreddit("news".into()), &domains, "rt.com");
+        assert_eq!(article_url(&a, &domains), article_url(&b, &domains));
+    }
+
+    #[test]
+    fn non_news_links_filtered_out() {
+        let domains = DomainTable::standard();
+        let text = "see https://example.com/nope and https://www.cnn.com/politics/x too";
+        let found = extract_news_urls(text, &domains);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].0.host, "cnn.com");
+    }
+
+    #[test]
+    fn platform_flavour_differs() {
+        let domains = DomainTable::standard();
+        let mut r = rng(2);
+        let tweet = render_post(&event(Venue::Twitter, &domains, "cnn.com"), &domains, &mut r);
+        let chan = render_post(
+            &event(Venue::Board("pol".into()), &domains, "cnn.com"),
+            &domains,
+            &mut r,
+        );
+        assert!(tweet.contains('#'), "tweets carry hashtags: {tweet}");
+        assert!(chan.contains('\n'), "4chan posts are multi-line: {chan}");
+        assert!(tweet.contains("utm_source"), "tweets carry tracking params");
+    }
+
+    #[test]
+    fn subdomain_links_still_match() {
+        let domains = DomainTable::standard();
+        let text = "via https://mobile.nytimes.com/2016/story.html";
+        let found = extract_news_urls(text, &domains);
+        assert_eq!(found.len(), 1);
+        assert_eq!(domains.get(found[0].1).name, "nytimes.com");
+    }
+}

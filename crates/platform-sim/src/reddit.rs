@@ -1,0 +1,312 @@
+//! Reddit's long tail: news-URL activity outside the six selected
+//! subreddits.
+//!
+//! Table 4 ranks the top-20 subreddits by alternative and mainstream
+//! URL occurrence across *all* of Reddit. Six of them are the selected
+//! communities modelled by the Hawkes cascades; the rest (Uncensored,
+//! TheColorIsBlue, willis7737_news, …) are generated here as
+//! independent streams with the paper's relative shares, plus a
+//! miscellaneous long tail.
+
+use rand::Rng;
+
+use centipede_dataset::domains::NewsCategory;
+use centipede_stats::sampling::Categorical;
+
+/// Table 4's non-selected subreddits for **alternative** news:
+/// `(name, share of all-Reddit alternative URL occurrences, %)`.
+pub const OTHER_SUBREDDITS_ALT: &[(&str, f64)] = &[
+    ("Uncensored", 2.66),
+    ("Health", 2.10),
+    ("PoliticsAll", 1.54),
+    ("Conservative", 1.45),
+    ("WhiteRights", 1.21),
+    ("KotakuInAction", 1.04),
+    ("HillaryForPrison", 0.94),
+    ("TheOnion", 0.94),
+    ("AskTrumpSupporters", 0.84),
+    ("POLITIC", 0.81),
+    ("rss_theonion", 0.67),
+    ("the_Europe", 0.67),
+    ("new_right", 0.60),
+    ("AnythingGoesNews", 0.51),
+];
+
+/// Table 4's non-selected subreddits for **mainstream** news.
+pub const OTHER_SUBREDDITS_MAIN: &[(&str, f64)] = &[
+    ("TheColorIsBlue", 3.06),
+    ("TheColorIsRed", 2.48),
+    ("willis7737_news", 2.27),
+    ("news_etc", 1.94),
+    ("canada", 1.31),
+    ("EnoughTrumpSpam", 1.20),
+    ("NoFilterNews", 1.16),
+    ("BreakingNews24hr", 1.07),
+    ("todayilearned", 0.83),
+    ("thenewsrightnow", 0.78),
+    ("europe", 0.77),
+    ("ReddLineNews", 0.75),
+    ("hillaryclinton", 0.73),
+    ("nottheonion", 0.73),
+];
+
+/// Fraction of other-subreddit events routed to the anonymous long
+/// tail (subreddits below the top 20; the paper's tables only resolve
+/// the top 20).
+const MISC_TAIL_SHARE: f64 = 0.35;
+
+/// Number of synthetic long-tail subreddit names.
+const MISC_TAIL_BUCKETS: usize = 40;
+
+/// Samples a non-selected subreddit name with Table 4 proportions.
+#[derive(Debug, Clone)]
+pub struct OtherSubredditSampler {
+    names: Vec<String>,
+    sampler: Categorical,
+}
+
+impl OtherSubredditSampler {
+    /// Build for one news category.
+    pub fn new(category: NewsCategory) -> Self {
+        let named = match category {
+            NewsCategory::Alternative => OTHER_SUBREDDITS_ALT,
+            NewsCategory::Mainstream => OTHER_SUBREDDITS_MAIN,
+        };
+        let named_total: f64 = named.iter().map(|(_, s)| s).sum();
+        let mut names: Vec<String> = named.iter().map(|(n, _)| n.to_string()).collect();
+        let mut weights: Vec<f64> = named.iter().map(|(_, s)| *s).collect();
+        // Long tail: MISC_TAIL_SHARE of the stream spread over
+        // anonymous buckets with a Zipf profile.
+        let tail_total = named_total * MISC_TAIL_SHARE / (1.0 - MISC_TAIL_SHARE);
+        let zipf: Vec<f64> = (1..=MISC_TAIL_BUCKETS)
+            .map(|r| 1.0 / (r as f64))
+            .collect();
+        let zipf_sum: f64 = zipf.iter().sum();
+        for (i, z) in zipf.iter().enumerate() {
+            names.push(format!("longtail_{}_{i}", category.name()));
+            weights.push(tail_total * z / zipf_sum);
+        }
+        OtherSubredditSampler {
+            names,
+            sampler: Categorical::new(&weights),
+        }
+    }
+
+    /// Sample a subreddit name.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> &str {
+        &self.names[self.sampler.sample(rng)]
+    }
+
+    /// All candidate names (top-20 non-selected + long tail).
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+}
+
+/// Reddit voting and ranking mechanics (§2.1: "votes determine the
+/// ranking of the posts, i.e., the order in which they are
+/// displayed").
+///
+/// Scores follow a heavy-tailed up/down process; ranking uses the
+/// classic Reddit "hot" formula, `log10(max(|s|,1)) + sign·t/45000`,
+/// so fresh posts with modest scores outrank old viral ones.
+pub mod voting {
+    use rand::Rng;
+
+    use centipede_stats::sampling::{sample_normal, sample_poisson};
+
+    /// A scored post.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub struct ScoredPost {
+        /// Post identifier (caller-assigned).
+        pub id: u64,
+        /// Submission time (Unix seconds).
+        pub created: i64,
+        /// Upvotes.
+        pub ups: u64,
+        /// Downvotes.
+        pub downs: u64,
+    }
+
+    impl ScoredPost {
+        /// Net score.
+        pub fn score(&self) -> i64 {
+            self.ups as i64 - self.downs as i64
+        }
+
+        /// Reddit's "hot" rank value.
+        pub fn hot_rank(&self) -> f64 {
+            let s = self.score();
+            let order = (s.unsigned_abs().max(1) as f64).log10();
+            let sign = match s.cmp(&0) {
+                std::cmp::Ordering::Greater => 1.0,
+                std::cmp::Ordering::Equal => 0.0,
+                std::cmp::Ordering::Less => -1.0,
+            };
+            order * sign + self.created as f64 / 45_000.0
+        }
+    }
+
+    /// Draw votes for a post given a popularity factor (≥ 0): ups are
+    /// Poisson around `20·popularity` (log-normal spread), downs a
+    /// fraction of ups.
+    pub fn draw_votes<R: Rng + ?Sized>(
+        id: u64,
+        created: i64,
+        popularity: f64,
+        rng: &mut R,
+    ) -> ScoredPost {
+        assert!(popularity >= 0.0, "draw_votes: negative popularity");
+        let spread = sample_normal(rng, 0.0, 1.0).exp();
+        let ups = sample_poisson(rng, 20.0 * popularity * spread);
+        let down_frac = 0.1 + 0.25 * rng.gen::<f64>();
+        let downs = (ups as f64 * down_frac).round() as u64;
+        ScoredPost {
+            id,
+            created,
+            ups,
+            downs,
+        }
+    }
+
+    /// Order posts by hot rank, best first.
+    pub fn front_page(posts: &[ScoredPost]) -> Vec<ScoredPost> {
+        let mut sorted = posts.to_vec();
+        sorted.sort_by(|a, b| {
+            b.hot_rank()
+                .partial_cmp(&a.hot_rank())
+                .expect("hot ranks are finite")
+        });
+        sorted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn alt_sampler_top_name_is_uncensored() {
+        let s = OtherSubredditSampler::new(NewsCategory::Alternative);
+        let mut r = rng(1);
+        let mut counts: HashMap<String, u32> = HashMap::new();
+        for _ in 0..30_000 {
+            *counts.entry(s.sample(&mut r).to_string()).or_default() += 1;
+        }
+        let top_named = counts
+            .iter()
+            .filter(|(n, _)| !n.starts_with("longtail"))
+            .max_by_key(|(_, &c)| c)
+            .unwrap();
+        assert_eq!(top_named.0, "Uncensored");
+    }
+
+    #[test]
+    fn main_sampler_shares_match_table4_ratios() {
+        let s = OtherSubredditSampler::new(NewsCategory::Mainstream);
+        let mut r = rng(2);
+        let n = 100_000;
+        let mut blue = 0u32;
+        let mut red = 0u32;
+        for _ in 0..n {
+            match s.sample(&mut r) {
+                "TheColorIsBlue" => blue += 1,
+                "TheColorIsRed" => red += 1,
+                _ => {}
+            }
+        }
+        // Ratio 3.06 : 2.48 ≈ 1.23.
+        let ratio = blue as f64 / red as f64;
+        assert!((ratio - 3.06 / 2.48).abs() < 0.15, "ratio={ratio}");
+    }
+
+    #[test]
+    fn long_tail_carries_configured_share() {
+        let s = OtherSubredditSampler::new(NewsCategory::Alternative);
+        let mut r = rng(3);
+        let n = 50_000;
+        let tail = (0..n)
+            .filter(|_| s.sample(&mut r).starts_with("longtail"))
+            .count();
+        let share = tail as f64 / n as f64;
+        assert!((share - MISC_TAIL_SHARE).abs() < 0.02, "share={share}");
+    }
+
+    #[test]
+    fn hot_rank_prefers_fresh_posts_over_stale_viral_ones() {
+        use voting::ScoredPost;
+        let stale_viral = ScoredPost {
+            id: 1,
+            created: 0,
+            ups: 100_000,
+            downs: 1_000,
+        };
+        // Two days later, a modest post.
+        let fresh_modest = ScoredPost {
+            id: 2,
+            created: 2 * 86_400,
+            ups: 50,
+            downs: 5,
+        };
+        assert!(fresh_modest.hot_rank() > stale_viral.hot_rank());
+        let page = voting::front_page(&[stale_viral, fresh_modest]);
+        assert_eq!(page[0].id, 2);
+    }
+
+    #[test]
+    fn hot_rank_handles_negative_and_zero_scores() {
+        use voting::ScoredPost;
+        let negative = ScoredPost {
+            id: 1,
+            created: 1_000,
+            ups: 1,
+            downs: 100,
+        };
+        let zero = ScoredPost {
+            id: 2,
+            created: 1_000,
+            ups: 5,
+            downs: 5,
+        };
+        assert!(negative.hot_rank() < zero.hot_rank());
+        assert_eq!(negative.score(), -99);
+        assert_eq!(zero.score(), 0);
+    }
+
+    #[test]
+    fn votes_scale_with_popularity() {
+        let mut r = rng(9);
+        let mean_score = |pop: f64, r: &mut rand::rngs::StdRng| {
+            (0..2_000)
+                .map(|i| voting::draw_votes(i, 0, pop, r).score())
+                .sum::<i64>() as f64
+                / 2_000.0
+        };
+        let hot = mean_score(10.0, &mut r);
+        let cold = mean_score(0.5, &mut r);
+        assert!(hot > 5.0 * cold, "hot={hot}, cold={cold}");
+        // Downs never exceed ups in expectation.
+        let p = voting::draw_votes(0, 0, 5.0, &mut r);
+        assert!(p.downs <= p.ups.max(1));
+    }
+
+    #[test]
+    fn names_do_not_collide_with_selected_subreddits() {
+        use centipede_dataset::platform::SELECTED_SUBREDDITS;
+        for cat in NewsCategory::ALL {
+            let s = OtherSubredditSampler::new(cat);
+            for name in s.names() {
+                assert!(
+                    !SELECTED_SUBREDDITS.contains(&name.as_str()),
+                    "{name} is a selected subreddit"
+                );
+            }
+        }
+    }
+}

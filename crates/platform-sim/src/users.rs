@@ -1,0 +1,232 @@
+//! User populations and account assignment.
+//!
+//! §3's Figure 3 measures, per user, the fraction of shared news URLs
+//! that are alternative. The paper finds ~80% of both Twitter and
+//! Reddit users share only mainstream URLs, while ~13% of Twitter
+//! users — "likely bots" — post alternative URLs exclusively. We model
+//! three archetypes per platform:
+//!
+//! * **mainstream-only** users,
+//! * **alt-only** users (on Twitter, the bot population),
+//! * **mixed** users with a Beta-distributed alternative propensity,
+//!
+//! each with a Zipf-like activity distribution so a few accounts do
+//! most of the posting.
+
+use rand::Rng;
+
+use centipede_dataset::domains::NewsCategory;
+use centipede_dataset::event::UserId;
+use centipede_stats::sampling::{sample_beta, Categorical};
+
+/// A platform's user population.
+#[derive(Debug, Clone)]
+pub struct UserPool {
+    /// Base of the user-id space (pools on different platforms use
+    /// disjoint id ranges).
+    id_base: u32,
+    mainstream_only: Categorical,
+    alt_only: Categorical,
+    /// Mixed users: activity sampler plus per-user alt propensity.
+    mixed: Categorical,
+    mixed_propensity: Vec<f64>,
+    n_mainstream_only: usize,
+    n_alt_only: usize,
+    /// Probability that an alternative event is posted by an alt-only
+    /// account (vs a mixed one).
+    p_alt_from_alt_only: f64,
+    /// Probability that a mainstream event is posted by a
+    /// mainstream-only account (vs a mixed one).
+    p_main_from_main_only: f64,
+}
+
+/// Zipf-ish activity weights for a pool of `n` users.
+fn zipf_weights(n: usize) -> Vec<f64> {
+    (1..=n).map(|r| 1.0 / (r as f64).powf(0.8)).collect()
+}
+
+impl UserPool {
+    /// Build a pool sized for the expected event volume.
+    ///
+    /// * `expected_events` — total events the pool must absorb.
+    /// * `posts_per_user` — mean posts per appearing account.
+    /// * `alt_only_fraction` — fraction of users that post alternative
+    ///   URLs exclusively (0.13 for Twitter per the paper).
+    pub fn new<R: Rng + ?Sized>(
+        id_base: u32,
+        expected_events: f64,
+        posts_per_user: f64,
+        alt_only_fraction: f64,
+        rng: &mut R,
+    ) -> Self {
+        assert!(posts_per_user >= 1.0, "UserPool: posts_per_user < 1");
+        assert!(
+            (0.0..1.0).contains(&alt_only_fraction),
+            "UserPool: alt_only_fraction out of [0,1)"
+        );
+        let total_users = ((expected_events / posts_per_user).ceil() as usize).max(10);
+        // Archetype split: 80% mainstream-only (the paper's finding),
+        // `alt_only_fraction` alt-only, remainder mixed.
+        let n_main = ((total_users as f64) * 0.80).round() as usize;
+        let n_alt = (((total_users as f64) * alt_only_fraction).round() as usize).max(1);
+        let n_mixed = total_users.saturating_sub(n_main + n_alt).max(1);
+        let mixed_propensity: Vec<f64> =
+            (0..n_mixed).map(|_| sample_beta(rng, 0.7, 0.9)).collect();
+        UserPool {
+            id_base,
+            mainstream_only: Categorical::new(&zipf_weights(n_main)),
+            alt_only: Categorical::new(&zipf_weights(n_alt)),
+            mixed: Categorical::new(&zipf_weights(n_mixed)),
+            mixed_propensity,
+            n_mainstream_only: n_main,
+            n_alt_only: n_alt,
+            p_alt_from_alt_only: 0.62,
+            p_main_from_main_only: 0.85,
+        }
+    }
+
+    /// Total users in the pool.
+    pub fn total_users(&self) -> usize {
+        self.n_mainstream_only + self.n_alt_only + self.mixed_propensity.len()
+    }
+
+    /// Whether a user id belongs to the alt-only (bot-like) segment.
+    pub fn is_alt_only(&self, user: UserId) -> bool {
+        let rel = user.0.wrapping_sub(self.id_base) as usize;
+        rel >= self.n_mainstream_only && rel < self.n_mainstream_only + self.n_alt_only
+    }
+
+    /// Assign an account to an event of the given news category.
+    pub fn assign<R: Rng + ?Sized>(&self, category: NewsCategory, rng: &mut R) -> UserId {
+        let rel = match category {
+            NewsCategory::Alternative => {
+                if rng.gen::<f64>() < self.p_alt_from_alt_only {
+                    self.n_mainstream_only + self.alt_only.sample(rng)
+                } else {
+                    self.sample_mixed_weighted(rng, true)
+                }
+            }
+            NewsCategory::Mainstream => {
+                if rng.gen::<f64>() < self.p_main_from_main_only {
+                    self.mainstream_only.sample(rng)
+                } else {
+                    self.sample_mixed_weighted(rng, false)
+                }
+            }
+        };
+        UserId(self.id_base + rel as u32)
+    }
+
+    /// Pick a mixed user, biased by (or against) alt propensity.
+    fn sample_mixed_weighted<R: Rng + ?Sized>(&self, rng: &mut R, toward_alt: bool) -> usize {
+        // Rejection-sample the activity distribution against propensity.
+        for _ in 0..64 {
+            let i = self.mixed.sample(rng);
+            let p = self.mixed_propensity[i];
+            let accept = if toward_alt { p } else { 1.0 - p };
+            if rng.gen::<f64>() < accept.max(0.05) {
+                return self.n_mainstream_only + self.n_alt_only + i;
+            }
+        }
+        self.n_mainstream_only + self.n_alt_only + self.mixed.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn pool_sizes_follow_event_volume() {
+        let mut r = rng(1);
+        let pool = UserPool::new(0, 30_000.0, 3.0, 0.13, &mut r);
+        let total = pool.total_users();
+        assert!((9_000..=11_000).contains(&total), "total={total}");
+    }
+
+    #[test]
+    fn alt_only_users_never_get_mainstream_events() {
+        let mut r = rng(2);
+        let pool = UserPool::new(1000, 3_000.0, 3.0, 0.13, &mut r);
+        for _ in 0..5_000 {
+            let u = pool.assign(NewsCategory::Mainstream, &mut r);
+            assert!(!pool.is_alt_only(u), "mainstream event on alt-only user");
+        }
+    }
+
+    #[test]
+    fn user_level_fractions_match_paper_shape() {
+        let mut r = rng(3);
+        let pool = UserPool::new(0, 40_000.0, 3.0, 0.13, &mut r);
+        // Generate events with the paper's ~1:3 alt:main volume ratio.
+        let mut per_user: HashMap<u32, (u32, u32)> = HashMap::new();
+        for i in 0..48_000u32 {
+            let cat = if i % 4 == 0 {
+                NewsCategory::Alternative
+            } else {
+                NewsCategory::Mainstream
+            };
+            let u = pool.assign(cat, &mut r);
+            let entry = per_user.entry(u.0).or_default();
+            match cat {
+                NewsCategory::Alternative => entry.0 += 1,
+                NewsCategory::Mainstream => entry.1 += 1,
+            }
+        }
+        let n_users = per_user.len() as f64;
+        let main_only = per_user.values().filter(|(a, _)| *a == 0).count() as f64 / n_users;
+        let alt_only = per_user.values().filter(|(_, m)| *m == 0).count() as f64 / n_users;
+        // Paper: ~80% mainstream-only; a material alt-only segment.
+        assert!(
+            (0.55..=0.92).contains(&main_only),
+            "mainstream-only share {main_only}"
+        );
+        assert!((0.05..=0.30).contains(&alt_only), "alt-only share {alt_only}");
+    }
+
+    #[test]
+    fn activity_is_heavy_tailed() {
+        let mut r = rng(4);
+        let pool = UserPool::new(0, 10_000.0, 3.0, 0.13, &mut r);
+        let mut counts: HashMap<u32, u32> = HashMap::new();
+        for _ in 0..20_000 {
+            let u = pool.assign(NewsCategory::Mainstream, &mut r);
+            *counts.entry(u.0).or_default() += 1;
+        }
+        let mut volumes: Vec<u32> = counts.values().copied().collect();
+        volumes.sort_unstable_by(|a, b| b.cmp(a));
+        let top_decile: u32 = volumes[..volumes.len() / 10].iter().sum();
+        let total: u32 = volumes.iter().sum();
+        assert!(
+            top_decile as f64 / total as f64 > 0.25,
+            "top 10% of users hold only {}",
+            top_decile as f64 / total as f64
+        );
+    }
+
+    #[test]
+    fn id_ranges_disjoint_across_pools() {
+        let mut r = rng(5);
+        let a = UserPool::new(0, 1_000.0, 3.0, 0.13, &mut r);
+        let offset = a.total_users() as u32;
+        let b = UserPool::new(offset, 1_000.0, 3.0, 0.04, &mut r);
+        for _ in 0..500 {
+            let ua = a.assign(NewsCategory::Alternative, &mut r);
+            let ub = b.assign(NewsCategory::Alternative, &mut r);
+            assert!(ua.0 < offset);
+            assert!(ub.0 >= offset);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "posts_per_user")]
+    fn rejects_fractional_posts_per_user() {
+        UserPool::new(0, 100.0, 0.5, 0.1, &mut rng(6));
+    }
+}

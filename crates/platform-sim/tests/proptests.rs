@@ -1,0 +1,112 @@
+//! Property-based tests of the platform simulator.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+use centipede_dataset::domains::NewsCategory;
+use centipede_platform_sim::cascade::{simulate_cascade, CascadeParams, DelayMixture};
+use centipede_platform_sim::fourchan::Board;
+use centipede_platform_sim::ground_truth;
+use centipede_platform_sim::news::{draw_url_params, BirthSampler};
+use centipede_platform_sim::users::UserPool;
+use centipede_platform_sim::SimConfig;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn delay_mixture_always_positive(
+        comps in prop::collection::vec((0.01..5.0f64, -2.0..9.0f64, 0.1..2.0f64), 1..5),
+        seed in 0u64..500,
+    ) {
+        let m = DelayMixture::new(comps);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..100 {
+            prop_assert!(m.sample(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn cascades_stay_sorted_and_in_horizon(
+        rate in 0.0001..0.01f64,
+        hot in 100.0..2000.0f64,
+        seed in 0u64..300,
+    ) {
+        let params = CascadeParams {
+            lambda0: [rate; 8],
+            weights: ground_truth::weight_matrix(NewsCategory::Mainstream),
+            hot_minutes: hot,
+            tail_rate_factor: 0.001,
+            horizon_minutes: hot * 4.0,
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let events = simulate_cascade(&params, &DelayMixture::paper_default(), &mut rng);
+        for w in events.windows(2) {
+            prop_assert!(w[0].minute <= w[1].minute);
+        }
+        for e in &events {
+            prop_assert!(e.minute >= 0.0 && e.minute < params.horizon_minutes);
+            prop_assert!(e.community < 8);
+        }
+    }
+
+    #[test]
+    fn url_params_always_valid(
+        seed in 0u64..500,
+        aff0 in 0.1..3.0f64,
+        aff1 in 0.1..3.0f64,
+        aff2 in 0.1..3.0f64,
+    ) {
+        let config = SimConfig::default();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for cat in NewsCategory::ALL {
+            let p = draw_url_params(&config, cat, [aff0, aff1, aff2], &mut rng);
+            p.validate(); // panics on violation
+            prop_assert!(p.lambda0.iter().all(|&l| l.is_finite() && l >= 0.0));
+            prop_assert!(p.hot_minutes <= p.horizon_minutes);
+        }
+    }
+
+    #[test]
+    fn birth_sampler_stays_in_study_period(seed in 0u64..2_000) {
+        use centipede_dataset::time::{study_end, study_start};
+        let s = BirthSampler::paper_calendar();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let t = s.sample(&mut rng);
+        prop_assert!(t >= study_start() && t < study_end());
+    }
+
+    #[test]
+    fn board_never_exceeds_capacity(
+        max_active in 1usize..30,
+        reply_prob in 0.0..1.0f64,
+        n_posts in 1usize..500,
+        seed in 0u64..200,
+    ) {
+        let mut board = Board::new("pol", max_active, 50);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for i in 0..n_posts {
+            board.attach_post(i as i64, reply_prob, &mut rng);
+            prop_assert!(board.active_threads() <= max_active);
+        }
+        for t in board.archived_threads() {
+            let lifetime = t.lifetime().expect("archived threads have prune times");
+            prop_assert!(lifetime >= 0);
+            prop_assert!(t.posts >= 1);
+        }
+    }
+
+    #[test]
+    fn user_pool_alt_only_users_never_post_mainstream(
+        events in 100.0..5_000.0f64,
+        alt_frac in 0.01..0.15f64,
+        seed in 0u64..200,
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let pool = UserPool::new(0, events, 3.0, alt_frac, &mut rng);
+        for _ in 0..200 {
+            let u = pool.assign(NewsCategory::Mainstream, &mut rng);
+            prop_assert!(!pool.is_alt_only(u));
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! Nonparametric bootstrap confidence intervals.
+//!
+//! Used to attach uncertainty to the Figure 10 mean weights: the
+//! per-URL fitted weights are resampled with replacement and the mean
+//! recomputed, giving percentile confidence intervals that complement
+//! the KS significance stars.
+
+use rand::Rng;
+
+/// A bootstrap percentile confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BootstrapCi {
+    /// Point estimate (the statistic on the original sample).
+    pub estimate: f64,
+    /// Lower bound.
+    pub lower: f64,
+    /// Upper bound.
+    pub upper: f64,
+    /// Confidence level used.
+    pub level: f64,
+    /// Number of resamples.
+    pub n_resamples: usize,
+}
+
+impl BootstrapCi {
+    /// Whether a hypothesised value lies inside the interval.
+    pub fn contains(&self, value: f64) -> bool {
+        (self.lower..=self.upper).contains(&value)
+    }
+
+    /// Interval width.
+    pub fn width(&self) -> f64 {
+        self.upper - self.lower
+    }
+}
+
+/// Percentile-bootstrap confidence interval for an arbitrary statistic.
+///
+/// # Panics
+/// Panics if the sample is empty, `n_resamples == 0`, or `level` is
+/// outside `(0, 1)`.
+pub fn bootstrap_ci<R: Rng + ?Sized>(
+    sample: &[f64],
+    statistic: impl Fn(&[f64]) -> f64,
+    n_resamples: usize,
+    level: f64,
+    rng: &mut R,
+) -> BootstrapCi {
+    assert!(!sample.is_empty(), "bootstrap_ci: empty sample");
+    assert!(n_resamples > 0, "bootstrap_ci: n_resamples must be > 0");
+    assert!(
+        level > 0.0 && level < 1.0,
+        "bootstrap_ci: level must be in (0,1)"
+    );
+    let estimate = statistic(sample);
+    let mut stats = Vec::with_capacity(n_resamples);
+    let mut resample = vec![0.0; sample.len()];
+    for _ in 0..n_resamples {
+        for slot in resample.iter_mut() {
+            *slot = sample[rng.gen_range(0..sample.len())];
+        }
+        stats.push(statistic(&resample));
+    }
+    stats.sort_by(|a, b| a.partial_cmp(b).expect("statistic produced NaN"));
+    let tail = (1.0 - level) / 2.0;
+    let lo_idx = ((stats.len() as f64 * tail).floor() as usize).min(stats.len() - 1);
+    let hi_idx = ((stats.len() as f64 * (1.0 - tail)).ceil() as usize)
+        .saturating_sub(1)
+        .min(stats.len() - 1);
+    BootstrapCi {
+        estimate,
+        lower: stats[lo_idx],
+        upper: stats[hi_idx],
+        level,
+        n_resamples,
+    }
+}
+
+/// Bootstrap CI for the mean — the common case.
+pub fn bootstrap_mean_ci<R: Rng + ?Sized>(
+    sample: &[f64],
+    n_resamples: usize,
+    level: f64,
+    rng: &mut R,
+) -> BootstrapCi {
+    bootstrap_ci(
+        sample,
+        |xs| xs.iter().sum::<f64>() / xs.len() as f64,
+        n_resamples,
+        level,
+        rng,
+    )
+}
+
+/// Bootstrap CI for the difference of means of two independent samples
+/// (resampled independently).
+pub fn bootstrap_mean_diff_ci<R: Rng + ?Sized>(
+    a: &[f64],
+    b: &[f64],
+    n_resamples: usize,
+    level: f64,
+    rng: &mut R,
+) -> BootstrapCi {
+    assert!(
+        !a.is_empty() && !b.is_empty(),
+        "bootstrap_mean_diff_ci: empty sample"
+    );
+    let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+    let estimate = mean(a) - mean(b);
+    let mut stats = Vec::with_capacity(n_resamples);
+    for _ in 0..n_resamples {
+        let ra: f64 = (0..a.len())
+            .map(|_| a[rng.gen_range(0..a.len())])
+            .sum::<f64>()
+            / a.len() as f64;
+        let rb: f64 = (0..b.len())
+            .map(|_| b[rng.gen_range(0..b.len())])
+            .sum::<f64>()
+            / b.len() as f64;
+        stats.push(ra - rb);
+    }
+    stats.sort_by(|x, y| x.partial_cmp(y).expect("no NaN"));
+    let tail = (1.0 - level) / 2.0;
+    let lo_idx = ((stats.len() as f64 * tail).floor() as usize).min(stats.len() - 1);
+    let hi_idx = ((stats.len() as f64 * (1.0 - tail)).ceil() as usize)
+        .saturating_sub(1)
+        .min(stats.len() - 1);
+    BootstrapCi {
+        estimate,
+        lower: stats[lo_idx],
+        upper: stats[hi_idx],
+        level,
+        n_resamples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn mean_ci_covers_true_mean() {
+        let mut r = rng(1);
+        // Sample from a known distribution.
+        let sample: Vec<f64> = (0..200).map(|_| r.gen::<f64>() * 2.0).collect();
+        let ci = bootstrap_mean_ci(&sample, 2_000, 0.95, &mut r);
+        assert!(ci.contains(ci.estimate));
+        assert!(ci.contains(1.0), "CI {:?} misses true mean 1.0", ci);
+        assert!(ci.width() < 0.3, "CI too wide: {}", ci.width());
+        assert_eq!(ci.n_resamples, 2_000);
+    }
+
+    #[test]
+    fn ci_narrows_with_sample_size() {
+        let mut r = rng(2);
+        let small: Vec<f64> = (0..20).map(|_| r.gen::<f64>()).collect();
+        let large: Vec<f64> = (0..2_000).map(|_| r.gen::<f64>()).collect();
+        let ci_small = bootstrap_mean_ci(&small, 1_000, 0.95, &mut r);
+        let ci_large = bootstrap_mean_ci(&large, 1_000, 0.95, &mut r);
+        assert!(ci_large.width() < ci_small.width());
+    }
+
+    #[test]
+    fn degenerate_sample_gives_point_interval() {
+        let mut r = rng(3);
+        let ci = bootstrap_mean_ci(&[2.5; 50], 500, 0.9, &mut r);
+        assert_eq!(ci.lower, 2.5);
+        assert_eq!(ci.upper, 2.5);
+        assert_eq!(ci.estimate, 2.5);
+    }
+
+    #[test]
+    fn custom_statistic_median() {
+        let mut r = rng(4);
+        let sample: Vec<f64> = (1..=101).map(|i| i as f64).collect();
+        let ci = bootstrap_ci(
+            &sample,
+            |xs| {
+                let mut v = xs.to_vec();
+                v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                v[v.len() / 2]
+            },
+            1_000,
+            0.95,
+            &mut r,
+        );
+        assert_eq!(ci.estimate, 51.0);
+        assert!(ci.contains(51.0));
+    }
+
+    #[test]
+    fn mean_diff_detects_separation() {
+        let mut r = rng(5);
+        let a: Vec<f64> = (0..100).map(|_| r.gen::<f64>() + 1.0).collect();
+        let b: Vec<f64> = (0..100).map(|_| r.gen::<f64>()).collect();
+        let ci = bootstrap_mean_diff_ci(&a, &b, 1_000, 0.95, &mut r);
+        assert!(ci.lower > 0.5, "diff CI {ci:?} should exclude 0");
+        assert!(!ci.contains(0.0));
+        assert!((ci.estimate - 1.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn mean_diff_overlapping_contains_zero() {
+        let mut r = rng(6);
+        let a: Vec<f64> = (0..150).map(|_| r.gen::<f64>()).collect();
+        let b: Vec<f64> = (0..150).map(|_| r.gen::<f64>()).collect();
+        let ci = bootstrap_mean_diff_ci(&a, &b, 1_000, 0.99, &mut r);
+        assert!(ci.contains(0.0), "CI {ci:?} should contain 0");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_sample_panics() {
+        bootstrap_mean_ci(&[], 10, 0.9, &mut rng(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "level")]
+    fn bad_level_panics() {
+        bootstrap_mean_ci(&[1.0], 10, 1.0, &mut rng(8));
+    }
+}

@@ -1,0 +1,223 @@
+//! Empirical cumulative distribution functions.
+//!
+//! The paper's Figures 1, 3, 5, 6 and 7 are all ECDF plots. [`Ecdf`]
+//! stores a sorted sample and evaluates `F̂(x) = #{xᵢ ≤ x}/n` in
+//! `O(log n)`, exposes plot-ready step points (optionally subsampled on a
+//! log-spaced grid, matching the paper's log-x axes), and supports
+//! quantile inversion.
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical CDF over a finite sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Build an ECDF from a sample. NaNs are rejected.
+    ///
+    /// # Panics
+    /// Panics if the sample is empty or contains NaN.
+    pub fn new(mut sample: Vec<f64>) -> Self {
+        assert!(!sample.is_empty(), "Ecdf: empty sample");
+        assert!(
+            sample.iter().all(|x| !x.is_nan()),
+            "Ecdf: sample contains NaN"
+        );
+        sample.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        Ecdf { sorted: sample }
+    }
+
+    /// Build from any iterator of values convertible to `f64`.
+    ///
+    /// Deliberately an inherent constructor rather than the
+    /// `FromIterator` trait: construction panics on empty/NaN input,
+    /// which the trait contract does not signal.
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_iter<I, V>(iter: I) -> Self
+    where
+        I: IntoIterator<Item = V>,
+        V: Into<f64>,
+    {
+        Self::new(iter.into_iter().map(Into::into).collect())
+    }
+
+    /// Sample size.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the sample is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The underlying sorted sample.
+    pub fn sorted_values(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Evaluate `F̂(x)` — the fraction of sample points `≤ x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        // partition_point gives the count of elements <= x when we
+        // partition on `v <= x`.
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Generalised inverse: the smallest sample value `v` with
+    /// `F̂(v) ≥ q`, for `q ∈ (0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!(q > 0.0 && q <= 1.0, "Ecdf::quantile: q={q} out of (0,1]");
+        let n = self.sorted.len();
+        let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+        self.sorted[idx]
+    }
+
+    /// Minimum of the sample.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Maximum of the sample.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("non-empty")
+    }
+
+    /// Plot-ready step points `(x, F̂(x))`, one per distinct sample value.
+    pub fn step_points(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len() as f64;
+        let mut points = Vec::new();
+        let mut i = 0;
+        while i < self.sorted.len() {
+            let x = self.sorted[i];
+            let mut j = i + 1;
+            while j < self.sorted.len() && self.sorted[j] == x {
+                j += 1;
+            }
+            points.push((x, j as f64 / n));
+            i = j;
+        }
+        points
+    }
+
+    /// Evaluate the ECDF on a log-spaced grid of `n_points` between the
+    /// sample's positive minimum and its maximum — the form in which the
+    /// paper's log-x CDF figures are rendered.
+    ///
+    /// Returns an empty vector if the sample has no positive values.
+    pub fn log_grid(&self, n_points: usize) -> Vec<(f64, f64)> {
+        assert!(n_points >= 2, "Ecdf::log_grid: need at least 2 points");
+        let lo = match self.sorted.iter().find(|&&v| v > 0.0) {
+            Some(&v) => v,
+            None => return Vec::new(),
+        };
+        let hi = self.max();
+        if hi <= lo {
+            return vec![(lo, self.eval(lo))];
+        }
+        let (ln_lo, ln_hi) = (lo.ln(), hi.ln());
+        (0..n_points)
+            .map(|i| {
+                // Clamp the final grid point to the exact maximum so the
+                // curve always reaches F = 1 despite exp/ln round-trip
+                // rounding.
+                let x = if i == n_points - 1 {
+                    hi
+                } else {
+                    (ln_lo + (ln_hi - ln_lo) * i as f64 / (n_points - 1) as f64).exp()
+                };
+                (x, self.eval(x))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_basic_steps() {
+        let e = Ecdf::new(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(e.eval(0.5), 0.0);
+        assert_eq!(e.eval(1.0), 0.25);
+        assert_eq!(e.eval(2.5), 0.5);
+        assert_eq!(e.eval(4.0), 1.0);
+        assert_eq!(e.eval(100.0), 1.0);
+    }
+
+    #[test]
+    fn eval_with_ties() {
+        let e = Ecdf::new(vec![1.0, 1.0, 1.0, 2.0]);
+        assert_eq!(e.eval(1.0), 0.75);
+        assert_eq!(e.eval(1.5), 0.75);
+        assert_eq!(e.eval(2.0), 1.0);
+    }
+
+    #[test]
+    fn quantile_inverts_eval() {
+        let e = Ecdf::new(vec![10.0, 20.0, 30.0, 40.0, 50.0]);
+        assert_eq!(e.quantile(0.2), 10.0);
+        assert_eq!(e.quantile(0.21), 20.0);
+        assert_eq!(e.quantile(1.0), 50.0);
+        assert_eq!(e.quantile(0.0001), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of (0,1]")]
+    fn quantile_rejects_zero() {
+        Ecdf::new(vec![1.0]).quantile(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_sample_panics() {
+        Ecdf::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_panics() {
+        Ecdf::new(vec![1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn step_points_deduplicate() {
+        let e = Ecdf::new(vec![1.0, 1.0, 2.0, 3.0, 3.0, 3.0]);
+        let pts = e.step_points();
+        assert_eq!(
+            pts,
+            vec![(1.0, 2.0 / 6.0), (2.0, 3.0 / 6.0), (3.0, 1.0)]
+        );
+    }
+
+    #[test]
+    fn log_grid_spans_range_and_is_monotone() {
+        let e = Ecdf::from_iter((1..=1000).map(|i| i as f64));
+        let grid = e.log_grid(50);
+        assert_eq!(grid.len(), 50);
+        assert!((grid[0].0 - 1.0).abs() < 1e-9);
+        assert!((grid[49].0 - 1000.0).abs() < 1e-6);
+        for w in grid.windows(2) {
+            assert!(w[1].0 > w[0].0);
+            assert!(w[1].1 >= w[0].1);
+        }
+        assert!((grid[49].1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_grid_all_nonpositive_is_empty() {
+        let e = Ecdf::new(vec![-1.0, 0.0]);
+        assert!(e.log_grid(10).is_empty());
+    }
+
+    #[test]
+    fn from_iter_converts_integers() {
+        let e = Ecdf::from_iter([1u32, 2, 3]);
+        assert_eq!(e.len(), 3);
+        assert_eq!(e.min(), 1.0);
+        assert_eq!(e.max(), 3.0);
+    }
+}

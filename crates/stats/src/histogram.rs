@@ -1,0 +1,207 @@
+//! Linear and logarithmic histograms.
+//!
+//! Used for the paper's count distributions (Figure 1's URL-appearance
+//! counts are naturally log-binned) and for the daily-occurrence series
+//! construction in Figure 4.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram with explicit bin edges.
+///
+/// Bins are half-open `[edge[i], edge[i+1])` except the last, which is
+/// closed. Out-of-range values are counted in `underflow` / `overflow`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Bin edges, strictly increasing, length = bins + 1.
+    pub edges: Vec<f64>,
+    /// Counts per bin.
+    pub counts: Vec<u64>,
+    /// Values below the first edge.
+    pub underflow: u64,
+    /// Values above the last edge.
+    pub overflow: u64,
+}
+
+impl Histogram {
+    /// Create a histogram with `n_bins` equal-width bins on `[lo, hi]`.
+    ///
+    /// # Panics
+    /// Panics unless `lo < hi` and `n_bins ≥ 1`.
+    pub fn linear(lo: f64, hi: f64, n_bins: usize) -> Self {
+        assert!(lo < hi, "Histogram::linear: lo={lo} must be < hi={hi}");
+        assert!(n_bins >= 1, "Histogram::linear: need at least one bin");
+        let edges = (0..=n_bins)
+            .map(|i| lo + (hi - lo) * i as f64 / n_bins as f64)
+            .collect();
+        Self::from_edges(edges)
+    }
+
+    /// Create a histogram with `n_bins` log-spaced bins on `[lo, hi]`
+    /// (`lo > 0`).
+    pub fn logarithmic(lo: f64, hi: f64, n_bins: usize) -> Self {
+        assert!(
+            lo > 0.0 && lo < hi,
+            "Histogram::logarithmic: need 0 < lo < hi, got [{lo}, {hi}]"
+        );
+        assert!(n_bins >= 1, "Histogram::logarithmic: need at least one bin");
+        let (ln_lo, ln_hi) = (lo.ln(), hi.ln());
+        let edges = (0..=n_bins)
+            .map(|i| (ln_lo + (ln_hi - ln_lo) * i as f64 / n_bins as f64).exp())
+            .collect();
+        Self::from_edges(edges)
+    }
+
+    /// Create a histogram from explicit, strictly increasing edges.
+    pub fn from_edges(edges: Vec<f64>) -> Self {
+        assert!(edges.len() >= 2, "Histogram: need at least 2 edges");
+        assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "Histogram: edges must be strictly increasing"
+        );
+        let n = edges.len() - 1;
+        Histogram {
+            edges,
+            counts: vec![0; n],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Number of bins.
+    pub fn n_bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Add one observation.
+    pub fn add(&mut self, x: f64) {
+        let lo = self.edges[0];
+        let hi = *self.edges.last().expect("edges non-empty");
+        if x < lo {
+            self.underflow += 1;
+            return;
+        }
+        if x > hi {
+            self.overflow += 1;
+            return;
+        }
+        // partition_point: first edge > x; bin index is that minus one.
+        let idx = self.edges.partition_point(|&e| e <= x);
+        let bin = if idx == 0 {
+            0
+        } else {
+            (idx - 1).min(self.counts.len() - 1)
+        };
+        self.counts[bin] += 1;
+    }
+
+    /// Add every observation in a slice.
+    pub fn extend(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.add(x);
+        }
+    }
+
+    /// Total in-range count.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Bin centres (arithmetic midpoint).
+    pub fn centres(&self) -> Vec<f64> {
+        self.edges
+            .windows(2)
+            .map(|w| 0.5 * (w[0] + w[1]))
+            .collect()
+    }
+
+    /// Densities: count / (total · width). Empty-total histograms yield
+    /// all-zero densities.
+    pub fn densities(&self) -> Vec<f64> {
+        let total = self.total() as f64;
+        self.edges
+            .windows(2)
+            .zip(&self.counts)
+            .map(|(w, &c)| {
+                if total == 0.0 {
+                    0.0
+                } else {
+                    c as f64 / (total * (w[1] - w[0]))
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_binning_basics() {
+        let mut h = Histogram::linear(0.0, 10.0, 5);
+        h.extend(&[0.0, 1.0, 2.0, 3.9, 4.0, 9.9, 10.0]);
+        assert_eq!(h.counts, vec![2, 2, 1, 0, 2]); // 10.0 in last closed bin
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.underflow, 0);
+        assert_eq!(h.overflow, 0);
+    }
+
+    #[test]
+    fn under_over_flow() {
+        let mut h = Histogram::linear(0.0, 1.0, 2);
+        h.extend(&[-0.1, 0.5, 1.5]);
+        assert_eq!(h.underflow, 1);
+        assert_eq!(h.overflow, 1);
+        assert_eq!(h.total(), 1);
+    }
+
+    #[test]
+    fn log_binning_decades() {
+        let h = Histogram::logarithmic(1.0, 1000.0, 3);
+        let e = &h.edges;
+        assert!((e[0] - 1.0).abs() < 1e-9);
+        assert!((e[1] - 10.0).abs() < 1e-6);
+        assert!((e[2] - 100.0).abs() < 1e-4);
+        assert!((e[3] - 1000.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn densities_integrate_to_one() {
+        let mut h = Histogram::linear(0.0, 1.0, 10);
+        for i in 0..1000 {
+            h.add(i as f64 / 1000.0);
+        }
+        let integral: f64 = h
+            .densities()
+            .iter()
+            .zip(h.edges.windows(2))
+            .map(|(d, w)| d * (w[1] - w[0]))
+            .sum();
+        assert!((integral - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn densities_of_empty_histogram_are_zero() {
+        let h = Histogram::linear(0.0, 1.0, 4);
+        assert!(h.densities().iter().all(|&d| d == 0.0));
+    }
+
+    #[test]
+    fn centres_are_midpoints() {
+        let h = Histogram::linear(0.0, 4.0, 2);
+        assert_eq!(h.centres(), vec![1.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn bad_edges_panic() {
+        Histogram::from_edges(vec![0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn boundary_values_go_to_correct_bin() {
+        let mut h = Histogram::linear(0.0, 3.0, 3);
+        h.add(1.0); // exactly on inner edge -> bin 1
+        assert_eq!(h.counts, vec![0, 1, 0]);
+    }
+}

@@ -1,0 +1,224 @@
+//! Two-sample Kolmogorov–Smirnov test.
+//!
+//! The paper uses two-sample KS tests in §4.1 (inter-arrival-time
+//! distributions differ with `p < 0.01`), §4.2 (cross-platform lag
+//! distributions, `p < 10⁻⁴`) and §5.3 (significance stars on the
+//! Figure 10 weight matrix: `*` for `p < 0.05`, `**` for `p < 0.01`).
+//!
+//! The statistic is `D = sup_x |F̂₁(x) − F̂₂(x)|`; the p-value uses the
+//! asymptotic Kolmogorov distribution
+//! `Q(λ) = 2 Σ_{j≥1} (−1)^{j−1} exp(−2 j² λ²)` evaluated at
+//! `λ = (√nₑ + 0.12 + 0.11/√nₑ) · D` with effective size
+//! `nₑ = n₁n₂/(n₁+n₂)` (Numerical Recipes `kstwo`), matching
+//! `scipy.stats.ks_2samp(mode="asymp")` closely for the sample sizes in
+//! this workspace.
+
+use serde::{Deserialize, Serialize};
+
+/// Result of a two-sample KS test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KsResult {
+    /// The KS statistic `D ∈ [0, 1]`.
+    pub statistic: f64,
+    /// Asymptotic two-sided p-value.
+    pub p_value: f64,
+    /// Size of the first sample.
+    pub n1: usize,
+    /// Size of the second sample.
+    pub n2: usize,
+}
+
+impl KsResult {
+    /// Significance marker matching the paper's Figure 10 convention:
+    /// `"**"` for `p < 0.01`, `"*"` for `p < 0.05`, `""` otherwise.
+    pub fn stars(&self) -> &'static str {
+        if self.p_value < 0.01 {
+            "**"
+        } else if self.p_value < 0.05 {
+            "*"
+        } else {
+            ""
+        }
+    }
+
+    /// Whether the null (same distribution) is rejected at level `alpha`.
+    pub fn reject_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Two-sample Kolmogorov–Smirnov test.
+///
+/// # Panics
+/// Panics if either sample is empty or contains NaN.
+pub fn ks_two_sample(sample1: &[f64], sample2: &[f64]) -> KsResult {
+    assert!(
+        !sample1.is_empty() && !sample2.is_empty(),
+        "ks_two_sample: empty sample (n1={}, n2={})",
+        sample1.len(),
+        sample2.len()
+    );
+    let mut a: Vec<f64> = sample1.to_vec();
+    let mut b: Vec<f64> = sample2.to_vec();
+    assert!(
+        a.iter().chain(b.iter()).all(|x| !x.is_nan()),
+        "ks_two_sample: NaN in input"
+    );
+    a.sort_by(|x, y| x.partial_cmp(y).expect("no NaN"));
+    b.sort_by(|x, y| x.partial_cmp(y).expect("no NaN"));
+
+    let (n1, n2) = (a.len(), b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d: f64 = 0.0;
+    // Merge-walk both sorted samples, tracking the CDF gap. Advance past
+    // ties on BOTH sides before comparing, so tied values contribute the
+    // gap *after* all equal points are consumed (the standard treatment).
+    while i < n1 && j < n2 {
+        let x = a[i].min(b[j]);
+        while i < n1 && a[i] == x {
+            i += 1;
+        }
+        while j < n2 && b[j] == x {
+            j += 1;
+        }
+        let f1 = i as f64 / n1 as f64;
+        let f2 = j as f64 / n2 as f64;
+        d = d.max((f1 - f2).abs());
+    }
+    let ne = (n1 as f64 * n2 as f64) / (n1 as f64 + n2 as f64);
+    let lambda = (ne.sqrt() + 0.12 + 0.11 / ne.sqrt()) * d;
+    KsResult {
+        statistic: d,
+        p_value: kolmogorov_q(lambda),
+        n1,
+        n2,
+    }
+}
+
+/// Complementary CDF of the Kolmogorov distribution,
+/// `Q(λ) = 2 Σ (−1)^{j−1} exp(−2j²λ²)`, clamped to `[0, 1]`.
+pub fn kolmogorov_q(lambda: f64) -> f64 {
+    // For λ below ~0.3 the distribution mass is numerically 1 and the
+    // alternating series converges too slowly to be useful.
+    if lambda < 0.3 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    let mut prev_abs = 0.0f64;
+    for j in 1..=100 {
+        let term = (-2.0 * (j as f64) * (j as f64) * lambda * lambda).exp();
+        sum += sign * term;
+        // Converged when the term is negligible relative to the sum
+        // (Numerical Recipes `probks` criteria).
+        if term <= 1e-12 * prev_abs || term <= 1e-16 * sum.abs() {
+            return (2.0 * sum).clamp(0.0, 1.0);
+        }
+        prev_abs = term;
+        sign = -sign;
+    }
+    // Series failed to converge — happens only for small λ, where the
+    // p-value is 1 for practical purposes.
+    1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn identical_samples_d_zero() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let r = ks_two_sample(&xs, &xs);
+        assert_eq!(r.statistic, 0.0);
+        assert!((r.p_value - 1.0).abs() < 1e-12);
+        assert_eq!(r.stars(), "");
+    }
+
+    #[test]
+    fn disjoint_samples_d_one() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [10.0, 11.0, 12.0];
+        let r = ks_two_sample(&a, &b);
+        assert_eq!(r.statistic, 1.0);
+        assert!(r.p_value < 0.05);
+    }
+
+    #[test]
+    fn known_small_sample_statistic() {
+        // a = [1,2,3,4], b = [2.5, 3.5]:
+        // D occurs at x=2: |2/4 - 0/2| = 0.5.
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [2.5, 3.5];
+        let r = ks_two_sample(&a, &b);
+        assert!((r.statistic - 0.5).abs() < 1e-12, "D={}", r.statistic);
+    }
+
+    #[test]
+    fn ties_handled_like_scipy() {
+        // scipy.stats.ks_2samp([1,1,2,2],[1,2,2,3]).statistic == 0.25
+        let a = [1.0, 1.0, 2.0, 2.0];
+        let b = [1.0, 2.0, 2.0, 3.0];
+        let r = ks_two_sample(&a, &b);
+        assert!((r.statistic - 0.25).abs() < 1e-12, "D={}", r.statistic);
+    }
+
+    #[test]
+    fn same_distribution_rarely_rejected() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let a: Vec<f64> = (0..500).map(|_| rng.gen::<f64>()).collect();
+        let b: Vec<f64> = (0..500).map(|_| rng.gen::<f64>()).collect();
+        let r = ks_two_sample(&a, &b);
+        assert!(r.p_value > 0.01, "p={} unexpectedly small", r.p_value);
+    }
+
+    #[test]
+    fn shifted_distribution_detected() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let a: Vec<f64> = (0..400).map(|_| rng.gen::<f64>()).collect();
+        let b: Vec<f64> = (0..400).map(|_| rng.gen::<f64>() + 0.25).collect();
+        let r = ks_two_sample(&a, &b);
+        assert!(r.p_value < 1e-4, "p={}", r.p_value);
+        assert_eq!(r.stars(), "**");
+        assert!(r.reject_at(0.01));
+    }
+
+    #[test]
+    fn kolmogorov_q_known_values() {
+        // Q(0) = 1; Q is decreasing; Q(1.36) ≈ 0.0497 (the classic 5% point).
+        assert_eq!(kolmogorov_q(0.0), 1.0);
+        assert!((kolmogorov_q(1.36) - 0.0497).abs() < 1e-3);
+        assert!(kolmogorov_q(0.5) > kolmogorov_q(1.0));
+        assert!(kolmogorov_q(3.0) < 1e-6);
+    }
+
+    #[test]
+    fn stars_thresholds() {
+        let mk = |p| KsResult {
+            statistic: 0.1,
+            p_value: p,
+            n1: 10,
+            n2: 10,
+        };
+        assert_eq!(mk(0.005).stars(), "**");
+        assert_eq!(mk(0.03).stars(), "*");
+        assert_eq!(mk(0.2).stars(), "");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_sample_panics() {
+        ks_two_sample(&[], &[1.0]);
+    }
+
+    #[test]
+    fn asymmetric_sample_sizes() {
+        let a: Vec<f64> = (0..1000).map(|i| i as f64 / 1000.0).collect();
+        let b: Vec<f64> = (0..10).map(|i| i as f64 / 10.0).collect();
+        let r = ks_two_sample(&a, &b);
+        assert!(r.statistic < 0.15);
+        assert_eq!(r.n1, 1000);
+        assert_eq!(r.n2, 10);
+    }
+}

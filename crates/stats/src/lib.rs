@@ -1,0 +1,50 @@
+//! Statistical primitives for the `web-centipede` reproduction.
+//!
+//! This crate implements, from scratch, every statistical routine the
+//! measurement pipeline of *The Web Centipede* (Zannettou et al., IMC 2017)
+//! relies on:
+//!
+//! * [`special`] — special functions (log-gamma, digamma, error function,
+//!   regularised incomplete gamma/beta) used by density evaluations and
+//!   p-value computations.
+//! * [`descriptive`] — means, variances, quantiles and five-number
+//!   summaries used throughout the paper's tables.
+//! * [`ecdf`] — empirical cumulative distribution functions, the workhorse
+//!   behind Figures 1, 3, 5, 6 and 7.
+//! * [`ks`] — the two-sample Kolmogorov–Smirnov test with asymptotic
+//!   p-values, used by the paper for pairwise distribution comparisons
+//!   (§4.1) and for the significance stars of Figure 10.
+//! * [`histogram`] — linear and logarithmic binning for time-series and
+//!   count distributions.
+//! * [`sampling`] — hand-rolled samplers (gamma, beta, Dirichlet,
+//!   Poisson, categorical/alias, multinomial) with conjugate-prior-friendly
+//!   parameterisations; these back the Gibbs sampler in `centipede-hawkes`.
+//! * [`correlation`] — Pearson and Spearman rank correlation.
+//! * [`bootstrap`] — percentile bootstrap confidence intervals for the
+//!   Figure 10 mean-weight uncertainty.
+//! * [`timeseries`] — bucketing utilities for daily-occurrence series
+//!   (Figure 4).
+//!
+//! # Design notes
+//!
+//! Everything is synchronous and allocation-light. All stochastic entry
+//! points take `&mut impl rand::Rng` so that callers control determinism;
+//! no global RNG state exists anywhere in the workspace.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bootstrap;
+pub mod correlation;
+pub mod descriptive;
+pub mod ecdf;
+pub mod histogram;
+pub mod ks;
+pub mod sampling;
+pub mod special;
+pub mod timeseries;
+
+pub use descriptive::{mean, median, quantile, stddev, variance, Summary};
+pub use ecdf::Ecdf;
+pub use ks::{ks_two_sample, KsResult};
+pub use sampling::{Categorical, Dirichlet};

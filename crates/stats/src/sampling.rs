@@ -1,0 +1,600 @@
+//! Random sampling routines backing the Gibbs sampler and the platform
+//! simulator.
+//!
+//! Everything here is written from scratch against the `rand::Rng` trait:
+//!
+//! * [`sample_gamma`] — Marsaglia–Tsang squeeze method (with the boost
+//!   trick for shape < 1), used for the conjugate Gamma posterior draws
+//!   of the Hawkes background rates and weights.
+//! * [`sample_beta`] / [`Dirichlet`] — built on the gamma sampler; the
+//!   Dirichlet backs the impulse-response basis-weight posteriors.
+//! * [`sample_poisson`] — inversion for small means, PTRS
+//!   transformed-rejection for large means; drives discrete-time Hawkes
+//!   simulation.
+//! * [`Categorical`] — Walker alias method for O(1) draws from fixed
+//!   discrete distributions (domain popularity, community choice).
+//! * [`sample_multinomial`] — sequential binomial-free conditional
+//!   sampling used by the parent-allocation step of the Gibbs sweep.
+
+use rand::Rng;
+
+/// Draw from `Gamma(shape, rate)` — note **rate**, not scale — using
+/// Marsaglia & Tsang (2000). Mean is `shape / rate`.
+///
+/// # Panics
+/// Panics unless `shape > 0` and `rate > 0`.
+pub fn sample_gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64, rate: f64) -> f64 {
+    assert!(
+        shape > 0.0 && rate > 0.0,
+        "sample_gamma: shape={shape}, rate={rate} must be positive"
+    );
+    if shape < 1.0 {
+        // Boost: X ~ Gamma(a+1), return X * U^{1/a}.
+        let x = sample_gamma_shape_ge1(rng, shape + 1.0);
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        return x * u.powf(1.0 / shape) / rate;
+    }
+    sample_gamma_shape_ge1(rng, shape) / rate
+}
+
+/// Marsaglia–Tsang for `shape ≥ 1`, unit rate.
+fn sample_gamma_shape_ge1<R: Rng + ?Sized>(rng: &mut R, shape: f64) -> f64 {
+    debug_assert!(shape >= 1.0);
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        // Standard normal via Box–Muller (kept local to avoid a
+        // dependency on rand_distr in this crate).
+        let x = sample_standard_normal(rng);
+        let v = 1.0 + c * x;
+        if v <= 0.0 {
+            continue;
+        }
+        let v = v * v * v;
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let x2 = x * x;
+        if u < 1.0 - 0.0331 * x2 * x2 {
+            return d * v;
+        }
+        if u.ln() < 0.5 * x2 + d * (1.0 - v + v.ln()) {
+            return d * v;
+        }
+    }
+}
+
+/// Standard normal draw via the Box–Muller transform (one of the pair).
+pub fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Normal draw with the given mean and standard deviation.
+pub fn sample_normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sd: f64) -> f64 {
+    assert!(sd >= 0.0, "sample_normal: sd={sd} must be non-negative");
+    mean + sd * sample_standard_normal(rng)
+}
+
+/// Draw from `Beta(a, b)` via two gamma draws.
+pub fn sample_beta<R: Rng + ?Sized>(rng: &mut R, a: f64, b: f64) -> f64 {
+    let x = sample_gamma(rng, a, 1.0);
+    let y = sample_gamma(rng, b, 1.0);
+    x / (x + y)
+}
+
+/// Draw from an Exponential(rate) distribution.
+pub fn sample_exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    assert!(rate > 0.0, "sample_exponential: rate={rate} must be > 0");
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -u.ln() / rate
+}
+
+/// Draw from `Poisson(mean)`.
+///
+/// Inversion by sequential search for `mean < 30`; for larger means, the
+/// PTRS transformed-rejection sampler of Hörmann (1993).
+pub fn sample_poisson<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u64 {
+    assert!(
+        mean >= 0.0 && mean.is_finite(),
+        "sample_poisson: mean={mean} must be finite and non-negative"
+    );
+    if mean == 0.0 {
+        return 0;
+    }
+    if mean < 30.0 {
+        // Knuth-style inversion in log space is unnecessary below 30.
+        let l = (-mean).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.gen::<f64>();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+            if k > 10_000 {
+                // Defensive cap; unreachable for mean < 30.
+                return k;
+            }
+        }
+    }
+    // PTRS (Hörmann, "The transformed rejection method for generating
+    // Poisson random variables", 1993).
+    let b = 0.931 + 2.53 * mean.sqrt();
+    let a = -0.059 + 0.024_83 * b;
+    let inv_alpha = 1.1239 + 1.1328 / (b - 3.4);
+    let v_r = 0.9277 - 3.6224 / (b - 2.0);
+    loop {
+        let u: f64 = rng.gen::<f64>() - 0.5;
+        let v: f64 = rng.gen::<f64>();
+        let us = 0.5 - u.abs();
+        let k = ((2.0 * a / us + b) * u + mean + 0.43).floor();
+        if us >= 0.07 && v <= v_r {
+            return k as u64;
+        }
+        if k < 0.0 || (us < 0.013 && v > us) {
+            continue;
+        }
+        let ln_k_fact = crate::special::ln_factorial(k as u64);
+        if (v * inv_alpha / (a / (us * us) + b)).ln()
+            <= k * mean.ln() - mean - ln_k_fact
+        {
+            return k as u64;
+        }
+    }
+}
+
+/// A Dirichlet distribution over `K` categories.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dirichlet {
+    alpha: Vec<f64>,
+}
+
+impl Dirichlet {
+    /// Construct with concentration vector `alpha` (all entries > 0).
+    pub fn new(alpha: Vec<f64>) -> Self {
+        assert!(!alpha.is_empty(), "Dirichlet: empty alpha");
+        assert!(
+            alpha.iter().all(|&a| a > 0.0),
+            "Dirichlet: all concentrations must be > 0"
+        );
+        Dirichlet { alpha }
+    }
+
+    /// Symmetric Dirichlet with `k` categories and concentration `a`.
+    pub fn symmetric(k: usize, a: f64) -> Self {
+        Self::new(vec![a; k])
+    }
+
+    /// Dimensionality.
+    pub fn k(&self) -> usize {
+        self.alpha.len()
+    }
+
+    /// The concentration vector.
+    pub fn alpha(&self) -> &[f64] {
+        &self.alpha
+    }
+
+    /// Mean of the distribution (normalised alpha).
+    pub fn mean(&self) -> Vec<f64> {
+        let s: f64 = self.alpha.iter().sum();
+        self.alpha.iter().map(|a| a / s).collect()
+    }
+
+    /// Draw a probability vector.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        let draws: Vec<f64> = self
+            .alpha
+            .iter()
+            .map(|&a| sample_gamma(rng, a, 1.0))
+            .collect();
+        let total: f64 = draws.iter().sum();
+        // With alpha > 0 the total is almost surely positive; guard the
+        // pathological underflow case by returning the mean.
+        if total <= 0.0 || !total.is_finite() {
+            return self.mean();
+        }
+        draws.into_iter().map(|d| d / total).collect()
+    }
+}
+
+/// Walker alias-method sampler over a fixed discrete distribution.
+///
+/// Construction is `O(K)`; each draw is `O(1)`. Weights need not be
+/// normalised.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Categorical {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+    weights: Vec<f64>,
+}
+
+impl Categorical {
+    /// Build from non-negative weights (at least one strictly positive).
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "Categorical: empty weights");
+        assert!(
+            weights.iter().all(|&w| w >= 0.0 && w.is_finite()),
+            "Categorical: weights must be finite and non-negative"
+        );
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "Categorical: all weights are zero");
+        let k = weights.len();
+        let scaled: Vec<f64> = weights.iter().map(|w| w * k as f64 / total).collect();
+        let mut prob = vec![0.0; k];
+        let mut alias = vec![0usize; k];
+        let mut small: Vec<usize> = Vec::new();
+        let mut large: Vec<usize> = Vec::new();
+        let mut scaled = scaled;
+        for (i, &s) in scaled.iter().enumerate() {
+            if s < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            large.pop();
+            prob[s] = scaled[s];
+            alias[s] = l;
+            scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+            if scaled[l] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        for &l in &large {
+            prob[l] = 1.0;
+        }
+        for &s in &small {
+            prob[s] = 1.0; // numerical leftovers
+        }
+        Categorical {
+            prob,
+            alias,
+            weights: weights.to_vec(),
+        }
+    }
+
+    /// Number of categories.
+    pub fn k(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// The original (unnormalised) weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Normalised probabilities of each category.
+    pub fn probabilities(&self) -> Vec<f64> {
+        let total: f64 = self.weights.iter().sum();
+        self.weights.iter().map(|w| w / total).collect()
+    }
+
+    /// Draw a category index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+/// Draw counts from `Multinomial(n, p)` where `p` is given as
+/// non-negative weights (normalised internally).
+///
+/// Uses conditional binomial-by-inversion decomposition; O(K + n)
+/// expected work, fine for the parent-allocation counts (small `n`) in
+/// the Gibbs sampler.
+pub fn sample_multinomial<R: Rng + ?Sized>(rng: &mut R, n: u64, weights: &[f64]) -> Vec<u64> {
+    assert!(!weights.is_empty(), "sample_multinomial: empty weights");
+    let total: f64 = weights.iter().sum();
+    assert!(
+        total > 0.0 && total.is_finite(),
+        "sample_multinomial: weights must sum to a positive finite value"
+    );
+    let mut out = vec![0u64; weights.len()];
+    if n == 0 {
+        return out;
+    }
+    if weights.len() == 1 {
+        out[0] = n;
+        return out;
+    }
+    // For small n (the common case here), draw each trial from the alias
+    // table; for large n fall back to sequential conditional binomials.
+    if n <= 64 {
+        let cat = Categorical::new(weights);
+        for _ in 0..n {
+            out[cat.sample(rng)] += 1;
+        }
+        return out;
+    }
+    let mut remaining_n = n;
+    let mut remaining_w = total;
+    for (i, &w) in weights.iter().enumerate() {
+        if remaining_n == 0 {
+            break;
+        }
+        if i == weights.len() - 1 {
+            out[i] = remaining_n;
+            break;
+        }
+        let p = (w / remaining_w).clamp(0.0, 1.0);
+        let draw = sample_binomial(rng, remaining_n, p);
+        out[i] = draw;
+        remaining_n -= draw;
+        remaining_w -= w;
+        if remaining_w <= 0.0 {
+            break;
+        }
+    }
+    out
+}
+
+/// Draw from `Binomial(n, p)` — inversion for small `n·p`, normal
+/// approximation with clamping for large `n` (adequate for the
+/// simulator's volume draws; not used in inference).
+pub fn sample_binomial<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
+    assert!((0.0..=1.0).contains(&p), "sample_binomial: p={p}");
+    if n == 0 || p == 0.0 {
+        return 0;
+    }
+    if p == 1.0 {
+        return n;
+    }
+    if n <= 128 {
+        let mut count = 0;
+        for _ in 0..n {
+            if rng.gen::<f64>() < p {
+                count += 1;
+            }
+        }
+        return count;
+    }
+    let mean = n as f64 * p;
+    let sd = (n as f64 * p * (1.0 - p)).sqrt();
+    let draw = sample_normal(rng, mean, sd).round();
+    draw.clamp(0.0, n as f64) as u64
+}
+
+/// Sample `k` distinct indices from `0..n` uniformly (Floyd's algorithm).
+pub fn sample_indices<R: Rng + ?Sized>(rng: &mut R, n: usize, k: usize) -> Vec<usize> {
+    assert!(k <= n, "sample_indices: k={k} > n={n}");
+    let mut chosen = std::collections::HashSet::with_capacity(k);
+    let mut out = Vec::with_capacity(k);
+    for j in (n - k)..n {
+        let t = rng.gen_range(0..=j);
+        let pick = if chosen.contains(&t) { j } else { t };
+        chosen.insert(pick);
+        out.push(pick);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn gamma_moments() {
+        let mut r = rng(1);
+        let (shape, rate) = (3.5, 2.0);
+        let n = 60_000;
+        let draws: Vec<f64> = (0..n).map(|_| sample_gamma(&mut r, shape, rate)).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - shape / rate).abs() < 0.02, "mean={mean}");
+        assert!((var - shape / (rate * rate)).abs() < 0.05, "var={var}");
+    }
+
+    #[test]
+    fn gamma_small_shape_moments() {
+        let mut r = rng(2);
+        let (shape, rate) = (0.3, 1.0);
+        let n = 80_000;
+        let mean: f64 = (0..n)
+            .map(|_| sample_gamma(&mut r, shape, rate))
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 0.3).abs() < 0.01, "mean={mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn gamma_rejects_zero_shape() {
+        sample_gamma(&mut rng(0), 0.0, 1.0);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng(3);
+        let n = 50_000;
+        let draws: Vec<f64> = (0..n).map(|_| sample_normal(&mut r, 2.0, 3.0)).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.05);
+        assert!((var - 9.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn beta_mean() {
+        let mut r = rng(4);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| sample_beta(&mut r, 2.0, 6.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.25).abs() < 0.01, "mean={mean}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = rng(5);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| sample_exponential(&mut r, 4.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.25).abs() < 0.01, "mean={mean}");
+    }
+
+    #[test]
+    fn poisson_small_mean() {
+        let mut r = rng(6);
+        let n = 60_000;
+        let lambda = 3.7;
+        let draws: Vec<u64> = (0..n).map(|_| sample_poisson(&mut r, lambda)).collect();
+        let mean = draws.iter().sum::<u64>() as f64 / n as f64;
+        let var = draws
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - lambda).abs() < 0.05, "mean={mean}");
+        assert!((var - lambda).abs() < 0.15, "var={var}");
+    }
+
+    #[test]
+    fn poisson_large_mean_ptrs() {
+        let mut r = rng(7);
+        let n = 30_000;
+        let lambda = 250.0;
+        let draws: Vec<u64> = (0..n).map(|_| sample_poisson(&mut r, lambda)).collect();
+        let mean = draws.iter().sum::<u64>() as f64 / n as f64;
+        let var = draws
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - lambda).abs() < 1.0, "mean={mean}");
+        assert!((var / lambda - 1.0).abs() < 0.1, "var={var}");
+    }
+
+    #[test]
+    fn poisson_zero_mean() {
+        assert_eq!(sample_poisson(&mut rng(8), 0.0), 0);
+    }
+
+    #[test]
+    fn dirichlet_sums_to_one_and_mean() {
+        let mut r = rng(9);
+        let d = Dirichlet::new(vec![1.0, 2.0, 7.0]);
+        let mut acc = vec![0.0; 3];
+        let n = 20_000;
+        for _ in 0..n {
+            let s = d.sample(&mut r);
+            assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            for (a, v) in acc.iter_mut().zip(&s) {
+                *a += v;
+            }
+        }
+        let emp: Vec<f64> = acc.iter().map(|a| a / n as f64).collect();
+        for (e, m) in emp.iter().zip(d.mean()) {
+            assert!((e - m).abs() < 0.01, "emp={e}, mean={m}");
+        }
+    }
+
+    #[test]
+    fn dirichlet_symmetric() {
+        let d = Dirichlet::symmetric(4, 0.5);
+        assert_eq!(d.k(), 4);
+        assert_eq!(d.mean(), vec![0.25; 4]);
+    }
+
+    #[test]
+    fn categorical_frequencies_match_weights() {
+        let mut r = rng(10);
+        let c = Categorical::new(&[1.0, 3.0, 6.0]);
+        let n = 100_000;
+        let mut counts = [0u64; 3];
+        for _ in 0..n {
+            counts[c.sample(&mut r)] += 1;
+        }
+        let freqs: Vec<f64> = counts.iter().map(|&c| c as f64 / n as f64).collect();
+        for (f, expect) in freqs.iter().zip([0.1, 0.3, 0.6]) {
+            assert!((f - expect).abs() < 0.01, "freq={f}, expect={expect}");
+        }
+    }
+
+    #[test]
+    fn categorical_with_zero_weights() {
+        let mut r = rng(11);
+        let c = Categorical::new(&[0.0, 1.0, 0.0]);
+        for _ in 0..100 {
+            assert_eq!(c.sample(&mut r), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "all weights are zero")]
+    fn categorical_all_zero_panics() {
+        Categorical::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn multinomial_preserves_total_and_proportions() {
+        let mut r = rng(12);
+        let w = [0.2, 0.3, 0.5];
+        // Small-n path.
+        let c = sample_multinomial(&mut r, 10, &w);
+        assert_eq!(c.iter().sum::<u64>(), 10);
+        // Large-n path.
+        let c = sample_multinomial(&mut r, 100_000, &w);
+        assert_eq!(c.iter().sum::<u64>(), 100_000);
+        for (ci, wi) in c.iter().zip(&w) {
+            assert!(
+                ((*ci as f64 / 100_000.0) - wi).abs() < 0.01,
+                "count share {} vs weight {}",
+                *ci as f64 / 100_000.0,
+                wi
+            );
+        }
+    }
+
+    #[test]
+    fn multinomial_zero_trials() {
+        let c = sample_multinomial(&mut rng(13), 0, &[1.0, 1.0]);
+        assert_eq!(c, vec![0, 0]);
+    }
+
+    #[test]
+    fn binomial_moments_both_paths() {
+        let mut r = rng(14);
+        // Small-n exact path.
+        let n_draws = 30_000;
+        let mean: f64 = (0..n_draws)
+            .map(|_| sample_binomial(&mut r, 20, 0.3) as f64)
+            .sum::<f64>()
+            / n_draws as f64;
+        assert!((mean - 6.0).abs() < 0.05, "mean={mean}");
+        // Large-n normal path.
+        let mean: f64 = (0..n_draws)
+            .map(|_| sample_binomial(&mut r, 10_000, 0.2) as f64)
+            .sum::<f64>()
+            / n_draws as f64;
+        assert!((mean - 2000.0).abs() < 2.0, "mean={mean}");
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_in_range() {
+        let mut r = rng(15);
+        for _ in 0..100 {
+            let idx = sample_indices(&mut r, 50, 10);
+            assert_eq!(idx.len(), 10);
+            let set: std::collections::HashSet<_> = idx.iter().collect();
+            assert_eq!(set.len(), 10);
+            assert!(idx.iter().all(|&i| i < 50));
+        }
+        // Edge: k == n.
+        let idx = sample_indices(&mut r, 5, 5);
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
+    }
+}

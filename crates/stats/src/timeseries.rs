@@ -1,0 +1,217 @@
+//! Time-series bucketing utilities.
+//!
+//! The paper's Figure 4 plots *normalised daily occurrence*: for each
+//! community, the daily count of news URLs divided by the community's
+//! average daily URL volume, with gaps (crawler failures) excluded from
+//! the normalisation. This module provides the generic bucketing and
+//! normalisation machinery; the gap-awareness lives in
+//! `centipede-dataset`.
+
+use serde::{Deserialize, Serialize};
+
+/// Seconds per day, the paper's Figure 4 bucket width.
+pub const SECONDS_PER_DAY: i64 = 86_400;
+
+/// A regularly-bucketed count series over `[start, start + n·width)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BucketSeries {
+    /// Inclusive start time (seconds).
+    pub start: i64,
+    /// Bucket width (seconds).
+    pub width: i64,
+    /// Counts per bucket.
+    pub counts: Vec<u64>,
+}
+
+impl BucketSeries {
+    /// Create an all-zero series covering `[start, end)` with the given
+    /// bucket width. The last bucket may extend past `end`.
+    ///
+    /// # Panics
+    /// Panics unless `start < end` and `width > 0`.
+    pub fn new(start: i64, end: i64, width: i64) -> Self {
+        assert!(start < end, "BucketSeries: start={start} >= end={end}");
+        assert!(width > 0, "BucketSeries: width must be positive");
+        let span = end - start;
+        let n = (span + width - 1) / width;
+        BucketSeries {
+            start,
+            width,
+            counts: vec![0; n as usize],
+        }
+    }
+
+    /// Number of buckets.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether the series has no buckets (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Bucket index for a timestamp, if in range.
+    pub fn bucket_of(&self, t: i64) -> Option<usize> {
+        if t < self.start {
+            return None;
+        }
+        let idx = ((t - self.start) / self.width) as usize;
+        if idx < self.counts.len() {
+            Some(idx)
+        } else {
+            None
+        }
+    }
+
+    /// Record one observation at time `t`; returns `false` if out of
+    /// range.
+    pub fn add(&mut self, t: i64) -> bool {
+        match self.bucket_of(t) {
+            Some(i) => {
+                self.counts[i] += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Start time of bucket `i`.
+    pub fn bucket_start(&self, i: usize) -> i64 {
+        self.start + self.width * i as i64
+    }
+
+    /// Total count.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Normalise by the mean count over *active* buckets (those whose
+    /// indices are not in `masked`), returning `None` at masked indices —
+    /// the paper's "normalised by the average daily number of URLs,
+    /// gaps excluded" construction.
+    pub fn normalised(&self, masked: &[bool]) -> Vec<Option<f64>> {
+        assert_eq!(
+            masked.len(),
+            self.counts.len(),
+            "normalised: mask length {} != series length {}",
+            masked.len(),
+            self.counts.len()
+        );
+        let active: Vec<u64> = self
+            .counts
+            .iter()
+            .zip(masked)
+            .filter(|(_, &m)| !m)
+            .map(|(&c, _)| c)
+            .collect();
+        let denom = if active.is_empty() {
+            0.0
+        } else {
+            active.iter().sum::<u64>() as f64 / active.len() as f64
+        };
+        self.counts
+            .iter()
+            .zip(masked)
+            .map(|(&c, &m)| {
+                if m || denom == 0.0 {
+                    if m {
+                        None
+                    } else {
+                        Some(0.0)
+                    }
+                } else {
+                    Some(c as f64 / denom)
+                }
+            })
+            .collect()
+    }
+}
+
+/// Element-wise ratio of two equal-length series, `None` where the
+/// denominator is zero — used for Figure 4(c)'s alternative-news
+/// fraction.
+pub fn series_fraction(num: &[u64], den: &[u64]) -> Vec<Option<f64>> {
+    assert_eq!(num.len(), den.len(), "series_fraction: length mismatch");
+    num.iter()
+        .zip(den)
+        .map(|(&n, &d)| {
+            if d == 0 {
+                None
+            } else {
+                Some(n as f64 / d as f64)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_assignment() {
+        let mut s = BucketSeries::new(0, 100, 10);
+        assert_eq!(s.len(), 10);
+        assert!(s.add(0));
+        assert!(s.add(9));
+        assert!(s.add(10));
+        assert!(s.add(99));
+        assert!(!s.add(-1));
+        assert!(!s.add(100));
+        assert_eq!(s.counts[0], 2);
+        assert_eq!(s.counts[1], 1);
+        assert_eq!(s.counts[9], 1);
+        assert_eq!(s.total(), 4);
+    }
+
+    #[test]
+    fn uneven_span_rounds_up() {
+        let s = BucketSeries::new(0, 95, 10);
+        assert_eq!(s.len(), 10);
+        assert_eq!(s.bucket_start(9), 90);
+    }
+
+    #[test]
+    fn normalised_excludes_mask_from_mean() {
+        let mut s = BucketSeries::new(0, 40, 10);
+        for t in [0, 1, 10, 11, 20, 21, 30, 31] {
+            s.add(t);
+        }
+        // counts = [2,2,2,2]; mask bucket 3.
+        let norm = s.normalised(&[false, false, false, true]);
+        assert_eq!(norm[0], Some(1.0));
+        assert_eq!(norm[3], None);
+        // Mask changes denominator: [4,0,0,0] with bucket 0 active only
+        let mut s2 = BucketSeries::new(0, 40, 10);
+        for _ in 0..4 {
+            s2.add(5);
+        }
+        let norm2 = s2.normalised(&[false, true, true, true]);
+        assert_eq!(norm2[0], Some(1.0));
+    }
+
+    #[test]
+    fn normalised_zero_denominator() {
+        let s = BucketSeries::new(0, 20, 10);
+        let norm = s.normalised(&[false, false]);
+        assert_eq!(norm, vec![Some(0.0), Some(0.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mask length")]
+    fn normalised_rejects_bad_mask() {
+        BucketSeries::new(0, 20, 10).normalised(&[false]);
+    }
+
+    #[test]
+    fn fraction_handles_zero_denominator() {
+        let f = series_fraction(&[1, 0, 3], &[2, 0, 4]);
+        assert_eq!(f, vec![Some(0.5), None, Some(0.75)]);
+    }
+
+    #[test]
+    fn daily_constant() {
+        assert_eq!(SECONDS_PER_DAY, 24 * 3600);
+    }
+}

@@ -1,0 +1,176 @@
+//! Property-based tests of the statistical primitives.
+
+use proptest::prelude::*;
+
+use centipede_stats::correlation::ranks;
+use centipede_stats::descriptive::{quantile, Summary};
+use centipede_stats::ecdf::Ecdf;
+use centipede_stats::histogram::Histogram;
+use centipede_stats::ks::{kolmogorov_q, ks_two_sample};
+use centipede_stats::sampling::{sample_multinomial, Categorical, Dirichlet};
+use centipede_stats::special::{log_sum_exp, reg_lower_gamma, reg_upper_gamma};
+use centipede_stats::timeseries::BucketSeries;
+
+fn finite_vec(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6..1e6f64, 1..max_len)
+}
+
+proptest! {
+    #[test]
+    fn ecdf_is_monotone_and_bounded(sample in finite_vec(200), probes in finite_vec(20)) {
+        let e = Ecdf::new(sample.clone());
+        let mut sorted_probes = probes;
+        sorted_probes.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut prev = 0.0;
+        for &x in &sorted_probes {
+            let v = e.eval(x);
+            prop_assert!((0.0..=1.0).contains(&v));
+            prop_assert!(v >= prev - 1e-15);
+            prev = v;
+        }
+        prop_assert_eq!(e.eval(e.max()), 1.0);
+        prop_assert!(e.eval(e.min() - 1.0) == 0.0);
+    }
+
+    #[test]
+    fn ecdf_quantile_inverts(sample in finite_vec(100), q in 0.001..1.0f64) {
+        let e = Ecdf::new(sample);
+        let v = e.quantile(q);
+        // F(quantile(q)) >= q by definition of the generalised inverse.
+        prop_assert!(e.eval(v) >= q - 1e-12);
+    }
+
+    #[test]
+    fn quantile_stays_in_range(sample in finite_vec(100), q in 0.0..=1.0f64) {
+        let v = quantile(&sample, q).unwrap();
+        let lo = sample.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = sample.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+    }
+
+    #[test]
+    fn summary_is_ordered(sample in finite_vec(100)) {
+        let s = Summary::of(&sample).unwrap();
+        prop_assert!(s.min <= s.q1 + 1e-9);
+        prop_assert!(s.q1 <= s.median + 1e-9);
+        prop_assert!(s.median <= s.q3 + 1e-9);
+        prop_assert!(s.q3 <= s.max + 1e-9);
+        prop_assert!(s.mean >= s.min - 1e-9 && s.mean <= s.max + 1e-9);
+        prop_assert!(s.stddev >= 0.0);
+    }
+
+    #[test]
+    fn ks_statistic_in_unit_interval(a in finite_vec(80), b in finite_vec(80)) {
+        let r = ks_two_sample(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&r.statistic));
+        prop_assert!((0.0..=1.0).contains(&r.p_value));
+        // Symmetry.
+        let r2 = ks_two_sample(&b, &a);
+        prop_assert!((r.statistic - r2.statistic).abs() < 1e-12);
+        prop_assert!((r.p_value - r2.p_value).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ks_identical_samples_is_zero(a in finite_vec(80)) {
+        let r = ks_two_sample(&a, &a);
+        prop_assert_eq!(r.statistic, 0.0);
+    }
+
+    #[test]
+    fn kolmogorov_q_monotone_decreasing(a in 0.0..3.0f64, delta in 0.001..1.0f64) {
+        prop_assert!(kolmogorov_q(a) >= kolmogorov_q(a + delta) - 1e-12);
+    }
+
+    #[test]
+    fn histogram_conserves_in_range_counts(
+        xs in prop::collection::vec(-10.0..10.0f64, 0..200),
+        n_bins in 1usize..30,
+    ) {
+        let mut h = Histogram::linear(-5.0, 5.0, n_bins);
+        h.extend(&xs);
+        let accounted = h.total() + h.underflow + h.overflow;
+        prop_assert_eq!(accounted, xs.len() as u64);
+    }
+
+    #[test]
+    fn incomplete_gamma_complementary(a in 0.01..50.0f64, x in 0.0..100.0f64) {
+        let p = reg_lower_gamma(a, x);
+        let q = reg_upper_gamma(a, x);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&p));
+        prop_assert!((p + q - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_sum_exp_bounds(xs in prop::collection::vec(-50.0..50.0f64, 1..30)) {
+        let lse = log_sum_exp(&xs);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(lse >= max - 1e-12);
+        prop_assert!(lse <= max + (xs.len() as f64).ln() + 1e-12);
+    }
+
+    #[test]
+    fn dirichlet_samples_are_simplex_points(
+        alpha in prop::collection::vec(0.05..20.0f64, 1..10),
+        seed in 0u64..1000,
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let d = Dirichlet::new(alpha);
+        let s = d.sample(&mut rng);
+        prop_assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(s.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn categorical_respects_support(
+        weights in prop::collection::vec(0.0..10.0f64, 1..20),
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let c = Categorical::new(&weights);
+        for _ in 0..50 {
+            let i = c.sample(&mut rng);
+            prop_assert!(i < weights.len());
+            prop_assert!(weights[i] > 0.0 || weights.iter().all(|&w| w == 0.0));
+        }
+    }
+
+    #[test]
+    fn multinomial_total_preserved(
+        n in 0u64..500,
+        weights in prop::collection::vec(0.01..5.0f64, 1..12),
+        seed in 0u64..1000,
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let counts = sample_multinomial(&mut rng, n, &weights);
+        prop_assert_eq!(counts.iter().sum::<u64>(), n);
+        prop_assert_eq!(counts.len(), weights.len());
+    }
+
+    #[test]
+    fn ranks_are_a_permutation_sum(xs in finite_vec(60)) {
+        let r = ranks(&xs);
+        let total: f64 = r.iter().sum();
+        let n = xs.len() as f64;
+        // Σ ranks = n(n+1)/2 regardless of ties.
+        prop_assert!((total - n * (n + 1.0) / 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bucket_series_conserves_in_range(
+        times in prop::collection::vec(0i64..10_000, 0..200),
+    ) {
+        let mut s = BucketSeries::new(0, 10_000, 250);
+        let mut added = 0u64;
+        for &t in &times {
+            if s.add(t) {
+                added += 1;
+            }
+        }
+        prop_assert_eq!(s.total(), added);
+        prop_assert_eq!(added, times.len() as u64); // all in range here
+    }
+}

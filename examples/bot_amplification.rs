@@ -1,0 +1,118 @@
+//! Bot-amplification ablation.
+//!
+//! §5.3 hypothesises that Twitter's unusually high alternative-news
+//! self-excitation (`W[T→T]` alt = 0.1554 vs main = 0.1096) is driven
+//! by bot activity. The simulator makes that hypothesis executable:
+//! with `bots_enabled = false`, the alternative Twitter self-weight is
+//! generated at the mainstream level and the alt-only Twitter account
+//! pool shrinks. This example fits the influence model under both
+//! worlds and reports how the measured gap responds — and how the
+//! per-user alternative fraction (Figure 3) changes.
+//!
+//! ```text
+//! cargo run --release --example bot_amplification
+//! ```
+
+use rand::SeedableRng;
+
+use centipede::characterization::user_alt_fraction;
+use centipede::influence::{
+    fit_urls, prepare_urls, weight_comparison, FitConfig, SelectionConfig,
+};
+use centipede_dataset::platform::{AnalysisGroup, Community};
+use centipede_platform_sim::{ecosystem, SimConfig};
+
+struct Outcome {
+    wtt_alt: f64,
+    wtt_main: f64,
+    gap_pct: f64,
+    alt_only_users_pct: f64,
+}
+
+fn run(bots: bool, seed: u64) -> Outcome {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut sim = SimConfig::default();
+    sim.scale = 0.5;
+    sim.bots_enabled = bots;
+    let world = ecosystem::generate(&sim, &mut rng);
+
+    // Figure 3 side: share of Twitter users posting alternative URLs
+    // exclusively.
+    let fractions = user_alt_fraction(&world.dataset);
+    let alt_only_users_pct = fractions
+        .all_users
+        .iter()
+        .find(|(g, _)| *g == AnalysisGroup::Twitter)
+        .map(|(_, e)| (1.0 - e.eval(1.0 - 1e-9)) * 100.0)
+        .unwrap_or(0.0);
+
+    // Figure 10 side: the Twitter self-excitation gap.
+    let timelines = world.dataset.timelines();
+    let (prepared, _) = prepare_urls(&world.dataset, &timelines, &SelectionConfig::default());
+    let mut fit = FitConfig::default();
+    fit.n_samples = 80;
+    fit.burn_in = 40;
+    let fits = fit_urls(&prepared, &fit);
+    let cmp = weight_comparison(&fits);
+    let t = Community::Twitter.index();
+    let cell = cmp.cells[t][t];
+    Outcome {
+        wtt_alt: cell.alt,
+        wtt_main: cell.main,
+        gap_pct: cell.pct_diff,
+        alt_only_users_pct,
+    }
+}
+
+/// Average outcomes over several seeds — world-level randomness (which
+/// stories go viral) shifts the absolute weight level run to run, so a
+/// single pair of worlds cannot isolate the bot effect.
+fn run_avg(bots: bool, seeds: &[u64]) -> Outcome {
+    let runs: Vec<Outcome> = seeds.iter().map(|&s| run(bots, s)).collect();
+    let n = runs.len() as f64;
+    Outcome {
+        wtt_alt: runs.iter().map(|r| r.wtt_alt).sum::<f64>() / n,
+        wtt_main: runs.iter().map(|r| r.wtt_main).sum::<f64>() / n,
+        gap_pct: runs.iter().map(|r| r.gap_pct).sum::<f64>() / n,
+        alt_only_users_pct: runs.iter().map(|r| r.alt_only_users_pct).sum::<f64>() / n,
+    }
+}
+
+fn main() {
+    const SEEDS: [u64; 3] = [11, 22, 33];
+    println!(
+        "Running the bot-amplification ablation ({} paired worlds per arm) ...\n",
+        SEEDS.len()
+    );
+    let with_bots = run_avg(true, &SEEDS);
+    let without_bots = run_avg(false, &SEEDS);
+
+    println!("                         bots ON     bots OFF");
+    println!(
+        "W[Twitter→Twitter] alt   {:.4}      {:.4}",
+        with_bots.wtt_alt, without_bots.wtt_alt
+    );
+    println!(
+        "W[Twitter→Twitter] main  {:.4}      {:.4}",
+        with_bots.wtt_main, without_bots.wtt_main
+    );
+    println!(
+        "alt/main gap             {:+.1}%      {:+.1}%",
+        with_bots.gap_pct, without_bots.gap_pct
+    );
+    println!(
+        "alt-only Twitter users   {:.1}%       {:.1}%",
+        with_bots.alt_only_users_pct, without_bots.alt_only_users_pct
+    );
+
+    println!(
+        "\nInterpretation: removing bot amplification should collapse the \
+         alternative-vs-mainstream self-excitation gap the paper observed \
+         (+41.9%), supporting §5.3's bot hypothesis."
+    );
+    if with_bots.gap_pct > without_bots.gap_pct + 5.0 {
+        println!("Result: gap shrinks when bots are disabled ✓");
+    } else {
+        println!("Result: gap did not shrink as expected ✗ (try more samples / larger scale)");
+    }
+}

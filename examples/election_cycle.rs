@@ -1,0 +1,94 @@
+//! Election-cycle scenario: trace a breaking story through the web
+//! centipede.
+//!
+//! The paper's motivation (§1) is stories like Pizzagate: born on
+//! fringe communities or alternative outlets, then amplified into
+//! mainstream social networks. This example simulates the news cycle
+//! around the 2016 election window, finds the synthetic "viral"
+//! alternative stories, and narrates their cross-platform journeys —
+//! exactly the per-URL view behind Tables 9/10 and Figure 8.
+//!
+//! ```text
+//! cargo run --release --example election_cycle
+//! ```
+
+use rand::SeedableRng;
+
+use centipede::crossplatform::{first_hop_sequences, triplet_sequences};
+use centipede::temporal::daily_occurrence;
+use centipede_dataset::domains::NewsCategory;
+use centipede_dataset::time::{format_date, study_start, SECONDS_PER_DAY};
+use centipede_platform_sim::{ecosystem, SimConfig};
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1608);
+    let mut sim = SimConfig::default();
+    sim.scale = 0.4;
+    let world = ecosystem::generate(&sim, &mut rng);
+    let timelines = world.dataset.timelines();
+
+    // --- The news calendar: where are the spikes? ---------------------
+    println!("--- Daily alternative-news activity (normalised) ---");
+    let series = daily_occurrence(&world.dataset);
+    let six = series
+        .iter()
+        .find(|s| s.series.name().contains("6 selected"))
+        .expect("six-subreddit series");
+    let mut days: Vec<(usize, f64)> = six
+        .alternative
+        .iter()
+        .enumerate()
+        .filter_map(|(d, v)| v.map(|v| (d, v)))
+        .collect();
+    days.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN"));
+    println!("Top activity days on the six subreddits:");
+    for (d, v) in days.iter().take(5) {
+        let date = study_start() + *d as i64 * SECONDS_PER_DAY;
+        println!("  {}  ({v:.1}× the average day)", format_date(date));
+    }
+
+    // --- The most-travelled alternative stories -----------------------
+    println!("\n--- Viral alternative stories ---");
+    let mut viral: Vec<_> = timelines
+        .values()
+        .filter(|tl| tl.category == NewsCategory::Alternative && tl.groups_present().len() == 3)
+        .collect();
+    viral.sort_by_key(|tl| std::cmp::Reverse(tl.len()));
+    for tl in viral.iter().take(5) {
+        let domain = &world.dataset.domains.get(tl.domain).name;
+        let mut firsts: Vec<(String, i64)> = centipede_dataset::platform::AnalysisGroup::ALL
+            .into_iter()
+            .filter_map(|g| tl.first_in_group(g).map(|t| (g.name().to_string(), t)))
+            .collect();
+        firsts.sort_by_key(|&(_, t)| t);
+        let path: Vec<String> = firsts
+            .iter()
+            .map(|(name, t)| format!("{name} ({})", format_date(*t)))
+            .collect();
+        println!(
+            "  {domain} story, {} posts: {}",
+            tl.len(),
+            path.join(" → ")
+        );
+    }
+
+    // --- Sequence structure (Tables 9/10) ------------------------------
+    println!("\n--- First-hop sequences (alternative news) ---");
+    let seqs = first_hop_sequences(&timelines, NewsCategory::Alternative);
+    let total: u64 = seqs.values().sum();
+    for (seq, n) in &seqs {
+        println!("  {seq:<8} {n:>6} ({:.1}%)", *n as f64 / total as f64 * 100.0);
+    }
+
+    println!("\n--- Triplet sequences (alternative news) ---");
+    let trips = triplet_sequences(&timelines, NewsCategory::Alternative);
+    let total: u64 = trips.values().sum::<u64>().max(1);
+    let mut rows: Vec<_> = trips.iter().collect();
+    rows.sort_by_key(|(_, &n)| std::cmp::Reverse(n));
+    for (seq, n) in rows {
+        println!("  {seq:<8} {n:>5} ({:.1}%)", *n as f64 / total as f64 * 100.0);
+    }
+    println!(
+        "\nThe paper's top-3 triplets were R→T→4 (36.3%), T→R→4 (29.0%), R→4→T (14.4%)."
+    );
+}

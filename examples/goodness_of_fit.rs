@@ -1,0 +1,82 @@
+//! Goodness-of-fit study: does the discrete-time Hawkes model actually
+//! describe the synthetic posting data?
+//!
+//! The paper fits per-URL Hawkes models but never reports model
+//! adequacy. Here we apply the time-rescaling theorem: under a correct
+//! model, compensator increments between events are Exp(1), so a KS
+//! test of their transforms against U(0,1) scores fit quality. We run
+//! it per URL with (a) the fitted model, (b) a deliberately broken
+//! background-only model, and compare.
+//!
+//! ```text
+//! cargo run --release --example goodness_of_fit
+//! ```
+
+use rand::SeedableRng;
+
+use centipede::influence::{fit_urls, prepare_urls, FitConfig, SelectionConfig};
+use centipede_hawkes::diagnostics::time_rescaling_gof;
+use centipede_hawkes::discrete::{BasisSet, DiscreteHawkes};
+use centipede_hawkes::matrix::Matrix;
+use centipede_platform_sim::{ecosystem, SimConfig};
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(404);
+    let mut sim = SimConfig::default();
+    sim.scale = 0.4;
+    let world = ecosystem::generate(&sim, &mut rng);
+    let timelines = world.dataset.timelines();
+    let (prepared, _) = prepare_urls(&world.dataset, &timelines, &SelectionConfig::default());
+
+    let mut fit = FitConfig::default();
+    fit.n_samples = 60;
+    fit.burn_in = 30;
+    println!("Fitting {} URLs ...", prepared.len());
+    let fits = fit_urls(&prepared, &fit);
+
+    let mut fitted_ps: Vec<f64> = Vec::new();
+    let mut broken_ps: Vec<f64> = Vec::new();
+    for (p, f) in prepared.iter().zip(&fits) {
+        // Rebuild a point model from the fit (uniform impulse mixture is
+        // adequate for GoF on these sparse streams).
+        let max_lag = 720usize.min((p.events.n_bins() as usize).max(2) - 1).max(1);
+        let basis = BasisSet::log_gaussian(max_lag, 4);
+        let model = DiscreteHawkes::uniform_mixture(
+            f.lambda0.to_vec(),
+            f.weights.clone(),
+            &basis,
+        );
+        if let Some(gof) = time_rescaling_gof(&model, &p.events) {
+            fitted_ps.push(gof.p_value);
+        }
+        // Broken reference: background-only at 10× the fitted rates.
+        let broken = DiscreteHawkes::uniform_mixture(
+            f.lambda0.iter().map(|l| (l * 10.0).max(1e-9)).collect(),
+            Matrix::zeros(8),
+            &basis,
+        );
+        if let Some(gof) = time_rescaling_gof(&broken, &p.events) {
+            broken_ps.push(gof.p_value);
+        }
+    }
+
+    let frac_rejected = |ps: &[f64]| {
+        ps.iter().filter(|&&p| p < 0.05).count() as f64 / ps.len().max(1) as f64
+    };
+    println!(
+        "\nFitted models : {} URLs scored, {:.0}% rejected at p<0.05 (median p = {:.3})",
+        fitted_ps.len(),
+        frac_rejected(&fitted_ps) * 100.0,
+        centipede_stats::median(&fitted_ps).unwrap_or(f64::NAN)
+    );
+    println!(
+        "Broken models : {} URLs scored, {:.0}% rejected at p<0.05 (median p = {:.3})",
+        broken_ps.len(),
+        frac_rejected(&broken_ps) * 100.0,
+        centipede_stats::median(&broken_ps).unwrap_or(f64::NAN)
+    );
+    println!(
+        "\nA sound estimator keeps the fitted rejection rate near the 5% nominal \
+         level while the broken reference is rejected wholesale."
+    );
+}

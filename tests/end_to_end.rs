@@ -1,0 +1,138 @@
+//! End-to-end integration: generate a world, persist it, reload it,
+//! run the full pipeline, and check the paper's headline shapes.
+
+use rand::SeedableRng;
+
+use centipede::pipeline::{run_all, PipelineConfig};
+use centipede_dataset::domains::NewsCategory;
+use centipede_dataset::platform::{Community, Platform};
+use centipede_platform_sim::{ecosystem, SimConfig};
+
+fn world(scale: f64, seed: u64) -> centipede_platform_sim::GeneratedWorld {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut sim = SimConfig::default();
+    sim.scale = scale;
+    ecosystem::generate(&sim, &mut rng)
+}
+
+#[test]
+fn dataset_roundtrips_through_store() {
+    let w = world(0.03, 1);
+    let mut path = std::env::temp_dir();
+    path.push(format!("centipede-e2e-{}.jsonl", std::process::id()));
+    centipede_dataset::store::save(&w.dataset, &path).expect("save");
+    let back = centipede_dataset::store::load(&path).expect("load");
+    assert_eq!(w.dataset, back);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn pipeline_headline_shapes_hold() {
+    // Needs enough selected alternative URLs for the Figure 10 means to
+    // stabilise (~100 alt fits at scale 0.6).
+    let w = world(0.60, 2);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let mut config = PipelineConfig::default();
+    config.fit.n_samples = 80;
+    config.fit.burn_in = 40;
+    let report = run_all(&w.dataset, &config, &mut rng);
+
+    // Table 1 shape: mainstream density exceeds alternative everywhere.
+    for row in &report.table1 {
+        assert!(
+            row.pct_mainstream > row.pct_alternative,
+            "{:?}: alt {} >= main {}",
+            row.platform,
+            row.pct_alternative,
+            row.pct_mainstream
+        );
+    }
+
+    // Table 5–7 shape: breitbart tops every alternative list.
+    for (group, tables) in &report.top_domains {
+        let alt = &tables[&NewsCategory::Alternative];
+        assert!(!alt.is_empty(), "no alt domains on {group:?}");
+        assert_eq!(alt[0].0, "breitbart.com", "top alt domain on {group:?}");
+    }
+
+    // Figure 10 shape: Twitter self-excitation is the largest cell and
+    // the alt/main gap is positive and material.
+    let fig10 = report.fig10.as_ref().expect("influence ran");
+    let t = Community::Twitter.index();
+    let tt = fig10.cells[t][t];
+    assert!(
+        tt.alt > tt.main,
+        "alt Twitter self-excitation should exceed mainstream: {} vs {}",
+        tt.alt,
+        tt.main
+    );
+    assert!(tt.pct_diff > 10.0, "gap too small: {:+.1}%", tt.pct_diff);
+    for src in 0..8 {
+        for dst in 0..8 {
+            if (src, dst) != (t, t) {
+                assert!(
+                    tt.alt >= fig10.cells[src][dst].alt,
+                    "cell ({src},{dst}) exceeds Twitter self-excitation"
+                );
+            }
+        }
+    }
+
+    // Figure 11 shape: Twitter is the most influential external source
+    // for alternative news on The_Donald.
+    let fig11 = report.fig11.as_ref().expect("influence ran");
+    let td = Community::TheDonald.index();
+    assert_eq!(
+        fig11.top_external_source(NewsCategory::Alternative, td),
+        t,
+        "Twitter should be The_Donald's top external alternative source"
+    );
+}
+
+#[test]
+fn ground_truth_recovery_is_strong() {
+    let w = world(0.45, 5);
+    let timelines = w.dataset.timelines();
+    let (prepared, _) = centipede::influence::prepare_urls(
+        &w.dataset,
+        &timelines,
+        &centipede::influence::SelectionConfig::default(),
+    );
+    assert!(prepared.len() >= 50, "only {} URLs selected", prepared.len());
+    let mut fit = centipede::influence::FitConfig::default();
+    fit.n_samples = 80;
+    fit.burn_in = 40;
+    let fits = centipede::influence::fit_urls(&prepared, &fit);
+    let cmp = centipede::influence::weight_comparison(&fits);
+    for (cat, truth) in [
+        (NewsCategory::Alternative, &w.truth.weights_alt),
+        (NewsCategory::Mainstream, &w.truth.weights_main),
+    ] {
+        let est = cmp.mean_matrix(cat);
+        let mae = est.mean_abs_diff(truth);
+        assert!(mae < 0.03, "{}: MAE {mae}", cat.name());
+        let r = centipede_stats::correlation::pearson(est.flat(), truth.flat())
+            .expect("variance present");
+        assert!(r > 0.5, "{}: Pearson r {r}", cat.name());
+    }
+}
+
+#[test]
+fn gaps_reduce_twitter_volume() {
+    let with = world(0.10, 7);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let mut sim = SimConfig::default();
+    sim.scale = 0.10;
+    sim.apply_gaps = false;
+    let without = ecosystem::generate(&sim, &mut rng);
+    let count = |w: &centipede_platform_sim::GeneratedWorld| {
+        w.dataset
+            .events
+            .iter()
+            .filter(|e| e.venue.platform() == Platform::Twitter)
+            .count()
+    };
+    // Same seed, same generation; gaps only remove events.
+    assert!(count(&with) < count(&without));
+    assert!(with.truth.gap_dropped[0] > 0);
+}

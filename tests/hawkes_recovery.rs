@@ -1,0 +1,224 @@
+//! Statistical validation of the Hawkes engine on synthetic ground
+//! truth: parameter recovery across regimes, Gibbs-vs-EM agreement,
+//! and discrete-vs-continuous consistency.
+
+use rand::SeedableRng;
+
+use centipede_hawkes::continuous::{
+    fit_continuous_em, simulate_continuous, ContinuousEmConfig, ContinuousHawkes,
+};
+use centipede_hawkes::diagnostics::{effective_sample_size, geweke_z};
+use centipede_hawkes::discrete::{
+    simulate, BasisSet, DiscreteHawkes, EmConfig, EmFitter, GibbsConfig, GibbsSampler,
+};
+use centipede_hawkes::matrix::Matrix;
+
+fn rng(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+#[test]
+fn gibbs_recovers_three_process_chain() {
+    // 0 → 1 → 2 chain with self-excitation, the "centipede" motif.
+    let basis = BasisSet::log_gaussian(90, 3);
+    let truth = DiscreteHawkes::uniform_mixture(
+        vec![0.02, 0.01, 0.005],
+        Matrix::from_rows(&[
+            &[0.15, 0.40, 0.00],
+            &[0.00, 0.15, 0.40],
+            &[0.00, 0.00, 0.15],
+        ]),
+        &basis,
+    );
+    let data = simulate(&truth, 120_000, &mut rng(1));
+    let sampler = GibbsSampler::new(
+        GibbsConfig {
+            n_samples: 150,
+            burn_in: 75,
+            ..GibbsConfig::default()
+        },
+        basis,
+    );
+    let post = sampler.fit(&data, &mut rng(2));
+    let w = post.mean_weights();
+    // Chain edges dominate their reverse counterparts.
+    assert!(w.get(0, 1) > 0.2, "w01={}", w.get(0, 1));
+    assert!(w.get(1, 2) > 0.2, "w12={}", w.get(1, 2));
+    assert!(w.get(0, 1) > 3.0 * w.get(1, 0));
+    assert!(w.get(1, 2) > 3.0 * w.get(2, 1));
+    // Absent edge stays small.
+    assert!(w.get(2, 0) < 0.1, "w20={}", w.get(2, 0));
+    // Background rates near truth.
+    let bg = post.mean_lambda0();
+    assert!((bg[0] - 0.02).abs() < 0.01, "bg0={}", bg[0]);
+}
+
+#[test]
+fn gibbs_credible_intervals_cover_truth() {
+    let basis = BasisSet::log_gaussian(60, 3);
+    let truth = DiscreteHawkes::uniform_mixture(
+        vec![0.02, 0.02],
+        Matrix::from_rows(&[&[0.1, 0.3], &[0.05, 0.1]]),
+        &basis,
+    );
+    let data = simulate(&truth, 150_000, &mut rng(3));
+    let sampler = GibbsSampler::new(
+        GibbsConfig {
+            n_samples: 200,
+            burn_in: 100,
+            ..GibbsConfig::default()
+        },
+        basis,
+    );
+    let post = sampler.fit(&data, &mut rng(4));
+    // The dominant edge's 95% credible interval should cover the truth.
+    let (lo, hi) = post.weight_credible_interval(0, 1, 0.95);
+    assert!(
+        lo <= 0.3 && 0.3 <= hi,
+        "95% CI [{lo:.3}, {hi:.3}] misses 0.3"
+    );
+    // And be informative (not the whole prior range).
+    assert!(hi - lo < 0.3, "CI too wide: [{lo}, {hi}]");
+}
+
+#[test]
+fn gibbs_chain_passes_convergence_diagnostics() {
+    let basis = BasisSet::log_gaussian(60, 3);
+    let truth = DiscreteHawkes::uniform_mixture(
+        vec![0.03],
+        Matrix::from_rows(&[&[0.4]]),
+        &basis,
+    );
+    let data = simulate(&truth, 60_000, &mut rng(5));
+    let sampler = GibbsSampler::new(
+        GibbsConfig {
+            n_samples: 300,
+            burn_in: 150,
+            ..GibbsConfig::default()
+        },
+        basis,
+    );
+    let post = sampler.fit(&data, &mut rng(6));
+    let chain: Vec<f64> = post.weight_samples().iter().map(|w| w.get(0, 0)).collect();
+    let z = geweke_z(&chain).expect("long chain");
+    assert!(z.abs() < 4.0, "Geweke z = {z}");
+    let ess = effective_sample_size(&chain);
+    assert!(ess > 20.0, "ESS = {ess}");
+}
+
+#[test]
+fn em_and_gibbs_agree_on_strong_signal() {
+    let basis = BasisSet::log_gaussian(60, 3);
+    let truth = DiscreteHawkes::uniform_mixture(
+        vec![0.03, 0.02],
+        Matrix::from_rows(&[&[0.1, 0.5], &[0.0, 0.1]]),
+        &basis,
+    );
+    let data = simulate(&truth, 100_000, &mut rng(7));
+    let em = EmFitter::new(EmConfig::default(), basis.clone()).fit(&data);
+    let gibbs = GibbsSampler::new(
+        GibbsConfig {
+            n_samples: 120,
+            burn_in: 60,
+            ..GibbsConfig::default()
+        },
+        basis,
+    )
+    .fit(&data, &mut rng(8));
+    let diff = em.model.weights().mean_abs_diff(&gibbs.mean_weights());
+    assert!(diff < 0.05, "EM/Gibbs disagreement: {diff}");
+}
+
+#[test]
+fn discrete_fit_of_continuous_data_recovers_branching() {
+    // Generate in continuous time, bin, fit with the discrete model —
+    // exactly what the measurement pipeline does to real timestamps.
+    let truth = ContinuousHawkes::new(
+        vec![0.004, 0.002],
+        Matrix::from_rows(&[&[0.1, 0.45], &[0.05, 0.1]]),
+        Matrix::constant(2, 0.08),
+    );
+    let horizon = 200_000.0;
+    let events = simulate_continuous(&truth, horizon, &mut rng(9));
+    let points: Vec<(u32, u16)> = events
+        .iter()
+        .map(|e| (e.time as u32, e.process as u16))
+        .collect();
+    let data = centipede_hawkes::events::EventSeq::from_points(
+        horizon as u32 + 1,
+        2,
+        &points,
+    );
+    let basis = BasisSet::log_gaussian(200, 4);
+    let sampler = GibbsSampler::new(
+        GibbsConfig {
+            n_samples: 100,
+            burn_in: 50,
+            ..GibbsConfig::default()
+        },
+        basis,
+    );
+    let post = sampler.fit(&data, &mut rng(10));
+    let w = post.mean_weights();
+    assert!(
+        (w.get(0, 1) - 0.45).abs() < 0.15,
+        "w01={} (truth 0.45)",
+        w.get(0, 1)
+    );
+    assert!(w.get(0, 1) > 2.0 * w.get(1, 0));
+}
+
+#[test]
+fn continuous_em_recovers_decay_rate() {
+    let truth = ContinuousHawkes::new(
+        vec![0.005],
+        Matrix::from_rows(&[&[0.5]]),
+        Matrix::constant(1, 0.05),
+    );
+    let horizon = 400_000.0;
+    let events = simulate_continuous(&truth, horizon, &mut rng(11));
+    let (fitted, trace) = fit_continuous_em(
+        &events,
+        1,
+        horizon,
+        &ContinuousEmConfig {
+            max_lag: 400.0,
+            ..ContinuousEmConfig::default()
+        },
+    );
+    assert!(trace.len() >= 2);
+    assert!(
+        (fitted.alpha().get(0, 0) - 0.5).abs() < 0.1,
+        "alpha={}",
+        fitted.alpha().get(0, 0)
+    );
+    let beta = fitted.beta().get(0, 0);
+    assert!(
+        (0.02..=0.12).contains(&beta),
+        "beta={beta} (truth 0.05)"
+    );
+}
+
+#[test]
+fn weak_data_shrinks_to_prior_not_noise() {
+    // Two nearly-silent processes: the posterior must not hallucinate
+    // strong edges.
+    let basis = BasisSet::log_gaussian(60, 3);
+    let truth = DiscreteHawkes::uniform_mixture(
+        vec![0.0005, 0.0005],
+        Matrix::zeros(2),
+        &basis,
+    );
+    let data = simulate(&truth, 30_000, &mut rng(12));
+    let sampler = GibbsSampler::new(
+        GibbsConfig {
+            n_samples: 100,
+            burn_in: 50,
+            ..GibbsConfig::default()
+        },
+        basis,
+    );
+    let post = sampler.fit(&data, &mut rng(13));
+    let w = post.mean_weights();
+    assert!(w.max_abs() < 0.15, "hallucinated edges: {w}");
+}

@@ -1,0 +1,289 @@
+//! Integration tests of the §3/§4 measurement stages over generated
+//! worlds: characterization tables, temporal dynamics, sequences, and
+//! the source graph, checked against the paper's qualitative findings.
+
+use rand::SeedableRng;
+
+use centipede::characterization::{
+    dataset_overview, domain_platform_fractions, top_domains, top_subreddits, tweet_stats,
+    user_alt_fraction, DatasetSplit,
+};
+use centipede::crossplatform::{first_hop_sequences, source_graph, triplet_sequences, PAIRS};
+use centipede::temporal::{appearance_cdf, daily_occurrence, interarrival, repost_lags};
+use centipede_dataset::domains::NewsCategory;
+use centipede_dataset::platform::AnalysisGroup;
+use centipede_platform_sim::{ecosystem, GeneratedWorld, SimConfig};
+
+fn world() -> GeneratedWorld {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(20170701);
+    let mut sim = SimConfig::default();
+    sim.scale = 0.35;
+    ecosystem::generate(&sim, &mut rng)
+}
+
+#[test]
+fn table2_other_subreddits_carry_more_mainstream_urls_than_six() {
+    let w = world();
+    let rows = dataset_overview(&w.dataset);
+    let six = rows
+        .iter()
+        .find(|r| r.split == DatasetSplit::SixSubreddits)
+        .unwrap();
+    let other = rows
+        .iter()
+        .find(|r| r.split == DatasetSplit::OtherSubreddits)
+        .unwrap();
+    // Paper Table 2: 726,948 vs 301,840 unique mainstream URLs.
+    assert!(
+        other.unique_main > six.unique_main,
+        "other {} <= six {}",
+        other.unique_main,
+        six.unique_main
+    );
+    // But the six subreddits dominate alternative-news posting density:
+    // alt/main post ratio higher on six than on other subreddits.
+    assert!(six.posts > 0 && other.posts > 0);
+}
+
+#[test]
+fn table3_mainstream_gets_more_engagement_but_alt_deleted_more() {
+    let w = world();
+    let rows = tweet_stats(&w.dataset);
+    let alt = rows
+        .iter()
+        .find(|r| r.category == NewsCategory::Alternative)
+        .unwrap();
+    let main = rows
+        .iter()
+        .find(|r| r.category == NewsCategory::Mainstream)
+        .unwrap();
+    let alt_retrieval = alt.retrieved as f64 / alt.tweets as f64;
+    let main_retrieval = main.retrieved as f64 / main.tweets as f64;
+    // Paper: 83.2% vs 87.7%.
+    assert!(
+        alt_retrieval < main_retrieval,
+        "alt retrieval {alt_retrieval} >= main {main_retrieval}"
+    );
+    assert!((alt_retrieval - 0.832).abs() < 0.05);
+    // Retweet means in the hundreds with large dispersion.
+    assert!(alt.avg_retweets > 150.0 && alt.avg_retweets < 700.0);
+    assert!(alt.sd_retweets > alt.avg_retweets);
+}
+
+#[test]
+fn table4_the_donald_tops_alternative_subreddits() {
+    let w = world();
+    let t4 = top_subreddits(&w.dataset, 20);
+    let alt = &t4[&NewsCategory::Alternative];
+    assert_eq!(alt[0].0, "The_Donald", "top alt subreddit");
+    // Paper: The_Donald 35.37% of Reddit's alternative URLs.
+    assert!(alt[0].1 > 0.15, "share {}", alt[0].1);
+    // politics leads mainstream.
+    let main = &t4[&NewsCategory::Mainstream];
+    let top_main: Vec<&str> = main.iter().take(4).map(|(n, _)| n.as_str()).collect();
+    assert!(
+        top_main.contains(&"politics"),
+        "politics not in mainstream top 4: {top_main:?}"
+    );
+}
+
+#[test]
+fn tables567_domain_platform_structure() {
+    let w = world();
+    // lifezette should rank on the six subreddits but not on Twitter
+    // (the paper calls this out explicitly).
+    let six = top_domains(&w.dataset, AnalysisGroup::SixSubreddits, 20);
+    let twitter = top_domains(&w.dataset, AnalysisGroup::Twitter, 20);
+    let names = |t: &std::collections::BTreeMap<NewsCategory, Vec<(String, f64)>>| {
+        t[&NewsCategory::Alternative]
+            .iter()
+            .map(|(n, _)| n.clone())
+            .collect::<Vec<_>>()
+    };
+    let six_names = names(&six);
+    let twitter_names = names(&twitter);
+    assert!(six_names.contains(&"lifezette.com".to_string()));
+    // therealstrategy is Twitter-heavy.
+    let trs_rank_twitter = twitter_names
+        .iter()
+        .position(|n| n == "therealstrategy.com");
+    let trs_rank_six = six_names.iter().position(|n| n == "therealstrategy.com");
+    match (trs_rank_twitter, trs_rank_six) {
+        (Some(tw), Some(six)) => assert!(tw < six, "therealstrategy: twitter {tw} vs six {six}"),
+        (Some(_), None) => {} // only charting on Twitter is fine too
+        other => panic!("therealstrategy missing from Twitter ranking: {other:?}"),
+    }
+    // Figure 2 cross-check: lifezette's Twitter fraction is small.
+    let fracs = domain_platform_fractions(&w.dataset, NewsCategory::Alternative, 54);
+    if let Some((_, f)) = fracs.iter().find(|(n, _)| n == "lifezette.com") {
+        assert!(f[2] < 0.5, "lifezette Twitter fraction {}", f[2]);
+    }
+}
+
+#[test]
+fn figure3_user_shapes() {
+    let w = world();
+    let f = user_alt_fraction(&w.dataset);
+    let twitter = f
+        .all_users
+        .iter()
+        .find(|(g, _)| *g == AnalysisGroup::Twitter)
+        .map(|(_, e)| e)
+        .expect("twitter users");
+    // Paper: ~80% of users share only mainstream URLs; ~13% of Twitter
+    // users are alt-only.
+    let mainstream_only = twitter.eval(0.0);
+    let alt_only = 1.0 - twitter.eval(1.0 - 1e-9);
+    assert!(
+        (0.55..=0.95).contains(&mainstream_only),
+        "mainstream-only {mainstream_only}"
+    );
+    assert!((0.03..=0.30).contains(&alt_only), "alt-only {alt_only}");
+}
+
+#[test]
+fn figure1_most_urls_appear_once() {
+    let w = world();
+    let tls = w.dataset.timelines();
+    for cat in NewsCategory::ALL {
+        for (group, ecdf) in appearance_cdf(&tls, cat) {
+            let once = ecdf.eval(1.0);
+            assert!(
+                once > 0.4,
+                "{group:?}/{cat:?}: only {once} of URLs appear once"
+            );
+            assert!(ecdf.max() >= 2.0, "{group:?}/{cat:?}: no reposts at all");
+        }
+    }
+}
+
+#[test]
+fn figure4_peaks_in_election_season() {
+    let w = world();
+    let series = daily_occurrence(&w.dataset);
+    let six = series
+        .iter()
+        .find(|s| s.series.name().contains("6 selected"))
+        .unwrap();
+    // Locate the peak alternative day; it should land between
+    // mid-September and end of November (days 77–155 of the study).
+    let (peak_day, _) = six
+        .alternative
+        .iter()
+        .enumerate()
+        .filter_map(|(d, v)| v.map(|v| (d, v)))
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .expect("some active day");
+    assert!(
+        (70..=160).contains(&peak_day),
+        "peak on day {peak_day}, outside election season"
+    );
+}
+
+#[test]
+fn figure5_lags_show_24h_structure() {
+    let w = world();
+    let tls = w.dataset.timelines();
+    for cat in NewsCategory::ALL {
+        for (group, ecdf) in repost_lags(&tls, cat) {
+            // Substantial mass both below and above 24 h — the paper's
+            // inflection point.
+            let below = ecdf.eval(24.0);
+            assert!(
+                (0.15..=0.98).contains(&below),
+                "{group:?}/{cat:?}: share below 24h = {below}"
+            );
+            // Months-long tail exists (recycling).
+            assert!(
+                ecdf.max() > 24.0 * 7.0,
+                "{group:?}/{cat:?}: max lag only {} h",
+                ecdf.max()
+            );
+        }
+    }
+}
+
+#[test]
+fn figure6_distributions_differ_between_platforms() {
+    let w = world();
+    let tls = w.dataset.timelines();
+    let res = interarrival(&tls, NewsCategory::Mainstream, false);
+    assert!(!res.ks.is_empty());
+    // The paper: all pairwise comparisons significant at p < 0.01 —
+    // require at least one strongly significant pair here.
+    assert!(
+        res.ks.iter().any(|(_, _, ks)| ks.p_value < 0.01),
+        "no significant pairwise difference: {:?}",
+        res.ks
+            .iter()
+            .map(|(a, b, k)| (a.name(), b.name(), k.p_value))
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn tables_9_10_sequence_structure() {
+    let w = world();
+    let tls = w.dataset.timelines();
+    for cat in NewsCategory::ALL {
+        let seqs = first_hop_sequences(&tls, cat);
+        let total: u64 = seqs.values().sum();
+        assert!(total > 100, "{cat:?}: too few sequenced URLs");
+        // Majority of URLs stay on one platform (paper: 82–89%).
+        let single: u64 = seqs
+            .iter()
+            .filter(|(k, _)| matches!(k, centipede::crossplatform::FirstHop::Only(_)))
+            .map(|(_, &n)| n)
+            .sum();
+        let share = single as f64 / total as f64;
+        assert!(
+            share > 0.5,
+            "{cat:?}: single-platform share only {share:.2}"
+        );
+        // Triplets exist and include the paper's dominant R→T→4 pattern.
+        let trips = triplet_sequences(&tls, cat);
+        assert!(!trips.is_empty(), "{cat:?}: no three-platform URLs");
+    }
+}
+
+#[test]
+fn figure8_pol_rarely_first() {
+    let w = world();
+    let tls = w.dataset.timelines();
+    let edges = source_graph(&tls, &w.dataset.domains, NewsCategory::Alternative);
+    let inflow = |to: &str| -> u64 {
+        edges
+            .iter()
+            .filter(|e| e.to == to && !e.from.contains("subreddits") && e.from != "Twitter" && e.from != "/pol/")
+            .map(|e| e.weight)
+            .sum()
+    };
+    // Domains feed Twitter and the six subreddits far more often than
+    // /pol/ (the paper: "/pol/ is rarely the platform where a URL first
+    // shows up").
+    let pol_in = inflow("/pol/");
+    let twitter_in = inflow("Twitter");
+    assert!(
+        twitter_in > pol_in,
+        "Twitter {} vs /pol/ {} first appearances",
+        twitter_in,
+        pol_in
+    );
+}
+
+#[test]
+fn table8_pairs_cover_both_categories() {
+    let w = world();
+    let tls = w.dataset.timelines();
+    for cat in NewsCategory::ALL {
+        let lags = centipede::crossplatform::pair_lags(&tls, cat);
+        assert_eq!(lags.len(), PAIRS.len());
+        for r in &lags {
+            assert!(
+                r.a_faster + r.b_faster > 0,
+                "{cat:?} {:?}: no common URLs",
+                r.pair
+            );
+        }
+    }
+}
