@@ -13,16 +13,20 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("bot_ablation");
     group.sample_size(10);
     for bots in [true, false] {
-        let mut sim = SimConfig::default();
-        sim.scale = 0.25;
-        sim.bots_enabled = bots;
+        let sim = SimConfig {
+            scale: 0.25,
+            bots_enabled: bots,
+            ..SimConfig::default()
+        };
         let mut rng = rand::rngs::StdRng::seed_from_u64(0xB07);
         let world = ecosystem::generate(&sim, &mut rng);
         let tls = world.dataset.timelines();
         let (prepared, _) = prepare_urls(&world.dataset, &tls, &SelectionConfig::default());
-        let mut config = FitConfig::default();
-        config.n_samples = 40;
-        config.burn_in = 20;
+        let config = FitConfig {
+            n_samples: 40,
+            burn_in: 20,
+            ..FitConfig::default()
+        };
         let fits = fit_urls(&prepared, &config);
         let cmp = weight_comparison(&fits);
         let cell = cmp.cells[t][t];
@@ -30,14 +34,10 @@ fn bench(c: &mut Criterion) {
             "bots={bots}: W[T→T] alt={:.4} main={:.4} gap={:+.1}%",
             cell.alt, cell.main, cell.pct_diff
         );
-        group.bench_with_input(
-            BenchmarkId::new("generate", bots),
-            &sim,
-            |b, cfg| {
-                let mut rng = rand::rngs::StdRng::seed_from_u64(0xB07);
-                b.iter(|| ecosystem::generate(cfg, &mut rng))
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("generate", bots), &sim, |b, cfg| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(0xB07);
+            b.iter(|| ecosystem::generate(cfg, &mut rng))
+        });
     }
     group.finish();
 }

@@ -17,17 +17,21 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     let t = Community::Twitter.index();
     for hours in [6usize, 12, 24, 48] {
-        let mut config = FitConfig::default();
-        config.max_lag_minutes = hours * 60;
-        config.n_samples = 40;
-        config.burn_in = 20;
+        let config = FitConfig {
+            max_lag_minutes: hours * 60,
+            n_samples: 40,
+            burn_in: 20,
+            ..FitConfig::default()
+        };
         let fits = fit_urls(&prepared, &config);
         let cmp = weight_comparison(&fits);
         let wtt = cmp.mean_matrix(NewsCategory::Alternative).get(t, t);
         eprintln!("dtmax={hours}h: mean alt W[Twitter→Twitter] = {wtt:.4}");
-        group.bench_with_input(BenchmarkId::new("fit_30_urls", hours), &subset, |b, urls| {
-            b.iter(|| fit_urls(urls, &config))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("fit_30_urls", hours),
+            &subset,
+            |b, urls| b.iter(|| fit_urls(urls, &config)),
+        );
     }
     group.finish();
 }

@@ -8,8 +8,18 @@ use centipede_bench::dataset;
 fn bench(c: &mut Criterion) {
     let ds = dataset();
     for s in daily_occurrence(ds) {
-        let peak_alt = s.alternative.iter().flatten().cloned().fold(0.0f64, f64::max);
-        let peak_main = s.mainstream.iter().flatten().cloned().fold(0.0f64, f64::max);
+        let peak_alt = s
+            .alternative
+            .iter()
+            .flatten()
+            .cloned()
+            .fold(0.0f64, f64::max);
+        let peak_main = s
+            .mainstream
+            .iter()
+            .flatten()
+            .cloned()
+            .fold(0.0f64, f64::max);
         eprintln!(
             "Figure 4 ({}): peak alt={peak_alt:.2} peak main={peak_main:.2}",
             s.series.name()

@@ -18,7 +18,8 @@ fn bench(c: &mut Criterion) {
                 r.a_faster,
                 r.b_faster,
                 r.fraction_a_faster() * 100.0,
-                r.cross_point_seconds().map(|s| (s / 3600.0 * 10.0).round() / 10.0)
+                r.cross_point_seconds()
+                    .map(|s| (s / 3600.0 * 10.0).round() / 10.0)
             );
         }
     }

@@ -13,7 +13,13 @@ fn bench(c: &mut Criterion) {
         let mut edges = source_graph(tls, &ds.domains, cat);
         edges.sort_by_key(|e| std::cmp::Reverse(e.weight));
         for e in edges.iter().take(10) {
-            eprintln!("Figure 8 ({}): {} → {} ({})", cat.name(), e.from, e.to, e.weight);
+            eprintln!(
+                "Figure 8 ({}): {} → {} ({})",
+                cat.name(),
+                e.from,
+                e.to,
+                e.weight
+            );
         }
     }
     c.bench_function("fig08_source_graph", |b| {

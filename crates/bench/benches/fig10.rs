@@ -13,9 +13,11 @@ fn bench(c: &mut Criterion) {
     let ds = dataset();
     let tls = timelines();
     let (prepared, _) = prepare_urls(ds, tls, &SelectionConfig::default());
-    let mut config = FitConfig::default();
-    config.n_samples = 60;
-    config.burn_in = 30;
+    let config = FitConfig {
+        n_samples: 60,
+        burn_in: 30,
+        ..FitConfig::default()
+    };
     let fits = fit_urls(&prepared, &config);
     let cmp = weight_comparison(&fits);
     eprintln!("{}", cmp.render());
@@ -23,10 +25,7 @@ fn bench(c: &mut Criterion) {
     let mut sizes: Vec<usize> = prepared.iter().map(|p| p.events.events().len()).collect();
     sizes.sort_unstable();
     let median = sizes.get(sizes.len() / 2).copied().unwrap_or(0);
-    if let Some(url) = prepared
-        .iter()
-        .find(|p| p.events.events().len() == median)
-    {
+    if let Some(url) = prepared.iter().find(|p| p.events.events().len() == median) {
         let mut group = c.benchmark_group("fig10");
         group.sample_size(20);
         group.bench_function("fig10_gibbs_fit_one_url", |b| {

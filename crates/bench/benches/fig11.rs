@@ -9,9 +9,11 @@ fn bench(c: &mut Criterion) {
     let ds = dataset();
     let tls = timelines();
     let (prepared, _) = prepare_urls(ds, tls, &SelectionConfig::default());
-    let mut config = FitConfig::default();
-    config.n_samples = 60;
-    config.burn_in = 30;
+    let config = FitConfig {
+        n_samples: 60,
+        burn_in: 30,
+        ..FitConfig::default()
+    };
     let fits = fit_urls(&prepared, &config);
     let imp = impact_matrix(&fits);
     eprintln!("{}", imp.render());

@@ -17,13 +17,17 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fit_ablation");
     group.sample_size(10);
     for estimator in [Estimator::Gibbs, Estimator::Em] {
-        let mut config = FitConfig::default();
-        config.estimator = estimator;
-        config.n_samples = 60;
-        config.burn_in = 30;
+        let config = FitConfig {
+            estimator,
+            n_samples: 60,
+            burn_in: 30,
+            ..FitConfig::default()
+        };
         let fits = fit_urls(&prepared, &config);
         let cmp = weight_comparison(&fits);
-        let mae = cmp.mean_matrix(NewsCategory::Mainstream).mean_abs_diff(truth);
+        let mae = cmp
+            .mean_matrix(NewsCategory::Mainstream)
+            .mean_abs_diff(truth);
         eprintln!("fit_ablation {estimator:?}: MAE vs ground truth = {mae:.4}");
         group.bench_with_input(
             BenchmarkId::new("fit_40_urls", format!("{estimator:?}")),

@@ -11,11 +11,7 @@ use centipede_hawkes::matrix::Matrix;
 
 fn model(k: usize) -> DiscreteHawkes {
     let basis = BasisSet::log_gaussian(720, 4);
-    DiscreteHawkes::uniform_mixture(
-        vec![0.002; k],
-        Matrix::constant(k, 0.4 / k as f64),
-        &basis,
-    )
+    DiscreteHawkes::uniform_mixture(vec![0.002; k], Matrix::constant(k, 0.4 / k as f64), &basis)
 }
 
 fn bench(c: &mut Criterion) {
@@ -25,14 +21,10 @@ fn bench(c: &mut Criterion) {
         let m = model(8);
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         let data = simulate(&m, t_bins, &mut rng);
-        group.bench_with_input(
-            BenchmarkId::new("simulate", t_bins),
-            &t_bins,
-            |b, &t| {
-                let mut rng = rand::rngs::StdRng::seed_from_u64(2);
-                b.iter(|| simulate(&m, t, &mut rng))
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("simulate", t_bins), &t_bins, |b, &t| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+            b.iter(|| simulate(&m, t, &mut rng))
+        });
         group.bench_with_input(
             BenchmarkId::new("log_likelihood", data.total_events()),
             &data,

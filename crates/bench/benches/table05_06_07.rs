@@ -13,7 +13,10 @@ fn bench(c: &mut Criterion) {
         (6, AnalysisGroup::Twitter),
         (7, AnalysisGroup::Pol),
     ] {
-        eprintln!("{}", render_top_domains(no, group, &top_domains(ds, group, 20)));
+        eprintln!(
+            "{}",
+            render_top_domains(no, group, &top_domains(ds, group, 20))
+        );
     }
     c.bench_function("table05_06_07_top_domains", |b| {
         b.iter(|| {

@@ -19,7 +19,11 @@ fn bench(c: &mut Criterion) {
         .iter()
         .filter(|p| p.category == centipede_dataset::domains::NewsCategory::Alternative)
         .count();
-    eprintln!("Table 11: {} alternative / {} mainstream URLs", alt, prepared.len() - alt);
+    eprintln!(
+        "Table 11: {} alternative / {} mainstream URLs",
+        alt,
+        prepared.len() - alt
+    );
     c.bench_function("table11_prepare_urls", |b| {
         b.iter(|| prepare_urls(ds, tls, &SelectionConfig::default()))
     });

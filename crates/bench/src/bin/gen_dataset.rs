@@ -43,18 +43,18 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
 }
 
 fn generate(args: Vec<String>) {
-    let out: PathBuf = flag_value(&args, "--out")
-        .unwrap_or_else(|| usage())
-        .into();
+    let out: PathBuf = flag_value(&args, "--out").unwrap_or_else(|| usage()).into();
     let seed: u64 = flag_value(&args, "--seed")
         .map(|v| v.parse().expect("seed"))
         .unwrap_or(42);
-    let mut config = SimConfig::default();
-    config.scale = flag_value(&args, "--scale")
-        .map(|v| v.parse().expect("scale"))
-        .unwrap_or(1.0);
-    config.apply_gaps = !args.iter().any(|a| a == "--no-gaps");
-    config.bots_enabled = !args.iter().any(|a| a == "--no-bots");
+    let config = SimConfig {
+        scale: flag_value(&args, "--scale")
+            .map(|v| v.parse().expect("scale"))
+            .unwrap_or(1.0),
+        apply_gaps: !args.iter().any(|a| a == "--no-gaps"),
+        bots_enabled: !args.iter().any(|a| a == "--no-bots"),
+        ..SimConfig::default()
+    };
 
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let world = ecosystem::generate(&config, &mut rng);
@@ -68,13 +68,13 @@ fn generate(args: Vec<String>) {
 }
 
 fn analyze(args: Vec<String>) {
-    let input: PathBuf = flag_value(&args, "--in")
-        .unwrap_or_else(|| usage())
-        .into();
+    let input: PathBuf = flag_value(&args, "--in").unwrap_or_else(|| usage()).into();
     let dataset = centipede_dataset::store::load(&input).expect("load dataset");
     eprintln!("loaded {} events from {}", dataset.len(), input.display());
-    let mut config = PipelineConfig::default();
-    config.skip_influence = args.iter().any(|a| a == "--skip-influence");
+    let config = PipelineConfig {
+        skip_influence: args.iter().any(|a| a == "--skip-influence"),
+        ..PipelineConfig::default()
+    };
     let mut rng = rand::rngs::StdRng::seed_from_u64(7);
     let report = run_all(&dataset, &config, &mut rng);
     println!("{}", report.render());
@@ -87,8 +87,7 @@ fn analyze(args: Vec<String>) {
     }
     if let Some(path) = flag_value(&args, "--dot") {
         let edges = &report.fig8[&NewsCategory::Alternative];
-        std::fs::write(&path, source_graph_to_dot(edges, "alternative-news"))
-            .expect("write dot");
+        std::fs::write(&path, source_graph_to_dot(edges, "alternative-news")).expect("write dot");
         eprintln!("Figure 8 DOT written to {path}");
     }
 }

@@ -4,19 +4,29 @@
 //!
 //! ```text
 //! repro [--seed N] [--scale F] [--no-gaps] [--no-bots] [--em]
-//!       [--samples N] [--skip-influence] [--out PATH]
+//!       [--samples N] [--burn-in N] [--threads N] [--skip-influence]
+//!       [--compare] [--out PATH] [--metrics PATH] [--quiet] [--verbose]
 //! ```
 //!
 //! Generates the synthetic ecosystem, runs the full measurement
 //! pipeline, and prints the paper's tables and figures (plain text).
 //! With `--out`, also writes the report to a file.
+//!
+//! Observability: progress and status go through the `centipede-obs`
+//! global registry. `--quiet` silences them, `--verbose` additionally
+//! prints the stage tree and histogram summaries at exit, and
+//! `--metrics PATH` writes a `metrics.json` snapshot (counters,
+//! gauges, histograms with p50/p90/p99, span timings, plus a flat
+//! name→value map in the `BENCH_*.json` style).
 
 use std::io::Write;
+use std::sync::Arc;
 
 use rand::SeedableRng;
 
 use centipede::influence::fit::Estimator;
 use centipede::pipeline::{run_all, PipelineConfig};
+use centipede_obs::{JsonExporter, StderrReporter, Verbosity};
 use centipede_platform_sim::{ecosystem, SimConfig};
 
 struct Args {
@@ -26,9 +36,13 @@ struct Args {
     bots: bool,
     estimator: Estimator,
     samples: usize,
+    burn_in: Option<usize>,
+    threads: Option<usize>,
     skip_influence: bool,
     compare: bool,
     out: Option<String>,
+    metrics: Option<String>,
+    verbosity: Verbosity,
 }
 
 fn parse_args() -> Args {
@@ -39,9 +53,13 @@ fn parse_args() -> Args {
         bots: true,
         estimator: Estimator::Gibbs,
         samples: 120,
+        burn_in: None,
+        threads: None,
         skip_influence: false,
         compare: false,
         out: None,
+        metrics: None,
+        verbosity: Verbosity::Normal,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -51,16 +69,41 @@ fn parse_args() -> Args {
             "--no-gaps" => args.apply_gaps = false,
             "--no-bots" => args.bots = false,
             "--em" => args.estimator = Estimator::Em,
-            "--samples" => {
-                args.samples = it.next().expect("--samples N").parse().expect("samples")
+            "--samples" => args.samples = it.next().expect("--samples N").parse().expect("samples"),
+            "--burn-in" => {
+                args.burn_in = Some(it.next().expect("--burn-in N").parse().expect("burn-in"))
+            }
+            "--threads" => {
+                let n: usize = it.next().expect("--threads N").parse().expect("threads");
+                assert!(n >= 1, "--threads must be >= 1");
+                args.threads = Some(n);
             }
             "--skip-influence" => args.skip_influence = true,
             "--compare" => args.compare = true,
             "--out" => args.out = Some(it.next().expect("--out PATH")),
+            "--metrics" => args.metrics = Some(it.next().expect("--metrics PATH")),
+            "--quiet" => args.verbosity = Verbosity::Quiet,
+            "--verbose" => args.verbosity = Verbosity::Verbose,
             "--help" | "-h" => {
                 eprintln!(
                     "usage: repro [--seed N] [--scale F] [--no-gaps] [--no-bots] [--em] \
-                     [--samples N] [--skip-influence] [--compare] [--out PATH]"
+                     [--samples N] [--burn-in N] [--threads N] [--skip-influence] \
+                     [--compare] [--out PATH] [--metrics PATH] [--quiet] [--verbose]\n\
+                     \n\
+                     --seed N          RNG seed (default 42)\n\
+                     --scale F         ecosystem scale factor (default 1.0)\n\
+                     --no-gaps         disable the crawler-gap model\n\
+                     --no-bots         disable bot accounts in the simulation\n\
+                     --em              use the EM estimator instead of Gibbs\n\
+                     --samples N       Gibbs samples per URL (default 120)\n\
+                     --burn-in N       Gibbs burn-in sweeps (default samples/2)\n\
+                     --threads N       fit-fleet worker threads (default: all cores)\n\
+                     --skip-influence  skip the §5 Hawkes fitting stage\n\
+                     --compare         print the paper-vs-repro comparison table\n\
+                     --out PATH        also write the report text to PATH\n\
+                     --metrics PATH    write a metrics.json snapshot to PATH\n\
+                     --quiet           suppress progress output\n\
+                     --verbose         also print the stage tree and histograms"
                 );
                 std::process::exit(0);
             }
@@ -75,40 +118,50 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
+
+    let obs = centipede_obs::global();
+    obs.add_sink(Arc::new(StderrReporter::new(args.verbosity)));
+    if let Some(path) = &args.metrics {
+        obs.add_sink(Arc::new(JsonExporter::new(path)));
+    }
+
     let mut rng = rand::rngs::StdRng::seed_from_u64(args.seed);
 
-    let mut sim = SimConfig::default();
-    sim.scale = args.scale;
-    sim.apply_gaps = args.apply_gaps;
-    sim.bots_enabled = args.bots;
+    let sim = SimConfig {
+        scale: args.scale,
+        apply_gaps: args.apply_gaps,
+        bots_enabled: args.bots,
+        ..SimConfig::default()
+    };
 
-    eprintln!(
-        "[repro] generating ecosystem (scale={}, gaps={}, bots={}) ...",
+    obs.message(&format!(
+        "generating ecosystem (scale={}, gaps={}, bots={}) ...",
         sim.scale, sim.apply_gaps, sim.bots_enabled
-    );
+    ));
     let t0 = std::time::Instant::now();
     let world = ecosystem::generate(&sim, &mut rng);
-    eprintln!(
-        "[repro] {} events across {} URLs in {:.1}s",
+    obs.message(&format!(
+        "{} events across {} URLs in {:.1}s",
         world.dataset.len(),
         world.dataset.timelines().len(),
         t0.elapsed().as_secs_f64()
-    );
+    ));
 
     let mut config = PipelineConfig::default();
     config.fit.estimator = args.estimator;
     config.fit.n_samples = args.samples;
-    config.fit.burn_in = args.samples / 2;
+    config.fit.burn_in = args.burn_in.unwrap_or(args.samples / 2);
+    config.fit.threads = args.threads;
     config.skip_influence = args.skip_influence;
 
-    eprintln!("[repro] running measurement pipeline ...");
+    obs.message("running measurement pipeline ...");
     let t1 = std::time::Instant::now();
     let report = run_all(&world.dataset, &config, &mut rng);
-    eprintln!(
-        "[repro] pipeline done in {:.1}s ({} URLs fitted)",
+    obs.message(&format!(
+        "pipeline done in {:.1}s ({} URLs fitted)",
         t1.elapsed().as_secs_f64(),
         report.selection.selected
-    );
+    ));
 
     let text = report.render();
     println!("{text}");
@@ -142,9 +195,21 @@ fn main() {
         println!("{}", centipede_bench::compare::render(&rows));
     }
 
-    if let Some(path) = args.out {
-        let mut f = std::fs::File::create(&path).expect("create --out file");
+    if let Some(path) = &args.out {
+        let mut f = std::fs::File::create(path).expect("create --out file");
         f.write_all(text.as_bytes()).expect("write report");
-        eprintln!("[repro] report written to {path}");
+        obs.message(&format!("report written to {path}"));
+    }
+
+    match obs.flush() {
+        Ok(_) => {
+            if let Some(path) = &args.metrics {
+                obs.message(&format!("metrics written to {path}"));
+            }
+        }
+        Err(err) => {
+            eprintln!("[repro] metrics export failed: {err}");
+            std::process::exit(1);
+        }
     }
 }

@@ -78,7 +78,10 @@ pub fn compare(report: &AnalysisReport) -> Vec<ComparisonRow> {
     }
 
     // --- Table 9 shares ------------------------------------------------
-    for (cat, col) in [(NewsCategory::Alternative, 1usize), (NewsCategory::Mainstream, 2)] {
+    for (cat, col) in [
+        (NewsCategory::Alternative, 1usize),
+        (NewsCategory::Mainstream, 2),
+    ] {
         let seqs = &report.table9[&cat];
         let total: u64 = seqs.values().sum();
         if total == 0 {
@@ -105,7 +108,11 @@ pub fn compare(report: &AnalysisReport) -> Vec<ComparisonRow> {
         let (t_only, r_only) = (share("T only"), share("R only"));
         rows.push(ComparisonRow {
             metric: format!("Table 9 {}: T-only vs R-only order", cat.short()),
-            paper: if cat == NewsCategory::Alternative { 1.0 } else { -1.0 },
+            paper: if cat == NewsCategory::Alternative {
+                1.0
+            } else {
+                -1.0
+            },
             measured: (t_only - r_only).signum(),
             ok: if cat == NewsCategory::Alternative {
                 t_only > r_only
@@ -170,11 +177,20 @@ pub fn render(rows: &[ComparisonRow]) -> String {
             r.metric.clone(),
             format!("{:.3}", r.paper),
             format!("{:.3}", r.measured),
-            if r.ok { "✓".to_string() } else { "✗".to_string() },
+            if r.ok {
+                "✓".to_string()
+            } else {
+                "✗".to_string()
+            },
         ]);
     }
     let passed = rows.iter().filter(|r| r.ok).count();
-    format!("{}\n{} / {} shape targets met\n", t.render(), passed, rows.len())
+    format!(
+        "{}\n{} / {} shape targets met\n",
+        t.render(),
+        passed,
+        rows.len()
+    )
 }
 
 #[cfg(test)]
@@ -187,8 +203,10 @@ mod tests {
     #[test]
     fn comparison_runs_and_mostly_passes() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(31);
-        let mut sim = SimConfig::default();
-        sim.scale = 0.2;
+        let sim = SimConfig {
+            scale: 0.2,
+            ..SimConfig::default()
+        };
         let world = ecosystem::generate(&sim, &mut rng);
         let mut config = PipelineConfig::default();
         config.fit.n_samples = 30;

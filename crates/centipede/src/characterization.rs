@@ -542,7 +542,10 @@ mod tests {
     #[test]
     fn table1_percentages() {
         let rows = platform_totals(&toy_dataset());
-        let twitter = rows.iter().find(|r| r.platform == Platform::Twitter).unwrap();
+        let twitter = rows
+            .iter()
+            .find(|r| r.platform == Platform::Twitter)
+            .unwrap();
         assert_eq!(twitter.total_posts, 10_000);
         assert!((twitter.pct_alternative - 0.0002).abs() < 1e-12);
         assert!((twitter.pct_mainstream - 0.0001).abs() < 1e-12);
@@ -648,6 +651,6 @@ mod tests {
         assert!(f
             .mixed_users
             .iter()
-            .all(|(_, e)| e.len() == 0 || e.len() > 0)); // present or absent both fine
+            .all(|(_, e)| e.is_empty() || !e.is_empty())); // present or absent both fine
     }
 }

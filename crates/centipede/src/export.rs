@@ -140,7 +140,7 @@ mod tests {
         assert!(v.get("fig8").is_some());
         // Table 9 keys are display strings.
         let t9 = v["table9"].as_object().unwrap();
-        for (_cat, seqs) in t9 {
+        for seqs in t9.values() {
             for key in seqs.as_object().unwrap().keys() {
                 assert!(
                     key.contains("only") || key.contains('→'),

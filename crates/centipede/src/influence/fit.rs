@@ -92,30 +92,61 @@ pub fn fit_urls(prepared: &[PreparedUrl], config: &FitConfig) -> Vec<UrlFit> {
                 .unwrap_or(4)
         })
         .max(1);
-    let results: Mutex<Vec<Option<UrlFit>>> = Mutex::new(vec![None; prepared.len()]);
+
+    centipede_obs::set_label(
+        "fit.estimator",
+        match config.estimator {
+            Estimator::Gibbs => "gibbs",
+            Estimator::Em => "em",
+        },
+    );
+    centipede_obs::counter("fit.urls_total").inc(prepared.len() as u64);
+    let fit_hist = centipede_obs::histogram("fit.url_nanos");
+    let progress = centipede_obs::ProgressMeter::new(
+        centipede_obs::global(),
+        "fit_urls",
+        prepared.len() as u64,
+    );
+
+    // Workers accumulate (idx, fit) locally and merge under the lock once at
+    // exit, so the shared Mutex is taken n_threads times rather than once per
+    // URL. Output order is restored from the recorded indices.
+    let results: Mutex<Vec<(usize, UrlFit)>> = Mutex::new(Vec::with_capacity(prepared.len()));
     let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
 
     crossbeam::scope(|scope| {
-        for _ in 0..n_threads.min(prepared.len()) {
-            scope.spawn(|_| {
+        for worker in 0..n_threads.min(prepared.len()) {
+            let results = &results;
+            let next = &next;
+            let progress = &progress;
+            let fit_hist = &fit_hist;
+            scope.spawn(move |_| {
+                let worker_counter = centipede_obs::counter(&format!("fit.worker.{worker}.urls"));
+                let mut local: Vec<(usize, UrlFit)> = Vec::new();
                 loop {
                     let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     if idx >= prepared.len() {
                         break;
                     }
+                    let start = std::time::Instant::now();
                     let fit = fit_one(&prepared[idx], config, idx as u64);
-                    results.lock()[idx] = Some(fit);
+                    fit_hist.record_duration(start.elapsed());
+                    worker_counter.inc(1);
+                    progress.inc(1);
+                    local.push((idx, fit));
                 }
+                results.lock().append(&mut local);
             });
         }
     })
     .expect("fit fleet worker panicked");
 
-    results
-        .into_inner()
-        .into_iter()
-        .map(|f| f.expect("every URL fitted"))
-        .collect()
+    progress.finish();
+
+    let mut merged = results.into_inner();
+    merged.sort_unstable_by_key(|(idx, _)| *idx);
+    debug_assert_eq!(merged.len(), prepared.len(), "every URL fitted");
+    merged.into_iter().map(|(_, fit)| fit).collect()
 }
 
 /// Fit a single URL (deterministic given `config.seed` and `idx`).
@@ -194,13 +225,7 @@ mod tests {
     #[test]
     fn fits_all_urls_in_order() {
         let urls: Vec<PreparedUrl> = (0..6)
-            .map(|u| {
-                prepared(
-                    u,
-                    &[(0, 7), (3, 7), (10, 6), (12, 0), (40, 7)],
-                    2_000,
-                )
-            })
+            .map(|u| prepared(u, &[(0, 7), (3, 7), (10, 6), (12, 0), (40, 7)], 2_000))
             .collect();
         let fits = fit_urls(&urls, &quick_config());
         assert_eq!(fits.len(), 6);

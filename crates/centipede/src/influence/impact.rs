@@ -88,10 +88,7 @@ impl ImpactMatrix {
 
 /// Compute the Figure 11 impact percentages from per-URL fits.
 pub fn impact_matrix(fits: &[UrlFit]) -> ImpactMatrix {
-    let mut pct = [
-        vec![vec![0.0f64; 8]; 8],
-        vec![vec![0.0f64; 8]; 8],
-    ];
+    let mut pct = [vec![vec![0.0f64; 8]; 8], vec![vec![0.0f64; 8]; 8]];
     for (c, category) in [NewsCategory::Alternative, NewsCategory::Mainstream]
         .into_iter()
         .enumerate()
@@ -101,9 +98,8 @@ pub fn impact_matrix(fits: &[UrlFit]) -> ImpactMatrix {
         for f in fits.iter().filter(|f| f.category == category) {
             for dst in 0..8 {
                 observed[dst] += f.events_per_community[dst] as f64;
-                for src in 0..8 {
-                    caused[src][dst] +=
-                        f.weights.get(src, dst) * f.events_per_community[src] as f64;
+                for (src, row) in caused.iter_mut().enumerate() {
+                    row[dst] += f.weights.get(src, dst) * f.events_per_community[src] as f64;
                 }
             }
         }

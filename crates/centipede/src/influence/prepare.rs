@@ -113,11 +113,8 @@ pub fn prepare_urls(
     summary.gap_overlapping = overlapping.len();
     overlapping.sort_by_key(|&(_, d)| d);
     let n_drop = (overlapping.len() as f64 * config.gap_drop_fraction).floor() as usize;
-    let dropped: std::collections::HashSet<UrlId> = overlapping
-        .iter()
-        .take(n_drop)
-        .map(|&(u, _)| u)
-        .collect();
+    let dropped: std::collections::HashSet<UrlId> =
+        overlapping.iter().take(n_drop).map(|&(u, _)| u).collect();
     summary.dropped = dropped.len();
 
     let mut prepared = Vec::new();
@@ -160,7 +157,12 @@ mod tests {
     use centipede_dataset::platform::Venue;
     use centipede_dataset::time::ymd_to_unix;
 
-    fn eligible_url(events: &mut Vec<NewsEvent>, url: u32, t0: i64, domain: centipede_dataset::domains::DomainId) {
+    fn eligible_url(
+        events: &mut Vec<NewsEvent>,
+        url: u32,
+        t0: i64,
+        domain: centipede_dataset::domains::DomainId,
+    ) {
         events.push(NewsEvent::basic(t0, Venue::Twitter, UrlId(url), domain));
         events.push(NewsEvent::basic(
             t0 + 120,

@@ -243,8 +243,15 @@ impl Table11 {
         let mut t = TextTable::new(
             "Table 11: selected URLs, events, and mean background rates",
             &[
-                "", "The_Donald", "worldnews", "politics", "news", "conspiracy", "AskReddit",
-                "/pol/", "Twitter",
+                "",
+                "The_Donald",
+                "worldnews",
+                "politics",
+                "news",
+                "conspiracy",
+                "AskReddit",
+                "/pol/",
+                "Twitter",
             ],
         );
         let labels = [

@@ -45,8 +45,8 @@
 #![warn(missing_docs)]
 
 pub mod characterization;
-pub mod export;
 pub mod crossplatform;
+pub mod export;
 pub mod influence;
 pub mod pipeline;
 pub mod report;

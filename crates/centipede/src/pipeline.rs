@@ -9,9 +9,9 @@ use centipede_dataset::domains::NewsCategory;
 use centipede_dataset::platform::AnalysisGroup;
 
 use crate::characterization::{
-    dataset_overview, platform_totals, render_table1, render_table2, render_table3,
-    render_table4, render_top_domains, top_domains, top_subreddits, tweet_stats,
-    user_alt_fraction, OverviewRow, PlatformTotalsRow, TweetStatsRow, UserAltFractions,
+    dataset_overview, platform_totals, render_table1, render_table2, render_table3, render_table4,
+    render_top_domains, top_domains, top_subreddits, tweet_stats, user_alt_fraction, OverviewRow,
+    PlatformTotalsRow, TweetStatsRow, UserAltFractions,
 };
 use crate::crossplatform::{
     first_hop_sequences, pair_lags, source_graph, triplet_sequences, FirstHop, PairLagResult,
@@ -23,8 +23,7 @@ use crate::influence::{
 };
 use crate::report::{count_pct, render_series, TextTable};
 use crate::temporal::{
-    appearance_cdf, daily_occurrence, interarrival, repost_lags, DailySeries,
-    InterarrivalResult,
+    appearance_cdf, daily_occurrence, interarrival, repost_lags, DailySeries, InterarrivalResult,
 };
 
 /// Pipeline configuration.
@@ -92,55 +91,108 @@ pub fn run_all<R: Rng + ?Sized>(
     config: &PipelineConfig,
     _rng: &mut R,
 ) -> AnalysisReport {
-    let timelines = dataset.timelines();
+    let _pipeline_span = centipede_obs::span!("pipeline");
+    centipede_obs::counter("pipeline.runs").inc(1);
+    centipede_obs::counter("pipeline.events").inc(dataset.len() as u64);
+
+    let timelines = {
+        let _s = centipede_obs::span!("timelines");
+        dataset.timelines()
+    };
+    centipede_obs::counter("pipeline.urls").inc(timelines.len() as u64);
+
+    /// Run one table/figure stage under its own span.
+    macro_rules! stage {
+        ($name:expr, $body:expr) => {{
+            let _s = centipede_obs::span!($name);
+            $body
+        }};
+    }
 
     // §3 characterization.
-    let table1 = platform_totals(dataset);
-    let table2 = dataset_overview(dataset);
-    let table3 = tweet_stats(dataset);
-    let table4 = top_subreddits(dataset, 20);
-    let mut top = BTreeMap::new();
-    for group in AnalysisGroup::ALL {
-        top.insert(group, top_domains(dataset, group, 20));
-    }
-    let mut fig2 = BTreeMap::new();
-    for cat in NewsCategory::ALL {
-        fig2.insert(cat, crate::characterization::domain_platform_fractions(dataset, cat, 20));
-    }
-    let fig3 = user_alt_fraction(dataset);
+    let _characterization_span = centipede_obs::span!("characterization");
+    let table1 = stage!("table1", platform_totals(dataset));
+    let table2 = stage!("table2", dataset_overview(dataset));
+    let table3 = stage!("table3", tweet_stats(dataset));
+    let table4 = stage!("table4", top_subreddits(dataset, 20));
+    let top = stage!("tables5_6_7", {
+        let mut top = BTreeMap::new();
+        for group in AnalysisGroup::ALL {
+            top.insert(group, top_domains(dataset, group, 20));
+        }
+        top
+    });
+    let fig2 = stage!("fig2", {
+        let mut fig2 = BTreeMap::new();
+        for cat in NewsCategory::ALL {
+            fig2.insert(
+                cat,
+                crate::characterization::domain_platform_fractions(dataset, cat, 20),
+            );
+        }
+        fig2
+    });
+    let fig3 = stage!("fig3", user_alt_fraction(dataset));
+    drop(_characterization_span);
 
     // §4 temporal.
-    let mut fig1 = Vec::new();
-    for cat in NewsCategory::ALL {
-        for (group, ecdf) in appearance_cdf(&timelines, cat) {
-            fig1.push((group, cat, ecdf.max(), ecdf.eval(1.0)));
+    let _temporal_span = centipede_obs::span!("temporal");
+    let fig1 = stage!("fig1", {
+        let mut fig1 = Vec::new();
+        for cat in NewsCategory::ALL {
+            for (group, ecdf) in appearance_cdf(&timelines, cat) {
+                fig1.push((group, cat, ecdf.max(), ecdf.eval(1.0)));
+            }
         }
-    }
-    let fig4 = daily_occurrence(dataset);
-    let mut fig5 = Vec::new();
-    for cat in NewsCategory::ALL {
-        for (group, ecdf) in repost_lags(&timelines, cat) {
-            fig5.push((group, cat, ecdf.quantile(0.5), ecdf.quantile(0.9)));
+        fig1
+    });
+    let fig4 = stage!("fig4", daily_occurrence(dataset));
+    let fig5 = stage!("fig5", {
+        let mut fig5 = Vec::new();
+        for cat in NewsCategory::ALL {
+            for (group, ecdf) in repost_lags(&timelines, cat) {
+                fig5.push((group, cat, ecdf.quantile(0.5), ecdf.quantile(0.9)));
+            }
         }
-    }
-    let mut fig6_common = BTreeMap::new();
-    let mut fig6_all = BTreeMap::new();
-    for cat in NewsCategory::ALL {
-        fig6_common.insert(cat, interarrival(&timelines, cat, true));
-        fig6_all.insert(cat, interarrival(&timelines, cat, false));
-    }
+        fig5
+    });
+    let (fig6_common, fig6_all) = stage!("fig6", {
+        let mut fig6_common = BTreeMap::new();
+        let mut fig6_all = BTreeMap::new();
+        for cat in NewsCategory::ALL {
+            fig6_common.insert(cat, interarrival(&timelines, cat, true));
+            fig6_all.insert(cat, interarrival(&timelines, cat, false));
+        }
+        (fig6_common, fig6_all)
+    });
+    drop(_temporal_span);
 
     // §4.2 cross-platform.
-    let mut lags = Vec::new();
-    let mut table9 = BTreeMap::new();
-    let mut table10 = BTreeMap::new();
-    let mut fig8 = BTreeMap::new();
-    for cat in NewsCategory::ALL {
-        lags.extend(pair_lags(&timelines, cat));
-        table9.insert(cat, first_hop_sequences(&timelines, cat));
-        table10.insert(cat, triplet_sequences(&timelines, cat));
-        fig8.insert(cat, source_graph(&timelines, &dataset.domains, cat));
-    }
+    let _crossplatform_span = centipede_obs::span!("crossplatform");
+    let lags = stage!("fig7_table8", {
+        let mut lags = Vec::new();
+        for cat in NewsCategory::ALL {
+            lags.extend(pair_lags(&timelines, cat));
+        }
+        lags
+    });
+    let (table9, table10) = stage!("tables9_10", {
+        let mut table9 = BTreeMap::new();
+        let mut table10 = BTreeMap::new();
+        for cat in NewsCategory::ALL {
+            table9.insert(cat, first_hop_sequences(&timelines, cat));
+            table10.insert(cat, triplet_sequences(&timelines, cat));
+        }
+        (table9, table10)
+    });
+    let fig8 = stage!("fig8", {
+        let mut fig8 = BTreeMap::new();
+        for cat in NewsCategory::ALL {
+            fig8.insert(cat, source_graph(&timelines, &dataset.domains, cat));
+        }
+        fig8
+    });
+    drop(_crossplatform_span);
 
     // §5 influence.
     let (selection, table11, fig10, fig11) = if config.skip_influence {
@@ -151,11 +203,18 @@ pub fn run_all<R: Rng + ?Sized>(
             None,
         )
     } else {
-        let (prepared, summary) = prepare_urls(dataset, &timelines, &config.selection);
-        let fits = fit_urls(&prepared, &config.fit);
-        let t11 = Table11::from_fits(&fits);
-        let cmp = weight_comparison(&fits);
-        let imp = impact_matrix(&fits);
+        let _influence_span = centipede_obs::span!("influence");
+        let (prepared, summary) = stage!("prepare", {
+            prepare_urls(dataset, &timelines, &config.selection)
+        });
+        let fits = stage!("fit", fit_urls(&prepared, &config.fit));
+        let (t11, cmp, imp) = stage!("aggregate", {
+            (
+                Table11::from_fits(&fits),
+                weight_comparison(&fits),
+                impact_matrix(&fits),
+            )
+        });
         (summary, t11, Some(cmp), Some(imp))
     };
 
@@ -289,7 +348,10 @@ impl AnalysisReport {
         out.push('\n');
 
         // Figure 6 KS results.
-        for (label, map) in [("common URLs", &self.fig6_common), ("all URLs", &self.fig6_all)] {
+        for (label, map) in [
+            ("common URLs", &self.fig6_common),
+            ("all URLs", &self.fig6_all),
+        ] {
             for (cat, res) in map.iter() {
                 for (a, b, ks) in &res.ks {
                     out.push_str(&format!(
@@ -440,7 +502,7 @@ mod tests {
         let text = report.render();
         assert!(text.contains("Table 1"));
         assert!(text.contains("Table 9"));
-        assert!(text.contains("Figure 10") == false);
+        assert!(!text.contains("Figure 10"));
     }
 
     #[test]

@@ -102,7 +102,11 @@ pub fn count_pct(count: u64, total: u64) -> String {
     if total == 0 {
         return format!("{count} (—)");
     }
-    format!("{} ({:.1}%)", group_digits(count), count as f64 / total as f64 * 100.0)
+    format!(
+        "{} ({:.1}%)",
+        group_digits(count),
+        count as f64 / total as f64 * 100.0
+    )
 }
 
 /// Thousands-separated integer formatting (`12,345`).

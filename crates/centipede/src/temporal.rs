@@ -87,9 +87,7 @@ impl OccurrenceSeries {
     pub fn platform(&self) -> Platform {
         match self {
             OccurrenceSeries::Twitter => Platform::Twitter,
-            OccurrenceSeries::SixSubreddits | OccurrenceSeries::OtherSubreddits => {
-                Platform::Reddit
-            }
+            OccurrenceSeries::SixSubreddits | OccurrenceSeries::OtherSubreddits => Platform::Reddit,
             _ => Platform::FourChan,
         }
     }
@@ -267,7 +265,12 @@ mod tests {
             NewsEvent::basic(t0 + 100 + 25 * 3_600, Venue::Twitter, UrlId(0), alt),
             NewsEvent::basic(t0 + 100 + 3_600, Venue::Board("pol".into()), UrlId(0), alt),
             // URL 1: single six-subreddit post.
-            NewsEvent::basic(t0 + 7 * 86_400, Venue::Subreddit("news".into()), UrlId(1), alt),
+            NewsEvent::basic(
+                t0 + 7 * 86_400,
+                Venue::Subreddit("news".into()),
+                UrlId(1),
+                alt,
+            ),
         ];
         dataset_with(ev)
     }

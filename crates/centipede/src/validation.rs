@@ -30,7 +30,11 @@ pub struct RecoveryScore {
 
 /// Score an estimated matrix against the truth.
 pub fn score_recovery(estimated: &Matrix, truth: &Matrix) -> RecoveryScore {
-    assert_eq!(estimated.k(), truth.k(), "score_recovery: dimension mismatch");
+    assert_eq!(
+        estimated.k(),
+        truth.k(),
+        "score_recovery: dimension mismatch"
+    );
     let mae = estimated.mean_abs_diff(truth);
     let pearson_r = pearson(estimated.flat(), truth.flat()).unwrap_or(0.0);
     let spearman_rho = spearman(estimated.flat(), truth.flat()).unwrap_or(0.0);
@@ -162,8 +166,8 @@ mod tests {
         };
         // The_Donald incoming: make alt-greater.
         let td = Community::TheDonald.index();
-        for src in 0..8 {
-            cells[src][td] = CellComparison {
+        for row in cells.iter_mut() {
+            row[td] = CellComparison {
                 alt: 0.06,
                 main: 0.055,
                 pct_diff: 9.0,

@@ -194,7 +194,12 @@ mod tests {
         let events = vec![
             NewsEvent::basic(300, Venue::Board("pol".into()), UrlId(1), breitbart),
             NewsEvent::basic(100, Venue::Twitter, UrlId(1), breitbart),
-            NewsEvent::basic(200, Venue::Subreddit("The_Donald".into()), UrlId(1), breitbart),
+            NewsEvent::basic(
+                200,
+                Venue::Subreddit("The_Donald".into()),
+                UrlId(1),
+                breitbart,
+            ),
             NewsEvent::basic(150, Venue::Subreddit("cats".into()), UrlId(2), nyt),
             NewsEvent::basic(400, Venue::Twitter, UrlId(2), nyt),
         ];

@@ -305,11 +305,7 @@ impl DomainTable {
 
     /// Popularity weights `(id, weight)` for a category on an analysis
     /// group, suitable for categorical sampling.
-    pub fn popularity(
-        &self,
-        category: NewsCategory,
-        group: AnalysisGroup,
-    ) -> Vec<(DomainId, f64)> {
+    pub fn popularity(&self, category: NewsCategory, group: AnalysisGroup) -> Vec<(DomainId, f64)> {
         self.iter()
             .filter(|(_, d)| d.category == category)
             .map(|(id, d)| (id, d.weight(group)))

@@ -68,12 +68,7 @@ mod tests {
 
     #[test]
     fn basic_constructor() {
-        let e = NewsEvent::basic(
-            100,
-            Venue::Subreddit("news".into()),
-            UrlId(1),
-            DomainId(2),
-        );
+        let e = NewsEvent::basic(100, Venue::Subreddit("news".into()), UrlId(1), DomainId(2));
         assert_eq!(e.timestamp, 100);
         assert_eq!(e.venue.platform(), Platform::Reddit);
         assert!(e.user.is_none());

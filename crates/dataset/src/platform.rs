@@ -242,10 +242,7 @@ mod tests {
     #[test]
     fn venue_platform_mapping() {
         assert_eq!(Venue::Twitter.platform(), Platform::Twitter);
-        assert_eq!(
-            Venue::Subreddit("cats".into()).platform(),
-            Platform::Reddit
-        );
+        assert_eq!(Venue::Subreddit("cats".into()).platform(), Platform::Reddit);
         assert_eq!(Venue::Board("pol".into()).platform(), Platform::FourChan);
     }
 

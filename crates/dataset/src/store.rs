@@ -92,8 +92,7 @@ pub fn load(path: &Path) -> Result<Dataset, StoreError> {
     if reader.read_line(&mut header_line)? == 0 {
         return Err(StoreError::MissingHeader);
     }
-    let header: Header =
-        serde_json::from_str(&header_line).map_err(|e| StoreError::Json(0, e))?;
+    let header: Header = serde_json::from_str(&header_line).map_err(|e| StoreError::Json(0, e))?;
     let mut events: Vec<NewsEvent> = Vec::with_capacity(header.n_events);
     for (i, line) in reader.lines().enumerate() {
         let line = line?;
@@ -120,7 +119,10 @@ mod tests {
 
     fn temp_path(name: &str) -> std::path::PathBuf {
         let mut p = std::env::temp_dir();
-        p.push(format!("centipede-store-test-{}-{name}", std::process::id()));
+        p.push(format!(
+            "centipede-store-test-{}-{name}",
+            std::process::id()
+        ));
         p
     }
 

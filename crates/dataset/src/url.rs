@@ -112,7 +112,12 @@ pub fn extract_urls(text: &str) -> Vec<String> {
     let mut i = 0;
     while i < bytes.len() {
         let rest = &text[i..];
-        let start = match rest.find("http://").into_iter().chain(rest.find("https://")).min() {
+        let start = match rest
+            .find("http://")
+            .into_iter()
+            .chain(rest.find("https://"))
+            .min()
+        {
             Some(s) => i + s,
             None => break,
         };
@@ -148,10 +153,7 @@ mod tests {
         let u = canonicalize("https://www.NYTimes.com/2016/11/08/politics/story.html").unwrap();
         assert_eq!(u.host, "nytimes.com");
         assert_eq!(u.path_query, "/2016/11/08/politics/story.html");
-        assert_eq!(
-            u.as_string(),
-            "nytimes.com/2016/11/08/politics/story.html"
-        );
+        assert_eq!(u.as_string(), "nytimes.com/2016/11/08/politics/story.html");
     }
 
     #[test]

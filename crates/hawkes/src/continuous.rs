@@ -361,7 +361,10 @@ pub fn fit_continuous_em(
         counts[e.process] += 1.0;
     }
 
-    let mut mu: Vec<f64> = counts.iter().map(|&c| (c / horizon * 0.5).max(1e-10)).collect();
+    let mut mu: Vec<f64> = counts
+        .iter()
+        .map(|&c| (c / horizon * 0.5).max(1e-10))
+        .collect();
     let mut alpha = Matrix::constant(k, 0.1);
     let mut beta = Matrix::constant(k, config.initial_beta);
 
@@ -407,9 +410,9 @@ pub fn fit_continuous_em(
         for ki in 0..k {
             mu[ki] = (bg[ki] / horizon).max(1e-12);
         }
-        for src in 0..k {
+        for (src, &count) in counts.iter().enumerate() {
             for dst in 0..k {
-                let denom = counts[src].max(1e-12);
+                let denom = count.max(1e-12);
                 alpha.set(src, dst, child_sum.get(src, dst) / denom);
                 if config.estimate_beta {
                     let cs = child_sum.get(src, dst);
@@ -430,10 +433,7 @@ pub fn fit_continuous_em(
         }
         trace.push(ll);
     }
-    (
-        ContinuousHawkes::new(mu, alpha, beta),
-        trace,
-    )
+    (ContinuousHawkes::new(mu, alpha, beta), trace)
 }
 
 #[cfg(test)]
@@ -539,13 +539,13 @@ mod tests {
             assert!(w[1] >= w[0] - 1e-3, "trace decreased: {} -> {}", w[0], w[1]);
         }
         let a = fitted.alpha();
-        assert!(
-            a.get(0, 1) > 0.2,
-            "0→1 edge lost: {}",
-            a.get(0, 1)
-        );
+        assert!(a.get(0, 1) > 0.2, "0→1 edge lost: {}", a.get(0, 1));
         assert!(a.get(0, 1) > 2.0 * a.get(1, 0));
-        assert!((fitted.mu()[0] - 0.02).abs() < 0.01, "mu0={}", fitted.mu()[0]);
+        assert!(
+            (fitted.mu()[0] - 0.02).abs() < 0.01,
+            "mu0={}",
+            fitted.mu()[0]
+        );
     }
 
     #[test]
@@ -575,11 +575,7 @@ mod tests {
 
     #[test]
     fn thinning_background_only_matches_poisson() {
-        let m = ContinuousHawkes::new(
-            vec![0.01, 0.02],
-            Matrix::zeros(2),
-            Matrix::constant(2, 0.1),
-        );
+        let m = ContinuousHawkes::new(vec![0.01, 0.02], Matrix::zeros(2), Matrix::constant(2, 0.1));
         let horizon = 100_000.0;
         let ev = simulate_thinning(&m, horizon, &mut rng(22));
         let r0 = ev.iter().filter(|e| e.process == 0).count() as f64 / horizon;
@@ -601,8 +597,7 @@ mod tests {
 
     #[test]
     fn em_on_empty_events() {
-        let (fitted, _) =
-            fit_continuous_em(&[], 2, 1000.0, &ContinuousEmConfig::default());
+        let (fitted, _) = fit_continuous_em(&[], 2, 1000.0, &ContinuousEmConfig::default());
         assert!(fitted.mu().iter().all(|&m| m <= 1e-9));
     }
 }

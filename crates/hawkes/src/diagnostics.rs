@@ -136,7 +136,9 @@ pub fn time_rescaling_gof(
         let inc: f64 = if first {
             total_rate[..=t as usize].iter().sum()
         } else if t > prev_bin {
-            total_rate[(prev_bin + 1) as usize..=t as usize].iter().sum()
+            total_rate[(prev_bin + 1) as usize..=t as usize]
+                .iter()
+                .sum()
         } else {
             // Tied bin: attribute the bin's mass once more (the
             // discrete-time resolution limit).
@@ -253,11 +255,7 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         let data = simulate(&truth, 60_000, &mut rng);
         // A background-only model with a badly wrong rate.
-        let wrong = DiscreteHawkes::uniform_mixture(
-            vec![0.05, 0.05],
-            Matrix::zeros(2),
-            &basis,
-        );
+        let wrong = DiscreteHawkes::uniform_mixture(vec![0.05, 0.05], Matrix::zeros(2), &basis);
         let gof = time_rescaling_gof(&wrong, &data).expect("enough events");
         assert!(
             gof.p_value < 0.01,
@@ -271,8 +269,7 @@ mod tests {
         use crate::discrete::{BasisSet, DiscreteHawkes};
         use crate::events::EventSeq;
         let basis = BasisSet::uniform(5);
-        let model =
-            DiscreteHawkes::uniform_mixture(vec![0.01], Matrix::zeros(1), &basis);
+        let model = DiscreteHawkes::uniform_mixture(vec![0.01], Matrix::zeros(1), &basis);
         let data = EventSeq::from_points(100, 1, &[(10, 0), (20, 0)]);
         assert!(time_rescaling_gof(&model, &data).is_none());
     }

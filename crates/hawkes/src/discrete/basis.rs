@@ -103,7 +103,11 @@ impl BasisSet {
 
     /// Mass of basis `b` at lag `d ∈ 1..=D`.
     pub fn eval(&self, b: usize, d: usize) -> f64 {
-        debug_assert!(d >= 1 && d <= self.max_lag, "lag {d} out of 1..={}", self.max_lag);
+        debug_assert!(
+            d >= 1 && d <= self.max_lag,
+            "lag {d} out of 1..={}",
+            self.max_lag
+        );
         self.phi[b][d - 1]
     }
 

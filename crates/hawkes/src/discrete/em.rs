@@ -159,8 +159,7 @@ impl EmFitter {
 
             // ---- M-step: MAP updates ------------------------------------
             for ki in 0..k {
-                lambda0[ki] =
-                    ((p.alpha0 - 1.0 + z0[ki]).max(0.0) / (p.beta0 + t_total)).max(1e-12);
+                lambda0[ki] = ((p.alpha0 - 1.0 + z0[ki]).max(0.0) / (p.beta0 + t_total)).max(1e-12);
             }
             for src in 0..k {
                 for dst in 0..k {
@@ -170,13 +169,17 @@ impl EmFitter {
                     let mut exposure = events_per_proc[src];
                     for &(tsrc, remaining) in &truncated {
                         if tsrc == src {
-                            let inside = if remaining == 0 { 0.0 } else { cum[remaining - 1] };
+                            let inside = if remaining == 0 {
+                                0.0
+                            } else {
+                                cum[remaining - 1]
+                            };
                             exposure -= 1.0 - inside;
                         }
                     }
                     exposure = exposure.max(0.0);
-                    let w = (p.alpha_w - 1.0 + n_child.get(src, dst)).max(0.0)
-                        / (p.beta_w + exposure);
+                    let w =
+                        (p.alpha_w - 1.0 + n_child.get(src, dst)).max(0.0) / (p.beta_w + exposure);
                     weights.set(src, dst, w);
                 }
             }
@@ -256,8 +259,7 @@ mod tests {
     #[test]
     fn recovers_background_rate() {
         let basis = BasisSet::uniform(10);
-        let truth =
-            DiscreteHawkes::uniform_mixture(vec![0.05], Matrix::zeros(1), &basis);
+        let truth = DiscreteHawkes::uniform_mixture(vec![0.05], Matrix::zeros(1), &basis);
         let data = simulate(&truth, 40_000, &mut rng(2));
         let fitter = EmFitter::new(EmConfig::default(), basis);
         let result = fitter.fit(&data);

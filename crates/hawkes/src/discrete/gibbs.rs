@@ -197,10 +197,19 @@ impl GibbsSampler {
         let total_sweeps = self.config.burn_in + self.config.n_samples * self.config.thin;
         let mut posterior = Posterior::new(k, self.config.n_samples);
 
+        // Observability: resolve handles once per fit, then record one
+        // counter bump and one timing per sweep (slow-mixing URLs show
+        // up in the `gibbs.sweep_nanos` tail).
+        let sweep_counter = centipede_obs::counter("gibbs.sweeps");
+        let sweep_hist = centipede_obs::histogram("gibbs.sweep_nanos");
+        centipede_obs::counter("gibbs.fits").inc(1);
+        centipede_obs::counter("gibbs.events_seen").inc(events.len() as u64);
+
         // Scratch buffers for the allocation step.
         let mut alloc_weights: Vec<f64> = Vec::new();
 
         for sweep in 0..total_sweeps {
+            let sweep_start = std::time::Instant::now();
             // ---- 1. Parent allocation ---------------------------------
             let mut z0 = vec![0.0f64; k];
             let mut n_child = Matrix::zeros(k);
@@ -266,27 +275,20 @@ impl GibbsSampler {
                     weights.set(
                         src,
                         dst,
-                        sample_gamma(
-                            rng,
-                            p.alpha_w + n_child.get(src, dst),
-                            p.beta_w + exposure,
-                        ),
+                        sample_gamma(rng, p.alpha_w + n_child.get(src, dst), p.beta_w + exposure),
                     );
                 }
             }
 
             // ---- 4. Basis mixtures -------------------------------------
             for pair in 0..k * k {
-                let alpha: Vec<f64> = (0..b)
-                    .map(|bi| p.gamma + m_basis[pair * b + bi])
-                    .collect();
+                let alpha: Vec<f64> = (0..b).map(|bi| p.gamma + m_basis[pair * b + bi]).collect();
                 let draw = Dirichlet::new(alpha).sample(rng);
                 theta[pair * b..pair * b + b].copy_from_slice(&draw);
             }
 
             // ---- 5. Record ---------------------------------------------
-            if sweep >= self.config.burn_in
-                && (sweep - self.config.burn_in) % self.config.thin == 0
+            if sweep >= self.config.burn_in && (sweep - self.config.burn_in) % self.config.thin == 0
             {
                 let ll = if self.config.record_likelihood {
                     let model = DiscreteHawkes::new(
@@ -301,6 +303,9 @@ impl GibbsSampler {
                 };
                 posterior.push(lambda0.clone(), weights.clone(), theta.clone(), ll);
             }
+
+            sweep_hist.record_duration(sweep_start.elapsed());
+            sweep_counter.inc(1);
         }
         posterior
     }
@@ -329,11 +334,7 @@ mod tests {
     #[test]
     fn recovers_background_rate_without_interactions() {
         let basis = BasisSet::uniform(20);
-        let truth = DiscreteHawkes::uniform_mixture(
-            vec![0.05, 0.01],
-            Matrix::zeros(2),
-            &basis,
-        );
+        let truth = DiscreteHawkes::uniform_mixture(vec![0.05, 0.01], Matrix::zeros(2), &basis);
         let data = simulate(&truth, 30_000, &mut rng(1));
         let sampler = GibbsSampler::new(quick_config(100), basis);
         let post = sampler.fit(&data, &mut rng(2));
@@ -374,11 +375,8 @@ mod tests {
     #[test]
     fn self_excitation_detected() {
         let basis = BasisSet::log_gaussian(40, 3);
-        let truth = DiscreteHawkes::uniform_mixture(
-            vec![0.01],
-            Matrix::from_rows(&[&[0.6]]),
-            &basis,
-        );
+        let truth =
+            DiscreteHawkes::uniform_mixture(vec![0.01], Matrix::from_rows(&[&[0.6]]), &basis);
         let data = simulate(&truth, 80_000, &mut rng(5));
         let sampler = GibbsSampler::new(quick_config(150), basis);
         let post = sampler.fit(&data, &mut rng(6));
@@ -419,10 +417,7 @@ mod tests {
         let post = sampler.fit(&data, &mut rng(8));
         assert_eq!(post.n_samples(), 17);
         assert_eq!(post.log_likelihoods().len(), 17);
-        assert!(post
-            .log_likelihoods()
-            .iter()
-            .all(|ll| ll.is_finite()));
+        assert!(post.log_likelihoods().iter().all(|ll| ll.is_finite()));
     }
 
     #[test]

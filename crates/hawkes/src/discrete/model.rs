@@ -202,8 +202,8 @@ impl DiscreteHawkes {
             if lam <= 0.0 {
                 return f64::NEG_INFINITY;
             }
-            point += e.count as f64 * lam.ln()
-                - centipede_stats::special::ln_factorial(e.count as u64);
+            point +=
+                e.count as f64 * lam.ln() - centipede_stats::special::ln_factorial(e.count as u64);
         }
         point - integral
     }
@@ -258,9 +258,9 @@ impl DiscreteHawkes {
         let mut n = first_gen.clone();
         for _ in 0..10_000 {
             let mut next = first_gen.clone();
-            for dst in 0..k {
-                for src in 0..k {
-                    next[dst] += self.weights.get(src, dst) * n[src];
+            for (dst, next_dst) in next.iter_mut().enumerate() {
+                for (src, &n_src) in n.iter().enumerate() {
+                    *next_dst += self.weights.get(src, dst) * n_src;
                 }
             }
             let diff: f64 = next.iter().zip(&n).map(|(a, b)| (a - b).abs()).sum();
@@ -287,20 +287,15 @@ impl DiscreteHawkes {
         if self.branching_ratio() >= 1.0 {
             return None;
         }
-        let k = self.n_processes();
         let mut mu = self.lambda0.clone();
         for _ in 0..10_000 {
             let mut next = self.lambda0.clone();
-            for dst in 0..k {
-                for src in 0..k {
-                    next[dst] += self.weights.get(src, dst) * mu[src];
+            for (dst, next_dst) in next.iter_mut().enumerate() {
+                for (src, &mu_src) in mu.iter().enumerate() {
+                    *next_dst += self.weights.get(src, dst) * mu_src;
                 }
             }
-            let diff: f64 = next
-                .iter()
-                .zip(&mu)
-                .map(|(a, b)| (a - b).abs())
-                .sum();
+            let diff: f64 = next.iter().zip(&mu).map(|(a, b)| (a - b).abs()).sum();
             mu = next;
             if diff < 1e-14 {
                 return Some(mu);
@@ -382,7 +377,8 @@ mod tests {
         let dense = data.to_dense();
         let mut ll = 0.0;
         for (&s, &lam) in dense.iter().zip(&rates) {
-            ll += s as f64 * lam.ln() * if s > 0 { 1.0 } else { 0.0 } - lam
+            ll += s as f64 * lam.ln() * if s > 0 { 1.0 } else { 0.0 }
+                - lam
                 - centipede_stats::special::ln_factorial(s as u64);
         }
         assert!(

@@ -143,11 +143,8 @@ mod tests {
     #[test]
     fn deterministic_under_fixed_seed() {
         let basis = BasisSet::log_gaussian(30, 2);
-        let model = DiscreteHawkes::uniform_mixture(
-            vec![0.05],
-            Matrix::from_rows(&[&[0.5]]),
-            &basis,
-        );
+        let model =
+            DiscreteHawkes::uniform_mixture(vec![0.05], Matrix::from_rows(&[&[0.5]]), &basis);
         let a = simulate(&model, 5000, &mut rng(42));
         let b = simulate(&model, 5000, &mut rng(42));
         assert_eq!(a, b);

@@ -163,7 +163,10 @@ impl EventSeq {
             }
             if j - i > 1 {
                 // Multiple processes share bin t.
-                shared += self.events[i..j].iter().map(|e| e.count as u64).sum::<u64>();
+                shared += self.events[i..j]
+                    .iter()
+                    .map(|e| e.count as u64)
+                    .sum::<u64>();
             }
             i = j;
         }

@@ -1,0 +1,291 @@
+//! Concurrent log-scale histogram.
+//!
+//! Values (typically latencies in nanoseconds) land in geometric
+//! buckets: 8 sub-buckets per power of two, giving ≤ ~9% relative
+//! quantile error (2^(1/8) ≈ 1.09) over the full `u64` range with a
+//! fixed 512-bucket table. Buckets are striped across shards so
+//! concurrent recorders from a thread fleet touch different cache
+//! lines; shards are summed at snapshot time.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-buckets per power of two (log2 granularity).
+const SUBS: usize = 8;
+/// Powers of two covered (u64 exponent range).
+const OCTAVES: usize = 64;
+/// Total buckets.
+const BUCKETS: usize = SUBS * OCTAVES;
+/// Concurrency stripes.
+const SHARDS: usize = 4;
+
+/// A lock-free log-scale histogram.
+pub struct Histogram {
+    shards: Vec<[AtomicU64; BUCKETS]>,
+    count: AtomicU64,
+    /// Sum of recorded values (wraps only after ~1.8e19 total).
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+/// Quantile summary of a [`Histogram`] at one point in time.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct HistogramSnapshot {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Smallest recorded value (0 when empty).
+    pub min: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+    /// Exact mean (`sum / count`; 0 when empty).
+    pub mean: f64,
+    /// Estimated 50th percentile (bucket geometric midpoint).
+    pub p50: u64,
+    /// Estimated 90th percentile.
+    pub p90: u64,
+    /// Estimated 99th percentile.
+    pub p99: u64,
+}
+
+fn bucket_index(value: u64) -> usize {
+    let v = value.max(1);
+    if v < 8 {
+        // Values below the first full octave get exact buckets.
+        return v as usize;
+    }
+    let exp = 63 - v.leading_zeros() as usize;
+    // Top `log2(SUBS)` bits below the leading one.
+    let sub = ((v >> (exp - 3)) & (SUBS as u64 - 1)) as usize;
+    exp * SUBS + sub
+}
+
+/// Midpoint of a bucket's value range (the quantile estimate returned
+/// for values landing in that bucket).
+fn bucket_mid(index: usize) -> u64 {
+    if index < 3 * SUBS {
+        // Exact small-value buckets (only 0..8 are ever populated).
+        return (index % SUBS).max(1) as u64;
+    }
+    let exp = index / SUBS;
+    let sub = index % SUBS;
+    let lo = (1u128 << exp) + (sub as u128) * (1u128 << (exp - 3));
+    let hi = lo + (1u128 << (exp - 3));
+    (((lo + hi) / 2).min(u64::MAX as u128)) as u64
+}
+
+impl Histogram {
+    /// Create an empty histogram.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Histogram {
+            shards: (0..SHARDS)
+                .map(|_| std::array::from_fn(|_| AtomicU64::new(0)))
+                .collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one value (e.g. nanoseconds of elapsed time).
+    pub fn record(&self, value: u64) {
+        let shard = shard_index();
+        self.shards[shard][bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Record a [`std::time::Duration`] in nanoseconds.
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Merge shards and estimate the given quantiles in one pass.
+    /// `qs` must be ascending, each in `[0, 1]`.
+    pub fn quantiles(&self, qs: &[f64]) -> Vec<u64> {
+        let mut merged = [0u64; BUCKETS];
+        for shard in &self.shards {
+            for (m, b) in merged.iter_mut().zip(shard.iter()) {
+                *m += b.load(Ordering::Relaxed);
+            }
+        }
+        let total: u64 = merged.iter().sum();
+        let mut out = Vec::with_capacity(qs.len());
+        if total == 0 {
+            out.resize(qs.len(), 0);
+            return out;
+        }
+        let mut cumulative = 0u64;
+        let mut bucket = 0usize;
+        for &q in qs {
+            let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+            while bucket < BUCKETS && cumulative + merged[bucket] < rank {
+                cumulative += merged[bucket];
+                bucket += 1;
+            }
+            out.push(bucket_mid(bucket.min(BUCKETS - 1)));
+        }
+        out
+    }
+
+    /// Estimate a single quantile.
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.quantiles(&[q])[0]
+    }
+
+    /// Summarise the histogram.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        let sum = self.sum.load(Ordering::Relaxed);
+        let min = self.min.load(Ordering::Relaxed);
+        let qs = self.quantiles(&[0.5, 0.9, 0.99]);
+        HistogramSnapshot {
+            count,
+            sum,
+            min: if count == 0 { 0 } else { min },
+            max: self.max.load(Ordering::Relaxed),
+            mean: if count == 0 {
+                0.0
+            } else {
+                sum as f64 / count as f64
+            },
+            p50: qs[0],
+            p90: qs[1],
+            p99: qs[2],
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Stable per-thread stripe assignment.
+fn shard_index() -> usize {
+    use std::sync::atomic::AtomicUsize;
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SHARD: usize = NEXT.fetch_add(1, Ordering::Relaxed) % SHARDS;
+    }
+    SHARD.with(|s| *s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_snapshot_is_zero() {
+        let h = Histogram::new();
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p50, 0);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn quantiles_on_uniform_distribution() {
+        let h = Histogram::new();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 100_000);
+        // Log-bucket resolution is ~9%; allow 12% relative error.
+        for (got, want) in [(s.p50, 50_000.0), (s.p90, 90_000.0), (s.p99, 99_000.0)] {
+            let rel = (got as f64 - want).abs() / want;
+            assert!(rel < 0.12, "got {got}, want {want} (rel {rel:.3})");
+        }
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 100_000);
+        let mean_want = 50_000.5;
+        assert!((s.mean - mean_want).abs() / mean_want < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_on_bimodal_distribution() {
+        let h = Histogram::new();
+        // 90% fast (~1_000), 10% slow (~1_000_000).
+        for _ in 0..9_000 {
+            h.record(1_000);
+        }
+        for _ in 0..1_000 {
+            h.record(1_000_000);
+        }
+        let s = h.snapshot();
+        assert!(
+            (s.p50 as f64 - 1_000.0).abs() / 1_000.0 < 0.12,
+            "p50={}",
+            s.p50
+        );
+        assert!(
+            (s.p99 as f64 - 1_000_000.0).abs() / 1_000_000.0 < 0.12,
+            "p99={}",
+            s.p99
+        );
+    }
+
+    #[test]
+    fn monotone_quantiles() {
+        let h = Histogram::new();
+        let mut x = 1u64;
+        for i in 0..10_000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(i) % 10_000_000;
+            h.record(x);
+        }
+        let qs = h.quantiles(&[0.1, 0.25, 0.5, 0.75, 0.9, 0.99]);
+        for pair in qs.windows(2) {
+            assert!(pair[0] <= pair[1], "quantiles not monotone: {qs:?}");
+        }
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(Histogram::new());
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(1 + t * 10_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 80_000);
+        // All recorded values are ≤ 80_000, so the top quantile must
+        // land in a bucket near that bound.
+        let p100 = h.quantile(1.0);
+        assert!(p100 <= 90_000, "p100={p100}");
+    }
+
+    #[test]
+    fn extreme_values_do_not_panic() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert!(s.p99 > 0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Lightweight observability for the web-centipede workspace.
+//!
+//! Three pieces, all std-only and cheap enough for inner loops:
+//!
+//! * [`MetricsRegistry`] — named counters, gauges, and log-scale
+//!   latency histograms (p50/p90/p99) backed by atomics. Handles are
+//!   `Arc`s: look a metric up once, then increment lock-free.
+//! * [`span!`] — scoped wall-clock timers that nest through a
+//!   thread-local stack, producing a stage tree
+//!   (`pipeline/influence/fit`) in the snapshot.
+//! * [`Sink`] — pluggable outputs: a rate-limited stderr progress
+//!   reporter ("fitted 124/512 URLs, 38 fits/s, ETA 10s") and a JSON
+//!   exporter writing a `metrics.json` snapshot in the flat
+//!   `BENCH_*.json`-style name→value trajectory format.
+//!
+//! The workspace shares one [`global()`] registry so instrumentation
+//! needs no plumbing; libraries call `obs::counter("...")` /
+//! `obs::span!("...")` and binaries decide verbosity and export.
+//!
+//! ```
+//! let _outer = centipede_obs::span!("pipeline");
+//! {
+//!     let _inner = centipede_obs::span!("pipeline.table1");
+//!     centipede_obs::counter("pipeline.rows").inc(3);
+//! }
+//! let snap = centipede_obs::global().snapshot();
+//! assert_eq!(snap.counters["pipeline.rows"], 3);
+//! ```
+
+pub mod histogram;
+pub mod progress;
+pub mod registry;
+pub mod sink;
+pub mod snapshot;
+pub mod span;
+
+pub use histogram::{Histogram, HistogramSnapshot};
+pub use progress::ProgressMeter;
+pub use registry::{Counter, Gauge, MetricsRegistry};
+pub use sink::{JsonExporter, Sink, StderrReporter, Verbosity};
+pub use snapshot::{MetricsSnapshot, SpanSnapshot};
+pub use span::SpanGuard;
+
+use std::sync::OnceLock;
+
+static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+
+/// The process-wide registry used by the workspace's instrumentation.
+pub fn global() -> &'static MetricsRegistry {
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+/// Look up (or create) a counter in the global registry.
+pub fn counter(name: &str) -> Counter {
+    global().counter(name)
+}
+
+/// Look up (or create) a gauge in the global registry.
+pub fn gauge(name: &str) -> Gauge {
+    global().gauge(name)
+}
+
+/// Look up (or create) a histogram in the global registry.
+pub fn histogram(name: &str) -> std::sync::Arc<Histogram> {
+    global().histogram(name)
+}
+
+/// Set a string label (e.g. `fit.estimator = "gibbs"`) in the global
+/// registry.
+pub fn set_label(name: &str, value: &str) {
+    global().set_label(name, value);
+}
+
+/// Start a nested wall-clock span in the global registry.
+///
+/// Prefer the [`span!`] macro, which reads better at call sites.
+pub fn start_span(name: &str) -> SpanGuard {
+    SpanGuard::enter(global(), name)
+}
+
+/// Scoped timer: records wall-clock into the global registry's span
+/// tree when the guard drops.
+///
+/// ```
+/// let _guard = centipede_obs::span!("pipeline.fit_urls");
+/// // ... timed work ...
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::start_span($name)
+    };
+}

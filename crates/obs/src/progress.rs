@@ -1,0 +1,128 @@
+//! Progress metering for long-running fleets.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use crate::registry::MetricsRegistry;
+
+/// Tracks a queue being drained and reports rate/ETA through the
+/// registry's sinks. Shared freely across worker threads.
+///
+/// ```
+/// let reg = centipede_obs::global();
+/// let meter = centipede_obs::ProgressMeter::new(reg, "fit.urls", 512);
+/// meter.inc(1); // from any thread, once per completed item
+/// meter.finish();
+/// ```
+pub struct ProgressMeter {
+    registry: &'static MetricsRegistry,
+    label: String,
+    total: u64,
+    done: AtomicU64,
+    start: Instant,
+}
+
+impl ProgressMeter {
+    /// Start metering `total` items under `label` (0 = unknown total).
+    pub fn new(registry: &'static MetricsRegistry, label: &str, total: u64) -> Self {
+        ProgressMeter {
+            registry,
+            label: label.to_string(),
+            total,
+            done: AtomicU64::new(0),
+            start: Instant::now(),
+        }
+    }
+
+    /// Record `n` completed items and notify sinks (sinks rate-limit).
+    pub fn inc(&self, n: u64) {
+        let done = self.done.fetch_add(n, Ordering::Relaxed) + n;
+        self.emit(done);
+    }
+
+    /// Items completed so far.
+    pub fn done(&self) -> u64 {
+        self.done.load(Ordering::Relaxed)
+    }
+
+    /// Items/sec since the meter started.
+    pub fn rate(&self) -> f64 {
+        let elapsed = self.start.elapsed().as_secs_f64();
+        if elapsed <= 0.0 {
+            0.0
+        } else {
+            self.done() as f64 / elapsed
+        }
+    }
+
+    /// Force a final report (e.g. after the queue drains).
+    pub fn finish(&self) {
+        self.emit(self.done());
+    }
+
+    fn emit(&self, done: u64) {
+        let rate = self.rate();
+        let eta = if rate > 0.0 && self.total > done {
+            (self.total - done) as f64 / rate
+        } else {
+            0.0
+        };
+        self.registry
+            .progress(&self.label, done, self.total, rate, eta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::Sink;
+    use crate::snapshot::MetricsSnapshot;
+    use std::sync::{Arc, Mutex};
+
+    struct Capture(Mutex<Vec<(u64, u64)>>);
+    impl Sink for Capture {
+        fn progress(&self, _label: &str, done: u64, total: u64, _rate: f64, _eta: f64) {
+            self.0.lock().unwrap().push((done, total));
+        }
+        fn export(&self, _s: &MetricsSnapshot) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn leaked_registry() -> &'static MetricsRegistry {
+        Box::leak(Box::new(MetricsRegistry::new()))
+    }
+
+    #[test]
+    fn meter_counts_and_notifies() {
+        let reg = leaked_registry();
+        let cap = Arc::new(Capture(Mutex::new(Vec::new())));
+        reg.add_sink(cap.clone());
+        let meter = ProgressMeter::new(reg, "queue", 10);
+        for _ in 0..10 {
+            meter.inc(1);
+        }
+        assert_eq!(meter.done(), 10);
+        let events = cap.0.lock().unwrap();
+        assert_eq!(events.len(), 10);
+        assert_eq!(*events.last().unwrap(), (10, 10));
+    }
+
+    #[test]
+    fn concurrent_increments_are_exact() {
+        let reg = leaked_registry();
+        let meter = Arc::new(ProgressMeter::new(reg, "fleet", 4_000));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let meter = meter.clone();
+                s.spawn(move || {
+                    for _ in 0..1_000 {
+                        meter.inc(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(meter.done(), 4_000);
+        assert!(meter.rate() > 0.0);
+    }
+}

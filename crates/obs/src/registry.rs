@@ -1,0 +1,357 @@
+//! The metrics registry: named counters, gauges, histograms, string
+//! labels, and the span tree.
+//!
+//! Lookup takes a short-lived `RwLock`; the returned handles are
+//! `Arc`-backed atomics, so hot paths resolve their metric once and
+//! then increment lock-free.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+use crate::histogram::Histogram;
+use crate::sink::Sink;
+use crate::snapshot::{MetricsSnapshot, SpanSnapshot};
+
+/// A monotonically increasing counter handle.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add `n` to the counter.
+    pub fn inc(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins floating-point gauge handle.
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Set the gauge.
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Aggregated statistics for one span path.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SpanStats {
+    pub count: u64,
+    pub total_nanos: u64,
+    pub min_nanos: u64,
+    pub max_nanos: u64,
+}
+
+/// The registry. One lives as the process-wide [`crate::global()`];
+/// tests construct private ones.
+pub struct MetricsRegistry {
+    counters: RwLock<HashMap<String, Counter>>,
+    gauges: RwLock<HashMap<String, Gauge>>,
+    histograms: RwLock<HashMap<String, Arc<Histogram>>>,
+    labels: RwLock<BTreeMap<String, String>>,
+    /// Span path (`"pipeline/influence/fit"`) → aggregated timings.
+    /// Also remembers first-seen order so snapshots render the stage
+    /// tree in execution order.
+    pub(crate) spans: Mutex<SpanTable>,
+    sinks: RwLock<Vec<Arc<dyn Sink>>>,
+}
+
+#[derive(Default)]
+pub(crate) struct SpanTable {
+    pub stats: HashMap<String, SpanStats>,
+    pub order: Vec<String>,
+}
+
+impl MetricsRegistry {
+    /// Create an empty registry.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        MetricsRegistry {
+            counters: RwLock::new(HashMap::new()),
+            gauges: RwLock::new(HashMap::new()),
+            histograms: RwLock::new(HashMap::new()),
+            labels: RwLock::new(BTreeMap::new()),
+            spans: Mutex::new(SpanTable::default()),
+            sinks: RwLock::new(Vec::new()),
+        }
+    }
+
+    /// Look up (or create) a counter.
+    pub fn counter(&self, name: &str) -> Counter {
+        if let Some(c) = self.counters.read().unwrap().get(name) {
+            return c.clone();
+        }
+        self.counters
+            .write()
+            .unwrap()
+            .entry(name.to_string())
+            .or_insert_with(|| Counter(Arc::new(AtomicU64::new(0))))
+            .clone()
+    }
+
+    /// Look up (or create) a gauge.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        if let Some(g) = self.gauges.read().unwrap().get(name) {
+            return g.clone();
+        }
+        self.gauges
+            .write()
+            .unwrap()
+            .entry(name.to_string())
+            .or_insert_with(|| Gauge(Arc::new(AtomicU64::new(0f64.to_bits()))))
+            .clone()
+    }
+
+    /// Look up (or create) a histogram.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        if let Some(h) = self.histograms.read().unwrap().get(name) {
+            return h.clone();
+        }
+        self.histograms
+            .write()
+            .unwrap()
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(Histogram::new()))
+            .clone()
+    }
+
+    /// Set a string label (estimator names, config echoes, ...).
+    pub fn set_label(&self, name: &str, value: &str) {
+        self.labels
+            .write()
+            .unwrap()
+            .insert(name.to_string(), value.to_string());
+    }
+
+    /// Register `path` in first-*entry* order so the snapshot's stage
+    /// tree lists parents before their children (guards record stats
+    /// on drop, which is post-order).
+    pub(crate) fn note_span(&self, path: &str) {
+        let mut table = self.spans.lock().unwrap();
+        if !table.stats.contains_key(path) {
+            table.order.push(path.to_string());
+            table.stats.insert(path.to_string(), SpanStats::default());
+        }
+    }
+
+    /// Record one completed span occurrence under `path`.
+    pub(crate) fn record_span(&self, path: &str, nanos: u64) {
+        let mut table = self.spans.lock().unwrap();
+        if !table.stats.contains_key(path) {
+            table.order.push(path.to_string());
+        }
+        let s = table.stats.entry(path.to_string()).or_default();
+        s.count += 1;
+        s.total_nanos += nanos;
+        s.max_nanos = s.max_nanos.max(nanos);
+        s.min_nanos = if s.count == 1 {
+            nanos
+        } else {
+            s.min_nanos.min(nanos)
+        };
+    }
+
+    /// Attach a sink. Sinks receive progress events as they happen and
+    /// the snapshot on [`MetricsRegistry::flush`].
+    pub fn add_sink(&self, sink: Arc<dyn Sink>) {
+        self.sinks.write().unwrap().push(sink);
+    }
+
+    /// Remove every attached sink (used by binaries between phases and
+    /// by tests).
+    pub fn clear_sinks(&self) {
+        self.sinks.write().unwrap().clear();
+    }
+
+    /// Fan an event closure out to every sink.
+    pub(crate) fn each_sink(&self, mut f: impl FnMut(&dyn Sink)) {
+        for sink in self.sinks.read().unwrap().iter() {
+            f(sink.as_ref());
+        }
+    }
+
+    /// Report progress on a long-running queue to all sinks
+    /// (rate-limiting is the sink's concern). Prefer
+    /// [`crate::ProgressMeter`], which computes rate and ETA.
+    pub fn progress(&self, label: &str, done: u64, total: u64, rate: f64, eta_secs: f64) {
+        self.each_sink(|s| s.progress(label, done, total, rate, eta_secs));
+    }
+
+    /// Send a free-form message to all sinks.
+    pub fn message(&self, text: &str) {
+        self.each_sink(|s| s.message(text));
+    }
+
+    /// Capture a point-in-time snapshot of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let gauges = self
+            .gauges
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let histograms = self
+            .histograms
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect();
+        let labels = self.labels.read().unwrap().clone();
+        let spans = {
+            let table = self.spans.lock().unwrap();
+            table
+                .order
+                .iter()
+                // Spans entered but not yet dropped have no timings.
+                .filter(|path| table.stats[path.as_str()].count > 0)
+                .map(|path| {
+                    let s = &table.stats[path];
+                    SpanSnapshot {
+                        path: path.clone(),
+                        count: s.count,
+                        total_secs: s.total_nanos as f64 / 1e9,
+                        mean_secs: s.total_nanos as f64 / 1e9 / s.count.max(1) as f64,
+                        min_secs: s.min_nanos as f64 / 1e9,
+                        max_secs: s.max_nanos as f64 / 1e9,
+                    }
+                })
+                .collect()
+        };
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+            labels,
+            spans,
+        }
+    }
+
+    /// Snapshot and hand the result to every sink's `export`.
+    pub fn flush(&self) -> std::io::Result<MetricsSnapshot> {
+        let snap = self.snapshot();
+        let mut result = Ok(());
+        self.each_sink(|s| {
+            if let Err(e) = s.export(&snap) {
+                result = Err(e);
+            }
+        });
+        result.map(|()| snap)
+    }
+
+    /// Drop every metric, label, span, and sink (test isolation).
+    pub fn reset(&self) {
+        self.counters.write().unwrap().clear();
+        self.gauges.write().unwrap().clear();
+        self.histograms.write().unwrap().clear();
+        self.labels.write().unwrap().clear();
+        let mut spans = self.spans.lock().unwrap();
+        spans.stats.clear();
+        spans.order.clear();
+        self.sinks.write().unwrap().clear();
+    }
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_handles_share_state() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.inc(2);
+        b.inc(3);
+        assert_eq!(reg.counter("x").get(), 5);
+    }
+
+    #[test]
+    fn concurrent_counter_increments_sum_exactly() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let reg = reg.clone();
+                std::thread::spawn(move || {
+                    let c = reg.counter("hits");
+                    for _ in 0..50_000 {
+                        c.inc(1);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(reg.counter("hits").get(), 400_000);
+    }
+
+    #[test]
+    fn gauge_stores_floats() {
+        let reg = MetricsRegistry::new();
+        reg.gauge("rate").set(38.25);
+        assert_eq!(reg.gauge("rate").get(), 38.25);
+        reg.gauge("rate").set(-1.5);
+        assert_eq!(reg.gauge("rate").get(), -1.5);
+    }
+
+    #[test]
+    fn snapshot_collects_everything() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c").inc(7);
+        reg.gauge("g").set(1.25);
+        reg.histogram("h").record(100);
+        reg.set_label("estimator", "gibbs");
+        reg.record_span("root", 1_000_000);
+        reg.record_span("root/child", 400_000);
+        reg.record_span("root/child", 600_000);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["c"], 7);
+        assert_eq!(snap.gauges["g"], 1.25);
+        assert_eq!(snap.histograms["h"].count, 1);
+        assert_eq!(snap.labels["estimator"], "gibbs");
+        assert_eq!(snap.spans.len(), 2);
+        let child = snap.spans.iter().find(|s| s.path == "root/child").unwrap();
+        assert_eq!(child.count, 2);
+        assert!((child.total_secs - 0.001).abs() < 1e-12);
+        assert!((child.min_secs - 0.0004).abs() < 1e-12);
+        assert!((child.max_secs - 0.0006).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_clears_all() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c").inc(1);
+        reg.record_span("s", 5);
+        reg.reset();
+        let snap = reg.snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.spans.is_empty());
+    }
+}

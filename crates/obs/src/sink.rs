@@ -1,0 +1,230 @@
+//! Pluggable metric sinks.
+//!
+//! * [`StderrReporter`] — human-readable, rate-limited progress lines
+//!   and a final span tree, honouring a [`Verbosity`] level.
+//! * [`JsonExporter`] — writes the [`MetricsSnapshot`] JSON to a file
+//!   on flush (`repro --metrics PATH`).
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::snapshot::MetricsSnapshot;
+
+/// How chatty the stderr reporter is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Verbosity {
+    /// No progress or messages (errors still surface elsewhere).
+    Quiet,
+    /// Progress lines and messages (default).
+    Normal,
+    /// Everything, plus the span tree and metric totals on flush.
+    Verbose,
+}
+
+/// A destination for observability output.
+pub trait Sink: Send + Sync {
+    /// A long-running queue advanced: `done`/`total` items, current
+    /// `rate` items/sec, estimated seconds remaining.
+    fn progress(&self, label: &str, done: u64, total: u64, rate: f64, eta_secs: f64) {
+        let _ = (label, done, total, rate, eta_secs);
+    }
+
+    /// A free-form status message.
+    fn message(&self, text: &str) {
+        let _ = text;
+    }
+
+    /// A snapshot flush (end of run).
+    fn export(&self, snapshot: &MetricsSnapshot) -> std::io::Result<()> {
+        let _ = snapshot;
+        Ok(())
+    }
+}
+
+/// Rate-limited human-readable stderr reporter.
+pub struct StderrReporter {
+    verbosity: Verbosity,
+    min_interval: Duration,
+    /// Last emission instant per progress label, and whether the
+    /// completion line was already printed for it.
+    last: Mutex<HashMap<String, (Instant, bool)>>,
+}
+
+impl StderrReporter {
+    /// Reporter with the default 250 ms per-label rate limit.
+    pub fn new(verbosity: Verbosity) -> Self {
+        StderrReporter {
+            verbosity,
+            min_interval: Duration::from_millis(250),
+            last: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Override the per-label rate limit (tests use zero).
+    pub fn with_min_interval(mut self, interval: Duration) -> Self {
+        self.min_interval = interval;
+        self
+    }
+
+    fn should_emit(&self, label: &str, finished: bool) -> bool {
+        if self.verbosity == Verbosity::Quiet {
+            return false;
+        }
+        let mut last = self.last.lock().unwrap();
+        let now = Instant::now();
+        if finished {
+            // Completion bypasses the rate limit but prints once.
+            return match last.insert(label.to_string(), (now, true)) {
+                Some((_, already_finished)) => !already_finished,
+                None => true,
+            };
+        }
+        match last.get(label) {
+            Some((prev, _)) if now.duration_since(*prev) < self.min_interval => false,
+            _ => {
+                last.insert(label.to_string(), (now, false));
+                true
+            }
+        }
+    }
+}
+
+/// `"3m12s"`-style compact duration.
+fn human_secs(secs: f64) -> String {
+    if !secs.is_finite() || secs < 0.0 {
+        return "?".to_string();
+    }
+    let s = secs.round() as u64;
+    if s >= 3600 {
+        format!("{}h{:02}m", s / 3600, (s % 3600) / 60)
+    } else if s >= 60 {
+        format!("{}m{:02}s", s / 60, s % 60)
+    } else {
+        format!("{s}s")
+    }
+}
+
+impl Sink for StderrReporter {
+    fn progress(&self, label: &str, done: u64, total: u64, rate: f64, eta_secs: f64) {
+        let finished = total > 0 && done >= total;
+        if !self.should_emit(label, finished) {
+            return;
+        }
+        if total > 0 {
+            eprintln!(
+                "[obs] {label}: {done}/{total} ({:.0}%), {rate:.1}/s, ETA {}",
+                done as f64 / total as f64 * 100.0,
+                if finished {
+                    "done".to_string()
+                } else {
+                    human_secs(eta_secs)
+                },
+            );
+        } else {
+            eprintln!("[obs] {label}: {done} done, {rate:.1}/s");
+        }
+    }
+
+    fn message(&self, text: &str) {
+        if self.verbosity > Verbosity::Quiet {
+            eprintln!("[obs] {text}");
+        }
+    }
+
+    fn export(&self, snapshot: &MetricsSnapshot) -> std::io::Result<()> {
+        if self.verbosity >= Verbosity::Verbose {
+            eprintln!("[obs] stage tree:");
+            for line in snapshot.render_span_tree().lines() {
+                eprintln!("[obs]   {line}");
+            }
+            for (name, h) in &snapshot.histograms {
+                eprintln!(
+                    "[obs] histogram {name}: n={} p50={} p90={} p99={}",
+                    h.count, h.p50, h.p90, h.p99
+                );
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Writes the snapshot JSON to a file on flush.
+pub struct JsonExporter {
+    path: PathBuf,
+}
+
+impl JsonExporter {
+    /// Export to `path` (created/truncated at flush time).
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        JsonExporter { path: path.into() }
+    }
+}
+
+impl Sink for JsonExporter {
+    fn export(&self, snapshot: &MetricsSnapshot) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(&self.path)?;
+        f.write_all(snapshot.to_json().as_bytes())?;
+        f.write_all(b"\n")?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+
+    #[test]
+    fn quiet_reporter_emits_nothing() {
+        let r = StderrReporter::new(Verbosity::Quiet);
+        assert!(!r.should_emit("x", false));
+        assert!(!r.should_emit("x", true));
+    }
+
+    #[test]
+    fn rate_limit_suppresses_rapid_updates() {
+        let r = StderrReporter::new(Verbosity::Normal);
+        assert!(r.should_emit("fit", false));
+        assert!(!r.should_emit("fit", false), "second emit within 250ms");
+        assert!(r.should_emit("other-label", false), "labels independent");
+        assert!(r.should_emit("fit", true), "completion bypasses rate limit");
+        assert!(!r.should_emit("fit", true), "completion prints only once");
+    }
+
+    #[test]
+    fn human_secs_formats() {
+        assert_eq!(human_secs(5.2), "5s");
+        assert_eq!(human_secs(65.0), "1m05s");
+        assert_eq!(human_secs(3_700.0), "1h01m");
+        assert_eq!(human_secs(f64::INFINITY), "?");
+    }
+
+    #[test]
+    fn json_exporter_writes_file() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a").inc(1);
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("obs-test-{}.json", std::process::id()));
+        let exporter = JsonExporter::new(&path);
+        exporter.export(&reg.snapshot()).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"a\":1"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn registry_flush_reaches_sinks() {
+        let reg = MetricsRegistry::new();
+        reg.counter("flushed").inc(9);
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("obs-flush-{}.json", std::process::id()));
+        reg.add_sink(std::sync::Arc::new(JsonExporter::new(&path)));
+        let snap = reg.flush().unwrap();
+        assert_eq!(snap.counters["flushed"], 9);
+        assert!(std::fs::read_to_string(&path).unwrap().contains("flushed"));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,354 @@
+//! Point-in-time snapshot of a [`crate::MetricsRegistry`].
+//!
+//! The snapshot serialises two ways:
+//!
+//! * through serde (`Serialize`/`Deserialize` derives) for embedding
+//!   in other reports, and
+//! * via [`MetricsSnapshot::to_json`], a dependency-free writer used
+//!   by [`crate::JsonExporter`]. Its output contains a flat
+//!   `"metrics"` name→number map — the same shape as the
+//!   `BENCH_*.json` trajectory files — alongside the structured
+//!   sections.
+
+use std::collections::BTreeMap;
+
+use crate::histogram::HistogramSnapshot;
+
+/// Timing summary for one span path.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SpanSnapshot {
+    /// `/`-joined stage path, e.g. `pipeline/influence/fit`.
+    pub path: String,
+    /// Number of completed occurrences.
+    pub count: u64,
+    /// Total wall-clock across occurrences, seconds.
+    pub total_secs: f64,
+    /// Mean wall-clock per occurrence, seconds.
+    pub mean_secs: f64,
+    /// Fastest occurrence, seconds.
+    pub min_secs: f64,
+    /// Slowest occurrence, seconds.
+    pub max_secs: f64,
+}
+
+impl SpanSnapshot {
+    /// Nesting depth (root = 0).
+    pub fn depth(&self) -> usize {
+        self.path.matches('/').count()
+    }
+
+    /// Last path segment.
+    pub fn name(&self) -> &str {
+        self.path.rsplit('/').next().unwrap_or(&self.path)
+    }
+}
+
+/// Everything a registry knows, frozen at one instant.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// String labels by name.
+    pub labels: BTreeMap<String, String>,
+    /// Span timings in first-execution order.
+    pub spans: Vec<SpanSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// The flat name→value trajectory map: counters and gauges as-is,
+    /// histograms unrolled to `name.count/.p50/.p90/.p99/.mean`, spans
+    /// to `span.<path>.secs` (total) and `.count`.
+    pub fn flat_metrics(&self) -> BTreeMap<String, f64> {
+        let mut out = BTreeMap::new();
+        for (k, v) in &self.counters {
+            out.insert(k.clone(), *v as f64);
+        }
+        for (k, v) in &self.gauges {
+            out.insert(k.clone(), *v);
+        }
+        for (k, h) in &self.histograms {
+            out.insert(format!("{k}.count"), h.count as f64);
+            out.insert(format!("{k}.mean"), h.mean);
+            out.insert(format!("{k}.p50"), h.p50 as f64);
+            out.insert(format!("{k}.p90"), h.p90 as f64);
+            out.insert(format!("{k}.p99"), h.p99 as f64);
+        }
+        for s in &self.spans {
+            let key = s.path.replace('/', ".");
+            out.insert(format!("span.{key}.secs"), s.total_secs);
+            out.insert(format!("span.{key}.count"), s.count as f64);
+        }
+        out
+    }
+
+    /// Serialise to a JSON string without external dependencies.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.open_object();
+        w.key("schema");
+        w.string("centipede-metrics/v1");
+        w.key("labels");
+        w.open_object();
+        for (k, v) in &self.labels {
+            w.key(k);
+            w.string(v);
+        }
+        w.close_object();
+        w.key("counters");
+        w.open_object();
+        for (k, v) in &self.counters {
+            w.key(k);
+            w.number(*v as f64);
+        }
+        w.close_object();
+        w.key("gauges");
+        w.open_object();
+        for (k, v) in &self.gauges {
+            w.key(k);
+            w.number(*v);
+        }
+        w.close_object();
+        w.key("histograms");
+        w.open_object();
+        for (k, h) in &self.histograms {
+            w.key(k);
+            w.open_object();
+            for (field, value) in [
+                ("count", h.count as f64),
+                ("sum", h.sum as f64),
+                ("min", h.min as f64),
+                ("max", h.max as f64),
+                ("mean", h.mean),
+                ("p50", h.p50 as f64),
+                ("p90", h.p90 as f64),
+                ("p99", h.p99 as f64),
+            ] {
+                w.key(field);
+                w.number(value);
+            }
+            w.close_object();
+        }
+        w.close_object();
+        w.key("spans");
+        w.open_array();
+        for s in &self.spans {
+            w.open_object();
+            w.key("path");
+            w.string(&s.path);
+            for (field, value) in [
+                ("count", s.count as f64),
+                ("total_secs", s.total_secs),
+                ("mean_secs", s.mean_secs),
+                ("min_secs", s.min_secs),
+                ("max_secs", s.max_secs),
+            ] {
+                w.key(field);
+                w.number(value);
+            }
+            w.close_object();
+        }
+        w.close_array();
+        w.key("metrics");
+        w.open_object();
+        for (k, v) in self.flat_metrics() {
+            w.key(&k);
+            w.number(v);
+        }
+        w.close_object();
+        w.close_object();
+        w.finish()
+    }
+
+    /// Render the span tree as indented text for stderr reporting.
+    pub fn render_span_tree(&self) -> String {
+        let mut out = String::new();
+        for s in &self.spans {
+            let indent = "  ".repeat(s.depth());
+            out.push_str(&format!(
+                "{indent}{:<width$} {:>9.3}s",
+                s.name(),
+                s.total_secs,
+                width = 32usize.saturating_sub(indent.len()),
+            ));
+            if s.count > 1 {
+                out.push_str(&format!("  ×{} (mean {:.4}s)", s.count, s.mean_secs));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Tiny JSON emitter: tracks nesting to place commas, escapes strings,
+/// writes non-finite floats as `null`.
+struct JsonWriter {
+    buf: String,
+    needs_comma: Vec<bool>,
+}
+
+impl JsonWriter {
+    fn new() -> Self {
+        JsonWriter {
+            buf: String::new(),
+            needs_comma: Vec::new(),
+        }
+    }
+
+    fn pre_value(&mut self) {
+        if let Some(top) = self.needs_comma.last_mut() {
+            if *top {
+                self.buf.push(',');
+            }
+            *top = true;
+        }
+    }
+
+    fn open_object(&mut self) {
+        self.pre_value();
+        self.buf.push('{');
+        self.needs_comma.push(false);
+    }
+
+    fn close_object(&mut self) {
+        self.needs_comma.pop();
+        self.buf.push('}');
+    }
+
+    fn open_array(&mut self) {
+        self.pre_value();
+        self.buf.push('[');
+        self.needs_comma.push(false);
+    }
+
+    fn close_array(&mut self) {
+        self.needs_comma.pop();
+        self.buf.push(']');
+    }
+
+    fn key(&mut self, k: &str) {
+        self.pre_value();
+        self.push_escaped(k);
+        self.buf.push(':');
+        // The upcoming value must not add another comma.
+        if let Some(top) = self.needs_comma.last_mut() {
+            *top = false;
+        }
+    }
+
+    fn string(&mut self, s: &str) {
+        self.pre_value();
+        self.push_escaped(s);
+    }
+
+    fn number(&mut self, v: f64) {
+        self.pre_value();
+        if !v.is_finite() {
+            self.buf.push_str("null");
+        } else if v == v.trunc() && v.abs() < 9e15 {
+            self.buf.push_str(&format!("{}", v as i64));
+        } else {
+            self.buf.push_str(&format!("{v}"));
+        }
+    }
+
+    fn push_escaped(&mut self, s: &str) {
+        self.buf.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.buf.push_str("\\\""),
+                '\\' => self.buf.push_str("\\\\"),
+                '\n' => self.buf.push_str("\\n"),
+                '\r' => self.buf.push_str("\\r"),
+                '\t' => self.buf.push_str("\\t"),
+                c if (c as u32) < 0x20 => self.buf.push_str(&format!("\\u{:04x}", c as u32)),
+                c => self.buf.push(c),
+            }
+        }
+        self.buf.push('"');
+    }
+
+    fn finish(self) -> String {
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        let reg = MetricsRegistry::new();
+        reg.counter("sim.events.twitter").inc(123);
+        reg.gauge("fit.rate").set(38.5);
+        let h = reg.histogram("fit.url_nanos");
+        for i in 1..=100u64 {
+            h.record(i * 1_000);
+        }
+        reg.set_label("fit.estimator", "gibbs");
+        reg.record_span("pipeline", 2_000_000_000);
+        reg.record_span("pipeline/fit", 1_500_000_000);
+        reg.snapshot()
+    }
+
+    #[test]
+    fn flat_metrics_unrolls_everything() {
+        let flat = sample_snapshot().flat_metrics();
+        assert_eq!(flat["sim.events.twitter"], 123.0);
+        assert_eq!(flat["fit.rate"], 38.5);
+        assert_eq!(flat["fit.url_nanos.count"], 100.0);
+        assert!(flat["fit.url_nanos.p50"] > 0.0);
+        assert_eq!(flat["span.pipeline.fit.secs"], 1.5);
+        assert_eq!(flat["span.pipeline.count"], 1.0);
+    }
+
+    #[test]
+    fn json_is_structurally_sound() {
+        let json = sample_snapshot().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces in {json}"
+        );
+        assert!(json.contains("\"schema\":\"centipede-metrics/v1\""));
+        assert!(json.contains("\"sim.events.twitter\":123"));
+        assert!(json.contains("\"fit.estimator\":\"gibbs\""));
+        assert!(json.contains("\"metrics\":"));
+        assert!(!json.contains(",,") && !json.contains(",}") && !json.contains(",]"));
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        let mut w = JsonWriter::new();
+        w.open_object();
+        w.key("weird\"key\n");
+        w.string("tab\there");
+        w.close_object();
+        assert_eq!(w.finish(), "{\"weird\\\"key\\n\":\"tab\\there\"}");
+    }
+
+    #[test]
+    fn span_tree_renders_with_indentation() {
+        let text = sample_snapshot().render_span_tree();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].trim_start().starts_with("pipeline"));
+        assert!(lines[1].starts_with("  fit"));
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        let mut w = JsonWriter::new();
+        w.open_array();
+        w.number(f64::NAN);
+        w.number(f64::INFINITY);
+        w.number(1.5);
+        w.close_array();
+        assert_eq!(w.finish(), "[null,null,1.5]");
+    }
+}

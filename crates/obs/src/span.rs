@@ -1,0 +1,153 @@
+//! Scoped wall-clock spans that nest into a stage tree.
+//!
+//! Each thread keeps a stack of active span names; a span's *path* is
+//! the `/`-joined stack at entry, so
+//!
+//! ```text
+//! pipeline
+//! ├── pipeline/characterization
+//! └── pipeline/influence
+//!     └── pipeline/influence/fit
+//! ```
+//!
+//! falls out of lexical nesting with no plumbing. Timings are
+//! aggregated per path in the owning [`MetricsRegistry`]; the guard
+//! records on drop, so early returns and `?` are timed correctly.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+use crate::registry::MetricsRegistry;
+
+thread_local! {
+    static STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard for one span occurrence. Create via [`crate::span!`] or
+/// [`SpanGuard::enter`]; the elapsed wall-clock is recorded when it
+/// drops.
+#[derive(Debug)]
+pub struct SpanGuard {
+    registry: &'static MetricsRegistry,
+    path: String,
+    start: Instant,
+}
+
+impl SpanGuard {
+    /// Open a span named `name` nested under the thread's current span.
+    pub fn enter(registry: &'static MetricsRegistry, name: &str) -> SpanGuard {
+        let path = STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let path = match stack.last() {
+                Some(parent) => format!("{parent}/{name}"),
+                None => name.to_string(),
+            };
+            stack.push(path.clone());
+            path
+        });
+        registry.note_span(&path);
+        SpanGuard {
+            registry,
+            path,
+            start: Instant::now(),
+        }
+    }
+
+    /// The span's full `/`-joined path.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let nanos = self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Guards normally drop LIFO; if a guard is held across an
+            // unusual control flow, remove its own entry specifically.
+            if stack.last() == Some(&self.path) {
+                stack.pop();
+            } else if let Some(pos) = stack.iter().rposition(|p| p == &self.path) {
+                stack.remove(pos);
+            }
+        });
+        self.registry.record_span(&self.path, nanos);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+
+    fn leaked_registry() -> &'static MetricsRegistry {
+        Box::leak(Box::new(MetricsRegistry::new()))
+    }
+
+    #[test]
+    fn spans_nest_into_paths() {
+        let reg = leaked_registry();
+        {
+            let outer = SpanGuard::enter(reg, "pipeline");
+            assert_eq!(outer.path(), "pipeline");
+            {
+                let inner = SpanGuard::enter(reg, "fit");
+                assert_eq!(inner.path(), "pipeline/fit");
+                let deepest = SpanGuard::enter(reg, "gibbs");
+                assert_eq!(deepest.path(), "pipeline/fit/gibbs");
+            }
+            let sibling = SpanGuard::enter(reg, "render");
+            assert_eq!(sibling.path(), "pipeline/render");
+        }
+        let snap = reg.snapshot();
+        let paths: Vec<&str> = snap.spans.iter().map(|s| s.path.as_str()).collect();
+        assert!(paths.contains(&"pipeline"));
+        assert!(paths.contains(&"pipeline/fit"));
+        assert!(paths.contains(&"pipeline/fit/gibbs"));
+        assert!(paths.contains(&"pipeline/render"));
+        // The stack is empty again: a fresh span is a root.
+        let fresh = SpanGuard::enter(reg, "again");
+        assert_eq!(fresh.path(), "again");
+    }
+
+    #[test]
+    fn repeated_spans_aggregate() {
+        let reg = leaked_registry();
+        for _ in 0..5 {
+            let _g = SpanGuard::enter(reg, "stage");
+        }
+        let snap = reg.snapshot();
+        let s = snap.spans.iter().find(|s| s.path == "stage").unwrap();
+        assert_eq!(s.count, 5);
+        assert!(s.total_secs >= 0.0);
+        assert!(s.min_secs <= s.max_secs);
+    }
+
+    #[test]
+    fn sibling_threads_have_independent_stacks() {
+        let reg = leaked_registry();
+        let _outer = SpanGuard::enter(reg, "main-root");
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let g = SpanGuard::enter(reg, "worker");
+                // Not nested under "main-root": stacks are per-thread.
+                assert_eq!(g.path(), "worker");
+            });
+        });
+    }
+
+    #[test]
+    fn out_of_order_drop_keeps_stack_consistent() {
+        let reg = leaked_registry();
+        let a = SpanGuard::enter(reg, "a");
+        let b = SpanGuard::enter(reg, "b");
+        drop(a); // drops out of LIFO order
+        let c = SpanGuard::enter(reg, "c");
+        assert_eq!(c.path(), "a/b/c");
+        drop(c);
+        drop(b);
+        let fresh = SpanGuard::enter(reg, "fresh");
+        assert_eq!(fresh.path(), "fresh");
+    }
+}

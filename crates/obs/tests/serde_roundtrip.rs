@@ -1,0 +1,47 @@
+//! Snapshot serde round-trip: a populated registry snapshot must
+//! survive `serde_json` serialisation bit-for-bit.
+
+use centipede_obs::{MetricsRegistry, MetricsSnapshot};
+
+fn populated_snapshot() -> MetricsSnapshot {
+    let reg = MetricsRegistry::new();
+    reg.counter("sim.events.twitter").inc(12_345);
+    reg.counter("fit.urls_total").inc(512);
+    reg.gauge("sim.rate.reddit").set(8_211.75);
+    reg.set_label("fit.estimator", "gibbs");
+    let h = reg.histogram("fit.url_nanos");
+    for i in 1..=1_000u64 {
+        h.record(i * 10_000);
+    }
+    reg.snapshot()
+}
+
+#[test]
+fn snapshot_round_trips_through_serde_json() {
+    let snap = populated_snapshot();
+    let text = serde_json::to_string(&snap).expect("serialize");
+    let back: MetricsSnapshot = serde_json::from_str(&text).expect("deserialize");
+    assert_eq!(snap, back);
+}
+
+#[test]
+fn serde_and_handwritten_json_agree_on_flat_metrics() {
+    let snap = populated_snapshot();
+    // The handwritten writer's output is itself valid JSON that
+    // serde_json can parse, and the flat metrics section matches
+    // `flat_metrics()`.
+    let hand: serde_json::Value =
+        serde_json::from_str(&snap.to_json()).expect("handwritten JSON parses");
+    let flat = snap.flat_metrics();
+    let metrics = hand["metrics"].as_object().expect("metrics object");
+    assert_eq!(metrics.len(), flat.len());
+    for (k, v) in &flat {
+        let got = metrics[k].as_f64().expect("numeric metric");
+        assert!(
+            (got - v).abs() <= v.abs() * 1e-12 + 1e-12,
+            "{k}: {got} != {v}"
+        );
+    }
+    assert_eq!(hand["schema"].as_str(), Some("centipede-metrics/v1"));
+    assert_eq!(hand["labels"]["fit.estimator"].as_str(), Some("gibbs"));
+}

@@ -183,7 +183,10 @@ impl SimConfig {
             ("twitter_alt_only_users", self.twitter_alt_only_users),
             ("reddit_alt_only_users", self.reddit_alt_only_users),
         ] {
-            assert!((0.0..=1.0).contains(&p), "SimConfig: {name} must be in [0,1]");
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "SimConfig: {name} must be in [0,1]"
+            );
         }
         assert!(
             self.posts_per_user >= 1.0,
@@ -216,8 +219,10 @@ mod tests {
 
     #[test]
     fn scaled_urls_respects_scale() {
-        let mut c = SimConfig::default();
-        c.scale = 0.5;
+        let mut c = SimConfig {
+            scale: 0.5,
+            ..SimConfig::default()
+        };
         let (a, m) = c.scaled_urls();
         assert_eq!(a, 1_300);
         assert_eq!(m, 5_000);
@@ -229,16 +234,20 @@ mod tests {
     #[test]
     #[should_panic(expected = "scale must be > 0")]
     fn rejects_zero_scale() {
-        let mut c = SimConfig::default();
-        c.scale = 0.0;
+        let c = SimConfig {
+            scale: 0.0,
+            ..SimConfig::default()
+        };
         c.validate();
     }
 
     #[test]
     #[should_panic(expected = "must be in [0,1]")]
     fn rejects_bad_probability() {
-        let mut c = SimConfig::default();
-        c.alt_tweet_deletion = 1.5;
+        let c = SimConfig {
+            alt_tweet_deletion: 1.5,
+            ..SimConfig::default()
+        };
         c.validate();
     }
 

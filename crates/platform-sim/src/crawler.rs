@@ -171,18 +171,27 @@ mod tests {
         }
         recrawl_twitter(&mut events, &table, &SimConfig::default(), &mut rng(2));
         let rate = |dom| {
-            let (kept, total) = events
-                .iter()
-                .filter(|e| e.domain == dom)
-                .fold((0u32, 0u32), |(k, t), e| {
-                    (
-                        k + u32::from(e.engagement.expect("recrawled").retrieved),
-                        t + 1,
-                    )
-                });
+            let (kept, total) =
+                events
+                    .iter()
+                    .filter(|e| e.domain == dom)
+                    .fold((0u32, 0u32), |(k, t), e| {
+                        (
+                            k + u32::from(e.engagement.expect("recrawled").retrieved),
+                            t + 1,
+                        )
+                    });
             kept as f64 / total as f64
         };
-        assert!((rate(alt) - 0.832).abs() < 0.02, "alt retrieval {}", rate(alt));
-        assert!((rate(main) - 0.877).abs() < 0.02, "main retrieval {}", rate(main));
+        assert!(
+            (rate(alt) - 0.832).abs() < 0.02,
+            "alt retrieval {}",
+            rate(alt)
+        );
+        assert!(
+            (rate(main) - 0.877).abs() < 0.02,
+            "main retrieval {}",
+            rate(main)
+        );
     }
 }

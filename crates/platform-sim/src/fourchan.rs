@@ -151,10 +151,7 @@ impl Board {
         if self.archived.is_empty() {
             return None;
         }
-        Some(
-            self.archived.iter().map(|t| t.posts as f64).sum::<f64>()
-                / self.archived.len() as f64,
-        )
+        Some(self.archived.iter().map(|t| t.posts as f64).sum::<f64>() / self.archived.len() as f64)
     }
 }
 
@@ -198,11 +195,7 @@ mod tests {
         let t1 = b.create_thread(0);
         assert!(b.reply(t1, 10)); // post 2, bumps
         assert!(b.reply(t1, 20)); // post 3 > limit, no bump
-        let th = b
-            .active
-            .iter()
-            .find(|t| t.id == t1)
-            .expect("still active");
+        let th = b.active.iter().find(|t| t.id == t1).expect("still active");
         assert_eq!(th.posts, 3);
         assert_eq!(th.last_bump, 10);
     }

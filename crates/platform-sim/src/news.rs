@@ -181,8 +181,7 @@ pub fn draw_url_params<R: Rng + ?Sized>(
     for a in &mut alpha {
         *a *= config.concentration / alpha_sum;
     }
-    let profile =
-        centipede_stats::sampling::Dirichlet::new(alpha.to_vec()).sample(rng);
+    let profile = centipede_stats::sampling::Dirichlet::new(alpha.to_vec()).sample(rng);
     // Total expected background events in the hot window.
     let bg_events = config.activity * virality;
     let mut lambda0 = [0.0; 8];
@@ -304,7 +303,10 @@ mod tests {
         let trs_aff = trs_aff.expect("sampled therealstrategy");
         let lif_aff = lif_aff.expect("sampled lifezette");
         // Twitter slot (2) dominant for therealstrategy.
-        assert!(trs_aff[2] > trs_aff[0] && trs_aff[2] > trs_aff[1], "{trs_aff:?}");
+        assert!(
+            trs_aff[2] > trs_aff[0] && trs_aff[2] > trs_aff[1],
+            "{trs_aff:?}"
+        );
         // Reddit slot (0) dominant for lifezette, Twitter weakest.
         assert!(lif_aff[0] > lif_aff[2], "{lif_aff:?}");
     }
@@ -320,16 +322,13 @@ mod tests {
 
     #[test]
     fn url_params_valid_and_affinity_scales_rates() {
-        let mut config = SimConfig::default();
         // Remove story-level noise so the affinity effect is isolated.
-        config.virality_sigma = 0.0;
+        let config = SimConfig {
+            virality_sigma: 0.0,
+            ..SimConfig::default()
+        };
         let mut r = rng(5);
-        let p1 = draw_url_params(
-            &config,
-            NewsCategory::Alternative,
-            [1.0, 1.0, 1.0],
-            &mut r,
-        );
+        let p1 = draw_url_params(&config, NewsCategory::Alternative, [1.0, 1.0, 1.0], &mut r);
         p1.validate();
         // Strong Twitter affinity must raise the Twitter rate relative
         // to an equal-affinity draw — compare expected values over many

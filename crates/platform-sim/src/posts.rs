@@ -24,7 +24,14 @@ const TWEET_LEADS: [&str; 6] = [
     "This is huge",
     "wow.",
 ];
-const TWEET_TAGS: [&str; 6] = ["#news", "#politics", "#MAGA", "#election2016", "#wakeup", "#media"];
+const TWEET_TAGS: [&str; 6] = [
+    "#news",
+    "#politics",
+    "#MAGA",
+    "#election2016",
+    "#wakeup",
+    "#media",
+];
 const REDDIT_LEADS: [&str; 5] = [
     "Interesting read:",
     "Thoughts on this?",
@@ -157,7 +164,11 @@ mod tests {
     fn platform_flavour_differs() {
         let domains = DomainTable::standard();
         let mut r = rng(2);
-        let tweet = render_post(&event(Venue::Twitter, &domains, "cnn.com"), &domains, &mut r);
+        let tweet = render_post(
+            &event(Venue::Twitter, &domains, "cnn.com"),
+            &domains,
+            &mut r,
+        );
         let chan = render_post(
             &event(Venue::Board("pol".into()), &domains, "cnn.com"),
             &domains,

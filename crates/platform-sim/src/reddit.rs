@@ -78,9 +78,7 @@ impl OtherSubredditSampler {
         // Long tail: MISC_TAIL_SHARE of the stream spread over
         // anonymous buckets with a Zipf profile.
         let tail_total = named_total * MISC_TAIL_SHARE / (1.0 - MISC_TAIL_SHARE);
-        let zipf: Vec<f64> = (1..=MISC_TAIL_BUCKETS)
-            .map(|r| 1.0 / (r as f64))
-            .collect();
+        let zipf: Vec<f64> = (1..=MISC_TAIL_BUCKETS).map(|r| 1.0 / (r as f64)).collect();
         let zipf_sum: f64 = zipf.iter().sum();
         for (i, z) in zipf.iter().enumerate() {
             names.push(format!("longtail_{}_{i}", category.name()));

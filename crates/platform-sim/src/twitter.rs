@@ -17,7 +17,10 @@ use centipede_stats::sampling::sample_normal;
 /// Log-normal `(μ, σ)` solved from a target mean and standard
 /// deviation: `σ² = ln(1 + (sd/mean)²)`, `μ = ln(mean) − σ²/2`.
 fn lognormal_from_moments(mean: f64, sd: f64) -> (f64, f64) {
-    assert!(mean > 0.0 && sd > 0.0, "lognormal_from_moments: mean={mean}, sd={sd}");
+    assert!(
+        mean > 0.0 && sd > 0.0,
+        "lognormal_from_moments: mean={mean}, sd={sd}"
+    );
     let sigma2 = (1.0 + (sd / mean).powi(2)).ln();
     ((mean.ln()) - sigma2 / 2.0, sigma2.sqrt())
 }

@@ -70,8 +70,7 @@ impl UserPool {
         let n_main = ((total_users as f64) * 0.80).round() as usize;
         let n_alt = (((total_users as f64) * alt_only_fraction).round() as usize).max(1);
         let n_mixed = total_users.saturating_sub(n_main + n_alt).max(1);
-        let mixed_propensity: Vec<f64> =
-            (0..n_mixed).map(|_| sample_beta(rng, 0.7, 0.9)).collect();
+        let mixed_propensity: Vec<f64> = (0..n_mixed).map(|_| sample_beta(rng, 0.7, 0.9)).collect();
         UserPool {
             id_base,
             mainstream_only: Categorical::new(&zipf_weights(n_main)),
@@ -187,7 +186,10 @@ mod tests {
             (0.55..=0.92).contains(&main_only),
             "mainstream-only share {main_only}"
         );
-        assert!((0.05..=0.30).contains(&alt_only), "alt-only share {alt_only}");
+        assert!(
+            (0.05..=0.30).contains(&alt_only),
+            "alt-only share {alt_only}"
+        );
     }
 
     #[test]

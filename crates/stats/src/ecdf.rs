@@ -187,10 +187,7 @@ mod tests {
     fn step_points_deduplicate() {
         let e = Ecdf::new(vec![1.0, 1.0, 2.0, 3.0, 3.0, 3.0]);
         let pts = e.step_points();
-        assert_eq!(
-            pts,
-            vec![(1.0, 2.0 / 6.0), (2.0, 3.0 / 6.0), (3.0, 1.0)]
-        );
+        assert_eq!(pts, vec![(1.0, 2.0 / 6.0), (2.0, 3.0 / 6.0), (3.0, 1.0)]);
     }
 
     #[test]

@@ -108,10 +108,7 @@ impl Histogram {
 
     /// Bin centres (arithmetic midpoint).
     pub fn centres(&self) -> Vec<f64> {
-        self.edges
-            .windows(2)
-            .map(|w| 0.5 * (w[0] + w[1]))
-            .collect()
+        self.edges.windows(2).map(|w| 0.5 * (w[0] + w[1])).collect()
     }
 
     /// Densities: count / (total · width). Empty-total histograms yield

@@ -136,9 +136,7 @@ pub fn sample_poisson<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u64 {
             continue;
         }
         let ln_k_fact = crate::special::ln_factorial(k as u64);
-        if (v * inv_alpha / (a / (us * us) + b)).ln()
-            <= k * mean.ln() - mean - ln_k_fact
-        {
+        if (v * inv_alpha / (a / (us * us) + b)).ln() <= k * mean.ln() - mean - ln_k_fact {
             return k as u64;
         }
     }

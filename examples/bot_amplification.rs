@@ -16,9 +16,7 @@
 use rand::SeedableRng;
 
 use centipede::characterization::user_alt_fraction;
-use centipede::influence::{
-    fit_urls, prepare_urls, weight_comparison, FitConfig, SelectionConfig,
-};
+use centipede::influence::{fit_urls, prepare_urls, weight_comparison, FitConfig, SelectionConfig};
 use centipede_dataset::platform::{AnalysisGroup, Community};
 use centipede_platform_sim::{ecosystem, SimConfig};
 
@@ -31,9 +29,11 @@ struct Outcome {
 
 fn run(bots: bool, seed: u64) -> Outcome {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let mut sim = SimConfig::default();
-    sim.scale = 0.5;
-    sim.bots_enabled = bots;
+    let sim = SimConfig {
+        scale: 0.5,
+        bots_enabled: bots,
+        ..SimConfig::default()
+    };
     let world = ecosystem::generate(&sim, &mut rng);
 
     // Figure 3 side: share of Twitter users posting alternative URLs
@@ -49,9 +49,11 @@ fn run(bots: bool, seed: u64) -> Outcome {
     // Figure 10 side: the Twitter self-excitation gap.
     let timelines = world.dataset.timelines();
     let (prepared, _) = prepare_urls(&world.dataset, &timelines, &SelectionConfig::default());
-    let mut fit = FitConfig::default();
-    fit.n_samples = 80;
-    fit.burn_in = 40;
+    let fit = FitConfig {
+        n_samples: 80,
+        burn_in: 40,
+        ..FitConfig::default()
+    };
     let fits = fit_urls(&prepared, &fit);
     let cmp = weight_comparison(&fits);
     let t = Community::Twitter.index();

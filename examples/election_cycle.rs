@@ -22,8 +22,10 @@ use centipede_platform_sim::{ecosystem, SimConfig};
 
 fn main() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(1608);
-    let mut sim = SimConfig::default();
-    sim.scale = 0.4;
+    let sim = SimConfig {
+        scale: 0.4,
+        ..SimConfig::default()
+    };
     let world = ecosystem::generate(&sim, &mut rng);
     let timelines = world.dataset.timelines();
 
@@ -65,11 +67,7 @@ fn main() {
             .iter()
             .map(|(name, t)| format!("{name} ({})", format_date(*t)))
             .collect();
-        println!(
-            "  {domain} story, {} posts: {}",
-            tl.len(),
-            path.join(" → ")
-        );
+        println!("  {domain} story, {} posts: {}", tl.len(), path.join(" → "));
     }
 
     // --- Sequence structure (Tables 9/10) ------------------------------
@@ -77,7 +75,10 @@ fn main() {
     let seqs = first_hop_sequences(&timelines, NewsCategory::Alternative);
     let total: u64 = seqs.values().sum();
     for (seq, n) in &seqs {
-        println!("  {seq:<8} {n:>6} ({:.1}%)", *n as f64 / total as f64 * 100.0);
+        println!(
+            "  {seq:<8} {n:>6} ({:.1}%)",
+            *n as f64 / total as f64 * 100.0
+        );
     }
 
     println!("\n--- Triplet sequences (alternative news) ---");
@@ -86,9 +87,10 @@ fn main() {
     let mut rows: Vec<_> = trips.iter().collect();
     rows.sort_by_key(|(_, &n)| std::cmp::Reverse(n));
     for (seq, n) in rows {
-        println!("  {seq:<8} {n:>5} ({:.1}%)", *n as f64 / total as f64 * 100.0);
+        println!(
+            "  {seq:<8} {n:>5} ({:.1}%)",
+            *n as f64 / total as f64 * 100.0
+        );
     }
-    println!(
-        "\nThe paper's top-3 triplets were R→T→4 (36.3%), T→R→4 (29.0%), R→4→T (14.4%)."
-    );
+    println!("\nThe paper's top-3 triplets were R→T→4 (36.3%), T→R→4 (29.0%), R→4→T (14.4%).");
 }

@@ -22,15 +22,19 @@ use centipede_platform_sim::{ecosystem, SimConfig};
 
 fn main() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(404);
-    let mut sim = SimConfig::default();
-    sim.scale = 0.4;
+    let sim = SimConfig {
+        scale: 0.4,
+        ..SimConfig::default()
+    };
     let world = ecosystem::generate(&sim, &mut rng);
     let timelines = world.dataset.timelines();
     let (prepared, _) = prepare_urls(&world.dataset, &timelines, &SelectionConfig::default());
 
-    let mut fit = FitConfig::default();
-    fit.n_samples = 60;
-    fit.burn_in = 30;
+    let fit = FitConfig {
+        n_samples: 60,
+        burn_in: 30,
+        ..FitConfig::default()
+    };
     println!("Fitting {} URLs ...", prepared.len());
     let fits = fit_urls(&prepared, &fit);
 
@@ -41,11 +45,7 @@ fn main() {
         // adequate for GoF on these sparse streams).
         let max_lag = 720usize.min((p.events.n_bins() as usize).max(2) - 1).max(1);
         let basis = BasisSet::log_gaussian(max_lag, 4);
-        let model = DiscreteHawkes::uniform_mixture(
-            f.lambda0.to_vec(),
-            f.weights.clone(),
-            &basis,
-        );
+        let model = DiscreteHawkes::uniform_mixture(f.lambda0.to_vec(), f.weights.clone(), &basis);
         if let Some(gof) = time_rescaling_gof(&model, &p.events) {
             fitted_ps.push(gof.p_value);
         }
@@ -60,9 +60,8 @@ fn main() {
         }
     }
 
-    let frac_rejected = |ps: &[f64]| {
-        ps.iter().filter(|&&p| p < 0.05).count() as f64 / ps.len().max(1) as f64
-    };
+    let frac_rejected =
+        |ps: &[f64]| ps.iter().filter(|&&p| p < 0.05).count() as f64 / ps.len().max(1) as f64;
     println!(
         "\nFitted models : {} URLs scored, {:.0}% rejected at p<0.05 (median p = {:.3})",
         fitted_ps.len(),

@@ -17,9 +17,7 @@
 
 use rand::SeedableRng;
 
-use centipede::influence::{
-    fit_urls, prepare_urls, weight_comparison, FitConfig, SelectionConfig,
-};
+use centipede::influence::{fit_urls, prepare_urls, weight_comparison, FitConfig, SelectionConfig};
 use centipede_dataset::domains::NewsCategory;
 use centipede_dataset::platform::Community;
 use centipede_platform_sim::{ecosystem, SimConfig};
@@ -31,8 +29,10 @@ fn main() {
         .unwrap_or(1.0);
 
     let mut rng = rand::rngs::StdRng::seed_from_u64(2024);
-    let mut sim = SimConfig::default();
-    sim.scale = scale;
+    let sim = SimConfig {
+        scale,
+        ..SimConfig::default()
+    };
     println!("Generating world at scale {scale} ...");
     let world = ecosystem::generate(&sim, &mut rng);
 
@@ -43,12 +43,18 @@ fn main() {
         summary.selected, summary.eligible, summary.dropped
     );
 
-    let mut fit = FitConfig::default();
-    fit.n_samples = 100;
-    fit.burn_in = 50;
+    let fit = FitConfig {
+        n_samples: 100,
+        burn_in: 50,
+        ..FitConfig::default()
+    };
     let t0 = std::time::Instant::now();
     let fits = fit_urls(&prepared, &fit);
-    println!("Fitted {} Hawkes models in {:.1}s.", fits.len(), t0.elapsed().as_secs_f64());
+    println!(
+        "Fitted {} Hawkes models in {:.1}s.",
+        fits.len(),
+        t0.elapsed().as_secs_f64()
+    );
 
     let cmp = weight_comparison(&fits);
     let t = Community::Twitter.index();
@@ -61,10 +67,9 @@ fn main() {
     ] {
         let est = cmp.mean_matrix(cat);
         let mae = est.mean_abs_diff(truth);
-        let r = centipede_stats::correlation::pearson(est.flat(), truth.flat())
-            .unwrap_or(f64::NAN);
-        let rho = centipede_stats::correlation::spearman(est.flat(), truth.flat())
-            .unwrap_or(f64::NAN);
+        let r = centipede_stats::correlation::pearson(est.flat(), truth.flat()).unwrap_or(f64::NAN);
+        let rho =
+            centipede_stats::correlation::spearman(est.flat(), truth.flat()).unwrap_or(f64::NAN);
         println!(
             "{:>12}: MAE={:.4}  Pearson r={:.3}  Spearman ρ={:.3}",
             cat.name(),
@@ -85,12 +90,20 @@ fn main() {
         "1. W[T→T] alt = {:.4} vs max other cell {:.4}: {}",
         cell_tt.alt,
         max_other,
-        if cell_tt.alt > max_other { "LARGEST ✓" } else { "not largest ✗" }
+        if cell_tt.alt > max_other {
+            "LARGEST ✓"
+        } else {
+            "not largest ✗"
+        }
     );
     println!(
         "2. W[T→T] alt/main gap = {:+.1}% (paper: +41.9%): {}",
         cell_tt.pct_diff,
-        if cell_tt.pct_diff > 15.0 { "✓" } else { "✗" }
+        if cell_tt.pct_diff > 15.0 {
+            "✓"
+        } else {
+            "✗"
+        }
     );
     let incoming_alt_greater = (0..8)
         .filter(|&src| cmp.cells[src][td].alt > cmp.cells[src][td].main)
@@ -98,6 +111,10 @@ fn main() {
     println!(
         "3. The_Donald incoming weights alt-greater: {incoming_alt_greater}/8 \
          (paper: 8/8): {}",
-        if incoming_alt_greater >= 6 { "✓" } else { "✗" }
+        if incoming_alt_greater >= 6 {
+            "✓"
+        } else {
+            "✗"
+        }
     );
 }

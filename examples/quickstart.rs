@@ -15,8 +15,10 @@ use centipede_platform_sim::{ecosystem, SimConfig};
 fn main() {
     // 1. Generate a synthetic world (deterministic under a fixed seed).
     let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-    let mut sim = SimConfig::default();
-    sim.scale = 0.25; // quick demo scale
+    let sim = SimConfig {
+        scale: 0.25, // quick demo scale
+        ..SimConfig::default()
+    };
     let world = ecosystem::generate(&sim, &mut rng);
     println!(
         "Generated {} news-URL events across {} unique URLs.",
@@ -61,8 +63,7 @@ fn main() {
         (NewsCategory::Mainstream, &world.truth.weights_main),
     ] {
         let est = fig10.mean_matrix(cat);
-        let r = centipede_stats::correlation::pearson(est.flat(), truth.flat())
-            .unwrap_or(f64::NAN);
+        let r = centipede_stats::correlation::pearson(est.flat(), truth.flat()).unwrap_or(f64::NAN);
         println!(
             "Recovery vs ground truth ({}): MAE={:.4}, Pearson r={:.3}",
             cat.name(),

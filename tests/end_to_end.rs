@@ -10,8 +10,10 @@ use centipede_platform_sim::{ecosystem, SimConfig};
 
 fn world(scale: f64, seed: u64) -> centipede_platform_sim::GeneratedWorld {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let mut sim = SimConfig::default();
-    sim.scale = scale;
+    let sim = SimConfig {
+        scale,
+        ..SimConfig::default()
+    };
     ecosystem::generate(&sim, &mut rng)
 }
 
@@ -98,10 +100,16 @@ fn ground_truth_recovery_is_strong() {
         &timelines,
         &centipede::influence::SelectionConfig::default(),
     );
-    assert!(prepared.len() >= 50, "only {} URLs selected", prepared.len());
-    let mut fit = centipede::influence::FitConfig::default();
-    fit.n_samples = 80;
-    fit.burn_in = 40;
+    assert!(
+        prepared.len() >= 50,
+        "only {} URLs selected",
+        prepared.len()
+    );
+    let fit = centipede::influence::FitConfig {
+        n_samples: 80,
+        burn_in: 40,
+        ..centipede::influence::FitConfig::default()
+    };
     let fits = centipede::influence::fit_urls(&prepared, &fit);
     let cmp = centipede::influence::weight_comparison(&fits);
     for (cat, truth) in [
@@ -121,9 +129,11 @@ fn ground_truth_recovery_is_strong() {
 fn gaps_reduce_twitter_volume() {
     let with = world(0.10, 7);
     let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-    let mut sim = SimConfig::default();
-    sim.scale = 0.10;
-    sim.apply_gaps = false;
+    let sim = SimConfig {
+        scale: 0.10,
+        apply_gaps: false,
+        ..SimConfig::default()
+    };
     let without = ecosystem::generate(&sim, &mut rng);
     let count = |w: &centipede_platform_sim::GeneratedWorld| {
         w.dataset

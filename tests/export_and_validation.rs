@@ -13,13 +13,20 @@ fn world_and_report(
     scale: f64,
     seed: u64,
     influence: bool,
-) -> (centipede_platform_sim::GeneratedWorld, centipede::pipeline::AnalysisReport) {
+) -> (
+    centipede_platform_sim::GeneratedWorld,
+    centipede::pipeline::AnalysisReport,
+) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let mut sim = SimConfig::default();
-    sim.scale = scale;
+    let sim = SimConfig {
+        scale,
+        ..SimConfig::default()
+    };
     let world = ecosystem::generate(&sim, &mut rng);
-    let mut config = PipelineConfig::default();
-    config.skip_influence = !influence;
+    let mut config = PipelineConfig {
+        skip_influence: !influence,
+        ..PipelineConfig::default()
+    };
     config.fit.n_samples = 30;
     config.fit.burn_in = 15;
     let report = run_all(&world.dataset, &config, &mut rng);
@@ -31,9 +38,23 @@ fn json_export_covers_every_section() {
     let (_, report) = world_and_report(0.06, 1, false);
     let v = report_to_json(&report);
     for key in [
-        "table1", "table2", "table3", "table4", "top_domains", "fig1", "fig2", "fig3",
-        "fig4", "fig5", "fig6_common", "fig6_all", "pair_lags", "table9", "table10",
-        "fig8", "table11",
+        "table1",
+        "table2",
+        "table3",
+        "table4",
+        "top_domains",
+        "fig1",
+        "fig2",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6_common",
+        "fig6_all",
+        "pair_lags",
+        "table9",
+        "table10",
+        "fig8",
+        "table11",
     ] {
         assert!(v.get(key).is_some(), "missing JSON key {key}");
     }
@@ -61,7 +82,11 @@ fn dot_export_renders_generated_graph() {
     assert!(dot.contains("digraph"));
     // Every edge endpoint appears as a node declaration.
     for e in edges.iter().take(10) {
-        assert!(dot.contains(&format!("\"{}\"", e.from)), "missing node {}", e.from);
+        assert!(
+            dot.contains(&format!("\"{}\"", e.from)),
+            "missing node {}",
+            e.from
+        );
     }
     // At least one known domain flows into a platform.
     assert!(

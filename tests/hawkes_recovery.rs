@@ -84,11 +84,7 @@ fn gibbs_credible_intervals_cover_truth() {
 #[test]
 fn gibbs_chain_passes_convergence_diagnostics() {
     let basis = BasisSet::log_gaussian(60, 3);
-    let truth = DiscreteHawkes::uniform_mixture(
-        vec![0.03],
-        Matrix::from_rows(&[&[0.4]]),
-        &basis,
-    );
+    let truth = DiscreteHawkes::uniform_mixture(vec![0.03], Matrix::from_rows(&[&[0.4]]), &basis);
     let data = simulate(&truth, 60_000, &mut rng(5));
     let sampler = GibbsSampler::new(
         GibbsConfig {
@@ -144,11 +140,7 @@ fn discrete_fit_of_continuous_data_recovers_branching() {
         .iter()
         .map(|e| (e.time as u32, e.process as u16))
         .collect();
-    let data = centipede_hawkes::events::EventSeq::from_points(
-        horizon as u32 + 1,
-        2,
-        &points,
-    );
+    let data = centipede_hawkes::events::EventSeq::from_points(horizon as u32 + 1, 2, &points);
     let basis = BasisSet::log_gaussian(200, 4);
     let sampler = GibbsSampler::new(
         GibbsConfig {
@@ -193,10 +185,7 @@ fn continuous_em_recovers_decay_rate() {
         fitted.alpha().get(0, 0)
     );
     let beta = fitted.beta().get(0, 0);
-    assert!(
-        (0.02..=0.12).contains(&beta),
-        "beta={beta} (truth 0.05)"
-    );
+    assert!((0.02..=0.12).contains(&beta), "beta={beta} (truth 0.05)");
 }
 
 #[test]
@@ -204,11 +193,7 @@ fn weak_data_shrinks_to_prior_not_noise() {
     // Two nearly-silent processes: the posterior must not hallucinate
     // strong edges.
     let basis = BasisSet::log_gaussian(60, 3);
-    let truth = DiscreteHawkes::uniform_mixture(
-        vec![0.0005, 0.0005],
-        Matrix::zeros(2),
-        &basis,
-    );
+    let truth = DiscreteHawkes::uniform_mixture(vec![0.0005, 0.0005], Matrix::zeros(2), &basis);
     let data = simulate(&truth, 30_000, &mut rng(12));
     let sampler = GibbsSampler::new(
         GibbsConfig {

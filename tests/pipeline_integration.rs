@@ -16,8 +16,10 @@ use centipede_platform_sim::{ecosystem, GeneratedWorld, SimConfig};
 
 fn world() -> GeneratedWorld {
     let mut rng = rand::rngs::StdRng::seed_from_u64(20170701);
-    let mut sim = SimConfig::default();
-    sim.scale = 0.35;
+    let sim = SimConfig {
+        scale: 0.35,
+        ..SimConfig::default()
+    };
     ecosystem::generate(&sim, &mut rng)
 }
 
@@ -254,7 +256,12 @@ fn figure8_pol_rarely_first() {
     let inflow = |to: &str| -> u64 {
         edges
             .iter()
-            .filter(|e| e.to == to && !e.from.contains("subreddits") && e.from != "Twitter" && e.from != "/pol/")
+            .filter(|e| {
+                e.to == to
+                    && !e.from.contains("subreddits")
+                    && e.from != "Twitter"
+                    && e.from != "/pol/"
+            })
             .map(|e| e.weight)
             .sum()
     };
