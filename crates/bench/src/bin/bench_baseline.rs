@@ -1,0 +1,110 @@
+//! Tracked performance baseline for the Gibbs hot path.
+//!
+//! Runs a fixed seeded Gibbs workload — the same shape as the
+//! `hawkes_perf/gibbs_15_sweeps` criterion bench at 40k bins — and
+//! appends one entry to `BENCH_hawkes.json` so the perf trajectory is
+//! tracked across PRs in a flat, diffable format.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p centipede-bench --bin bench_baseline -- <label> [reps]
+//! ```
+//!
+//! `label` names the trajectory point (e.g. `pr2-after`); `reps`
+//! defaults to 7 (median of 7 fits after one warm-up).
+
+use std::time::Instant;
+
+use rand::SeedableRng;
+
+use centipede_hawkes::discrete::{simulate, BasisSet, DiscreteHawkes, GibbsConfig, GibbsSampler};
+use centipede_hawkes::matrix::Matrix;
+
+/// Bins in the workload (matches the large `hawkes_perf` case).
+const T_BINS: u32 = 40_000;
+/// Sweeps per fit: `burn_in + n_samples * thin`.
+const SWEEPS: u64 = 15;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let label = args.next().unwrap_or_else(|| "dev".to_string());
+    assert!(
+        !label.contains('"') && !label.contains('\\'),
+        "bench_baseline: label must not contain quotes or backslashes"
+    );
+    let reps: usize = args
+        .next()
+        .map(|r| r.parse().expect("reps must be an integer"))
+        .unwrap_or(7);
+    assert!(reps >= 1, "bench_baseline: reps must be ≥ 1");
+
+    let k = 8;
+    let basis = BasisSet::log_gaussian(720, 4);
+    let model = DiscreteHawkes::uniform_mixture(
+        vec![0.002; k],
+        Matrix::constant(k, 0.4 / k as f64),
+        &basis,
+    );
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let data = simulate(&model, T_BINS, &mut rng);
+    let events = data.total_events();
+
+    let gibbs = GibbsSampler::new(
+        GibbsConfig {
+            n_samples: 10,
+            burn_in: 5,
+            ..GibbsConfig::default()
+        },
+        BasisSet::log_gaussian(720, 4),
+    );
+
+    // Warm-up fit (page in the allocator and caches), then timed reps.
+    let mut fit_rng = rand::rngs::StdRng::seed_from_u64(3);
+    let _ = gibbs.fit(&data, &mut fit_rng);
+    let mut wall_ns: Vec<u64> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            let post = gibbs.fit(&data, &mut fit_rng);
+            let ns = start.elapsed().as_nanos() as u64;
+            assert_eq!(post.n_samples(), 10);
+            ns
+        })
+        .collect();
+    wall_ns.sort_unstable();
+    let median_fit_ns = wall_ns[reps / 2];
+    let median_ns_per_sweep = median_fit_ns / SWEEPS;
+    let events_per_sec = (events * SWEEPS) as f64 / (median_fit_ns as f64 / 1e9);
+
+    // Hand-formatted JSON (the workspace's serde_json is reserved for
+    // structured data files; this stays dependency-light like the obs
+    // snapshot exporter).
+    let entry = format!(
+        "  {{\n    \"label\": \"{label}\",\n    \"bench\": \"hawkes_perf/gibbs_15_sweeps\",\n    \
+         \"bins\": {T_BINS},\n    \"events\": {events},\n    \"sweeps_per_fit\": {SWEEPS},\n    \
+         \"reps\": {reps},\n    \"median_fit_ns\": {median_fit_ns},\n    \
+         \"median_ns_per_sweep\": {median_ns_per_sweep},\n    \
+         \"events_per_sec\": {events_per_sec:.0}\n  }}"
+    );
+
+    // Append to the trajectory array (created if missing).
+    let path = std::path::Path::new("BENCH_hawkes.json");
+    let text = match std::fs::read_to_string(path) {
+        Ok(existing) => {
+            let trimmed = existing.trim_end();
+            let body = trimmed
+                .strip_suffix(']')
+                .expect("BENCH_hawkes.json: expected a JSON array")
+                .trim_end();
+            format!("{body},\n{entry}\n]\n")
+        }
+        Err(_) => format!("[\n{entry}\n]\n"),
+    };
+    std::fs::write(path, text).expect("write BENCH_hawkes.json");
+
+    eprintln!(
+        "bench_baseline[{label}]: {events} events x {SWEEPS} sweeps, \
+         median {:.2} ms/fit = {median_ns_per_sweep} ns/sweep, {events_per_sec:.0} events/s",
+        median_fit_ns as f64 / 1e6,
+    );
+}

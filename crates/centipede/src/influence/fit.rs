@@ -81,6 +81,18 @@ pub struct UrlFit {
 pub fn fit_urls(prepared: &[PreparedUrl], config: &FitConfig) -> Vec<UrlFit> {
     assert!(config.max_lag_minutes >= 1, "FitConfig: max_lag_minutes");
     assert!(config.n_basis >= 1, "FitConfig: n_basis");
+    for p in prepared {
+        assert_eq!(
+            p.events.n_processes(),
+            8,
+            "fit_urls: URL {:?} has {} processes, but UrlFit holds fixed \
+             8-community arrays (the paper's 7 platform communities plus \
+             the mainstream/alternative news source process); prepare \
+             inputs with exactly 8 processes",
+            p.url,
+            p.events.n_processes()
+        );
+    }
     if prepared.is_empty() {
         return Vec::new();
     }
@@ -151,6 +163,14 @@ pub fn fit_urls(prepared: &[PreparedUrl], config: &FitConfig) -> Vec<UrlFit> {
 
 /// Fit a single URL (deterministic given `config.seed` and `idx`).
 pub fn fit_one(prepared: &PreparedUrl, config: &FitConfig, idx: u64) -> UrlFit {
+    assert_eq!(
+        prepared.events.n_processes(),
+        8,
+        "fit_one: URL {:?} has {} processes, but UrlFit holds fixed \
+         8-community arrays; prepare inputs with exactly 8 processes",
+        prepared.url,
+        prepared.events.n_processes()
+    );
     // The per-URL window may be shorter than Δt_max.
     let max_lag = config
         .max_lag_minutes
@@ -275,5 +295,19 @@ mod tests {
     #[test]
     fn empty_input_is_empty_output() {
         assert!(fit_urls(&[], &quick_config()).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly 8 processes")]
+    fn rejects_non_eight_process_input() {
+        let events = EventSeq::from_points(100, 3, &[(0, 2)]);
+        let bad = PreparedUrl {
+            url: UrlId(0),
+            category: NewsCategory::Alternative,
+            events,
+            events_per_community: [0; 8],
+            duration: 6_000,
+        };
+        fit_urls(&[bad], &quick_config());
     }
 }

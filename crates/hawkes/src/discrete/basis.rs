@@ -116,6 +116,22 @@ impl BasisSet {
         &self.phi[b]
     }
 
+    /// Basis masses flattened lag-major: `out[(d-1)*B + b] = phi_b(d)`.
+    ///
+    /// The Gibbs sweep folds the mixture pmf `Σ_b θ_b·φ_b(d)` across
+    /// lags; a lag-major layout makes that inner fold a contiguous scan
+    /// instead of `B` strided row lookups. Built once per fit.
+    pub fn lag_major_table(&self) -> Vec<f64> {
+        let b = self.n_basis();
+        let mut out = vec![0.0; self.max_lag * b];
+        for (bi, row) in self.phi.iter().enumerate() {
+            for (d, &v) in row.iter().enumerate() {
+                out[d * b + bi] = v;
+            }
+        }
+        out
+    }
+
     /// Mix the basis rows with the given convex weights into a single
     /// lag pmf (index `d-1` holds lag `d`).
     pub fn mix(&self, theta: &[f64]) -> Vec<f64> {
@@ -213,6 +229,18 @@ mod tests {
             assert!(w[1] >= w[0] - 1e-15);
         }
         assert!((cum[49] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lag_major_table_matches_eval() {
+        let b = BasisSet::log_gaussian(50, 3);
+        let table = b.lag_major_table();
+        assert_eq!(table.len(), 50 * 3);
+        for d in 1..=50 {
+            for bi in 0..3 {
+                assert_eq!(table[(d - 1) * 3 + bi], b.eval(bi, d));
+            }
+        }
     }
 
     #[test]

@@ -13,6 +13,10 @@ use crate::matrix::Matrix;
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Posterior {
     n_processes: usize,
+    /// How many leading slots of the storage vectors hold real samples.
+    /// Pre-sized storage (see [`Posterior::presized`]) keeps zeroed
+    /// spare slots beyond this index until they are recorded into.
+    n_recorded: usize,
     lambda0: Vec<Vec<f64>>,
     weights: Vec<Matrix>,
     theta: Vec<Vec<f64>>,
@@ -24,6 +28,7 @@ impl Posterior {
     pub fn new(n_processes: usize, capacity: usize) -> Self {
         Posterior {
             n_processes,
+            n_recorded: 0,
             lambda0: Vec::with_capacity(capacity),
             weights: Vec::with_capacity(capacity),
             theta: Vec::with_capacity(capacity),
@@ -31,7 +36,51 @@ impl Posterior {
         }
     }
 
-    /// Append one retained sweep.
+    /// Create storage with `n_samples` zeroed slots (λ0 of length `K`,
+    /// `K×K` weights, θ of length `theta_len`) allocated up front, so
+    /// every subsequent [`Posterior::record`] is a pure copy into
+    /// existing memory — the Gibbs sweep loop stays allocation-free.
+    pub fn presized(n_processes: usize, theta_len: usize, n_samples: usize) -> Self {
+        Posterior {
+            n_processes,
+            n_recorded: 0,
+            lambda0: vec![vec![0.0; n_processes]; n_samples],
+            weights: vec![Matrix::zeros(n_processes); n_samples],
+            theta: vec![vec![0.0; theta_len]; n_samples],
+            log_likelihoods: Vec::new(),
+        }
+    }
+
+    /// Record one retained sweep by copying from borrowed state. Writes
+    /// into a pre-sized slot when one is free (see
+    /// [`Posterior::presized`]), appending otherwise.
+    pub fn record(
+        &mut self,
+        lambda0: &[f64],
+        weights: &Matrix,
+        theta: &[f64],
+        log_likelihood: Option<f64>,
+    ) {
+        assert_eq!(lambda0.len(), self.n_processes, "Posterior: λ0 dimension");
+        assert_eq!(weights.k(), self.n_processes, "Posterior: W dimension");
+        let slot = self.n_recorded;
+        if slot < self.lambda0.len() {
+            assert_eq!(self.theta[slot].len(), theta.len(), "Posterior: θ dimension");
+            self.lambda0[slot].copy_from_slice(lambda0);
+            self.weights[slot].copy_from(weights);
+            self.theta[slot].copy_from_slice(theta);
+        } else {
+            self.lambda0.push(lambda0.to_vec());
+            self.weights.push(weights.clone());
+            self.theta.push(theta.to_vec());
+        }
+        if let Some(ll) = log_likelihood {
+            self.log_likelihoods.push(ll);
+        }
+        self.n_recorded += 1;
+    }
+
+    /// Append one retained sweep from owned values.
     pub fn push(
         &mut self,
         lambda0: Vec<f64>,
@@ -39,14 +88,7 @@ impl Posterior {
         theta: Vec<f64>,
         log_likelihood: Option<f64>,
     ) {
-        assert_eq!(lambda0.len(), self.n_processes, "Posterior: λ0 dimension");
-        assert_eq!(weights.k(), self.n_processes, "Posterior: W dimension");
-        self.lambda0.push(lambda0);
-        self.weights.push(weights);
-        self.theta.push(theta);
-        if let Some(ll) = log_likelihood {
-            self.log_likelihoods.push(ll);
-        }
+        self.record(&lambda0, &weights, &theta, log_likelihood);
     }
 
     /// Number of processes `K`.
@@ -56,17 +98,17 @@ impl Posterior {
 
     /// Number of retained samples.
     pub fn n_samples(&self) -> usize {
-        self.weights.len()
+        self.n_recorded
     }
 
     /// All λ0 samples.
     pub fn lambda0_samples(&self) -> &[Vec<f64>] {
-        &self.lambda0
+        &self.lambda0[..self.n_recorded]
     }
 
     /// All weight-matrix samples.
     pub fn weight_samples(&self) -> &[Matrix] {
-        &self.weights
+        &self.weights[..self.n_recorded]
     }
 
     /// Log-likelihood trace (empty unless recording was enabled).
@@ -76,37 +118,37 @@ impl Posterior {
 
     /// Posterior mean of the background rates.
     pub fn mean_lambda0(&self) -> Vec<f64> {
-        assert!(!self.lambda0.is_empty(), "Posterior: no samples");
+        assert!(self.n_recorded > 0, "Posterior: no samples");
         let k = self.n_processes;
         let mut out = vec![0.0; k];
-        for s in &self.lambda0 {
+        for s in self.lambda0_samples() {
             for (o, v) in out.iter_mut().zip(s) {
                 *o += v;
             }
         }
         for o in &mut out {
-            *o /= self.lambda0.len() as f64;
+            *o /= self.n_recorded as f64;
         }
         out
     }
 
     /// Posterior mean of the weight matrix.
     pub fn mean_weights(&self) -> Matrix {
-        assert!(!self.weights.is_empty(), "Posterior: no samples");
+        assert!(self.n_recorded > 0, "Posterior: no samples");
         let mut out = Matrix::zeros(self.n_processes);
-        for w in &self.weights {
+        for w in self.weight_samples() {
             out.add_matrix(w);
         }
-        out.scale(1.0 / self.weights.len() as f64);
+        out.scale(1.0 / self.n_recorded as f64);
         out
     }
 
     /// Posterior standard deviation of each weight entry.
     pub fn std_weights(&self) -> Matrix {
-        assert!(!self.weights.is_empty(), "Posterior: no samples");
+        assert!(self.n_recorded > 0, "Posterior: no samples");
         let mean = self.mean_weights();
         let mut var = Matrix::zeros(self.n_processes);
-        for w in &self.weights {
+        for w in self.weight_samples() {
             for src in 0..self.n_processes {
                 for dst in 0..self.n_processes {
                     let d = w.get(src, dst) - mean.get(src, dst);
@@ -114,29 +156,33 @@ impl Posterior {
                 }
             }
         }
-        var.scale(1.0 / self.weights.len() as f64);
+        var.scale(1.0 / self.n_recorded as f64);
         var.map(f64::sqrt)
     }
 
     /// Posterior quantile of one weight entry.
     pub fn weight_quantile(&self, src: usize, dst: usize, q: f64) -> f64 {
-        let samples: Vec<f64> = self.weights.iter().map(|w| w.get(src, dst)).collect();
+        let samples: Vec<f64> = self
+            .weight_samples()
+            .iter()
+            .map(|w| w.get(src, dst))
+            .collect();
         centipede_stats::quantile(&samples, q).expect("Posterior: no samples")
     }
 
     /// Posterior mean of the basis-mixture weights, flattened as
     /// `theta[(src*K + dst)*B + b]`.
     pub fn mean_theta(&self) -> Vec<f64> {
-        assert!(!self.theta.is_empty(), "Posterior: no samples");
+        assert!(self.n_recorded > 0, "Posterior: no samples");
         let len = self.theta[0].len();
         let mut out = vec![0.0; len];
-        for sample in &self.theta {
+        for sample in &self.theta[..self.n_recorded] {
             for (o, v) in out.iter_mut().zip(sample) {
                 *o += v;
             }
         }
         for o in &mut out {
-            *o /= self.theta.len() as f64;
+            *o /= self.n_recorded as f64;
         }
         out
     }
@@ -251,6 +297,36 @@ mod tests {
         assert_eq!(g, vec![0.5, 0.0, 0.5]);
         let total: f64 = g.iter().sum();
         assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn presized_record_matches_push() {
+        let mut a = Posterior::presized(2, 4, 3);
+        let mut b = Posterior::new(2, 3);
+        for i in 0..3 {
+            let v = i as f64;
+            let l = vec![v, v + 1.0];
+            let w = Matrix::constant(2, v);
+            let th = vec![v; 4];
+            a.record(&l, &w, &th, Some(-v));
+            b.push(l, w, th, Some(-v));
+        }
+        assert_eq!(a.n_samples(), 3);
+        assert_eq!(a.mean_weights(), b.mean_weights());
+        assert_eq!(a.mean_lambda0(), b.mean_lambda0());
+        assert_eq!(a.mean_theta(), b.mean_theta());
+        assert_eq!(a.weight_samples(), b.weight_samples());
+        assert_eq!(a.lambda0_samples(), b.lambda0_samples());
+        assert_eq!(a.log_likelihoods(), b.log_likelihoods());
+    }
+
+    #[test]
+    fn presized_overflow_appends() {
+        let mut p = Posterior::presized(1, 1, 1);
+        p.record(&[1.0], &Matrix::constant(1, 1.0), &[0.5], None);
+        p.record(&[2.0], &Matrix::constant(1, 2.0), &[0.5], None);
+        assert_eq!(p.n_samples(), 2);
+        assert_eq!(p.mean_lambda0(), vec![1.5]);
     }
 
     #[test]

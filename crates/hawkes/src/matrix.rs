@@ -110,6 +110,19 @@ impl Matrix {
         }
     }
 
+    /// Set every entry to `value` in place (resets sweep scratch
+    /// without reallocating).
+    pub fn fill(&mut self, value: f64) {
+        self.data.fill(value);
+    }
+
+    /// Overwrite from another matrix of the same dimension without
+    /// allocating.
+    pub fn copy_from(&mut self, other: &Matrix) {
+        assert_eq!(self.k, other.k, "Matrix::copy_from: dimension mismatch");
+        self.data.copy_from_slice(&other.data);
+    }
+
     /// Scale every entry in place.
     pub fn scale(&mut self, factor: f64) {
         for v in &mut self.data {
@@ -219,6 +232,16 @@ mod tests {
         let mut a = Matrix::constant(2, 1.0);
         a.add_matrix(&m);
         assert_eq!(a.get(0, 1), 7.0);
+    }
+
+    #[test]
+    fn fill_and_copy_from() {
+        let mut m = Matrix::constant(2, 3.0);
+        m.fill(1.5);
+        assert_eq!(m.flat(), &[1.5; 4]);
+        let src = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        m.copy_from(&src);
+        assert_eq!(m, src);
     }
 
     #[test]

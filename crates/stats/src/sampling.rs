@@ -182,18 +182,116 @@ impl Dirichlet {
 
     /// Draw a probability vector.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
-        let draws: Vec<f64> = self
-            .alpha
-            .iter()
-            .map(|&a| sample_gamma(rng, a, 1.0))
-            .collect();
-        let total: f64 = draws.iter().sum();
-        // With alpha > 0 the total is almost surely positive; guard the
-        // pathological underflow case by returning the mean.
-        if total <= 0.0 || !total.is_finite() {
-            return self.mean();
+        let mut out = Vec::new();
+        sample_dirichlet_into(rng, &self.alpha, &mut out);
+        out
+    }
+}
+
+/// Draw from `Dirichlet(alpha)` into a caller-owned buffer, avoiding
+/// the per-draw allocations of [`Dirichlet::sample`]. Consumes the
+/// identical RNG stream and produces identical values.
+pub fn sample_dirichlet_into<R: Rng + ?Sized>(rng: &mut R, alpha: &[f64], out: &mut Vec<f64>) {
+    assert!(!alpha.is_empty(), "Dirichlet: empty alpha");
+    assert!(
+        alpha.iter().all(|&a| a > 0.0),
+        "Dirichlet: all concentrations must be > 0"
+    );
+    out.clear();
+    out.extend(alpha.iter().map(|&a| sample_gamma(rng, a, 1.0)));
+    let total: f64 = out.iter().sum();
+    // With alpha > 0 the total is almost surely positive; guard the
+    // pathological underflow case by returning the mean.
+    if total <= 0.0 || !total.is_finite() {
+        let s: f64 = alpha.iter().sum();
+        for (o, &a) in out.iter_mut().zip(alpha) {
+            *o = a / s;
         }
-        draws.into_iter().map(|d| d / total).collect()
+        return;
+    }
+    for d in out.iter_mut() {
+        *d /= total;
+    }
+}
+
+/// Build a Walker alias table into caller-owned buffers.
+///
+/// `prob`/`alias` receive the table; `scaled`, `small`, and `large` are
+/// scratch. All five are cleared and refilled, so reusing them across
+/// calls makes table construction allocation-free once warm. The
+/// algorithm (and therefore every downstream draw) is identical to
+/// [`Categorical::new`].
+fn build_alias_table(
+    weights: &[f64],
+    prob: &mut Vec<f64>,
+    alias: &mut Vec<usize>,
+    scaled: &mut Vec<f64>,
+    small: &mut Vec<usize>,
+    large: &mut Vec<usize>,
+) {
+    assert!(!weights.is_empty(), "Categorical: empty weights");
+    assert!(
+        weights.iter().all(|&w| w >= 0.0 && w.is_finite()),
+        "Categorical: weights must be finite and non-negative"
+    );
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "Categorical: all weights are zero");
+    build_alias_table_presummed(weights, total, prob, alias, scaled, small, large);
+}
+
+/// Alias-table core taking the precomputed weight total. Validation is
+/// debug-only: callers must guarantee non-negative finite weights and
+/// `total == weights.iter().sum()` with `total > 0` — the Gibbs hot
+/// path already has the sum in hand and must not pay extra passes.
+fn build_alias_table_presummed(
+    weights: &[f64],
+    total: f64,
+    prob: &mut Vec<f64>,
+    alias: &mut Vec<usize>,
+    scaled: &mut Vec<f64>,
+    small: &mut Vec<usize>,
+    large: &mut Vec<usize>,
+) {
+    debug_assert!(!weights.is_empty());
+    debug_assert!(weights.iter().all(|&w| w >= 0.0 && w.is_finite()));
+    debug_assert!(total > 0.0 && total.is_finite());
+    let k = weights.len();
+    let kf = k as f64;
+    scaled.clear();
+    small.clear();
+    large.clear();
+    // Scale and classify in one pass; stack contents (and therefore the
+    // pairing order below) match the original two-pass construction.
+    for (i, &w) in weights.iter().enumerate() {
+        let s = w * kf / total;
+        scaled.push(s);
+        if s < 1.0 {
+            small.push(i);
+        } else {
+            large.push(i);
+        }
+    }
+    prob.clear();
+    prob.resize(k, 0.0);
+    alias.clear();
+    alias.resize(k, 0);
+    while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+        small.pop();
+        large.pop();
+        prob[s] = scaled[s];
+        alias[s] = l;
+        scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+        if scaled[l] < 1.0 {
+            small.push(l);
+        } else {
+            large.push(l);
+        }
+    }
+    for &l in large.iter() {
+        prob[l] = 1.0;
+    }
+    for &s in small.iter() {
+        prob[s] = 1.0; // numerical leftovers
     }
 }
 
@@ -211,45 +309,12 @@ pub struct Categorical {
 impl Categorical {
     /// Build from non-negative weights (at least one strictly positive).
     pub fn new(weights: &[f64]) -> Self {
-        assert!(!weights.is_empty(), "Categorical: empty weights");
-        assert!(
-            weights.iter().all(|&w| w >= 0.0 && w.is_finite()),
-            "Categorical: weights must be finite and non-negative"
+        let mut prob = Vec::new();
+        let mut alias = Vec::new();
+        let (mut scaled, mut small, mut large) = (Vec::new(), Vec::new(), Vec::new());
+        build_alias_table(
+            weights, &mut prob, &mut alias, &mut scaled, &mut small, &mut large,
         );
-        let total: f64 = weights.iter().sum();
-        assert!(total > 0.0, "Categorical: all weights are zero");
-        let k = weights.len();
-        let scaled: Vec<f64> = weights.iter().map(|w| w * k as f64 / total).collect();
-        let mut prob = vec![0.0; k];
-        let mut alias = vec![0usize; k];
-        let mut small: Vec<usize> = Vec::new();
-        let mut large: Vec<usize> = Vec::new();
-        let mut scaled = scaled;
-        for (i, &s) in scaled.iter().enumerate() {
-            if s < 1.0 {
-                small.push(i);
-            } else {
-                large.push(i);
-            }
-        }
-        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
-            small.pop();
-            large.pop();
-            prob[s] = scaled[s];
-            alias[s] = l;
-            scaled[l] = (scaled[l] + scaled[s]) - 1.0;
-            if scaled[l] < 1.0 {
-                small.push(l);
-            } else {
-                large.push(l);
-            }
-        }
-        for &l in &large {
-            prob[l] = 1.0;
-        }
-        for &s in &small {
-            prob[s] = 1.0; // numerical leftovers
-        }
         Categorical {
             prob,
             alias,
@@ -284,6 +349,17 @@ impl Categorical {
     }
 }
 
+/// Reusable buffers for [`sample_multinomial_with`], letting a hot loop
+/// draw multinomials without touching the allocator after warm-up.
+#[derive(Debug, Clone, Default)]
+pub struct MultinomialScratch {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+    scaled: Vec<f64>,
+    small: Vec<usize>,
+    large: Vec<usize>,
+}
+
 /// Draw counts from `Multinomial(n, p)` where `p` is given as
 /// non-negative weights (normalised internally).
 ///
@@ -291,28 +367,58 @@ impl Categorical {
 /// expected work, fine for the parent-allocation counts (small `n`) in
 /// the Gibbs sampler.
 pub fn sample_multinomial<R: Rng + ?Sized>(rng: &mut R, n: u64, weights: &[f64]) -> Vec<u64> {
+    let mut out = Vec::new();
+    sample_multinomial_with(rng, n, weights, &mut MultinomialScratch::default(), &mut out);
+    out
+}
+
+/// [`sample_multinomial`] writing into caller-owned buffers: `out` gets
+/// the counts, `scratch` holds the alias-table workspace. Consumes the
+/// identical RNG stream and produces identical counts to
+/// [`sample_multinomial`].
+pub fn sample_multinomial_with<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: u64,
+    weights: &[f64],
+    scratch: &mut MultinomialScratch,
+    out: &mut Vec<u64>,
+) {
     assert!(!weights.is_empty(), "sample_multinomial: empty weights");
     let total: f64 = weights.iter().sum();
     assert!(
         total > 0.0 && total.is_finite(),
         "sample_multinomial: weights must sum to a positive finite value"
     );
-    let mut out = vec![0u64; weights.len()];
+    out.clear();
+    out.resize(weights.len(), 0);
     if n == 0 {
-        return out;
+        return;
     }
     if weights.len() == 1 {
         out[0] = n;
-        return out;
+        return;
     }
     // For small n (the common case here), draw each trial from the alias
     // table; for large n fall back to sequential conditional binomials.
     if n <= 64 {
-        let cat = Categorical::new(weights);
+        build_alias_table(
+            weights,
+            &mut scratch.prob,
+            &mut scratch.alias,
+            &mut scratch.scaled,
+            &mut scratch.small,
+            &mut scratch.large,
+        );
         for _ in 0..n {
-            out[cat.sample(rng)] += 1;
+            let i = rng.gen_range(0..scratch.prob.len());
+            let drawn = if rng.gen::<f64>() < scratch.prob[i] {
+                i
+            } else {
+                scratch.alias[i]
+            };
+            out[drawn] += 1;
         }
-        return out;
+        return;
     }
     let mut remaining_n = n;
     let mut remaining_w = total;
@@ -333,7 +439,123 @@ pub fn sample_multinomial<R: Rng + ?Sized>(rng: &mut R, n: u64, weights: &[f64])
             break;
         }
     }
-    out
+}
+
+/// Draw the category of each of `n ≤ 64` multinomial trials into
+/// `out_idx`, in trial order, consuming the identical RNG stream as the
+/// small-`n` path of [`sample_multinomial`] (counts are recoverable by
+/// tallying `out_idx`). Returning the drawn indices lets a consumer
+/// process only the `n` hits instead of scanning a `K`-length count
+/// vector — the Gibbs parent-allocation step draws `n ≈ 1` from
+/// `K ≈ 100` candidates per event.
+///
+/// `total` must equal `weights.iter().sum()` exactly with `total > 0`,
+/// and weights must be non-negative and finite; both are debug-checked
+/// only, as this is the allocation-free hot path.
+///
+/// # Panics
+/// Panics if `n > 64` (use [`sample_multinomial_with`]).
+pub fn sample_multinomial_trials<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: u64,
+    weights: &[f64],
+    total: f64,
+    scratch: &mut MultinomialScratch,
+    out_idx: &mut Vec<u32>,
+) {
+    assert!(n <= 64, "sample_multinomial_trials: n={n} > 64");
+    out_idx.clear();
+    if n == 0 {
+        return;
+    }
+    if weights.len() == 1 {
+        // Matches the count path: the single category takes all trials
+        // without consuming randomness.
+        out_idx.resize(n as usize, 0);
+        return;
+    }
+    build_alias_table_presummed(
+        weights,
+        total,
+        &mut scratch.prob,
+        &mut scratch.alias,
+        &mut scratch.scaled,
+        &mut scratch.small,
+        &mut scratch.large,
+    );
+    for _ in 0..n {
+        let i = rng.gen_range(0..scratch.prob.len());
+        let drawn = if rng.gen::<f64>() < scratch.prob[i] {
+            i
+        } else {
+            scratch.alias[i]
+        };
+        out_idx.push(drawn as u32);
+    }
+}
+
+/// Draw a single category — the `n == 1` multinomial — with the exact
+/// RNG stream and outcome of building the full alias table and drawing
+/// once, but without materialising the table.
+///
+/// Two observations make this cheap: the Walker construction consumes
+/// no randomness, so the trial's `(index, uniform)` pair can be drawn
+/// *first*; and the trial only ever reads `prob[i0]`/`alias[i0]`, which
+/// are finalised the moment slot `i0` is popped from the small stack
+/// (or default to `prob = 1` if it never is). The pairing loop can
+/// therefore stop halfway on average and skip every table write.
+///
+/// Same caller contract as [`sample_multinomial_trials`]: `total` must
+/// equal `weights.iter().sum()` exactly, with non-negative finite
+/// weights (debug-checked only).
+pub fn sample_categorical_once<R: Rng + ?Sized>(
+    rng: &mut R,
+    weights: &[f64],
+    total: f64,
+    scratch: &mut MultinomialScratch,
+) -> usize {
+    debug_assert!(!weights.is_empty());
+    debug_assert!(weights.iter().all(|&w| w >= 0.0 && w.is_finite()));
+    debug_assert!(total > 0.0 && total.is_finite());
+    let k = weights.len();
+    if k == 1 {
+        // Matches the count path: no randomness consumed.
+        return 0;
+    }
+    let i0 = rng.gen_range(0..k);
+    let u = rng.gen::<f64>();
+    let kf = k as f64;
+    let scaled = &mut scratch.scaled;
+    let small = &mut scratch.small;
+    let large = &mut scratch.large;
+    scaled.clear();
+    small.clear();
+    large.clear();
+    for (i, &w) in weights.iter().enumerate() {
+        let s = w * kf / total;
+        scaled.push(s);
+        if s < 1.0 {
+            small.push(i);
+        } else {
+            large.push(i);
+        }
+    }
+    while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+        small.pop();
+        large.pop();
+        if s == i0 {
+            // prob[i0] = scaled[i0] as of this pop, alias[i0] = l.
+            return if u < scaled[s] { i0 } else { l };
+        }
+        scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+        if scaled[l] < 1.0 {
+            small.push(l);
+        } else {
+            large.push(l);
+        }
+    }
+    // Never small-popped: prob[i0] = 1.0 and u < 1.0 always.
+    i0
 }
 
 /// Draw from `Binomial(n, p)` — inversion for small `n·p`, normal
@@ -552,6 +774,85 @@ mod tests {
                 *ci as f64 / 100_000.0,
                 wi
             );
+        }
+    }
+
+    #[test]
+    fn multinomial_with_matches_allocating_version() {
+        let w = [0.5, 1.5, 3.0, 0.01];
+        let mut scratch = MultinomialScratch::default();
+        // Same seed must yield identical counts across the alias-table
+        // (n ≤ 64) and conditional-binomial (n > 64) paths, including
+        // when the scratch buffers are reused warm.
+        for (seed, n) in [(21u64, 1u64), (22, 7), (23, 64), (24, 65), (25, 10_000)] {
+            let a = sample_multinomial(&mut rng(seed), n, &w);
+            let mut b = vec![99u64; 1]; // stale content must be ignored
+            sample_multinomial_with(&mut rng(seed), n, &w, &mut scratch, &mut b);
+            assert_eq!(a, b, "n={n}");
+        }
+    }
+
+    #[test]
+    fn multinomial_trials_tally_to_counts() {
+        let w = [0.5, 1.5, 3.0, 0.01];
+        let total: f64 = w.iter().sum();
+        let mut scratch = MultinomialScratch::default();
+        let mut idx = Vec::new();
+        for (seed, n) in [(50u64, 0u64), (51, 1), (52, 13), (53, 64)] {
+            let counts = sample_multinomial(&mut rng(seed), n, &w);
+            sample_multinomial_trials(&mut rng(seed), n, &w, total, &mut scratch, &mut idx);
+            assert_eq!(idx.len() as u64, n);
+            let mut tally = vec![0u64; w.len()];
+            for &i in &idx {
+                tally[i as usize] += 1;
+            }
+            assert_eq!(tally, counts, "seed={seed} n={n}");
+        }
+        // Single category consumes no randomness in either path.
+        let mut r1 = rng(60);
+        let mut r2 = rng(60);
+        let a = sample_multinomial(&mut r1, 5, &[2.0]);
+        sample_multinomial_trials(&mut r2, 5, &[2.0], 2.0, &mut scratch, &mut idx);
+        assert_eq!(a, vec![5]);
+        assert_eq!(idx, vec![0; 5]);
+        assert_eq!(r1.gen::<u64>(), r2.gen::<u64>());
+    }
+
+    #[test]
+    fn categorical_once_matches_full_table_draw() {
+        let mut scratch = MultinomialScratch::default();
+        let mut r = rng(88);
+        // Random weight vectors across sizes; the early-exit draw must
+        // match Categorical (same table, same RNG stream) every time.
+        for trial in 0..500 {
+            let k = 1 + (trial % 97);
+            let w: Vec<f64> = (0..k)
+                .map(|_| if r.gen::<f64>() < 0.2 { 0.0 } else { r.gen::<f64>() * 3.0 })
+                .collect();
+            let total: f64 = w.iter().sum();
+            if total <= 0.0 {
+                continue;
+            }
+            let seed = 1000 + trial as u64;
+            let full = Categorical::new(&w).sample(&mut rng(seed));
+            let fast = sample_categorical_once(&mut rng(seed), &w, total, &mut scratch);
+            assert_eq!(full, fast, "trial={trial} k={k}");
+        }
+        // k == 1 consumes no randomness, like the count path.
+        let mut r1 = rng(7);
+        assert_eq!(sample_categorical_once(&mut r1, &[2.0], 2.0, &mut scratch), 0);
+        assert_eq!(r1.gen::<u64>(), rng(7).gen::<u64>());
+    }
+
+    #[test]
+    fn dirichlet_into_reuses_buffer_and_matches_sample() {
+        let alpha = vec![0.4, 2.0, 5.5];
+        let d = Dirichlet::new(alpha.clone());
+        let mut buf = vec![999.0; 7]; // stale content must be ignored
+        for seed in 30..35u64 {
+            let a = d.sample(&mut rng(seed));
+            sample_dirichlet_into(&mut rng(seed), &alpha, &mut buf);
+            assert_eq!(a, buf, "seed={seed}");
         }
     }
 

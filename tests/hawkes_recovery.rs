@@ -86,10 +86,16 @@ fn gibbs_chain_passes_convergence_diagnostics() {
     let basis = BasisSet::log_gaussian(60, 3);
     let truth = DiscreteHawkes::uniform_mixture(vec![0.03], Matrix::from_rows(&[&[0.4]]), &basis);
     let data = simulate(&truth, 60_000, &mut rng(5));
+    // A single-process chain mixes slowly: the W(0,0) draw is strongly
+    // autocorrelated through the parent allocations. Discard a longer
+    // prefix and keep every 4th sweep so the retained chain is close to
+    // equilibrium and the Geweke window means compare fairly — the
+    // z-bound itself stays strict.
     let sampler = GibbsSampler::new(
         GibbsConfig {
             n_samples: 300,
-            burn_in: 150,
+            burn_in: 600,
+            thin: 4,
             ..GibbsConfig::default()
         },
         basis,
