@@ -5,12 +5,19 @@
 //! ```text
 //! repro [--seed N] [--scale F] [--no-gaps] [--no-bots] [--em]
 //!       [--samples N] [--burn-in N] [--threads N] [--skip-influence]
-//!       [--compare] [--out PATH] [--metrics PATH] [--quiet] [--verbose]
+//!       [--checkpoint-dir PATH] [--resume] [--compare] [--out PATH]
+//!       [--metrics PATH] [--quiet] [--verbose]
 //! ```
 //!
 //! Generates the synthetic ecosystem, runs the full measurement
 //! pipeline, and prints the paper's tables and figures (plain text).
 //! With `--out`, also writes the report to a file.
+//!
+//! Crash recovery: `--checkpoint-dir` persists every completed URL fit
+//! as an atomic, checksummed shard; Ctrl-C finishes in-flight fits,
+//! flushes their shards, and exits with status 130. A later run with
+//! the same seed/config plus `--resume` skips the already-fitted URLs
+//! and reproduces the uninterrupted results bit for bit.
 //!
 //! Observability: progress and status go through the `centipede-obs`
 //! global registry. `--quiet` silences them, `--verbose` additionally
@@ -39,6 +46,8 @@ struct Args {
     burn_in: Option<usize>,
     threads: Option<usize>,
     skip_influence: bool,
+    checkpoint_dir: Option<String>,
+    resume: bool,
     compare: bool,
     out: Option<String>,
     metrics: Option<String>,
@@ -56,6 +65,8 @@ fn parse_args() -> Args {
         burn_in: None,
         threads: None,
         skip_influence: false,
+        checkpoint_dir: None,
+        resume: false,
         compare: false,
         out: None,
         metrics: None,
@@ -79,6 +90,10 @@ fn parse_args() -> Args {
                 args.threads = Some(n);
             }
             "--skip-influence" => args.skip_influence = true,
+            "--checkpoint-dir" => {
+                args.checkpoint_dir = Some(it.next().expect("--checkpoint-dir PATH"))
+            }
+            "--resume" => args.resume = true,
             "--compare" => args.compare = true,
             "--out" => args.out = Some(it.next().expect("--out PATH")),
             "--metrics" => args.metrics = Some(it.next().expect("--metrics PATH")),
@@ -88,6 +103,7 @@ fn parse_args() -> Args {
                 eprintln!(
                     "usage: repro [--seed N] [--scale F] [--no-gaps] [--no-bots] [--em] \
                      [--samples N] [--burn-in N] [--threads N] [--skip-influence] \
+                     [--checkpoint-dir PATH] [--resume] \
                      [--compare] [--out PATH] [--metrics PATH] [--quiet] [--verbose]\n\
                      \n\
                      --seed N          RNG seed (default 42)\n\
@@ -99,6 +115,8 @@ fn parse_args() -> Args {
                      --burn-in N       Gibbs burn-in sweeps (default samples/2)\n\
                      --threads N       fit-fleet worker threads (default: all cores)\n\
                      --skip-influence  skip the §5 Hawkes fitting stage\n\
+                     --checkpoint-dir PATH  persist each URL fit as a resumable shard\n\
+                     --resume          skip URLs already checkpointed under this config\n\
                      --compare         print the paper-vs-repro comparison table\n\
                      --out PATH        also write the report text to PATH\n\
                      --metrics PATH    write a metrics.json snapshot to PATH\n\
@@ -114,6 +132,51 @@ fn parse_args() -> Args {
         }
     }
     args
+}
+
+/// Cooperative SIGINT handling: the handler only flips a shared flag;
+/// the fit fleet polls it between URLs, flushes in-flight checkpoint
+/// shards, and returns an interrupted report.
+#[cfg(unix)]
+mod sigint {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, OnceLock};
+
+    static FLAG: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+
+    extern "C" fn on_sigint(_sig: i32) {
+        // Only an atomic store — async-signal-safe.
+        if let Some(flag) = FLAG.get() {
+            flag.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Install the handler and return the flag it sets.
+    pub fn install() -> Arc<AtomicBool> {
+        let flag = FLAG
+            .get_or_init(|| Arc::new(AtomicBool::new(false)))
+            .clone();
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        unsafe {
+            signal(SIGINT, on_sigint as *const () as usize);
+        }
+        flag
+    }
+}
+
+#[cfg(not(unix))]
+mod sigint {
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    /// No handler on non-unix targets: the flag exists but nothing sets
+    /// it, so the fleet simply runs to completion.
+    pub fn install() -> Arc<AtomicBool> {
+        Arc::new(AtomicBool::new(false))
+    }
 }
 
 fn main() {
@@ -153,6 +216,9 @@ fn main() {
     config.fit.burn_in = args.burn_in.unwrap_or(args.samples / 2);
     config.fit.threads = args.threads;
     config.skip_influence = args.skip_influence;
+    config.fleet.checkpoint_dir = args.checkpoint_dir.as_ref().map(std::path::PathBuf::from);
+    config.fleet.resume = args.resume;
+    config.fleet.shutdown = Some(sigint::install());
 
     obs.message("running measurement pipeline ...");
     let t1 = std::time::Instant::now();
@@ -162,6 +228,12 @@ fn main() {
         t1.elapsed().as_secs_f64(),
         report.selection.selected
     ));
+    for q in &report.fleet.quarantined {
+        eprintln!(
+            "[repro] quarantined url {} (fleet idx {}) after {} attempts: {}",
+            q.url.0, q.idx, q.attempts, q.panic_message
+        );
+    }
 
     let text = report.render();
     println!("{text}");
@@ -211,5 +283,16 @@ fn main() {
             eprintln!("[repro] metrics export failed: {err}");
             std::process::exit(1);
         }
+    }
+
+    if report.fleet.interrupted {
+        eprintln!(
+            "[repro] fleet interrupted: {} of {} URLs fitted; \
+             completed fits are checkpointed — rerun with --resume to continue",
+            report.fleet.fitted + report.fleet.resumed,
+            report.fleet.total
+        );
+        // Conventional exit status for death-by-SIGINT.
+        std::process::exit(130);
     }
 }

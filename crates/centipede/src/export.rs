@@ -44,7 +44,7 @@ impl serde::Serialize for ReportShim<'_> {
     {
         use serde::ser::SerializeStruct;
         let r = self.0;
-        let mut s = serializer.serialize_struct("AnalysisReport", 18)?;
+        let mut s = serializer.serialize_struct("AnalysisReport", 19)?;
         s.serialize_field("table1", &r.table1)?;
         s.serialize_field("table2", &r.table2)?;
         s.serialize_field("table3", &r.table3)?;
@@ -63,6 +63,7 @@ impl serde::Serialize for ReportShim<'_> {
         s.serialize_field("fig8", &r.fig8)?;
         s.serialize_field("table11", &r.table11)?;
         s.serialize_field("fig10", &r.fig10)?;
+        s.serialize_field("fleet", &r.fleet)?;
         s.end()
     }
 }

@@ -1,0 +1,669 @@
+//! Per-URL posterior checkpoint shards for the fitting fleet.
+//!
+//! A fleet run over tens of thousands of URLs is hours of work; losing
+//! it to a crash or a SIGINT is the difference between a usable
+//! pipeline and a fragile batch job. Each completed fit can therefore
+//! be persisted as one small **shard** file:
+//!
+//! * written atomically (`shard-NNNNNNNN.ckpt.tmp` → fsync → rename),
+//!   so a kill mid-write never leaves a partial shard under the final
+//!   name;
+//! * checksummed (FNV-1a 64 over the entire body), so a flipped byte
+//!   anywhere surfaces as a typed error, never as a garbage fit;
+//! * self-describing (header records the fit-config fingerprint, the
+//!   fleet index, and the URL id), so `--resume` can verify a shard
+//!   belongs to the *current* sweep configuration before trusting it.
+//!
+//! Because per-URL RNGs derive from `(seed, idx)`, skipping already
+//! fitted URLs on resume reproduces the uninterrupted run bit for bit.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use centipede_dataset::domains::NewsCategory;
+use centipede_dataset::event::UrlId;
+use centipede_hawkes::discrete::{Posterior, PosteriorCodecError};
+use centipede_hawkes::matrix::Matrix;
+
+use super::fit::{Estimator, FitConfig, UrlFit};
+
+/// Magic prefix of a checkpoint shard file.
+pub const SHARD_MAGIC: [u8; 4] = *b"CPSH";
+
+/// Shard format version; decoders reject anything else.
+pub const SHARD_VERSION: u32 = 1;
+
+/// Streaming FNV-1a 64-bit hash — dependency-free, stable across
+/// platforms, and plenty for corruption detection (not cryptographic).
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x100_0000_01b3;
+
+    /// Fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv1a(Self::OFFSET)
+    }
+
+    /// Absorb bytes.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Current digest.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Hash the parts of a [`FitConfig`] that determine fit *results*:
+/// seed, lag window, basis size, sweep counts, and estimator. The
+/// thread count is deliberately excluded — the fleet is
+/// schedule-invariant, so shards written at `--threads 1` are valid
+/// for a resume at `--threads 16`.
+pub fn config_fingerprint(config: &FitConfig) -> u64 {
+    let mut h = Fnv1a::new();
+    h.update(&config.seed.to_le_bytes());
+    h.update(&(config.max_lag_minutes as u64).to_le_bytes());
+    h.update(&(config.n_basis as u64).to_le_bytes());
+    h.update(&(config.n_samples as u64).to_le_bytes());
+    h.update(&(config.burn_in as u64).to_le_bytes());
+    h.update(&[match config.estimator {
+        Estimator::Gibbs => 0u8,
+        Estimator::Em => 1u8,
+    }]);
+    h.finish()
+}
+
+/// Typed shard decoding / verification failure.
+#[derive(Debug)]
+pub enum ShardError {
+    /// Filesystem failure while reading or writing a shard.
+    Io(io::Error),
+    /// File ended before the encoding it declares.
+    Truncated,
+    /// File does not start with [`SHARD_MAGIC`].
+    BadMagic,
+    /// Unknown shard format version.
+    BadVersion(u32),
+    /// Body bytes do not hash to the stored checksum.
+    ChecksumMismatch {
+        /// Checksum recorded in the file.
+        stored: u64,
+        /// Checksum of the bytes actually present.
+        computed: u64,
+    },
+    /// Shard was written under a different fit configuration.
+    ConfigMismatch {
+        /// Fingerprint recorded in the shard.
+        stored: u64,
+        /// Fingerprint of the current configuration.
+        expected: u64,
+    },
+    /// Shard's URL id does not match the URL at its fleet index.
+    UrlMismatch {
+        /// URL recorded in the shard.
+        stored: UrlId,
+        /// URL expected at that index.
+        expected: UrlId,
+    },
+    /// The embedded posterior blob failed to decode.
+    Posterior(PosteriorCodecError),
+    /// A field holds a value outside its domain.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::Io(e) => write!(f, "shard io error: {e}"),
+            ShardError::Truncated => write!(f, "shard truncated"),
+            ShardError::BadMagic => write!(f, "not a checkpoint shard (bad magic)"),
+            ShardError::BadVersion(v) => write!(f, "unsupported shard version {v}"),
+            ShardError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "shard checksum mismatch (stored {stored:#018x}, computed {computed:#018x})"
+            ),
+            ShardError::ConfigMismatch { stored, expected } => write!(
+                f,
+                "shard written under different fit config \
+                 (fingerprint {stored:#018x}, expected {expected:#018x})"
+            ),
+            ShardError::UrlMismatch { stored, expected } => write!(
+                f,
+                "shard url {} does not match expected url {} at its index",
+                stored.0, expected.0
+            ),
+            ShardError::Posterior(e) => write!(f, "shard posterior: {e}"),
+            ShardError::Malformed(what) => write!(f, "malformed shard field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ShardError::Io(e) => Some(e),
+            ShardError::Posterior(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ShardError {
+    fn from(e: io::Error) -> Self {
+        ShardError::Io(e)
+    }
+}
+
+impl From<PosteriorCodecError> for ShardError {
+    fn from(e: PosteriorCodecError) -> Self {
+        ShardError::Posterior(e)
+    }
+}
+
+/// One persisted fit: the fleet index it occupies, the fingerprint of
+/// the configuration that produced it, the summary [`UrlFit`], and —
+/// for Gibbs fits — the full posterior.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Shard {
+    /// Position in the prepared-URL list (drives the per-URL RNG seed).
+    pub idx: u64,
+    /// [`config_fingerprint`] of the producing configuration.
+    pub fingerprint: u64,
+    /// The fitted summary.
+    pub fit: UrlFit,
+    /// Full posterior samples (`None` for EM fits).
+    pub posterior: Option<Posterior>,
+}
+
+impl Shard {
+    /// Verify this shard belongs to the current sweep: fingerprint and
+    /// the URL expected at its fleet index must both match.
+    pub fn validate_against(
+        &self,
+        fingerprint: u64,
+        expected_url: UrlId,
+    ) -> Result<(), ShardError> {
+        if self.fingerprint != fingerprint {
+            return Err(ShardError::ConfigMismatch {
+                stored: self.fingerprint,
+                expected: fingerprint,
+            });
+        }
+        if self.fit.url != expected_url {
+            return Err(ShardError::UrlMismatch {
+                stored: self.fit.url,
+                expected: expected_url,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Canonical file name of the shard at fleet index `idx`.
+pub fn shard_file_name(idx: u64) -> String {
+    format!("shard-{idx:08}.ckpt")
+}
+
+/// Canonical path of the shard at fleet index `idx` under `dir`.
+pub fn shard_path(dir: &Path, idx: u64) -> PathBuf {
+    dir.join(shard_file_name(idx))
+}
+
+fn push_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+/// Encode a shard: magic + version, checksummed body, trailing FNV-1a.
+pub fn encode_shard(shard: &Shard) -> Vec<u8> {
+    let mut body = Vec::with_capacity(128 + 8 * shard.fit.weights.flat().len());
+    body.extend_from_slice(&shard.fingerprint.to_le_bytes());
+    body.extend_from_slice(&shard.idx.to_le_bytes());
+    body.extend_from_slice(&shard.fit.url.0.to_le_bytes());
+    body.push(match shard.fit.category {
+        NewsCategory::Mainstream => 0u8,
+        NewsCategory::Alternative => 1u8,
+    });
+    body.extend_from_slice(&shard.fit.n_bins.to_le_bytes());
+    for &n in &shard.fit.events_per_community {
+        body.extend_from_slice(&n.to_le_bytes());
+    }
+    for &l in &shard.fit.lambda0 {
+        push_f64(&mut body, l);
+    }
+    body.extend_from_slice(&(shard.fit.weights.k() as u32).to_le_bytes());
+    for &w in shard.fit.weights.flat() {
+        push_f64(&mut body, w);
+    }
+    match &shard.posterior {
+        None => body.push(0u8),
+        Some(p) => {
+            body.push(1u8);
+            let blob = p.to_bytes();
+            body.extend_from_slice(&(blob.len() as u64).to_le_bytes());
+            body.extend_from_slice(&blob);
+        }
+    }
+
+    let mut h = Fnv1a::new();
+    h.update(&body);
+    let mut out = Vec::with_capacity(16 + body.len());
+    out.extend_from_slice(&SHARD_MAGIC);
+    out.extend_from_slice(&SHARD_VERSION.to_le_bytes());
+    out.extend_from_slice(&body);
+    out.extend_from_slice(&h.finish().to_le_bytes());
+    out
+}
+
+/// Bounded little-endian reader; errors are [`ShardError::Truncated`].
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ShardError> {
+        let end = self.pos.checked_add(n).ok_or(ShardError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(ShardError::Truncated);
+        }
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn read_u8(&mut self) -> Result<u8, ShardError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn read_u32(&mut self) -> Result<u32, ShardError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn read_u64(&mut self) -> Result<u64, ShardError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn read_f64(&mut self) -> Result<f64, ShardError> {
+        Ok(f64::from_bits(self.read_u64()?))
+    }
+}
+
+/// Decode a shard, verifying magic, version, and the body checksum
+/// before interpreting a single field. Any byte flip anywhere in the
+/// file yields a typed error.
+pub fn decode_shard(bytes: &[u8]) -> Result<Shard, ShardError> {
+    if bytes.len() < 16 {
+        return Err(ShardError::Truncated);
+    }
+    if bytes[..4] != SHARD_MAGIC {
+        return Err(ShardError::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    if version != SHARD_VERSION {
+        return Err(ShardError::BadVersion(version));
+    }
+    let body = &bytes[8..bytes.len() - 8];
+    let stored = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap());
+    let mut h = Fnv1a::new();
+    h.update(body);
+    let computed = h.finish();
+    if stored != computed {
+        return Err(ShardError::ChecksumMismatch { stored, computed });
+    }
+
+    let mut c = Cursor {
+        bytes: body,
+        pos: 0,
+    };
+    let fingerprint = c.read_u64()?;
+    let idx = c.read_u64()?;
+    let url = UrlId(c.read_u32()?);
+    let category = match c.read_u8()? {
+        0 => NewsCategory::Mainstream,
+        1 => NewsCategory::Alternative,
+        _ => return Err(ShardError::Malformed("category")),
+    };
+    let n_bins = c.read_u32()?;
+    let mut events_per_community = [0u64; 8];
+    for e in &mut events_per_community {
+        *e = c.read_u64()?;
+    }
+    let mut lambda0 = [0.0f64; 8];
+    for l in &mut lambda0 {
+        *l = c.read_f64()?;
+    }
+    let k = c.read_u32()? as usize;
+    if k == 0 || k > 4096 {
+        return Err(ShardError::Malformed("weight dimension"));
+    }
+    let mut flat = Vec::with_capacity(k * k);
+    for _ in 0..k * k {
+        flat.push(c.read_f64()?);
+    }
+    let weights = Matrix::from_flat(k, flat);
+    let posterior = match c.read_u8()? {
+        0 => None,
+        1 => {
+            let len = c.read_u64()? as usize;
+            Some(Posterior::from_bytes(c.take(len)?)?)
+        }
+        _ => return Err(ShardError::Malformed("posterior flag")),
+    };
+    if c.pos != body.len() {
+        return Err(ShardError::Malformed("trailing bytes"));
+    }
+    Ok(Shard {
+        idx,
+        fingerprint,
+        fit: UrlFit {
+            url,
+            category,
+            weights,
+            lambda0,
+            events_per_community,
+            n_bins,
+        },
+        posterior,
+    })
+}
+
+/// Read and decode one shard file.
+pub fn read_shard(path: &Path) -> Result<Shard, ShardError> {
+    decode_shard(&fs::read(path)?)
+}
+
+/// Write a shard atomically under its canonical name in `dir`:
+/// the bytes land in `<name>.tmp`, are fsynced, and only then renamed
+/// into place — a crash mid-write never produces a readable partial
+/// shard, and a crash mid-rename leaves either the old file or the new.
+pub fn write_shard_atomic(dir: &Path, shard: &Shard) -> Result<PathBuf, ShardError> {
+    let final_path = shard_path(dir, shard.idx);
+    let tmp_path = dir.join(format!("{}.tmp", shard_file_name(shard.idx)));
+    let bytes = encode_shard(shard);
+    let mut file = fs::File::create(&tmp_path)?;
+    file.write_all(&bytes)?;
+    file.sync_all()?;
+    drop(file);
+    fs::rename(&tmp_path, &final_path)?;
+    Ok(final_path)
+}
+
+/// Outcome of scanning a checkpoint directory for resumable shards.
+#[derive(Debug, Default)]
+pub struct ResumeScan {
+    /// Decoded, fingerprint-matching shards by fleet index.
+    pub shards: BTreeMap<u64, Shard>,
+    /// Shards skipped because they were written under another config.
+    pub mismatched: usize,
+    /// Shards skipped because they failed to decode (corruption,
+    /// truncation, foreign files matching the name pattern).
+    pub corrupt: usize,
+}
+
+/// Scan `dir` for `shard-*.ckpt` files matching `fingerprint`.
+/// Leftover `.tmp` files from interrupted writes are ignored. A missing
+/// directory is an empty scan, not an error — resuming into a fresh
+/// directory is the same as a cold start.
+pub fn scan_dir(dir: &Path, fingerprint: u64) -> Result<ResumeScan, ShardError> {
+    let mut scan = ResumeScan::default();
+    let entries = match fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(scan),
+        Err(e) => return Err(ShardError::Io(e)),
+    };
+    for entry in entries {
+        let entry = entry?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if !name.starts_with("shard-") || !name.ends_with(".ckpt") {
+            continue;
+        }
+        match read_shard(&entry.path()) {
+            Err(_) => scan.corrupt += 1,
+            Ok(shard) if shard.fingerprint != fingerprint => scan.mismatched += 1,
+            Ok(shard) => {
+                scan.shards.insert(shard.idx, shard);
+            }
+        }
+    }
+    Ok(scan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("centipede-ckpt-test-{}-{name}", std::process::id()));
+        fs::remove_dir_all(&dir).ok();
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_fit(url: u32) -> UrlFit {
+        UrlFit {
+            url: UrlId(url),
+            category: NewsCategory::Alternative,
+            weights: Matrix::from_rows(&[&[0.25, 0.5], &[0.75, 1.0]]),
+            lambda0: [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8],
+            events_per_community: [1, 2, 3, 4, 5, 6, 7, 8],
+            n_bins: 1440,
+        }
+    }
+
+    fn sample_posterior() -> Posterior {
+        let mut p = Posterior::new(2, 2);
+        p.push(
+            vec![0.5, 1.5],
+            Matrix::constant(2, 0.25),
+            vec![0.1, 0.9],
+            Some(-3.5),
+        );
+        p.push(
+            vec![0.75, 1.25],
+            Matrix::constant(2, 0.5),
+            vec![0.2, 0.8],
+            None,
+        );
+        p
+    }
+
+    fn sample_shard() -> Shard {
+        Shard {
+            idx: 17,
+            fingerprint: 0xDEAD_BEEF_CAFE_F00D,
+            fit: sample_fit(42),
+            posterior: Some(sample_posterior()),
+        }
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        let mut h = Fnv1a::new();
+        h.update(b"");
+        assert_eq!(h.finish(), 0xcbf2_9ce4_8422_2325);
+        let mut h = Fnv1a::new();
+        h.update(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+        let mut h = Fnv1a::new();
+        h.update(b"foobar");
+        assert_eq!(h.finish(), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn shard_roundtrips_with_and_without_posterior() {
+        let with = sample_shard();
+        assert_eq!(decode_shard(&encode_shard(&with)).unwrap(), with);
+        let without = Shard {
+            posterior: None,
+            ..sample_shard()
+        };
+        assert_eq!(decode_shard(&encode_shard(&without)).unwrap(), without);
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_a_typed_error() {
+        let bytes = encode_shard(&sample_shard());
+        for pos in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= 0x01;
+            assert!(
+                decode_shard(&corrupt).is_err(),
+                "flip at byte {pos} decoded successfully"
+            );
+        }
+        // And truncation at every length.
+        for len in 0..bytes.len() {
+            assert!(decode_shard(&bytes[..len]).is_err(), "truncation to {len}");
+        }
+    }
+
+    #[test]
+    fn checksum_error_reports_both_digests() {
+        let mut bytes = encode_shard(&sample_shard());
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        match decode_shard(&bytes) {
+            Err(ShardError::ChecksumMismatch { stored, computed }) => {
+                assert_ne!(stored, computed)
+            }
+            other => panic!("expected checksum mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn magic_and_version_are_checked_first() {
+        let bytes = encode_shard(&sample_shard());
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] = b'X';
+        assert!(matches!(
+            decode_shard(&bad_magic),
+            Err(ShardError::BadMagic)
+        ));
+        let mut bad_version = bytes;
+        bad_version[4] = 7;
+        assert!(matches!(
+            decode_shard(&bad_version),
+            Err(ShardError::BadVersion(7))
+        ));
+    }
+
+    #[test]
+    fn validate_against_checks_fingerprint_then_url() {
+        let shard = sample_shard();
+        assert!(shard.validate_against(shard.fingerprint, UrlId(42)).is_ok());
+        assert!(matches!(
+            shard.validate_against(1, UrlId(42)),
+            Err(ShardError::ConfigMismatch { .. })
+        ));
+        assert!(matches!(
+            shard.validate_against(shard.fingerprint, UrlId(7)),
+            Err(ShardError::UrlMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn config_fingerprint_tracks_result_relevant_fields_only() {
+        let base = FitConfig::default();
+        let fp = config_fingerprint(&base);
+        // Threads are schedule-only: same fingerprint.
+        let threads = FitConfig {
+            threads: Some(16),
+            ..base.clone()
+        };
+        assert_eq!(config_fingerprint(&threads), fp);
+        // Everything result-relevant changes it.
+        for other in [
+            FitConfig {
+                seed: 1,
+                ..base.clone()
+            },
+            FitConfig {
+                n_samples: base.n_samples + 1,
+                ..base.clone()
+            },
+            FitConfig {
+                burn_in: base.burn_in + 1,
+                ..base.clone()
+            },
+            FitConfig {
+                n_basis: base.n_basis + 1,
+                ..base.clone()
+            },
+            FitConfig {
+                max_lag_minutes: base.max_lag_minutes + 1,
+                ..base.clone()
+            },
+            FitConfig {
+                estimator: Estimator::Em,
+                ..base.clone()
+            },
+        ] {
+            assert_ne!(config_fingerprint(&other), fp, "{other:?}");
+        }
+    }
+
+    #[test]
+    fn atomic_write_then_read_roundtrips() {
+        let dir = test_dir("atomic");
+        let shard = sample_shard();
+        let path = write_shard_atomic(&dir, &shard).unwrap();
+        assert_eq!(path, shard_path(&dir, 17));
+        assert_eq!(read_shard(&path).unwrap(), shard);
+        // No tmp file left behind.
+        assert!(!dir.join("shard-00000017.ckpt.tmp").exists());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scan_classifies_matching_mismatched_and_corrupt() {
+        let dir = test_dir("scan");
+        let good = sample_shard();
+        write_shard_atomic(&dir, &good).unwrap();
+        let foreign = Shard {
+            idx: 3,
+            fingerprint: good.fingerprint ^ 1,
+            ..sample_shard()
+        };
+        write_shard_atomic(&dir, &foreign).unwrap();
+        fs::write(shard_path(&dir, 99), b"not a shard").unwrap();
+        // A leftover tmp from an interrupted write is ignored entirely.
+        fs::write(dir.join("shard-00000005.ckpt.tmp"), b"partial").unwrap();
+
+        let scan = scan_dir(&dir, good.fingerprint).unwrap();
+        assert_eq!(scan.shards.len(), 1);
+        assert_eq!(scan.shards[&17], good);
+        assert_eq!(scan.mismatched, 1);
+        assert_eq!(scan.corrupt, 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scanning_a_missing_directory_is_empty_not_an_error() {
+        let dir = std::env::temp_dir().join(format!(
+            "centipede-ckpt-test-{}-never-created",
+            std::process::id()
+        ));
+        let scan = scan_dir(&dir, 0).unwrap();
+        assert!(scan.shards.is_empty());
+        assert_eq!(scan.mismatched + scan.corrupt, 0);
+    }
+}

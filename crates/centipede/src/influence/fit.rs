@@ -6,6 +6,21 @@
 //! threads with `crossbeam::scope`; each worker owns a deterministic
 //! RNG derived from the base seed and the URL index, so results are
 //! reproducible regardless of thread scheduling.
+//!
+//! [`fit_fleet`] layers fault tolerance on top: per-URL checkpoint
+//! shards (see [`super::checkpoint`]) with `--resume` support, panic
+//! isolation per fit (a panicking URL is retried, then quarantined and
+//! reported instead of aborting the fleet), and cooperative shutdown
+//! via a shared flag so SIGINT flushes completed shards and exits
+//! cleanly. Because per-URL RNGs depend only on `(seed, idx)`, an
+//! interrupted-and-resumed fleet reproduces an uninterrupted run bit
+//! for bit.
+
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 use rand::SeedableRng;
@@ -13,9 +28,13 @@ use serde::{Deserialize, Serialize};
 
 use centipede_dataset::domains::NewsCategory;
 use centipede_dataset::event::UrlId;
-use centipede_hawkes::discrete::{BasisSet, EmConfig, EmFitter, GibbsConfig, GibbsSampler};
+use centipede_hawkes::discrete::{
+    BasisSet, EmConfig, EmFitter, GibbsConfig, GibbsSampler, Posterior,
+};
 use centipede_hawkes::matrix::Matrix;
+use centipede_obs::names as metric;
 
+use super::checkpoint::{self, Shard};
 use super::prepare::PreparedUrl;
 
 /// Which estimator drives the fleet.
@@ -77,8 +96,133 @@ pub struct UrlFit {
     pub n_bins: u32,
 }
 
+/// Robustness knobs for a fleet run. [`FleetOptions::default`] is the
+/// legacy behaviour minus aborts: no checkpointing, no resume, one
+/// retry after a panic.
+#[derive(Debug, Clone)]
+pub struct FleetOptions {
+    /// Directory for checkpoint shards (`None` disables persistence).
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Skip URLs whose shard in `checkpoint_dir` matches the current
+    /// config fingerprint and URL id.
+    pub resume: bool,
+    /// Extra attempts after a fit panics before quarantining it.
+    pub max_retries: u32,
+    /// Stop claiming new URLs once this many fits have started
+    /// (simulates a mid-run kill in tests; `None` = unbounded).
+    pub max_fits: Option<usize>,
+    /// Cooperative shutdown flag — when set (e.g. by a SIGINT handler),
+    /// workers finish their current URL, flush its shard, and stop.
+    pub shutdown: Option<Arc<AtomicBool>>,
+}
+
+impl Default for FleetOptions {
+    fn default() -> Self {
+        FleetOptions {
+            checkpoint_dir: None,
+            resume: false,
+            max_retries: 1,
+            max_fits: None,
+            shutdown: None,
+        }
+    }
+}
+
+impl PartialEq for FleetOptions {
+    fn eq(&self, other: &Self) -> bool {
+        let shutdown_eq = match (&self.shutdown, &other.shutdown) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        };
+        self.checkpoint_dir == other.checkpoint_dir
+            && self.resume == other.resume
+            && self.max_retries == other.max_retries
+            && self.max_fits == other.max_fits
+            && shutdown_eq
+    }
+}
+
+/// A URL whose fit panicked on every allowed attempt.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct QuarantinedUrl {
+    /// Which URL.
+    pub url: UrlId,
+    /// Its fleet index.
+    pub idx: u64,
+    /// How many attempts were made.
+    pub attempts: u32,
+    /// Message of the last panic.
+    pub panic_message: String,
+}
+
+/// Accounting of one fleet run, reported alongside the fits.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct FleetSummary {
+    /// URLs in the prepared input.
+    pub total: usize,
+    /// URLs fitted by running the estimator this run.
+    pub fitted: usize,
+    /// URLs satisfied from checkpoint shards.
+    pub resumed: usize,
+    /// Resume-scan shards skipped for config/URL mismatch.
+    pub resume_mismatched: usize,
+    /// Resume-scan shards skipped as corrupt.
+    pub resume_corrupt: usize,
+    /// Retry attempts performed after panics.
+    pub retried: usize,
+    /// Checkpoint shards written.
+    pub shards_written: usize,
+    /// Checkpoint shard writes that failed.
+    pub shard_errors: usize,
+    /// Whether the run stopped early (shutdown flag or fit budget).
+    pub interrupted: bool,
+    /// URLs excluded after exhausting their attempts.
+    pub quarantined: Vec<QuarantinedUrl>,
+}
+
+/// Fits plus the run's fault-tolerance accounting.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Per-URL fits in input order (quarantined and not-yet-fitted URLs
+    /// are absent).
+    pub fits: Vec<UrlFit>,
+    /// What happened.
+    pub summary: FleetSummary,
+}
+
 /// Fit every prepared URL. Returns fits in the input order.
+///
+/// Thin wrapper over [`fit_fleet`] with default options; persistently
+/// panicking URLs are quarantined (dropped from the output) rather
+/// than aborting the fleet.
 pub fn fit_urls(prepared: &[PreparedUrl], config: &FitConfig) -> Vec<UrlFit> {
+    fit_fleet(prepared, config, &FleetOptions::default()).fits
+}
+
+/// Run the fitting fleet with fault tolerance: checkpoint shards,
+/// resume, per-fit panic isolation with retry, and cooperative
+/// shutdown.
+pub fn fit_fleet(
+    prepared: &[PreparedUrl],
+    config: &FitConfig,
+    options: &FleetOptions,
+) -> FleetReport {
+    fit_fleet_with(prepared, config, options, fit_one_full)
+}
+
+/// [`fit_fleet`] with an injectable per-URL fit function — the seam
+/// that fault-injection tests use to make chosen URLs panic without
+/// contriving pathological inputs.
+pub fn fit_fleet_with<F>(
+    prepared: &[PreparedUrl],
+    config: &FitConfig,
+    options: &FleetOptions,
+    fit_fn: F,
+) -> FleetReport
+where
+    F: Fn(&PreparedUrl, &FitConfig, u64) -> (UrlFit, Option<Posterior>) + Sync,
+{
     assert!(config.max_lag_minutes >= 1, "FitConfig: max_lag_minutes");
     assert!(config.n_basis >= 1, "FitConfig: n_basis");
     for p in prepared {
@@ -93,9 +237,67 @@ pub fn fit_urls(prepared: &[PreparedUrl], config: &FitConfig) -> Vec<UrlFit> {
             p.events.n_processes()
         );
     }
+    let mut summary = FleetSummary {
+        total: prepared.len(),
+        ..FleetSummary::default()
+    };
     if prepared.is_empty() {
-        return Vec::new();
+        return FleetReport {
+            fits: Vec::new(),
+            summary,
+        };
     }
+
+    let fingerprint = checkpoint::config_fingerprint(config);
+
+    // A checkpoint directory that cannot be created disables
+    // persistence for the run instead of failing it: the fits are the
+    // product, the shards an insurance policy.
+    let mut checkpoint_dir = options.checkpoint_dir.clone();
+    if let Some(dir) = &checkpoint_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            centipede_obs::global().message(&format!(
+                "checkpointing disabled: cannot create {}: {e}",
+                dir.display()
+            ));
+            summary.shard_errors += 1;
+            checkpoint_dir = None;
+        }
+    }
+
+    // Resume: trust a shard only if it decodes, carries the current
+    // config fingerprint, and names the URL actually at its index.
+    let mut resumed: BTreeMap<usize, UrlFit> = BTreeMap::new();
+    if options.resume {
+        if let Some(dir) = &checkpoint_dir {
+            match checkpoint::scan_dir(dir, fingerprint) {
+                Ok(scan) => {
+                    summary.resume_mismatched = scan.mismatched;
+                    summary.resume_corrupt = scan.corrupt;
+                    for (idx, shard) in scan.shards {
+                        let i = idx as usize;
+                        if i < prepared.len() && shard.fit.url == prepared[i].url {
+                            resumed.insert(i, shard.fit);
+                        } else {
+                            summary.resume_mismatched += 1;
+                        }
+                    }
+                }
+                Err(e) => {
+                    centipede_obs::global().message(&format!(
+                        "resume scan of {} failed, fitting from scratch: {e}",
+                        dir.display()
+                    ));
+                }
+            }
+        }
+    }
+    summary.resumed = resumed.len();
+
+    let pending: Vec<usize> = (0..prepared.len())
+        .filter(|i| !resumed.contains_key(i))
+        .collect();
+
     let n_threads = config
         .threads
         .unwrap_or_else(|| {
@@ -117,37 +319,122 @@ pub fn fit_urls(prepared: &[PreparedUrl], config: &FitConfig) -> Vec<UrlFit> {
     let progress = centipede_obs::ProgressMeter::new(
         centipede_obs::global(),
         "fit_urls",
-        prepared.len() as u64,
+        pending.len() as u64,
     );
 
     // Workers accumulate (idx, fit) locally and merge under the lock once at
     // exit, so the shared Mutex is taken n_threads times rather than once per
     // URL. Output order is restored from the recorded indices.
-    let results: Mutex<Vec<(usize, UrlFit)>> = Mutex::new(Vec::with_capacity(prepared.len()));
-    let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, UrlFit)>> = Mutex::new(Vec::with_capacity(pending.len()));
+    let quarantined: Mutex<Vec<QuarantinedUrl>> = Mutex::new(Vec::new());
+    let next = AtomicUsize::new(0);
+    let started = AtomicUsize::new(0);
+    let retries = AtomicUsize::new(0);
+    let shards_written = AtomicUsize::new(0);
+    let shard_errors = AtomicUsize::new(0);
+    let interrupted = AtomicBool::new(false);
 
     crossbeam::scope(|scope| {
-        for worker in 0..n_threads.min(prepared.len()) {
+        for worker in 0..n_threads.min(pending.len()) {
             let results = &results;
+            let quarantined = &quarantined;
             let next = &next;
+            let started = &started;
+            let retries = &retries;
+            let shards_written = &shards_written;
+            let shard_errors = &shard_errors;
+            let interrupted = &interrupted;
             let progress = &progress;
             let fit_hist = &fit_hist;
+            let fit_fn = &fit_fn;
+            let checkpoint_dir = checkpoint_dir.as_deref();
+            let pending = &pending;
             scope.spawn(move |_| {
                 let worker_counter = centipede_obs::counter(&format!("fit.worker.{worker}.urls"));
                 let mut local: Vec<(usize, UrlFit)> = Vec::new();
+                let mut local_quarantine: Vec<QuarantinedUrl> = Vec::new();
                 loop {
-                    let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if idx >= prepared.len() {
+                    if let Some(flag) = &options.shutdown {
+                        if flag.load(Ordering::Relaxed) {
+                            interrupted.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                    // Claim a queue slot before consuming a budget
+                    // slot, so a budget no smaller than the queue never
+                    // reports a completed run as interrupted.
+                    let pos = next.fetch_add(1, Ordering::Relaxed);
+                    if pos >= pending.len() {
                         break;
                     }
-                    let start = std::time::Instant::now();
-                    let fit = fit_one(&prepared[idx], config, idx as u64);
-                    fit_hist.record_duration(start.elapsed());
-                    worker_counter.inc(1);
-                    progress.inc(1);
-                    local.push((idx, fit));
+                    if let Some(max) = options.max_fits {
+                        if started.fetch_add(1, Ordering::Relaxed) >= max {
+                            interrupted.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                    let idx = pending[pos];
+                    let mut attempts = 0u32;
+                    let mut outcome: Option<(UrlFit, Option<Posterior>)> = None;
+                    let mut last_panic = String::new();
+                    while attempts <= options.max_retries {
+                        attempts += 1;
+                        let start = std::time::Instant::now();
+                        match catch_unwind(AssertUnwindSafe(|| {
+                            fit_fn(&prepared[idx], config, idx as u64)
+                        })) {
+                            Ok(res) => {
+                                fit_hist.record_duration(start.elapsed());
+                                outcome = Some(res);
+                                break;
+                            }
+                            Err(payload) => {
+                                last_panic = panic_message(payload.as_ref());
+                                if attempts <= options.max_retries {
+                                    retries.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                    }
+                    match outcome {
+                        Some((fit, posterior)) => {
+                            if let Some(dir) = checkpoint_dir {
+                                let shard = Shard {
+                                    idx: idx as u64,
+                                    fingerprint,
+                                    fit: fit.clone(),
+                                    posterior,
+                                };
+                                match checkpoint::write_shard_atomic(dir, &shard) {
+                                    Ok(_) => {
+                                        shards_written.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    Err(e) => {
+                                        shard_errors.fetch_add(1, Ordering::Relaxed);
+                                        centipede_obs::global().message(&format!(
+                                            "shard write failed for url {}: {e}",
+                                            fit.url.0
+                                        ));
+                                    }
+                                }
+                            }
+                            worker_counter.inc(1);
+                            progress.inc(1);
+                            local.push((idx, fit));
+                        }
+                        None => {
+                            progress.inc(1);
+                            local_quarantine.push(QuarantinedUrl {
+                                url: prepared[idx].url,
+                                idx: idx as u64,
+                                attempts,
+                                panic_message: last_panic,
+                            });
+                        }
+                    }
                 }
                 results.lock().append(&mut local);
+                quarantined.lock().append(&mut local_quarantine);
             });
         }
     })
@@ -155,14 +442,60 @@ pub fn fit_urls(prepared: &[PreparedUrl], config: &FitConfig) -> Vec<UrlFit> {
 
     progress.finish();
 
-    let mut merged = results.into_inner();
-    merged.sort_unstable_by_key(|(idx, _)| *idx);
-    debug_assert_eq!(merged.len(), prepared.len(), "every URL fitted");
-    merged.into_iter().map(|(_, fit)| fit).collect()
+    let mut by_idx: BTreeMap<usize, UrlFit> = resumed;
+    for (idx, fit) in results.into_inner() {
+        by_idx.insert(idx, fit);
+    }
+    summary.fitted = by_idx.len() - summary.resumed;
+    summary.retried = retries.into_inner();
+    summary.shards_written = shards_written.into_inner();
+    summary.shard_errors += shard_errors.into_inner();
+    summary.interrupted = interrupted.into_inner();
+    summary.quarantined = quarantined.into_inner();
+    summary.quarantined.sort_unstable_by_key(|q| q.idx);
+
+    centipede_obs::counter(metric::FLEET_FITTED).inc(summary.fitted as u64);
+    centipede_obs::counter(metric::FLEET_RESUMED).inc(summary.resumed as u64);
+    centipede_obs::counter(metric::FLEET_QUARANTINED).inc(summary.quarantined.len() as u64);
+    centipede_obs::counter(metric::FLEET_RETRIES).inc(summary.retried as u64);
+    centipede_obs::counter(metric::FLEET_SHARDS_WRITTEN).inc(summary.shards_written as u64);
+    centipede_obs::counter(metric::FLEET_SHARD_ERRORS).inc(summary.shard_errors as u64);
+    centipede_obs::counter(metric::FLEET_RESUME_MISMATCHED).inc(summary.resume_mismatched as u64);
+    centipede_obs::counter(metric::FLEET_RESUME_CORRUPT).inc(summary.resume_corrupt as u64);
+    if summary.interrupted {
+        centipede_obs::counter(metric::FLEET_INTERRUPTED).inc(1);
+    }
+
+    FleetReport {
+        fits: by_idx.into_values().collect(),
+        summary,
+    }
+}
+
+/// Render a panic payload as best we can (panics carry `&str` or
+/// `String` in practice).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// Fit a single URL (deterministic given `config.seed` and `idx`).
 pub fn fit_one(prepared: &PreparedUrl, config: &FitConfig, idx: u64) -> UrlFit {
+    fit_one_full(prepared, config, idx).0
+}
+
+/// Fit a single URL, also returning the full posterior for Gibbs fits
+/// (checkpoint shards persist it; EM has no posterior).
+pub fn fit_one_full(
+    prepared: &PreparedUrl,
+    config: &FitConfig,
+    idx: u64,
+) -> (UrlFit, Option<Posterior>) {
     assert_eq!(
         prepared.events.n_processes(),
         8,
@@ -179,7 +512,7 @@ pub fn fit_one(prepared: &PreparedUrl, config: &FitConfig, idx: u64) -> UrlFit {
     let basis = BasisSet::log_gaussian(max_lag, config.n_basis);
     let mut rng =
         rand::rngs::StdRng::seed_from_u64(config.seed.wrapping_add(idx.wrapping_mul(0x9E3779B9)));
-    let (weights, lambda0_vec) = match config.estimator {
+    let (weights, lambda0_vec, posterior) = match config.estimator {
         Estimator::Gibbs => {
             let sampler = GibbsSampler::new(
                 GibbsConfig {
@@ -190,7 +523,11 @@ pub fn fit_one(prepared: &PreparedUrl, config: &FitConfig, idx: u64) -> UrlFit {
                 basis,
             );
             let posterior = sampler.fit(&prepared.events, &mut rng);
-            (posterior.mean_weights(), posterior.mean_lambda0())
+            (
+                posterior.mean_weights(),
+                posterior.mean_lambda0(),
+                Some(posterior),
+            )
         }
         Estimator::Em => {
             let fitter = EmFitter::new(EmConfig::default(), basis);
@@ -198,19 +535,23 @@ pub fn fit_one(prepared: &PreparedUrl, config: &FitConfig, idx: u64) -> UrlFit {
             (
                 result.model.weights().clone(),
                 result.model.lambda0().to_vec(),
+                None,
             )
         }
     };
     let mut lambda0 = [0.0; 8];
     lambda0.copy_from_slice(&lambda0_vec);
-    UrlFit {
-        url: prepared.url,
-        category: prepared.category,
-        weights,
-        lambda0,
-        events_per_community: prepared.events_per_community,
-        n_bins: prepared.events.n_bins(),
-    }
+    (
+        UrlFit {
+            url: prepared.url,
+            category: prepared.category,
+            weights,
+            lambda0,
+            events_per_community: prepared.events_per_community,
+            n_bins: prepared.events.n_bins(),
+        },
+        posterior,
+    )
 }
 
 #[cfg(test)]
@@ -240,6 +581,12 @@ mod tests {
             threads: Some(2),
             ..FitConfig::default()
         }
+    }
+
+    fn small_fleet(n: u32) -> Vec<PreparedUrl> {
+        (0..n)
+            .map(|u| prepared(u, &[(0, 7), (3, 7), (10, 6), (12, 0), (40, 7)], 500))
+            .collect()
     }
 
     #[test]
@@ -309,5 +656,168 @@ mod tests {
             duration: 6_000,
         };
         fit_urls(&[bad], &quick_config());
+    }
+
+    #[test]
+    fn persistent_panic_quarantines_instead_of_aborting() {
+        let urls = small_fleet(4);
+        let report = fit_fleet_with(
+            &urls,
+            &quick_config(),
+            &FleetOptions::default(),
+            |p, c, i| {
+                if i == 2 {
+                    panic!("injected failure on url {}", p.url.0);
+                }
+                fit_one_full(p, c, i)
+            },
+        );
+        assert_eq!(report.fits.len(), 3);
+        assert!(report.fits.iter().all(|f| f.url != UrlId(2)));
+        assert_eq!(report.summary.fitted, 3);
+        assert_eq!(report.summary.quarantined.len(), 1);
+        let q = &report.summary.quarantined[0];
+        assert_eq!(q.url, UrlId(2));
+        assert_eq!(q.attempts, 2); // first try + one retry
+        assert!(q.panic_message.contains("injected failure on url 2"));
+        assert_eq!(report.summary.retried, 1);
+        assert!(!report.summary.interrupted);
+    }
+
+    #[test]
+    fn flaky_fit_recovers_on_retry() {
+        let urls = small_fleet(3);
+        let already_failed = AtomicBool::new(false);
+        let report = fit_fleet_with(
+            &urls,
+            &quick_config(),
+            &FleetOptions::default(),
+            |p, c, i| {
+                if i == 1 && !already_failed.swap(true, Ordering::SeqCst) {
+                    panic!("transient failure");
+                }
+                fit_one_full(p, c, i)
+            },
+        );
+        assert_eq!(report.fits.len(), 3);
+        assert!(report.summary.quarantined.is_empty());
+        assert_eq!(report.summary.retried, 1);
+    }
+
+    #[test]
+    fn fit_budget_marks_run_interrupted() {
+        let urls = small_fleet(5);
+        let mut config = quick_config();
+        config.threads = Some(1);
+        let options = FleetOptions {
+            max_fits: Some(2),
+            ..FleetOptions::default()
+        };
+        let report = fit_fleet(&urls, &config, &options);
+        assert_eq!(report.fits.len(), 2);
+        assert!(report.summary.interrupted);
+        // A budget no smaller than the queue is not an interruption.
+        let options = FleetOptions {
+            max_fits: Some(5),
+            ..FleetOptions::default()
+        };
+        let report = fit_fleet(&urls, &config, &options);
+        assert_eq!(report.fits.len(), 5);
+        assert!(!report.summary.interrupted);
+    }
+
+    #[test]
+    fn preset_shutdown_flag_stops_before_any_fit() {
+        let urls = small_fleet(3);
+        let flag = Arc::new(AtomicBool::new(true));
+        let options = FleetOptions {
+            shutdown: Some(flag),
+            ..FleetOptions::default()
+        };
+        let report = fit_fleet(&urls, &quick_config(), &options);
+        assert!(report.fits.is_empty());
+        assert!(report.summary.interrupted);
+        assert_eq!(report.summary.total, 3);
+    }
+
+    #[test]
+    fn checkpointed_run_resumes_bit_for_bit() {
+        let urls = small_fleet(4);
+        let config = quick_config();
+        let baseline = fit_urls(&urls, &config);
+
+        let dir = std::env::temp_dir().join(format!("centipede-fit-resume-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+
+        // First run is killed (budget) after 2 fits.
+        let first = fit_fleet(
+            &urls,
+            &config,
+            &FleetOptions {
+                checkpoint_dir: Some(dir.clone()),
+                max_fits: Some(2),
+                ..FleetOptions::default()
+            },
+        );
+        assert!(first.summary.interrupted);
+        assert_eq!(first.summary.shards_written, 2);
+
+        // Resumed run completes the remainder only.
+        let second = fit_fleet(
+            &urls,
+            &config,
+            &FleetOptions {
+                checkpoint_dir: Some(dir.clone()),
+                resume: true,
+                ..FleetOptions::default()
+            },
+        );
+        assert_eq!(second.summary.resumed, 2);
+        assert_eq!(second.summary.fitted, 2);
+        assert_eq!(second.fits.len(), 4);
+        for (a, b) in second.fits.iter().zip(&baseline) {
+            assert_eq!(a.url, b.url);
+            assert_eq!(a.weights.to_bits(), b.weights.to_bits());
+            let bits = |l: &[f64; 8]| l.map(f64::to_bits);
+            assert_eq!(bits(&a.lambda0), bits(&b.lambda0));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_ignores_shards_from_other_configs() {
+        let urls = small_fleet(2);
+        let config = quick_config();
+        let dir =
+            std::env::temp_dir().join(format!("centipede-fit-mismatch-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let full = fit_fleet(
+            &urls,
+            &config,
+            &FleetOptions {
+                checkpoint_dir: Some(dir.clone()),
+                ..FleetOptions::default()
+            },
+        );
+        assert_eq!(full.summary.shards_written, 2);
+
+        // Same directory, different seed: every shard must be refitted.
+        let other = FitConfig {
+            seed: config.seed + 1,
+            ..config.clone()
+        };
+        let report = fit_fleet(
+            &urls,
+            &other,
+            &FleetOptions {
+                checkpoint_dir: Some(dir.clone()),
+                resume: true,
+                ..FleetOptions::default()
+            },
+        );
+        assert_eq!(report.summary.resumed, 0);
+        assert_eq!(report.summary.resume_mismatched, 2);
+        assert_eq!(report.summary.fitted, 2);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

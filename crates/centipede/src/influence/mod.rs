@@ -3,17 +3,27 @@
 //! * [`prepare`] — URL selection (events on Twitter, /pol/, and at
 //!   least one selected subreddit), the 10% gap-mitigation drop, and
 //!   per-minute binning into `EventSeq`s.
-//! * [`fit`] — the per-URL Gibbs fitting fleet (parallel over URLs).
+//! * [`fit`] — the per-URL Gibbs fitting fleet (parallel over URLs),
+//!   with panic isolation, retry, and quarantine.
+//! * [`checkpoint`] — atomic, checksummed per-URL posterior shards
+//!   backing `--checkpoint-dir`/`--resume`.
 //! * [`weights`] — Figure 10: per-category mean weight matrices,
 //!   percentage differences, KS significance stars; Table 11 summary.
 //! * [`impact`] — Figure 11: estimated percentage of events caused.
 
+pub mod checkpoint;
 pub mod fit;
 pub mod impact;
 pub mod prepare;
 pub mod weights;
 
-pub use fit::{fit_urls, FitConfig, UrlFit};
+pub use checkpoint::{
+    config_fingerprint, read_shard, scan_dir, write_shard_atomic, ResumeScan, Shard, ShardError,
+};
+pub use fit::{
+    fit_fleet, fit_fleet_with, fit_urls, FitConfig, FleetOptions, FleetReport, FleetSummary,
+    QuarantinedUrl, UrlFit,
+};
 pub use impact::{impact_matrix, ImpactMatrix};
 pub use prepare::{prepare_urls, PreparedUrl, SelectionConfig, SelectionSummary};
 pub use weights::{weight_comparison, CellComparison, Table11, WeightComparison};

@@ -18,8 +18,8 @@ use crate::crossplatform::{
     SourceEdge,
 };
 use crate::influence::{
-    fit_urls, impact_matrix, prepare_urls, weight_comparison, FitConfig, ImpactMatrix,
-    SelectionConfig, SelectionSummary, Table11, WeightComparison,
+    fit_fleet, impact_matrix, prepare_urls, weight_comparison, FitConfig, FleetOptions,
+    FleetSummary, ImpactMatrix, SelectionConfig, SelectionSummary, Table11, WeightComparison,
 };
 use crate::report::{count_pct, render_series, TextTable};
 use crate::temporal::{
@@ -33,6 +33,9 @@ pub struct PipelineConfig {
     pub selection: SelectionConfig,
     /// Hawkes fitting configuration.
     pub fit: FitConfig,
+    /// Fault-tolerance options for the fitting fleet (checkpointing,
+    /// resume, retry, shutdown).
+    pub fleet: FleetOptions,
     /// Skip the (comparatively expensive) influence stage.
     pub skip_influence: bool,
 }
@@ -77,6 +80,9 @@ pub struct AnalysisReport {
     pub fig8: BTreeMap<NewsCategory, Vec<SourceEdge>>,
     /// Influence-stage URL selection accounting.
     pub selection: SelectionSummary,
+    /// Fitting-fleet fault-tolerance accounting (default-zero if
+    /// influence was skipped).
+    pub fleet: FleetSummary,
     /// Table 11 (empty-zero if influence was skipped).
     pub table11: Table11,
     /// Figure 10 (None if influence was skipped).
@@ -195,9 +201,10 @@ pub fn run_all<R: Rng + ?Sized>(
     drop(_crossplatform_span);
 
     // §5 influence.
-    let (selection, table11, fig10, fig11) = if config.skip_influence {
+    let (selection, fleet, table11, fig10, fig11) = if config.skip_influence {
         (
             SelectionSummary::default(),
+            FleetSummary::default(),
             Table11::from_fits(&[]),
             None,
             None,
@@ -207,7 +214,8 @@ pub fn run_all<R: Rng + ?Sized>(
         let (prepared, summary) = stage!("prepare", {
             prepare_urls(dataset, &timelines, &config.selection)
         });
-        let fits = stage!("fit", fit_urls(&prepared, &config.fit));
+        let fleet = stage!("fit", fit_fleet(&prepared, &config.fit, &config.fleet));
+        let fits = fleet.fits;
         let (t11, cmp, imp) = stage!("aggregate", {
             (
                 Table11::from_fits(&fits),
@@ -215,7 +223,7 @@ pub fn run_all<R: Rng + ?Sized>(
                 impact_matrix(&fits),
             )
         });
-        (summary, t11, Some(cmp), Some(imp))
+        (summary, fleet.summary, t11, Some(cmp), Some(imp))
     };
 
     AnalysisReport {
@@ -236,6 +244,7 @@ pub fn run_all<R: Rng + ?Sized>(
         table10,
         fig8,
         selection,
+        fleet,
         table11,
         fig10,
         fig11,
@@ -445,6 +454,20 @@ impl AnalysisReport {
             self.selection.dropped,
             self.selection.selected
         ));
+        if self.fleet.total > 0 {
+            out.push_str(&format!(
+                "Fleet: {} fitted, {} resumed, {} quarantined, {} retried{}\n\n",
+                self.fleet.fitted,
+                self.fleet.resumed,
+                self.fleet.quarantined.len(),
+                self.fleet.retried,
+                if self.fleet.interrupted {
+                    " — INTERRUPTED (rerun with --resume to continue)"
+                } else {
+                    ""
+                }
+            ));
+        }
         out.push_str(&self.table11.render());
         out.push('\n');
         if let Some(cmp) = &self.fig10 {

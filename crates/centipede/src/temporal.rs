@@ -186,6 +186,17 @@ pub fn repost_lags(
     out
 }
 
+/// Minimum per-group sample count below which the pairwise KS tests
+/// fall back from per-URL means to the pooled raw inter-arrival gaps.
+///
+/// At small simulation scales a group may contribute only a few
+/// hundred reposted URLs; the KS asymptotic p-value then lacks the
+/// power to separate distributions the full-scale run distinguishes
+/// easily (the paper's Figure 6 tests run on hundreds of thousands of
+/// URLs). Pooling every raw gap recovers that power without changing
+/// the plotted ECDFs, which always stay per-URL means.
+pub const KS_SAMPLE_FLOOR: usize = 1_000;
+
 /// Figure 6 output: per-group ECDFs of per-URL mean inter-arrival
 /// times (seconds), plus pairwise KS tests between groups.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -194,6 +205,11 @@ pub struct InterarrivalResult {
     pub ecdfs: Vec<(AnalysisGroup, Ecdf)>,
     /// Pairwise KS tests `(group a, group b, result)`.
     pub ks: Vec<(AnalysisGroup, AnalysisGroup, KsResult)>,
+    /// Sample count each group contributed to the KS tests.
+    pub ks_samples: Vec<(AnalysisGroup, usize)>,
+    /// Whether the KS tests ran on pooled raw gaps (any group below
+    /// [`KS_SAMPLE_FLOOR`] per-URL means) rather than per-URL means.
+    pub ks_pooled: bool,
 }
 
 /// Figure 6: mean inter-arrival time of reposted URLs per group.
@@ -207,6 +223,7 @@ pub fn interarrival(
     common_only: bool,
 ) -> InterarrivalResult {
     let mut samples: BTreeMap<AnalysisGroup, Vec<f64>> = BTreeMap::new();
+    let mut pooled: BTreeMap<AnalysisGroup, Vec<f64>> = BTreeMap::new();
     for tl in timelines.values().filter(|tl| tl.category == category) {
         if common_only && tl.groups_present().len() < 3 {
             continue;
@@ -222,6 +239,7 @@ pub fn interarrival(
                 .collect();
             let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
             samples.entry(group).or_default().push(mean);
+            pooled.entry(group).or_default().extend_from_slice(&gaps);
         }
     }
     let ecdfs: Vec<(AnalysisGroup, Ecdf)> = samples
@@ -229,18 +247,29 @@ pub fn interarrival(
         .filter(|(_, xs)| !xs.is_empty())
         .map(|(g, xs)| (*g, Ecdf::new(xs.clone())))
         .collect();
+    // Underpowered groups (small scales) switch the KS tests to the
+    // pooled raw gaps; the ECDFs above are per-URL means regardless.
+    let ks_pooled = !samples.is_empty() && samples.values().any(|xs| xs.len() < KS_SAMPLE_FLOOR);
+    let ks_input = if ks_pooled { &pooled } else { &samples };
+    let ks_samples: Vec<(AnalysisGroup, usize)> =
+        ks_input.iter().map(|(g, xs)| (*g, xs.len())).collect();
     let mut ks = Vec::new();
-    let groups: Vec<AnalysisGroup> = samples.keys().copied().collect();
+    let groups: Vec<AnalysisGroup> = ks_input.keys().copied().collect();
     for i in 0..groups.len() {
         for j in i + 1..groups.len() {
             let (a, b) = (groups[i], groups[j]);
-            if samples[&a].is_empty() || samples[&b].is_empty() {
+            if ks_input[&a].is_empty() || ks_input[&b].is_empty() {
                 continue;
             }
-            ks.push((a, b, ks_two_sample(&samples[&a], &samples[&b])));
+            ks.push((a, b, ks_two_sample(&ks_input[&a], &ks_input[&b])));
         }
     }
-    InterarrivalResult { ecdfs, ks }
+    InterarrivalResult {
+        ecdfs,
+        ks,
+        ks_samples,
+        ks_pooled,
+    }
 }
 
 #[cfg(test)]

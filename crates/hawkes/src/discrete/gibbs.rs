@@ -401,7 +401,8 @@ impl GibbsSampler {
         centipede_obs::counter("gibbs.fits").inc(1);
         centipede_obs::counter("gibbs.events_seen").inc(events.len() as u64);
 
-        let mut scratch = SweepScratch::new(k, b, arena.max_candidates(), exposure_tables.max_entries());
+        let mut scratch =
+            SweepScratch::new(k, b, arena.max_candidates(), exposure_tables.max_entries());
 
         let mut batch_start = std::time::Instant::now();
         let mut batched: u64 = 0;
@@ -534,7 +535,9 @@ impl GibbsSampler {
             for pair in 0..k * k {
                 scratch.dir_alpha.clear();
                 for bi in 0..b {
-                    scratch.dir_alpha.push(p.gamma + scratch.m_basis[pair * b + bi]);
+                    scratch
+                        .dir_alpha
+                        .push(p.gamma + scratch.m_basis[pair * b + bi]);
                 }
                 sample_dirichlet_into(rng, &scratch.dir_alpha, &mut scratch.dir_draw);
                 theta[pair * b..pair * b + b].copy_from_slice(&scratch.dir_draw);
@@ -798,7 +801,11 @@ mod tests {
                     let mut exposure = events_per_proc[src];
                     for &(tsrc, remaining) in &truncated {
                         if tsrc == src {
-                            let inside = if remaining == 0 { 0.0 } else { cum[remaining - 1] };
+                            let inside = if remaining == 0 {
+                                0.0
+                            } else {
+                                cum[remaining - 1]
+                            };
                             exposure -= 1.0 - inside;
                         }
                     }
@@ -811,8 +818,7 @@ mod tests {
                 }
             }
             for pair in 0..k * k {
-                let alpha: Vec<f64> =
-                    (0..b).map(|bi| p.gamma + m_basis[pair * b + bi]).collect();
+                let alpha: Vec<f64> = (0..b).map(|bi| p.gamma + m_basis[pair * b + bi]).collect();
                 let draw = Dirichlet::new(alpha).sample(rng);
                 theta[pair * b..pair * b + b].copy_from_slice(&draw);
             }
@@ -907,7 +913,11 @@ mod tests {
                 let mut legacy = events_per_proc[src];
                 for &(tsrc, remaining) in &truncated {
                     if tsrc == src {
-                        let ins = if remaining == 0 { 0.0 } else { cum[remaining - 1] };
+                        let ins = if remaining == 0 {
+                            0.0
+                        } else {
+                            cum[remaining - 1]
+                        };
                         legacy -= 1.0 - ins;
                     }
                 }

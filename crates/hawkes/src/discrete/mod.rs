@@ -20,5 +20,5 @@ pub use basis::BasisSet;
 pub use em::{EmConfig, EmFitter, EmResult};
 pub use gibbs::{GibbsConfig, GibbsSampler, Priors};
 pub use model::DiscreteHawkes;
-pub use posterior::Posterior;
+pub use posterior::{Posterior, PosteriorCodecError, POSTERIOR_MAGIC, POSTERIOR_VERSION};
 pub use simulate::simulate;

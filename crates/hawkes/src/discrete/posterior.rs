@@ -4,6 +4,79 @@ use serde::{Deserialize, Serialize};
 
 use crate::matrix::Matrix;
 
+/// Magic prefix of the stable binary [`Posterior`] encoding.
+pub const POSTERIOR_MAGIC: [u8; 4] = *b"CPPO";
+
+/// Version of the stable binary [`Posterior`] encoding. Bump on any
+/// layout change; decoders reject other versions instead of guessing.
+pub const POSTERIOR_VERSION: u32 = 1;
+
+/// Typed failure of [`Posterior::from_bytes`]. Corrupt or foreign input
+/// always surfaces as one of these variants — never as a garbage
+/// posterior.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PosteriorCodecError {
+    /// Input ended before the payload its header declares.
+    Truncated,
+    /// Input does not start with [`POSTERIOR_MAGIC`].
+    BadMagic,
+    /// Unknown format version.
+    BadVersion(u32),
+    /// Declared dimensions are implausible or inconsistent with the
+    /// payload length.
+    BadDimensions,
+}
+
+impl std::fmt::Display for PosteriorCodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PosteriorCodecError::Truncated => write!(f, "posterior bytes truncated"),
+            PosteriorCodecError::BadMagic => write!(f, "not a posterior encoding (bad magic)"),
+            PosteriorCodecError::BadVersion(v) => {
+                write!(f, "unsupported posterior encoding version {v}")
+            }
+            PosteriorCodecError::BadDimensions => {
+                write!(f, "posterior header dimensions inconsistent with payload")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PosteriorCodecError {}
+
+/// Bounded little-endian reader over a byte slice.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], PosteriorCodecError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or(PosteriorCodecError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(PosteriorCodecError::Truncated);
+        }
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn read_u32(&mut self) -> Result<u32, PosteriorCodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn read_u64(&mut self) -> Result<u64, PosteriorCodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn read_f64(&mut self) -> Result<f64, PosteriorCodecError> {
+        Ok(f64::from_bits(self.read_u64()?))
+    }
+}
+
 /// Retained Gibbs samples of `(λ0, W, θ)` with summarisation helpers.
 ///
 /// Weight samples are the paper's unit of analysis: Figure 10 reports
@@ -65,7 +138,11 @@ impl Posterior {
         assert_eq!(weights.k(), self.n_processes, "Posterior: W dimension");
         let slot = self.n_recorded;
         if slot < self.lambda0.len() {
-            assert_eq!(self.theta[slot].len(), theta.len(), "Posterior: θ dimension");
+            assert_eq!(
+                self.theta[slot].len(),
+                theta.len(),
+                "Posterior: θ dimension"
+            );
             self.lambda0[slot].copy_from_slice(lambda0);
             self.weights[slot].copy_from(weights);
             self.theta[slot].copy_from_slice(theta);
@@ -211,6 +288,124 @@ impl Posterior {
         basis.mix(&theta[start..start + b])
     }
 
+    /// Encode the recorded samples as a stable, self-describing binary
+    /// blob: magic + version, `[K, n_recorded, θ_len, n_ll]` as
+    /// little-endian `u64`, then per-sample `λ0`/`W`/`θ` and the
+    /// log-likelihood trace as `f64::to_bits` little-endian words.
+    ///
+    /// Only the `n_recorded` leading slots are serialised; zeroed spare
+    /// slots of a [`Posterior::presized`] store are not part of the
+    /// value and are excluded, so decoding yields a posterior whose
+    /// sample *views* (not necessarily its storage) match the original
+    /// bit for bit.
+    ///
+    /// # Panics
+    /// Panics if recorded θ samples have inconsistent lengths.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let k = self.n_processes;
+        let n = self.n_recorded;
+        let theta_len = if n > 0 { self.theta[0].len() } else { 0 };
+        assert!(
+            self.theta[..n].iter().all(|t| t.len() == theta_len),
+            "Posterior::to_bytes: ragged θ samples"
+        );
+        let mut out =
+            Vec::with_capacity(40 + 8 * (n * (k + k * k + theta_len) + self.log_likelihoods.len()));
+        out.extend_from_slice(&POSTERIOR_MAGIC);
+        out.extend_from_slice(&POSTERIOR_VERSION.to_le_bytes());
+        for dim in [
+            k as u64,
+            n as u64,
+            theta_len as u64,
+            self.log_likelihoods.len() as u64,
+        ] {
+            out.extend_from_slice(&dim.to_le_bytes());
+        }
+        for i in 0..n {
+            for &v in &self.lambda0[i] {
+                out.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+            for &v in self.weights[i].flat() {
+                out.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+            for &v in &self.theta[i] {
+                out.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+        }
+        for &v in &self.log_likelihoods {
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        out
+    }
+
+    /// Decode a [`Posterior::to_bytes`] blob, validating magic, version,
+    /// and that the declared dimensions account for *exactly* the
+    /// remaining payload before anything is allocated.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Posterior, PosteriorCodecError> {
+        let mut c = Cursor { bytes, pos: 0 };
+        if c.take(4)? != POSTERIOR_MAGIC {
+            return Err(PosteriorCodecError::BadMagic);
+        }
+        let version = c.read_u32()?;
+        if version != POSTERIOR_VERSION {
+            return Err(PosteriorCodecError::BadVersion(version));
+        }
+        let k = c.read_u64()? as usize;
+        let n = c.read_u64()? as usize;
+        let theta_len = c.read_u64()? as usize;
+        let n_ll = c.read_u64()? as usize;
+        if k == 0 || k > 4096 {
+            return Err(PosteriorCodecError::BadDimensions);
+        }
+        let expected = k
+            .checked_mul(k)
+            .and_then(|kk| kk.checked_add(k))
+            .and_then(|per| per.checked_add(theta_len))
+            .and_then(|per| per.checked_mul(n))
+            .and_then(|words| words.checked_add(n_ll))
+            .and_then(|words| words.checked_mul(8))
+            .ok_or(PosteriorCodecError::BadDimensions)?;
+        let remaining = bytes.len() - c.pos;
+        if remaining < expected {
+            return Err(PosteriorCodecError::Truncated);
+        }
+        if remaining > expected {
+            return Err(PosteriorCodecError::BadDimensions);
+        }
+        let mut lambda0 = Vec::with_capacity(n);
+        let mut weights = Vec::with_capacity(n);
+        let mut theta = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut l = Vec::with_capacity(k);
+            for _ in 0..k {
+                l.push(c.read_f64()?);
+            }
+            let mut flat = Vec::with_capacity(k * k);
+            for _ in 0..k * k {
+                flat.push(c.read_f64()?);
+            }
+            let mut th = Vec::with_capacity(theta_len);
+            for _ in 0..theta_len {
+                th.push(c.read_f64()?);
+            }
+            lambda0.push(l);
+            weights.push(Matrix::from_flat(k, flat));
+            theta.push(th);
+        }
+        let mut log_likelihoods = Vec::with_capacity(n_ll);
+        for _ in 0..n_ll {
+            log_likelihoods.push(c.read_f64()?);
+        }
+        Ok(Posterior {
+            n_processes: k,
+            n_recorded: n,
+            lambda0,
+            weights,
+            theta,
+            log_likelihoods,
+        })
+    }
+
     /// Equal-tailed credible interval for one weight entry.
     pub fn weight_credible_interval(&self, src: usize, dst: usize, level: f64) -> (f64, f64) {
         assert!(
@@ -347,5 +542,103 @@ mod tests {
     fn push_rejects_wrong_dimension() {
         let mut p = Posterior::new(2, 1);
         p.push(vec![1.0], Matrix::zeros(2), vec![], None);
+    }
+
+    #[test]
+    fn codec_roundtrips_pushed_posterior_exactly() {
+        let p = toy_posterior();
+        let bytes = p.to_bytes();
+        let back = Posterior::from_bytes(&bytes).expect("decode");
+        // Push-built storage has no spare slots, so full struct equality
+        // holds (and implies bit-for-bit f64 equality via PartialEq on
+        // finite values).
+        assert_eq!(back, p);
+        assert_eq!(back.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn codec_roundtrips_presized_views() {
+        // 3 recorded samples in 5 pre-sized slots: the two zeroed spares
+        // are not part of the value and must not survive the roundtrip.
+        let mut p = Posterior::presized(2, 4, 5);
+        for i in 0..3 {
+            let v = i as f64 + 0.25;
+            p.record(&[v, -v], &Matrix::constant(2, v), &[v; 4], Some(-v));
+        }
+        let back = Posterior::from_bytes(&p.to_bytes()).expect("decode");
+        assert_eq!(back.n_samples(), p.n_samples());
+        assert_eq!(back.lambda0_samples(), p.lambda0_samples());
+        assert_eq!(back.weight_samples(), p.weight_samples());
+        assert_eq!(back.log_likelihoods(), p.log_likelihoods());
+        assert_eq!(back.mean_theta(), p.mean_theta());
+    }
+
+    #[test]
+    fn codec_roundtrips_empty_posterior() {
+        let p = Posterior::new(3, 0);
+        let back = Posterior::from_bytes(&p.to_bytes()).expect("decode");
+        assert_eq!(back.n_processes(), 3);
+        assert_eq!(back.n_samples(), 0);
+    }
+
+    #[test]
+    fn codec_preserves_non_finite_bit_patterns() {
+        let mut p = Posterior::new(1, 1);
+        p.push(
+            vec![f64::NAN],
+            Matrix::constant(1, f64::INFINITY),
+            vec![-0.0],
+            Some(f64::NEG_INFINITY),
+        );
+        let back = Posterior::from_bytes(&p.to_bytes()).expect("decode");
+        assert_eq!(
+            back.lambda0_samples()[0][0].to_bits(),
+            p.lambda0_samples()[0][0].to_bits()
+        );
+        assert_eq!(back.weight_samples()[0].get(0, 0), f64::INFINITY);
+        assert_eq!(back.log_likelihoods()[0], f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn codec_rejects_bad_magic_version_and_length() {
+        let p = toy_posterior();
+        let bytes = p.to_bytes();
+
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] ^= 0xFF;
+        assert_eq!(
+            Posterior::from_bytes(&bad_magic),
+            Err(PosteriorCodecError::BadMagic)
+        );
+
+        let mut bad_version = bytes.clone();
+        bad_version[4] = 99;
+        assert_eq!(
+            Posterior::from_bytes(&bad_version),
+            Err(PosteriorCodecError::BadVersion(99))
+        );
+
+        assert_eq!(
+            Posterior::from_bytes(&bytes[..bytes.len() - 1]),
+            Err(PosteriorCodecError::Truncated)
+        );
+        assert_eq!(
+            Posterior::from_bytes(&[]),
+            Err(PosteriorCodecError::Truncated)
+        );
+
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert_eq!(
+            Posterior::from_bytes(&trailing),
+            Err(PosteriorCodecError::BadDimensions)
+        );
+
+        // Corrupt the K field (bytes 8..16): either implausible K or a
+        // payload-length mismatch — a typed error in every case.
+        let mut bad_k = bytes;
+        bad_k[8] = 0xFF;
+        bad_k[9] = 0xFF;
+        assert!(Posterior::from_bytes(&bad_k).is_err());
     }
 }

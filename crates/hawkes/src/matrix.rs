@@ -130,6 +130,13 @@ impl Matrix {
         }
     }
 
+    /// Row-major `f64::to_bits` view — the exact bit patterns, for
+    /// bit-for-bit determinism assertions and stable hashing (regular
+    /// `f64` comparison conflates `-0.0`/`0.0` and chokes on NaN).
+    pub fn to_bits(&self) -> Vec<u64> {
+        self.data.iter().map(|v| v.to_bits()).collect()
+    }
+
     /// Maximum absolute entry.
     pub fn max_abs(&self) -> f64 {
         self.data.iter().fold(0.0f64, |m, &v| m.max(v.abs()))
@@ -271,6 +278,15 @@ mod tests {
         let b = Matrix::constant(2, 3.0);
         assert_eq!(a.mean_abs_diff(&b), 2.0);
         assert_eq!(a.mean_abs_diff(&a), 0.0);
+    }
+
+    #[test]
+    fn to_bits_distinguishes_signed_zero() {
+        let a = Matrix::from_rows(&[&[0.0, 1.5], &[-0.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[0.0, 1.5], &[0.0, 2.0]]);
+        assert_eq!(a, b); // f64 PartialEq: -0.0 == 0.0
+        assert_ne!(a.to_bits(), b.to_bits()); // but the bits differ
+        assert_eq!(a.to_bits()[1], 1.5f64.to_bits());
     }
 
     #[test]

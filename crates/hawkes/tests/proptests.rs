@@ -4,9 +4,34 @@ use proptest::prelude::*;
 use rand::SeedableRng;
 
 use centipede_hawkes::continuous::{simulate_continuous, ContinuousHawkes};
-use centipede_hawkes::discrete::{simulate, BasisSet, DiscreteHawkes, GibbsConfig, GibbsSampler};
+use centipede_hawkes::discrete::{
+    simulate, BasisSet, DiscreteHawkes, GibbsConfig, GibbsSampler, Posterior,
+};
 use centipede_hawkes::events::EventSeq;
 use centipede_hawkes::matrix::Matrix;
+
+/// Strategy: an arbitrary recorded posterior — including NaN, ±inf,
+/// and signed-zero samples, which the codec must carry bit-for-bit.
+fn arb_posterior() -> impl Strategy<Value = Posterior> {
+    (1usize..4, 0usize..6, 0usize..5).prop_flat_map(|(k, theta_len, n)| {
+        prop::collection::vec(
+            (
+                prop::collection::vec(any::<f64>(), k),
+                prop::collection::vec(any::<f64>(), k * k),
+                prop::collection::vec(any::<f64>(), theta_len),
+                prop::option::of(any::<f64>()),
+            ),
+            n,
+        )
+        .prop_map(move |samples| {
+            let mut p = Posterior::new(k, samples.len());
+            for (l0, w, th, ll) in samples {
+                p.push(l0, Matrix::from_flat(k, w), th, ll);
+            }
+            p
+        })
+    })
+}
 
 /// Strategy: a subcritical non-negative weight matrix of dimension k.
 fn subcritical_matrix(k: usize) -> impl Strategy<Value = Matrix> {
@@ -158,6 +183,43 @@ proptest! {
         }
         prop_assert!(events.iter().all(|e| e.time >= 0.0 && e.time < 5_000.0));
         prop_assert!(events.iter().all(|e| e.process < 2));
+    }
+
+    #[test]
+    fn posterior_codec_roundtrips_bit_for_bit(p in arb_posterior()) {
+        let bytes = p.to_bytes();
+        let decoded = Posterior::from_bytes(&bytes).expect("roundtrip");
+        prop_assert_eq!(decoded.n_processes(), p.n_processes());
+        prop_assert_eq!(decoded.n_samples(), p.n_samples());
+        for (a, b) in decoded.lambda0_samples().iter().zip(p.lambda0_samples()) {
+            let (a_bits, b_bits): (Vec<u64>, Vec<u64>) = (
+                a.iter().map(|v| v.to_bits()).collect(),
+                b.iter().map(|v| v.to_bits()).collect(),
+            );
+            prop_assert_eq!(a_bits, b_bits);
+        }
+        for (a, b) in decoded.weight_samples().iter().zip(p.weight_samples()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // θ and the likelihood trace are covered by re-encode equality:
+        // a decode that dropped or altered any bit would re-encode
+        // differently.
+        prop_assert_eq!(decoded.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn posterior_codec_rejects_any_truncation_or_extension(
+        p in arb_posterior(),
+        cut_seed in any::<prop::sample::Index>(),
+    ) {
+        let bytes = p.to_bytes();
+        // Every strict prefix is a typed error, never garbage.
+        let cut = cut_seed.index(bytes.len());
+        prop_assert!(Posterior::from_bytes(&bytes[..cut]).is_err(), "cut={cut}");
+        // Trailing bytes are rejected too.
+        let mut extended = bytes;
+        extended.push(0);
+        prop_assert!(Posterior::from_bytes(&extended).is_err());
     }
 
     #[test]

@@ -106,7 +106,8 @@ impl Histogram {
         let shard = shard_index();
         self.shards[shard][bucket_index(value)].fetch_add(n, Ordering::Relaxed);
         self.count.fetch_add(n, Ordering::Relaxed);
-        self.sum.fetch_add(value.saturating_mul(n), Ordering::Relaxed);
+        self.sum
+            .fetch_add(value.saturating_mul(n), Ordering::Relaxed);
         self.min.fetch_min(value, Ordering::Relaxed);
         self.max.fetch_max(value, Ordering::Relaxed);
     }

@@ -28,6 +28,7 @@
 //! ```
 
 pub mod histogram;
+pub mod names;
 pub mod progress;
 pub mod registry;
 pub mod sink;

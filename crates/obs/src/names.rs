@@ -1,0 +1,35 @@
+//! Well-known metric names shared between emitters and assertions.
+//!
+//! The registry itself is stringly keyed; constants here keep the
+//! fleet's fault-tolerance counters consistent between the code that
+//! increments them (`centipede::influence::fit`) and the tests and
+//! binaries that read them back.
+
+/// URLs fitted by actually running the estimator this run.
+pub const FLEET_FITTED: &str = "fleet.fitted";
+
+/// URLs satisfied from checkpoint shards instead of being refitted.
+pub const FLEET_RESUMED: &str = "fleet.resumed";
+
+/// URLs whose fit panicked on every allowed attempt and were excluded
+/// from the fleet's output.
+pub const FLEET_QUARANTINED: &str = "fleet.quarantined";
+
+/// Retry attempts performed after a fit panicked.
+pub const FLEET_RETRIES: &str = "fleet.retries";
+
+/// Checkpoint shards written successfully.
+pub const FLEET_SHARDS_WRITTEN: &str = "fleet.shards_written";
+
+/// Checkpoint shard writes that failed (the fit still counts; the
+/// shard is simply not resumable).
+pub const FLEET_SHARD_ERRORS: &str = "fleet.shard_errors";
+
+/// Resume-scan shards skipped for a config/URL mismatch.
+pub const FLEET_RESUME_MISMATCHED: &str = "fleet.resume_mismatched";
+
+/// Resume-scan shards skipped as corrupt or unreadable.
+pub const FLEET_RESUME_CORRUPT: &str = "fleet.resume_corrupt";
+
+/// Fleet runs that stopped early on a shutdown signal or fit budget.
+pub const FLEET_INTERRUPTED: &str = "fleet.interrupted";

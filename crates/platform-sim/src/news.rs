@@ -10,7 +10,7 @@
 use rand::Rng;
 
 use centipede_dataset::domains::{DomainId, DomainTable, NewsCategory};
-use centipede_dataset::platform::AnalysisGroup;
+use centipede_dataset::platform::{AnalysisGroup, SELECTED_SUBREDDITS};
 use centipede_dataset::time::{study_days, study_start, ymd_to_unix, SECONDS_PER_DAY};
 use centipede_stats::sampling::{sample_normal, Categorical};
 
@@ -196,6 +196,17 @@ pub fn draw_url_params<R: Rng + ?Sized>(
         let main_wtt = ground_truth::weight_matrix(NewsCategory::Mainstream).get(t, t);
         weights.set(t, t, main_wtt);
     }
+    // Small-group reposting: the subreddit→subreddit block runs below
+    // the Figure 10 global means (see
+    // [`crate::reddit::small_group_repost_damp`]). Deterministic, so it
+    // is folded into the recorded ground truth as well.
+    let n_six = SELECTED_SUBREDDITS.len();
+    let damp = crate::reddit::small_group_repost_damp(n_six);
+    for src in 0..n_six {
+        for dst in 0..n_six {
+            weights.set(src, dst, weights.get(src, dst) * damp);
+        }
+    }
     // Ordinary (low-reach) stories barely cross community borders.
     if rng.gen::<f64>() < config.low_reach_prob {
         for src in 0..8 {
@@ -343,6 +354,34 @@ mod tests {
         let boosted = mean_rate([1.0, 1.0, 3.0], &mut r);
         let flat = mean_rate([1.0, 1.0, 1.0], &mut r);
         assert!(boosted > 1.15 * flat, "boosted={boosted}, flat={flat}");
+    }
+
+    #[test]
+    fn within_six_block_is_damped_by_group_schedule() {
+        // Disable low-reach scaling so the deterministic damp is the
+        // only modification of the ground-truth matrix.
+        let config = SimConfig {
+            low_reach_prob: 0.0,
+            ..SimConfig::default()
+        };
+        let mut r = rng(7);
+        let p = draw_url_params(&config, NewsCategory::Mainstream, [1.0; 3], &mut r);
+        let truth = ground_truth::weight_matrix(NewsCategory::Mainstream);
+        let damp = crate::reddit::small_group_repost_damp(6);
+        for src in 0..8 {
+            for dst in 0..8 {
+                let expected = if src < 6 && dst < 6 {
+                    truth.get(src, dst) * damp
+                } else {
+                    truth.get(src, dst)
+                };
+                assert!(
+                    (p.weights.get(src, dst) - expected).abs() < 1e-12,
+                    "({src},{dst}): {} vs {expected}",
+                    p.weights.get(src, dst)
+                );
+            }
+        }
     }
 
     #[test]

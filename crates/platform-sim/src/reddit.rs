@@ -58,6 +58,23 @@ const MISC_TAIL_SHARE: f64 = 0.35;
 /// Number of synthetic long-tail subreddit names.
 const MISC_TAIL_BUCKETS: usize = 40;
 
+/// Repost damping applied to the six selected subreddits' within-Reddit
+/// excitation block, derived from group size: `n / (n + 3)`.
+///
+/// Figure 10's means are fleet-level averages, but the subreddit→
+/// subreddit cells describe *small* communities with heavily
+/// overlapping audiences: applying the global means verbatim
+/// over-excites within-Reddit reposting and drags the Figure 1
+/// once-only fraction below the paper's (most URLs appear exactly
+/// once). The schedule is monotone in group size and approaches 1 for
+/// large groups — a big pooled audience behaves like the global
+/// average — with `6 / (6 + 3) = 2/3` for the paper's six selected
+/// subreddits.
+pub fn small_group_repost_damp(n_subreddits: usize) -> f64 {
+    let n = n_subreddits.max(1) as f64;
+    n / (n + 3.0)
+}
+
 /// Samples a non-selected subreddit name with Table 4 proportions.
 #[derive(Debug, Clone)]
 pub struct OtherSubredditSampler {
@@ -187,6 +204,24 @@ mod tests {
 
     fn rng(seed: u64) -> rand::rngs::StdRng {
         rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn small_group_repost_damp_schedule() {
+        // The paper's six selected subreddits damp to exactly 2/3.
+        assert!((small_group_repost_damp(6) - 2.0 / 3.0).abs() < 1e-12);
+        // Monotone increasing in group size, always inside (0, 1).
+        let mut prev = 0.0;
+        for n in 1..200 {
+            let d = small_group_repost_damp(n);
+            assert!(d > prev && d < 1.0, "n={n}: d={d}, prev={prev}");
+            prev = d;
+        }
+        // Large pooled audiences converge to the global (undamped) mean.
+        assert!(small_group_repost_damp(10_000) > 0.999);
+        // A degenerate empty group clamps to n = 1 rather than zeroing
+        // excitation entirely.
+        assert_eq!(small_group_repost_damp(0), small_group_repost_damp(1));
     }
 
     #[test]

@@ -313,7 +313,12 @@ impl Categorical {
         let mut alias = Vec::new();
         let (mut scaled, mut small, mut large) = (Vec::new(), Vec::new(), Vec::new());
         build_alias_table(
-            weights, &mut prob, &mut alias, &mut scaled, &mut small, &mut large,
+            weights,
+            &mut prob,
+            &mut alias,
+            &mut scaled,
+            &mut small,
+            &mut large,
         );
         Categorical {
             prob,
@@ -368,7 +373,13 @@ pub struct MultinomialScratch {
 /// the Gibbs sampler.
 pub fn sample_multinomial<R: Rng + ?Sized>(rng: &mut R, n: u64, weights: &[f64]) -> Vec<u64> {
     let mut out = Vec::new();
-    sample_multinomial_with(rng, n, weights, &mut MultinomialScratch::default(), &mut out);
+    sample_multinomial_with(
+        rng,
+        n,
+        weights,
+        &mut MultinomialScratch::default(),
+        &mut out,
+    );
     out
 }
 
@@ -827,7 +838,13 @@ mod tests {
         for trial in 0..500 {
             let k = 1 + (trial % 97);
             let w: Vec<f64> = (0..k)
-                .map(|_| if r.gen::<f64>() < 0.2 { 0.0 } else { r.gen::<f64>() * 3.0 })
+                .map(|_| {
+                    if r.gen::<f64>() < 0.2 {
+                        0.0
+                    } else {
+                        r.gen::<f64>() * 3.0
+                    }
+                })
                 .collect();
             let total: f64 = w.iter().sum();
             if total <= 0.0 {
@@ -840,7 +857,10 @@ mod tests {
         }
         // k == 1 consumes no randomness, like the count path.
         let mut r1 = rng(7);
-        assert_eq!(sample_categorical_once(&mut r1, &[2.0], 2.0, &mut scratch), 0);
+        assert_eq!(
+            sample_categorical_once(&mut r1, &[2.0], 2.0, &mut scratch),
+            0
+        );
         assert_eq!(r1.gen::<u64>(), rng(7).gen::<u64>());
     }
 

@@ -1,0 +1,290 @@
+//! Integration tests of the fault-tolerant fit fleet, exercised
+//! through the public API only: checkpoint/resume determinism, panic
+//! quarantine with retry, shard corruption handling, and the
+//! shard-bytes round trip under proptest.
+
+use std::path::PathBuf;
+
+use proptest::prelude::*;
+
+use centipede::influence::checkpoint::{decode_shard, encode_shard, shard_path};
+use centipede::influence::fit::fit_one_full;
+use centipede::influence::{
+    config_fingerprint, fit_fleet, fit_fleet_with, read_shard, FitConfig, FleetOptions,
+    PreparedUrl, ShardError, UrlFit,
+};
+use centipede_dataset::domains::NewsCategory;
+use centipede_dataset::event::UrlId;
+use centipede_hawkes::events::EventSeq;
+
+fn prepared(url: u32, n_bins: u32) -> PreparedUrl {
+    let points = [(0u32, 7u16), (3, 7), (10, 6), (12, 0), (40, 7)];
+    let events = EventSeq::from_points(n_bins, 8, &points);
+    let mut per = [0u64; 8];
+    for &(_, k) in &points {
+        per[k as usize] += 1;
+    }
+    PreparedUrl {
+        url: UrlId(url),
+        category: NewsCategory::Alternative,
+        events,
+        events_per_community: per,
+        duration: n_bins as i64 * 60,
+    }
+}
+
+fn fleet(n: u32) -> Vec<PreparedUrl> {
+    (0..n).map(|u| prepared(u, 500)).collect()
+}
+
+fn quick_config() -> FitConfig {
+    FitConfig {
+        n_samples: 24,
+        burn_in: 12,
+        threads: Some(2),
+        ..FitConfig::default()
+    }
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("centipede-fleet-it-{}-{name}", std::process::id()))
+}
+
+fn assert_fits_bit_identical(a: &[UrlFit], b: &[UrlFit]) {
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.url, y.url);
+        assert_eq!(
+            x.weights.to_bits(),
+            y.weights.to_bits(),
+            "weights differ for url {}",
+            x.url.0
+        );
+        let (xb, yb): (Vec<u64>, Vec<u64>) = (
+            x.lambda0.iter().map(|v| v.to_bits()).collect(),
+            y.lambda0.iter().map(|v| v.to_bits()).collect(),
+        );
+        assert_eq!(xb, yb, "lambda0 differs for url {}", x.url.0);
+    }
+}
+
+#[test]
+fn interrupted_fleet_resumes_bit_for_bit() {
+    let urls = fleet(4);
+    let config = quick_config();
+    let baseline = fit_fleet(&urls, &config, &FleetOptions::default());
+    assert_eq!(baseline.fits.len(), 4);
+
+    let dir = temp_dir("resume");
+    let _ = std::fs::remove_dir_all(&dir);
+    // "Kill" the run after two fits via the budget; completed fits are
+    // flushed as shards exactly as on SIGINT.
+    let partial = fit_fleet(
+        &urls,
+        &config,
+        &FleetOptions {
+            checkpoint_dir: Some(dir.clone()),
+            max_fits: Some(2),
+            ..FleetOptions::default()
+        },
+    );
+    assert!(partial.summary.interrupted);
+    assert_eq!(partial.summary.fitted, 2);
+    assert_eq!(partial.summary.shards_written, 2);
+
+    let resumed = fit_fleet(
+        &urls,
+        &config,
+        &FleetOptions {
+            checkpoint_dir: Some(dir.clone()),
+            resume: true,
+            ..FleetOptions::default()
+        },
+    );
+    assert!(!resumed.summary.interrupted);
+    assert_eq!(resumed.summary.resumed, 2);
+    assert_eq!(resumed.summary.fitted, 2);
+    assert_fits_bit_identical(&baseline.fits, &resumed.fits);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn injected_panic_quarantines_without_failing_fleet() {
+    let urls = fleet(4);
+    let config = quick_config();
+    let quarantined_before = centipede_obs::counter(centipede_obs::names::FLEET_QUARANTINED).get();
+    let retries_before = centipede_obs::counter(centipede_obs::names::FLEET_RETRIES).get();
+
+    let report = fit_fleet_with(&urls, &config, &FleetOptions::default(), |p, c, idx| {
+        if p.url == UrlId(1) {
+            panic!("injected fault for url 1");
+        }
+        fit_one_full(p, c, idx)
+    });
+
+    assert_eq!(report.fits.len(), 3);
+    assert!(report.fits.iter().all(|f| f.url != UrlId(1)));
+    assert!(!report.summary.interrupted);
+    assert_eq!(report.summary.retried, 1);
+    assert_eq!(report.summary.quarantined.len(), 1);
+    let q = &report.summary.quarantined[0];
+    assert_eq!(q.url, UrlId(1));
+    assert_eq!(q.idx, 1);
+    assert_eq!(q.attempts, 2);
+    assert!(q.panic_message.contains("injected fault"));
+
+    // The global registry is shared across tests in this binary, so
+    // only deltas are meaningful.
+    let quarantined_after = centipede_obs::counter(centipede_obs::names::FLEET_QUARANTINED).get();
+    let retries_after = centipede_obs::counter(centipede_obs::names::FLEET_RETRIES).get();
+    assert!(quarantined_after >= quarantined_before + 1);
+    assert!(retries_after >= retries_before + 1);
+}
+
+#[test]
+fn corrupted_shard_is_typed_error_and_refit_on_resume() {
+    let urls = fleet(3);
+    let config = quick_config();
+    let dir = temp_dir("corrupt");
+    let _ = std::fs::remove_dir_all(&dir);
+    let opts = FleetOptions {
+        checkpoint_dir: Some(dir.clone()),
+        ..FleetOptions::default()
+    };
+    let baseline = fit_fleet(&urls, &config, &opts);
+    assert_eq!(baseline.summary.shards_written, 3);
+
+    // Flip the shard's trailing checksum byte.
+    let path = shard_path(&dir, 1);
+    let mut bytes = std::fs::read(&path).expect("read shard");
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xFF;
+    std::fs::write(&path, &bytes).expect("rewrite shard");
+    match read_shard(&path) {
+        Err(ShardError::ChecksumMismatch { .. }) => {}
+        other => panic!("expected checksum mismatch, got {other:?}"),
+    }
+
+    // Resume treats the corrupt shard as absent and refits that URL —
+    // to the identical bits.
+    let resumed = fit_fleet(
+        &urls,
+        &config,
+        &FleetOptions {
+            checkpoint_dir: Some(dir.clone()),
+            resume: true,
+            ..FleetOptions::default()
+        },
+    );
+    assert_eq!(resumed.summary.resume_corrupt, 1);
+    assert_eq!(resumed.summary.resumed, 2);
+    assert_eq!(resumed.summary.fitted, 1);
+    assert_fits_bit_identical(&baseline.fits, &resumed.fits);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn shards_from_other_config_are_not_resumed() {
+    let urls = fleet(2);
+    let config = quick_config();
+    let dir = temp_dir("mismatch");
+    let _ = std::fs::remove_dir_all(&dir);
+    let opts = FleetOptions {
+        checkpoint_dir: Some(dir.clone()),
+        ..FleetOptions::default()
+    };
+    fit_fleet(&urls, &config, &opts);
+
+    let other = FitConfig {
+        seed: config.seed.wrapping_add(1),
+        ..config.clone()
+    };
+    assert_ne!(config_fingerprint(&config), config_fingerprint(&other));
+    let resumed = fit_fleet(
+        &urls,
+        &other,
+        &FleetOptions {
+            checkpoint_dir: Some(dir.clone()),
+            resume: true,
+            ..FleetOptions::default()
+        },
+    );
+    assert_eq!(resumed.summary.resume_mismatched, 2);
+    assert_eq!(resumed.summary.resumed, 0);
+    assert_eq!(resumed.summary.fitted, 2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Slow lane: a larger fleet interrupted at every possible point must
+/// always resume to the uninterrupted bits. Opt-in locally; CI runs it
+/// via `--include-ignored`.
+#[test]
+#[ignore = "slow: O(n) full fleet runs"]
+fn every_interruption_point_resumes_bit_for_bit() {
+    let urls = fleet(6);
+    let config = quick_config();
+    let baseline = fit_fleet(&urls, &config, &FleetOptions::default());
+    for stop_after in 1..urls.len() {
+        let dir = temp_dir(&format!("sweep-{stop_after}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let partial = fit_fleet(
+            &urls,
+            &config,
+            &FleetOptions {
+                checkpoint_dir: Some(dir.clone()),
+                max_fits: Some(stop_after),
+                ..FleetOptions::default()
+            },
+        );
+        assert!(partial.summary.interrupted, "stop_after={stop_after}");
+        let resumed = fit_fleet(
+            &urls,
+            &config,
+            &FleetOptions {
+                checkpoint_dir: Some(dir.clone()),
+                resume: true,
+                ..FleetOptions::default()
+            },
+        );
+        assert_eq!(
+            resumed.summary.resumed, stop_after,
+            "stop_after={stop_after}"
+        );
+        assert_fits_bit_identical(&baseline.fits, &resumed.fits);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any single-byte corruption of an encoded shard is a typed
+    /// error — never a silently different decode.
+    #[test]
+    fn any_byte_corruption_is_a_typed_error(
+        pos in any::<prop::sample::Index>(),
+        mask in 1u8..=255,
+    ) {
+        let config = quick_config();
+        let fit = UrlFit {
+            url: UrlId(9),
+            category: NewsCategory::Mainstream,
+            weights: centipede_hawkes::matrix::Matrix::constant(8, 0.03),
+            lambda0: [0.01; 8],
+            events_per_community: [3; 8],
+            n_bins: 500,
+        };
+        let shard = centipede::influence::Shard {
+            idx: 9,
+            fingerprint: config_fingerprint(&config),
+            fit,
+            posterior: None,
+        };
+        let bytes = encode_shard(&shard);
+        prop_assert_eq!(&decode_shard(&bytes).expect("clean decode"), &shard);
+        let mut corrupted = bytes.clone();
+        let i = pos.index(corrupted.len());
+        corrupted[i] ^= mask;
+        prop_assert!(decode_shard(&corrupted).is_err(), "flip at {i} not detected");
+    }
+}

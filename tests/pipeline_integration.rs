@@ -224,6 +224,53 @@ fn figure6_distributions_differ_between_platforms() {
 }
 
 #[test]
+fn figure6_ks_sample_counts_pinned() {
+    // Regression guard for the pooled-KS fallback: at the 0.35 test
+    // scale every group sits below the per-URL-mean floor, so the KS
+    // tests must run on pooled raw gaps with far larger sample counts.
+    let w = world();
+    let tls = w.dataset.timelines();
+    for cat in NewsCategory::ALL {
+        let res = interarrival(&tls, cat, false);
+        assert!(res.ks_pooled, "{cat:?}: expected pooled KS at 0.35 scale");
+        assert_eq!(res.ks_samples.len(), res.ecdfs.len());
+        for (group, n) in &res.ks_samples {
+            let (_, ecdf) = res
+                .ecdfs
+                .iter()
+                .find(|(g, _)| g == group)
+                .expect("KS group missing from ECDFs");
+            // Pooled gaps dominate per-URL means: every reposted URL
+            // contributes at least one gap.
+            assert!(
+                *n >= ecdf.len(),
+                "{cat:?}/{group:?}: pooled {n} < {} means",
+                ecdf.len()
+            );
+        }
+        // Pooling must actually multiply the sample base somewhere:
+        // the largest group aggregates gaps across many URLs, not one
+        // mean per URL.
+        let (max_group, max_pooled) = res
+            .ks_samples
+            .iter()
+            .max_by_key(|(_, n)| *n)
+            .expect("at least one KS group");
+        let (_, max_ecdf) = res
+            .ecdfs
+            .iter()
+            .find(|(g, _)| g == max_group)
+            .expect("max KS group missing from ECDFs");
+        assert!(
+            *max_pooled > max_ecdf.len(),
+            "{cat:?}/{max_group:?}: pooling added no gaps beyond the \
+             {} per-URL means",
+            max_ecdf.len()
+        );
+    }
+}
+
+#[test]
 fn tables_9_10_sequence_structure() {
     let w = world();
     let tls = w.dataset.timelines();
