@@ -5,6 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::SeedableRng;
 
 use centipede::influence::{fit_urls, prepare_urls, weight_comparison, FitConfig, SelectionConfig};
+use centipede_dataset::index::DatasetIndex;
 use centipede_dataset::platform::Community;
 use centipede_platform_sim::{ecosystem, SimConfig};
 
@@ -20,8 +21,8 @@ fn bench(c: &mut Criterion) {
         };
         let mut rng = rand::rngs::StdRng::seed_from_u64(0xB07);
         let world = ecosystem::generate(&sim, &mut rng);
-        let tls = world.dataset.timelines();
-        let (prepared, _) = prepare_urls(&world.dataset, &tls, &SelectionConfig::default());
+        let idx = DatasetIndex::build(&world.dataset);
+        let (prepared, _) = prepare_urls(&idx, &SelectionConfig::default());
         let config = FitConfig {
             n_samples: 40,
             burn_in: 20,

@@ -4,14 +4,13 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use centipede::influence::{fit_urls, prepare_urls, weight_comparison, FitConfig, SelectionConfig};
-use centipede_bench::{dataset, timelines};
+use centipede_bench::index;
 use centipede_dataset::domains::NewsCategory;
 use centipede_dataset::platform::Community;
 
 fn bench(c: &mut Criterion) {
-    let ds = dataset();
-    let tls = timelines();
-    let (prepared, _) = prepare_urls(ds, tls, &SelectionConfig::default());
+    let idx = index();
+    let (prepared, _) = prepare_urls(idx, &SelectionConfig::default());
     let subset: Vec<_> = prepared.iter().take(30).cloned().collect();
     let mut group = c.benchmark_group("dtmax_sweep");
     group.sample_size(10);

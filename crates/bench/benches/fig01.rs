@@ -3,11 +3,11 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use centipede::temporal::appearance_cdf;
-use centipede_bench::timelines;
+use centipede_bench::index;
 use centipede_dataset::domains::NewsCategory;
 
 fn bench(c: &mut Criterion) {
-    let tls = timelines();
+    let tls = index();
     for cat in NewsCategory::ALL {
         for (group, ecdf) in appearance_cdf(tls, cat) {
             eprintln!(

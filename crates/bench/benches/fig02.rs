@@ -3,11 +3,11 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use centipede::characterization::domain_platform_fractions;
-use centipede_bench::dataset;
+use centipede_bench::index;
 use centipede_dataset::domains::NewsCategory;
 
 fn bench(c: &mut Criterion) {
-    let ds = dataset();
+    let ds = index();
     for cat in NewsCategory::ALL {
         for (name, f) in domain_platform_fractions(ds, cat, 20) {
             eprintln!(

@@ -3,10 +3,10 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use centipede::characterization::user_alt_fraction;
-use centipede_bench::dataset;
+use centipede_bench::index;
 
 fn bench(c: &mut Criterion) {
-    let ds = dataset();
+    let ds = index();
     let f = user_alt_fraction(ds);
     for (group, ecdf) in &f.all_users {
         eprintln!(

@@ -3,10 +3,10 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use centipede::temporal::daily_occurrence;
-use centipede_bench::dataset;
+use centipede_bench::index;
 
 fn bench(c: &mut Criterion) {
-    let ds = dataset();
+    let ds = index();
     for s in daily_occurrence(ds) {
         let peak_alt = s
             .alternative

@@ -4,11 +4,11 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use centipede::temporal::interarrival;
-use centipede_bench::timelines;
+use centipede_bench::index;
 use centipede_dataset::domains::NewsCategory;
 
 fn bench(c: &mut Criterion) {
-    let tls = timelines();
+    let tls = index();
     for (label, common) in [("common", true), ("all", false)] {
         for cat in NewsCategory::ALL {
             let res = interarrival(tls, cat, common);

@@ -3,14 +3,13 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use centipede::crossplatform::source_graph;
-use centipede_bench::{dataset, timelines};
+use centipede_bench::index;
 use centipede_dataset::domains::NewsCategory;
 
 fn bench(c: &mut Criterion) {
-    let ds = dataset();
-    let tls = timelines();
+    let idx = index();
     for cat in NewsCategory::ALL {
-        let mut edges = source_graph(tls, &ds.domains, cat);
+        let mut edges = source_graph(idx, cat);
         edges.sort_by_key(|e| std::cmp::Reverse(e.weight));
         for e in edges.iter().take(10) {
             eprintln!(
@@ -25,7 +24,7 @@ fn bench(c: &mut Criterion) {
     c.bench_function("fig08_source_graph", |b| {
         b.iter(|| {
             for cat in NewsCategory::ALL {
-                std::hint::black_box(source_graph(tls, &ds.domains, cat));
+                std::hint::black_box(source_graph(idx, cat));
             }
         })
     });

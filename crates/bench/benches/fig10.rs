@@ -7,12 +7,11 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 use centipede::influence::fit::fit_one;
 use centipede::influence::{fit_urls, prepare_urls, weight_comparison, FitConfig, SelectionConfig};
-use centipede_bench::{dataset, timelines};
+use centipede_bench::index;
 
 fn bench(c: &mut Criterion) {
-    let ds = dataset();
-    let tls = timelines();
-    let (prepared, _) = prepare_urls(ds, tls, &SelectionConfig::default());
+    let idx = index();
+    let (prepared, _) = prepare_urls(idx, &SelectionConfig::default());
     let config = FitConfig {
         n_samples: 60,
         burn_in: 30,

@@ -5,13 +5,12 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use centipede::influence::fit::Estimator;
 use centipede::influence::{fit_urls, prepare_urls, weight_comparison, FitConfig, SelectionConfig};
-use centipede_bench::{dataset, timelines, world};
+use centipede_bench::{index, world};
 use centipede_dataset::domains::NewsCategory;
 
 fn bench(c: &mut Criterion) {
-    let ds = dataset();
-    let tls = timelines();
-    let (prepared, _) = prepare_urls(ds, tls, &SelectionConfig::default());
+    let idx = index();
+    let (prepared, _) = prepare_urls(idx, &SelectionConfig::default());
     let subset: Vec<_> = prepared.iter().take(40).cloned().collect();
     let truth = &world().truth.weights_main;
     let mut group = c.benchmark_group("fit_ablation");

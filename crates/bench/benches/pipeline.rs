@@ -1,0 +1,44 @@
+//! Pipeline-level benches: the one-pass columnar index build, the
+//! legacy BTreeMap partition it replaced, and the full `run_all` stage
+//! sweep (influence skipped). Tracked over time via
+//! `bench_baseline pipeline` → `BENCH_pipeline.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+
+use centipede::pipeline::{run_all, PipelineConfig};
+use centipede_bench::dataset;
+use centipede_dataset::DatasetIndex;
+
+fn bench(c: &mut Criterion) {
+    let ds = dataset();
+    let index = DatasetIndex::build(ds);
+    eprintln!(
+        "pipeline bench world: {} events, {} urls, {} venues",
+        index.n_events(),
+        index.n_urls(),
+        index.venues().len()
+    );
+
+    c.bench_function("pipeline_index_build", |b| {
+        b.iter(|| DatasetIndex::build(std::hint::black_box(ds)))
+    });
+    c.bench_function("pipeline_legacy_timelines", |b| {
+        b.iter(|| std::hint::black_box(ds).timelines())
+    });
+
+    let config = PipelineConfig {
+        skip_influence: true,
+        ..PipelineConfig::default()
+    };
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.bench_function("run_all_no_influence", |b| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        b.iter(|| run_all(std::hint::black_box(ds), &config, &mut rng))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

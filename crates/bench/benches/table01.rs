@@ -3,10 +3,10 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use centipede::characterization::{platform_totals, render_table1};
-use centipede_bench::dataset;
+use centipede_bench::index;
 
 fn bench(c: &mut Criterion) {
-    let ds = dataset();
+    let ds = index();
     // Print the regenerated table once.
     eprintln!("{}", render_table1(&platform_totals(ds)));
     c.bench_function("table01_platform_totals", |b| {

@@ -3,10 +3,10 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use centipede::characterization::{dataset_overview, render_table2};
-use centipede_bench::dataset;
+use centipede_bench::index;
 
 fn bench(c: &mut Criterion) {
-    let ds = dataset();
+    let ds = index();
     eprintln!("{}", render_table2(&dataset_overview(ds)));
     c.bench_function("table02_dataset_overview", |b| {
         b.iter(|| dataset_overview(std::hint::black_box(ds)))

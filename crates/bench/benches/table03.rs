@@ -3,10 +3,10 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use centipede::characterization::{render_table3, tweet_stats};
-use centipede_bench::dataset;
+use centipede_bench::index;
 
 fn bench(c: &mut Criterion) {
-    let ds = dataset();
+    let ds = index();
     eprintln!("{}", render_table3(&tweet_stats(ds)));
     c.bench_function("table03_tweet_stats", |b| {
         b.iter(|| tweet_stats(std::hint::black_box(ds)))

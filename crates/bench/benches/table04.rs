@@ -3,10 +3,10 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use centipede::characterization::{render_table4, top_subreddits};
-use centipede_bench::dataset;
+use centipede_bench::index;
 
 fn bench(c: &mut Criterion) {
-    let ds = dataset();
+    let ds = index();
     eprintln!("{}", render_table4(&top_subreddits(ds, 20)));
     c.bench_function("table04_top_subreddits", |b| {
         b.iter(|| top_subreddits(std::hint::black_box(ds), 20))

@@ -3,11 +3,11 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use centipede::characterization::{render_top_domains, top_domains};
-use centipede_bench::dataset;
+use centipede_bench::index;
 use centipede_dataset::platform::AnalysisGroup;
 
 fn bench(c: &mut Criterion) {
-    let ds = dataset();
+    let ds = index();
     for (no, group) in [
         (5u8, AnalysisGroup::SixSubreddits),
         (6, AnalysisGroup::Twitter),

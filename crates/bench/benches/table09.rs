@@ -3,11 +3,11 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use centipede::crossplatform::first_hop_sequences;
-use centipede_bench::timelines;
+use centipede_bench::index;
 use centipede_dataset::domains::NewsCategory;
 
 fn bench(c: &mut Criterion) {
-    let tls = timelines();
+    let tls = index();
     for cat in NewsCategory::ALL {
         let seqs = first_hop_sequences(tls, cat);
         let total: u64 = seqs.values().sum();

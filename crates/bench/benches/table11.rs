@@ -5,12 +5,11 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use centipede::influence::{prepare_urls, SelectionConfig};
-use centipede_bench::{dataset, timelines};
+use centipede_bench::index;
 
 fn bench(c: &mut Criterion) {
-    let ds = dataset();
-    let tls = timelines();
-    let (prepared, summary) = prepare_urls(ds, tls, &SelectionConfig::default());
+    let idx = index();
+    let (prepared, summary) = prepare_urls(idx, &SelectionConfig::default());
     eprintln!(
         "Table 11 selection: eligible={} gap-overlapping={} dropped={} selected={}",
         summary.eligible, summary.gap_overlapping, summary.dropped, summary.selected
@@ -25,7 +24,7 @@ fn bench(c: &mut Criterion) {
         prepared.len() - alt
     );
     c.bench_function("table11_prepare_urls", |b| {
-        b.iter(|| prepare_urls(ds, tls, &SelectionConfig::default()))
+        b.iter(|| prepare_urls(idx, &SelectionConfig::default()))
     });
 }
 

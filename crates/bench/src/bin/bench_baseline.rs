@@ -1,44 +1,64 @@
-//! Tracked performance baseline for the Gibbs hot path.
+//! Tracked performance baselines for the hot paths.
 //!
-//! Runs a fixed seeded Gibbs workload — the same shape as the
-//! `hawkes_perf/gibbs_15_sweeps` criterion bench at 40k bins — and
-//! appends one entry to `BENCH_hawkes.json` so the perf trajectory is
-//! tracked across PRs in a flat, diffable format.
+//! Two fixed seeded workloads, each appending one entry to a flat,
+//! diffable JSON trajectory tracked in git:
+//!
+//! * `hawkes` — the Gibbs hot path (same shape as the
+//!   `hawkes_perf/gibbs_15_sweeps` criterion bench at 40k bins),
+//!   appended to `BENCH_hawkes.json`.
+//! * `pipeline` — the analysis pipeline at the shared bench scale:
+//!   the per-URL partition build plus `run_all` with influence
+//!   skipped, appended to `BENCH_pipeline.json`.
 //!
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p centipede-bench --bin bench_baseline -- <label> [reps]
+//! cargo run --release -p centipede-bench --bin bench_baseline -- <mode> <label> [reps]
 //! ```
 //!
-//! `label` names the trajectory point (e.g. `pr2-after`); `reps`
-//! defaults to 7 (median of 7 fits after one warm-up).
+//! `mode` is `hawkes` or `pipeline`; `label` names the trajectory
+//! point (e.g. `pr2-after`); `reps` defaults to 7 (hawkes) or 5
+//! (pipeline) — the median is recorded after one warm-up.
 
 use std::time::Instant;
 
 use rand::SeedableRng;
 
+use centipede::pipeline::{run_all, PipelineConfig};
 use centipede_hawkes::discrete::{simulate, BasisSet, DiscreteHawkes, GibbsConfig, GibbsSampler};
 use centipede_hawkes::matrix::Matrix;
 
-/// Bins in the workload (matches the large `hawkes_perf` case).
+/// Bins in the hawkes workload (matches the large `hawkes_perf` case).
 const T_BINS: u32 = 40_000;
 /// Sweeps per fit: `burn_in + n_samples * thin`.
 const SWEEPS: u64 = 15;
 
 fn main() {
     let mut args = std::env::args().skip(1);
+    let mode = args.next().unwrap_or_else(|| "hawkes".to_string());
     let label = args.next().unwrap_or_else(|| "dev".to_string());
     assert!(
         !label.contains('"') && !label.contains('\\'),
         "bench_baseline: label must not contain quotes or backslashes"
     );
-    let reps: usize = args
+    let reps: Option<usize> = args
         .next()
-        .map(|r| r.parse().expect("reps must be an integer"))
-        .unwrap_or(7);
-    assert!(reps >= 1, "bench_baseline: reps must be ≥ 1");
+        .map(|r| r.parse().expect("reps must be an integer"));
+    if let Some(reps) = reps {
+        assert!(reps >= 1, "bench_baseline: reps must be ≥ 1");
+    }
 
+    match mode.as_str() {
+        "hawkes" => hawkes_baseline(&label, reps.unwrap_or(7)),
+        "pipeline" => pipeline_baseline(&label, reps.unwrap_or(5)),
+        other => {
+            eprintln!("bench_baseline: unknown mode `{other}` (expected `hawkes` or `pipeline`)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn hawkes_baseline(label: &str, reps: usize) {
     let k = 8;
     let basis = BasisSet::log_gaussian(720, 4);
     let model = DiscreteHawkes::uniform_mixture(
@@ -86,25 +106,86 @@ fn main() {
          \"median_ns_per_sweep\": {median_ns_per_sweep},\n    \
          \"events_per_sec\": {events_per_sec:.0}\n  }}"
     );
-
-    // Append to the trajectory array (created if missing).
-    let path = std::path::Path::new("BENCH_hawkes.json");
-    let text = match std::fs::read_to_string(path) {
-        Ok(existing) => {
-            let trimmed = existing.trim_end();
-            let body = trimmed
-                .strip_suffix(']')
-                .expect("BENCH_hawkes.json: expected a JSON array")
-                .trim_end();
-            format!("{body},\n{entry}\n]\n")
-        }
-        Err(_) => format!("[\n{entry}\n]\n"),
-    };
-    std::fs::write(path, text).expect("write BENCH_hawkes.json");
+    append_entry("BENCH_hawkes.json", &entry);
 
     eprintln!(
         "bench_baseline[{label}]: {events} events x {SWEEPS} sweeps, \
          median {:.2} ms/fit = {median_ns_per_sweep} ns/sweep, {events_per_sec:.0} events/s",
         median_fit_ns as f64 / 1e6,
     );
+}
+
+fn pipeline_baseline(label: &str, reps: usize) {
+    let dataset = centipede_bench::dataset();
+    let events = dataset.len();
+    let config = PipelineConfig {
+        skip_influence: true,
+        ..PipelineConfig::default()
+    };
+
+    // Standalone index build (the structure every stage consumes),
+    // timed separately from the full stage sweep. Pre-refactor entries
+    // timed the legacy `Dataset::timelines()` BTreeMap partition here.
+    let mut partition_ns: Vec<u64> = Vec::with_capacity(reps);
+    let urls = dataset.timelines().len();
+    for _ in 0..reps {
+        let start = Instant::now();
+        let index = centipede_dataset::DatasetIndex::build(dataset);
+        partition_ns.push(start.elapsed().as_nanos() as u64);
+        assert_eq!(index.n_urls(), urls);
+    }
+    partition_ns.sort_unstable();
+    let median_partition_ns = partition_ns[reps / 2];
+
+    // Full `run_all` with influence skipped: every table/figure stage.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let warm = run_all(dataset, &config, &mut rng);
+    assert_eq!(warm.table1.len(), 3);
+    let mut wall_ns: Vec<u64> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            let report = run_all(dataset, &config, &mut rng);
+            let ns = start.elapsed().as_nanos() as u64;
+            assert_eq!(report.table1.len(), 3);
+            ns
+        })
+        .collect();
+    wall_ns.sort_unstable();
+    let median_run_all_ns = wall_ns[reps / 2];
+    let events_per_sec = events as f64 / (median_run_all_ns as f64 / 1e9);
+
+    let scale = centipede_bench::BENCH_SCALE;
+    let entry = format!(
+        "  {{\n    \"label\": \"{label}\",\n    \"bench\": \"pipeline/run_all_no_influence\",\n    \
+         \"scale\": {scale},\n    \"events\": {events},\n    \"urls\": {urls},\n    \
+         \"reps\": {reps},\n    \"median_partition_ns\": {median_partition_ns},\n    \
+         \"median_run_all_ns\": {median_run_all_ns},\n    \
+         \"events_per_sec\": {events_per_sec:.0}\n  }}"
+    );
+    append_entry("BENCH_pipeline.json", &entry);
+
+    eprintln!(
+        "bench_baseline[{label}]: {events} events / {urls} urls, \
+         median partition {:.2} ms, run_all {:.2} ms, {events_per_sec:.0} events/s",
+        median_partition_ns as f64 / 1e6,
+        median_run_all_ns as f64 / 1e6,
+    );
+}
+
+/// Append one hand-formatted entry to a JSON trajectory array,
+/// creating the file if missing.
+fn append_entry(path: &str, entry: &str) {
+    let path = std::path::Path::new(path);
+    let text = match std::fs::read_to_string(path) {
+        Ok(existing) => {
+            let trimmed = existing.trim_end();
+            let body = trimmed
+                .strip_suffix(']')
+                .unwrap_or_else(|| panic!("{}: expected a JSON array", path.display()))
+                .trim_end();
+            format!("{body},\n{entry}\n]\n")
+        }
+        Err(_) => format!("[\n{entry}\n]\n"),
+    };
+    std::fs::write(path, text).unwrap_or_else(|err| panic!("write {}: {err}", path.display()));
 }

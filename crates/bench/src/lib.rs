@@ -15,6 +15,7 @@ use rand::SeedableRng;
 
 use centipede_dataset::dataset::{Dataset, UrlTimeline};
 use centipede_dataset::event::UrlId;
+use centipede_dataset::index::DatasetIndex;
 use centipede_platform_sim::{ecosystem, GeneratedWorld, SimConfig};
 
 /// Seed used by all bench fixtures.
@@ -45,9 +46,19 @@ pub fn dataset() -> &'static Dataset {
 
 static TIMELINES: OnceLock<std::collections::BTreeMap<UrlId, UrlTimeline>> = OnceLock::new();
 
-/// Timelines over the shared dataset (computed once).
+/// Timelines over the shared dataset (computed once). Kept for benches
+/// that compare the legacy BTreeMap partition against the columnar
+/// index.
 pub fn timelines() -> &'static std::collections::BTreeMap<UrlId, UrlTimeline> {
     TIMELINES.get_or_init(|| dataset().timelines())
+}
+
+static INDEX: OnceLock<DatasetIndex> = OnceLock::new();
+
+/// The columnar index over the shared dataset (built once). All
+/// analysis-stage benches consume this.
+pub fn index() -> &'static DatasetIndex {
+    INDEX.get_or_init(|| DatasetIndex::build(dataset()))
 }
 
 #[cfg(test)]
@@ -61,5 +72,6 @@ mod tests {
         assert_eq!(a, b, "fixture must be cached");
         assert!(!dataset().is_empty());
         assert!(!timelines().is_empty());
+        assert_eq!(index().n_urls(), timelines().len());
     }
 }

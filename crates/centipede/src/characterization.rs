@@ -1,12 +1,19 @@
 //! §3 — General characterization (Tables 1–7, Figures 2–3).
+//!
+//! Every stage consumes the one-pass [`DatasetIndex`]: categories,
+//! analysis groups, and platforms are precomputed per event, and the
+//! per-subreddit / per-domain tallies run over dense arrays keyed by
+//! interned venue id or domain id instead of hash maps. Ranked tables
+//! break share ties by name (old hash-map iteration order was
+//! unspecified on ties; the index path is fully deterministic).
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 use serde::{Deserialize, Serialize};
 
-use centipede_dataset::dataset::Dataset;
-use centipede_dataset::domains::{DomainId, NewsCategory};
+use centipede_dataset::domains::NewsCategory;
 use centipede_dataset::event::{UrlId, UserId};
+use centipede_dataset::index::DatasetIndex;
 use centipede_dataset::platform::{AnalysisGroup, Platform, Venue};
 use centipede_stats::descriptive::{mean, stddev};
 use centipede_stats::ecdf::Ecdf;
@@ -27,11 +34,11 @@ pub struct PlatformTotalsRow {
 }
 
 /// Table 1: total crawled posts and news-URL densities.
-pub fn platform_totals(dataset: &Dataset) -> Vec<PlatformTotalsRow> {
+pub fn platform_totals(index: &DatasetIndex) -> Vec<PlatformTotalsRow> {
     Platform::ALL
         .into_iter()
         .map(|platform| {
-            let totals = dataset.totals.get(&platform).copied().unwrap_or_default();
+            let totals = index.totals().get(&platform).copied().unwrap_or_default();
             let denom = totals.total_posts.max(1) as f64;
             PlatformTotalsRow {
                 platform,
@@ -98,16 +105,30 @@ impl DatasetSplit {
 
     /// Which split a venue belongs to.
     pub fn of(venue: &Venue) -> DatasetSplit {
-        match venue.analysis_group() {
+        DatasetSplit::of_parts(venue.analysis_group(), venue.platform())
+    }
+
+    /// Split from the precomputed per-event analysis group + platform
+    /// columns (no venue string matching).
+    pub fn of_parts(group: Option<AnalysisGroup>, platform: Platform) -> DatasetSplit {
+        match group {
             Some(AnalysisGroup::Twitter) => DatasetSplit::Twitter,
             Some(AnalysisGroup::SixSubreddits) => DatasetSplit::SixSubreddits,
             Some(AnalysisGroup::Pol) => DatasetSplit::Pol,
-            None => match venue.platform() {
+            None => match platform {
                 Platform::Reddit => DatasetSplit::OtherSubreddits,
                 Platform::FourChan => DatasetSplit::OtherBoards,
                 Platform::Twitter => DatasetSplit::Twitter,
             },
         }
+    }
+
+    /// Slot in [`Self::ALL`].
+    fn slot(&self) -> usize {
+        DatasetSplit::ALL
+            .iter()
+            .position(|s| s == self)
+            .expect("split in ALL")
     }
 }
 
@@ -125,27 +146,30 @@ pub struct OverviewRow {
 }
 
 /// Table 2: posts and unique URLs per collection split.
-pub fn dataset_overview(dataset: &Dataset) -> Vec<OverviewRow> {
-    let mut posts: HashMap<DatasetSplit, u64> = HashMap::new();
-    let mut uniq: HashMap<(DatasetSplit, NewsCategory), HashSet<UrlId>> = HashMap::new();
-    for e in &dataset.events {
-        let split = DatasetSplit::of(&e.venue);
-        *posts.entry(split).or_default() += 1;
-        uniq.entry((split, dataset.category_of(e)))
-            .or_default()
-            .insert(e.url);
+pub fn dataset_overview(index: &DatasetIndex) -> Vec<OverviewRow> {
+    let mut posts = [0u64; 5];
+    let mut uniq: [[HashSet<UrlId>; 2]; 5] = Default::default();
+    let groups = index.groups();
+    let platforms = index.platforms();
+    let categories = index.categories();
+    let urls = index.urls();
+    for i in 0..index.n_events() {
+        let split = DatasetSplit::of_parts(groups[i], platforms[i]).slot();
+        posts[split] += 1;
+        let cat = if categories[i] == NewsCategory::Alternative {
+            0
+        } else {
+            1
+        };
+        uniq[split][cat].insert(urls[i]);
     }
     DatasetSplit::ALL
         .into_iter()
         .map(|split| OverviewRow {
             split,
-            posts: posts.get(&split).copied().unwrap_or(0),
-            unique_alt: uniq
-                .get(&(split, NewsCategory::Alternative))
-                .map_or(0, |s| s.len() as u64),
-            unique_main: uniq
-                .get(&(split, NewsCategory::Mainstream))
-                .map_or(0, |s| s.len() as u64),
+            posts: posts[split.slot()],
+            unique_alt: uniq[split.slot()][0].len() as u64,
+            unique_main: uniq[split.slot()][1].len() as u64,
         })
         .collect()
 }
@@ -187,7 +211,9 @@ pub struct TweetStatsRow {
 }
 
 /// Table 3: tweet re-crawl statistics per category.
-pub fn tweet_stats(dataset: &Dataset) -> Vec<TweetStatsRow> {
+pub fn tweet_stats(index: &DatasetIndex) -> Vec<TweetStatsRow> {
+    let platforms = index.platforms();
+    let engagements = index.engagements();
     NewsCategory::ALL
         .into_iter()
         .map(|category| {
@@ -195,12 +221,13 @@ pub fn tweet_stats(dataset: &Dataset) -> Vec<TweetStatsRow> {
             let mut likes = Vec::new();
             let mut tweets = 0u64;
             let mut retrieved = 0u64;
-            for e in dataset.events_in_category(category) {
-                if e.venue != Venue::Twitter {
+            for &i in index.category_events(category) {
+                let i = i as usize;
+                if platforms[i] != Platform::Twitter {
                     continue;
                 }
                 tweets += 1;
-                if let Some(g) = e.engagement {
+                if let Some(g) = engagements[i] {
                     if g.retrieved {
                         retrieved += 1;
                         retweets.push(g.retweets as f64);
@@ -242,31 +269,57 @@ pub fn render_table3(rows: &[TweetStatsRow]) -> String {
     t.render()
 }
 
+/// Rank `(name, share)` rows: share descending, name ascending on ties.
+fn rank_shares(rows: &mut Vec<(String, f64)>, top_n: usize) {
+    rows.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("no NaN")
+            .then_with(|| a.0.cmp(&b.0))
+    });
+    rows.truncate(top_n);
+}
+
 /// Table 4: top subreddits per category `(name, share of Reddit events
 /// of that category)`.
 pub fn top_subreddits(
-    dataset: &Dataset,
+    index: &DatasetIndex,
     top_n: usize,
 ) -> BTreeMap<NewsCategory, Vec<(String, f64)>> {
-    let mut counts: HashMap<(NewsCategory, String), u64> = HashMap::new();
-    let mut totals: HashMap<NewsCategory, u64> = HashMap::new();
-    for e in &dataset.events {
-        if let Venue::Subreddit(name) = &e.venue {
-            let cat = dataset.category_of(e);
-            *counts.entry((cat, name.clone())).or_default() += 1;
-            *totals.entry(cat).or_default() += 1;
+    // Dense per-venue tallies: venue ids are interned, so a flat array
+    // replaces the (category, name) hash map of the scan-path version.
+    let mut counts = vec![[0u64; 2]; index.venues().len()];
+    let mut totals = [0u64; 2];
+    let venue_ids = index.venue_ids();
+    let platforms = index.platforms();
+    let categories = index.categories();
+    for i in 0..index.n_events() {
+        if platforms[i] != Platform::Reddit {
+            continue;
         }
+        let cat = if categories[i] == NewsCategory::Alternative {
+            0
+        } else {
+            1
+        };
+        counts[venue_ids[i] as usize][cat] += 1;
+        totals[cat] += 1;
     }
     let mut out = BTreeMap::new();
-    for cat in NewsCategory::ALL {
-        let total = totals.get(&cat).copied().unwrap_or(0).max(1) as f64;
+    for (slot, cat) in [
+        (0usize, NewsCategory::Alternative),
+        (1usize, NewsCategory::Mainstream),
+    ] {
+        let total = totals[slot].max(1) as f64;
         let mut rows: Vec<(String, f64)> = counts
             .iter()
-            .filter(|((c, _), _)| *c == cat)
-            .map(|((_, name), &n)| (name.clone(), n as f64 / total))
+            .zip(index.venues())
+            .filter(|(c, _)| c[slot] > 0)
+            .filter_map(|(c, venue)| match venue {
+                Venue::Subreddit(name) => Some((name.clone(), c[slot] as f64 / total)),
+                _ => None,
+            })
             .collect();
-        rows.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN"));
-        rows.truncate(top_n);
+        rank_shares(&mut rows, top_n);
         out.insert(cat, rows);
     }
     out
@@ -297,30 +350,44 @@ pub fn render_table4(rows: &BTreeMap<NewsCategory, Vec<(String, f64)>>) -> Strin
 /// Tables 5/6/7: top domains `(domain, share of category URLs)` for one
 /// analysis group, computed over URL *occurrences* within the group.
 pub fn top_domains(
-    dataset: &Dataset,
+    index: &DatasetIndex,
     group: AnalysisGroup,
     top_n: usize,
 ) -> BTreeMap<NewsCategory, Vec<(String, f64)>> {
-    let mut counts: HashMap<(NewsCategory, DomainId), u64> = HashMap::new();
-    let mut totals: HashMap<NewsCategory, u64> = HashMap::new();
-    for e in &dataset.events {
-        if e.venue.analysis_group() != Some(group) {
-            continue;
-        }
-        let cat = dataset.category_of(e);
-        *counts.entry((cat, e.domain)).or_default() += 1;
-        *totals.entry(cat).or_default() += 1;
+    let mut counts = vec![[0u64; 2]; index.domains().len()];
+    let mut totals = [0u64; 2];
+    let event_domains = index.event_domains();
+    let categories = index.categories();
+    for &i in index.group_events(group) {
+        let i = i as usize;
+        let cat = if categories[i] == NewsCategory::Alternative {
+            0
+        } else {
+            1
+        };
+        counts[event_domains[i].0 as usize][cat] += 1;
+        totals[cat] += 1;
     }
     let mut out = BTreeMap::new();
-    for cat in NewsCategory::ALL {
-        let total = totals.get(&cat).copied().unwrap_or(0).max(1) as f64;
+    for (slot, cat) in [
+        (0usize, NewsCategory::Alternative),
+        (1usize, NewsCategory::Mainstream),
+    ] {
+        let total = totals[slot].max(1) as f64;
         let mut rows: Vec<(String, f64)> = counts
             .iter()
-            .filter(|((c, _), _)| *c == cat)
-            .map(|((_, id), &n)| (dataset.domains.get(*id).name.clone(), n as f64 / total))
+            .enumerate()
+            .filter(|(_, c)| c[slot] > 0)
+            .map(|(d, c)| {
+                let name = index
+                    .domains()
+                    .get(centipede_dataset::domains::DomainId(d as u16))
+                    .name
+                    .clone();
+                (name, c[slot] as f64 / total)
+            })
             .collect();
-        rows.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN"));
-        rows.truncate(top_n);
+        rank_shares(&mut rows, top_n);
         out.insert(cat, rows);
     }
     out
@@ -356,36 +423,42 @@ pub fn render_top_domains(
 /// occurrence), the fraction of their occurrences on each analysis
 /// group. Returns `(domain, [six subreddits, /pol/, Twitter])`.
 pub fn domain_platform_fractions(
-    dataset: &Dataset,
+    index: &DatasetIndex,
     category: NewsCategory,
     top_n: usize,
 ) -> Vec<(String, [f64; 3])> {
-    let mut per_domain: HashMap<DomainId, [u64; 3]> = HashMap::new();
-    for e in &dataset.events {
-        let Some(group) = e.venue.analysis_group() else {
-            continue;
+    let mut per_domain = vec![[0u64; 3]; index.domains().len()];
+    let groups = index.groups();
+    let event_domains = index.event_domains();
+    for &i in index.category_events(category) {
+        let i = i as usize;
+        let slot = match groups[i] {
+            Some(AnalysisGroup::SixSubreddits) => 0,
+            Some(AnalysisGroup::Pol) => 1,
+            Some(AnalysisGroup::Twitter) => 2,
+            None => continue,
         };
-        if dataset.category_of(e) != category {
-            continue;
-        }
-        let slot = match group {
-            AnalysisGroup::SixSubreddits => 0,
-            AnalysisGroup::Pol => 1,
-            AnalysisGroup::Twitter => 2,
-        };
-        per_domain.entry(e.domain).or_default()[slot] += 1;
+        per_domain[event_domains[i].0 as usize][slot] += 1;
     }
-    let mut rows: Vec<(DomainId, [u64; 3], u64)> = per_domain
+    let mut rows: Vec<(usize, [u64; 3], u64)> = per_domain
         .into_iter()
+        .enumerate()
         .map(|(d, c)| (d, c, c.iter().sum()))
+        .filter(|&(_, _, total)| total > 0)
         .collect();
+    // Stable sort over ascending domain id: ties rank in id order.
     rows.sort_by_key(|&(_, _, total)| std::cmp::Reverse(total));
     rows.truncate(top_n);
     rows.into_iter()
         .map(|(d, counts, total)| {
             let total = total.max(1) as f64;
+            let name = index
+                .domains()
+                .get(centipede_dataset::domains::DomainId(d as u16))
+                .name
+                .clone();
             (
-                dataset.domains.get(d).name.clone(),
+                name,
                 [
                     counts[0] as f64 / total,
                     counts[1] as f64 / total,
@@ -408,17 +481,20 @@ pub struct UserAltFractions {
 
 /// Figure 3: per-user alternative fractions. 4chan is excluded (posts
 /// are anonymous).
-pub fn user_alt_fraction(dataset: &Dataset) -> UserAltFractions {
+pub fn user_alt_fraction(index: &DatasetIndex) -> UserAltFractions {
     let mut per_user: HashMap<(AnalysisGroup, UserId), (u64, u64)> = HashMap::new();
-    for e in &dataset.events {
-        let (Some(group), Some(user)) = (e.venue.analysis_group(), e.user) else {
+    let groups = index.groups();
+    let users = index.users();
+    let categories = index.categories();
+    for i in 0..index.n_events() {
+        let (Some(group), Some(user)) = (groups[i], users[i]) else {
             continue;
         };
         if group == AnalysisGroup::Pol {
             continue;
         }
         let entry = per_user.entry((group, user)).or_default();
-        match dataset.category_of(e) {
+        match categories[i] {
             NewsCategory::Alternative => entry.0 += 1,
             NewsCategory::Mainstream => entry.1 += 1,
         }
@@ -450,7 +526,7 @@ pub fn user_alt_fraction(dataset: &Dataset) -> UserAltFractions {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use centipede_dataset::dataset::PlatformTotals;
+    use centipede_dataset::dataset::{Dataset, PlatformTotals};
     use centipede_dataset::domains::DomainTable;
     use centipede_dataset::event::{Engagement, NewsEvent};
 
@@ -539,9 +615,13 @@ mod tests {
         Dataset::new(domains, events, totals, BTreeMap::new())
     }
 
+    fn toy_index() -> DatasetIndex {
+        DatasetIndex::build(&toy_dataset())
+    }
+
     #[test]
     fn table1_percentages() {
-        let rows = platform_totals(&toy_dataset());
+        let rows = platform_totals(&toy_index());
         let twitter = rows
             .iter()
             .find(|r| r.platform == Platform::Twitter)
@@ -556,7 +636,7 @@ mod tests {
 
     #[test]
     fn table2_split_accounting() {
-        let rows = dataset_overview(&toy_dataset());
+        let rows = dataset_overview(&toy_index());
         let get = |s: DatasetSplit| rows.iter().find(|r| r.split == s).unwrap().clone();
         let tw = get(DatasetSplit::Twitter);
         assert_eq!(tw.posts, 3);
@@ -576,8 +656,24 @@ mod tests {
     }
 
     #[test]
+    fn split_of_parts_matches_venue_path() {
+        for venue in [
+            Venue::Twitter,
+            Venue::Subreddit("The_Donald".into()),
+            Venue::Subreddit("cats".into()),
+            Venue::Board("pol".into()),
+            Venue::Board("sp".into()),
+        ] {
+            assert_eq!(
+                DatasetSplit::of(&venue),
+                DatasetSplit::of_parts(venue.analysis_group(), venue.platform())
+            );
+        }
+    }
+
+    #[test]
     fn table3_ignores_deleted_tweets_in_means() {
-        let rows = tweet_stats(&toy_dataset());
+        let rows = tweet_stats(&toy_index());
         let alt = rows
             .iter()
             .find(|r| r.category == NewsCategory::Alternative)
@@ -596,7 +692,7 @@ mod tests {
 
     #[test]
     fn table4_shares_sum_within_category() {
-        let t = top_subreddits(&toy_dataset(), 20);
+        let t = top_subreddits(&toy_index(), 20);
         let alt = &t[&NewsCategory::Alternative];
         assert_eq!(alt.len(), 1);
         assert_eq!(alt[0].0, "The_Donald");
@@ -608,22 +704,30 @@ mod tests {
 
     #[test]
     fn top_domains_per_group() {
-        let d = toy_dataset();
-        let tw = top_domains(&d, AnalysisGroup::Twitter, 5);
+        let idx = toy_index();
+        let tw = top_domains(&idx, AnalysisGroup::Twitter, 5);
         let alt = &tw[&NewsCategory::Alternative];
         assert_eq!(alt.len(), 2);
         // breitbart and rt each 50%.
         assert!((alt[0].1 - 0.5).abs() < 1e-12);
-        let pol = top_domains(&d, AnalysisGroup::Pol, 5);
+        let pol = top_domains(&idx, AnalysisGroup::Pol, 5);
         assert_eq!(pol[&NewsCategory::Alternative].len(), 1);
         assert!(pol[&NewsCategory::Mainstream].is_empty());
         assert!(render_top_domains(7, AnalysisGroup::Pol, &pol).contains("breitbart"));
     }
 
     #[test]
+    fn tied_shares_rank_by_name() {
+        // breitbart and rt tie at 50% on Twitter: name order breaks it.
+        let tw = top_domains(&toy_index(), AnalysisGroup::Twitter, 5);
+        let alt = &tw[&NewsCategory::Alternative];
+        assert_eq!(alt[0].0, "breitbart.com");
+        assert_eq!(alt[1].0, "rt.com");
+    }
+
+    #[test]
     fn figure2_fractions_sum_to_one() {
-        let d = toy_dataset();
-        let rows = domain_platform_fractions(&d, NewsCategory::Alternative, 10);
+        let rows = domain_platform_fractions(&toy_index(), NewsCategory::Alternative, 10);
         assert!(!rows.is_empty());
         for (name, fracs) in &rows {
             let sum: f64 = fracs.iter().sum();
@@ -636,8 +740,7 @@ mod tests {
 
     #[test]
     fn figure3_user_fractions() {
-        let d = toy_dataset();
-        let f = user_alt_fraction(&d);
+        let f = user_alt_fraction(&toy_index());
         // Twitter: user 1 has fraction 1.0 (2 alt), user 2 has 0.0.
         let (_, tw) = f
             .all_users

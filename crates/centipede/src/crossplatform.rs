@@ -4,9 +4,8 @@ use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
-use centipede_dataset::dataset::UrlTimeline;
 use centipede_dataset::domains::NewsCategory;
-use centipede_dataset::event::UrlId;
+use centipede_dataset::index::{DatasetIndex, TimelineView};
 use centipede_dataset::platform::AnalysisGroup;
 use centipede_stats::ecdf::Ecdf;
 use centipede_stats::ks::{ks_two_sample, KsResult};
@@ -80,18 +79,27 @@ impl PairLagResult {
     }
 }
 
+/// The per-URL timeline views of one news category, in ascending URL
+/// order (the same order the old `BTreeMap<UrlId, UrlTimeline>` walk
+/// produced).
+fn category_timelines(
+    index: &DatasetIndex,
+    category: NewsCategory,
+) -> impl Iterator<Item = TimelineView<'_>> {
+    index
+        .timelines()
+        .filter(move |tl| tl.category() == category)
+}
+
 /// Figure 7 + Table 8: first-occurrence lag comparison for every pair
 /// and category.
-pub fn pair_lags(
-    timelines: &BTreeMap<UrlId, UrlTimeline>,
-    category: NewsCategory,
-) -> Vec<PairLagResult> {
+pub fn pair_lags(index: &DatasetIndex, category: NewsCategory) -> Vec<PairLagResult> {
     PAIRS
         .into_iter()
         .map(|(a, b)| {
             let mut a_first: Vec<f64> = Vec::new();
             let mut b_first: Vec<f64> = Vec::new();
-            for tl in timelines.values().filter(|tl| tl.category == category) {
+            for tl in category_timelines(index, category) {
                 let (Some(ta), Some(tb)) = (tl.first_in_group(a), tl.first_in_group(b)) else {
                     continue;
                 };
@@ -170,28 +178,35 @@ impl std::fmt::Display for FirstHop {
     }
 }
 
-/// Sort a timeline's groups by first-occurrence time.
-fn ordered_groups(tl: &UrlTimeline) -> Vec<(AnalysisGroup, i64)> {
-    let mut firsts: Vec<(AnalysisGroup, i64)> = AnalysisGroup::ALL
-        .into_iter()
-        .filter_map(|g| tl.first_in_group(g).map(|t| (g, t)))
-        .collect();
-    firsts.sort_by_key(|&(_, t)| t);
-    firsts
+/// A timeline's groups sorted by first-occurrence time: a fixed array
+/// plus the number of live entries (`firsts[..n]`), so the per-URL
+/// walk allocates nothing. The stable sort keeps ties in
+/// [`AnalysisGroup::ALL`] order, as the `Vec` version did.
+fn ordered_groups(tl: &TimelineView<'_>) -> ([(AnalysisGroup, i64); 3], usize) {
+    let mut firsts = [(AnalysisGroup::Twitter, 0i64); 3];
+    let mut n = 0;
+    for g in AnalysisGroup::ALL {
+        if let Some(t) = tl.first_in_group(g) {
+            firsts[n] = (g, t);
+            n += 1;
+        }
+    }
+    firsts[..n].sort_by_key(|&(_, t)| t);
+    (firsts, n)
 }
 
 /// Table 9: distribution of first-hop sequences per category.
 pub fn first_hop_sequences(
-    timelines: &BTreeMap<UrlId, UrlTimeline>,
+    index: &DatasetIndex,
     category: NewsCategory,
 ) -> BTreeMap<FirstHop, u64> {
     let mut out: BTreeMap<FirstHop, u64> = BTreeMap::new();
-    for tl in timelines.values().filter(|tl| tl.category == category) {
-        let firsts = ordered_groups(tl);
-        if firsts.is_empty() {
+    for tl in category_timelines(index, category) {
+        let (firsts, n) = ordered_groups(&tl);
+        if n == 0 {
             continue;
         }
-        let key = if firsts.len() == 1 {
+        let key = if n == 1 {
             FirstHop::Only(AnalysisGroupCode::of(firsts[0].0))
         } else {
             FirstHop::Hop(
@@ -206,14 +221,11 @@ pub fn first_hop_sequences(
 
 /// Table 10: full triplet sequences for URLs that appeared on all
 /// three groups. Key is e.g. `"R→T→4"`.
-pub fn triplet_sequences(
-    timelines: &BTreeMap<UrlId, UrlTimeline>,
-    category: NewsCategory,
-) -> BTreeMap<String, u64> {
+pub fn triplet_sequences(index: &DatasetIndex, category: NewsCategory) -> BTreeMap<String, u64> {
     let mut out: BTreeMap<String, u64> = BTreeMap::new();
-    for tl in timelines.values().filter(|tl| tl.category == category) {
-        let firsts = ordered_groups(tl);
-        if firsts.len() < 3 {
+    for tl in category_timelines(index, category) {
+        let (firsts, n) = ordered_groups(&tl);
+        if n < 3 {
             continue;
         }
         let key: Vec<String> = firsts
@@ -239,21 +251,18 @@ pub struct SourceEdge {
 /// Figure 8: the news-ecosystem source graph for one category. For
 /// each URL, an edge `domain → first group`, and (if a second group
 /// exists) `first group → second group`.
-pub fn source_graph(
-    timelines: &BTreeMap<UrlId, UrlTimeline>,
-    domains: &centipede_dataset::domains::DomainTable,
-    category: NewsCategory,
-) -> Vec<SourceEdge> {
+pub fn source_graph(index: &DatasetIndex, category: NewsCategory) -> Vec<SourceEdge> {
+    let domains = index.domains();
     let mut weights: BTreeMap<(String, String), u64> = BTreeMap::new();
-    for tl in timelines.values().filter(|tl| tl.category == category) {
-        let firsts = ordered_groups(tl);
-        if firsts.is_empty() {
+    for tl in category_timelines(index, category) {
+        let (firsts, n) = ordered_groups(&tl);
+        if n == 0 {
             continue;
         }
-        let domain = domains.get(tl.domain).name.clone();
+        let domain = domains.get(tl.domain()).name.clone();
         let first = firsts[0].0.name().to_string();
         *weights.entry((domain, first.clone())).or_default() += 1;
-        if firsts.len() >= 2 {
+        if n >= 2 {
             let second = firsts[1].0.name().to_string();
             *weights.entry((first, second)).or_default() += 1;
         }
@@ -269,10 +278,10 @@ mod tests {
     use super::*;
     use centipede_dataset::dataset::Dataset;
     use centipede_dataset::domains::DomainTable;
-    use centipede_dataset::event::NewsEvent;
+    use centipede_dataset::event::{NewsEvent, UrlId};
     use centipede_dataset::platform::Venue;
 
-    fn mk_dataset() -> Dataset {
+    fn mk_index() -> DatasetIndex {
         let domains = DomainTable::standard();
         let bb = domains.id_by_name("breitbart.com").unwrap();
         let rt = domains.id_by_name("rt.com").unwrap();
@@ -290,19 +299,19 @@ mod tests {
             NewsEvent::basic(10, Venue::Subreddit("worldnews".into()), UrlId(3), bb),
             NewsEvent::basic(20, Venue::Subreddit("news".into()), UrlId(3), bb),
         ];
-        Dataset::new(
+        let dataset = Dataset::new(
             domains,
             events,
             std::collections::BTreeMap::new(),
             std::collections::BTreeMap::new(),
-        )
+        );
+        DatasetIndex::build(&dataset)
     }
 
     #[test]
     fn pair_lag_directions() {
-        let d = mk_dataset();
-        let tls = d.timelines();
-        let results = pair_lags(&tls, NewsCategory::Alternative);
+        let index = mk_index();
+        let results = pair_lags(&index, NewsCategory::Alternative);
         // Pair (R, T): URL 0 R-first (lag 100), URL 1 T-first (lag 200).
         let rt = results
             .iter()
@@ -325,9 +334,8 @@ mod tests {
 
     #[test]
     fn first_hop_distribution() {
-        let d = mk_dataset();
-        let tls = d.timelines();
-        let seqs = first_hop_sequences(&tls, NewsCategory::Alternative);
+        let index = mk_index();
+        let seqs = first_hop_sequences(&index, NewsCategory::Alternative);
         assert_eq!(
             seqs[&FirstHop::Hop(AnalysisGroupCode::R, AnalysisGroupCode::T)],
             1
@@ -344,18 +352,16 @@ mod tests {
 
     #[test]
     fn triplets_only_for_three_group_urls() {
-        let d = mk_dataset();
-        let tls = d.timelines();
-        let seqs = triplet_sequences(&tls, NewsCategory::Alternative);
+        let index = mk_index();
+        let seqs = triplet_sequences(&index, NewsCategory::Alternative);
         assert_eq!(seqs.len(), 1);
         assert_eq!(seqs["R→T→4"], 1);
     }
 
     #[test]
     fn source_graph_edges() {
-        let d = mk_dataset();
-        let tls = d.timelines();
-        let edges = source_graph(&tls, &d.domains, NewsCategory::Alternative);
+        let index = mk_index();
+        let edges = source_graph(&index, NewsCategory::Alternative);
         let find = |from: &str, to: &str| {
             edges
                 .iter()

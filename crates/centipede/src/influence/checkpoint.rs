@@ -28,7 +28,7 @@ use centipede_dataset::event::UrlId;
 use centipede_hawkes::discrete::{Posterior, PosteriorCodecError};
 use centipede_hawkes::matrix::Matrix;
 
-use super::fit::{Estimator, FitConfig, UrlFit};
+use super::fit::{Estimator, FitConfig, QuarantinedUrl, UrlFit};
 
 /// Magic prefix of a checkpoint shard file.
 pub const SHARD_MAGIC: [u8; 4] = *b"CPSH";
@@ -404,6 +404,137 @@ pub fn write_shard_atomic(dir: &Path, shard: &Shard) -> Result<PathBuf, ShardErr
     Ok(final_path)
 }
 
+/// Magic prefix of a persisted quarantine list.
+pub const QUARANTINE_MAGIC: [u8; 4] = *b"CPQR";
+
+/// Quarantine list format version; decoders reject anything else.
+pub const QUARANTINE_VERSION: u32 = 1;
+
+/// Canonical quarantine file name inside a checkpoint directory.
+pub const QUARANTINE_FILE: &str = "quarantine.ckpt";
+
+/// Canonical path of the persisted quarantine list under `dir`.
+pub fn quarantine_path(dir: &Path) -> PathBuf {
+    dir.join(QUARANTINE_FILE)
+}
+
+/// Encode the quarantine list: magic + version, checksummed body
+/// (config fingerprint, entry count, then each entry's fleet index,
+/// URL id, attempt count, and panic message), trailing FNV-1a digest.
+pub fn encode_quarantine(fingerprint: u64, entries: &[QuarantinedUrl]) -> Vec<u8> {
+    let mut body = Vec::with_capacity(32 + entries.len() * 64);
+    body.extend_from_slice(&fingerprint.to_le_bytes());
+    body.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+    for q in entries {
+        body.extend_from_slice(&q.idx.to_le_bytes());
+        body.extend_from_slice(&q.url.0.to_le_bytes());
+        body.extend_from_slice(&q.attempts.to_le_bytes());
+        let msg = q.panic_message.as_bytes();
+        body.extend_from_slice(&(msg.len() as u64).to_le_bytes());
+        body.extend_from_slice(msg);
+    }
+    let mut h = Fnv1a::new();
+    h.update(&body);
+    let mut out = Vec::with_capacity(16 + body.len());
+    out.extend_from_slice(&QUARANTINE_MAGIC);
+    out.extend_from_slice(&QUARANTINE_VERSION.to_le_bytes());
+    out.extend_from_slice(&body);
+    out.extend_from_slice(&h.finish().to_le_bytes());
+    out
+}
+
+/// Decode a quarantine list, verifying magic, version, and the body
+/// checksum before interpreting a single field. Returns the stored
+/// config fingerprint alongside the entries; the caller decides
+/// whether a foreign fingerprint invalidates the list.
+pub fn decode_quarantine(bytes: &[u8]) -> Result<(u64, Vec<QuarantinedUrl>), ShardError> {
+    if bytes.len() < 16 {
+        return Err(ShardError::Truncated);
+    }
+    if bytes[..4] != QUARANTINE_MAGIC {
+        return Err(ShardError::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    if version != QUARANTINE_VERSION {
+        return Err(ShardError::BadVersion(version));
+    }
+    let body = &bytes[8..bytes.len() - 8];
+    let stored = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap());
+    let mut h = Fnv1a::new();
+    h.update(body);
+    let computed = h.finish();
+    if stored != computed {
+        return Err(ShardError::ChecksumMismatch { stored, computed });
+    }
+
+    let mut c = Cursor {
+        bytes: body,
+        pos: 0,
+    };
+    let fingerprint = c.read_u64()?;
+    let n = c.read_u64()? as usize;
+    // Each entry is at least 24 bytes; reject counts the body cannot hold.
+    if n > body.len() / 24 {
+        return Err(ShardError::Malformed("quarantine entry count"));
+    }
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        let idx = c.read_u64()?;
+        let url = UrlId(c.read_u32()?);
+        let attempts = c.read_u32()?;
+        let len = c.read_u64()? as usize;
+        let panic_message = std::str::from_utf8(c.take(len)?)
+            .map_err(|_| ShardError::Malformed("quarantine panic message"))?
+            .to_string();
+        entries.push(QuarantinedUrl {
+            url,
+            idx,
+            attempts,
+            panic_message,
+        });
+    }
+    if c.pos != body.len() {
+        return Err(ShardError::Malformed("trailing bytes"));
+    }
+    Ok((fingerprint, entries))
+}
+
+/// Write the quarantine list atomically under its canonical name in
+/// `dir` (same tmp → fsync → rename discipline as shards).
+pub fn write_quarantine_atomic(
+    dir: &Path,
+    fingerprint: u64,
+    entries: &[QuarantinedUrl],
+) -> Result<PathBuf, ShardError> {
+    let final_path = quarantine_path(dir);
+    let tmp_path = dir.join(format!("{QUARANTINE_FILE}.tmp"));
+    let bytes = encode_quarantine(fingerprint, entries);
+    let mut file = fs::File::create(&tmp_path)?;
+    file.write_all(&bytes)?;
+    file.sync_all()?;
+    drop(file);
+    fs::rename(&tmp_path, &final_path)?;
+    Ok(final_path)
+}
+
+/// Load the quarantine list persisted under `dir`. A missing file is
+/// an empty list — so is a list written under a different fit
+/// configuration, for the same reason mismatched shards are not
+/// resumed: under new settings a previously poisonous URL deserves a
+/// fresh attempt.
+pub fn load_quarantine(dir: &Path, fingerprint: u64) -> Result<Vec<QuarantinedUrl>, ShardError> {
+    let bytes = match fs::read(quarantine_path(dir)) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(ShardError::Io(e)),
+    };
+    let (stored, entries) = decode_quarantine(&bytes)?;
+    if stored != fingerprint {
+        return Ok(Vec::new());
+    }
+    Ok(entries)
+}
+
 /// Outcome of scanning a checkpoint directory for resumable shards.
 #[derive(Debug, Default)]
 pub struct ResumeScan {
@@ -653,6 +784,67 @@ mod tests {
         assert_eq!(scan.shards[&17], good);
         assert_eq!(scan.mismatched, 1);
         assert_eq!(scan.corrupt, 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    fn sample_quarantine() -> Vec<QuarantinedUrl> {
+        vec![
+            QuarantinedUrl {
+                url: UrlId(3),
+                idx: 3,
+                attempts: 2,
+                panic_message: "index out of bounds".into(),
+            },
+            QuarantinedUrl {
+                url: UrlId(9),
+                idx: 9,
+                attempts: 4,
+                panic_message: "λ diverged — non-finite rate".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn quarantine_roundtrips_including_empty_list() {
+        let entries = sample_quarantine();
+        let bytes = encode_quarantine(0xF00D, &entries);
+        assert_eq!(decode_quarantine(&bytes).unwrap(), (0xF00D, entries));
+        let empty = encode_quarantine(7, &[]);
+        assert_eq!(decode_quarantine(&empty).unwrap(), (7, Vec::new()));
+    }
+
+    #[test]
+    fn quarantine_byte_flips_and_truncations_are_typed_errors() {
+        let bytes = encode_quarantine(0xF00D, &sample_quarantine());
+        for pos in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= 0x01;
+            assert!(
+                decode_quarantine(&corrupt).is_err(),
+                "flip at byte {pos} decoded successfully"
+            );
+        }
+        for len in 0..bytes.len() {
+            assert!(
+                decode_quarantine(&bytes[..len]).is_err(),
+                "truncation to {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn quarantine_load_honours_fingerprint_and_missing_file() {
+        let dir = test_dir("quarantine");
+        // No file yet: empty, not an error.
+        assert!(load_quarantine(&dir, 11).unwrap().is_empty());
+        let entries = sample_quarantine();
+        let path = write_quarantine_atomic(&dir, 11, &entries).unwrap();
+        assert_eq!(path, quarantine_path(&dir));
+        assert!(!dir.join(format!("{QUARANTINE_FILE}.tmp")).exists());
+        assert_eq!(load_quarantine(&dir, 11).unwrap(), entries);
+        // A list written under another config is ignored, like
+        // mismatched shards.
+        assert!(load_quarantine(&dir, 12).unwrap().is_empty());
         fs::remove_dir_all(&dir).ok();
     }
 

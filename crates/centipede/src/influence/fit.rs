@@ -169,6 +169,9 @@ pub struct FleetSummary {
     pub resume_mismatched: usize,
     /// Resume-scan shards skipped as corrupt.
     pub resume_corrupt: usize,
+    /// URLs skipped (and re-reported as quarantined) because the
+    /// persisted quarantine list marks them as known poison.
+    pub resume_quarantined: usize,
     /// Retry attempts performed after panics.
     pub retried: usize,
     /// Checkpoint shards written.
@@ -208,7 +211,7 @@ pub fn fit_fleet(
     config: &FitConfig,
     options: &FleetOptions,
 ) -> FleetReport {
-    fit_fleet_with(prepared, config, options, fit_one_full)
+    fit_fleet_with(prepared, config, options, fit_one_cancellable)
 }
 
 /// [`fit_fleet`] with an injectable per-URL fit function — the seam
@@ -221,7 +224,13 @@ pub fn fit_fleet_with<F>(
     fit_fn: F,
 ) -> FleetReport
 where
-    F: Fn(&PreparedUrl, &FitConfig, u64) -> (UrlFit, Option<Posterior>) + Sync,
+    F: Fn(
+            &PreparedUrl,
+            &FitConfig,
+            u64,
+            Option<&AtomicBool>,
+        ) -> Option<(UrlFit, Option<Posterior>)>
+        + Sync,
 {
     assert!(config.max_lag_minutes >= 1, "FitConfig: max_lag_minutes");
     assert!(config.n_basis >= 1, "FitConfig: n_basis");
@@ -294,8 +303,40 @@ where
     }
     summary.resumed = resumed.len();
 
+    // Resume also honours the persisted quarantine list: a URL that
+    // exhausted its attempts in a previous run under the *same* config
+    // fingerprint is known poison — skip it instead of re-running its
+    // doomed fit, and carry it into this run's summary.
+    let mut carried_quarantine: Vec<QuarantinedUrl> = Vec::new();
+    if options.resume {
+        if let Some(dir) = &checkpoint_dir {
+            match checkpoint::load_quarantine(dir, fingerprint) {
+                Ok(entries) => {
+                    for q in entries {
+                        let i = q.idx as usize;
+                        if i < prepared.len()
+                            && prepared[i].url == q.url
+                            && !resumed.contains_key(&i)
+                        {
+                            carried_quarantine.push(q);
+                        }
+                    }
+                }
+                Err(e) => {
+                    centipede_obs::global().message(&format!(
+                        "quarantine list in {} unreadable, refitting quarantined urls: {e}",
+                        dir.display()
+                    ));
+                }
+            }
+        }
+    }
+    summary.resume_quarantined = carried_quarantine.len();
+    let skip_quarantined: std::collections::BTreeSet<usize> =
+        carried_quarantine.iter().map(|q| q.idx as usize).collect();
+
     let pending: Vec<usize> = (0..prepared.len())
-        .filter(|i| !resumed.contains_key(i))
+        .filter(|i| !resumed.contains_key(i) && !skip_quarantined.contains(i))
         .collect();
 
     let n_threads = config
@@ -374,18 +415,28 @@ where
                         }
                     }
                     let idx = pending[pos];
+                    let cancel = options.shutdown.as_deref();
                     let mut attempts = 0u32;
                     let mut outcome: Option<(UrlFit, Option<Posterior>)> = None;
+                    let mut cancelled = false;
                     let mut last_panic = String::new();
                     while attempts <= options.max_retries {
                         attempts += 1;
                         let start = std::time::Instant::now();
                         match catch_unwind(AssertUnwindSafe(|| {
-                            fit_fn(&prepared[idx], config, idx as u64)
+                            fit_fn(&prepared[idx], config, idx as u64, cancel)
                         })) {
-                            Ok(res) => {
+                            Ok(Some(res)) => {
                                 fit_hist.record_duration(start.elapsed());
                                 outcome = Some(res);
+                                break;
+                            }
+                            Ok(None) => {
+                                // The fit observed the shutdown flag
+                                // mid-chain. The URL is neither recorded
+                                // nor quarantined — a resumed fleet
+                                // refits it from scratch.
+                                cancelled = true;
                                 break;
                             }
                             Err(payload) => {
@@ -395,6 +446,10 @@ where
                                 }
                             }
                         }
+                    }
+                    if cancelled {
+                        interrupted.store(true, Ordering::Relaxed);
+                        break;
                     }
                     match outcome {
                         Some((fit, posterior)) => {
@@ -452,7 +507,22 @@ where
     summary.shard_errors += shard_errors.into_inner();
     summary.interrupted = interrupted.into_inner();
     summary.quarantined = quarantined.into_inner();
+    summary.quarantined.extend(carried_quarantine);
     summary.quarantined.sort_unstable_by_key(|q| q.idx);
+
+    // Persist the (merged) quarantine list so a later `--resume` skips
+    // known-poison URLs. Written only when non-empty: an all-clean run
+    // leaves no file to scan.
+    if let Some(dir) = &checkpoint_dir {
+        if !summary.quarantined.is_empty() {
+            if let Err(e) =
+                checkpoint::write_quarantine_atomic(dir, fingerprint, &summary.quarantined)
+            {
+                summary.shard_errors += 1;
+                centipede_obs::global().message(&format!("quarantine list write failed: {e}"));
+            }
+        }
+    }
 
     centipede_obs::counter(metric::FLEET_FITTED).inc(summary.fitted as u64);
     centipede_obs::counter(metric::FLEET_RESUMED).inc(summary.resumed as u64);
@@ -462,6 +532,7 @@ where
     centipede_obs::counter(metric::FLEET_SHARD_ERRORS).inc(summary.shard_errors as u64);
     centipede_obs::counter(metric::FLEET_RESUME_MISMATCHED).inc(summary.resume_mismatched as u64);
     centipede_obs::counter(metric::FLEET_RESUME_CORRUPT).inc(summary.resume_corrupt as u64);
+    centipede_obs::counter("fleet.resume_quarantined").inc(summary.resume_quarantined as u64);
     if summary.interrupted {
         centipede_obs::counter(metric::FLEET_INTERRUPTED).inc(1);
     }
@@ -496,6 +567,20 @@ pub fn fit_one_full(
     config: &FitConfig,
     idx: u64,
 ) -> (UrlFit, Option<Posterior>) {
+    fit_one_cancellable(prepared, config, idx, None)
+        .expect("fit without a cancellation flag cannot be cancelled")
+}
+
+/// [`fit_one_full`] with a cooperative cancellation flag threaded into
+/// the Gibbs sweep loop. Returns `None` if the fit was abandoned
+/// mid-chain; a completed fit is bit-identical to [`fit_one_full`]
+/// (the flag is only ever read, never advances the RNG).
+pub fn fit_one_cancellable(
+    prepared: &PreparedUrl,
+    config: &FitConfig,
+    idx: u64,
+    cancel: Option<&AtomicBool>,
+) -> Option<(UrlFit, Option<Posterior>)> {
     assert_eq!(
         prepared.events.n_processes(),
         8,
@@ -522,7 +607,7 @@ pub fn fit_one_full(
                 },
                 basis,
             );
-            let posterior = sampler.fit(&prepared.events, &mut rng);
+            let posterior = sampler.fit_cancellable(&prepared.events, &mut rng, cancel)?;
             (
                 posterior.mean_weights(),
                 posterior.mean_lambda0(),
@@ -530,6 +615,8 @@ pub fn fit_one_full(
             )
         }
         Estimator::Em => {
+            // EM fits are a fast deterministic baseline; they run to
+            // completion and only the fleet's between-URL check applies.
             let fitter = EmFitter::new(EmConfig::default(), basis);
             let result = fitter.fit(&prepared.events);
             (
@@ -541,7 +628,7 @@ pub fn fit_one_full(
     };
     let mut lambda0 = [0.0; 8];
     lambda0.copy_from_slice(&lambda0_vec);
-    (
+    Some((
         UrlFit {
             url: prepared.url,
             category: prepared.category,
@@ -551,7 +638,7 @@ pub fn fit_one_full(
             n_bins: prepared.events.n_bins(),
         },
         posterior,
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -665,11 +752,11 @@ mod tests {
             &urls,
             &quick_config(),
             &FleetOptions::default(),
-            |p, c, i| {
+            |p, c, i, _| {
                 if i == 2 {
                     panic!("injected failure on url {}", p.url.0);
                 }
-                fit_one_full(p, c, i)
+                Some(fit_one_full(p, c, i))
             },
         );
         assert_eq!(report.fits.len(), 3);
@@ -692,11 +779,11 @@ mod tests {
             &urls,
             &quick_config(),
             &FleetOptions::default(),
-            |p, c, i| {
+            |p, c, i, _| {
                 if i == 1 && !already_failed.swap(true, Ordering::SeqCst) {
                     panic!("transient failure");
                 }
-                fit_one_full(p, c, i)
+                Some(fit_one_full(p, c, i))
             },
         );
         assert_eq!(report.fits.len(), 3);
@@ -741,6 +828,66 @@ mod tests {
     }
 
     #[test]
+    fn mid_chain_cancellation_interrupts_without_quarantine() {
+        // The second URL's fit observes the shutdown flag mid-chain and
+        // returns None: the run is interrupted, the URL is neither
+        // recorded nor quarantined, and earlier fits survive.
+        let urls = small_fleet(4);
+        let flag = Arc::new(AtomicBool::new(false));
+        let mut config = quick_config();
+        config.threads = Some(1);
+        let options = FleetOptions {
+            shutdown: Some(flag.clone()),
+            ..FleetOptions::default()
+        };
+        let report = fit_fleet_with(&urls, &config, &options, |p, c, i, cancel| {
+            if i == 1 {
+                // Simulate a SIGINT arriving mid-sweep: raise the
+                // fleet flag, then poll it the way the sampler does.
+                cancel
+                    .expect("fleet threads its shutdown flag into fits")
+                    .store(true, Ordering::Relaxed);
+            }
+            if let Some(flag) = cancel {
+                if flag.load(Ordering::Relaxed) {
+                    return None;
+                }
+            }
+            Some(fit_one_full(p, c, i))
+        });
+        assert_eq!(report.fits.len(), 1);
+        assert_eq!(report.fits[0].url, UrlId(0));
+        assert!(report.summary.interrupted);
+        assert!(report.summary.quarantined.is_empty());
+        assert_eq!(report.summary.fitted, 1);
+    }
+
+    #[test]
+    fn gibbs_fit_observes_fleet_shutdown_mid_chain() {
+        // End-to-end: the real Gibbs sampler (not an injected stub)
+        // polls the fleet flag. With the flag pre-set the first fit
+        // cancels inside its sweep loop, so nothing is recorded.
+        let urls = small_fleet(2);
+        let flag = Arc::new(AtomicBool::new(false));
+        let mut config = quick_config();
+        config.threads = Some(1);
+        let options = FleetOptions {
+            shutdown: Some(flag.clone()),
+            ..FleetOptions::default()
+        };
+        // Set the flag from inside the first fit via a wrapper that
+        // raises it after the fleet has dispatched the URL; the real
+        // sampler then cancels at its next poll.
+        let report = fit_fleet_with(&urls, &config, &options, |p, c, i, cancel| {
+            cancel.expect("flag present").store(true, Ordering::Relaxed);
+            fit_one_cancellable(p, c, i, cancel)
+        });
+        assert!(report.fits.is_empty());
+        assert!(report.summary.interrupted);
+        assert!(report.summary.quarantined.is_empty());
+    }
+
+    #[test]
     fn checkpointed_run_resumes_bit_for_bit() {
         let urls = small_fleet(4);
         let config = quick_config();
@@ -781,6 +928,107 @@ mod tests {
             let bits = |l: &[f64; 8]| l.map(f64::to_bits);
             assert_eq!(bits(&a.lambda0), bits(&b.lambda0));
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_skips_persisted_quarantine() {
+        let urls = small_fleet(4);
+        let config = quick_config();
+        let dir =
+            std::env::temp_dir().join(format!("centipede-fit-quarantine-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let poison_attempts = AtomicUsize::new(0);
+        let poison = |p: &PreparedUrl, c: &FitConfig, i: u64, _: Option<&AtomicBool>| {
+            if i == 1 {
+                poison_attempts.fetch_add(1, Ordering::SeqCst);
+                panic!("poison url");
+            }
+            Some(fit_one_full(p, c, i))
+        };
+
+        let first = fit_fleet_with(
+            &urls,
+            &config,
+            &FleetOptions {
+                checkpoint_dir: Some(dir.clone()),
+                ..FleetOptions::default()
+            },
+            poison,
+        );
+        assert_eq!(first.summary.quarantined.len(), 1);
+        assert_eq!(poison_attempts.load(Ordering::SeqCst), 2); // try + retry
+        assert!(super::checkpoint::quarantine_path(&dir).exists());
+
+        // Resume skips the known-poison URL without re-attempting it,
+        // carrying its quarantine record into the new summary.
+        let resumed = fit_fleet_with(
+            &urls,
+            &config,
+            &FleetOptions {
+                checkpoint_dir: Some(dir.clone()),
+                resume: true,
+                ..FleetOptions::default()
+            },
+            poison,
+        );
+        assert_eq!(poison_attempts.load(Ordering::SeqCst), 2);
+        assert_eq!(resumed.summary.resumed, 3);
+        assert_eq!(resumed.summary.resume_quarantined, 1);
+        assert_eq!(resumed.summary.fitted, 0);
+        assert_eq!(resumed.summary.quarantined.len(), 1);
+        assert_eq!(resumed.summary.quarantined[0].url, UrlId(1));
+        assert!(resumed.summary.quarantined[0]
+            .panic_message
+            .contains("poison url"));
+        assert!(!resumed.summary.interrupted);
+        assert_eq!(resumed.fits.len(), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn quarantine_from_other_config_is_refit() {
+        // Under new fit settings a previously poisonous URL deserves a
+        // fresh attempt: the persisted list's fingerprint gates the skip.
+        let urls = small_fleet(3);
+        let config = quick_config();
+        let dir = std::env::temp_dir().join(format!(
+            "centipede-fit-quarantine-mismatch-{}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        fit_fleet_with(
+            &urls,
+            &config,
+            &FleetOptions {
+                checkpoint_dir: Some(dir.clone()),
+                ..FleetOptions::default()
+            },
+            |p, c, i, _| {
+                if i == 1 {
+                    panic!("poison under old seed");
+                }
+                Some(fit_one_full(p, c, i))
+            },
+        );
+        assert!(super::checkpoint::quarantine_path(&dir).exists());
+
+        let other = FitConfig {
+            seed: config.seed + 1,
+            ..config.clone()
+        };
+        let report = fit_fleet(
+            &urls,
+            &other,
+            &FleetOptions {
+                checkpoint_dir: Some(dir.clone()),
+                resume: true,
+                ..FleetOptions::default()
+            },
+        );
+        assert_eq!(report.summary.resume_quarantined, 0);
+        assert!(report.summary.quarantined.is_empty());
+        assert_eq!(report.fits.len(), 3);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -18,11 +18,12 @@ pub mod prepare;
 pub mod weights;
 
 pub use checkpoint::{
-    config_fingerprint, read_shard, scan_dir, write_shard_atomic, ResumeScan, Shard, ShardError,
+    config_fingerprint, load_quarantine, quarantine_path, read_shard, scan_dir,
+    write_quarantine_atomic, write_shard_atomic, ResumeScan, Shard, ShardError,
 };
 pub use fit::{
-    fit_fleet, fit_fleet_with, fit_urls, FitConfig, FleetOptions, FleetReport, FleetSummary,
-    QuarantinedUrl, UrlFit,
+    fit_fleet, fit_fleet_with, fit_one_cancellable, fit_urls, FitConfig, FleetOptions, FleetReport,
+    FleetSummary, QuarantinedUrl, UrlFit,
 };
 pub use impact::{impact_matrix, ImpactMatrix};
 pub use prepare::{prepare_urls, PreparedUrl, SelectionConfig, SelectionSummary};

@@ -8,13 +8,11 @@
 //! one-minute bins over `[first event, last event]` across the eight
 //! communities.
 
-use std::collections::BTreeMap;
-
 use serde::{Deserialize, Serialize};
 
-use centipede_dataset::dataset::{Dataset, UrlTimeline};
 use centipede_dataset::domains::NewsCategory;
 use centipede_dataset::event::UrlId;
+use centipede_dataset::index::{DatasetIndex, TimelineView};
 use centipede_dataset::platform::{AnalysisGroup, Community, Platform};
 use centipede_hawkes::events::EventSeq;
 
@@ -73,8 +71,7 @@ pub struct SelectionSummary {
 
 /// Select and bin URLs per the paper's §5.2 procedure.
 pub fn prepare_urls(
-    dataset: &Dataset,
-    timelines: &BTreeMap<UrlId, UrlTimeline>,
+    index: &DatasetIndex,
     config: &SelectionConfig,
 ) -> (Vec<PreparedUrl>, SelectionSummary) {
     assert!(config.bin_seconds > 0, "SelectionConfig: bin_seconds ≤ 0");
@@ -82,12 +79,13 @@ pub fn prepare_urls(
         (0.0..1.0).contains(&config.gap_drop_fraction),
         "SelectionConfig: gap_drop_fraction out of [0,1)"
     );
-    let twitter_gaps = dataset.gaps_for(Platform::Twitter);
+    let twitter_gaps = index.gaps_for(Platform::Twitter);
 
     // Eligibility: ≥1 event on Twitter, /pol/, and ≥1 of the six
-    // subreddits (i.e. communities 0..6 collectively).
-    let mut eligible: Vec<&UrlTimeline> = timelines
-        .values()
+    // subreddits (i.e. communities 0..6 collectively). The CSR walk is
+    // ascending by URL id, so `eligible` is already sorted by URL.
+    let eligible: Vec<TimelineView<'_>> = index
+        .timelines()
         .filter(|tl| {
             tl.first_in_group(AnalysisGroup::Twitter).is_some()
                 && tl.first_in_group(AnalysisGroup::Pol).is_some()
@@ -95,7 +93,6 @@ pub fn prepare_urls(
                 && tl.len() <= config.max_events
         })
         .collect();
-    eligible.sort_by_key(|tl| tl.url);
     let mut summary = SelectionSummary {
         eligible: eligible.len(),
         ..SelectionSummary::default()
@@ -107,7 +104,7 @@ pub fn prepare_urls(
     for tl in &eligible {
         let (lo, hi) = tl.span().expect("eligible URLs have events");
         if twitter_gaps.overlaps(lo, hi + 1) {
-            overlapping.push((tl.url, hi - lo));
+            overlapping.push((tl.url(), hi - lo));
         }
     }
     summary.gap_overlapping = overlapping.len();
@@ -119,14 +116,14 @@ pub fn prepare_urls(
 
     let mut prepared = Vec::new();
     for tl in eligible {
-        if dropped.contains(&tl.url) {
+        if dropped.contains(&tl.url()) {
             continue;
         }
         let (first, last) = tl.span().expect("non-empty");
         // Per-minute binning over the URL's own window.
         let mut points: Vec<(u32, u16)> = Vec::new();
         let mut per_community = [0u64; 8];
-        for (t, c) in tl.times.iter().zip(&tl.communities) {
+        for (t, c) in tl.times().iter().zip(tl.communities()) {
             let Some(community) = c else { continue };
             let bin = ((t - first) / config.bin_seconds) as u32;
             points.push((bin, community.index() as u16));
@@ -137,8 +134,8 @@ pub fn prepare_urls(
         }
         let n_bins = points.iter().map(|&(t, _)| t).max().expect("non-empty") + 1;
         prepared.push(PreparedUrl {
-            url: tl.url,
-            category: tl.category,
+            url: tl.url(),
+            category: tl.category(),
             events: EventSeq::from_points(n_bins, Community::COUNT, &points),
             events_per_community: per_community,
             duration: last - first,
@@ -151,6 +148,7 @@ pub fn prepare_urls(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use centipede_dataset::dataset::Dataset;
     use centipede_dataset::domains::DomainTable;
     use centipede_dataset::event::NewsEvent;
     use centipede_dataset::gaps::Gaps;
@@ -178,7 +176,7 @@ mod tests {
         ));
     }
 
-    fn mk_dataset(with_gaps: bool) -> Dataset {
+    fn mk_index(with_gaps: bool) -> DatasetIndex {
         let domains = DomainTable::standard();
         let bb = domains.id_by_name("breitbart.com").unwrap();
         let nyt = domains.id_by_name("nytimes.com").unwrap();
@@ -206,14 +204,14 @@ mod tests {
         if with_gaps {
             gaps.insert(Platform::Twitter, Gaps::paper(Platform::Twitter));
         }
-        Dataset::new(domains, events, std::collections::BTreeMap::new(), gaps)
+        let dataset = Dataset::new(domains, events, std::collections::BTreeMap::new(), gaps);
+        DatasetIndex::build(&dataset)
     }
 
     #[test]
     fn eligibility_requires_all_three_groups() {
-        let d = mk_dataset(false);
-        let tls = d.timelines();
-        let (prepared, summary) = prepare_urls(&d, &tls, &SelectionConfig::default());
+        let index = mk_index(false);
+        let (prepared, summary) = prepare_urls(&index, &SelectionConfig::default());
         // URLs 0,1,2,3,5,6 eligible; 4 not.
         assert_eq!(summary.eligible, 6);
         assert!(prepared.iter().all(|p| p.url != UrlId(4)));
@@ -224,13 +222,12 @@ mod tests {
 
     #[test]
     fn gap_mitigation_drops_shortest_overlapping() {
-        let d = mk_dataset(true);
-        let tls = d.timelines();
+        let index = mk_index(true);
         let config = SelectionConfig {
             gap_drop_fraction: 0.5, // drop 1 of the 2 overlapping
             ..SelectionConfig::default()
         };
-        let (prepared, summary) = prepare_urls(&d, &tls, &config);
+        let (prepared, summary) = prepare_urls(&index, &config);
         assert_eq!(summary.gap_overlapping, 2);
         assert_eq!(summary.dropped, 1);
         // The short one (URL 5) goes; the long one (URL 6) stays.
@@ -240,9 +237,8 @@ mod tests {
 
     #[test]
     fn binning_is_per_minute_relative_to_first_event() {
-        let d = mk_dataset(false);
-        let tls = d.timelines();
-        let (prepared, _) = prepare_urls(&d, &tls, &SelectionConfig::default());
+        let index = mk_index(false);
+        let (prepared, _) = prepare_urls(&index, &SelectionConfig::default());
         let p = prepared.iter().find(|p| p.url == UrlId(0)).unwrap();
         assert_eq!(p.events.n_processes(), 8);
         // Events at +0 s, +120 s, +300 s → bins 0, 2, 5.
@@ -259,9 +255,8 @@ mod tests {
 
     #[test]
     fn categories_partition_prepared_urls() {
-        let d = mk_dataset(false);
-        let tls = d.timelines();
-        let (prepared, _) = prepare_urls(&d, &tls, &SelectionConfig::default());
+        let index = mk_index(false);
+        let (prepared, _) = prepare_urls(&index, &SelectionConfig::default());
         let alt = prepared
             .iter()
             .filter(|p| p.category == NewsCategory::Alternative)
@@ -277,11 +272,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "gap_drop_fraction")]
     fn rejects_bad_drop_fraction() {
-        let d = mk_dataset(false);
-        let tls = d.timelines();
+        let index = mk_index(false);
         prepare_urls(
-            &d,
-            &tls,
+            &index,
             &SelectionConfig {
                 gap_drop_fraction: 1.0,
                 ..SelectionConfig::default()

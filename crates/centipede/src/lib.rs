@@ -26,7 +26,13 @@
 //! * [`report`] — plain-text table / series rendering shared by the
 //!   `repro` binary and EXPERIMENTS.md.
 //! * [`export`] — JSON and Graphviz DOT exports for external plotting.
+//! * [`scheduler`] — worker pool for the independent table/figure
+//!   stages.
 //! * [`pipeline`] — one-call orchestration of the full analysis.
+//!
+//! All analysis stages consume the one-pass columnar
+//! [`centipede_dataset::DatasetIndex`] rather than rescanning the raw
+//! event list.
 //!
 //! # Quick start
 //!
@@ -50,5 +56,6 @@ pub mod export;
 pub mod influence;
 pub mod pipeline;
 pub mod report;
+pub mod scheduler;
 pub mod temporal;
 pub mod validation;

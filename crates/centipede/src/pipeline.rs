@@ -1,4 +1,12 @@
 //! One-call orchestration of the full measurement pipeline.
+//!
+//! `run_all` builds the columnar [`DatasetIndex`] once, fans the
+//! independent table/figure stages out over the [`crate::scheduler`]
+//! worker pool, and finishes with the (sequential, comparatively
+//! expensive) influence stage. Stage results land in typed
+//! [`StageSlot`]s and are assembled into the [`AnalysisReport`] in a
+//! fixed order, so the report is deterministic regardless of how the
+//! stages interleave.
 
 use std::collections::BTreeMap;
 
@@ -6,12 +14,13 @@ use rand::Rng;
 
 use centipede_dataset::dataset::Dataset;
 use centipede_dataset::domains::NewsCategory;
+use centipede_dataset::index::DatasetIndex;
 use centipede_dataset::platform::AnalysisGroup;
 
 use crate::characterization::{
-    dataset_overview, platform_totals, render_table1, render_table2, render_table3, render_table4,
-    render_top_domains, top_domains, top_subreddits, tweet_stats, user_alt_fraction, OverviewRow,
-    PlatformTotalsRow, TweetStatsRow, UserAltFractions,
+    dataset_overview, domain_platform_fractions, platform_totals, render_table1, render_table2,
+    render_table3, render_table4, render_top_domains, top_domains, top_subreddits, tweet_stats,
+    user_alt_fraction, OverviewRow, PlatformTotalsRow, TweetStatsRow, UserAltFractions,
 };
 use crate::crossplatform::{
     first_hop_sequences, pair_lags, source_graph, triplet_sequences, FirstHop, PairLagResult,
@@ -22,6 +31,7 @@ use crate::influence::{
     FleetSummary, ImpactMatrix, SelectionConfig, SelectionSummary, Table11, WeightComparison,
 };
 use crate::report::{count_pct, render_series, TextTable};
+use crate::scheduler::{default_stage_threads, run_stages, StageJob, StageSlot};
 use crate::temporal::{
     appearance_cdf, daily_occurrence, interarrival, repost_lags, DailySeries, InterarrivalResult,
 };
@@ -38,6 +48,10 @@ pub struct PipelineConfig {
     pub fleet: FleetOptions,
     /// Skip the (comparatively expensive) influence stage.
     pub skip_influence: bool,
+    /// Worker threads for the table/figure stage scheduler. `None`
+    /// means the machine's available parallelism; `Some(1)` runs the
+    /// stages sequentially.
+    pub stage_threads: Option<usize>,
 }
 
 /// Everything the paper's evaluation section reports, computed over
@@ -101,106 +115,144 @@ pub fn run_all<R: Rng + ?Sized>(
     centipede_obs::counter("pipeline.runs").inc(1);
     centipede_obs::counter("pipeline.events").inc(dataset.len() as u64);
 
-    let timelines = {
-        let _s = centipede_obs::span!("timelines");
-        dataset.timelines()
+    // One pass over the events; every stage below reads the index.
+    let index = {
+        let _s = centipede_obs::span!("index");
+        DatasetIndex::build(dataset)
     };
-    centipede_obs::counter("pipeline.urls").inc(timelines.len() as u64);
+    centipede_obs::counter("pipeline.urls").inc(index.n_urls() as u64);
 
-    /// Run one table/figure stage under its own span.
-    macro_rules! stage {
-        ($name:expr, $body:expr) => {{
-            let _s = centipede_obs::span!($name);
-            $body
-        }};
+    let threads = config.stage_threads.unwrap_or_else(default_stage_threads);
+
+    // Result slots, one per independent stage. Stages run in any
+    // order on the worker pool; `take()` order below is fixed.
+    let table1_slot = StageSlot::new();
+    let table2_slot = StageSlot::new();
+    let table3_slot = StageSlot::new();
+    let table4_slot = StageSlot::new();
+    let top_slot = StageSlot::new();
+    let fig2_slot = StageSlot::new();
+    let fig3_slot = StageSlot::new();
+    let fig1_slot = StageSlot::new();
+    let fig4_slot = StageSlot::new();
+    let fig5_slot = StageSlot::new();
+    let fig6_slot = StageSlot::new();
+    let lags_slot = StageSlot::new();
+    let seqs_slot = StageSlot::new();
+    let fig8_slot = StageSlot::new();
+
+    {
+        let index = &index;
+        // Worker span stacks are empty, so job names carry the full
+        // span path (matching the paths the nested spans used to
+        // produce).
+        let jobs: Vec<StageJob<'_>> = vec![
+            // §3 characterization.
+            StageJob::new("pipeline/characterization/table1", || {
+                table1_slot.fill(platform_totals(index))
+            }),
+            StageJob::new("pipeline/characterization/table2", || {
+                table2_slot.fill(dataset_overview(index))
+            }),
+            StageJob::new("pipeline/characterization/table3", || {
+                table3_slot.fill(tweet_stats(index))
+            }),
+            StageJob::new("pipeline/characterization/table4", || {
+                table4_slot.fill(top_subreddits(index, 20))
+            }),
+            StageJob::new("pipeline/characterization/tables5_6_7", || {
+                let mut top = BTreeMap::new();
+                for group in AnalysisGroup::ALL {
+                    top.insert(group, top_domains(index, group, 20));
+                }
+                top_slot.fill(top);
+            }),
+            StageJob::new("pipeline/characterization/fig2", || {
+                let mut fig2 = BTreeMap::new();
+                for cat in NewsCategory::ALL {
+                    fig2.insert(cat, domain_platform_fractions(index, cat, 20));
+                }
+                fig2_slot.fill(fig2);
+            }),
+            StageJob::new("pipeline/characterization/fig3", || {
+                fig3_slot.fill(user_alt_fraction(index))
+            }),
+            // §4 temporal.
+            StageJob::new("pipeline/temporal/fig1", || {
+                let mut fig1 = Vec::new();
+                for cat in NewsCategory::ALL {
+                    for (group, ecdf) in appearance_cdf(index, cat) {
+                        fig1.push((group, cat, ecdf.max(), ecdf.eval(1.0)));
+                    }
+                }
+                fig1_slot.fill(fig1);
+            }),
+            StageJob::new("pipeline/temporal/fig4", || {
+                fig4_slot.fill(daily_occurrence(index))
+            }),
+            StageJob::new("pipeline/temporal/fig5", || {
+                let mut fig5 = Vec::new();
+                for cat in NewsCategory::ALL {
+                    for (group, ecdf) in repost_lags(index, cat) {
+                        fig5.push((group, cat, ecdf.quantile(0.5), ecdf.quantile(0.9)));
+                    }
+                }
+                fig5_slot.fill(fig5);
+            }),
+            StageJob::new("pipeline/temporal/fig6", || {
+                let mut fig6_common = BTreeMap::new();
+                let mut fig6_all = BTreeMap::new();
+                for cat in NewsCategory::ALL {
+                    fig6_common.insert(cat, interarrival(index, cat, true));
+                    fig6_all.insert(cat, interarrival(index, cat, false));
+                }
+                fig6_slot.fill((fig6_common, fig6_all));
+            }),
+            // §4.2 cross-platform.
+            StageJob::new("pipeline/crossplatform/fig7_table8", || {
+                let mut lags = Vec::new();
+                for cat in NewsCategory::ALL {
+                    lags.extend(pair_lags(index, cat));
+                }
+                lags_slot.fill(lags);
+            }),
+            StageJob::new("pipeline/crossplatform/tables9_10", || {
+                let mut table9 = BTreeMap::new();
+                let mut table10 = BTreeMap::new();
+                for cat in NewsCategory::ALL {
+                    table9.insert(cat, first_hop_sequences(index, cat));
+                    table10.insert(cat, triplet_sequences(index, cat));
+                }
+                seqs_slot.fill((table9, table10));
+            }),
+            StageJob::new("pipeline/crossplatform/fig8", || {
+                let mut fig8 = BTreeMap::new();
+                for cat in NewsCategory::ALL {
+                    fig8.insert(cat, source_graph(index, cat));
+                }
+                fig8_slot.fill(fig8);
+            }),
+        ];
+        run_stages(jobs, threads);
     }
 
-    // §3 characterization.
-    let _characterization_span = centipede_obs::span!("characterization");
-    let table1 = stage!("table1", platform_totals(dataset));
-    let table2 = stage!("table2", dataset_overview(dataset));
-    let table3 = stage!("table3", tweet_stats(dataset));
-    let table4 = stage!("table4", top_subreddits(dataset, 20));
-    let top = stage!("tables5_6_7", {
-        let mut top = BTreeMap::new();
-        for group in AnalysisGroup::ALL {
-            top.insert(group, top_domains(dataset, group, 20));
-        }
-        top
-    });
-    let fig2 = stage!("fig2", {
-        let mut fig2 = BTreeMap::new();
-        for cat in NewsCategory::ALL {
-            fig2.insert(
-                cat,
-                crate::characterization::domain_platform_fractions(dataset, cat, 20),
-            );
-        }
-        fig2
-    });
-    let fig3 = stage!("fig3", user_alt_fraction(dataset));
-    drop(_characterization_span);
+    let table1 = table1_slot.take();
+    let table2 = table2_slot.take();
+    let table3 = table3_slot.take();
+    let table4 = table4_slot.take();
+    let top = top_slot.take();
+    let fig2 = fig2_slot.take();
+    let fig3 = fig3_slot.take();
+    let fig1 = fig1_slot.take();
+    let fig4 = fig4_slot.take();
+    let fig5 = fig5_slot.take();
+    let (fig6_common, fig6_all) = fig6_slot.take();
+    let lags = lags_slot.take();
+    let (table9, table10) = seqs_slot.take();
+    let fig8 = fig8_slot.take();
 
-    // §4 temporal.
-    let _temporal_span = centipede_obs::span!("temporal");
-    let fig1 = stage!("fig1", {
-        let mut fig1 = Vec::new();
-        for cat in NewsCategory::ALL {
-            for (group, ecdf) in appearance_cdf(&timelines, cat) {
-                fig1.push((group, cat, ecdf.max(), ecdf.eval(1.0)));
-            }
-        }
-        fig1
-    });
-    let fig4 = stage!("fig4", daily_occurrence(dataset));
-    let fig5 = stage!("fig5", {
-        let mut fig5 = Vec::new();
-        for cat in NewsCategory::ALL {
-            for (group, ecdf) in repost_lags(&timelines, cat) {
-                fig5.push((group, cat, ecdf.quantile(0.5), ecdf.quantile(0.9)));
-            }
-        }
-        fig5
-    });
-    let (fig6_common, fig6_all) = stage!("fig6", {
-        let mut fig6_common = BTreeMap::new();
-        let mut fig6_all = BTreeMap::new();
-        for cat in NewsCategory::ALL {
-            fig6_common.insert(cat, interarrival(&timelines, cat, true));
-            fig6_all.insert(cat, interarrival(&timelines, cat, false));
-        }
-        (fig6_common, fig6_all)
-    });
-    drop(_temporal_span);
-
-    // §4.2 cross-platform.
-    let _crossplatform_span = centipede_obs::span!("crossplatform");
-    let lags = stage!("fig7_table8", {
-        let mut lags = Vec::new();
-        for cat in NewsCategory::ALL {
-            lags.extend(pair_lags(&timelines, cat));
-        }
-        lags
-    });
-    let (table9, table10) = stage!("tables9_10", {
-        let mut table9 = BTreeMap::new();
-        let mut table10 = BTreeMap::new();
-        for cat in NewsCategory::ALL {
-            table9.insert(cat, first_hop_sequences(&timelines, cat));
-            table10.insert(cat, triplet_sequences(&timelines, cat));
-        }
-        (table9, table10)
-    });
-    let fig8 = stage!("fig8", {
-        let mut fig8 = BTreeMap::new();
-        for cat in NewsCategory::ALL {
-            fig8.insert(cat, source_graph(&timelines, &dataset.domains, cat));
-        }
-        fig8
-    });
-    drop(_crossplatform_span);
-
-    // §5 influence.
+    // §5 influence — stays last and sequential: it dwarfs the stages
+    // above and owns its own internal fleet parallelism.
     let (selection, fleet, table11, fig10, fig11) = if config.skip_influence {
         (
             SelectionSummary::default(),
@@ -211,18 +263,23 @@ pub fn run_all<R: Rng + ?Sized>(
         )
     } else {
         let _influence_span = centipede_obs::span!("influence");
-        let (prepared, summary) = stage!("prepare", {
-            prepare_urls(dataset, &timelines, &config.selection)
-        });
-        let fleet = stage!("fit", fit_fleet(&prepared, &config.fit, &config.fleet));
+        let (prepared, summary) = {
+            let _s = centipede_obs::span!("prepare");
+            prepare_urls(&index, &config.selection)
+        };
+        let fleet = {
+            let _s = centipede_obs::span!("fit");
+            fit_fleet(&prepared, &config.fit, &config.fleet)
+        };
         let fits = fleet.fits;
-        let (t11, cmp, imp) = stage!("aggregate", {
+        let (t11, cmp, imp) = {
+            let _s = centipede_obs::span!("aggregate");
             (
                 Table11::from_fits(&fits),
                 weight_comparison(&fits),
                 impact_matrix(&fits),
             )
-        });
+        };
         (summary, fleet.summary, t11, Some(cmp), Some(imp))
     };
 
@@ -544,6 +601,28 @@ mod tests {
         assert!(text.contains("Figure 10"));
         assert!(text.contains("Figure 11"));
         assert!(text.contains("Table 11"));
+    }
+
+    #[test]
+    fn stage_parallelism_does_not_change_the_report() {
+        let world = tiny_world();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let sequential = PipelineConfig {
+            skip_influence: true,
+            stage_threads: Some(1),
+            ..PipelineConfig::default()
+        };
+        let parallel = PipelineConfig {
+            stage_threads: Some(8),
+            ..sequential.clone()
+        };
+        let a = run_all(&world.dataset, &sequential, &mut rng);
+        let b = run_all(&world.dataset, &parallel, &mut rng);
+        assert_eq!(a.render(), b.render());
+        assert_eq!(a.table4, b.table4);
+        assert_eq!(a.fig1, b.fig1);
+        assert_eq!(a.pair_lags, b.pair_lags);
+        assert_eq!(a.fig8, b.fig8);
     }
 
     #[test]

@@ -1,0 +1,206 @@
+//! A small scheduler for independent analysis stages.
+//!
+//! The pipeline's table/figure stages are pure functions of the
+//! [`centipede_dataset::DatasetIndex`] with no data dependencies
+//! between them, so they can run concurrently. This module provides
+//! the two pieces `run_all` needs to do that without giving up
+//! deterministic output:
+//!
+//! * [`StageSlot`] — a typed, thread-safe, write-once cell each stage
+//!   writes its result into. The main thread `take()`s the slots in a
+//!   fixed order after the pool drains, so report assembly order never
+//!   depends on execution order.
+//! * [`run_stages`] — executes a batch of named jobs on crossbeam
+//!   scoped worker threads. Workers claim jobs from a shared atomic
+//!   cursor (in submission order), and each job runs under its own
+//!   observability span. Worker threads have an empty span stack, so
+//!   job names must be full `/`-joined paths (e.g.
+//!   `"pipeline/characterization/table1"`) to land in the right place
+//!   in the span tree.
+//!
+//! A panicking stage propagates: the scope joins all workers and
+//! re-raises the panic, matching the old sequential behaviour.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+/// A write-once result cell shared between a stage job and the main
+/// thread.
+#[derive(Debug, Default)]
+pub struct StageSlot<T> {
+    value: Mutex<Option<T>>,
+}
+
+impl<T> StageSlot<T> {
+    /// An empty slot.
+    pub fn new() -> Self {
+        StageSlot {
+            value: Mutex::new(None),
+        }
+    }
+
+    /// Store the stage result. Panics if the slot was already filled —
+    /// each slot belongs to exactly one job.
+    pub fn fill(&self, value: T) {
+        let mut guard = self.value.lock();
+        assert!(guard.is_none(), "StageSlot filled twice");
+        *guard = Some(value);
+    }
+
+    /// Remove and return the result. Panics if the stage never ran.
+    pub fn take(&self) -> T {
+        self.value.lock().take().expect("StageSlot never filled")
+    }
+}
+
+/// One named unit of work for [`run_stages`].
+pub struct StageJob<'env> {
+    /// Full span path the job is timed under.
+    name: &'static str,
+    work: Box<dyn FnOnce() + Send + 'env>,
+}
+
+impl<'env> StageJob<'env> {
+    /// A job that runs `work` under the span `name`. `name` must be
+    /// the full `/`-joined span path — worker threads have no parent
+    /// span to nest under.
+    pub fn new(name: &'static str, work: impl FnOnce() + Send + 'env) -> Self {
+        StageJob {
+            name,
+            work: Box::new(work),
+        }
+    }
+
+    fn run(self) {
+        let _span = centipede_obs::span!(self.name);
+        (self.work)();
+    }
+}
+
+impl std::fmt::Debug for StageJob<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StageJob")
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+/// Run every job to completion on up to `threads` scoped worker
+/// threads. Jobs are claimed in submission order; with `threads == 1`
+/// execution is fully sequential in submission order.
+pub fn run_stages(jobs: Vec<StageJob<'_>>, threads: usize) {
+    if jobs.is_empty() {
+        return;
+    }
+    let n_workers = threads.clamp(1, jobs.len());
+    centipede_obs::counter("pipeline.stage_jobs").inc(jobs.len() as u64);
+    centipede_obs::gauge("pipeline.stage_workers").set(n_workers as f64);
+    if n_workers == 1 {
+        for job in jobs {
+            job.run();
+        }
+        return;
+    }
+    let jobs: Vec<Mutex<Option<StageJob<'_>>>> =
+        jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let next = AtomicUsize::new(0);
+    crossbeam::scope(|scope| {
+        for _ in 0..n_workers {
+            let jobs = &jobs;
+            let next = &next;
+            scope.spawn(move |_| loop {
+                let pos = next.fetch_add(1, Ordering::Relaxed);
+                let Some(slot) = jobs.get(pos) else { break };
+                if let Some(job) = slot.lock().take() {
+                    job.run();
+                }
+            });
+        }
+    })
+    .expect("stage scheduler scope");
+}
+
+/// The worker count `run_all` uses when the config doesn't pin one:
+/// the machine's parallelism, bounded by the job count by
+/// [`run_stages`] itself.
+pub fn default_stage_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_fill_and_take() {
+        let slot = StageSlot::new();
+        slot.fill(41 + 1);
+        assert_eq!(slot.take(), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "never filled")]
+    fn taking_an_empty_slot_panics() {
+        StageSlot::<u32>::new().take();
+    }
+
+    #[test]
+    #[should_panic(expected = "filled twice")]
+    fn double_fill_panics() {
+        let slot = StageSlot::new();
+        slot.fill(1);
+        slot.fill(2);
+    }
+
+    #[test]
+    fn all_jobs_run_exactly_once() {
+        for threads in [1, 2, 8, 64] {
+            let counters: Vec<AtomicUsize> = (0..20).map(|_| AtomicUsize::new(0)).collect();
+            let jobs: Vec<StageJob<'_>> = counters
+                .iter()
+                .map(|c| {
+                    StageJob::new("test/stage", move || {
+                        c.fetch_add(1, Ordering::Relaxed);
+                    })
+                })
+                .collect();
+            run_stages(jobs, threads);
+            for c in &counters {
+                assert_eq!(c.load(Ordering::Relaxed), 1, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn results_are_independent_of_execution_order() {
+        let slots: Vec<StageSlot<usize>> = (0..16).map(|_| StageSlot::new()).collect();
+        let jobs: Vec<StageJob<'_>> = slots
+            .iter()
+            .enumerate()
+            .map(|(i, slot)| StageJob::new("test/compute", move || slot.fill(i * i)))
+            .collect();
+        run_stages(jobs, 4);
+        let collected: Vec<usize> = slots.iter().map(|s| s.take()).collect();
+        let expected: Vec<usize> = (0..16).map(|i| i * i).collect();
+        assert_eq!(collected, expected);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        run_stages(Vec::new(), 8);
+    }
+
+    #[test]
+    fn stage_panics_propagate() {
+        let result = std::panic::catch_unwind(|| {
+            run_stages(
+                vec![StageJob::new("test/boom", || panic!("stage exploded"))],
+                2,
+            );
+        });
+        assert!(result.is_err());
+    }
+}

@@ -1,12 +1,17 @@
 //! §4.1 — Temporal dynamics within platforms (Figures 1, 4, 5, 6).
+//!
+//! All stages run on the [`DatasetIndex`]: per-URL scans use its
+//! zero-copy [`TimelineView`]s (ascending-UrlId order, matching the
+//! old `BTreeMap` iteration), and the daily-occurrence series fill in
+//! a single pass over the precomputed group/platform columns instead
+//! of one full event rescan per series.
 
 use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
-use centipede_dataset::dataset::{Dataset, UrlTimeline};
 use centipede_dataset::domains::NewsCategory;
-use centipede_dataset::event::UrlId;
+use centipede_dataset::index::{group_slot, DatasetIndex, TimelineView};
 use centipede_dataset::platform::{AnalysisGroup, Platform, Venue};
 use centipede_dataset::time::{study_end, study_start};
 use centipede_stats::ecdf::Ecdf;
@@ -15,16 +20,13 @@ use centipede_stats::timeseries::{series_fraction, BucketSeries, SECONDS_PER_DAY
 
 /// Figure 1: per analysis group, the ECDF of how many times each URL
 /// appears within the group.
-pub fn appearance_cdf(
-    timelines: &BTreeMap<UrlId, UrlTimeline>,
-    category: NewsCategory,
-) -> Vec<(AnalysisGroup, Ecdf)> {
+pub fn appearance_cdf(index: &DatasetIndex, category: NewsCategory) -> Vec<(AnalysisGroup, Ecdf)> {
     let mut out = Vec::new();
     for group in AnalysisGroup::ALL {
-        let counts: Vec<f64> = timelines
-            .values()
-            .filter(|tl| tl.category == category)
-            .map(|tl| tl.times_in_group(group).len() as f64)
+        let counts: Vec<f64> = index
+            .timelines()
+            .filter(|tl| tl.category() == category)
+            .map(|tl| tl.count_in_group(group) as f64)
             .filter(|&c| c > 0.0)
             .collect();
         if !counts.is_empty() {
@@ -72,15 +74,29 @@ impl OccurrenceSeries {
 
     /// Which series a venue belongs to.
     pub fn of(venue: &Venue) -> OccurrenceSeries {
-        match venue.analysis_group() {
+        OccurrenceSeries::of_parts(venue.analysis_group(), venue.platform())
+    }
+
+    /// Series from the precomputed per-event analysis group + platform
+    /// columns (no venue string matching).
+    pub fn of_parts(group: Option<AnalysisGroup>, platform: Platform) -> OccurrenceSeries {
+        match group {
             Some(AnalysisGroup::Twitter) => OccurrenceSeries::Twitter,
             Some(AnalysisGroup::SixSubreddits) => OccurrenceSeries::SixSubreddits,
             Some(AnalysisGroup::Pol) => OccurrenceSeries::Pol,
-            None => match venue.platform() {
+            None => match platform {
                 Platform::Reddit => OccurrenceSeries::OtherSubreddits,
                 _ => OccurrenceSeries::OtherBoards,
             },
         }
+    }
+
+    /// Slot in [`Self::ALL`].
+    fn slot(&self) -> usize {
+        OccurrenceSeries::ALL
+            .iter()
+            .position(|s| s == self)
+            .expect("series in ALL")
     }
 
     /// The platform whose crawler gaps mask this series.
@@ -109,28 +125,40 @@ pub struct DailySeries {
 
 /// Figure 4: normalised daily occurrence of news URLs per community,
 /// with crawler-gap days masked out of the normalisation.
-pub fn daily_occurrence(dataset: &Dataset) -> Vec<DailySeries> {
+pub fn daily_occurrence(index: &DatasetIndex) -> Vec<DailySeries> {
     let start = study_start();
     let end = study_end();
+    // One pass over the columns fills all five series (the scan-path
+    // version rescanned every event once per series).
+    let mut buckets: Vec<(BucketSeries, BucketSeries)> = OccurrenceSeries::ALL
+        .iter()
+        .map(|_| {
+            (
+                BucketSeries::new(start, end, SECONDS_PER_DAY),
+                BucketSeries::new(start, end, SECONDS_PER_DAY),
+            )
+        })
+        .collect();
+    let timestamps = index.timestamps();
+    let groups = index.groups();
+    let platforms = index.platforms();
+    let categories = index.categories();
+    for i in 0..index.n_events() {
+        let slot = OccurrenceSeries::of_parts(groups[i], platforms[i]).slot();
+        match categories[i] {
+            NewsCategory::Alternative => {
+                buckets[slot].0.add(timestamps[i]);
+            }
+            NewsCategory::Mainstream => {
+                buckets[slot].1.add(timestamps[i]);
+            }
+        }
+    }
     OccurrenceSeries::ALL
         .into_iter()
-        .map(|series| {
-            let mut alt = BucketSeries::new(start, end, SECONDS_PER_DAY);
-            let mut main = BucketSeries::new(start, end, SECONDS_PER_DAY);
-            for e in &dataset.events {
-                if OccurrenceSeries::of(&e.venue) != series {
-                    continue;
-                }
-                match dataset.category_of(e) {
-                    NewsCategory::Alternative => {
-                        alt.add(e.timestamp);
-                    }
-                    NewsCategory::Mainstream => {
-                        main.add(e.timestamp);
-                    }
-                }
-            }
-            let mask = dataset.gaps_for(series.platform()).study_day_mask();
+        .zip(buckets)
+        .map(|(series, (alt, main))| {
+            let mask = index.gaps_for(series.platform()).study_day_mask();
             let frac_raw = series_fraction(&alt.counts, &main_plus(&alt, &main));
             let alt_fraction = frac_raw
                 .iter()
@@ -159,31 +187,40 @@ fn main_plus(alt: &BucketSeries, main: &BucketSeries) -> Vec<u64> {
 /// Figure 5: per analysis group, lags (in hours) from a URL's first
 /// appearance in the group to each subsequent appearance in the same
 /// group.
-pub fn repost_lags(
-    timelines: &BTreeMap<UrlId, UrlTimeline>,
-    category: NewsCategory,
-) -> Vec<(AnalysisGroup, Ecdf)> {
-    let mut out = Vec::new();
-    for group in AnalysisGroup::ALL {
-        let mut lags: Vec<f64> = Vec::new();
-        for tl in timelines.values().filter(|tl| tl.category == category) {
-            let times = tl.times_in_group(group);
-            if times.len() < 2 {
-                continue;
-            }
-            let first = times[0];
-            for &t in &times[1..] {
-                let hours = (t - first) as f64 / 3_600.0;
+pub fn repost_lags(index: &DatasetIndex, category: NewsCategory) -> Vec<(AnalysisGroup, Ecdf)> {
+    // One scan per timeline fills all three groups' lag pools (the
+    // per-group version rescanned every timeline three times and
+    // allocated a times Vec per group per URL).
+    let mut lags: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    for tl in category_timelines(index, category) {
+        let mut first: [Option<i64>; 3] = [None; 3];
+        for (&t, g) in tl.times().iter().zip(tl.groups()) {
+            let Some(g) = g else { continue };
+            let s = group_slot(*g);
+            match first[s] {
+                None => first[s] = Some(t),
                 // Zero lags (same second) are clamped to the paper's
                 // smallest visible lag.
-                lags.push(hours.max(1e-2));
+                Some(f) => lags[s].push(((t - f) as f64 / 3_600.0).max(1e-2)),
             }
         }
-        if !lags.is_empty() {
-            out.push((group, Ecdf::new(lags)));
-        }
     }
-    out
+    AnalysisGroup::ALL
+        .into_iter()
+        .zip(lags)
+        .filter(|(_, l)| !l.is_empty())
+        .map(|(g, l)| (g, Ecdf::new(l)))
+        .collect()
+}
+
+/// Timelines of one category, in ascending-UrlId order.
+fn category_timelines(
+    index: &DatasetIndex,
+    category: NewsCategory,
+) -> impl Iterator<Item = TimelineView<'_>> + '_ {
+    index
+        .timelines()
+        .filter(move |tl| tl.category() == category)
 }
 
 /// Minimum per-group sample count below which the pairwise KS tests
@@ -218,28 +255,39 @@ pub struct InterarrivalResult {
 /// (the paper's Figures 6(a)/(b)); otherwise all URLs are used
 /// (Figures 6(c)/(d)).
 pub fn interarrival(
-    timelines: &BTreeMap<UrlId, UrlTimeline>,
+    index: &DatasetIndex,
     category: NewsCategory,
     common_only: bool,
 ) -> InterarrivalResult {
     let mut samples: BTreeMap<AnalysisGroup, Vec<f64>> = BTreeMap::new();
     let mut pooled: BTreeMap<AnalysisGroup, Vec<f64>> = BTreeMap::new();
-    for tl in timelines.values().filter(|tl| tl.category == category) {
-        if common_only && tl.groups_present().len() < 3 {
+    // Per-timeline scratch gap buffers, reused across URLs; `append`
+    // below drains them back to empty.
+    let mut gaps: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    for tl in category_timelines(index, category) {
+        if common_only
+            && AnalysisGroup::ALL
+                .iter()
+                .any(|&g| tl.count_in_group(g) == 0)
+        {
             continue;
         }
-        for group in AnalysisGroup::ALL {
-            let times = tl.times_in_group(group);
-            if times.len() < 2 {
+        let mut prev: [Option<i64>; 3] = [None; 3];
+        for (&t, g) in tl.times().iter().zip(tl.groups()) {
+            let Some(g) = g else { continue };
+            let s = group_slot(*g);
+            if let Some(p) = prev[s] {
+                gaps[s].push(((t - p) as f64).max(0.5));
+            }
+            prev[s] = Some(t);
+        }
+        for (s, group) in AnalysisGroup::ALL.into_iter().enumerate() {
+            if gaps[s].is_empty() {
                 continue;
             }
-            let gaps: Vec<f64> = times
-                .windows(2)
-                .map(|w| ((w[1] - w[0]) as f64).max(0.5))
-                .collect();
-            let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+            let mean = gaps[s].iter().sum::<f64>() / gaps[s].len() as f64;
             samples.entry(group).or_default().push(mean);
-            pooled.entry(group).or_default().extend_from_slice(&gaps);
+            pooled.entry(group).or_default().append(&mut gaps[s]);
         }
     }
     let ecdfs: Vec<(AnalysisGroup, Ecdf)> = samples
@@ -275,15 +323,17 @@ pub fn interarrival(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use centipede_dataset::dataset::Dataset;
     use centipede_dataset::domains::DomainTable;
-    use centipede_dataset::event::NewsEvent;
+    use centipede_dataset::event::{NewsEvent, UrlId};
     use std::collections::BTreeMap as Map;
 
-    fn dataset_with(events: Vec<NewsEvent>) -> Dataset {
-        Dataset::new(DomainTable::standard(), events, Map::new(), Map::new())
+    fn index_with(events: Vec<NewsEvent>) -> DatasetIndex {
+        let d = Dataset::new(DomainTable::standard(), events, Map::new(), Map::new());
+        DatasetIndex::build(&d)
     }
 
-    fn mk_events() -> Dataset {
+    fn mk_index() -> DatasetIndex {
         let domains = DomainTable::standard();
         let alt = domains.id_by_name("infowars.com").unwrap();
         let t0 = study_start();
@@ -301,14 +351,13 @@ mod tests {
                 alt,
             ),
         ];
-        dataset_with(ev)
+        index_with(ev)
     }
 
     #[test]
     fn appearance_counts() {
-        let d = mk_events();
-        let tls = d.timelines();
-        let cdfs = appearance_cdf(&tls, NewsCategory::Alternative);
+        let idx = mk_index();
+        let cdfs = appearance_cdf(&idx, NewsCategory::Alternative);
         let tw = cdfs
             .iter()
             .find(|(g, _)| *g == AnalysisGroup::Twitter)
@@ -323,14 +372,13 @@ mod tests {
             .unwrap();
         assert_eq!(six.max(), 1.0);
         // No mainstream URLs at all.
-        assert!(appearance_cdf(&tls, NewsCategory::Mainstream).is_empty());
+        assert!(appearance_cdf(&idx, NewsCategory::Mainstream).is_empty());
     }
 
     #[test]
     fn repost_lags_hours() {
-        let d = mk_events();
-        let tls = d.timelines();
-        let lags = repost_lags(&tls, NewsCategory::Alternative);
+        let idx = mk_index();
+        let lags = repost_lags(&idx, NewsCategory::Alternative);
         let (_, tw) = lags
             .iter()
             .find(|(g, _)| *g == AnalysisGroup::Twitter)
@@ -344,9 +392,8 @@ mod tests {
 
     #[test]
     fn interarrival_means() {
-        let d = mk_events();
-        let tls = d.timelines();
-        let res = interarrival(&tls, NewsCategory::Alternative, false);
+        let idx = mk_index();
+        let res = interarrival(&idx, NewsCategory::Alternative, false);
         let (_, tw) = res
             .ecdfs
             .iter()
@@ -356,15 +403,15 @@ mod tests {
         assert_eq!(tw.len(), 1);
         assert!((tw.max() - 45_000.0).abs() < 1.0);
         // common_only: URL 0 is only on 2 groups → excluded.
-        let res = interarrival(&tls, NewsCategory::Alternative, true);
+        let res = interarrival(&idx, NewsCategory::Alternative, true);
         assert!(res.ecdfs.is_empty());
         assert!(res.ks.is_empty());
     }
 
     #[test]
     fn daily_occurrence_shapes() {
-        let d = mk_events();
-        let series = daily_occurrence(&d);
+        let idx = mk_index();
+        let series = daily_occurrence(&idx);
         assert_eq!(series.len(), 5);
         for s in &series {
             assert_eq!(s.alternative.len(), 244);
@@ -395,7 +442,8 @@ mod tests {
         let mut gaps = Map::new();
         gaps.insert(Platform::Twitter, Gaps::paper(Platform::Twitter));
         let d = Dataset::new(domains, events, Map::new(), gaps);
-        let series = daily_occurrence(&d);
+        let idx = DatasetIndex::build(&d);
+        let series = daily_occurrence(&idx);
         let tw = series
             .iter()
             .find(|s| s.series == OccurrenceSeries::Twitter)
@@ -450,9 +498,8 @@ mod tests {
                 alt,
             ));
         }
-        let d = dataset_with(events);
-        let tls = d.timelines();
-        let res = interarrival(&tls, NewsCategory::Alternative, false);
+        let idx = index_with(events);
+        let res = interarrival(&idx, NewsCategory::Alternative, false);
         assert_eq!(res.ks.len(), 1);
         let (_, _, ks) = &res.ks[0];
         assert!(ks.p_value < 0.01, "p={}", ks.p_value);

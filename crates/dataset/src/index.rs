@@ -1,0 +1,623 @@
+//! One-pass columnar index over a [`Dataset`].
+//!
+//! Every analysis stage used to rescan `Dataset.events`, re-deriving
+//! the news category, §4 analysis group, and §5 Hawkes community of
+//! each event through `domains.category()` / `venue.analysis_group()`
+//! (string compares per event), and re-grouping events per URL through
+//! the allocation-heavy `BTreeMap<UrlId, UrlTimeline>` of
+//! [`Dataset::timelines`]. [`DatasetIndex`] does all of that once:
+//!
+//! * **Struct-of-arrays event columns** in dataset (time-sorted) order:
+//!   timestamp, interned venue, platform, URL, domain, user,
+//!   engagement, plus the *precomputed* per-event [`NewsCategory`],
+//!   [`Option<AnalysisGroup>`] and [`Option<Community>`]. Venue-derived
+//!   values are memoised per unique venue, so the string matching in
+//!   [`Venue::analysis_group`] runs once per venue, not once per event.
+//! * **A CSR per-URL partition**: an event-permutation array plus
+//!   offsets, with the permuted timestamp/group/community columns laid
+//!   out contiguously per URL so a [`TimelineView`] is three zero-copy
+//!   slices instead of three owned `Vec`s. URL slots are in ascending
+//!   [`UrlId`] order — the same deterministic iteration order as the
+//!   `BTreeMap` it replaces — and events within a URL stay
+//!   time-sorted because the build is a stable counting sort over the
+//!   already time-sorted event stream.
+//! * **Posting lists** of event indices per news category and per
+//!   analysis group, for stages that scan one slice of the dataset.
+//! * **Per-URL group summaries**: first-occurrence time and event
+//!   count per analysis group, precomputed per URL so the hot
+//!   [`TimelineView::first_in_group`] / [`TimelineView::count_in_group`]
+//!   queries are O(1) lookups instead of timeline scans.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+use crate::dataset::{Dataset, PlatformTotals, UrlTimeline};
+use crate::domains::{DomainId, DomainTable, NewsCategory};
+use crate::event::{Engagement, UrlId, UserId};
+use crate::gaps::Gaps;
+use crate::platform::{AnalysisGroup, Community, Platform, Venue};
+
+/// Columnar index of a [`Dataset`]; see the module docs.
+#[derive(Debug, Clone)]
+pub struct DatasetIndex {
+    domains: DomainTable,
+    totals: BTreeMap<Platform, PlatformTotals>,
+    gaps: BTreeMap<Platform, Gaps>,
+
+    /// Unique venues in first-appearance order.
+    venues: Vec<Venue>,
+
+    // Event columns, parallel, in dataset (time-sorted) order.
+    timestamps: Vec<i64>,
+    venue_ids: Vec<u32>,
+    platforms: Vec<Platform>,
+    urls: Vec<UrlId>,
+    event_domains: Vec<DomainId>,
+    users: Vec<Option<UserId>>,
+    engagements: Vec<Option<Engagement>>,
+    categories: Vec<NewsCategory>,
+    groups: Vec<Option<AnalysisGroup>>,
+    communities: Vec<Option<Community>>,
+
+    // CSR per-URL partition. `url_events[url_offsets[s]..url_offsets[s+1]]`
+    // are the event indices of URL slot `s`, time-sorted.
+    url_ids: Vec<UrlId>,
+    url_offsets: Vec<u32>,
+    url_events: Vec<u32>,
+    url_domains: Vec<DomainId>,
+    url_categories: Vec<NewsCategory>,
+    // Per-URL, per-analysis-group summaries in `AnalysisGroup::ALL`
+    // slot order: first occurrence time and event count.
+    url_group_first: Vec<[Option<i64>; 3]>,
+    url_group_count: Vec<[u32; 3]>,
+    // Permuted copies of the three timeline columns, contiguous per
+    // URL, backing the zero-copy `TimelineView` slices.
+    tl_times: Vec<i64>,
+    tl_groups: Vec<Option<AnalysisGroup>>,
+    tl_communities: Vec<Option<Community>>,
+
+    // Event-index posting lists (ascending, i.e. time-sorted).
+    category_posting: [Vec<u32>; 2],
+    group_posting: [Vec<u32>; 3],
+}
+
+/// Slot of a category in [`NewsCategory::ALL`] order.
+fn cat_slot(category: NewsCategory) -> usize {
+    NewsCategory::ALL
+        .iter()
+        .position(|c| *c == category)
+        .expect("category in ALL")
+}
+
+/// Slot of a group in [`AnalysisGroup::ALL`] order.
+pub fn group_slot(group: AnalysisGroup) -> usize {
+    AnalysisGroup::ALL
+        .iter()
+        .position(|g| *g == group)
+        .expect("group in ALL")
+}
+
+impl DatasetIndex {
+    /// Build the index in one pass over `dataset.events` (plus linear
+    /// passes over the already-built columns for the CSR partition).
+    pub fn build(dataset: &Dataset) -> DatasetIndex {
+        let n = dataset.events.len();
+        assert!(
+            n <= u32::MAX as usize,
+            "event count exceeds u32 index space"
+        );
+
+        // Venue interning: derived values are memoised per unique venue.
+        let mut venue_slots: HashMap<&Venue, u32> = HashMap::new();
+        let mut venues: Vec<Venue> = Vec::new();
+        let mut venue_platform: Vec<Platform> = Vec::new();
+        let mut venue_group: Vec<Option<AnalysisGroup>> = Vec::new();
+        let mut venue_community: Vec<Option<Community>> = Vec::new();
+
+        let mut timestamps = Vec::with_capacity(n);
+        let mut venue_ids = Vec::with_capacity(n);
+        let mut platforms = Vec::with_capacity(n);
+        let mut urls = Vec::with_capacity(n);
+        let mut event_domains = Vec::with_capacity(n);
+        let mut users = Vec::with_capacity(n);
+        let mut engagements = Vec::with_capacity(n);
+        let mut categories = Vec::with_capacity(n);
+        let mut groups = Vec::with_capacity(n);
+        let mut communities = Vec::with_capacity(n);
+
+        let mut category_posting: [Vec<u32>; 2] = [Vec::new(), Vec::new()];
+        let mut group_posting: [Vec<u32>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+
+        for (i, e) in dataset.events.iter().enumerate() {
+            let vid = *venue_slots.entry(&e.venue).or_insert_with(|| {
+                venues.push(e.venue.clone());
+                venue_platform.push(e.venue.platform());
+                venue_group.push(e.venue.analysis_group());
+                venue_community.push(e.venue.community());
+                (venues.len() - 1) as u32
+            });
+            let category = dataset.domains.category(e.domain);
+            let group = venue_group[vid as usize];
+
+            timestamps.push(e.timestamp);
+            venue_ids.push(vid);
+            platforms.push(venue_platform[vid as usize]);
+            urls.push(e.url);
+            event_domains.push(e.domain);
+            users.push(e.user);
+            engagements.push(e.engagement);
+            categories.push(category);
+            groups.push(group);
+            communities.push(venue_community[vid as usize]);
+
+            category_posting[cat_slot(category)].push(i as u32);
+            if let Some(g) = group {
+                group_posting[group_slot(g)].push(i as u32);
+            }
+        }
+
+        // CSR partition: slots in ascending UrlId order; a stable
+        // counting sort of the time-sorted event stream keeps each
+        // URL's events time-sorted. URL ids are interner-dense in
+        // practice, so the id→slot table is a flat array when the id
+        // space is not much larger than the event count; a HashMap
+        // fallback covers pathological sparse id spaces.
+        let max_url = urls.iter().map(|u| u.0 as usize).max().unwrap_or(0);
+        let mut url_ids: Vec<UrlId> = Vec::new();
+        let event_slots: Vec<u32> = if n == 0 {
+            Vec::new()
+        } else if max_url < 4 * n + 1024 {
+            let mut counts = vec![0u32; max_url + 1];
+            for u in &urls {
+                counts[u.0 as usize] += 1;
+            }
+            let mut slot_table = vec![u32::MAX; max_url + 1];
+            for (id, &c) in counts.iter().enumerate() {
+                if c > 0 {
+                    slot_table[id] = url_ids.len() as u32;
+                    url_ids.push(UrlId(id as u32));
+                }
+            }
+            urls.iter().map(|u| slot_table[u.0 as usize]).collect()
+        } else {
+            url_ids = urls.clone();
+            url_ids.sort_unstable();
+            url_ids.dedup();
+            let slot_of: HashMap<UrlId, u32> = url_ids
+                .iter()
+                .enumerate()
+                .map(|(s, &u)| (u, s as u32))
+                .collect();
+            urls.iter().map(|u| slot_of[u]).collect()
+        };
+        let mut url_offsets = vec![0u32; url_ids.len() + 1];
+        for &s in &event_slots {
+            url_offsets[s as usize + 1] += 1;
+        }
+        for i in 1..url_offsets.len() {
+            url_offsets[i] += url_offsets[i - 1];
+        }
+        let mut cursor: Vec<u32> = url_offsets[..url_ids.len()].to_vec();
+        let mut url_events = vec![0u32; n];
+        for (i, &s) in event_slots.iter().enumerate() {
+            url_events[cursor[s as usize] as usize] = i as u32;
+            cursor[s as usize] += 1;
+        }
+
+        let mut tl_times = Vec::with_capacity(n);
+        let mut tl_groups = Vec::with_capacity(n);
+        let mut tl_communities = Vec::with_capacity(n);
+        for &i in &url_events {
+            let i = i as usize;
+            tl_times.push(timestamps[i]);
+            tl_groups.push(groups[i]);
+            tl_communities.push(communities[i]);
+        }
+        // Domain/category of a URL: from its first event, as in
+        // `Dataset::timelines`. Group summaries in the same pass.
+        let mut url_domains = Vec::with_capacity(url_ids.len());
+        let mut url_categories = Vec::with_capacity(url_ids.len());
+        let mut url_group_first = Vec::with_capacity(url_ids.len());
+        let mut url_group_count = Vec::with_capacity(url_ids.len());
+        for s in 0..url_ids.len() {
+            let first = url_events[url_offsets[s] as usize] as usize;
+            url_domains.push(event_domains[first]);
+            url_categories.push(categories[first]);
+            let mut group_first = [None; 3];
+            let mut group_count = [0u32; 3];
+            for e in url_offsets[s] as usize..url_offsets[s + 1] as usize {
+                if let Some(g) = tl_groups[e] {
+                    let gs = group_slot(g);
+                    if group_first[gs].is_none() {
+                        group_first[gs] = Some(tl_times[e]);
+                    }
+                    group_count[gs] += 1;
+                }
+            }
+            url_group_first.push(group_first);
+            url_group_count.push(group_count);
+        }
+
+        DatasetIndex {
+            domains: dataset.domains.clone(),
+            totals: dataset.totals.clone(),
+            gaps: dataset.gaps.clone(),
+            venues,
+            timestamps,
+            venue_ids,
+            platforms,
+            urls,
+            event_domains,
+            users,
+            engagements,
+            categories,
+            groups,
+            communities,
+            url_ids,
+            url_offsets,
+            url_events,
+            url_domains,
+            url_categories,
+            url_group_first,
+            url_group_count,
+            tl_times,
+            tl_groups,
+            tl_communities,
+            category_posting,
+            group_posting,
+        }
+    }
+
+    /// Number of indexed events.
+    pub fn n_events(&self) -> usize {
+        self.timestamps.len()
+    }
+
+    /// Number of distinct URLs.
+    pub fn n_urls(&self) -> usize {
+        self.url_ids.len()
+    }
+
+    /// Whether the index holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.timestamps.is_empty()
+    }
+
+    /// The domain table.
+    pub fn domains(&self) -> &DomainTable {
+        &self.domains
+    }
+
+    /// Raw crawl volumes per platform.
+    pub fn totals(&self) -> &BTreeMap<Platform, PlatformTotals> {
+        &self.totals
+    }
+
+    /// The collection gaps for a platform (empty if unset).
+    pub fn gaps_for(&self, platform: Platform) -> Gaps {
+        self.gaps.get(&platform).cloned().unwrap_or_default()
+    }
+
+    /// Unique venues; index with the values of [`Self::venue_ids`].
+    pub fn venues(&self) -> &[Venue] {
+        &self.venues
+    }
+
+    /// The venue of one event.
+    pub fn venue(&self, event: usize) -> &Venue {
+        &self.venues[self.venue_ids[event] as usize]
+    }
+
+    /// Per-event interned venue ids.
+    pub fn venue_ids(&self) -> &[u32] {
+        &self.venue_ids
+    }
+
+    /// Per-event timestamps (ascending).
+    pub fn timestamps(&self) -> &[i64] {
+        &self.timestamps
+    }
+
+    /// Per-event platforms.
+    pub fn platforms(&self) -> &[Platform] {
+        &self.platforms
+    }
+
+    /// Per-event URL ids.
+    pub fn urls(&self) -> &[UrlId] {
+        &self.urls
+    }
+
+    /// Per-event news domains.
+    pub fn event_domains(&self) -> &[DomainId] {
+        &self.event_domains
+    }
+
+    /// Per-event posting users.
+    pub fn users(&self) -> &[Option<UserId>] {
+        &self.users
+    }
+
+    /// Per-event Twitter engagement.
+    pub fn engagements(&self) -> &[Option<Engagement>] {
+        &self.engagements
+    }
+
+    /// Precomputed per-event news category.
+    pub fn categories(&self) -> &[NewsCategory] {
+        &self.categories
+    }
+
+    /// Precomputed per-event §4 analysis group.
+    pub fn groups(&self) -> &[Option<AnalysisGroup>] {
+        &self.groups
+    }
+
+    /// Precomputed per-event §5 Hawkes community.
+    pub fn communities(&self) -> &[Option<Community>] {
+        &self.communities
+    }
+
+    /// Event indices of one news category (time-sorted).
+    pub fn category_events(&self, category: NewsCategory) -> &[u32] {
+        &self.category_posting[cat_slot(category)]
+    }
+
+    /// Event indices of one analysis group (time-sorted).
+    pub fn group_events(&self, group: AnalysisGroup) -> &[u32] {
+        &self.group_posting[group_slot(group)]
+    }
+
+    /// Distinct URLs in ascending id order (the slot order of
+    /// [`Self::timeline`]).
+    pub fn url_ids(&self) -> &[UrlId] {
+        &self.url_ids
+    }
+
+    /// Event indices of the URL at `slot`, time-sorted.
+    pub fn url_event_indices(&self, slot: usize) -> &[u32] {
+        let lo = self.url_offsets[slot] as usize;
+        let hi = self.url_offsets[slot + 1] as usize;
+        &self.url_events[lo..hi]
+    }
+
+    /// Zero-copy timeline of the URL at `slot` (ascending-UrlId order).
+    pub fn timeline(&self, slot: usize) -> TimelineView<'_> {
+        let lo = self.url_offsets[slot] as usize;
+        let hi = self.url_offsets[slot + 1] as usize;
+        TimelineView {
+            url: self.url_ids[slot],
+            domain: self.url_domains[slot],
+            category: self.url_categories[slot],
+            times: &self.tl_times[lo..hi],
+            groups: &self.tl_groups[lo..hi],
+            communities: &self.tl_communities[lo..hi],
+            group_first: &self.url_group_first[slot],
+            group_count: &self.url_group_count[slot],
+        }
+    }
+
+    /// Timeline of a URL by id, if present.
+    pub fn timeline_of(&self, url: UrlId) -> Option<TimelineView<'_>> {
+        let slot = self.url_ids.binary_search(&url).ok()?;
+        Some(self.timeline(slot))
+    }
+
+    /// Iterate all timelines in ascending UrlId order — the same
+    /// deterministic order as `Dataset::timelines()`.
+    pub fn timelines(&self) -> impl Iterator<Item = TimelineView<'_>> + '_ {
+        (0..self.n_urls()).map(move |s| self.timeline(s))
+    }
+}
+
+/// Zero-copy view of all observations of one URL: three parallel
+/// slices into the index's CSR-permuted columns. Mirrors the query
+/// surface of [`UrlTimeline`].
+#[derive(Debug, Clone, Copy)]
+pub struct TimelineView<'a> {
+    url: UrlId,
+    domain: DomainId,
+    category: NewsCategory,
+    times: &'a [i64],
+    groups: &'a [Option<AnalysisGroup>],
+    communities: &'a [Option<Community>],
+    group_first: &'a [Option<i64>; 3],
+    group_count: &'a [u32; 3],
+}
+
+impl<'a> TimelineView<'a> {
+    /// The URL.
+    pub fn url(&self) -> UrlId {
+        self.url
+    }
+
+    /// Its news domain.
+    pub fn domain(&self) -> DomainId {
+        self.domain
+    }
+
+    /// The domain's category.
+    pub fn category(&self) -> NewsCategory {
+        self.category
+    }
+
+    /// Event timestamps (sorted ascending; parallel to the other
+    /// slices).
+    pub fn times(&self) -> &'a [i64] {
+        self.times
+    }
+
+    /// Analysis group of each event (None for unmodelled venues).
+    pub fn groups(&self) -> &'a [Option<AnalysisGroup>] {
+        self.groups
+    }
+
+    /// Hawkes community of each event (None for unmodelled venues).
+    pub fn communities(&self) -> &'a [Option<Community>] {
+        self.communities
+    }
+
+    /// Total observations.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Whether the timeline is empty.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Timestamps of events in one analysis group.
+    pub fn times_in_group(&self, group: AnalysisGroup) -> Vec<i64> {
+        self.times
+            .iter()
+            .zip(self.groups)
+            .filter(|(_, g)| **g == Some(group))
+            .map(|(&t, _)| t)
+            .collect()
+    }
+
+    /// First occurrence time in a group (precomputed; O(1)).
+    pub fn first_in_group(&self, group: AnalysisGroup) -> Option<i64> {
+        self.group_first[group_slot(group)]
+    }
+
+    /// Count of events in one analysis group (precomputed; O(1)).
+    pub fn count_in_group(&self, group: AnalysisGroup) -> usize {
+        self.group_count[group_slot(group)] as usize
+    }
+
+    /// Timestamps of events in one Hawkes community.
+    pub fn times_in_community(&self, community: Community) -> Vec<i64> {
+        self.times
+            .iter()
+            .zip(self.communities)
+            .filter(|(_, c)| **c == Some(community))
+            .map(|(&t, _)| t)
+            .collect()
+    }
+
+    /// Count of events in one community.
+    pub fn count_in_community(&self, community: Community) -> usize {
+        self.communities
+            .iter()
+            .filter(|c| **c == Some(community))
+            .count()
+    }
+
+    /// Which analysis groups this URL appeared in.
+    pub fn groups_present(&self) -> Vec<AnalysisGroup> {
+        AnalysisGroup::ALL
+            .into_iter()
+            .filter(|&g| self.group_count[group_slot(g)] > 0)
+            .collect()
+    }
+
+    /// First and last observation times (over all venues).
+    pub fn span(&self) -> Option<(i64, i64)> {
+        Some((*self.times.first()?, *self.times.last()?))
+    }
+
+    /// Materialise an owned [`UrlTimeline`] (test/compat helper).
+    pub fn to_timeline(&self) -> UrlTimeline {
+        UrlTimeline {
+            url: self.url,
+            domain: self.domain,
+            category: self.category,
+            times: self.times.to_vec(),
+            groups: self.groups.to_vec(),
+            communities: self.communities.to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::NewsEvent;
+
+    fn toy_dataset() -> Dataset {
+        let domains = DomainTable::standard();
+        let breitbart = domains.id_by_name("breitbart.com").unwrap();
+        let nyt = domains.id_by_name("nytimes.com").unwrap();
+        let events = vec![
+            NewsEvent::basic(300, Venue::Board("pol".into()), UrlId(1), breitbart),
+            NewsEvent::basic(100, Venue::Twitter, UrlId(1), breitbart),
+            NewsEvent::basic(
+                200,
+                Venue::Subreddit("The_Donald".into()),
+                UrlId(1),
+                breitbart,
+            ),
+            NewsEvent::basic(150, Venue::Subreddit("cats".into()), UrlId(2), nyt),
+            NewsEvent::basic(400, Venue::Twitter, UrlId(2), nyt),
+        ];
+        Dataset::new(domains, events, BTreeMap::new(), BTreeMap::new())
+    }
+
+    #[test]
+    fn columns_follow_event_order() {
+        let d = toy_dataset();
+        let idx = DatasetIndex::build(&d);
+        assert_eq!(idx.n_events(), 5);
+        assert_eq!(idx.timestamps(), &[100, 150, 200, 300, 400]);
+        assert_eq!(idx.groups()[0], Some(AnalysisGroup::Twitter));
+        assert_eq!(idx.groups()[1], None);
+        assert_eq!(idx.categories()[0], NewsCategory::Alternative);
+        assert_eq!(idx.categories()[1], NewsCategory::Mainstream);
+        assert_eq!(idx.venue(0), &Venue::Twitter);
+        assert_eq!(idx.platforms()[3], Platform::FourChan);
+    }
+
+    #[test]
+    fn posting_lists_partition_events() {
+        let d = toy_dataset();
+        let idx = DatasetIndex::build(&d);
+        let alt = idx.category_events(NewsCategory::Alternative);
+        let main = idx.category_events(NewsCategory::Mainstream);
+        assert_eq!(alt.len() + main.len(), idx.n_events());
+        for &i in alt {
+            assert_eq!(idx.categories()[i as usize], NewsCategory::Alternative);
+        }
+        // Group posting lists cover exactly the Some-group events.
+        let grouped: usize = AnalysisGroup::ALL
+            .iter()
+            .map(|&g| idx.group_events(g).len())
+            .sum();
+        assert_eq!(grouped, idx.groups().iter().filter(|g| g.is_some()).count());
+    }
+
+    #[test]
+    fn csr_views_match_dataset_timelines() {
+        let d = toy_dataset();
+        let idx = DatasetIndex::build(&d);
+        let tls = d.timelines();
+        assert_eq!(idx.n_urls(), tls.len());
+        for (view, (url, tl)) in idx.timelines().zip(tls.iter()) {
+            assert_eq!(view.url(), *url);
+            assert_eq!(&view.to_timeline(), tl);
+        }
+    }
+
+    #[test]
+    fn timeline_queries_match_urltimeline() {
+        let d = toy_dataset();
+        let idx = DatasetIndex::build(&d);
+        let view = idx.timeline_of(UrlId(1)).unwrap();
+        assert_eq!(view.times(), &[100, 200, 300]);
+        assert_eq!(view.times_in_group(AnalysisGroup::Twitter), vec![100]);
+        assert_eq!(view.first_in_group(AnalysisGroup::Pol), Some(300));
+        assert_eq!(
+            view.groups_present(),
+            vec![
+                AnalysisGroup::SixSubreddits,
+                AnalysisGroup::Pol,
+                AnalysisGroup::Twitter
+            ]
+        );
+        assert_eq!(view.times_in_community(Community::TheDonald), vec![200]);
+        assert_eq!(view.count_in_community(Community::Twitter), 1);
+        assert_eq!(view.span(), Some((100, 300)));
+        assert!(idx.timeline_of(UrlId(99)).is_none());
+    }
+}

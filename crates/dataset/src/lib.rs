@@ -15,6 +15,8 @@
 //! * [`gaps`] — crawler-failure windows (§2.2) and gap arithmetic.
 //! * [`dataset`] — the assembled dataset with filtering and per-URL
 //!   timeline views.
+//! * [`index`] — one-pass columnar index (struct-of-arrays columns,
+//!   CSR per-URL partition, posting lists) the analysis stages run on.
 //! * [`store`] — JSONL persistence.
 //! * [`time`] — civil-date ↔ Unix-time conversion for the study period.
 
@@ -25,6 +27,7 @@ pub mod dataset;
 pub mod domains;
 pub mod event;
 pub mod gaps;
+pub mod index;
 pub mod platform;
 pub mod store;
 pub mod time;
@@ -34,4 +37,5 @@ pub use dataset::{Dataset, UrlTimeline};
 pub use domains::{DomainId, DomainTable, NewsCategory};
 pub use event::{Engagement, NewsEvent, UrlId, UserId};
 pub use gaps::Gaps;
+pub use index::{DatasetIndex, TimelineView};
 pub use platform::{Community, Platform, Venue};

@@ -1,10 +1,109 @@
 //! Property-based tests of the dataset substrate.
 
+use std::collections::BTreeMap;
+
 use proptest::prelude::*;
 
+use centipede_dataset::dataset::Dataset;
+use centipede_dataset::domains::DomainTable;
+use centipede_dataset::event::{NewsEvent, UrlId};
 use centipede_dataset::gaps::Gaps;
+use centipede_dataset::index::DatasetIndex;
+use centipede_dataset::platform::Venue;
 use centipede_dataset::time::{format_date, unix_to_ymd, ymd_to_unix, SECONDS_PER_DAY};
 use centipede_dataset::url::{canonicalize, extract_urls};
+
+/// Strategy: an arbitrary small event set over a handful of venues,
+/// URLs, and domains (both categories represented).
+fn arb_events() -> impl Strategy<Value = Vec<NewsEvent>> {
+    let names = ["breitbart.com", "rt.com", "nytimes.com", "bbc.com"];
+    let event = (0i64..500_000, 0usize..5, 0u32..12, 0usize..names.len()).prop_map(
+        move |(timestamp, v, url, d)| {
+            let venue = match v {
+                0 => Venue::Twitter,
+                1 => Venue::Subreddit("The_Donald".into()),
+                2 => Venue::Subreddit("cats".into()),
+                3 => Venue::Board("pol".into()),
+                _ => Venue::Board("sp".into()),
+            };
+            let domains = DomainTable::standard();
+            let domain = domains.id_by_name(names[d]).expect("standard domain");
+            NewsEvent::basic(timestamp, venue, UrlId(url), domain)
+        },
+    );
+    prop::collection::vec(event, 0..60)
+}
+
+proptest! {
+    /// The CSR timeline views of [`DatasetIndex`] must agree exactly
+    /// with the `BTreeMap` partition of [`Dataset::timelines`] — same
+    /// URL set, same order, same per-URL times/groups/communities.
+    #[test]
+    fn index_timelines_agree_with_btreemap_partition(events in arb_events()) {
+        let dataset = Dataset::new(
+            DomainTable::standard(),
+            events,
+            BTreeMap::new(),
+            BTreeMap::new(),
+        );
+        let legacy = dataset.timelines();
+        let index = DatasetIndex::build(&dataset);
+
+        prop_assert_eq!(index.n_events(), dataset.len());
+        prop_assert_eq!(index.n_urls(), legacy.len());
+
+        // Iteration order: ascending UrlId, matching the BTreeMap.
+        let ids: Vec<UrlId> = index.timelines().map(|tl| tl.url()).collect();
+        let legacy_ids: Vec<UrlId> = legacy.keys().copied().collect();
+        prop_assert_eq!(ids, legacy_ids);
+
+        for (url, old) in &legacy {
+            let view = index.timeline_of(*url).expect("url present in index");
+            prop_assert_eq!(view.url(), *url);
+            prop_assert_eq!(view.domain(), old.domain);
+            prop_assert_eq!(view.category(), old.category);
+            prop_assert_eq!(view.times(), old.times.as_slice());
+            prop_assert_eq!(view.groups(), old.groups.as_slice());
+            prop_assert_eq!(view.communities(), old.communities.as_slice());
+            prop_assert_eq!(view.len(), old.len());
+            prop_assert_eq!(view.span(), old.span());
+            prop_assert_eq!(&view.to_timeline(), old);
+        }
+    }
+
+    /// The per-category and per-group posting lists must index exactly
+    /// the events with that category/group, in event order.
+    #[test]
+    fn index_posting_lists_partition_the_events(events in arb_events()) {
+        use centipede_dataset::domains::NewsCategory;
+        use centipede_dataset::platform::AnalysisGroup;
+
+        let dataset = Dataset::new(
+            DomainTable::standard(),
+            events,
+            BTreeMap::new(),
+            BTreeMap::new(),
+        );
+        let index = DatasetIndex::build(&dataset);
+
+        let mut covered = 0usize;
+        for cat in NewsCategory::ALL {
+            let expected: Vec<u32> = (0..dataset.len() as u32)
+                .filter(|&i| index.categories()[i as usize] == cat)
+                .collect();
+            prop_assert_eq!(index.category_events(cat), expected.as_slice());
+            covered += expected.len();
+        }
+        prop_assert_eq!(covered, dataset.len());
+
+        for group in AnalysisGroup::ALL {
+            let expected: Vec<u32> = (0..dataset.len() as u32)
+                .filter(|&i| index.groups()[i as usize] == Some(group))
+                .collect();
+            prop_assert_eq!(index.group_events(group), expected.as_slice());
+        }
+    }
+}
 
 proptest! {
     #[test]

@@ -35,6 +35,12 @@ use super::posterior::Posterior;
 /// — measurable overhead at ~10µs sweeps.
 const SWEEP_METRICS_BATCH: u64 = 16;
 
+/// How often (in sweeps) [`GibbsSampler::fit_cancellable`] polls its
+/// cancellation flag. A relaxed load every few sweeps bounds shutdown
+/// latency by a handful of sweeps (micro- to milliseconds) while
+/// keeping the hot loop free of per-sweep synchronisation.
+pub const CANCEL_POLL_SWEEPS: u64 = 8;
+
 /// Gamma/Dirichlet prior hyper-parameters.
 ///
 /// Defaults are weakly informative and shrink the weights toward small
@@ -360,6 +366,24 @@ impl GibbsSampler {
 
     /// Run the sampler on one event sequence and return the posterior.
     pub fn fit<R: Rng + ?Sized>(&self, data: &EventSeq, rng: &mut R) -> Posterior {
+        self.fit_cancellable(data, rng, None)
+            .expect("fit without a cancellation flag cannot be cancelled")
+    }
+
+    /// Run the sampler, polling `cancel` every [`CANCEL_POLL_SWEEPS`]
+    /// sweeps. Returns `None` if the flag was observed set (the
+    /// partial posterior is discarded — cancelled fits are re-run on
+    /// resume, never resumed mid-chain).
+    ///
+    /// The flag is only ever *read* (a relaxed atomic load), so the
+    /// RNG stream — and therefore every sample of a fit that runs to
+    /// completion — is bit-identical to [`GibbsSampler::fit`].
+    pub fn fit_cancellable<R: Rng + ?Sized>(
+        &self,
+        data: &EventSeq,
+        rng: &mut R,
+        cancel: Option<&std::sync::atomic::AtomicBool>,
+    ) -> Option<Posterior> {
         let k = data.n_processes();
         let b = self.basis.n_basis();
         let d_max = self.basis.max_lag();
@@ -408,6 +432,21 @@ impl GibbsSampler {
         let mut batched: u64 = 0;
 
         for sweep in 0..total_sweeps {
+            // ---- 0. Cooperative cancellation --------------------------
+            if let Some(flag) = cancel {
+                if sweep as u64 % CANCEL_POLL_SWEEPS == 0
+                    && flag.load(std::sync::atomic::Ordering::Relaxed)
+                {
+                    let elapsed = batch_start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                    if let Some(per_sweep) = elapsed.checked_div(batched) {
+                        sweep_hist.record_n(per_sweep, batched);
+                        sweep_counter.inc(batched);
+                    }
+                    centipede_obs::counter("gibbs.cancelled_fits").inc(1);
+                    return None;
+                }
+            }
+
             // ---- 1. Parent allocation ---------------------------------
             scratch.reset();
             for (ei, e) in events.iter().enumerate() {
@@ -503,8 +542,8 @@ impl GibbsSampler {
             }
 
             // ---- 2. Background rates -----------------------------------
-            for ki in 0..k {
-                lambda0[ki] = sample_gamma(rng, p.alpha0 + scratch.z0[ki], p.beta0 + t_total);
+            for (ki, l0) in lambda0.iter_mut().enumerate() {
+                *l0 = sample_gamma(rng, p.alpha0 + scratch.z0[ki], p.beta0 + t_total);
             }
 
             // ---- 3. Weights (with edge-truncated exposure) -------------
@@ -569,12 +608,12 @@ impl GibbsSampler {
                 batch_start = std::time::Instant::now();
             }
         }
-        if batched > 0 {
-            let elapsed = batch_start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
-            sweep_hist.record_n(elapsed / batched, batched);
+        let elapsed = batch_start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        if let Some(per_sweep) = elapsed.checked_div(batched) {
+            sweep_hist.record_n(per_sweep, batched);
             sweep_counter.inc(batched);
         }
-        posterior
+        Some(posterior)
     }
 }
 
@@ -596,6 +635,35 @@ mod tests {
             priors: Priors::default(),
             record_likelihood: false,
         }
+    }
+
+    #[test]
+    fn cancellable_fit_with_unset_flag_matches_fit_bitwise() {
+        use std::sync::atomic::AtomicBool;
+        let basis = BasisSet::uniform(10);
+        let truth = DiscreteHawkes::uniform_mixture(vec![0.03, 0.02], Matrix::zeros(2), &basis);
+        let data = simulate(&truth, 2_000, &mut rng(11));
+        let sampler = GibbsSampler::new(quick_config(8), BasisSet::uniform(10));
+        let plain = sampler.fit(&data, &mut rng(12));
+        let flag = AtomicBool::new(false);
+        let cancellable = sampler
+            .fit_cancellable(&data, &mut rng(12), Some(&flag))
+            .expect("unset flag never cancels");
+        assert_eq!(plain.lambda0_samples(), cancellable.lambda0_samples());
+        assert_eq!(plain.weight_samples(), cancellable.weight_samples());
+    }
+
+    #[test]
+    fn preset_cancel_flag_aborts_before_any_sample() {
+        use std::sync::atomic::AtomicBool;
+        let basis = BasisSet::uniform(10);
+        let truth = DiscreteHawkes::uniform_mixture(vec![0.03], Matrix::zeros(1), &basis);
+        let data = simulate(&truth, 1_000, &mut rng(21));
+        let sampler = GibbsSampler::new(quick_config(8), BasisSet::uniform(10));
+        let flag = AtomicBool::new(true);
+        assert!(sampler
+            .fit_cancellable(&data, &mut rng(22), Some(&flag))
+            .is_none());
     }
 
     #[test]
@@ -906,11 +974,10 @@ mod tests {
             }
             let table = basis.lag_major_table();
             let mut inside = Vec::new();
-            for src in 0..k {
-                let grouped =
-                    tables.exposure(src, events_per_proc[src], &theta, &table, &mut inside);
+            for (src, &n_src) in events_per_proc.iter().enumerate() {
+                let grouped = tables.exposure(src, n_src, &theta, &table, &mut inside);
                 let cum = basis.mix_cumulative(&theta);
-                let mut legacy = events_per_proc[src];
+                let mut legacy = n_src;
                 for &(tsrc, remaining) in &truncated {
                     if tsrc == src {
                         let ins = if remaining == 0 {

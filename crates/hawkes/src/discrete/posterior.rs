@@ -431,7 +431,7 @@ mod tests {
             p.push(
                 vec![v, 2.0 * v],
                 Matrix::from_rows(&[&[v, 1.0], &[0.0, v]]),
-                vec![0.5; 2 * 2 * 1],
+                vec![0.5; 2 * 2],
                 Some(-10.0 - v),
             );
         }

@@ -716,7 +716,7 @@ mod tests {
     fn dirichlet_sums_to_one_and_mean() {
         let mut r = rng(9);
         let d = Dirichlet::new(vec![1.0, 2.0, 7.0]);
-        let mut acc = vec![0.0; 3];
+        let mut acc = [0.0; 3];
         let n = 20_000;
         for _ in 0..n {
             let s = d.sample(&mut r);

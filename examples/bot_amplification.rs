@@ -38,7 +38,8 @@ fn run(bots: bool, seed: u64) -> Outcome {
 
     // Figure 3 side: share of Twitter users posting alternative URLs
     // exclusively.
-    let fractions = user_alt_fraction(&world.dataset);
+    let index = centipede_dataset::DatasetIndex::build(&world.dataset);
+    let fractions = user_alt_fraction(&index);
     let alt_only_users_pct = fractions
         .all_users
         .iter()
@@ -47,8 +48,7 @@ fn run(bots: bool, seed: u64) -> Outcome {
         .unwrap_or(0.0);
 
     // Figure 10 side: the Twitter self-excitation gap.
-    let timelines = world.dataset.timelines();
-    let (prepared, _) = prepare_urls(&world.dataset, &timelines, &SelectionConfig::default());
+    let (prepared, _) = prepare_urls(&index, &SelectionConfig::default());
     let fit = FitConfig {
         n_samples: 80,
         burn_in: 40,

@@ -27,11 +27,11 @@ fn main() {
         ..SimConfig::default()
     };
     let world = ecosystem::generate(&sim, &mut rng);
-    let timelines = world.dataset.timelines();
+    let index = centipede_dataset::DatasetIndex::build(&world.dataset);
 
     // --- The news calendar: where are the spikes? ---------------------
     println!("--- Daily alternative-news activity (normalised) ---");
-    let series = daily_occurrence(&world.dataset);
+    let series = daily_occurrence(&index);
     let six = series
         .iter()
         .find(|s| s.series.name().contains("6 selected"))
@@ -51,13 +51,13 @@ fn main() {
 
     // --- The most-travelled alternative stories -----------------------
     println!("\n--- Viral alternative stories ---");
-    let mut viral: Vec<_> = timelines
-        .values()
-        .filter(|tl| tl.category == NewsCategory::Alternative && tl.groups_present().len() == 3)
+    let mut viral: Vec<_> = index
+        .timelines()
+        .filter(|tl| tl.category() == NewsCategory::Alternative && tl.groups_present().len() == 3)
         .collect();
     viral.sort_by_key(|tl| std::cmp::Reverse(tl.len()));
     for tl in viral.iter().take(5) {
-        let domain = &world.dataset.domains.get(tl.domain).name;
+        let domain = &world.dataset.domains.get(tl.domain()).name;
         let mut firsts: Vec<(String, i64)> = centipede_dataset::platform::AnalysisGroup::ALL
             .into_iter()
             .filter_map(|g| tl.first_in_group(g).map(|t| (g.name().to_string(), t)))
@@ -72,7 +72,7 @@ fn main() {
 
     // --- Sequence structure (Tables 9/10) ------------------------------
     println!("\n--- First-hop sequences (alternative news) ---");
-    let seqs = first_hop_sequences(&timelines, NewsCategory::Alternative);
+    let seqs = first_hop_sequences(&index, NewsCategory::Alternative);
     let total: u64 = seqs.values().sum();
     for (seq, n) in &seqs {
         println!(
@@ -82,7 +82,7 @@ fn main() {
     }
 
     println!("\n--- Triplet sequences (alternative news) ---");
-    let trips = triplet_sequences(&timelines, NewsCategory::Alternative);
+    let trips = triplet_sequences(&index, NewsCategory::Alternative);
     let total: u64 = trips.values().sum::<u64>().max(1);
     let mut rows: Vec<_> = trips.iter().collect();
     rows.sort_by_key(|(_, &n)| std::cmp::Reverse(n));

@@ -27,8 +27,8 @@ fn main() {
         ..SimConfig::default()
     };
     let world = ecosystem::generate(&sim, &mut rng);
-    let timelines = world.dataset.timelines();
-    let (prepared, _) = prepare_urls(&world.dataset, &timelines, &SelectionConfig::default());
+    let index = centipede_dataset::DatasetIndex::build(&world.dataset);
+    let (prepared, _) = prepare_urls(&index, &SelectionConfig::default());
 
     let fit = FitConfig {
         n_samples: 60,

@@ -36,8 +36,8 @@ fn main() {
     println!("Generating world at scale {scale} ...");
     let world = ecosystem::generate(&sim, &mut rng);
 
-    let timelines = world.dataset.timelines();
-    let (prepared, summary) = prepare_urls(&world.dataset, &timelines, &SelectionConfig::default());
+    let index = centipede_dataset::DatasetIndex::build(&world.dataset);
+    let (prepared, summary) = prepare_urls(&index, &SelectionConfig::default());
     println!(
         "Selected {} URLs ({} eligible, {} dropped by gap mitigation).",
         summary.selected, summary.eligible, summary.dropped

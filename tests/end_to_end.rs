@@ -94,10 +94,9 @@ fn pipeline_headline_shapes_hold() {
 #[test]
 fn ground_truth_recovery_is_strong() {
     let w = world(0.45, 5);
-    let timelines = w.dataset.timelines();
+    let index = centipede_dataset::DatasetIndex::build(&w.dataset);
     let (prepared, _) = centipede::influence::prepare_urls(
-        &w.dataset,
-        &timelines,
+        &index,
         &centipede::influence::SelectionConfig::default(),
     );
     assert!(

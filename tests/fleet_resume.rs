@@ -115,11 +115,11 @@ fn injected_panic_quarantines_without_failing_fleet() {
     let quarantined_before = centipede_obs::counter(centipede_obs::names::FLEET_QUARANTINED).get();
     let retries_before = centipede_obs::counter(centipede_obs::names::FLEET_RETRIES).get();
 
-    let report = fit_fleet_with(&urls, &config, &FleetOptions::default(), |p, c, idx| {
+    let report = fit_fleet_with(&urls, &config, &FleetOptions::default(), |p, c, idx, _| {
         if p.url == UrlId(1) {
             panic!("injected fault for url 1");
         }
-        fit_one_full(p, c, idx)
+        Some(fit_one_full(p, c, idx))
     });
 
     assert_eq!(report.fits.len(), 3);
@@ -137,8 +137,8 @@ fn injected_panic_quarantines_without_failing_fleet() {
     // only deltas are meaningful.
     let quarantined_after = centipede_obs::counter(centipede_obs::names::FLEET_QUARANTINED).get();
     let retries_after = centipede_obs::counter(centipede_obs::names::FLEET_RETRIES).get();
-    assert!(quarantined_after >= quarantined_before + 1);
-    assert!(retries_after >= retries_before + 1);
+    assert!(quarantined_after > quarantined_before);
+    assert!(retries_after > retries_before);
 }
 
 #[test]

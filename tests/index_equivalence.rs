@@ -1,0 +1,726 @@
+//! Report-equivalence test for the columnar index refactor.
+//!
+//! The `DatasetIndex`-backed pipeline must reproduce the pre-index
+//! scan-per-stage implementation field for field. Rather than a
+//! committed fixture (which would churn with every simulator change
+//! and pin the serde layer), the original `Dataset`-rescanning stage
+//! implementations are kept verbatim in the [`legacy`] module below
+//! and both paths run in-process over the same seed world; every
+//! `AnalysisReport` field is compared with `assert_eq!` — exact float
+//! equality, because the refactor is required to be bit-identical,
+//! not merely approximately right.
+//!
+//! The only intentional departures from the historical code are the
+//! canonical tie-breaks (share descending, then name ascending; Fig. 2
+//! ties in ascending domain id). The historical code left those ties
+//! to `HashMap` iteration order — i.e. nondeterministic — so the index
+//! path pins them and the reference here pins them the same way.
+
+use std::collections::BTreeMap;
+
+use rand::SeedableRng;
+
+use centipede::pipeline::{run_all, PipelineConfig};
+use centipede_dataset::domains::NewsCategory;
+use centipede_dataset::index::DatasetIndex;
+use centipede_dataset::platform::AnalysisGroup;
+use centipede_platform_sim::{ecosystem, GeneratedWorld, SimConfig};
+
+/// Seed world both paths analyse. Moderate scale: large enough to
+/// populate every table and figure (including the influence-stage
+/// selection), small enough to keep the test fast.
+const SEED: u64 = 20170701;
+const SCALE: f64 = 0.25;
+
+fn seed_world() -> GeneratedWorld {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(SEED);
+    let sim = SimConfig {
+        scale: SCALE,
+        ..SimConfig::default()
+    };
+    ecosystem::generate(&sim, &mut rng)
+}
+
+#[test]
+fn index_report_matches_legacy_scan_stages() {
+    let world = seed_world();
+    let dataset = &world.dataset;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(SEED ^ 0x5EED);
+    let config = PipelineConfig {
+        skip_influence: true,
+        ..PipelineConfig::default()
+    };
+    let report = run_all(dataset, &config, &mut rng);
+
+    let timelines = dataset.timelines();
+    assert!(!timelines.is_empty(), "seed world must be non-trivial");
+
+    // §3 characterization.
+    assert_eq!(report.table1, legacy::platform_totals(dataset));
+    assert_eq!(report.table2, legacy::dataset_overview(dataset));
+    assert_eq!(report.table3, legacy::tweet_stats(dataset));
+    assert_eq!(report.table4, legacy::top_subreddits(dataset, 20));
+    let mut top = BTreeMap::new();
+    for group in AnalysisGroup::ALL {
+        top.insert(group, legacy::top_domains(dataset, group, 20));
+    }
+    assert_eq!(report.top_domains, top);
+    let mut fig2 = BTreeMap::new();
+    for cat in NewsCategory::ALL {
+        fig2.insert(cat, legacy::domain_platform_fractions(dataset, cat, 20));
+    }
+    assert_eq!(report.fig2, fig2);
+    assert_eq!(report.fig3, legacy::user_alt_fraction(dataset));
+
+    // §4.1 temporal.
+    let mut fig1 = Vec::new();
+    for cat in NewsCategory::ALL {
+        for (group, ecdf) in legacy::appearance_cdf(&timelines, cat) {
+            fig1.push((group, cat, ecdf.max(), ecdf.eval(1.0)));
+        }
+    }
+    assert_eq!(report.fig1, fig1);
+    assert_eq!(report.fig4, legacy::daily_occurrence(dataset));
+    let mut fig5 = Vec::new();
+    for cat in NewsCategory::ALL {
+        for (group, ecdf) in legacy::repost_lags(&timelines, cat) {
+            fig5.push((group, cat, ecdf.quantile(0.5), ecdf.quantile(0.9)));
+        }
+    }
+    assert_eq!(report.fig5, fig5);
+    for cat in NewsCategory::ALL {
+        assert_eq!(
+            report.fig6_common[&cat],
+            legacy::interarrival(&timelines, cat, true)
+        );
+        assert_eq!(
+            report.fig6_all[&cat],
+            legacy::interarrival(&timelines, cat, false)
+        );
+    }
+
+    // §4.2 cross-platform.
+    let mut lags = Vec::new();
+    for cat in NewsCategory::ALL {
+        lags.extend(legacy::pair_lags(&timelines, cat));
+    }
+    assert_eq!(report.pair_lags, lags);
+    for cat in NewsCategory::ALL {
+        assert_eq!(
+            report.table9[&cat],
+            legacy::first_hop_sequences(&timelines, cat)
+        );
+        assert_eq!(
+            report.table10[&cat],
+            legacy::triplet_sequences(&timelines, cat)
+        );
+        assert_eq!(
+            report.fig8[&cat],
+            legacy::source_graph(&timelines, &dataset.domains, cat)
+        );
+    }
+
+    // The comparison must not be vacuous.
+    assert!(!report.table4[&NewsCategory::Alternative].is_empty());
+    assert!(!report.fig1.is_empty());
+    assert!(!report.pair_lags.is_empty());
+    assert!(!report.fig8[&NewsCategory::Alternative].is_empty());
+}
+
+#[test]
+fn prepared_urls_match_legacy_selection() {
+    let world = seed_world();
+    let dataset = &world.dataset;
+    let timelines = dataset.timelines();
+    let index = DatasetIndex::build(dataset);
+    let config = centipede::influence::SelectionConfig::default();
+
+    let (new_prepared, new_summary) = centipede::influence::prepare_urls(&index, &config);
+    let (old_prepared, old_summary) = legacy::prepare_urls(dataset, &timelines, &config);
+
+    assert_eq!(new_summary, old_summary);
+    assert_eq!(new_prepared, old_prepared);
+    assert!(
+        new_summary.eligible > 0,
+        "seed world must exercise the selection"
+    );
+}
+
+/// Verbatim pre-refactor stage implementations (the scan-per-stage
+/// code the columnar index replaced), kept as the reference the index
+/// path is pinned against. Apart from the canonical tie-breaks noted
+/// in the file header, these bodies must not be "improved" — their
+/// value is being the old code.
+mod legacy {
+    use std::collections::{BTreeMap, HashMap, HashSet};
+
+    use centipede::characterization::{
+        DatasetSplit, OverviewRow, PlatformTotalsRow, TweetStatsRow, UserAltFractions,
+    };
+    use centipede::crossplatform::{AnalysisGroupCode, FirstHop, PairLagResult, SourceEdge, PAIRS};
+    use centipede::influence::{PreparedUrl, SelectionConfig, SelectionSummary};
+    use centipede::temporal::{DailySeries, InterarrivalResult, OccurrenceSeries, KS_SAMPLE_FLOOR};
+    use centipede_dataset::dataset::{Dataset, UrlTimeline};
+    use centipede_dataset::domains::{DomainId, NewsCategory};
+    use centipede_dataset::event::{UrlId, UserId};
+    use centipede_dataset::platform::{AnalysisGroup, Community, Platform, Venue};
+    use centipede_dataset::time::{study_end, study_start};
+    use centipede_hawkes::events::EventSeq;
+    use centipede_stats::descriptive::{mean, stddev};
+    use centipede_stats::ecdf::Ecdf;
+    use centipede_stats::ks::ks_two_sample;
+    use centipede_stats::timeseries::{series_fraction, BucketSeries, SECONDS_PER_DAY};
+
+    pub fn platform_totals(dataset: &Dataset) -> Vec<PlatformTotalsRow> {
+        Platform::ALL
+            .into_iter()
+            .map(|platform| {
+                let totals = dataset.totals.get(&platform).copied().unwrap_or_default();
+                let denom = totals.total_posts.max(1) as f64;
+                PlatformTotalsRow {
+                    platform,
+                    total_posts: totals.total_posts,
+                    pct_alternative: totals.posts_with_alternative as f64 / denom,
+                    pct_mainstream: totals.posts_with_mainstream as f64 / denom,
+                }
+            })
+            .collect()
+    }
+
+    pub fn dataset_overview(dataset: &Dataset) -> Vec<OverviewRow> {
+        let mut posts: HashMap<DatasetSplit, u64> = HashMap::new();
+        let mut uniq: HashMap<(DatasetSplit, NewsCategory), HashSet<UrlId>> = HashMap::new();
+        for e in &dataset.events {
+            let split = DatasetSplit::of(&e.venue);
+            *posts.entry(split).or_default() += 1;
+            uniq.entry((split, dataset.category_of(e)))
+                .or_default()
+                .insert(e.url);
+        }
+        DatasetSplit::ALL
+            .into_iter()
+            .map(|split| OverviewRow {
+                split,
+                posts: posts.get(&split).copied().unwrap_or(0),
+                unique_alt: uniq
+                    .get(&(split, NewsCategory::Alternative))
+                    .map_or(0, |s| s.len() as u64),
+                unique_main: uniq
+                    .get(&(split, NewsCategory::Mainstream))
+                    .map_or(0, |s| s.len() as u64),
+            })
+            .collect()
+    }
+
+    pub fn tweet_stats(dataset: &Dataset) -> Vec<TweetStatsRow> {
+        NewsCategory::ALL
+            .into_iter()
+            .map(|category| {
+                let mut retweets = Vec::new();
+                let mut likes = Vec::new();
+                let mut tweets = 0u64;
+                let mut retrieved = 0u64;
+                for e in dataset.events_in_category(category) {
+                    if e.venue != Venue::Twitter {
+                        continue;
+                    }
+                    tweets += 1;
+                    if let Some(g) = e.engagement {
+                        if g.retrieved {
+                            retrieved += 1;
+                            retweets.push(g.retweets as f64);
+                            likes.push(g.likes as f64);
+                        }
+                    }
+                }
+                TweetStatsRow {
+                    category,
+                    tweets,
+                    retrieved,
+                    avg_retweets: mean(&retweets).unwrap_or(0.0),
+                    sd_retweets: stddev(&retweets).unwrap_or(0.0),
+                    avg_likes: mean(&likes).unwrap_or(0.0),
+                    sd_likes: stddev(&likes).unwrap_or(0.0),
+                }
+            })
+            .collect()
+    }
+
+    /// Canonical share ranking (the tie-break the index path pins).
+    fn rank_shares(rows: &mut Vec<(String, f64)>, top_n: usize) {
+        rows.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("no NaN")
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        rows.truncate(top_n);
+    }
+
+    pub fn top_subreddits(
+        dataset: &Dataset,
+        top_n: usize,
+    ) -> BTreeMap<NewsCategory, Vec<(String, f64)>> {
+        let mut counts: HashMap<(NewsCategory, String), u64> = HashMap::new();
+        let mut totals: HashMap<NewsCategory, u64> = HashMap::new();
+        for e in &dataset.events {
+            if let Venue::Subreddit(name) = &e.venue {
+                let cat = dataset.category_of(e);
+                *counts.entry((cat, name.clone())).or_default() += 1;
+                *totals.entry(cat).or_default() += 1;
+            }
+        }
+        let mut out = BTreeMap::new();
+        for cat in NewsCategory::ALL {
+            let total = totals.get(&cat).copied().unwrap_or(0).max(1) as f64;
+            let mut rows: Vec<(String, f64)> = counts
+                .iter()
+                .filter(|((c, _), _)| *c == cat)
+                .map(|((_, name), &n)| (name.clone(), n as f64 / total))
+                .collect();
+            rank_shares(&mut rows, top_n);
+            out.insert(cat, rows);
+        }
+        out
+    }
+
+    pub fn top_domains(
+        dataset: &Dataset,
+        group: AnalysisGroup,
+        top_n: usize,
+    ) -> BTreeMap<NewsCategory, Vec<(String, f64)>> {
+        let mut counts: HashMap<(NewsCategory, DomainId), u64> = HashMap::new();
+        let mut totals: HashMap<NewsCategory, u64> = HashMap::new();
+        for e in &dataset.events {
+            if e.venue.analysis_group() != Some(group) {
+                continue;
+            }
+            let cat = dataset.category_of(e);
+            *counts.entry((cat, e.domain)).or_default() += 1;
+            *totals.entry(cat).or_default() += 1;
+        }
+        let mut out = BTreeMap::new();
+        for cat in NewsCategory::ALL {
+            let total = totals.get(&cat).copied().unwrap_or(0).max(1) as f64;
+            let mut rows: Vec<(String, f64)> = counts
+                .iter()
+                .filter(|((c, _), _)| *c == cat)
+                .map(|((_, id), &n)| (dataset.domains.get(*id).name.clone(), n as f64 / total))
+                .collect();
+            rank_shares(&mut rows, top_n);
+            out.insert(cat, rows);
+        }
+        out
+    }
+
+    pub fn domain_platform_fractions(
+        dataset: &Dataset,
+        category: NewsCategory,
+        top_n: usize,
+    ) -> Vec<(String, [f64; 3])> {
+        let mut per_domain: HashMap<DomainId, [u64; 3]> = HashMap::new();
+        for e in &dataset.events {
+            let Some(group) = e.venue.analysis_group() else {
+                continue;
+            };
+            if dataset.category_of(e) != category {
+                continue;
+            }
+            let slot = match group {
+                AnalysisGroup::SixSubreddits => 0,
+                AnalysisGroup::Pol => 1,
+                AnalysisGroup::Twitter => 2,
+            };
+            per_domain.entry(e.domain).or_default()[slot] += 1;
+        }
+        let mut rows: Vec<(DomainId, [u64; 3], u64)> = per_domain
+            .into_iter()
+            .map(|(d, c)| (d, c, c.iter().sum()))
+            .collect();
+        // Canonical order: ascending domain id, then a stable sort by
+        // descending total — ties rank in id order.
+        rows.sort_by_key(|&(d, _, _)| d.0);
+        rows.sort_by_key(|&(_, _, total)| std::cmp::Reverse(total));
+        rows.truncate(top_n);
+        rows.into_iter()
+            .map(|(d, counts, total)| {
+                let total = total.max(1) as f64;
+                (
+                    dataset.domains.get(d).name.clone(),
+                    [
+                        counts[0] as f64 / total,
+                        counts[1] as f64 / total,
+                        counts[2] as f64 / total,
+                    ],
+                )
+            })
+            .collect()
+    }
+
+    pub fn user_alt_fraction(dataset: &Dataset) -> UserAltFractions {
+        let mut per_user: HashMap<(AnalysisGroup, UserId), (u64, u64)> = HashMap::new();
+        for e in &dataset.events {
+            let (Some(group), Some(user)) = (e.venue.analysis_group(), e.user) else {
+                continue;
+            };
+            if group == AnalysisGroup::Pol {
+                continue;
+            }
+            let entry = per_user.entry((group, user)).or_default();
+            match dataset.category_of(e) {
+                NewsCategory::Alternative => entry.0 += 1,
+                NewsCategory::Mainstream => entry.1 += 1,
+            }
+        }
+        let mut all: HashMap<AnalysisGroup, Vec<f64>> = HashMap::new();
+        let mut mixed: HashMap<AnalysisGroup, Vec<f64>> = HashMap::new();
+        for ((group, _), (a, m)) in per_user {
+            let frac = a as f64 / (a + m).max(1) as f64;
+            all.entry(group).or_default().push(frac);
+            if a > 0 && m > 0 {
+                mixed.entry(group).or_default().push(frac);
+            }
+        }
+        let to_ecdfs = |map: HashMap<AnalysisGroup, Vec<f64>>| {
+            let mut v: Vec<(AnalysisGroup, Ecdf)> = map
+                .into_iter()
+                .filter(|(_, xs)| !xs.is_empty())
+                .map(|(g, xs)| (g, Ecdf::new(xs)))
+                .collect();
+            v.sort_by_key(|(g, _)| *g);
+            v
+        };
+        UserAltFractions {
+            all_users: to_ecdfs(all),
+            mixed_users: to_ecdfs(mixed),
+        }
+    }
+
+    pub fn appearance_cdf(
+        timelines: &BTreeMap<UrlId, UrlTimeline>,
+        category: NewsCategory,
+    ) -> Vec<(AnalysisGroup, Ecdf)> {
+        let mut out = Vec::new();
+        for group in AnalysisGroup::ALL {
+            let counts: Vec<f64> = timelines
+                .values()
+                .filter(|tl| tl.category == category)
+                .map(|tl| tl.times_in_group(group).len() as f64)
+                .filter(|&c| c > 0.0)
+                .collect();
+            if !counts.is_empty() {
+                out.push((group, Ecdf::new(counts)));
+            }
+        }
+        out
+    }
+
+    pub fn daily_occurrence(dataset: &Dataset) -> Vec<DailySeries> {
+        let start = study_start();
+        let end = study_end();
+        OccurrenceSeries::ALL
+            .into_iter()
+            .map(|series| {
+                let mut alt = BucketSeries::new(start, end, SECONDS_PER_DAY);
+                let mut main = BucketSeries::new(start, end, SECONDS_PER_DAY);
+                for e in &dataset.events {
+                    if OccurrenceSeries::of(&e.venue) != series {
+                        continue;
+                    }
+                    match dataset.category_of(e) {
+                        NewsCategory::Alternative => {
+                            alt.add(e.timestamp);
+                        }
+                        NewsCategory::Mainstream => {
+                            main.add(e.timestamp);
+                        }
+                    }
+                }
+                let mask = dataset.gaps_for(series.platform()).study_day_mask();
+                let frac_raw = series_fraction(&alt.counts, &main_plus(&alt, &main));
+                let alt_fraction = frac_raw
+                    .iter()
+                    .zip(&mask)
+                    .map(|(f, &m)| if m { None } else { *f })
+                    .collect();
+                DailySeries {
+                    series,
+                    alternative: alt.normalised(&mask),
+                    mainstream: main.normalised(&mask),
+                    alt_fraction,
+                }
+            })
+            .collect()
+    }
+
+    fn main_plus(alt: &BucketSeries, main: &BucketSeries) -> Vec<u64> {
+        alt.counts
+            .iter()
+            .zip(&main.counts)
+            .map(|(&a, &m)| a + m)
+            .collect()
+    }
+
+    pub fn repost_lags(
+        timelines: &BTreeMap<UrlId, UrlTimeline>,
+        category: NewsCategory,
+    ) -> Vec<(AnalysisGroup, Ecdf)> {
+        let mut out = Vec::new();
+        for group in AnalysisGroup::ALL {
+            let mut lags: Vec<f64> = Vec::new();
+            for tl in timelines.values().filter(|tl| tl.category == category) {
+                let times = tl.times_in_group(group);
+                if times.len() < 2 {
+                    continue;
+                }
+                let first = times[0];
+                for &t in &times[1..] {
+                    let hours = (t - first) as f64 / 3_600.0;
+                    lags.push(hours.max(1e-2));
+                }
+            }
+            if !lags.is_empty() {
+                out.push((group, Ecdf::new(lags)));
+            }
+        }
+        out
+    }
+
+    pub fn interarrival(
+        timelines: &BTreeMap<UrlId, UrlTimeline>,
+        category: NewsCategory,
+        common_only: bool,
+    ) -> InterarrivalResult {
+        let mut samples: BTreeMap<AnalysisGroup, Vec<f64>> = BTreeMap::new();
+        let mut pooled: BTreeMap<AnalysisGroup, Vec<f64>> = BTreeMap::new();
+        for tl in timelines.values().filter(|tl| tl.category == category) {
+            if common_only && tl.groups_present().len() < 3 {
+                continue;
+            }
+            for group in AnalysisGroup::ALL {
+                let times = tl.times_in_group(group);
+                if times.len() < 2 {
+                    continue;
+                }
+                let gaps: Vec<f64> = times
+                    .windows(2)
+                    .map(|w| ((w[1] - w[0]) as f64).max(0.5))
+                    .collect();
+                let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+                samples.entry(group).or_default().push(mean);
+                pooled.entry(group).or_default().extend_from_slice(&gaps);
+            }
+        }
+        let ecdfs: Vec<(AnalysisGroup, Ecdf)> = samples
+            .iter()
+            .filter(|(_, xs)| !xs.is_empty())
+            .map(|(g, xs)| (*g, Ecdf::new(xs.clone())))
+            .collect();
+        let ks_pooled =
+            !samples.is_empty() && samples.values().any(|xs| xs.len() < KS_SAMPLE_FLOOR);
+        let ks_input = if ks_pooled { &pooled } else { &samples };
+        let ks_samples: Vec<(AnalysisGroup, usize)> =
+            ks_input.iter().map(|(g, xs)| (*g, xs.len())).collect();
+        let mut ks = Vec::new();
+        let groups: Vec<AnalysisGroup> = ks_input.keys().copied().collect();
+        for i in 0..groups.len() {
+            for j in i + 1..groups.len() {
+                let (a, b) = (groups[i], groups[j]);
+                if ks_input[&a].is_empty() || ks_input[&b].is_empty() {
+                    continue;
+                }
+                ks.push((a, b, ks_two_sample(&ks_input[&a], &ks_input[&b])));
+            }
+        }
+        InterarrivalResult {
+            ecdfs,
+            ks,
+            ks_samples,
+            ks_pooled,
+        }
+    }
+
+    pub fn pair_lags(
+        timelines: &BTreeMap<UrlId, UrlTimeline>,
+        category: NewsCategory,
+    ) -> Vec<PairLagResult> {
+        PAIRS
+            .into_iter()
+            .map(|(a, b)| {
+                let mut a_first: Vec<f64> = Vec::new();
+                let mut b_first: Vec<f64> = Vec::new();
+                for tl in timelines.values().filter(|tl| tl.category == category) {
+                    let (Some(ta), Some(tb)) = (tl.first_in_group(a), tl.first_in_group(b)) else {
+                        continue;
+                    };
+                    let lag = (tb - ta).unsigned_abs() as f64;
+                    let lag = lag.max(1.0);
+                    if ta <= tb {
+                        a_first.push(lag);
+                    } else {
+                        b_first.push(lag);
+                    }
+                }
+                let ks = if !a_first.is_empty() && !b_first.is_empty() {
+                    Some(ks_two_sample(&a_first, &b_first))
+                } else {
+                    None
+                };
+                PairLagResult {
+                    pair: (a, b),
+                    category,
+                    a_faster: a_first.len() as u64,
+                    b_faster: b_first.len() as u64,
+                    lags_a_first: (!a_first.is_empty()).then(|| Ecdf::new(a_first)),
+                    lags_b_first: (!b_first.is_empty()).then(|| Ecdf::new(b_first)),
+                    ks,
+                }
+            })
+            .collect()
+    }
+
+    fn ordered_groups(tl: &UrlTimeline) -> Vec<(AnalysisGroup, i64)> {
+        let mut firsts: Vec<(AnalysisGroup, i64)> = AnalysisGroup::ALL
+            .into_iter()
+            .filter_map(|g| tl.first_in_group(g).map(|t| (g, t)))
+            .collect();
+        firsts.sort_by_key(|&(_, t)| t);
+        firsts
+    }
+
+    pub fn first_hop_sequences(
+        timelines: &BTreeMap<UrlId, UrlTimeline>,
+        category: NewsCategory,
+    ) -> BTreeMap<FirstHop, u64> {
+        let mut out: BTreeMap<FirstHop, u64> = BTreeMap::new();
+        for tl in timelines.values().filter(|tl| tl.category == category) {
+            let firsts = ordered_groups(tl);
+            if firsts.is_empty() {
+                continue;
+            }
+            let key = if firsts.len() == 1 {
+                FirstHop::Only(AnalysisGroupCode::of(firsts[0].0))
+            } else {
+                FirstHop::Hop(
+                    AnalysisGroupCode::of(firsts[0].0),
+                    AnalysisGroupCode::of(firsts[1].0),
+                )
+            };
+            *out.entry(key).or_default() += 1;
+        }
+        out
+    }
+
+    pub fn triplet_sequences(
+        timelines: &BTreeMap<UrlId, UrlTimeline>,
+        category: NewsCategory,
+    ) -> BTreeMap<String, u64> {
+        let mut out: BTreeMap<String, u64> = BTreeMap::new();
+        for tl in timelines.values().filter(|tl| tl.category == category) {
+            let firsts = ordered_groups(tl);
+            if firsts.len() < 3 {
+                continue;
+            }
+            let key: Vec<String> = firsts
+                .iter()
+                .map(|(g, _)| AnalysisGroupCode::of(*g).code().to_string())
+                .collect();
+            *out.entry(key.join("→")).or_default() += 1;
+        }
+        out
+    }
+
+    pub fn source_graph(
+        timelines: &BTreeMap<UrlId, UrlTimeline>,
+        domains: &centipede_dataset::domains::DomainTable,
+        category: NewsCategory,
+    ) -> Vec<SourceEdge> {
+        let mut weights: BTreeMap<(String, String), u64> = BTreeMap::new();
+        for tl in timelines.values().filter(|tl| tl.category == category) {
+            let firsts = ordered_groups(tl);
+            if firsts.is_empty() {
+                continue;
+            }
+            let domain = domains.get(tl.domain).name.clone();
+            let first = firsts[0].0.name().to_string();
+            *weights.entry((domain, first.clone())).or_default() += 1;
+            if firsts.len() >= 2 {
+                let second = firsts[1].0.name().to_string();
+                *weights.entry((first, second)).or_default() += 1;
+            }
+        }
+        weights
+            .into_iter()
+            .map(|((from, to), weight)| SourceEdge { from, to, weight })
+            .collect()
+    }
+
+    pub fn prepare_urls(
+        dataset: &Dataset,
+        timelines: &BTreeMap<UrlId, UrlTimeline>,
+        config: &SelectionConfig,
+    ) -> (Vec<PreparedUrl>, SelectionSummary) {
+        assert!(config.bin_seconds > 0, "SelectionConfig: bin_seconds ≤ 0");
+        assert!(
+            (0.0..1.0).contains(&config.gap_drop_fraction),
+            "SelectionConfig: gap_drop_fraction out of [0,1)"
+        );
+        let twitter_gaps = dataset.gaps_for(Platform::Twitter);
+
+        let mut eligible: Vec<&UrlTimeline> = timelines
+            .values()
+            .filter(|tl| {
+                tl.first_in_group(AnalysisGroup::Twitter).is_some()
+                    && tl.first_in_group(AnalysisGroup::Pol).is_some()
+                    && tl.first_in_group(AnalysisGroup::SixSubreddits).is_some()
+                    && tl.len() <= config.max_events
+            })
+            .collect();
+        eligible.sort_by_key(|tl| tl.url);
+        let mut summary = SelectionSummary {
+            eligible: eligible.len(),
+            ..SelectionSummary::default()
+        };
+
+        let mut overlapping: Vec<(UrlId, i64)> = Vec::new();
+        for tl in &eligible {
+            let (lo, hi) = tl.span().expect("eligible URLs have events");
+            if twitter_gaps.overlaps(lo, hi + 1) {
+                overlapping.push((tl.url, hi - lo));
+            }
+        }
+        summary.gap_overlapping = overlapping.len();
+        overlapping.sort_by_key(|&(_, d)| d);
+        let n_drop = (overlapping.len() as f64 * config.gap_drop_fraction).floor() as usize;
+        let dropped: HashSet<UrlId> = overlapping.iter().take(n_drop).map(|&(u, _)| u).collect();
+        summary.dropped = dropped.len();
+
+        let mut prepared = Vec::new();
+        for tl in eligible {
+            if dropped.contains(&tl.url) {
+                continue;
+            }
+            let (first, last) = tl.span().expect("non-empty");
+            let mut points: Vec<(u32, u16)> = Vec::new();
+            let mut per_community = [0u64; 8];
+            for (t, c) in tl.times.iter().zip(&tl.communities) {
+                let Some(community) = c else { continue };
+                let bin = ((t - first) / config.bin_seconds) as u32;
+                points.push((bin, community.index() as u16));
+                per_community[community.index()] += 1;
+            }
+            if points.is_empty() {
+                continue;
+            }
+            let n_bins = points.iter().map(|&(t, _)| t).max().expect("non-empty") + 1;
+            prepared.push(PreparedUrl {
+                url: tl.url,
+                category: tl.category,
+                events: EventSeq::from_points(n_bins, Community::COUNT, &points),
+                events_per_community: per_community,
+                duration: last - first,
+            });
+        }
+        summary.selected = prepared.len();
+        (prepared, summary)
+    }
+}

@@ -11,22 +11,24 @@ use centipede::characterization::{
 use centipede::crossplatform::{first_hop_sequences, source_graph, triplet_sequences, PAIRS};
 use centipede::temporal::{appearance_cdf, daily_occurrence, interarrival, repost_lags};
 use centipede_dataset::domains::NewsCategory;
+use centipede_dataset::index::DatasetIndex;
 use centipede_dataset::platform::AnalysisGroup;
-use centipede_platform_sim::{ecosystem, GeneratedWorld, SimConfig};
+use centipede_platform_sim::{ecosystem, SimConfig};
 
-fn world() -> GeneratedWorld {
+fn indexed_world() -> DatasetIndex {
     let mut rng = rand::rngs::StdRng::seed_from_u64(20170701);
     let sim = SimConfig {
         scale: 0.35,
         ..SimConfig::default()
     };
-    ecosystem::generate(&sim, &mut rng)
+    let world = ecosystem::generate(&sim, &mut rng);
+    DatasetIndex::build(&world.dataset)
 }
 
 #[test]
 fn table2_other_subreddits_carry_more_mainstream_urls_than_six() {
-    let w = world();
-    let rows = dataset_overview(&w.dataset);
+    let index = indexed_world();
+    let rows = dataset_overview(&index);
     let six = rows
         .iter()
         .find(|r| r.split == DatasetSplit::SixSubreddits)
@@ -49,8 +51,8 @@ fn table2_other_subreddits_carry_more_mainstream_urls_than_six() {
 
 #[test]
 fn table3_mainstream_gets_more_engagement_but_alt_deleted_more() {
-    let w = world();
-    let rows = tweet_stats(&w.dataset);
+    let index = indexed_world();
+    let rows = tweet_stats(&index);
     let alt = rows
         .iter()
         .find(|r| r.category == NewsCategory::Alternative)
@@ -74,8 +76,8 @@ fn table3_mainstream_gets_more_engagement_but_alt_deleted_more() {
 
 #[test]
 fn table4_the_donald_tops_alternative_subreddits() {
-    let w = world();
-    let t4 = top_subreddits(&w.dataset, 20);
+    let index = indexed_world();
+    let t4 = top_subreddits(&index, 20);
     let alt = &t4[&NewsCategory::Alternative];
     assert_eq!(alt[0].0, "The_Donald", "top alt subreddit");
     // Paper: The_Donald 35.37% of Reddit's alternative URLs.
@@ -91,11 +93,11 @@ fn table4_the_donald_tops_alternative_subreddits() {
 
 #[test]
 fn tables567_domain_platform_structure() {
-    let w = world();
+    let index = indexed_world();
     // lifezette should rank on the six subreddits but not on Twitter
     // (the paper calls this out explicitly).
-    let six = top_domains(&w.dataset, AnalysisGroup::SixSubreddits, 20);
-    let twitter = top_domains(&w.dataset, AnalysisGroup::Twitter, 20);
+    let six = top_domains(&index, AnalysisGroup::SixSubreddits, 20);
+    let twitter = top_domains(&index, AnalysisGroup::Twitter, 20);
     let names = |t: &std::collections::BTreeMap<NewsCategory, Vec<(String, f64)>>| {
         t[&NewsCategory::Alternative]
             .iter()
@@ -116,7 +118,7 @@ fn tables567_domain_platform_structure() {
         other => panic!("therealstrategy missing from Twitter ranking: {other:?}"),
     }
     // Figure 2 cross-check: lifezette's Twitter fraction is small.
-    let fracs = domain_platform_fractions(&w.dataset, NewsCategory::Alternative, 54);
+    let fracs = domain_platform_fractions(&index, NewsCategory::Alternative, 54);
     if let Some((_, f)) = fracs.iter().find(|(n, _)| n == "lifezette.com") {
         assert!(f[2] < 0.5, "lifezette Twitter fraction {}", f[2]);
     }
@@ -124,8 +126,8 @@ fn tables567_domain_platform_structure() {
 
 #[test]
 fn figure3_user_shapes() {
-    let w = world();
-    let f = user_alt_fraction(&w.dataset);
+    let index = indexed_world();
+    let f = user_alt_fraction(&index);
     let twitter = f
         .all_users
         .iter()
@@ -145,10 +147,9 @@ fn figure3_user_shapes() {
 
 #[test]
 fn figure1_most_urls_appear_once() {
-    let w = world();
-    let tls = w.dataset.timelines();
+    let index = indexed_world();
     for cat in NewsCategory::ALL {
-        for (group, ecdf) in appearance_cdf(&tls, cat) {
+        for (group, ecdf) in appearance_cdf(&index, cat) {
             let once = ecdf.eval(1.0);
             assert!(
                 once > 0.4,
@@ -161,8 +162,8 @@ fn figure1_most_urls_appear_once() {
 
 #[test]
 fn figure4_peaks_in_election_season() {
-    let w = world();
-    let series = daily_occurrence(&w.dataset);
+    let index = indexed_world();
+    let series = daily_occurrence(&index);
     let six = series
         .iter()
         .find(|s| s.series.name().contains("6 selected"))
@@ -184,10 +185,9 @@ fn figure4_peaks_in_election_season() {
 
 #[test]
 fn figure5_lags_show_24h_structure() {
-    let w = world();
-    let tls = w.dataset.timelines();
+    let index = indexed_world();
     for cat in NewsCategory::ALL {
-        for (group, ecdf) in repost_lags(&tls, cat) {
+        for (group, ecdf) in repost_lags(&index, cat) {
             // Substantial mass both below and above 24 h — the paper's
             // inflection point.
             let below = ecdf.eval(24.0);
@@ -207,9 +207,8 @@ fn figure5_lags_show_24h_structure() {
 
 #[test]
 fn figure6_distributions_differ_between_platforms() {
-    let w = world();
-    let tls = w.dataset.timelines();
-    let res = interarrival(&tls, NewsCategory::Mainstream, false);
+    let index = indexed_world();
+    let res = interarrival(&index, NewsCategory::Mainstream, false);
     assert!(!res.ks.is_empty());
     // The paper: all pairwise comparisons significant at p < 0.01 —
     // require at least one strongly significant pair here.
@@ -228,10 +227,9 @@ fn figure6_ks_sample_counts_pinned() {
     // Regression guard for the pooled-KS fallback: at the 0.35 test
     // scale every group sits below the per-URL-mean floor, so the KS
     // tests must run on pooled raw gaps with far larger sample counts.
-    let w = world();
-    let tls = w.dataset.timelines();
+    let index = indexed_world();
     for cat in NewsCategory::ALL {
-        let res = interarrival(&tls, cat, false);
+        let res = interarrival(&index, cat, false);
         assert!(res.ks_pooled, "{cat:?}: expected pooled KS at 0.35 scale");
         assert_eq!(res.ks_samples.len(), res.ecdfs.len());
         for (group, n) in &res.ks_samples {
@@ -272,10 +270,9 @@ fn figure6_ks_sample_counts_pinned() {
 
 #[test]
 fn tables_9_10_sequence_structure() {
-    let w = world();
-    let tls = w.dataset.timelines();
+    let index = indexed_world();
     for cat in NewsCategory::ALL {
-        let seqs = first_hop_sequences(&tls, cat);
+        let seqs = first_hop_sequences(&index, cat);
         let total: u64 = seqs.values().sum();
         assert!(total > 100, "{cat:?}: too few sequenced URLs");
         // Majority of URLs stay on one platform (paper: 82–89%).
@@ -290,16 +287,15 @@ fn tables_9_10_sequence_structure() {
             "{cat:?}: single-platform share only {share:.2}"
         );
         // Triplets exist and include the paper's dominant R→T→4 pattern.
-        let trips = triplet_sequences(&tls, cat);
+        let trips = triplet_sequences(&index, cat);
         assert!(!trips.is_empty(), "{cat:?}: no three-platform URLs");
     }
 }
 
 #[test]
 fn figure8_pol_rarely_first() {
-    let w = world();
-    let tls = w.dataset.timelines();
-    let edges = source_graph(&tls, &w.dataset.domains, NewsCategory::Alternative);
+    let index = indexed_world();
+    let edges = source_graph(&index, NewsCategory::Alternative);
     let inflow = |to: &str| -> u64 {
         edges
             .iter()
@@ -327,10 +323,9 @@ fn figure8_pol_rarely_first() {
 
 #[test]
 fn table8_pairs_cover_both_categories() {
-    let w = world();
-    let tls = w.dataset.timelines();
+    let index = indexed_world();
     for cat in NewsCategory::ALL {
-        let lags = centipede::crossplatform::pair_lags(&tls, cat);
+        let lags = centipede::crossplatform::pair_lags(&index, cat);
         assert_eq!(lags.len(), PAIRS.len());
         for r in &lags {
             assert!(
