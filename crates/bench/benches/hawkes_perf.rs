@@ -46,6 +46,20 @@ fn bench(c: &mut Criterion) {
                 b.iter(|| gibbs.fit(d, &mut rng))
             },
         );
+        // Same workload with event tracing enabled: the pair pins the
+        // "zero-cost when disabled" claim — `gibbs_15_sweeps` must not
+        // move when tracing ships, and this case bounds the *enabled*
+        // overhead (one Complete event per 16-sweep batch).
+        group.bench_with_input(
+            BenchmarkId::new("gibbs_15_sweeps_traced", data.total_events()),
+            &data,
+            |b, d| {
+                centipede_obs::trace::enable(1 << 20);
+                let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+                b.iter(|| gibbs.fit(d, &mut rng));
+                centipede_obs::trace::disable();
+            },
+        );
         let em = EmFitter::new(
             EmConfig {
                 max_iters: 10,

@@ -13,12 +13,18 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p centipede-bench --bin bench_baseline -- <mode> <label> [reps]
+//! cargo run --release -p centipede-bench --bin bench_baseline -- <mode> <label> [reps] [--check]
 //! ```
 //!
 //! `mode` is `hawkes` or `pipeline`; `label` names the trajectory
 //! point (e.g. `pr2-after`); `reps` defaults to 7 (hawkes) or 5
 //! (pipeline) — the median is recorded after one warm-up.
+//!
+//! With `--check`, nothing is appended: the fresh median is compared
+//! against the *last* tracked entry in the trajectory file and the
+//! process exits nonzero when it regresses by more than 10%. CI runs
+//! this as an advisory (non-blocking) step; noisy shared runners are
+//! why it doesn't gate merges.
 
 use std::time::Instant;
 
@@ -33,15 +39,30 @@ const T_BINS: u32 = 40_000;
 /// Sweeps per fit: `burn_in + n_samples * thin`.
 const SWEEPS: u64 = 15;
 
+/// Regression threshold for `--check`: fail above +10% vs baseline.
+const CHECK_THRESHOLD: f64 = 1.10;
+
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let mode = args.next().unwrap_or_else(|| "hawkes".to_string());
-    let label = args.next().unwrap_or_else(|| "dev".to_string());
+    let mut positional: Vec<String> = Vec::new();
+    let mut check = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--check" => check = true,
+            other if other.starts_with("--") => {
+                eprintln!("bench_baseline: unknown flag `{other}` (expected `--check`)");
+                std::process::exit(2);
+            }
+            _ => positional.push(arg),
+        }
+    }
+    let mut positional = positional.into_iter();
+    let mode = positional.next().unwrap_or_else(|| "hawkes".to_string());
+    let label = positional.next().unwrap_or_else(|| "dev".to_string());
     assert!(
         !label.contains('"') && !label.contains('\\'),
         "bench_baseline: label must not contain quotes or backslashes"
     );
-    let reps: Option<usize> = args
+    let reps: Option<usize> = positional
         .next()
         .map(|r| r.parse().expect("reps must be an integer"));
     if let Some(reps) = reps {
@@ -49,8 +70,8 @@ fn main() {
     }
 
     match mode.as_str() {
-        "hawkes" => hawkes_baseline(&label, reps.unwrap_or(7)),
-        "pipeline" => pipeline_baseline(&label, reps.unwrap_or(5)),
+        "hawkes" => hawkes_baseline(&label, reps.unwrap_or(7), check),
+        "pipeline" => pipeline_baseline(&label, reps.unwrap_or(5), check),
         other => {
             eprintln!("bench_baseline: unknown mode `{other}` (expected `hawkes` or `pipeline`)");
             std::process::exit(2);
@@ -58,7 +79,7 @@ fn main() {
     }
 }
 
-fn hawkes_baseline(label: &str, reps: usize) {
+fn hawkes_baseline(label: &str, reps: usize, check: bool) {
     let k = 8;
     let basis = BasisSet::log_gaussian(720, 4);
     let model = DiscreteHawkes::uniform_mixture(
@@ -96,6 +117,17 @@ fn hawkes_baseline(label: &str, reps: usize) {
     let median_ns_per_sweep = median_fit_ns / SWEEPS;
     let events_per_sec = (events * SWEEPS) as f64 / (median_fit_ns as f64 / 1e9);
 
+    eprintln!(
+        "bench_baseline[{label}]: {events} events x {SWEEPS} sweeps, \
+         median {:.2} ms/fit = {median_ns_per_sweep} ns/sweep, {events_per_sec:.0} events/s",
+        median_fit_ns as f64 / 1e6,
+    );
+
+    if check {
+        check_against_baseline("BENCH_hawkes.json", "median_fit_ns", median_fit_ns);
+        return;
+    }
+
     // Hand-formatted JSON (the workspace's serde_json is reserved for
     // structured data files; this stays dependency-light like the obs
     // snapshot exporter).
@@ -107,15 +139,9 @@ fn hawkes_baseline(label: &str, reps: usize) {
          \"events_per_sec\": {events_per_sec:.0}\n  }}"
     );
     append_entry("BENCH_hawkes.json", &entry);
-
-    eprintln!(
-        "bench_baseline[{label}]: {events} events x {SWEEPS} sweeps, \
-         median {:.2} ms/fit = {median_ns_per_sweep} ns/sweep, {events_per_sec:.0} events/s",
-        median_fit_ns as f64 / 1e6,
-    );
 }
 
-fn pipeline_baseline(label: &str, reps: usize) {
+fn pipeline_baseline(label: &str, reps: usize, check: bool) {
     let dataset = centipede_bench::dataset();
     let events = dataset.len();
     let config = PipelineConfig {
@@ -154,6 +180,22 @@ fn pipeline_baseline(label: &str, reps: usize) {
     let median_run_all_ns = wall_ns[reps / 2];
     let events_per_sec = events as f64 / (median_run_all_ns as f64 / 1e9);
 
+    eprintln!(
+        "bench_baseline[{label}]: {events} events / {urls} urls, \
+         median partition {:.2} ms, run_all {:.2} ms, {events_per_sec:.0} events/s",
+        median_partition_ns as f64 / 1e6,
+        median_run_all_ns as f64 / 1e6,
+    );
+
+    if check {
+        check_against_baseline(
+            "BENCH_pipeline.json",
+            "median_run_all_ns",
+            median_run_all_ns,
+        );
+        return;
+    }
+
     let scale = centipede_bench::BENCH_SCALE;
     let entry = format!(
         "  {{\n    \"label\": \"{label}\",\n    \"bench\": \"pipeline/run_all_no_influence\",\n    \
@@ -163,13 +205,49 @@ fn pipeline_baseline(label: &str, reps: usize) {
          \"events_per_sec\": {events_per_sec:.0}\n  }}"
     );
     append_entry("BENCH_pipeline.json", &entry);
+}
 
+/// Compare `current` against the most recent `key` value tracked in
+/// `path`; exit 1 on a >10% regression, 2 when no baseline exists.
+///
+/// The trajectory files are hand-formatted (one `"key": value` per
+/// line), so the last occurrence of the key is the newest entry — no
+/// JSON parser needed, which also keeps `--check` usable in minimal
+/// environments.
+fn check_against_baseline(path: &str, key: &str, current: u64) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|err| {
+        eprintln!("bench_baseline[check]: cannot read {path}: {err}");
+        std::process::exit(2);
+    });
+    let Some(baseline) = last_u64_field(&text, key) else {
+        eprintln!("bench_baseline[check]: no `{key}` entry found in {path}");
+        std::process::exit(2);
+    };
+    let ratio = current as f64 / baseline as f64;
     eprintln!(
-        "bench_baseline[{label}]: {events} events / {urls} urls, \
-         median partition {:.2} ms, run_all {:.2} ms, {events_per_sec:.0} events/s",
-        median_partition_ns as f64 / 1e6,
-        median_run_all_ns as f64 / 1e6,
+        "bench_baseline[check]: {key} = {current} ns vs tracked {baseline} ns ({:+.1}%)",
+        (ratio - 1.0) * 100.0
     );
+    if ratio > CHECK_THRESHOLD {
+        eprintln!(
+            "bench_baseline[check]: REGRESSION — exceeds the +{:.0}% threshold",
+            (CHECK_THRESHOLD - 1.0) * 100.0
+        );
+        std::process::exit(1);
+    }
+    eprintln!(
+        "bench_baseline[check]: OK (threshold +{:.0}%)",
+        (CHECK_THRESHOLD - 1.0) * 100.0
+    );
+}
+
+/// Last integer value of `"key": <digits>` in `text`.
+fn last_u64_field(text: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let pos = text.rfind(&needle)?;
+    let rest = text[pos + needle.len()..].trim_start();
+    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
 }
 
 /// Append one hand-formatted entry to a JSON trajectory array,

@@ -6,7 +6,9 @@
 //! repro [--seed N] [--scale F] [--no-gaps] [--no-bots] [--em]
 //!       [--samples N] [--burn-in N] [--threads N] [--skip-influence]
 //!       [--checkpoint-dir PATH] [--resume] [--compare] [--out PATH]
-//!       [--metrics PATH] [--quiet] [--verbose]
+//!       [--metrics PATH] [--trace PATH] [--trace-flame PATH]
+//!       [--metrics-series PATH] [--metrics-interval MS]
+//!       [--quiet] [--verbose]
 //! ```
 //!
 //! Generates the synthetic ecosystem, runs the full measurement
@@ -25,6 +27,15 @@
 //! `--metrics PATH` writes a `metrics.json` snapshot (counters,
 //! gauges, histograms with p50/p90/p99, span timings, plus a flat
 //! name→value map in the `BENCH_*.json` style).
+//!
+//! Event tracing: `--trace PATH` records per-thread begin/end/instant
+//! events (per-URL fit spans tagged url/shard, per-stage scheduler
+//! spans tagged stage/worker, retry/quarantine/checkpoint instants,
+//! batched Gibbs sweep spans) and writes Chrome trace-event JSON —
+//! open it in Perfetto or `chrome://tracing`. `--trace-flame PATH`
+//! writes the same events as folded flamegraph stacks. `--metrics-series
+//! PATH` samples the registry every `--metrics-interval MS` (default
+//! 200) into NDJSON for plotting metrics over the run.
 
 use std::io::Write;
 use std::sync::Arc;
@@ -51,6 +62,10 @@ struct Args {
     compare: bool,
     out: Option<String>,
     metrics: Option<String>,
+    trace: Option<String>,
+    trace_flame: Option<String>,
+    metrics_series: Option<String>,
+    metrics_interval_ms: Option<u64>,
     verbosity: Verbosity,
 }
 
@@ -70,6 +85,10 @@ fn parse_args() -> Args {
         compare: false,
         out: None,
         metrics: None,
+        trace: None,
+        trace_flame: None,
+        metrics_series: None,
+        metrics_interval_ms: None,
         verbosity: Verbosity::Normal,
     };
     let mut it = std::env::args().skip(1);
@@ -97,6 +116,20 @@ fn parse_args() -> Args {
             "--compare" => args.compare = true,
             "--out" => args.out = Some(it.next().expect("--out PATH")),
             "--metrics" => args.metrics = Some(it.next().expect("--metrics PATH")),
+            "--trace" => args.trace = Some(it.next().expect("--trace PATH")),
+            "--trace-flame" => args.trace_flame = Some(it.next().expect("--trace-flame PATH")),
+            "--metrics-series" => {
+                args.metrics_series = Some(it.next().expect("--metrics-series PATH"))
+            }
+            "--metrics-interval" => {
+                let ms: u64 = it
+                    .next()
+                    .expect("--metrics-interval MS")
+                    .parse()
+                    .expect("metrics-interval");
+                assert!(ms >= 1, "--metrics-interval must be >= 1 ms");
+                args.metrics_interval_ms = Some(ms);
+            }
             "--quiet" => args.verbosity = Verbosity::Quiet,
             "--verbose" => args.verbosity = Verbosity::Verbose,
             "--help" | "-h" => {
@@ -104,7 +137,9 @@ fn parse_args() -> Args {
                     "usage: repro [--seed N] [--scale F] [--no-gaps] [--no-bots] [--em] \
                      [--samples N] [--burn-in N] [--threads N] [--skip-influence] \
                      [--checkpoint-dir PATH] [--resume] \
-                     [--compare] [--out PATH] [--metrics PATH] [--quiet] [--verbose]\n\
+                     [--compare] [--out PATH] [--metrics PATH] [--trace PATH] \
+                     [--trace-flame PATH] [--metrics-series PATH] [--metrics-interval MS] \
+                     [--quiet] [--verbose]\n\
                      \n\
                      --seed N          RNG seed (default 42)\n\
                      --scale F         ecosystem scale factor (default 1.0)\n\
@@ -120,6 +155,10 @@ fn parse_args() -> Args {
                      --compare         print the paper-vs-repro comparison table\n\
                      --out PATH        also write the report text to PATH\n\
                      --metrics PATH    write a metrics.json snapshot to PATH\n\
+                     --trace PATH      write a Chrome trace-event JSON timeline to PATH\n\
+                     --trace-flame PATH  write folded flamegraph stacks to PATH\n\
+                     --metrics-series PATH  sample metrics into NDJSON at PATH over the run\n\
+                     --metrics-interval MS  metrics-series sample period (default 200)\n\
                      --quiet           suppress progress output\n\
                      --verbose         also print the stage tree and histograms"
                 );
@@ -187,6 +226,30 @@ fn main() {
     if let Some(path) = &args.metrics {
         obs.add_sink(Arc::new(JsonExporter::new(path)));
     }
+
+    // Tracing must be on before any instrumented work so the ecosystem
+    // generation and pipeline spans land in the timeline.
+    let tracing = args.trace.is_some() || args.trace_flame.is_some();
+    if tracing {
+        centipede_obs::trace::enable(centipede_obs::trace::DEFAULT_EVENTS_PER_THREAD);
+    }
+    let sampler = match (&args.metrics_series, args.metrics_interval_ms) {
+        (Some(path), interval_ms) => {
+            let interval = std::time::Duration::from_millis(interval_ms.unwrap_or(200));
+            match centipede_obs::MetricsSampler::start(obs, path, interval) {
+                Ok(sampler) => Some(sampler),
+                Err(err) => {
+                    eprintln!("[repro] failed to start metrics series sampler at {path}: {err}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        (None, Some(_)) => {
+            eprintln!("[repro] --metrics-interval requires --metrics-series PATH");
+            std::process::exit(2);
+        }
+        (None, None) => None,
+    };
 
     let mut rng = rand::rngs::StdRng::seed_from_u64(args.seed);
 
@@ -271,6 +334,53 @@ fn main() {
         let mut f = std::fs::File::create(path).expect("create --out file");
         f.write_all(text.as_bytes()).expect("write report");
         obs.message(&format!("report written to {path}"));
+    }
+
+    if let Some(sampler) = sampler {
+        let path = args.metrics_series.as_deref().unwrap_or("?");
+        match sampler.stop() {
+            Ok(samples) => {
+                obs.message(&format!(
+                    "metrics series: {samples} samples written to {path}"
+                ));
+            }
+            Err(err) => {
+                eprintln!("[repro] metrics series export failed: {err}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if tracing {
+        centipede_obs::trace::disable();
+        let snap = centipede_obs::trace::global().snapshot();
+        if let Some(path) = &args.trace {
+            let json = centipede_obs::trace_export::chrome_trace_json(&snap);
+            if let Err(err) = std::fs::write(path, json) {
+                eprintln!("[repro] trace export failed: {err}");
+                std::process::exit(1);
+            }
+            obs.message(&format!(
+                "trace written to {path} ({} events across {} threads)",
+                snap.total_events(),
+                snap.threads.len()
+            ));
+        }
+        if let Some(path) = &args.trace_flame {
+            let folded = centipede_obs::trace_export::folded_stacks(&snap);
+            if let Err(err) = std::fs::write(path, folded) {
+                eprintln!("[repro] flamegraph export failed: {err}");
+                std::process::exit(1);
+            }
+            obs.message(&format!("folded flamegraph stacks written to {path}"));
+        }
+        if snap.total_dropped() > 0 {
+            // Bounded buffers: loss is possible but never silent.
+            obs.message(&format!(
+                "warning: {} trace events dropped (per-thread buffer full)",
+                snap.total_dropped()
+            ));
+        }
     }
 
     match obs.flush() {

@@ -33,6 +33,7 @@ use centipede_hawkes::discrete::{
 };
 use centipede_hawkes::matrix::Matrix;
 use centipede_obs::names as metric;
+use centipede_obs::{TraceSpan, TraceTag};
 
 use super::checkpoint::{self, Shard};
 use super::prepare::PreparedUrl;
@@ -355,11 +356,11 @@ where
             Estimator::Em => "em",
         },
     );
-    centipede_obs::counter("fit.urls_total").inc(prepared.len() as u64);
-    let fit_hist = centipede_obs::histogram("fit.url_nanos");
+    centipede_obs::counter(metric::FIT_URLS_TOTAL).inc(prepared.len() as u64);
+    let fit_hist = centipede_obs::histogram(metric::FIT_URL_NANOS);
     let progress = centipede_obs::ProgressMeter::new(
         centipede_obs::global(),
-        "fit_urls",
+        metric::FIT_PROGRESS,
         pending.len() as u64,
     );
 
@@ -391,7 +392,8 @@ where
             let checkpoint_dir = checkpoint_dir.as_deref();
             let pending = &pending;
             scope.spawn(move |_| {
-                let worker_counter = centipede_obs::counter(&format!("fit.worker.{worker}.urls"));
+                centipede_obs::trace::label_thread(&format!("fit-worker-{worker}"));
+                let worker_counter = centipede_obs::counter(&metric::fit_worker_urls(worker));
                 let mut local: Vec<(usize, UrlFit)> = Vec::new();
                 let mut local_quarantine: Vec<QuarantinedUrl> = Vec::new();
                 loop {
@@ -415,6 +417,13 @@ where
                         }
                     }
                     let idx = pending[pos];
+                    let url_id = prepared[idx].url.0;
+                    // One trace span per URL, covering retries and the
+                    // checkpoint write, tagged for per-shard attribution.
+                    let _fit_span = TraceSpan::enter(
+                        metric::TRACE_FIT_URL,
+                        [TraceTag::Url(url_id), TraceTag::Shard(worker as u32)],
+                    );
                     let cancel = options.shutdown.as_deref();
                     let mut attempts = 0u32;
                     let mut outcome: Option<(UrlFit, Option<Posterior>)> = None;
@@ -443,11 +452,19 @@ where
                                 last_panic = panic_message(payload.as_ref());
                                 if attempts <= options.max_retries {
                                     retries.fetch_add(1, Ordering::Relaxed);
+                                    centipede_obs::trace::instant(
+                                        metric::TRACE_FIT_RETRY,
+                                        [TraceTag::Url(url_id), TraceTag::Attempt(attempts)],
+                                    );
                                 }
                             }
                         }
                     }
                     if cancelled {
+                        centipede_obs::trace::instant(
+                            metric::TRACE_FIT_CANCELLED,
+                            [TraceTag::Url(url_id), TraceTag::None],
+                        );
                         interrupted.store(true, Ordering::Relaxed);
                         break;
                     }
@@ -463,6 +480,10 @@ where
                                 match checkpoint::write_shard_atomic(dir, &shard) {
                                     Ok(_) => {
                                         shards_written.fetch_add(1, Ordering::Relaxed);
+                                        centipede_obs::trace::instant(
+                                            metric::TRACE_CHECKPOINT_SHARD,
+                                            [TraceTag::Url(url_id), TraceTag::None],
+                                        );
                                     }
                                     Err(e) => {
                                         shard_errors.fetch_add(1, Ordering::Relaxed);
@@ -478,6 +499,10 @@ where
                             local.push((idx, fit));
                         }
                         None => {
+                            centipede_obs::trace::instant(
+                                metric::TRACE_FIT_QUARANTINE,
+                                [TraceTag::Url(url_id), TraceTag::Attempt(attempts)],
+                            );
                             progress.inc(1);
                             local_quarantine.push(QuarantinedUrl {
                                 url: prepared[idx].url,
@@ -532,7 +557,7 @@ where
     centipede_obs::counter(metric::FLEET_SHARD_ERRORS).inc(summary.shard_errors as u64);
     centipede_obs::counter(metric::FLEET_RESUME_MISMATCHED).inc(summary.resume_mismatched as u64);
     centipede_obs::counter(metric::FLEET_RESUME_CORRUPT).inc(summary.resume_corrupt as u64);
-    centipede_obs::counter("fleet.resume_quarantined").inc(summary.resume_quarantined as u64);
+    centipede_obs::counter(metric::FLEET_RESUME_QUARANTINED).inc(summary.resume_quarantined as u64);
     if summary.interrupted {
         centipede_obs::counter(metric::FLEET_INTERRUPTED).inc(1);
     }

@@ -16,6 +16,7 @@ use centipede_dataset::dataset::Dataset;
 use centipede_dataset::domains::NewsCategory;
 use centipede_dataset::index::DatasetIndex;
 use centipede_dataset::platform::AnalysisGroup;
+use centipede_obs::names;
 
 use crate::characterization::{
     dataset_overview, domain_platform_fractions, platform_totals, render_table1, render_table2,
@@ -111,16 +112,16 @@ pub fn run_all<R: Rng + ?Sized>(
     config: &PipelineConfig,
     _rng: &mut R,
 ) -> AnalysisReport {
-    let _pipeline_span = centipede_obs::span!("pipeline");
-    centipede_obs::counter("pipeline.runs").inc(1);
-    centipede_obs::counter("pipeline.events").inc(dataset.len() as u64);
+    let _pipeline_span = centipede_obs::span!(names::SPAN_PIPELINE);
+    centipede_obs::counter(names::PIPELINE_RUNS).inc(1);
+    centipede_obs::counter(names::PIPELINE_EVENTS).inc(dataset.len() as u64);
 
     // One pass over the events; every stage below reads the index.
     let index = {
-        let _s = centipede_obs::span!("index");
+        let _s = centipede_obs::span!(names::SPAN_INDEX);
         DatasetIndex::build(dataset)
     };
-    centipede_obs::counter("pipeline.urls").inc(index.n_urls() as u64);
+    centipede_obs::counter(names::PIPELINE_URLS).inc(index.n_urls() as u64);
 
     let threads = config.stage_threads.unwrap_or_else(default_stage_threads);
 
@@ -262,18 +263,18 @@ pub fn run_all<R: Rng + ?Sized>(
             None,
         )
     } else {
-        let _influence_span = centipede_obs::span!("influence");
+        let _influence_span = centipede_obs::span!(names::SPAN_INFLUENCE);
         let (prepared, summary) = {
-            let _s = centipede_obs::span!("prepare");
+            let _s = centipede_obs::span!(names::SPAN_PREPARE);
             prepare_urls(&index, &config.selection)
         };
         let fleet = {
-            let _s = centipede_obs::span!("fit");
+            let _s = centipede_obs::span!(names::SPAN_FIT);
             fit_fleet(&prepared, &config.fit, &config.fleet)
         };
         let fits = fleet.fits;
         let (t11, cmp, imp) = {
-            let _s = centipede_obs::span!("aggregate");
+            let _s = centipede_obs::span!(names::SPAN_AGGREGATE);
             (
                 Table11::from_fits(&fits),
                 weight_comparison(&fits),

@@ -23,6 +23,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use centipede_obs::{names, TraceTag};
 use parking_lot::Mutex;
 
 /// A write-once result cell shared between a stage job and the main
@@ -72,8 +73,15 @@ impl<'env> StageJob<'env> {
         }
     }
 
-    fn run(self) {
-        let _span = centipede_obs::span!(self.name);
+    fn run(self, worker: u32) {
+        // The trace event tags the short stage name plus which worker
+        // ran it, so scheduler idle gaps show up as empty track time
+        // between a worker's stage spans.
+        let stage = self.name.rsplit('/').next().unwrap_or(self.name);
+        let _span = centipede_obs::start_span_with_tags(
+            self.name,
+            [TraceTag::Stage(stage), TraceTag::Worker(worker)],
+        );
         (self.work)();
     }
 }
@@ -94,11 +102,11 @@ pub fn run_stages(jobs: Vec<StageJob<'_>>, threads: usize) {
         return;
     }
     let n_workers = threads.clamp(1, jobs.len());
-    centipede_obs::counter("pipeline.stage_jobs").inc(jobs.len() as u64);
-    centipede_obs::gauge("pipeline.stage_workers").set(n_workers as f64);
+    centipede_obs::counter(names::PIPELINE_STAGE_JOBS).inc(jobs.len() as u64);
+    centipede_obs::gauge(names::PIPELINE_STAGE_WORKERS).set(n_workers as f64);
     if n_workers == 1 {
         for job in jobs {
-            job.run();
+            job.run(0);
         }
         return;
     }
@@ -106,14 +114,17 @@ pub fn run_stages(jobs: Vec<StageJob<'_>>, threads: usize) {
         jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
     let next = AtomicUsize::new(0);
     crossbeam::scope(|scope| {
-        for _ in 0..n_workers {
+        for worker in 0..n_workers as u32 {
             let jobs = &jobs;
             let next = &next;
-            scope.spawn(move |_| loop {
-                let pos = next.fetch_add(1, Ordering::Relaxed);
-                let Some(slot) = jobs.get(pos) else { break };
-                if let Some(job) = slot.lock().take() {
-                    job.run();
+            scope.spawn(move |_| {
+                centipede_obs::trace::label_thread(&format!("stage-worker-{worker}"));
+                loop {
+                    let pos = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(slot) = jobs.get(pos) else { break };
+                    if let Some(job) = slot.lock().take() {
+                        job.run(worker);
+                    }
                 }
             });
         }

@@ -27,7 +27,24 @@ use crate::matrix::Matrix;
 
 use super::basis::BasisSet;
 use super::model::DiscreteHawkes;
+use centipede_obs::names;
+
 use super::posterior::Posterior;
+
+/// Emit one batched-sweep trace event (`ph:"X"` complete span covering
+/// `batched` sweeps). One relaxed atomic load when tracing is off, so
+/// the sweep loop's disabled-path cost stays a branch per flush.
+#[inline]
+fn trace_sweep_batch(batch_start: std::time::Instant, batched: u64) {
+    centipede_obs::trace::complete(
+        names::TRACE_GIBBS_SWEEPS,
+        batch_start,
+        [
+            centipede_obs::TraceTag::Sweeps(batched.min(u32::MAX as u64) as u32),
+            centipede_obs::TraceTag::None,
+        ],
+    );
+}
 
 /// Sweep-loop metrics are flushed to the registry every this many
 /// sweeps (plus a final flush), so per-sweep observability costs an
@@ -420,10 +437,10 @@ impl GibbsSampler {
         // Observability: resolve handles once per fit; sweep count and
         // timing are batched (slow-mixing URLs still show up in the
         // `gibbs.sweep_nanos` tail as a batch average).
-        let sweep_counter = centipede_obs::counter("gibbs.sweeps");
-        let sweep_hist = centipede_obs::histogram("gibbs.sweep_nanos");
-        centipede_obs::counter("gibbs.fits").inc(1);
-        centipede_obs::counter("gibbs.events_seen").inc(events.len() as u64);
+        let sweep_counter = centipede_obs::counter(names::GIBBS_SWEEPS);
+        let sweep_hist = centipede_obs::histogram(names::GIBBS_SWEEP_NANOS);
+        centipede_obs::counter(names::GIBBS_FITS).inc(1);
+        centipede_obs::counter(names::GIBBS_EVENTS_SEEN).inc(events.len() as u64);
 
         let mut scratch =
             SweepScratch::new(k, b, arena.max_candidates(), exposure_tables.max_entries());
@@ -441,8 +458,9 @@ impl GibbsSampler {
                     if let Some(per_sweep) = elapsed.checked_div(batched) {
                         sweep_hist.record_n(per_sweep, batched);
                         sweep_counter.inc(batched);
+                        trace_sweep_batch(batch_start, batched);
                     }
-                    centipede_obs::counter("gibbs.cancelled_fits").inc(1);
+                    centipede_obs::counter(names::GIBBS_CANCELLED_FITS).inc(1);
                     return None;
                 }
             }
@@ -604,6 +622,7 @@ impl GibbsSampler {
                 let elapsed = batch_start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
                 sweep_hist.record_n(elapsed / batched, batched);
                 sweep_counter.inc(batched);
+                trace_sweep_batch(batch_start, batched);
                 batched = 0;
                 batch_start = std::time::Instant::now();
             }
@@ -612,6 +631,7 @@ impl GibbsSampler {
         if let Some(per_sweep) = elapsed.checked_div(batched) {
             sweep_hist.record_n(per_sweep, batched);
             sweep_counter.inc(batched);
+            trace_sweep_batch(batch_start, batched);
         }
         Some(posterior)
     }

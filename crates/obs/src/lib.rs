@@ -13,6 +13,17 @@
 //!   exporter writing a `metrics.json` snapshot in the flat
 //!   `BENCH_*.json`-style name→value trajectory format.
 //!
+//! Plus two time-resolved layers on top (`repro --trace`,
+//! `--metrics-series`):
+//!
+//! * [`trace`] — event-level tracing: per-thread bounded buffers of
+//!   timestamped begin/end/instant events with typed tags, exported as
+//!   Chrome trace-event JSON and folded flamegraph stacks
+//!   ([`trace_export`]). Disabled it costs one atomic load; spans
+//!   opened via [`span!`] mirror into the trace automatically.
+//! * [`MetricsSampler`] — a background thread snapshotting the registry
+//!   every N ms into NDJSON, for plotting metrics over a run.
+//!
 //! The workspace shares one [`global()`] registry so instrumentation
 //! needs no plumbing; libraries call `obs::counter("...")` /
 //! `obs::span!("...")` and binaries decide verbosity and export.
@@ -31,16 +42,21 @@ pub mod histogram;
 pub mod names;
 pub mod progress;
 pub mod registry;
+pub mod sampler;
 pub mod sink;
 pub mod snapshot;
 pub mod span;
+pub mod trace;
+pub mod trace_export;
 
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use progress::ProgressMeter;
 pub use registry::{Counter, Gauge, MetricsRegistry};
+pub use sampler::MetricsSampler;
 pub use sink::{JsonExporter, Sink, StderrReporter, Verbosity};
 pub use snapshot::{MetricsSnapshot, SpanSnapshot};
 pub use span::SpanGuard;
+pub use trace::{TraceEvent, TracePhase, TraceSnapshot, TraceSpan, TraceTag, Tracer};
 
 use std::sync::OnceLock;
 
@@ -72,11 +88,19 @@ pub fn set_label(name: &str, value: &str) {
     global().set_label(name, value);
 }
 
-/// Start a nested wall-clock span in the global registry.
+/// Start a nested wall-clock span in the global registry. The name is
+/// `&'static` so the span can mirror into the event trace without
+/// allocating (see [`trace`]).
 ///
 /// Prefer the [`span!`] macro, which reads better at call sites.
-pub fn start_span(name: &str) -> SpanGuard {
+pub fn start_span(name: &'static str) -> SpanGuard {
     SpanGuard::enter(global(), name)
+}
+
+/// Start a span whose trace event carries typed tags (stage, worker,
+/// url…); identical to [`start_span`] when tracing is off.
+pub fn start_span_with_tags(name: &'static str, tags: [TraceTag; 2]) -> SpanGuard {
+    SpanGuard::enter_with_tags(global(), name, tags)
 }
 
 /// Scoped timer: records wall-clock into the global registry's span

@@ -1,9 +1,15 @@
-//! Well-known metric names shared between emitters and assertions.
+//! Well-known metric, span, and trace-event names shared between
+//! emitters and assertions.
 //!
-//! The registry itself is stringly keyed; constants here keep the
-//! fleet's fault-tolerance counters consistent between the code that
-//! increments them (`centipede::influence::fit`) and the tests and
-//! binaries that read them back.
+//! The registry itself is stringly keyed; constants here keep names
+//! consistent between the code that emits them (simulator, pipeline,
+//! fit fleet, Gibbs sampler) and the tests, binaries, and trace
+//! exporters that read them back — registry paths and trace tags can't
+//! drift apart if both sides name the same constant.
+
+// ---------------------------------------------------------------------
+// Fit-fleet fault-tolerance counters (`centipede::influence::fit`).
+// ---------------------------------------------------------------------
 
 /// URLs fitted by actually running the estimator this run.
 pub const FLEET_FITTED: &str = "fleet.fitted";
@@ -31,5 +37,156 @@ pub const FLEET_RESUME_MISMATCHED: &str = "fleet.resume_mismatched";
 /// Resume-scan shards skipped as corrupt or unreadable.
 pub const FLEET_RESUME_CORRUPT: &str = "fleet.resume_corrupt";
 
+/// Quarantined URLs restored from a previous run's quarantine file.
+pub const FLEET_RESUME_QUARANTINED: &str = "fleet.resume_quarantined";
+
 /// Fleet runs that stopped early on a shutdown signal or fit budget.
 pub const FLEET_INTERRUPTED: &str = "fleet.interrupted";
+
+// ---------------------------------------------------------------------
+// Fit-fleet throughput metrics.
+// ---------------------------------------------------------------------
+
+/// URLs the fleet was asked to fit this run.
+pub const FIT_URLS_TOTAL: &str = "fit.urls_total";
+
+/// Per-URL fit latency histogram (nanoseconds).
+pub const FIT_URL_NANOS: &str = "fit.url_nanos";
+
+/// Fleet progress-meter label (`fit_urls: 124/512 …` lines on stderr).
+pub const FIT_PROGRESS: &str = "fit_urls";
+
+/// Per-worker fitted-URL counter, `fit.worker.<w>.urls`.
+pub fn fit_worker_urls(worker: usize) -> String {
+    format!("fit.worker.{worker}.urls")
+}
+
+// ---------------------------------------------------------------------
+// Gibbs sampler metrics (`hawkes::discrete::gibbs`).
+// ---------------------------------------------------------------------
+
+/// Total Gibbs sweeps completed across fits.
+pub const GIBBS_SWEEPS: &str = "gibbs.sweeps";
+
+/// Per-sweep latency histogram (nanoseconds, batch mean).
+pub const GIBBS_SWEEP_NANOS: &str = "gibbs.sweep_nanos";
+
+/// Gibbs fits started.
+pub const GIBBS_FITS: &str = "gibbs.fits";
+
+/// Events presented to the sampler across fits.
+pub const GIBBS_EVENTS_SEEN: &str = "gibbs.events_seen";
+
+/// Fits abandoned mid-chain on cancellation.
+pub const GIBBS_CANCELLED_FITS: &str = "gibbs.cancelled_fits";
+
+// ---------------------------------------------------------------------
+// Analysis-pipeline metrics (`centipede::pipeline` / `scheduler`).
+// ---------------------------------------------------------------------
+
+/// Pipeline invocations.
+pub const PIPELINE_RUNS: &str = "pipeline.runs";
+
+/// Dataset events seen by the pipeline.
+pub const PIPELINE_EVENTS: &str = "pipeline.events";
+
+/// Distinct URLs in the dataset index.
+pub const PIPELINE_URLS: &str = "pipeline.urls";
+
+/// Stage jobs submitted to the scheduler.
+pub const PIPELINE_STAGE_JOBS: &str = "pipeline.stage_jobs";
+
+/// Worker threads the stage scheduler ran with.
+pub const PIPELINE_STAGE_WORKERS: &str = "pipeline.stage_workers";
+
+// ---------------------------------------------------------------------
+// Simulator metrics (`platform_sim::ecosystem`).
+// ---------------------------------------------------------------------
+
+/// Distinct URLs modelled by the ecosystem generator.
+pub const SIM_URLS_MODELLED: &str = "sim.urls.modelled";
+
+/// Events produced by the two seeded Hawkes cascades.
+pub const SIM_EVENTS_CASCADE: &str = "sim.events.cascade";
+
+/// Long-tail events discarded for exceeding the inter-event gap cap.
+pub const SIM_EVENTS_GAP_DROPPED: &str = "sim.events.gap_dropped";
+
+/// Per-platform event total, `sim.events.<platform>`.
+pub fn sim_events(platform: &str) -> String {
+    format!("sim.events.{platform}")
+}
+
+/// Per-platform generation rate (events/sec), `sim.rate.<platform>`.
+pub fn sim_rate(platform: &str) -> String {
+    format!("sim.rate.{platform}")
+}
+
+// ---------------------------------------------------------------------
+// Span names. Spans nest into `/`-joined registry paths (e.g.
+// `pipeline/influence/fit`) and mirror into the event trace under the
+// same leaf name.
+// ---------------------------------------------------------------------
+
+/// Whole-pipeline root span.
+pub const SPAN_PIPELINE: &str = "pipeline";
+
+/// Dataset-index build.
+pub const SPAN_INDEX: &str = "index";
+
+/// Influence estimation phase (§5).
+pub const SPAN_INFLUENCE: &str = "influence";
+
+/// Influence: per-URL event assembly.
+pub const SPAN_PREPARE: &str = "prepare";
+
+/// Influence: the fit fleet.
+pub const SPAN_FIT: &str = "fit";
+
+/// Influence: posterior aggregation.
+pub const SPAN_AGGREGATE: &str = "aggregate";
+
+/// Simulator root span.
+pub const SPAN_SIM: &str = "sim";
+
+/// Simulator: seeded Hawkes cascades.
+pub const SPAN_SIM_CASCADES: &str = "cascades";
+
+/// Simulator: long-tail URL population.
+pub const SPAN_SIM_LONGTAIL: &str = "longtail";
+
+/// Simulator: user assignment.
+pub const SPAN_SIM_USERS: &str = "users";
+
+/// Simulator: 4chan thread ecology.
+pub const SPAN_SIM_FOURCHAN: &str = "fourchan";
+
+/// Simulator: per-platform totals.
+pub const SPAN_SIM_TOTALS: &str = "totals";
+
+/// Simulator: crawler artefact injection.
+pub const SPAN_SIM_CRAWLER: &str = "crawler";
+
+// ---------------------------------------------------------------------
+// Trace-event names (timeline-only; see `crate::trace`).
+// ---------------------------------------------------------------------
+
+/// Per-URL fit span, tagged `url` + `shard`.
+pub const TRACE_FIT_URL: &str = "fit_url";
+
+/// Instant: a fit attempt panicked and will be retried (`url`,
+/// `attempt`).
+pub const TRACE_FIT_RETRY: &str = "fit_retry";
+
+/// Instant: a URL exhausted its retries and was quarantined (`url`,
+/// `attempt`).
+pub const TRACE_FIT_QUARANTINE: &str = "fit_quarantine";
+
+/// Instant: the fleet observed cancellation and stopped claiming URLs.
+pub const TRACE_FIT_CANCELLED: &str = "fit_cancelled";
+
+/// Instant: a checkpoint shard was written (`url`).
+pub const TRACE_CHECKPOINT_SHARD: &str = "checkpoint_shard";
+
+/// Complete-span covering one batched run of Gibbs sweeps (`sweeps`).
+pub const TRACE_GIBBS_SWEEPS: &str = "gibbs_sweeps";

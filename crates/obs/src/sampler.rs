@@ -1,0 +1,184 @@
+//! Background time-series sampler: snapshots a [`MetricsRegistry`]
+//! every `interval` into an NDJSON file, one line per sample, so
+//! throughput and latency can be plotted *over* a run instead of only
+//! summarised at the end.
+//!
+//! Line format (schema `centipede-metrics-series/v1`, stated once in a
+//! header line):
+//!
+//! ```text
+//! {"schema":"centipede-metrics-series/v1","interval_ms":200}
+//! {"t_secs":0.0,"metrics":{"fleet.fitted":0,...}}
+//! {"t_secs":0.2,"metrics":{"fleet.fitted":3,...}}
+//! ```
+//!
+//! The `metrics` map is [`MetricsSnapshot::flat_metrics`] — the same
+//! name→number shape the `BENCH_*.json` trajectories use.
+//!
+//! [`MetricsSnapshot::flat_metrics`]: crate::MetricsSnapshot::flat_metrics
+
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::registry::MetricsRegistry;
+use crate::snapshot::JsonWriter;
+
+/// Handle to a running sampler thread. Call [`MetricsSampler::stop`]
+/// for a prompt final sample + flush; dropping without `stop` signals
+/// the thread but does not wait for it.
+#[derive(Debug)]
+pub struct MetricsSampler {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    handle: Option<JoinHandle<std::io::Result<u64>>>,
+}
+
+impl MetricsSampler {
+    /// Start sampling `registry` into `path` every `interval`. The file
+    /// is created (or truncated) immediately so path errors surface
+    /// here, not mid-run; the first sample is written right away.
+    pub fn start(
+        registry: &'static MetricsRegistry,
+        path: impl AsRef<Path>,
+        interval: Duration,
+    ) -> std::io::Result<MetricsSampler> {
+        let interval = interval.max(Duration::from_millis(1));
+        let file = std::fs::File::create(path.as_ref())?;
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let thread_stop = stop.clone();
+        let handle = std::thread::Builder::new()
+            .name("obs-sampler".to_string())
+            .spawn(move || sample_loop(registry, file, interval, thread_stop))?;
+        Ok(MetricsSampler {
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// Signal the sampler, wait for its final sample, and return how
+    /// many samples were written.
+    pub fn stop(mut self) -> std::io::Result<u64> {
+        self.signal();
+        match self.handle.take().map(|h| h.join()) {
+            Some(Ok(result)) => result,
+            Some(Err(_)) => Err(std::io::Error::other("metrics sampler thread panicked")),
+            None => Ok(0),
+        }
+    }
+
+    fn signal(&self) {
+        let (lock, cvar) = &*self.stop;
+        *lock.lock().unwrap() = true;
+        cvar.notify_all();
+    }
+}
+
+impl Drop for MetricsSampler {
+    fn drop(&mut self) {
+        if self.handle.is_some() {
+            self.signal();
+        }
+    }
+}
+
+fn sample_loop(
+    registry: &'static MetricsRegistry,
+    file: std::fs::File,
+    interval: Duration,
+    stop: Arc<(Mutex<bool>, Condvar)>,
+) -> std::io::Result<u64> {
+    let mut out = BufWriter::new(file);
+    let epoch = Instant::now();
+    writeln!(
+        out,
+        "{{\"schema\":\"centipede-metrics-series/v1\",\"interval_ms\":{}}}",
+        interval.as_millis()
+    )?;
+    let mut samples = 0u64;
+    let (lock, cvar) = &*stop;
+    loop {
+        write_sample(registry, &mut out, epoch)?;
+        samples += 1;
+        let stopped = lock.lock().unwrap();
+        if *stopped {
+            break;
+        }
+        // Condvar wait instead of sleep so `stop()` interrupts promptly.
+        let (stopped, _timeout) = cvar.wait_timeout(stopped, interval).unwrap();
+        if *stopped {
+            // Final sample so the series always covers the whole run.
+            drop(stopped);
+            write_sample(registry, &mut out, epoch)?;
+            samples += 1;
+            break;
+        }
+    }
+    out.flush()?;
+    Ok(samples)
+}
+
+fn write_sample(
+    registry: &MetricsRegistry,
+    out: &mut impl Write,
+    epoch: Instant,
+) -> std::io::Result<()> {
+    let t_secs = epoch.elapsed().as_secs_f64();
+    let mut w = JsonWriter::new();
+    w.open_object();
+    w.key("t_secs");
+    w.number((t_secs * 1e6).round() / 1e6);
+    w.key("metrics");
+    w.open_object();
+    for (k, v) in registry.snapshot().flat_metrics() {
+        w.key(&k);
+        w.number(v);
+    }
+    w.close_object();
+    w.close_object();
+    writeln!(out, "{}", w.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaked_registry() -> &'static MetricsRegistry {
+        Box::leak(Box::new(MetricsRegistry::new()))
+    }
+
+    #[test]
+    fn sampler_writes_header_and_samples() {
+        let reg = leaked_registry();
+        reg.counter("ticks").inc(5);
+        let path = std::env::temp_dir().join(format!(
+            "obs-sampler-{}-{:?}.ndjson",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let sampler = MetricsSampler::start(reg, &path, Duration::from_millis(5)).unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        reg.counter("ticks").inc(2);
+        let samples = sampler.stop().unwrap();
+        assert!(samples >= 2, "expected >=2 samples, got {samples}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].contains("\"schema\":\"centipede-metrics-series/v1\""));
+        assert_eq!(lines.len() as u64, samples + 1);
+        assert!(lines[1].contains("\"t_secs\":"));
+        assert!(lines[1].contains("\"ticks\":5"));
+        // The final (stop-time) sample sees the later increment.
+        assert!(lines.last().unwrap().contains("\"ticks\":7"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_path_fails_at_start() {
+        let reg = leaked_registry();
+        let missing = std::env::temp_dir()
+            .join("no-such-dir-obs")
+            .join("x.ndjson");
+        assert!(MetricsSampler::start(reg, &missing, Duration::from_millis(50)).is_err());
+    }
+}

@@ -6,7 +6,7 @@
 //!   on flush (`repro --metrics PATH`).
 
 use std::collections::HashMap;
-use std::io::Write;
+use std::io::{IsTerminal, Write};
 use std::path::PathBuf;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -45,21 +45,42 @@ pub trait Sink: Send + Sync {
 }
 
 /// Rate-limited human-readable stderr reporter.
+///
+/// When stderr is a TTY, progress renders as a single carriage-return
+/// redrawn bar (`\r` + erase-line) instead of scrolling one line per
+/// update; messages and the final summary clear the bar first so they
+/// never interleave with it. On a non-TTY (CI logs, redirects) the
+/// historical one-line-per-update behaviour is kept.
 pub struct StderrReporter {
     verbosity: Verbosity,
     min_interval: Duration,
+    tty: bool,
     /// Last emission instant per progress label, and whether the
     /// completion line was already printed for it.
     last: Mutex<HashMap<String, (Instant, bool)>>,
+    out: Mutex<ReporterOut>,
+}
+
+/// The output stream plus whether an unterminated progress bar line is
+/// currently on it.
+struct ReporterOut {
+    writer: Box<dyn Write + Send>,
+    bar_pending: bool,
 }
 
 impl StderrReporter {
-    /// Reporter with the default 250 ms per-label rate limit.
+    /// Reporter with the default 250 ms per-label rate limit, writing
+    /// to stderr with TTY mode auto-detected.
     pub fn new(verbosity: Verbosity) -> Self {
         StderrReporter {
             verbosity,
             min_interval: Duration::from_millis(250),
+            tty: std::io::stderr().is_terminal(),
             last: Mutex::new(HashMap::new()),
+            out: Mutex::new(ReporterOut {
+                writer: Box::new(std::io::stderr()),
+                bar_pending: false,
+            }),
         }
     }
 
@@ -67,6 +88,35 @@ impl StderrReporter {
     pub fn with_min_interval(mut self, interval: Duration) -> Self {
         self.min_interval = interval;
         self
+    }
+
+    /// Force single-line (TTY) or line-per-update (non-TTY) rendering
+    /// regardless of what stderr actually is.
+    pub fn with_tty(mut self, tty: bool) -> Self {
+        self.tty = tty;
+        self
+    }
+
+    /// Redirect output (tests capture it; stderr is the default).
+    pub fn with_writer(self, writer: Box<dyn Write + Send>) -> Self {
+        StderrReporter {
+            out: Mutex::new(ReporterOut {
+                writer,
+                bar_pending: false,
+            }),
+            ..self
+        }
+    }
+
+    /// Clear a pending bar line, then run `f` on the writer.
+    fn with_clear_line(&self, f: impl FnOnce(&mut dyn Write)) {
+        let mut out = self.out.lock().unwrap();
+        if out.bar_pending {
+            let _ = out.writer.write_all(b"\r\x1b[2K");
+            out.bar_pending = false;
+        }
+        f(&mut out.writer);
+        let _ = out.writer.flush();
     }
 
     fn should_emit(&self, label: &str, finished: bool) -> bool {
@@ -92,6 +142,37 @@ impl StderrReporter {
     }
 }
 
+/// `[######--------]`-style fill bar, `width` cells wide.
+fn render_bar(done: u64, total: u64, width: usize) -> String {
+    let filled = if total == 0 {
+        0
+    } else {
+        (done.min(total) as usize * width) / total as usize
+    };
+    let mut bar = String::with_capacity(width);
+    for i in 0..width {
+        bar.push(if i < filled { '#' } else { '-' });
+    }
+    bar
+}
+
+/// The single-line rendering used in TTY mode (no prefix/newline).
+fn render_progress_line(label: &str, done: u64, total: u64, rate: f64, eta_secs: f64) -> String {
+    if total == 0 {
+        return format!("[obs] {label}: {done} done, {rate:.1}/s");
+    }
+    let pct = done as f64 / total as f64 * 100.0;
+    let eta = if done >= total {
+        "done".to_string()
+    } else {
+        format!("ETA {}", human_secs(eta_secs))
+    };
+    format!(
+        "[obs] {label} [{}] {done}/{total} ({pct:.0}%), {rate:.1}/s, {eta}",
+        render_bar(done, total, 24),
+    )
+}
+
 /// `"3m12s"`-style compact duration.
 fn human_secs(secs: f64) -> String {
     if !secs.is_finite() || secs < 0.0 {
@@ -113,39 +194,62 @@ impl Sink for StderrReporter {
         if !self.should_emit(label, finished) {
             return;
         }
-        if total > 0 {
-            eprintln!(
-                "[obs] {label}: {done}/{total} ({:.0}%), {rate:.1}/s, ETA {}",
-                done as f64 / total as f64 * 100.0,
-                if finished {
-                    "done".to_string()
-                } else {
-                    human_secs(eta_secs)
-                },
-            );
+        if self.tty {
+            let line = render_progress_line(label, done, total, rate, eta_secs);
+            let mut out = self.out.lock().unwrap();
+            let _ = out.writer.write_all(b"\r\x1b[2K");
+            let _ = out.writer.write_all(line.as_bytes());
+            if finished {
+                // Terminate the bar so it stays in the scrollback.
+                let _ = out.writer.write_all(b"\n");
+                out.bar_pending = false;
+            } else {
+                out.bar_pending = true;
+            }
+            let _ = out.writer.flush();
+        } else if total > 0 {
+            self.with_clear_line(|w| {
+                let _ = writeln!(
+                    w,
+                    "[obs] {label}: {done}/{total} ({:.0}%), {rate:.1}/s, ETA {}",
+                    done as f64 / total as f64 * 100.0,
+                    if finished {
+                        "done".to_string()
+                    } else {
+                        human_secs(eta_secs)
+                    },
+                );
+            });
         } else {
-            eprintln!("[obs] {label}: {done} done, {rate:.1}/s");
+            self.with_clear_line(|w| {
+                let _ = writeln!(w, "[obs] {label}: {done} done, {rate:.1}/s");
+            });
         }
     }
 
     fn message(&self, text: &str) {
         if self.verbosity > Verbosity::Quiet {
-            eprintln!("[obs] {text}");
+            self.with_clear_line(|w| {
+                let _ = writeln!(w, "[obs] {text}");
+            });
         }
     }
 
     fn export(&self, snapshot: &MetricsSnapshot) -> std::io::Result<()> {
         if self.verbosity >= Verbosity::Verbose {
-            eprintln!("[obs] stage tree:");
-            for line in snapshot.render_span_tree().lines() {
-                eprintln!("[obs]   {line}");
-            }
-            for (name, h) in &snapshot.histograms {
-                eprintln!(
-                    "[obs] histogram {name}: n={} p50={} p90={} p99={}",
-                    h.count, h.p50, h.p90, h.p99
-                );
-            }
+            self.with_clear_line(|w| {
+                let _ = writeln!(w, "[obs] stage tree:");
+                for line in snapshot.render_span_tree().lines() {
+                    let _ = writeln!(w, "[obs]   {line}");
+                }
+                for (name, h) in &snapshot.histograms {
+                    let _ = writeln!(
+                        w,
+                        "[obs] histogram {name}: n={} p50={} p90={} p99={}",
+                        h.count, h.p50, h.p90, h.p99
+                    );
+                }
+            });
         }
         Ok(())
     }
@@ -192,6 +296,111 @@ mod tests {
         assert!(r.should_emit("other-label", false), "labels independent");
         assert!(r.should_emit("fit", true), "completion bypasses rate limit");
         assert!(!r.should_emit("fit", true), "completion prints only once");
+    }
+
+    #[derive(Clone)]
+    struct Capture(std::sync::Arc<Mutex<Vec<u8>>>);
+
+    impl Capture {
+        fn new() -> Self {
+            Capture(std::sync::Arc::new(Mutex::new(Vec::new())))
+        }
+
+        fn text(&self) -> String {
+            String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+        }
+    }
+
+    impl Write for Capture {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn render_bar_fills_proportionally() {
+        assert_eq!(render_bar(0, 10, 10), "----------");
+        assert_eq!(render_bar(5, 10, 10), "#####-----");
+        assert_eq!(render_bar(10, 10, 10), "##########");
+        assert_eq!(
+            render_bar(99, 10, 10),
+            "##########",
+            "done > total saturates"
+        );
+        assert_eq!(
+            render_bar(3, 0, 10),
+            "----------",
+            "unknown total stays empty"
+        );
+    }
+
+    #[test]
+    fn render_progress_line_formats() {
+        assert_eq!(
+            render_progress_line("fit_urls", 6, 24, 38.25, 10.0),
+            "[obs] fit_urls [######------------------] 6/24 (25%), 38.2/s, ETA 10s"
+        );
+        assert_eq!(
+            render_progress_line("fit_urls", 24, 24, 38.25, 0.0),
+            "[obs] fit_urls [########################] 24/24 (100%), 38.2/s, done"
+        );
+        assert_eq!(
+            render_progress_line("scan", 7, 0, 2.0, f64::INFINITY),
+            "[obs] scan: 7 done, 2.0/s"
+        );
+    }
+
+    #[test]
+    fn tty_mode_redraws_one_line() {
+        let cap = Capture::new();
+        let r = StderrReporter::new(Verbosity::Normal)
+            .with_min_interval(Duration::ZERO)
+            .with_tty(true)
+            .with_writer(Box::new(cap.clone()));
+        r.progress("fit", 1, 4, 1.0, 3.0);
+        r.progress("fit", 2, 4, 1.0, 2.0);
+        r.progress("fit", 4, 4, 1.0, 0.0);
+        let text = cap.text();
+        // Three redraws, each starting with carriage-return + erase.
+        assert_eq!(text.matches("\r\x1b[2K").count(), 3);
+        // Only the completion line is newline-terminated.
+        assert_eq!(text.matches('\n').count(), 1);
+        assert!(text.ends_with("done\n"), "got {text:?}");
+    }
+
+    #[test]
+    fn non_tty_mode_keeps_line_per_update() {
+        let cap = Capture::new();
+        let r = StderrReporter::new(Verbosity::Normal)
+            .with_min_interval(Duration::ZERO)
+            .with_tty(false)
+            .with_writer(Box::new(cap.clone()));
+        r.progress("fit", 1, 4, 1.0, 3.0);
+        r.progress("fit", 4, 4, 1.0, 0.0);
+        let text = cap.text();
+        assert!(!text.contains('\r'));
+        assert_eq!(text.matches('\n').count(), 2);
+        assert!(text.contains("[obs] fit: 1/4 (25%)"));
+    }
+
+    #[test]
+    fn message_clears_pending_bar() {
+        let cap = Capture::new();
+        let r = StderrReporter::new(Verbosity::Normal)
+            .with_min_interval(Duration::ZERO)
+            .with_tty(true)
+            .with_writer(Box::new(cap.clone()));
+        r.progress("fit", 1, 4, 1.0, 3.0);
+        r.message("checkpoint written");
+        let text = cap.text();
+        // The message erased the bar line, then printed itself.
+        let tail = text.rsplit("\r\x1b[2K").next().unwrap();
+        assert_eq!(tail, "[obs] checkpoint written\n");
     }
 
     #[test]

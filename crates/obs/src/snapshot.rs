@@ -185,20 +185,20 @@ impl MetricsSnapshot {
 
 /// Tiny JSON emitter: tracks nesting to place commas, escapes strings,
 /// writes non-finite floats as `null`.
-struct JsonWriter {
+pub(crate) struct JsonWriter {
     buf: String,
     needs_comma: Vec<bool>,
 }
 
 impl JsonWriter {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         JsonWriter {
             buf: String::new(),
             needs_comma: Vec::new(),
         }
     }
 
-    fn pre_value(&mut self) {
+    pub(crate) fn pre_value(&mut self) {
         if let Some(top) = self.needs_comma.last_mut() {
             if *top {
                 self.buf.push(',');
@@ -207,29 +207,29 @@ impl JsonWriter {
         }
     }
 
-    fn open_object(&mut self) {
+    pub(crate) fn open_object(&mut self) {
         self.pre_value();
         self.buf.push('{');
         self.needs_comma.push(false);
     }
 
-    fn close_object(&mut self) {
+    pub(crate) fn close_object(&mut self) {
         self.needs_comma.pop();
         self.buf.push('}');
     }
 
-    fn open_array(&mut self) {
+    pub(crate) fn open_array(&mut self) {
         self.pre_value();
         self.buf.push('[');
         self.needs_comma.push(false);
     }
 
-    fn close_array(&mut self) {
+    pub(crate) fn close_array(&mut self) {
         self.needs_comma.pop();
         self.buf.push(']');
     }
 
-    fn key(&mut self, k: &str) {
+    pub(crate) fn key(&mut self, k: &str) {
         self.pre_value();
         self.push_escaped(k);
         self.buf.push(':');
@@ -239,12 +239,12 @@ impl JsonWriter {
         }
     }
 
-    fn string(&mut self, s: &str) {
+    pub(crate) fn string(&mut self, s: &str) {
         self.pre_value();
         self.push_escaped(s);
     }
 
-    fn number(&mut self, v: f64) {
+    pub(crate) fn number(&mut self, v: f64) {
         self.pre_value();
         if !v.is_finite() {
             self.buf.push_str("null");
@@ -255,7 +255,7 @@ impl JsonWriter {
         }
     }
 
-    fn push_escaped(&mut self, s: &str) {
+    pub(crate) fn push_escaped(&mut self, s: &str) {
         self.buf.push('"');
         for c in s.chars() {
             match c {
@@ -271,7 +271,7 @@ impl JsonWriter {
         self.buf.push('"');
     }
 
-    fn finish(self) -> String {
+    pub(crate) fn finish(self) -> String {
         self.buf
     }
 }

@@ -18,6 +18,7 @@ use std::cell::RefCell;
 use std::time::Instant;
 
 use crate::registry::MetricsRegistry;
+use crate::trace::{TracePhase, TraceTag, NO_TAGS};
 
 thread_local! {
     static STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
@@ -26,16 +27,39 @@ thread_local! {
 /// RAII guard for one span occurrence. Create via [`crate::span!`] or
 /// [`SpanGuard::enter`]; the elapsed wall-clock is recorded when it
 /// drops.
+///
+/// When event tracing is on (see [`crate::trace`]), every span also
+/// emits begin/end trace events, so the aggregate stage tree and the
+/// timeline view stay in lockstep with zero extra call sites. Names are
+/// `&'static str` for that reason: trace events store them by
+/// reference, with no per-event allocation.
 #[derive(Debug)]
 pub struct SpanGuard {
     registry: &'static MetricsRegistry,
     path: String,
+    name: &'static str,
+    traced: bool,
     start: Instant,
 }
 
 impl SpanGuard {
     /// Open a span named `name` nested under the thread's current span.
-    pub fn enter(registry: &'static MetricsRegistry, name: &str) -> SpanGuard {
+    pub fn enter(registry: &'static MetricsRegistry, name: &'static str) -> SpanGuard {
+        SpanGuard::enter_with_tags(registry, name, NO_TAGS)
+    }
+
+    /// Open a span whose trace event carries typed tags (stage name,
+    /// worker index, url…). Tags only affect the trace timeline; the
+    /// aggregate span tree keys on the path alone.
+    pub fn enter_with_tags(
+        registry: &'static MetricsRegistry,
+        name: &'static str,
+        tags: [TraceTag; 2],
+    ) -> SpanGuard {
+        let traced = crate::trace::on();
+        if traced {
+            crate::trace::global().record(TracePhase::Begin, name, tags);
+        }
         let path = STACK.with(|stack| {
             let mut stack = stack.borrow_mut();
             let path = match stack.last() {
@@ -49,6 +73,8 @@ impl SpanGuard {
         SpanGuard {
             registry,
             path,
+            name,
+            traced,
             start: Instant::now(),
         }
     }
@@ -62,6 +88,9 @@ impl SpanGuard {
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         let nanos = self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        if self.traced {
+            crate::trace::global().record(TracePhase::End, self.name, NO_TAGS);
+        }
         STACK.with(|stack| {
             let mut stack = stack.borrow_mut();
             // Guards normally drop LIFO; if a guard is held across an

@@ -1,0 +1,612 @@
+//! Event-level tracing: timestamped begin/end/instant/complete events
+//! with typed tags, recorded into per-thread bounded buffers and
+//! drained into Chrome trace-event JSON and folded-stack flamegraph
+//! text (see [`crate::trace_export`]).
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Zero-cost when disabled.** Every entry point starts with one
+//!    relaxed atomic load ([`on`]) and a predictable branch; no
+//!    timestamp is taken, no thread-local is touched.
+//! 2. **Lock-free when enabled.** Each thread owns its buffer and is
+//!    its only writer: an event is written into the next slot and then
+//!    published with a release store of the length counter. Draining
+//!    reads the counter with acquire and only touches published slots,
+//!    so there is no lock, no CAS, and no torn event on the hot path.
+//!    (Registering a thread's buffer the first time it traces takes a
+//!    short-lived registry `Mutex` — once per thread, not per event.)
+//! 3. **Bounded memory, never silently lossy.** Buffers have a fixed
+//!    capacity; once full, new events are counted in an exact
+//!    `dropped` counter instead of being recorded, so earlier events
+//!    keep their begin/end pairing and the loss is always reported.
+//!
+//! Timestamps are nanoseconds since the owning [`Tracer`]'s creation,
+//! so one run shares a single clock across threads.
+
+use std::cell::{RefCell, UnsafeCell};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Default per-thread buffer capacity in events (~3 MiB per thread at
+/// 48 bytes/event). `repro --trace` uses this unless overridden.
+pub const DEFAULT_EVENTS_PER_THREAD: usize = 65_536;
+
+/// One typed tag attached to a trace event. Tags carry the dimensions
+/// the workspace attributes time to: which URL a fit belongs to, which
+/// shard/worker ran it, which pipeline stage a span covers, how many
+/// Gibbs sweeps a batched event spans, which retry attempt failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceTag {
+    /// Empty slot (events carry a fixed-size tag array).
+    None,
+    /// Fleet URL id.
+    Url(u32),
+    /// Fit-fleet shard (worker) index.
+    Shard(u32),
+    /// Pipeline stage name.
+    Stage(&'static str),
+    /// Stage-scheduler worker index.
+    Worker(u32),
+    /// Sweeps covered by a batched Gibbs event.
+    Sweeps(u32),
+    /// Retry attempt number.
+    Attempt(u32),
+    /// Generic count payload.
+    Count(u64),
+}
+
+impl TraceTag {
+    /// The Chrome-trace `args` key this tag exports under (`None` for
+    /// the empty slot).
+    pub fn key(&self) -> Option<&'static str> {
+        match self {
+            TraceTag::None => None,
+            TraceTag::Url(_) => Some("url"),
+            TraceTag::Shard(_) => Some("shard"),
+            TraceTag::Stage(_) => Some("stage"),
+            TraceTag::Worker(_) => Some("worker"),
+            TraceTag::Sweeps(_) => Some("sweeps"),
+            TraceTag::Attempt(_) => Some("attempt"),
+            TraceTag::Count(_) => Some("count"),
+        }
+    }
+}
+
+/// No tags: the common case for `End` events and untagged spans.
+pub const NO_TAGS: [TraceTag; 2] = [TraceTag::None, TraceTag::None];
+
+/// Event phase, mirroring the Chrome trace-event `ph` field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TracePhase {
+    /// Span opened (`ph:"B"`).
+    Begin,
+    /// Span closed (`ph:"E"`).
+    End,
+    /// Point event (`ph:"i"`), e.g. a retry or quarantine.
+    Instant,
+    /// Self-contained span recorded at completion (`ph:"X"`), used
+    /// where the begin timestamp is only known in retrospect (batched
+    /// Gibbs sweeps). Timeline-only: the flamegraph export skips these.
+    Complete {
+        /// Span duration in nanoseconds.
+        dur_nanos: u64,
+    },
+}
+
+/// One recorded event. `Copy` + fixed-size so buffer slots are plain
+/// stores with no per-event allocation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Nanoseconds since the tracer's epoch.
+    pub ts_nanos: u64,
+    /// What kind of event.
+    pub phase: TracePhase,
+    /// Event name. `&'static` by design: names come from
+    /// [`crate::names`] constants, dynamic context goes in tags.
+    pub name: &'static str,
+    /// Up to two typed tags.
+    pub tags: [TraceTag; 2],
+}
+
+const PLACEHOLDER: TraceEvent = TraceEvent {
+    ts_nanos: 0,
+    phase: TracePhase::Instant,
+    name: "",
+    tags: NO_TAGS,
+};
+
+/// One thread's bounded event buffer.
+///
+/// Safety protocol: only the owning thread calls [`ThreadLog::push`];
+/// it writes slot `len` and then publishes with `len.store(len + 1,
+/// Release)`. Readers load `len` with `Acquire` and read only slots
+/// below it — published slots are never written again, so concurrent
+/// drains (the metrics sampler, an end-of-run export) race with
+/// nothing.
+pub(crate) struct ThreadLog {
+    ordinal: u32,
+    name: Mutex<String>,
+    slots: Box<[UnsafeCell<TraceEvent>]>,
+    len: AtomicUsize,
+    dropped: AtomicU64,
+}
+
+// SAFETY: `slots` is only mutated by the owning thread below the
+// published `len` watermark (see the protocol above); all other fields
+// are atomics or mutex-guarded.
+unsafe impl Send for ThreadLog {}
+unsafe impl Sync for ThreadLog {}
+
+impl ThreadLog {
+    fn new(ordinal: u32, name: String, capacity: usize) -> Self {
+        ThreadLog {
+            ordinal,
+            name: Mutex::new(name),
+            slots: (0..capacity)
+                .map(|_| UnsafeCell::new(PLACEHOLDER))
+                .collect(),
+            len: AtomicUsize::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one event. Must only be called from the owning thread.
+    fn push(&self, ev: TraceEvent) {
+        let i = self.len.load(Ordering::Relaxed);
+        if i < self.slots.len() {
+            // SAFETY: slot `i` is unpublished (i >= every reader's view
+            // of `len`) and this thread is the only writer.
+            unsafe {
+                *self.slots[i].get() = ev;
+            }
+            self.len.store(i + 1, Ordering::Release);
+        } else {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn drain(&self) -> ThreadTrace {
+        let n = self.len.load(Ordering::Acquire);
+        // SAFETY: slots below the acquired `len` are published and
+        // never rewritten.
+        let events = (0..n).map(|i| unsafe { *self.slots[i].get() }).collect();
+        ThreadTrace {
+            ordinal: self.ordinal,
+            name: self.name.lock().unwrap().clone(),
+            events,
+            dropped: self.dropped.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One thread's drained events.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThreadTrace {
+    /// Registration order (stable `tid` in the Chrome export).
+    pub ordinal: u32,
+    /// Thread label: the OS thread name, a [`Tracer::label_thread`]
+    /// override, or `thread-<ordinal>`.
+    pub name: String,
+    /// Events in recording order (per-thread order is exact).
+    pub events: Vec<TraceEvent>,
+    /// Events rejected because the buffer was full.
+    pub dropped: u64,
+}
+
+/// Every thread's events, frozen at one instant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSnapshot {
+    /// Per-thread traces sorted by ordinal.
+    pub threads: Vec<ThreadTrace>,
+}
+
+impl TraceSnapshot {
+    /// Total events across threads.
+    pub fn total_events(&self) -> usize {
+        self.threads.iter().map(|t| t.events.len()).sum()
+    }
+
+    /// Total dropped events across threads.
+    pub fn total_dropped(&self) -> u64 {
+        self.threads.iter().map(|t| t.dropped).sum()
+    }
+}
+
+static NEXT_TRACER_ID: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// This thread's registered buffers, one per tracer it has traced
+    /// into (in practice: just the global tracer).
+    static THREAD_LOGS: RefCell<Vec<(u64, Arc<ThreadLog>)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The tracing collector: per-thread buffers plus the shared enable
+/// flag and epoch. One lives as the process-wide [`global()`]; tests
+/// construct private ones.
+pub struct Tracer {
+    id: u64,
+    enabled: AtomicBool,
+    epoch: Instant,
+    capacity: AtomicUsize,
+    threads: Mutex<Vec<Arc<ThreadLog>>>,
+    next_ordinal: AtomicU32,
+}
+
+impl Tracer {
+    /// A disabled tracer whose future thread buffers hold `capacity`
+    /// events each.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "Tracer: capacity must be > 0");
+        Tracer {
+            id: NEXT_TRACER_ID.fetch_add(1, Ordering::Relaxed),
+            enabled: AtomicBool::new(false),
+            epoch: Instant::now(),
+            capacity: AtomicUsize::new(capacity),
+            threads: Mutex::new(Vec::new()),
+            next_ordinal: AtomicU32::new(0),
+        }
+    }
+
+    /// Whether events are currently recorded (one relaxed load).
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turn recording on or off. Buffers registered before a disable
+    /// keep their contents; re-enabling appends to them.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Buffer capacity for threads that register *after* this call.
+    pub fn set_capacity(&self, capacity: usize) {
+        assert!(capacity > 0, "Tracer: capacity must be > 0");
+        self.capacity.store(capacity, Ordering::Relaxed);
+    }
+
+    fn log_for_current_thread(&self) -> Arc<ThreadLog> {
+        THREAD_LOGS.with(|logs| {
+            let mut logs = logs.borrow_mut();
+            if let Some((_, log)) = logs.iter().find(|(id, _)| *id == self.id) {
+                return log.clone();
+            }
+            let ordinal = self.next_ordinal.fetch_add(1, Ordering::Relaxed);
+            let name = std::thread::current()
+                .name()
+                .map(str::to_string)
+                .unwrap_or_else(|| format!("thread-{ordinal}"));
+            let log = Arc::new(ThreadLog::new(
+                ordinal,
+                name,
+                self.capacity.load(Ordering::Relaxed),
+            ));
+            self.threads.lock().unwrap().push(log.clone());
+            logs.push((self.id, log.clone()));
+            log
+        })
+    }
+
+    /// Record one event timestamped now. No-op when disabled.
+    pub fn record(&self, phase: TracePhase, name: &'static str, tags: [TraceTag; 2]) {
+        if !self.enabled() {
+            return;
+        }
+        let ts_nanos = duration_nanos(self.epoch.elapsed());
+        self.log_for_current_thread().push(TraceEvent {
+            ts_nanos,
+            phase,
+            name,
+            tags,
+        });
+    }
+
+    /// Record a [`TracePhase::Complete`] span that started at `start`
+    /// and ends now. No-op when disabled.
+    pub fn record_complete(&self, name: &'static str, start: Instant, tags: [TraceTag; 2]) {
+        if !self.enabled() {
+            return;
+        }
+        let dur_nanos = duration_nanos(start.elapsed());
+        let ts_nanos = duration_nanos(start.saturating_duration_since(self.epoch));
+        self.log_for_current_thread().push(TraceEvent {
+            ts_nanos,
+            phase: TracePhase::Complete { dur_nanos },
+            name,
+            tags,
+        });
+    }
+
+    /// Override the current thread's track label (worker pools name
+    /// their threads `fit-worker-3`-style for readable traces). No-op
+    /// when disabled.
+    pub fn label_thread(&self, label: &str) {
+        if !self.enabled() {
+            return;
+        }
+        let log = self.log_for_current_thread();
+        let mut name = log.name.lock().unwrap();
+        if *name != label {
+            *name = label.to_string();
+        }
+    }
+
+    /// Freeze every thread's published events. Safe to call while
+    /// recording continues (each thread's prefix is consistent).
+    pub fn snapshot(&self) -> TraceSnapshot {
+        let mut threads: Vec<ThreadTrace> = self
+            .threads
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|log| log.drain())
+            .collect();
+        threads.sort_by_key(|t| t.ordinal);
+        TraceSnapshot { threads }
+    }
+
+    /// Total events dropped across all thread buffers so far.
+    pub fn dropped_events(&self) -> u64 {
+        self.threads
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|log| log.dropped.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.enabled())
+            .finish_non_exhaustive()
+    }
+}
+
+fn duration_nanos(d: std::time::Duration) -> u64 {
+    d.as_nanos().min(u64::MAX as u128) as u64
+}
+
+// ---------------------------------------------------------------------
+// Global tracer and the free-function fast path.
+// ---------------------------------------------------------------------
+
+/// Mirror of the global tracer's enabled flag as a plain static, so the
+/// disabled fast path is a single atomic load with no `OnceLock` deref.
+static GLOBAL_ON: AtomicBool = AtomicBool::new(false);
+
+static GLOBAL: OnceLock<Tracer> = OnceLock::new();
+
+/// The process-wide tracer used by the workspace's instrumentation.
+pub fn global() -> &'static Tracer {
+    GLOBAL.get_or_init(|| Tracer::new(DEFAULT_EVENTS_PER_THREAD))
+}
+
+/// Whether global tracing is on. The zero-cost gate: one relaxed load.
+#[inline]
+pub fn on() -> bool {
+    GLOBAL_ON.load(Ordering::Relaxed)
+}
+
+/// Enable global tracing with the given per-thread buffer capacity.
+pub fn enable(capacity: usize) {
+    let tracer = global();
+    tracer.set_capacity(capacity);
+    tracer.set_enabled(true);
+    GLOBAL_ON.store(true, Ordering::Relaxed);
+}
+
+/// Disable global tracing (recorded events are kept for export).
+pub fn disable() {
+    GLOBAL_ON.store(false, Ordering::Relaxed);
+    global().set_enabled(false);
+}
+
+/// Record an instant event in the global tracer. No-op when disabled.
+#[inline]
+pub fn instant(name: &'static str, tags: [TraceTag; 2]) {
+    if on() {
+        global().record(TracePhase::Instant, name, tags);
+    }
+}
+
+/// Record a complete span (started at `start`, ends now) in the global
+/// tracer. No-op when disabled.
+#[inline]
+pub fn complete(name: &'static str, start: Instant, tags: [TraceTag; 2]) {
+    if on() {
+        global().record_complete(name, start, tags);
+    }
+}
+
+/// Label the current thread's track in the global tracer. No-op when
+/// disabled.
+#[inline]
+pub fn label_thread(label: &str) {
+    if on() {
+        global().label_thread(label);
+    }
+}
+
+/// RAII guard emitting `Begin` on creation and `End` on drop into the
+/// global tracer. Inert (no timestamp, no buffer touch) when tracing
+/// was off at creation.
+#[derive(Debug)]
+pub struct TraceSpan {
+    name: &'static str,
+    active: bool,
+}
+
+impl TraceSpan {
+    /// Open a tagged span if global tracing is on.
+    #[inline]
+    pub fn enter(name: &'static str, tags: [TraceTag; 2]) -> TraceSpan {
+        let active = on();
+        if active {
+            global().record(TracePhase::Begin, name, tags);
+        }
+        TraceSpan { name, active }
+    }
+}
+
+impl Drop for TraceSpan {
+    fn drop(&mut self) {
+        if self.active {
+            global().record(TracePhase::End, self.name, NO_TAGS);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let tracer = Tracer::new(16);
+        tracer.record(TracePhase::Instant, "x", NO_TAGS);
+        tracer.record_complete("y", Instant::now(), NO_TAGS);
+        assert_eq!(tracer.snapshot().total_events(), 0);
+        assert_eq!(tracer.dropped_events(), 0);
+    }
+
+    #[test]
+    fn events_record_in_order_with_tags() {
+        let tracer = Tracer::new(16);
+        tracer.set_enabled(true);
+        tracer.record(
+            TracePhase::Begin,
+            "fit_url",
+            [TraceTag::Url(7), TraceTag::Shard(1)],
+        );
+        tracer.record(
+            TracePhase::Instant,
+            "fit_retry",
+            [TraceTag::Url(7), TraceTag::Attempt(2)],
+        );
+        tracer.record(TracePhase::End, "fit_url", NO_TAGS);
+        let snap = tracer.snapshot();
+        assert_eq!(snap.threads.len(), 1);
+        let events = &snap.threads[0].events;
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].name, "fit_url");
+        assert_eq!(events[0].tags[0], TraceTag::Url(7));
+        assert_eq!(events[1].phase, TracePhase::Instant);
+        assert!(events[0].ts_nanos <= events[1].ts_nanos);
+        assert!(events[1].ts_nanos <= events[2].ts_nanos);
+    }
+
+    #[test]
+    fn full_buffer_counts_drops_exactly() {
+        let tracer = Tracer::new(4);
+        tracer.set_enabled(true);
+        for i in 0..9u64 {
+            tracer.record(
+                TracePhase::Instant,
+                "tick",
+                [TraceTag::Count(i), TraceTag::None],
+            );
+        }
+        let snap = tracer.snapshot();
+        assert_eq!(snap.threads[0].events.len(), 4);
+        assert_eq!(snap.threads[0].dropped, 5);
+        assert_eq!(tracer.dropped_events(), 5);
+        // The retained prefix is the *first* events, preserving pairing.
+        for (i, ev) in snap.threads[0].events.iter().enumerate() {
+            assert_eq!(ev.tags[0], TraceTag::Count(i as u64));
+        }
+    }
+
+    #[test]
+    fn complete_event_carries_duration() {
+        let tracer = Tracer::new(8);
+        tracer.set_enabled(true);
+        let start = Instant::now();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        tracer.record_complete("batch", start, [TraceTag::Sweeps(16), TraceTag::None]);
+        let snap = tracer.snapshot();
+        let ev = snap.threads[0].events[0];
+        match ev.phase {
+            TracePhase::Complete { dur_nanos } => assert!(dur_nanos >= 1_000_000),
+            other => panic!("expected Complete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn label_thread_renames_track() {
+        let tracer = Tracer::new(8);
+        tracer.set_enabled(true);
+        tracer.record(TracePhase::Instant, "x", NO_TAGS);
+        tracer.label_thread("fit-worker-0");
+        assert_eq!(tracer.snapshot().threads[0].name, "fit-worker-0");
+    }
+
+    #[test]
+    fn each_thread_gets_its_own_buffer() {
+        let tracer = Arc::new(Tracer::new(64));
+        tracer.set_enabled(true);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let tracer = tracer.clone();
+                s.spawn(move || {
+                    for i in 0..8u64 {
+                        tracer.record(
+                            TracePhase::Instant,
+                            "tick",
+                            [TraceTag::Count(t * 100 + i), TraceTag::None],
+                        );
+                    }
+                });
+            }
+        });
+        let snap = tracer.snapshot();
+        assert_eq!(snap.threads.len(), 4);
+        assert_eq!(snap.total_events(), 32);
+        // Ordinals are unique and each thread's order is preserved.
+        for thread in &snap.threads {
+            let counts: Vec<u64> = thread
+                .events
+                .iter()
+                .map(|e| match e.tags[0] {
+                    TraceTag::Count(c) => c,
+                    other => panic!("unexpected tag {other:?}"),
+                })
+                .collect();
+            let base = counts[0];
+            let expected: Vec<u64> = (0..8).map(|i| base + i).collect();
+            assert_eq!(counts, expected);
+        }
+    }
+
+    #[test]
+    fn snapshot_while_recording_sees_consistent_prefix() {
+        let tracer = Arc::new(Tracer::new(100_000));
+        tracer.set_enabled(true);
+        std::thread::scope(|s| {
+            let writer = tracer.clone();
+            s.spawn(move || {
+                for i in 0..50_000u64 {
+                    writer.record(
+                        TracePhase::Instant,
+                        "tick",
+                        [TraceTag::Count(i), TraceTag::None],
+                    );
+                }
+            });
+            for _ in 0..20 {
+                let snap = tracer.snapshot();
+                for thread in &snap.threads {
+                    for (i, ev) in thread.events.iter().enumerate() {
+                        assert_eq!(
+                            ev.tags[0],
+                            TraceTag::Count(i as u64),
+                            "torn or out-of-order event at {i}"
+                        );
+                    }
+                }
+            }
+        });
+    }
+}

@@ -1,0 +1,273 @@
+//! Exporters for a [`TraceSnapshot`]: Chrome trace-event JSON (open in
+//! Perfetto or `chrome://tracing`) and folded-stack flamegraph text
+//! (pipe into `flamegraph.pl` / `inferno-flamegraph`).
+//!
+//! Both formats are pinned by snapshot tests in `tests/` — change them
+//! deliberately.
+
+use std::collections::BTreeMap;
+
+use crate::snapshot::JsonWriter;
+use crate::trace::{ThreadTrace, TracePhase, TraceSnapshot, TraceTag};
+
+/// Serialise a snapshot as Chrome trace-event JSON (object format).
+///
+/// Layout: one `pid` (1), one `tid` per traced thread (its registration
+/// ordinal), a `thread_name` metadata event per thread, then the
+/// thread's events in recording order. Timestamps and durations are in
+/// microseconds (fractional), per the trace-event spec. Tags become
+/// `args` entries under their [`TraceTag::key`]. The top-level
+/// `otherData` object carries the schema id and the total dropped-event
+/// count, so lossy traces are visibly lossy.
+pub fn chrome_trace_json(snapshot: &TraceSnapshot) -> String {
+    let mut w = JsonWriter::new();
+    w.open_object();
+    w.key("displayTimeUnit");
+    w.string("ms");
+    w.key("otherData");
+    w.open_object();
+    w.key("schema");
+    w.string("centipede-trace/v1");
+    w.key("dropped_events");
+    w.number(snapshot.total_dropped() as f64);
+    w.close_object();
+    w.key("traceEvents");
+    w.open_array();
+    for thread in &snapshot.threads {
+        write_thread_name_event(&mut w, thread);
+        for ev in &thread.events {
+            w.open_object();
+            w.key("name");
+            w.string(ev.name);
+            w.key("ph");
+            w.string(match ev.phase {
+                TracePhase::Begin => "B",
+                TracePhase::End => "E",
+                TracePhase::Instant => "i",
+                TracePhase::Complete { .. } => "X",
+            });
+            w.key("pid");
+            w.number(1.0);
+            w.key("tid");
+            w.number(thread.ordinal as f64);
+            w.key("ts");
+            w.number(micros(ev.ts_nanos));
+            match ev.phase {
+                TracePhase::Complete { dur_nanos } => {
+                    w.key("dur");
+                    w.number(micros(dur_nanos));
+                }
+                TracePhase::Instant => {
+                    // Thread-scoped instant marker.
+                    w.key("s");
+                    w.string("t");
+                }
+                TracePhase::Begin | TracePhase::End => {}
+            }
+            if ev.tags.iter().any(|t| t.key().is_some()) {
+                w.key("args");
+                w.open_object();
+                for tag in &ev.tags {
+                    if let Some(key) = tag.key() {
+                        w.key(key);
+                        match tag {
+                            TraceTag::Url(v)
+                            | TraceTag::Shard(v)
+                            | TraceTag::Worker(v)
+                            | TraceTag::Sweeps(v)
+                            | TraceTag::Attempt(v) => w.number(*v as f64),
+                            TraceTag::Count(v) => w.number(*v as f64),
+                            TraceTag::Stage(s) => w.string(s),
+                            TraceTag::None => unreachable!("key() is None for None"),
+                        }
+                    }
+                }
+                w.close_object();
+            }
+            w.close_object();
+        }
+    }
+    w.close_array();
+    w.close_object();
+    w.finish()
+}
+
+fn write_thread_name_event(w: &mut JsonWriter, thread: &ThreadTrace) {
+    w.open_object();
+    w.key("name");
+    w.string("thread_name");
+    w.key("ph");
+    w.string("M");
+    w.key("pid");
+    w.number(1.0);
+    w.key("tid");
+    w.number(thread.ordinal as f64);
+    w.key("args");
+    w.open_object();
+    w.key("name");
+    w.string(&thread.name);
+    w.close_object();
+    w.close_object();
+}
+
+fn micros(nanos: u64) -> f64 {
+    nanos as f64 / 1_000.0
+}
+
+/// Serialise a snapshot as folded flamegraph stacks: one
+/// `thread;span;span <micros>` line per distinct stack, sorted, with
+/// **self time** (time in a span minus time in its children) in integer
+/// microseconds. The thread label is the root frame, so one file holds
+/// every thread.
+///
+/// Only `Begin`/`End` spans contribute: instants have no duration, and
+/// `Complete` events overlap their enclosing span's self time (they are
+/// timeline detail for the Chrome export, not a separate stack level).
+/// A span still open at the last event is credited up to the last
+/// timestamp seen on its thread. Sub-microsecond stacks are dropped.
+pub fn folded_stacks(snapshot: &TraceSnapshot) -> String {
+    let mut totals: BTreeMap<String, u64> = BTreeMap::new();
+    for thread in &snapshot.threads {
+        // Frame separators in the thread label would corrupt the format.
+        let root: String = thread
+            .name
+            .chars()
+            .map(|c| {
+                if c == ';' || c.is_whitespace() {
+                    '_'
+                } else {
+                    c
+                }
+            })
+            .collect();
+        let mut stack: Vec<&'static str> = Vec::new();
+        let mut last_ts = 0u64;
+        for ev in &thread.events {
+            match ev.phase {
+                TracePhase::Begin => {
+                    attribute(&mut totals, &root, &stack, last_ts, ev.ts_nanos);
+                    stack.push(ev.name);
+                    last_ts = ev.ts_nanos;
+                }
+                TracePhase::End => {
+                    attribute(&mut totals, &root, &stack, last_ts, ev.ts_nanos);
+                    if stack.last() == Some(&ev.name) {
+                        stack.pop();
+                    } else if let Some(pos) = stack.iter().rposition(|n| *n == ev.name) {
+                        // Mis-nested end: unwind to the matching frame.
+                        stack.truncate(pos);
+                    }
+                    last_ts = ev.ts_nanos;
+                }
+                TracePhase::Instant | TracePhase::Complete { .. } => {}
+            }
+        }
+    }
+    let mut out = String::new();
+    for (path, nanos) in &totals {
+        let micros = nanos / 1_000;
+        if micros > 0 {
+            out.push_str(path);
+            out.push(' ');
+            out.push_str(&micros.to_string());
+            out.push('\n');
+        }
+    }
+    out
+}
+
+fn attribute(
+    totals: &mut BTreeMap<String, u64>,
+    root: &str,
+    stack: &[&'static str],
+    from: u64,
+    to: u64,
+) {
+    if to <= from || stack.is_empty() {
+        return;
+    }
+    let mut path = String::with_capacity(root.len() + 16 * stack.len());
+    path.push_str(root);
+    for frame in stack {
+        path.push(';');
+        path.push_str(frame);
+    }
+    *totals.entry(path).or_insert(0) += to - from;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{TraceEvent, NO_TAGS};
+
+    fn ev(ts_micros: u64, phase: TracePhase, name: &'static str) -> TraceEvent {
+        TraceEvent {
+            ts_nanos: ts_micros * 1_000,
+            phase,
+            name,
+            tags: NO_TAGS,
+        }
+    }
+
+    fn two_level_snapshot() -> TraceSnapshot {
+        TraceSnapshot {
+            threads: vec![ThreadTrace {
+                ordinal: 0,
+                name: "main".to_string(),
+                events: vec![
+                    ev(0, TracePhase::Begin, "pipeline"),
+                    ev(100, TracePhase::Begin, "fit"),
+                    ev(700, TracePhase::End, "fit"),
+                    ev(1_000, TracePhase::End, "pipeline"),
+                ],
+                dropped: 0,
+            }],
+        }
+    }
+
+    #[test]
+    fn folded_stacks_compute_self_time() {
+        let folded = folded_stacks(&two_level_snapshot());
+        assert_eq!(folded, "main;pipeline 400\nmain;pipeline;fit 600\n");
+    }
+
+    #[test]
+    fn folded_stacks_sanitise_thread_names() {
+        let mut snap = two_level_snapshot();
+        snap.threads[0].name = "fit worker;0".to_string();
+        let folded = folded_stacks(&snap);
+        assert!(folded.starts_with("fit_worker_0;pipeline "));
+    }
+
+    #[test]
+    fn unclosed_span_credited_to_last_event() {
+        let snap = TraceSnapshot {
+            threads: vec![ThreadTrace {
+                ordinal: 0,
+                name: "main".to_string(),
+                events: vec![
+                    ev(0, TracePhase::Begin, "outer"),
+                    ev(500, TracePhase::Instant, "tick"),
+                    ev(800, TracePhase::Begin, "inner"),
+                ],
+                dropped: 0,
+            }],
+        };
+        // `outer` earns [0, 800) at the `inner` begin; `inner` itself
+        // never accrues (no later event).
+        assert_eq!(folded_stacks(&snap), "main;outer 800\n");
+    }
+
+    #[test]
+    fn chrome_json_is_balanced_and_tagged() {
+        let mut snap = two_level_snapshot();
+        snap.threads[0].events[1].tags = [TraceTag::Url(42), TraceTag::Shard(3)];
+        let json = chrome_trace_json(&snap);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(!json.contains(",,") && !json.contains(",}") && !json.contains(",]"));
+        assert!(json.contains("\"args\":{\"url\":42,\"shard\":3}"));
+        assert!(json.contains("\"ph\":\"M\""));
+        assert!(json.contains("\"schema\":\"centipede-trace/v1\""));
+    }
+}

@@ -1,0 +1,147 @@
+//! End-to-end event tracing: enable the global tracer, run a faulty
+//! fit fleet plus the full pipeline, and check that the exported
+//! Chrome trace JSON and folded flamegraph stacks contain the spans
+//! and instant events every layer promises — per-URL fit spans tagged
+//! url/shard, per-stage scheduler spans tagged stage/worker,
+//! retry/quarantine instants, and batched Gibbs sweep events.
+//!
+//! One `#[test]` on purpose: the global tracer is process-wide state,
+//! and this binary owning it alone keeps the snapshot deterministic.
+
+use rand::SeedableRng;
+
+use centipede::influence::fit::fit_one_full;
+use centipede::influence::{fit_fleet_with, FitConfig, FleetOptions, PreparedUrl};
+use centipede::pipeline::{run_all, PipelineConfig};
+use centipede_dataset::domains::NewsCategory;
+use centipede_dataset::event::UrlId;
+use centipede_hawkes::events::EventSeq;
+use centipede_obs::names;
+use centipede_obs::trace_export::{chrome_trace_json, folded_stacks};
+use centipede_platform_sim::{ecosystem, SimConfig};
+
+fn prepared(url: u32, n_bins: u32) -> PreparedUrl {
+    let points = [(0u32, 7u16), (3, 7), (10, 6), (12, 0), (40, 7)];
+    let events = EventSeq::from_points(n_bins, 8, &points);
+    let mut per = [0u64; 8];
+    for &(_, k) in &points {
+        per[k as usize] += 1;
+    }
+    PreparedUrl {
+        url: UrlId(url),
+        category: NewsCategory::Alternative,
+        events,
+        events_per_community: per,
+        duration: n_bins as i64 * 60,
+    }
+}
+
+#[test]
+fn traced_run_exports_tagged_spans_and_instants() {
+    centipede_obs::trace::enable(centipede_obs::trace::DEFAULT_EVENTS_PER_THREAD);
+
+    // Phase 1: a small fleet with an injected panic on url 1, so the
+    // trace contains retry and quarantine instants alongside fit spans.
+    let urls: Vec<PreparedUrl> = (0..4).map(|u| prepared(u, 400)).collect();
+    let config = FitConfig {
+        n_samples: 12,
+        burn_in: 6,
+        threads: Some(2),
+        ..FitConfig::default()
+    };
+    let report = fit_fleet_with(&urls, &config, &FleetOptions::default(), |p, c, idx, _| {
+        if p.url == UrlId(1) {
+            panic!("injected fault for url 1");
+        }
+        Some(fit_one_full(p, c, idx))
+    });
+    assert_eq!(report.fits.len(), 3);
+    assert_eq!(report.summary.quarantined.len(), 1);
+
+    // Phase 2: the full pipeline (influence included) over a small
+    // world, so stage-scheduler spans and Gibbs batch events appear.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(20170701);
+    let sim = SimConfig {
+        scale: 0.35,
+        ..SimConfig::default()
+    };
+    let world = ecosystem::generate(&sim, &mut rng);
+    let mut pipeline_config = PipelineConfig::default();
+    pipeline_config.fit.n_samples = 8;
+    pipeline_config.fit.burn_in = 4;
+    pipeline_config.fit.threads = Some(2);
+    let analysis = run_all(&world.dataset, &pipeline_config, &mut rng);
+    assert!(analysis.selection.selected > 0, "no URLs fitted");
+
+    centipede_obs::trace::disable();
+    let snap = centipede_obs::trace::global().snapshot();
+    assert_eq!(snap.total_dropped(), 0, "buffers should not wrap here");
+    assert!(snap.threads.len() >= 2, "fleet workers should have tracks");
+
+    let json = chrome_trace_json(&snap);
+
+    // Structurally valid JSON (no serde needed for these invariants).
+    assert!(json.starts_with('{') && json.ends_with('}'));
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+    assert_eq!(json.matches('[').count(), json.matches(']').count());
+    assert!(!json.contains(",,") && !json.contains(",}") && !json.contains(",]"));
+    assert!(json.contains("\"schema\":\"centipede-trace/v1\""));
+    assert!(json.contains("\"dropped_events\":0"));
+
+    // Per-thread tracks with names, including labelled fleet workers.
+    assert!(json.contains("\"name\":\"thread_name\",\"ph\":\"M\""));
+    assert!(json.contains("\"name\":\"fit-worker-0\""));
+
+    // Per-URL fit spans carry url + shard tags.
+    assert!(json.contains(&format!(
+        "\"name\":\"{}\",\"ph\":\"B\"",
+        names::TRACE_FIT_URL
+    )));
+    assert!(
+        json.contains("\"args\":{\"url\":"),
+        "missing url tag in {json:.300}"
+    );
+    assert!(json.contains(",\"shard\":"));
+
+    // Retry and quarantine instants from the injected fault.
+    assert!(json.contains(&format!(
+        "\"name\":\"{}\",\"ph\":\"i\"",
+        names::TRACE_FIT_RETRY
+    )));
+    assert!(json.contains(&format!(
+        "\"name\":\"{}\",\"ph\":\"i\"",
+        names::TRACE_FIT_QUARANTINE
+    )));
+    assert!(json.contains("\"attempt\":1"));
+
+    // Stage-scheduler spans are tagged with the stage and a worker.
+    assert!(json.contains("\"name\":\"pipeline/characterization/table1\""));
+    assert!(json.contains("\"stage\":\"table1\""));
+    assert!(json.contains("\"worker\":"));
+
+    // Batched Gibbs sweeps surface as complete (ph:"X") events.
+    assert!(json.contains(&format!(
+        "\"name\":\"{}\",\"ph\":\"X\"",
+        names::TRACE_GIBBS_SWEEPS
+    )));
+    assert!(json.contains("\"sweeps\":"));
+
+    // The flamegraph export folds the same spans into stacks: fleet
+    // workers' fit spans and the pipeline stage tree both appear.
+    let folded = folded_stacks(&snap);
+    assert!(!folded.is_empty());
+    let mut saw_fit_url = false;
+    let mut saw_pipeline_root = false;
+    for line in folded.lines() {
+        let (path, micros) = line.rsplit_once(' ').expect("`stack micros` shape");
+        assert!(micros.parse::<u64>().is_ok(), "bad self-time in {line:?}");
+        if path.contains(names::TRACE_FIT_URL) {
+            saw_fit_url = true;
+        }
+        if path.contains(";pipeline") {
+            saw_pipeline_root = true;
+        }
+    }
+    assert!(saw_fit_url, "no fit_url frames in folded output");
+    assert!(saw_pipeline_root, "no pipeline frames in folded output");
+}
