@@ -6,6 +6,11 @@
 //! * `hawkes` — the Gibbs hot path (same shape as the
 //!   `hawkes_perf/gibbs_15_sweeps` criterion bench at 40k bins),
 //!   appended to `BENCH_hawkes.json`.
+//! * `hawkes-adaptive` — the same workload fit with two chains and a
+//!   split-chain R-hat early-stop target, timed against the same
+//!   two-chain fit run to its full sweep budget; both medians land in
+//!   one `BENCH_hawkes.json` entry (under keys the `hawkes` `--check`
+//!   scan ignores).
 //! * `pipeline` — the analysis pipeline at the shared bench scale:
 //!   the per-URL partition build plus `run_all` with influence
 //!   skipped, appended to `BENCH_pipeline.json`.
@@ -16,9 +21,10 @@
 //! cargo run --release -p centipede-bench --bin bench_baseline -- <mode> <label> [reps] [--check]
 //! ```
 //!
-//! `mode` is `hawkes` or `pipeline`; `label` names the trajectory
-//! point (e.g. `pr2-after`); `reps` defaults to 7 (hawkes) or 5
-//! (pipeline) — the median is recorded after one warm-up.
+//! `mode` is `hawkes`, `hawkes-adaptive`, or `pipeline`; `label` names
+//! the trajectory point (e.g. `pr2-after`); `reps` defaults to 7
+//! (hawkes), 3 (hawkes-adaptive), or 5 (pipeline) — the median is
+//! recorded after one warm-up.
 //!
 //! With `--check`, nothing is appended: the fresh median is compared
 //! against the *last* tracked entry in the trajectory file and the
@@ -71,9 +77,13 @@ fn main() {
 
     match mode.as_str() {
         "hawkes" => hawkes_baseline(&label, reps.unwrap_or(7), check),
+        "hawkes-adaptive" => hawkes_adaptive_baseline(&label, reps.unwrap_or(3), check),
         "pipeline" => pipeline_baseline(&label, reps.unwrap_or(5), check),
         other => {
-            eprintln!("bench_baseline: unknown mode `{other}` (expected `hawkes` or `pipeline`)");
+            eprintln!(
+                "bench_baseline: unknown mode `{other}` \
+                 (expected `hawkes`, `hawkes-adaptive`, or `pipeline`)"
+            );
             std::process::exit(2);
         }
     }
@@ -137,6 +147,90 @@ fn hawkes_baseline(label: &str, reps: usize, check: bool) {
          \"reps\": {reps},\n    \"median_fit_ns\": {median_fit_ns},\n    \
          \"median_ns_per_sweep\": {median_ns_per_sweep},\n    \
          \"events_per_sec\": {events_per_sec:.0}\n  }}"
+    );
+    append_entry("BENCH_hawkes.json", &entry);
+}
+
+/// Two-chain fit with an R-hat early-stop target vs the same fit run
+/// to its full sweep budget — the end-to-end win adaptive stopping
+/// buys once chains mix. Keys are distinct from the `hawkes` mode's
+/// `median_fit_ns` so the advisory `--check` trajectory is unaffected.
+fn hawkes_adaptive_baseline(label: &str, reps: usize, check: bool) {
+    const CHAINS: usize = 2;
+    const MAX_SAMPLES: usize = 400;
+    const RHAT_TARGET: f64 = 1.2;
+
+    let k = 8;
+    let basis = BasisSet::log_gaussian(720, 4);
+    let model = DiscreteHawkes::uniform_mixture(
+        vec![0.002; k],
+        Matrix::constant(k, 0.4 / k as f64),
+        &basis,
+    );
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let data = simulate(&model, T_BINS, &mut rng);
+    let events = data.total_events();
+
+    let gibbs = GibbsSampler::new(
+        GibbsConfig {
+            n_samples: MAX_SAMPLES,
+            burn_in: 50,
+            ..GibbsConfig::default()
+        },
+        BasisSet::log_gaussian(720, 4),
+    );
+    let seeds: Vec<u64> = (0..CHAINS as u64).map(|c| 3 + c * 0x9E37_79B9).collect();
+
+    let time_fit = |target: Option<f64>| {
+        // Warm-up, then timed reps; every rep redoes the whole fit so
+        // the median includes chain spawn and setup.
+        let _ = gibbs.fit_chains_cancellable(&data, &seeds, target, None);
+        let mut wall_ns: Vec<u64> = Vec::with_capacity(reps);
+        let mut samples = 0;
+        let mut rhat = f64::NAN;
+        for _ in 0..reps {
+            let start = Instant::now();
+            let multi = gibbs
+                .fit_chains_cancellable(&data, &seeds, target, None)
+                .expect("uncancellable fit");
+            wall_ns.push(start.elapsed().as_nanos() as u64);
+            samples = multi.n_samples();
+            if let Some(r) = multi.rhat() {
+                rhat = r;
+            }
+        }
+        wall_ns.sort_unstable();
+        (wall_ns[reps / 2], samples, rhat)
+    };
+
+    let (median_full_fit_ns, full_samples, _) = time_fit(None);
+    let (median_adaptive_fit_ns, adaptive_samples, rhat) = time_fit(Some(RHAT_TARGET));
+    let speedup = median_full_fit_ns as f64 / median_adaptive_fit_ns as f64;
+
+    eprintln!(
+        "bench_baseline[{label}]: {events} events, {CHAINS} chains x {MAX_SAMPLES} samples max, \
+         full {:.2} ms ({full_samples} samples) vs adaptive {:.2} ms \
+         ({adaptive_samples} samples, rhat {rhat:.4}) = {speedup:.2}x",
+        median_full_fit_ns as f64 / 1e6,
+        median_adaptive_fit_ns as f64 / 1e6,
+    );
+
+    if check {
+        check_against_baseline(
+            "BENCH_hawkes.json",
+            "median_adaptive_fit_ns",
+            median_adaptive_fit_ns,
+        );
+        return;
+    }
+
+    let entry = format!(
+        "  {{\n    \"label\": \"{label}\",\n    \"bench\": \"hawkes_adaptive/rhat_early_stop\",\n    \
+         \"bins\": {T_BINS},\n    \"events\": {events},\n    \"chains\": {CHAINS},\n    \
+         \"max_samples\": {MAX_SAMPLES},\n    \"rhat_target\": {RHAT_TARGET},\n    \
+         \"reps\": {reps},\n    \"median_full_fit_ns\": {median_full_fit_ns},\n    \
+         \"median_adaptive_fit_ns\": {median_adaptive_fit_ns},\n    \
+         \"adaptive_samples\": {adaptive_samples},\n    \"rhat\": {rhat:.6}\n  }}"
     );
     append_entry("BENCH_hawkes.json", &entry);
 }

@@ -56,6 +56,8 @@ struct Args {
     samples: usize,
     burn_in: Option<usize>,
     threads: Option<usize>,
+    chains: usize,
+    rhat_target: Option<f64>,
     skip_influence: bool,
     checkpoint_dir: Option<String>,
     resume: bool,
@@ -79,6 +81,8 @@ fn parse_args() -> Args {
         samples: 120,
         burn_in: None,
         threads: None,
+        chains: 1,
+        rhat_target: None,
         skip_influence: false,
         checkpoint_dir: None,
         resume: false,
@@ -102,6 +106,20 @@ fn parse_args() -> Args {
             "--samples" => args.samples = it.next().expect("--samples N").parse().expect("samples"),
             "--burn-in" => {
                 args.burn_in = Some(it.next().expect("--burn-in N").parse().expect("burn-in"))
+            }
+            "--chains" => {
+                let n: usize = it.next().expect("--chains N").parse().expect("chains");
+                assert!(n >= 1, "--chains must be >= 1");
+                args.chains = n;
+            }
+            "--rhat-target" => {
+                let t: f64 = it
+                    .next()
+                    .expect("--rhat-target F")
+                    .parse()
+                    .expect("rhat-target");
+                assert!(t > 1.0, "--rhat-target must be > 1.0");
+                args.rhat_target = Some(t);
             }
             "--threads" => {
                 let n: usize = it.next().expect("--threads N").parse().expect("threads");
@@ -135,7 +153,8 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: repro [--seed N] [--scale F] [--no-gaps] [--no-bots] [--em] \
-                     [--samples N] [--burn-in N] [--threads N] [--skip-influence] \
+                     [--samples N] [--burn-in N] [--chains N] [--rhat-target F] \
+                     [--threads N] [--skip-influence] \
                      [--checkpoint-dir PATH] [--resume] \
                      [--compare] [--out PATH] [--metrics PATH] [--trace PATH] \
                      [--trace-flame PATH] [--metrics-series PATH] [--metrics-interval MS] \
@@ -148,6 +167,9 @@ fn parse_args() -> Args {
                      --em              use the EM estimator instead of Gibbs\n\
                      --samples N       Gibbs samples per URL (default 120)\n\
                      --burn-in N       Gibbs burn-in sweeps (default samples/2)\n\
+                     --chains N        independent Gibbs chains per URL (default 1)\n\
+                     --rhat-target F   stop sweeping once split-chain R-hat < F\n\
+                                       (needs --chains >= 2; e.g. 1.01)\n\
                      --threads N       fit-fleet worker threads (default: all cores)\n\
                      --skip-influence  skip the §5 Hawkes fitting stage\n\
                      --checkpoint-dir PATH  persist each URL fit as a resumable shard\n\
@@ -278,6 +300,8 @@ fn main() {
     config.fit.n_samples = args.samples;
     config.fit.burn_in = args.burn_in.unwrap_or(args.samples / 2);
     config.fit.threads = args.threads;
+    config.fit.chains = args.chains;
+    config.fit.rhat_target = args.rhat_target;
     config.skip_influence = args.skip_influence;
     config.fleet.checkpoint_dir = args.checkpoint_dir.as_ref().map(std::path::PathBuf::from);
     config.fleet.resume = args.resume;

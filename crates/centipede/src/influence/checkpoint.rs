@@ -25,10 +25,10 @@ use std::path::{Path, PathBuf};
 
 use centipede_dataset::domains::NewsCategory;
 use centipede_dataset::event::UrlId;
-use centipede_hawkes::discrete::{Posterior, PosteriorCodecError};
+use centipede_hawkes::discrete::{MultiChainPosterior, Posterior, PosteriorCodecError};
 use centipede_hawkes::matrix::Matrix;
 
-use super::fit::{Estimator, FitConfig, QuarantinedUrl, UrlFit};
+use super::fit::{Estimator, FitConfig, FitPosterior, QuarantinedUrl, UrlFit};
 
 /// Magic prefix of a checkpoint shard file.
 pub const SHARD_MAGIC: [u8; 4] = *b"CPSH";
@@ -71,10 +71,10 @@ impl Default for Fnv1a {
 }
 
 /// Hash the parts of a [`FitConfig`] that determine fit *results*:
-/// seed, lag window, basis size, sweep counts, and estimator. The
-/// thread count is deliberately excluded — the fleet is
-/// schedule-invariant, so shards written at `--threads 1` are valid
-/// for a resume at `--threads 16`.
+/// seed, lag window, basis size, sweep counts, estimator, chain count,
+/// and the R-hat early-stop target. The thread count is deliberately
+/// excluded — the fleet is schedule-invariant, so shards written at
+/// `--threads 1` are valid for a resume at `--threads 16`.
 pub fn config_fingerprint(config: &FitConfig) -> u64 {
     let mut h = Fnv1a::new();
     h.update(&config.seed.to_le_bytes());
@@ -86,6 +86,14 @@ pub fn config_fingerprint(config: &FitConfig) -> u64 {
         Estimator::Gibbs => 0u8,
         Estimator::Em => 1u8,
     }]);
+    h.update(&(config.chains as u64).to_le_bytes());
+    match config.rhat_target {
+        None => h.update(&[0u8]),
+        Some(t) => {
+            h.update(&[1u8]);
+            h.update(&t.to_bits().to_le_bytes());
+        }
+    }
     h.finish()
 }
 
@@ -187,8 +195,10 @@ pub struct Shard {
     pub fingerprint: u64,
     /// The fitted summary.
     pub fit: UrlFit,
-    /// Full posterior samples (`None` for EM fits).
-    pub posterior: Option<Posterior>,
+    /// Full posterior samples: absent for EM fits, one chain for the
+    /// legacy Gibbs path (encoded exactly as before multi-chain
+    /// support), several chains plus their R-hat for multi-chain fits.
+    pub posterior: FitPosterior,
 }
 
 impl Shard {
@@ -251,10 +261,16 @@ pub fn encode_shard(shard: &Shard) -> Vec<u8> {
         push_f64(&mut body, w);
     }
     match &shard.posterior {
-        None => body.push(0u8),
-        Some(p) => {
+        FitPosterior::None => body.push(0u8),
+        FitPosterior::Single(p) => {
             body.push(1u8);
             let blob = p.to_bytes();
+            body.extend_from_slice(&(blob.len() as u64).to_le_bytes());
+            body.extend_from_slice(&blob);
+        }
+        FitPosterior::Multi(mc) => {
+            body.push(2u8);
+            let blob = mc.to_bytes();
             body.extend_from_slice(&(blob.len() as u64).to_le_bytes());
             body.extend_from_slice(&blob);
         }
@@ -358,10 +374,14 @@ pub fn decode_shard(bytes: &[u8]) -> Result<Shard, ShardError> {
     }
     let weights = Matrix::from_flat(k, flat);
     let posterior = match c.read_u8()? {
-        0 => None,
+        0 => FitPosterior::None,
         1 => {
             let len = c.read_u64()? as usize;
-            Some(Posterior::from_bytes(c.take(len)?)?)
+            FitPosterior::Single(Posterior::from_bytes(c.take(len)?)?)
+        }
+        2 => {
+            let len = c.read_u64()? as usize;
+            FitPosterior::Multi(MultiChainPosterior::from_bytes(c.take(len)?)?)
         }
         _ => return Err(ShardError::Malformed("posterior flag")),
     };
@@ -621,7 +641,17 @@ mod tests {
             idx: 17,
             fingerprint: 0xDEAD_BEEF_CAFE_F00D,
             fit: sample_fit(42),
-            posterior: Some(sample_posterior()),
+            posterior: FitPosterior::Single(sample_posterior()),
+        }
+    }
+
+    fn sample_multi_shard() -> Shard {
+        let chains = vec![sample_posterior(), sample_posterior()];
+        Shard {
+            idx: 23,
+            fingerprint: 0xDEAD_BEEF_CAFE_F00D,
+            fit: sample_fit(43),
+            posterior: FitPosterior::Multi(MultiChainPosterior::new(chains, Some(1.004))),
         }
     }
 
@@ -644,26 +674,54 @@ mod tests {
         let with = sample_shard();
         assert_eq!(decode_shard(&encode_shard(&with)).unwrap(), with);
         let without = Shard {
-            posterior: None,
+            posterior: FitPosterior::None,
             ..sample_shard()
         };
         assert_eq!(decode_shard(&encode_shard(&without)).unwrap(), without);
     }
 
     #[test]
-    fn every_single_byte_flip_is_a_typed_error() {
-        let bytes = encode_shard(&sample_shard());
-        for pos in 0..bytes.len() {
-            let mut corrupt = bytes.clone();
-            corrupt[pos] ^= 0x01;
-            assert!(
-                decode_shard(&corrupt).is_err(),
-                "flip at byte {pos} decoded successfully"
-            );
+    fn multi_chain_shard_roundtrips() {
+        let shard = sample_multi_shard();
+        let decoded = decode_shard(&encode_shard(&shard)).unwrap();
+        assert_eq!(decoded, shard);
+        match decoded.posterior {
+            FitPosterior::Multi(mc) => {
+                assert_eq!(mc.n_chains(), 2);
+                assert_eq!(mc.rhat(), Some(1.004));
+            }
+            other => panic!("expected multi-chain posterior, got {other:?}"),
         }
-        // And truncation at every length.
-        for len in 0..bytes.len() {
-            assert!(decode_shard(&bytes[..len]).is_err(), "truncation to {len}");
+    }
+
+    #[test]
+    fn single_chain_shard_bytes_are_unchanged_by_the_multi_chain_format() {
+        // The flag byte still reads 1 and the body is the bare CPPO
+        // blob: shards written before multi-chain support decode, and
+        // chains=1 runs keep producing the same bytes.
+        let bytes = encode_shard(&sample_shard());
+        let blob = sample_posterior().to_bytes();
+        let tail_start = bytes.len() - 8 - blob.len();
+        assert_eq!(&bytes[tail_start..bytes.len() - 8], &blob[..]);
+        assert_eq!(bytes[tail_start - 8 - 1], 1u8);
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_a_typed_error() {
+        for shard in [sample_shard(), sample_multi_shard()] {
+            let bytes = encode_shard(&shard);
+            for pos in 0..bytes.len() {
+                let mut corrupt = bytes.clone();
+                corrupt[pos] ^= 0x01;
+                assert!(
+                    decode_shard(&corrupt).is_err(),
+                    "flip at byte {pos} decoded successfully"
+                );
+            }
+            // And truncation at every length.
+            for len in 0..bytes.len() {
+                assert!(decode_shard(&bytes[..len]).is_err(), "truncation to {len}");
+            }
         }
     }
 
@@ -747,9 +805,27 @@ mod tests {
                 estimator: Estimator::Em,
                 ..base.clone()
             },
+            FitConfig {
+                chains: 4,
+                ..base.clone()
+            },
+            FitConfig {
+                rhat_target: Some(1.01),
+                ..base.clone()
+            },
         ] {
             assert_ne!(config_fingerprint(&other), fp, "{other:?}");
         }
+        // Distinct R-hat targets are distinct configurations too.
+        let loose = FitConfig {
+            rhat_target: Some(1.1),
+            ..base.clone()
+        };
+        let tight = FitConfig {
+            rhat_target: Some(1.01),
+            ..base
+        };
+        assert_ne!(config_fingerprint(&loose), config_fingerprint(&tight));
     }
 
     #[test]

@@ -29,7 +29,7 @@ use serde::{Deserialize, Serialize};
 use centipede_dataset::domains::NewsCategory;
 use centipede_dataset::event::UrlId;
 use centipede_hawkes::discrete::{
-    BasisSet, EmConfig, EmFitter, GibbsConfig, GibbsSampler, Posterior,
+    BasisSet, EmConfig, EmFitter, GibbsConfig, GibbsSampler, MultiChainPosterior, Posterior,
 };
 use centipede_hawkes::matrix::Matrix;
 use centipede_obs::names as metric;
@@ -64,6 +64,15 @@ pub struct FitConfig {
     pub seed: u64,
     /// Number of worker threads (`None` = available parallelism).
     pub threads: Option<usize>,
+    /// Independent Gibbs chains per URL. With `1` (the default) the
+    /// fleet runs the legacy single-chain path and its shards stay
+    /// byte-identical to earlier releases; with more, chain 0 still
+    /// reproduces the single-chain RNG stream bit for bit.
+    pub chains: usize,
+    /// Split-chain R-hat threshold for adaptive early stopping (e.g.
+    /// `Some(1.01)`). Only consulted when `chains >= 2`; `None` runs
+    /// every chain to the full sample budget.
+    pub rhat_target: Option<f64>,
 }
 
 impl Default for FitConfig {
@@ -76,6 +85,37 @@ impl Default for FitConfig {
             estimator: Estimator::Gibbs,
             seed: 0xC0FFEE,
             threads: None,
+            chains: 1,
+            rhat_target: None,
+        }
+    }
+}
+
+/// The posterior a fit hands to the checkpoint layer: absent for EM,
+/// one chain for the legacy Gibbs path, several for multi-chain runs.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(clippy::large_enum_variant)]
+pub enum FitPosterior {
+    /// No posterior (EM fits).
+    None,
+    /// A single Gibbs chain (the `chains == 1` path; shards encode it
+    /// exactly as before multi-chain support existed).
+    Single(Posterior),
+    /// Multiple chains with their convergence diagnostic.
+    Multi(MultiChainPosterior),
+}
+
+impl FitPosterior {
+    /// Whether any posterior samples are attached.
+    pub fn is_none(&self) -> bool {
+        matches!(self, FitPosterior::None)
+    }
+
+    /// The split-chain R-hat recorded by an adaptive multi-chain fit.
+    pub fn rhat(&self) -> Option<f64> {
+        match self {
+            FitPosterior::Multi(mc) => mc.rhat(),
+            _ => None,
         }
     }
 }
@@ -195,6 +235,12 @@ pub struct FleetReport {
     pub summary: FleetSummary,
 }
 
+/// URLs claimed from the shared queue per dispatch. Batches are
+/// contiguous in the bin-sorted pending order, so one claim hands a
+/// worker a run of similarly sized fits; shutdown and fit-budget
+/// checks still happen per URL inside the batch.
+const FIT_DISPATCH_BATCH: usize = 8;
+
 /// Fit every prepared URL. Returns fits in the input order.
 ///
 /// Thin wrapper over [`fit_fleet`] with default options; persistently
@@ -225,16 +271,12 @@ pub fn fit_fleet_with<F>(
     fit_fn: F,
 ) -> FleetReport
 where
-    F: Fn(
-            &PreparedUrl,
-            &FitConfig,
-            u64,
-            Option<&AtomicBool>,
-        ) -> Option<(UrlFit, Option<Posterior>)>
+    F: Fn(&PreparedUrl, &FitConfig, u64, Option<&AtomicBool>) -> Option<(UrlFit, FitPosterior)>
         + Sync,
 {
     assert!(config.max_lag_minutes >= 1, "FitConfig: max_lag_minutes");
     assert!(config.n_basis >= 1, "FitConfig: n_basis");
+    assert!(config.chains >= 1, "FitConfig: chains");
     for p in prepared {
         assert_eq!(
             p.events.n_processes(),
@@ -336,9 +378,18 @@ where
     let skip_quarantined: std::collections::BTreeSet<usize> =
         carried_quarantine.iter().map(|q| q.idx as usize).collect();
 
-    let pending: Vec<usize> = (0..prepared.len())
+    let mut pending: Vec<usize> = (0..prepared.len())
         .filter(|i| !resumed.contains_key(i) && !skip_quarantined.contains(i))
         .collect();
+    // Batched dispatch: order the queue by bin count (ties by index for
+    // determinism) so each claimed batch holds URLs of similar length.
+    // Consecutive fits on a worker then share their clamped Δt_max —
+    // the per-worker basis cache hits and scratch allocations are
+    // already right-sized — and workers take the queue lock (the atomic
+    // claim) once per batch instead of once per URL. Output order is
+    // restored from recorded indices, and per-URL seeds depend only on
+    // the index, so the schedule change cannot move a single bit.
+    pending.sort_by_key(|&i| (prepared[i].events.n_bins(), i));
 
     let n_threads = config
         .threads
@@ -396,120 +447,126 @@ where
                 let worker_counter = centipede_obs::counter(&metric::fit_worker_urls(worker));
                 let mut local: Vec<(usize, UrlFit)> = Vec::new();
                 let mut local_quarantine: Vec<QuarantinedUrl> = Vec::new();
-                loop {
-                    if let Some(flag) = &options.shutdown {
-                        if flag.load(Ordering::Relaxed) {
-                            interrupted.store(true, Ordering::Relaxed);
-                            break;
-                        }
-                    }
-                    // Claim a queue slot before consuming a budget
-                    // slot, so a budget no smaller than the queue never
-                    // reports a completed run as interrupted.
-                    let pos = next.fetch_add(1, Ordering::Relaxed);
-                    if pos >= pending.len() {
+                'claims: loop {
+                    // Claim a contiguous batch of queue slots; the
+                    // pending order is bin-sorted, so the batch holds
+                    // similarly sized URLs.
+                    let base = next.fetch_add(FIT_DISPATCH_BATCH, Ordering::Relaxed);
+                    if base >= pending.len() {
                         break;
                     }
-                    if let Some(max) = options.max_fits {
-                        if started.fetch_add(1, Ordering::Relaxed) >= max {
-                            interrupted.store(true, Ordering::Relaxed);
-                            break;
-                        }
-                    }
-                    let idx = pending[pos];
-                    let url_id = prepared[idx].url.0;
-                    // One trace span per URL, covering retries and the
-                    // checkpoint write, tagged for per-shard attribution.
-                    let _fit_span = TraceSpan::enter(
-                        metric::TRACE_FIT_URL,
-                        [TraceTag::Url(url_id), TraceTag::Shard(worker as u32)],
-                    );
-                    let cancel = options.shutdown.as_deref();
-                    let mut attempts = 0u32;
-                    let mut outcome: Option<(UrlFit, Option<Posterior>)> = None;
-                    let mut cancelled = false;
-                    let mut last_panic = String::new();
-                    while attempts <= options.max_retries {
-                        attempts += 1;
-                        let start = std::time::Instant::now();
-                        match catch_unwind(AssertUnwindSafe(|| {
-                            fit_fn(&prepared[idx], config, idx as u64, cancel)
-                        })) {
-                            Ok(Some(res)) => {
-                                fit_hist.record_duration(start.elapsed());
-                                outcome = Some(res);
-                                break;
-                            }
-                            Ok(None) => {
-                                // The fit observed the shutdown flag
-                                // mid-chain. The URL is neither recorded
-                                // nor quarantined — a resumed fleet
-                                // refits it from scratch.
-                                cancelled = true;
-                                break;
-                            }
-                            Err(payload) => {
-                                last_panic = panic_message(payload.as_ref());
-                                if attempts <= options.max_retries {
-                                    retries.fetch_add(1, Ordering::Relaxed);
-                                    centipede_obs::trace::instant(
-                                        metric::TRACE_FIT_RETRY,
-                                        [TraceTag::Url(url_id), TraceTag::Attempt(attempts)],
-                                    );
-                                }
+                    let end = (base + FIT_DISPATCH_BATCH).min(pending.len());
+                    for pos in base..end {
+                        if let Some(flag) = &options.shutdown {
+                            if flag.load(Ordering::Relaxed) {
+                                interrupted.store(true, Ordering::Relaxed);
+                                break 'claims;
                             }
                         }
-                    }
-                    if cancelled {
-                        centipede_obs::trace::instant(
-                            metric::TRACE_FIT_CANCELLED,
-                            [TraceTag::Url(url_id), TraceTag::None],
+                        // A queue slot is claimed before a budget slot is
+                        // consumed, so a budget no smaller than the queue
+                        // never reports a completed run as interrupted.
+                        if let Some(max) = options.max_fits {
+                            if started.fetch_add(1, Ordering::Relaxed) >= max {
+                                interrupted.store(true, Ordering::Relaxed);
+                                break 'claims;
+                            }
+                        }
+                        let idx = pending[pos];
+                        let url_id = prepared[idx].url.0;
+                        // One trace span per URL, covering retries and the
+                        // checkpoint write, tagged for per-shard attribution.
+                        let _fit_span = TraceSpan::enter(
+                            metric::TRACE_FIT_URL,
+                            [TraceTag::Url(url_id), TraceTag::Shard(worker as u32)],
                         );
-                        interrupted.store(true, Ordering::Relaxed);
-                        break;
-                    }
-                    match outcome {
-                        Some((fit, posterior)) => {
-                            if let Some(dir) = checkpoint_dir {
-                                let shard = Shard {
-                                    idx: idx as u64,
-                                    fingerprint,
-                                    fit: fit.clone(),
-                                    posterior,
-                                };
-                                match checkpoint::write_shard_atomic(dir, &shard) {
-                                    Ok(_) => {
-                                        shards_written.fetch_add(1, Ordering::Relaxed);
+                        let cancel = options.shutdown.as_deref();
+                        let mut attempts = 0u32;
+                        let mut outcome: Option<(UrlFit, FitPosterior)> = None;
+                        let mut cancelled = false;
+                        let mut last_panic = String::new();
+                        while attempts <= options.max_retries {
+                            attempts += 1;
+                            let start = std::time::Instant::now();
+                            match catch_unwind(AssertUnwindSafe(|| {
+                                fit_fn(&prepared[idx], config, idx as u64, cancel)
+                            })) {
+                                Ok(Some(res)) => {
+                                    fit_hist.record_duration(start.elapsed());
+                                    outcome = Some(res);
+                                    break;
+                                }
+                                Ok(None) => {
+                                    // The fit observed the shutdown flag
+                                    // mid-chain. The URL is neither recorded
+                                    // nor quarantined — a resumed fleet
+                                    // refits it from scratch.
+                                    cancelled = true;
+                                    break;
+                                }
+                                Err(payload) => {
+                                    last_panic = panic_message(payload.as_ref());
+                                    if attempts <= options.max_retries {
+                                        retries.fetch_add(1, Ordering::Relaxed);
                                         centipede_obs::trace::instant(
-                                            metric::TRACE_CHECKPOINT_SHARD,
-                                            [TraceTag::Url(url_id), TraceTag::None],
+                                            metric::TRACE_FIT_RETRY,
+                                            [TraceTag::Url(url_id), TraceTag::Attempt(attempts)],
                                         );
                                     }
-                                    Err(e) => {
-                                        shard_errors.fetch_add(1, Ordering::Relaxed);
-                                        centipede_obs::global().message(&format!(
-                                            "shard write failed for url {}: {e}",
-                                            fit.url.0
-                                        ));
-                                    }
                                 }
                             }
-                            worker_counter.inc(1);
-                            progress.inc(1);
-                            local.push((idx, fit));
                         }
-                        None => {
+                        if cancelled {
                             centipede_obs::trace::instant(
-                                metric::TRACE_FIT_QUARANTINE,
-                                [TraceTag::Url(url_id), TraceTag::Attempt(attempts)],
+                                metric::TRACE_FIT_CANCELLED,
+                                [TraceTag::Url(url_id), TraceTag::None],
                             );
-                            progress.inc(1);
-                            local_quarantine.push(QuarantinedUrl {
-                                url: prepared[idx].url,
-                                idx: idx as u64,
-                                attempts,
-                                panic_message: last_panic,
-                            });
+                            interrupted.store(true, Ordering::Relaxed);
+                            break 'claims;
+                        }
+                        match outcome {
+                            Some((fit, posterior)) => {
+                                if let Some(dir) = checkpoint_dir {
+                                    let shard = Shard {
+                                        idx: idx as u64,
+                                        fingerprint,
+                                        fit: fit.clone(),
+                                        posterior,
+                                    };
+                                    match checkpoint::write_shard_atomic(dir, &shard) {
+                                        Ok(_) => {
+                                            shards_written.fetch_add(1, Ordering::Relaxed);
+                                            centipede_obs::trace::instant(
+                                                metric::TRACE_CHECKPOINT_SHARD,
+                                                [TraceTag::Url(url_id), TraceTag::None],
+                                            );
+                                        }
+                                        Err(e) => {
+                                            shard_errors.fetch_add(1, Ordering::Relaxed);
+                                            centipede_obs::global().message(&format!(
+                                                "shard write failed for url {}: {e}",
+                                                fit.url.0
+                                            ));
+                                        }
+                                    }
+                                }
+                                worker_counter.inc(1);
+                                progress.inc(1);
+                                local.push((idx, fit));
+                            }
+                            None => {
+                                centipede_obs::trace::instant(
+                                    metric::TRACE_FIT_QUARANTINE,
+                                    [TraceTag::Url(url_id), TraceTag::Attempt(attempts)],
+                                );
+                                progress.inc(1);
+                                local_quarantine.push(QuarantinedUrl {
+                                    url: prepared[idx].url,
+                                    idx: idx as u64,
+                                    attempts,
+                                    panic_message: last_panic,
+                                });
+                            }
                         }
                     }
                 }
@@ -591,9 +648,45 @@ pub fn fit_one_full(
     prepared: &PreparedUrl,
     config: &FitConfig,
     idx: u64,
-) -> (UrlFit, Option<Posterior>) {
+) -> (UrlFit, FitPosterior) {
     fit_one_cancellable(prepared, config, idx, None)
         .expect("fit without a cancellation flag cannot be cancelled")
+}
+
+/// The seed of the URL at fleet index `idx` (chain 0 for multi-chain
+/// fits; identical to the single-chain seed).
+fn url_seed(config_seed: u64, idx: u64) -> u64 {
+    config_seed.wrapping_add(idx.wrapping_mul(0x9E3779B9))
+}
+
+/// The seed of one chain of the URL at fleet index `idx`. Chain 0 is
+/// [`url_seed`] itself, so chain 0 of a multi-chain fit replays the
+/// single-chain RNG stream bit for bit; further chains decorrelate via
+/// a second golden-ratio stride.
+fn chain_seed(config_seed: u64, idx: u64, chain: u64) -> u64 {
+    url_seed(config_seed, idx).wrapping_add(chain.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Basis construction amortisation for batched dispatch: the queue is
+/// bin-sorted, so consecutive fits on a worker usually share their
+/// clamped Δt_max and reuse the previous [`BasisSet`] instead of
+/// recomputing `max_lag × n_basis` log-Gaussian pmfs per URL.
+fn cached_basis(max_lag: usize, n_basis: usize) -> BasisSet {
+    thread_local! {
+        static LAST: std::cell::RefCell<Option<(usize, usize, BasisSet)>> =
+            const { std::cell::RefCell::new(None) };
+    }
+    LAST.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        match &*slot {
+            Some((l, n, basis)) if *l == max_lag && *n == n_basis => basis.clone(),
+            _ => {
+                let basis = BasisSet::log_gaussian(max_lag, n_basis);
+                *slot = Some((max_lag, n_basis, basis.clone()));
+                basis
+            }
+        }
+    })
 }
 
 /// [`fit_one_full`] with a cooperative cancellation flag threaded into
@@ -605,7 +698,7 @@ pub fn fit_one_cancellable(
     config: &FitConfig,
     idx: u64,
     cancel: Option<&AtomicBool>,
-) -> Option<(UrlFit, Option<Posterior>)> {
+) -> Option<(UrlFit, FitPosterior)> {
     assert_eq!(
         prepared.events.n_processes(),
         8,
@@ -614,14 +707,13 @@ pub fn fit_one_cancellable(
         prepared.url,
         prepared.events.n_processes()
     );
+    assert!(config.chains >= 1, "FitConfig: chains");
     // The per-URL window may be shorter than Δt_max.
     let max_lag = config
         .max_lag_minutes
         .min((prepared.events.n_bins() as usize).max(2) - 1)
         .max(1);
-    let basis = BasisSet::log_gaussian(max_lag, config.n_basis);
-    let mut rng =
-        rand::rngs::StdRng::seed_from_u64(config.seed.wrapping_add(idx.wrapping_mul(0x9E3779B9)));
+    let basis = cached_basis(max_lag, config.n_basis);
     let (weights, lambda0_vec, posterior) = match config.estimator {
         Estimator::Gibbs => {
             let sampler = GibbsSampler::new(
@@ -632,12 +724,33 @@ pub fn fit_one_cancellable(
                 },
                 basis,
             );
-            let posterior = sampler.fit_cancellable(&prepared.events, &mut rng, cancel)?;
-            (
-                posterior.mean_weights(),
-                posterior.mean_lambda0(),
-                Some(posterior),
-            )
+            if config.chains == 1 {
+                // Legacy path, preserved exactly: same RNG stream, same
+                // shard bytes as before multi-chain support.
+                let mut rng = rand::rngs::StdRng::seed_from_u64(url_seed(config.seed, idx));
+                let posterior = sampler.fit_cancellable(&prepared.events, &mut rng, cancel)?;
+                (
+                    posterior.mean_weights(),
+                    posterior.mean_lambda0(),
+                    FitPosterior::Single(posterior),
+                )
+            } else {
+                let seeds: Vec<u64> = (0..config.chains as u64)
+                    .map(|c| chain_seed(config.seed, idx, c))
+                    .collect();
+                let multi = sampler.fit_chains_cancellable(
+                    &prepared.events,
+                    &seeds,
+                    config.rhat_target,
+                    cancel,
+                )?;
+                let pooled = multi.pooled();
+                (
+                    pooled.mean_weights(),
+                    pooled.mean_lambda0(),
+                    FitPosterior::Multi(multi),
+                )
+            }
         }
         Estimator::Em => {
             // EM fits are a fast deterministic baseline; they run to
@@ -647,7 +760,7 @@ pub fn fit_one_cancellable(
             (
                 result.model.weights().clone(),
                 result.model.lambda0().to_vec(),
-                None,
+                FitPosterior::None,
             )
         }
     };
@@ -952,6 +1065,90 @@ mod tests {
             assert_eq!(a.weights.to_bits(), b.weights.to_bits());
             let bits = |l: &[f64; 8]| l.map(f64::to_bits);
             assert_eq!(bits(&a.lambda0), bits(&b.lambda0));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn multi_chain_fit_embeds_the_single_chain_stream() {
+        // Chain 0 of a multi-chain fit replays the single-chain RNG
+        // stream exactly, so turning chains up never invalidates the
+        // single-chain reference results.
+        let urls = small_fleet(1);
+        let single = quick_config();
+        let multi_cfg = FitConfig {
+            chains: 3,
+            ..quick_config()
+        };
+        let (_, post_s) = fit_one_full(&urls[0], &single, 0);
+        let (fit_m, post_m) = fit_one_full(&urls[0], &multi_cfg, 0);
+        let FitPosterior::Single(p) = post_s else {
+            panic!("single-chain Gibbs fit must carry one chain");
+        };
+        let FitPosterior::Multi(mc) = post_m else {
+            panic!("multi-chain Gibbs fit must carry all chains");
+        };
+        assert_eq!(mc.n_chains(), 3);
+        assert_eq!(mc.chains()[0], p);
+        // The summary means pool every chain.
+        assert_eq!(
+            fit_m.weights.to_bits(),
+            mc.pooled().mean_weights().to_bits()
+        );
+    }
+
+    #[test]
+    fn multi_chain_checkpointed_run_resumes_bit_for_bit() {
+        let urls = small_fleet(4);
+        let config = FitConfig {
+            chains: 2,
+            rhat_target: Some(1.05),
+            ..quick_config()
+        };
+        let baseline = fit_urls(&urls, &config);
+
+        let dir =
+            std::env::temp_dir().join(format!("centipede-fit-resume-multi-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+
+        let first = fit_fleet(
+            &urls,
+            &config,
+            &FleetOptions {
+                checkpoint_dir: Some(dir.clone()),
+                max_fits: Some(2),
+                ..FleetOptions::default()
+            },
+        );
+        assert!(first.summary.interrupted);
+        assert_eq!(first.summary.shards_written, 2);
+
+        let second = fit_fleet(
+            &urls,
+            &config,
+            &FleetOptions {
+                checkpoint_dir: Some(dir.clone()),
+                resume: true,
+                ..FleetOptions::default()
+            },
+        );
+        assert_eq!(second.summary.resumed, 2);
+        assert_eq!(second.summary.fitted, 2);
+        for (a, b) in second.fits.iter().zip(&baseline) {
+            assert_eq!(a.url, b.url);
+            assert_eq!(a.weights.to_bits(), b.weights.to_bits());
+        }
+        // The persisted shards carry the multi-chain posterior intact.
+        let scan =
+            super::checkpoint::scan_dir(&dir, super::checkpoint::config_fingerprint(&config))
+                .unwrap();
+        assert_eq!(scan.shards.len(), 4);
+        for shard in scan.shards.values() {
+            let FitPosterior::Multi(mc) = &shard.posterior else {
+                panic!("multi-chain fleet must persist multi-chain posteriors");
+            };
+            assert_eq!(mc.n_chains(), 2);
+            assert!(mc.rhat().is_some());
         }
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -22,8 +22,8 @@ pub use checkpoint::{
     write_quarantine_atomic, write_shard_atomic, ResumeScan, Shard, ShardError,
 };
 pub use fit::{
-    fit_fleet, fit_fleet_with, fit_one_cancellable, fit_urls, FitConfig, FleetOptions, FleetReport,
-    FleetSummary, QuarantinedUrl, UrlFit,
+    fit_fleet, fit_fleet_with, fit_one_cancellable, fit_urls, FitConfig, FitPosterior,
+    FleetOptions, FleetReport, FleetSummary, QuarantinedUrl, UrlFit,
 };
 pub use impact::{impact_matrix, ImpactMatrix};
 pub use prepare::{prepare_urls, PreparedUrl, SelectionConfig, SelectionSummary};

@@ -106,6 +106,35 @@ pub struct AnalysisReport {
     pub fig11: Option<ImpactMatrix>,
 }
 
+/// Queue one scheduler job per news category, pairing each category
+/// (in `NewsCategory::ALL` order) with its own result slot and its own
+/// literal span path from `names`.
+fn push_per_category_jobs<'env, T: Send + 'env>(
+    jobs: &mut Vec<StageJob<'env>>,
+    slots: &'env [StageSlot<T>; 2],
+    names: [&'static str; 2],
+    work: impl Fn(NewsCategory) -> T + Send + Copy + 'env,
+) {
+    for ((slot, cat), name) in slots.iter().zip(NewsCategory::ALL).zip(names) {
+        jobs.push(StageJob::new(name, move || slot.fill(work(cat))));
+    }
+}
+
+/// Collect per-category slots into a map keyed by category.
+fn take_per_category<T>(slots: &[StageSlot<T>; 2]) -> BTreeMap<NewsCategory, T> {
+    NewsCategory::ALL
+        .into_iter()
+        .zip(slots)
+        .map(|(cat, slot)| (cat, slot.take()))
+        .collect()
+}
+
+/// Concatenate per-category slots in `NewsCategory::ALL` order,
+/// matching what a sequential loop over categories used to produce.
+fn concat_per_category<T>(slots: &[StageSlot<Vec<T>>; 2]) -> Vec<T> {
+    slots.iter().flat_map(|slot| slot.take()).collect()
+}
+
 /// Run the complete analysis over a dataset.
 pub fn run_all<R: Rng + ?Sized>(
     dataset: &Dataset,
@@ -125,29 +154,39 @@ pub fn run_all<R: Rng + ?Sized>(
 
     let threads = config.stage_threads.unwrap_or_else(default_stage_threads);
 
-    // Result slots, one per independent stage. Stages run in any
-    // order on the worker pool; `take()` order below is fixed.
+    // Result slots, one per independent stage job. The category- and
+    // group-iterating figures are split into one job per cell of the
+    // grid, so the pool load-balances much finer than whole figures:
+    // a slow figure no longer serialises both of its categories on one
+    // worker. Stages run in any order; `take()`/merge order below is
+    // fixed, so the report is identical at any thread count.
+    //
+    // Span names must be `'static` (trace tags borrow them), so each
+    // grid cell gets its literal path below, paired positionally with
+    // `NewsCategory::ALL` order ([Alternative, Mainstream]).
     let table1_slot = StageSlot::new();
     let table2_slot = StageSlot::new();
     let table3_slot = StageSlot::new();
     let table4_slot = StageSlot::new();
-    let top_slot = StageSlot::new();
-    let fig2_slot = StageSlot::new();
+    let top_slots = [StageSlot::new(), StageSlot::new(), StageSlot::new()];
+    let fig2_slots = [StageSlot::new(), StageSlot::new()];
     let fig3_slot = StageSlot::new();
-    let fig1_slot = StageSlot::new();
+    let fig1_slots = [StageSlot::new(), StageSlot::new()];
     let fig4_slot = StageSlot::new();
-    let fig5_slot = StageSlot::new();
-    let fig6_slot = StageSlot::new();
-    let lags_slot = StageSlot::new();
-    let seqs_slot = StageSlot::new();
-    let fig8_slot = StageSlot::new();
+    let fig5_slots = [StageSlot::new(), StageSlot::new()];
+    let fig6_common_slots = [StageSlot::new(), StageSlot::new()];
+    let fig6_all_slots = [StageSlot::new(), StageSlot::new()];
+    let lags_slots = [StageSlot::new(), StageSlot::new()];
+    let table9_slots = [StageSlot::new(), StageSlot::new()];
+    let table10_slots = [StageSlot::new(), StageSlot::new()];
+    let fig8_slots = [StageSlot::new(), StageSlot::new()];
 
     {
         let index = &index;
         // Worker span stacks are empty, so job names carry the full
         // span path (matching the paths the nested spans used to
         // produce).
-        let jobs: Vec<StageJob<'_>> = vec![
+        let mut jobs: Vec<StageJob<'_>> = vec![
             // §3 characterization.
             StageJob::new("pipeline/characterization/table1", || {
                 table1_slot.fill(platform_totals(index))
@@ -161,79 +200,117 @@ pub fn run_all<R: Rng + ?Sized>(
             StageJob::new("pipeline/characterization/table4", || {
                 table4_slot.fill(top_subreddits(index, 20))
             }),
-            StageJob::new("pipeline/characterization/tables5_6_7", || {
-                let mut top = BTreeMap::new();
-                for group in AnalysisGroup::ALL {
-                    top.insert(group, top_domains(index, group, 20));
-                }
-                top_slot.fill(top);
-            }),
-            StageJob::new("pipeline/characterization/fig2", || {
-                let mut fig2 = BTreeMap::new();
-                for cat in NewsCategory::ALL {
-                    fig2.insert(cat, domain_platform_fractions(index, cat, 20));
-                }
-                fig2_slot.fill(fig2);
-            }),
             StageJob::new("pipeline/characterization/fig3", || {
                 fig3_slot.fill(user_alt_fraction(index))
-            }),
-            // §4 temporal.
-            StageJob::new("pipeline/temporal/fig1", || {
-                let mut fig1 = Vec::new();
-                for cat in NewsCategory::ALL {
-                    for (group, ecdf) in appearance_cdf(index, cat) {
-                        fig1.push((group, cat, ecdf.max(), ecdf.eval(1.0)));
-                    }
-                }
-                fig1_slot.fill(fig1);
             }),
             StageJob::new("pipeline/temporal/fig4", || {
                 fig4_slot.fill(daily_occurrence(index))
             }),
-            StageJob::new("pipeline/temporal/fig5", || {
-                let mut fig5 = Vec::new();
-                for cat in NewsCategory::ALL {
-                    for (group, ecdf) in repost_lags(index, cat) {
-                        fig5.push((group, cat, ecdf.quantile(0.5), ecdf.quantile(0.9)));
-                    }
-                }
-                fig5_slot.fill(fig5);
-            }),
-            StageJob::new("pipeline/temporal/fig6", || {
-                let mut fig6_common = BTreeMap::new();
-                let mut fig6_all = BTreeMap::new();
-                for cat in NewsCategory::ALL {
-                    fig6_common.insert(cat, interarrival(index, cat, true));
-                    fig6_all.insert(cat, interarrival(index, cat, false));
-                }
-                fig6_slot.fill((fig6_common, fig6_all));
-            }),
-            // §4.2 cross-platform.
-            StageJob::new("pipeline/crossplatform/fig7_table8", || {
-                let mut lags = Vec::new();
-                for cat in NewsCategory::ALL {
-                    lags.extend(pair_lags(index, cat));
-                }
-                lags_slot.fill(lags);
-            }),
-            StageJob::new("pipeline/crossplatform/tables9_10", || {
-                let mut table9 = BTreeMap::new();
-                let mut table10 = BTreeMap::new();
-                for cat in NewsCategory::ALL {
-                    table9.insert(cat, first_hop_sequences(index, cat));
-                    table10.insert(cat, triplet_sequences(index, cat));
-                }
-                seqs_slot.fill((table9, table10));
-            }),
-            StageJob::new("pipeline/crossplatform/fig8", || {
-                let mut fig8 = BTreeMap::new();
-                for cat in NewsCategory::ALL {
-                    fig8.insert(cat, source_graph(index, cat));
-                }
-                fig8_slot.fill(fig8);
-            }),
         ];
+        // Tables 5/6/7: one job per analysis group.
+        let group_names = [
+            "pipeline/characterization/tables5_6_7/six_subreddits",
+            "pipeline/characterization/tables5_6_7/pol",
+            "pipeline/characterization/tables5_6_7/twitter",
+        ];
+        for ((slot, group), name) in top_slots.iter().zip(AnalysisGroup::ALL).zip(group_names) {
+            jobs.push(StageJob::new(name, move || {
+                slot.fill(top_domains(index, group, 20))
+            }));
+        }
+        push_per_category_jobs(
+            &mut jobs,
+            &fig2_slots,
+            [
+                "pipeline/characterization/fig2/alternative",
+                "pipeline/characterization/fig2/mainstream",
+            ],
+            |cat| domain_platform_fractions(index, cat, 20),
+        );
+        // §4 temporal.
+        push_per_category_jobs(
+            &mut jobs,
+            &fig1_slots,
+            [
+                "pipeline/temporal/fig1/alternative",
+                "pipeline/temporal/fig1/mainstream",
+            ],
+            |cat| {
+                appearance_cdf(index, cat)
+                    .into_iter()
+                    .map(|(group, ecdf)| (group, cat, ecdf.max(), ecdf.eval(1.0)))
+                    .collect::<Vec<_>>()
+            },
+        );
+        push_per_category_jobs(
+            &mut jobs,
+            &fig5_slots,
+            [
+                "pipeline/temporal/fig5/alternative",
+                "pipeline/temporal/fig5/mainstream",
+            ],
+            |cat| {
+                repost_lags(index, cat)
+                    .into_iter()
+                    .map(|(group, ecdf)| (group, cat, ecdf.quantile(0.5), ecdf.quantile(0.9)))
+                    .collect::<Vec<_>>()
+            },
+        );
+        push_per_category_jobs(
+            &mut jobs,
+            &fig6_common_slots,
+            [
+                "pipeline/temporal/fig6/common/alternative",
+                "pipeline/temporal/fig6/common/mainstream",
+            ],
+            |cat| interarrival(index, cat, true),
+        );
+        push_per_category_jobs(
+            &mut jobs,
+            &fig6_all_slots,
+            [
+                "pipeline/temporal/fig6/all/alternative",
+                "pipeline/temporal/fig6/all/mainstream",
+            ],
+            |cat| interarrival(index, cat, false),
+        );
+        // §4.2 cross-platform.
+        push_per_category_jobs(
+            &mut jobs,
+            &lags_slots,
+            [
+                "pipeline/crossplatform/fig7_table8/alternative",
+                "pipeline/crossplatform/fig7_table8/mainstream",
+            ],
+            |cat| pair_lags(index, cat),
+        );
+        push_per_category_jobs(
+            &mut jobs,
+            &table9_slots,
+            [
+                "pipeline/crossplatform/table9/alternative",
+                "pipeline/crossplatform/table9/mainstream",
+            ],
+            |cat| first_hop_sequences(index, cat),
+        );
+        push_per_category_jobs(
+            &mut jobs,
+            &table10_slots,
+            [
+                "pipeline/crossplatform/table10/alternative",
+                "pipeline/crossplatform/table10/mainstream",
+            ],
+            |cat| triplet_sequences(index, cat),
+        );
+        push_per_category_jobs(
+            &mut jobs,
+            &fig8_slots,
+            [
+                "pipeline/crossplatform/fig8/alternative",
+                "pipeline/crossplatform/fig8/mainstream",
+            ],
+            |cat| source_graph(index, cat),
+        );
         run_stages(jobs, threads);
     }
 
@@ -241,16 +318,22 @@ pub fn run_all<R: Rng + ?Sized>(
     let table2 = table2_slot.take();
     let table3 = table3_slot.take();
     let table4 = table4_slot.take();
-    let top = top_slot.take();
-    let fig2 = fig2_slot.take();
+    let top: BTreeMap<AnalysisGroup, _> = AnalysisGroup::ALL
+        .into_iter()
+        .zip(&top_slots)
+        .map(|(group, slot)| (group, slot.take()))
+        .collect();
+    let fig2 = take_per_category(&fig2_slots);
     let fig3 = fig3_slot.take();
-    let fig1 = fig1_slot.take();
+    let fig1 = concat_per_category(&fig1_slots);
     let fig4 = fig4_slot.take();
-    let fig5 = fig5_slot.take();
-    let (fig6_common, fig6_all) = fig6_slot.take();
-    let lags = lags_slot.take();
-    let (table9, table10) = seqs_slot.take();
-    let fig8 = fig8_slot.take();
+    let fig5 = concat_per_category(&fig5_slots);
+    let fig6_common = take_per_category(&fig6_common_slots);
+    let fig6_all = take_per_category(&fig6_all_slots);
+    let lags = concat_per_category(&lags_slots);
+    let table9 = take_per_category(&table9_slots);
+    let table10 = take_per_category(&table10_slots);
+    let fig8 = take_per_category(&fig8_slots);
 
     // §5 influence — stays last and sequential: it dwarfs the stages
     // above and owns its own internal fleet parallelism.

@@ -74,10 +74,17 @@ impl<'env> StageJob<'env> {
     }
 
     fn run(self, worker: u32) {
-        // The trace event tags the short stage name plus which worker
-        // ran it, so scheduler idle gaps show up as empty track time
-        // between a worker's stage spans.
-        let stage = self.name.rsplit('/').next().unwrap_or(self.name);
+        // The trace event tags the stage name plus which worker ran
+        // it, so scheduler idle gaps show up as empty track time
+        // between a worker's stage spans. The stage tag is everything
+        // after the `pipeline/<section>/` prefix, so per-category grid
+        // cells keep their figure context (e.g. `fig1/alternative`)
+        // instead of collapsing to the bare category name.
+        let stage = self
+            .name
+            .splitn(3, '/')
+            .nth(2)
+            .unwrap_or(self.name);
         let _span = centipede_obs::start_span_with_tags(
             self.name,
             [TraceTag::Stage(stage), TraceTag::Worker(worker)],

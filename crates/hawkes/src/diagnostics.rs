@@ -67,6 +67,100 @@ pub fn geweke_z(chain: &[f64]) -> Option<f64> {
     Some((ma - mb) / se)
 }
 
+/// Split-chain potential scale reduction factor (R-hat).
+///
+/// Gelman–Rubin with the BDA3 split-chain refinement: every chain is
+/// cut in half and the halves are compared as if they were independent
+/// chains, so the statistic detects both between-chain disagreement
+/// *and* within-chain drift (a single trending chain splits into two
+/// halves with different means). Values near 1 indicate convergence;
+/// the adaptive Gibbs fit stops once the worst parameter drops below
+/// the caller's target.
+///
+/// Chains of unequal length are truncated to the shortest: each chain
+/// contributes its first and last `min_len/2` samples. Returns `None`
+/// when the halves would hold fewer than 2 samples (R-hat is undefined
+/// there). Degenerate variance is mapped to the informative extreme:
+/// all-constant chains yield `1.0`, constant chains at *different*
+/// values yield `+∞` (never converged).
+pub fn split_rhat(chains: &[&[f64]]) -> Option<f64> {
+    let half = chains.iter().map(|c| c.len()).min()? / 2;
+    if half < 2 {
+        return None;
+    }
+    let mut halves: Vec<&[f64]> = Vec::with_capacity(chains.len() * 2);
+    for c in chains {
+        halves.push(&c[..half]);
+        halves.push(&c[c.len() - half..]);
+    }
+    let m = halves.len() as f64;
+    let n = half as f64;
+    let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+    let means: Vec<f64> = halves.iter().map(|h| mean(h)).collect();
+    // W: mean within-half sample variance (n−1 denominator).
+    let w = halves
+        .iter()
+        .zip(&means)
+        .map(|(h, &mh)| h.iter().map(|x| (x - mh) * (x - mh)).sum::<f64>() / (n - 1.0))
+        .sum::<f64>()
+        / m;
+    // B/n: variance of the half means (m−1 denominator).
+    let grand = mean(&means);
+    let b_over_n = means
+        .iter()
+        .map(|&mj| (mj - grand) * (mj - grand))
+        .sum::<f64>()
+        / (m - 1.0);
+    if w <= 0.0 {
+        return Some(if b_over_n <= 0.0 { 1.0 } else { f64::INFINITY });
+    }
+    let var_plus = (n - 1.0) / n * w + b_over_n;
+    Some((var_plus / w).sqrt())
+}
+
+/// Worst (largest) split-chain R-hat over every scalar parameter of a
+/// set of per-chain posteriors: all `K` background rates and all `K²`
+/// weight entries. This is the convergence criterion of the adaptive
+/// multi-chain Gibbs fit — a fit only stops early when its *worst*
+/// parameter has converged.
+///
+/// Returns `None` when the chains are dimension-mismatched or too short
+/// for [`split_rhat`].
+pub fn max_split_rhat(chains: &[&crate::discrete::Posterior]) -> Option<f64> {
+    let first = chains.first()?;
+    let k = first.n_processes();
+    if chains.iter().any(|c| c.n_processes() != k) {
+        return None;
+    }
+    let mut worst: f64 = 0.0;
+    let mut series: Vec<Vec<f64>> = vec![Vec::new(); chains.len()];
+    let mut check = |series: &[Vec<f64>]| -> Option<()> {
+        let views: Vec<&[f64]> = series.iter().map(|s| s.as_slice()).collect();
+        let r = split_rhat(&views)?;
+        if r > worst {
+            worst = r;
+        }
+        Some(())
+    };
+    for p in 0..k {
+        for (chain, s) in chains.iter().zip(&mut series) {
+            s.clear();
+            s.extend(chain.lambda0_samples().iter().map(|l| l[p]));
+        }
+        check(&series)?;
+    }
+    for src in 0..k {
+        for dst in 0..k {
+            for (chain, s) in chains.iter().zip(&mut series) {
+                s.clear();
+                s.extend(chain.weight_samples().iter().map(|w| w.get(src, dst)));
+            }
+            check(&series)?;
+        }
+    }
+    Some(worst)
+}
+
 /// Effective sample size of a chain from its autocorrelation function,
 /// using Geyer's initial positive sequence truncation.
 pub fn effective_sample_size(chain: &[f64]) -> f64 {
@@ -192,6 +286,81 @@ mod tests {
     fn geweke_degenerate_cases() {
         assert_eq!(geweke_z(&[1.0; 10]), None); // too short
         assert_eq!(geweke_z(&[1.0; 100]), None); // zero variance
+    }
+
+    #[test]
+    fn split_rhat_near_one_for_well_mixed_chains() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let chains: Vec<Vec<f64>> = (0..4)
+            .map(|_| (0..500).map(|_| rng.gen::<f64>()).collect())
+            .collect();
+        let views: Vec<&[f64]> = chains.iter().map(|c| c.as_slice()).collect();
+        let r = split_rhat(&views).unwrap();
+        assert!(r < 1.05, "r={r}");
+        // Split R-hat can dip marginally below 1 when the between-half
+        // variance happens to undershoot W/n; it stays near 1 for
+        // well-mixed chains.
+        assert!(r > 0.99, "r={r}");
+    }
+
+    #[test]
+    fn split_rhat_detects_separated_chains() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        let a: Vec<f64> = (0..200).map(|_| rng.gen::<f64>()).collect();
+        let b: Vec<f64> = (0..200).map(|_| rng.gen::<f64>() + 10.0).collect();
+        let r = split_rhat(&[&a, &b]).unwrap();
+        assert!(r > 1.2, "separated chains not flagged: r={r}");
+    }
+
+    #[test]
+    fn split_rhat_detects_drift_within_a_single_chain() {
+        // The split-chain refinement: one trending chain disagrees with
+        // itself once halved, so even a lone chain can fail to converge.
+        let chain: Vec<f64> = (0..400).map(|i| i as f64).collect();
+        let r = split_rhat(&[&chain]).unwrap();
+        assert!(r > 1.2, "drifting chain not flagged: r={r}");
+    }
+
+    #[test]
+    fn split_rhat_degenerate_cases() {
+        assert_eq!(split_rhat(&[]), None); // no chains
+        assert_eq!(split_rhat(&[&[1.0, 2.0, 3.0]]), None); // halves too short
+                                                           // Constant everywhere: trivially converged.
+        assert_eq!(split_rhat(&[&[5.0; 40], &[5.0; 40]]), Some(1.0));
+        // Constant but disagreeing: never converged.
+        assert_eq!(split_rhat(&[&[1.0; 40], &[2.0; 40]]), Some(f64::INFINITY));
+        // Unequal lengths truncate to the shortest, not an error.
+        let long: Vec<f64> = (0..100).map(|i| (i % 7) as f64).collect();
+        assert!(split_rhat(&[&long, &long[..40]]).is_some());
+    }
+
+    #[test]
+    fn max_split_rhat_tracks_the_worst_parameter() {
+        use crate::discrete::Posterior;
+        let mk = |shift: f64| {
+            let mut p = Posterior::new(2, 40);
+            for i in 0..40 {
+                let noise = ((i * 2654435761usize) % 97) as f64 / 97.0;
+                // λ0[1] carries the between-chain disagreement; every
+                // other parameter mixes identically across chains.
+                p.push(
+                    vec![noise, noise + shift],
+                    Matrix::constant(2, noise),
+                    vec![0.5; 2 * 2 * 1],
+                    None,
+                );
+            }
+            p
+        };
+        let (a, b) = (mk(0.0), mk(0.0));
+        let converged = max_split_rhat(&[&a, &b]).unwrap();
+        assert!(converged < 1.05, "r={converged}");
+        let c = mk(50.0);
+        let split = max_split_rhat(&[&a, &c]).unwrap();
+        assert!(split > 1.5, "r={split}");
+        // Dimension mismatch is refused rather than mis-diagnosed.
+        let other = Posterior::new(3, 0);
+        assert_eq!(max_split_rhat(&[&a, &other]), None);
     }
 
     #[test]

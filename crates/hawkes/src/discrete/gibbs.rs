@@ -15,7 +15,7 @@
 //! Allocations themselves are multinomial with probabilities
 //! proportional to the additive rate components.
 
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 
 use centipede_stats::sampling::{
     sample_categorical_once, sample_dirichlet_into, sample_gamma, sample_multinomial_trials,
@@ -26,10 +26,11 @@ use crate::events::{BinEvent, EventSeq};
 use crate::matrix::Matrix;
 
 use super::basis::BasisSet;
+use super::kernels;
 use super::model::DiscreteHawkes;
 use centipede_obs::names;
 
-use super::posterior::Posterior;
+use super::posterior::{MultiChainPosterior, Posterior};
 
 /// Emit one batched-sweep trace event (`ph:"X"` complete span covering
 /// `batched` sweeps). One relaxed atomic load when tracing is off, so
@@ -57,6 +58,19 @@ const SWEEP_METRICS_BATCH: u64 = 16;
 /// latency by a handful of sweeps (micro- to milliseconds) while
 /// keeping the hot loop free of per-sweep synchronisation.
 pub const CANCEL_POLL_SWEEPS: u64 = 8;
+
+/// Recorded-sample interval between convergence checks of the adaptive
+/// multi-chain fit ([`GibbsSampler::fit_chains_cancellable`]). Chains
+/// advance in lockstep rounds of this many retained samples and R-hat
+/// is evaluated only at the round barriers, so the early-stopping
+/// decision — and with it every chain's RNG stream — depends only on
+/// the samples, never on thread scheduling.
+pub const RHAT_CHECK_INTERVAL: usize = 16;
+
+/// Minimum retained samples per chain before an R-hat verdict may stop
+/// a fit. Split-chain halves shorter than this divided by two are too
+/// noisy to certify convergence.
+pub const RHAT_MIN_SAMPLES: usize = 16;
 
 /// Gamma/Dirichlet prior hyper-parameters.
 ///
@@ -262,7 +276,10 @@ impl ExposureTables {
 
     /// Edge-truncated exposure of `src` toward one destination, given
     /// the pair's mixture weights. `inside` is reusable scratch for the
-    /// per-entry CDF values.
+    /// per-entry CDF values. The sweep loop uses
+    /// [`ExposureTables::exposure_all`]; this per-pair form is the
+    /// reference the tests pin it against.
+    #[cfg_attr(not(test), allow(dead_code))]
     fn exposure(
         &self,
         src: usize,
@@ -275,15 +292,15 @@ impl ExposureTables {
         let hi = self.offsets[src + 1] as usize;
         let mut exposure = total_src_events;
         if lo < hi {
-            let b = theta_pair.len();
             let entries = &self.remaining[lo..hi];
             inside.clear();
             inside.resize(entries.len(), 0.0);
             // Entries are stored in decreasing `remaining` order, so
             // walking them from the back visits increasing lags while
-            // the CDF prefix accumulates. The inner fold matches
+            // the CDF prefix accumulates. The fold kernel matches
             // `BasisSet::mix` + the prefix sum of `mix_cumulative`
-            // operation-for-operation.
+            // operation-for-operation (bit-identical in both the simd
+            // and scalar builds — see `super::kernels`).
             let mut acc = 0.0;
             let mut d = 0usize;
             for idx in (0..entries.len()).rev() {
@@ -291,15 +308,8 @@ impl ExposureTables {
                 if r == 0 {
                     continue; // no window mass inside the observation
                 }
-                while d < r {
-                    let row = &phi_lag_major[d * b..(d + 1) * b];
-                    let mut g = 0.0;
-                    for (th, p) in theta_pair.iter().zip(row) {
-                        g += th * p;
-                    }
-                    acc += g;
-                    d += 1;
-                }
+                kernels::fold_mix_prefix(theta_pair, phi_lag_major, d, r, &mut acc);
+                d = r;
                 inside[idx] = acc;
             }
             // Subtract in forward (original event) order; repeat per
@@ -311,6 +321,62 @@ impl ExposureTables {
             }
         }
         exposure.max(0.0)
+    }
+
+    /// [`ExposureTables::exposure`] for every destination of one source
+    /// in a single pass: the entry walk and CDF fold are shared across
+    /// destinations (each φ row is loaded once instead of once per
+    /// pair), while every destination's float sequence stays identical
+    /// to its per-pair scalar fold. `theta_t` is the basis-major
+    /// transpose of the source's `K·B` mixture block; `inside` and
+    /// `accs` are reusable scratch; exposures land in `out` (length
+    /// `n_dst`).
+    #[allow(clippy::too_many_arguments)]
+    fn exposure_all(
+        &self,
+        src: usize,
+        total_src_events: f64,
+        theta_t: &[f64],
+        n_dst: usize,
+        b: usize,
+        phi_lag_major: &[f64],
+        inside: &mut Vec<f64>,
+        accs: &mut [f64],
+        out: &mut [f64],
+    ) {
+        let lo = self.offsets[src] as usize;
+        let hi = self.offsets[src + 1] as usize;
+        out.fill(total_src_events);
+        if lo < hi {
+            let entries = &self.remaining[lo..hi];
+            inside.clear();
+            inside.resize(entries.len() * n_dst, 0.0);
+            accs.fill(0.0);
+            let mut d = 0usize;
+            for idx in (0..entries.len()).rev() {
+                let r = entries[idx] as usize;
+                if r == 0 {
+                    continue; // no window mass inside the observation
+                }
+                kernels::fold_mix_prefix_multi(theta_t, n_dst, b, phi_lag_major, d, r, accs);
+                d = r;
+                inside[idx * n_dst..(idx + 1) * n_dst].copy_from_slice(accs);
+            }
+            // Subtract in forward (original event) order per destination;
+            // repeat per merged bin-event so the float sequence matches
+            // the per-pair path exactly.
+            for (idx, &c) in self.counts[lo..hi].iter().enumerate() {
+                let ins = &inside[idx * n_dst..(idx + 1) * n_dst];
+                for _ in 0..c {
+                    for (o, &i) in out.iter_mut().zip(ins) {
+                        *o -= 1.0 - i;
+                    }
+                }
+            }
+        }
+        for v in out.iter_mut() {
+            *v = v.max(0.0);
+        }
     }
 }
 
@@ -335,8 +401,15 @@ struct SweepScratch {
     dir_alpha: Vec<f64>,
     /// Dirichlet draw output.
     dir_draw: Vec<f64>,
-    /// Per-entry CDF values for [`ExposureTables::exposure`].
+    /// Per-entry CDF values for [`ExposureTables::exposure_all`]
+    /// (`entries × K` wide).
     inside: Vec<f64>,
+    /// Basis-major transpose of one source's mixture block.
+    theta_t: Vec<f64>,
+    /// Per-destination CDF accumulators for the shared exposure fold.
+    exposure_acc: Vec<f64>,
+    /// Per-destination exposures of the current source.
+    exposures: Vec<f64>,
 }
 
 impl SweepScratch {
@@ -351,7 +424,10 @@ impl SweepScratch {
             multinomial: MultinomialScratch::default(),
             dir_alpha: Vec::with_capacity(b),
             dir_draw: Vec::with_capacity(b),
-            inside: Vec::with_capacity(max_trunc_entries),
+            inside: Vec::with_capacity(max_trunc_entries * k),
+            theta_t: vec![0.0; k * b],
+            exposure_acc: vec![0.0; k],
+            exposures: vec![0.0; k],
         }
     }
 
@@ -360,6 +436,35 @@ impl SweepScratch {
         self.n_child.fill(0.0);
         self.m_basis.fill(0.0);
     }
+}
+
+/// Shared read-only per-fit setup: the candidate arena, exposure
+/// tables, lag-major basis table, and per-process totals. Built once
+/// per fit and shared by every chain — chains differ only in their
+/// mutable [`ChainState`] and RNG stream, which is what makes the
+/// multi-chain fit cheap (setup cost is `O(events)`, paid once).
+struct FitSetup<'a> {
+    events: &'a [BinEvent],
+    k: usize,
+    b: usize,
+    t_total: f64,
+    phi_lag_major: Vec<f64>,
+    arena: CandidateArena,
+    exposure_tables: ExposureTables,
+    events_per_proc: Vec<f64>,
+    max_candidates: usize,
+    max_trunc_entries: usize,
+}
+
+/// Mutable per-chain sampler state: current parameters, scratch
+/// buffers, the recorded posterior, and the sweep counter.
+struct ChainState {
+    lambda0: Vec<f64>,
+    weights: Matrix,
+    theta: Vec<f64>,
+    scratch: SweepScratch,
+    posterior: Posterior,
+    sweep: usize,
 }
 
 impl GibbsSampler {
@@ -401,38 +506,9 @@ impl GibbsSampler {
         rng: &mut R,
         cancel: Option<&std::sync::atomic::AtomicBool>,
     ) -> Option<Posterior> {
-        let k = data.n_processes();
-        let b = self.basis.n_basis();
-        let d_max = self.basis.max_lag();
-        let t_total = data.n_bins() as f64;
-        let p = &self.config.priors;
-
         // --- One-time setup: after this point sweeps are allocation-free.
-        let events = data.events();
-        let phi_lag_major = self.basis.lag_major_table();
-        let arena = CandidateArena::build(data, &phi_lag_major, b, d_max);
-
-        // Per-process totals used for exposures.
-        let mut events_per_proc = vec![0.0f64; k];
-        for e in events {
-            events_per_proc[e.k as usize] += e.count as f64;
-        }
-        // Events whose window is truncated by the end of the observation,
-        // grouped per source for exposure corrections.
-        let exposure_tables = ExposureTables::build(events, k, data.n_bins(), d_max);
-
-        // --- Initialise state ------------------------------------------
-        let mut lambda0: Vec<f64> = (0..k)
-            .map(|ki| {
-                let empirical = events_per_proc[ki] / t_total;
-                (empirical * 0.5).max(1e-6)
-            })
-            .collect();
-        let mut weights = Matrix::constant(k, p.alpha_w / p.beta_w);
-        let mut theta = vec![1.0 / b as f64; k * k * b];
-
+        let setup = self.prepare(data);
         let total_sweeps = self.config.burn_in + self.config.n_samples * self.config.thin;
-        let mut posterior = Posterior::presized(k, k * k * b, self.config.n_samples);
 
         // Observability: resolve handles once per fit; sweep count and
         // timing are batched (slow-mixing URLs still show up in the
@@ -440,10 +516,9 @@ impl GibbsSampler {
         let sweep_counter = centipede_obs::counter(names::GIBBS_SWEEPS);
         let sweep_hist = centipede_obs::histogram(names::GIBBS_SWEEP_NANOS);
         centipede_obs::counter(names::GIBBS_FITS).inc(1);
-        centipede_obs::counter(names::GIBBS_EVENTS_SEEN).inc(events.len() as u64);
+        centipede_obs::counter(names::GIBBS_EVENTS_SEEN).inc(setup.events.len() as u64);
 
-        let mut scratch =
-            SweepScratch::new(k, b, arena.max_candidates(), exposure_tables.max_entries());
+        let mut st = self.chain_state(&setup);
 
         let mut batch_start = std::time::Instant::now();
         let mut batched: u64 = 0;
@@ -465,157 +540,7 @@ impl GibbsSampler {
                 }
             }
 
-            // ---- 1. Parent allocation ---------------------------------
-            scratch.reset();
-            for (ei, e) in events.iter().enumerate() {
-                let dst = e.k as usize;
-                let c0 = arena.offsets[ei] as usize;
-                let c1 = arena.offsets[ei + 1] as usize;
-                scratch.alloc_weights.clear();
-                scratch.alloc_weights.push(lambda0[dst]);
-                // Accumulate the total while building: `sum()` over the
-                // finished vector would fold the same values in the same
-                // order, so fusing the passes changes nothing bit-wise.
-                let mut total_w = lambda0[dst];
-                for ci in c0..c1 {
-                    let src = arena.src[ci] as usize;
-                    let cw = arena.count[ci] * weights.get(src, dst);
-                    let th = &theta[(src * k + dst) * b..(src * k + dst) * b + b];
-                    let phis = &arena.phi[ci * b..(ci + 1) * b];
-                    for (&thb, &phi) in th.iter().zip(phis) {
-                        let v = cw * thb * phi;
-                        total_w += v;
-                        scratch.alloc_weights.push(v);
-                    }
-                }
-                if total_w <= 0.0 {
-                    // Degenerate (all-zero rate); attribute to background.
-                    scratch.z0[dst] += e.count as f64;
-                    continue;
-                }
-                if e.count == 1 {
-                    // Overwhelmingly common case (one event per bin):
-                    // a single categorical draw with early-exit table
-                    // construction.
-                    let ti = sample_categorical_once(
-                        rng,
-                        &scratch.alloc_weights,
-                        total_w,
-                        &mut scratch.multinomial,
-                    );
-                    if ti == 0 {
-                        scratch.z0[dst] += 1.0;
-                    } else {
-                        let slot = ti - 1;
-                        let src = arena.src[c0 + slot / b] as usize;
-                        scratch.n_child.add(src, dst, 1.0);
-                        scratch.m_basis[(src * k + dst) * b + slot % b] += 1.0;
-                    }
-                } else if e.count as u64 <= 64 {
-                    // Common path: decode only the drawn trials instead
-                    // of scanning all K candidate slots. Accumulation
-                    // order may differ from the count-vector scan, but
-                    // every value involved is a small integer, so float
-                    // addition is exact and order-independent here.
-                    sample_multinomial_trials(
-                        rng,
-                        e.count as u64,
-                        &scratch.alloc_weights,
-                        total_w,
-                        &mut scratch.multinomial,
-                        &mut scratch.trial_idx,
-                    );
-                    for &ti in &scratch.trial_idx {
-                        if ti == 0 {
-                            scratch.z0[dst] += 1.0;
-                        } else {
-                            let slot = ti as usize - 1;
-                            let src = arena.src[c0 + slot / b] as usize;
-                            scratch.n_child.add(src, dst, 1.0);
-                            scratch.m_basis[(src * k + dst) * b + slot % b] += 1.0;
-                        }
-                    }
-                } else {
-                    sample_multinomial_with(
-                        rng,
-                        e.count as u64,
-                        &scratch.alloc_weights,
-                        &mut scratch.multinomial,
-                        &mut scratch.draws,
-                    );
-                    scratch.z0[dst] += scratch.draws[0] as f64;
-                    let mut idx = 1;
-                    for ci in c0..c1 {
-                        let src = arena.src[ci] as usize;
-                        for bi in 0..b {
-                            let n = scratch.draws[idx] as f64;
-                            idx += 1;
-                            if n > 0.0 {
-                                scratch.n_child.add(src, dst, n);
-                                scratch.m_basis[(src * k + dst) * b + bi] += n;
-                            }
-                        }
-                    }
-                }
-            }
-
-            // ---- 2. Background rates -----------------------------------
-            for (ki, l0) in lambda0.iter_mut().enumerate() {
-                *l0 = sample_gamma(rng, p.alpha0 + scratch.z0[ki], p.beta0 + t_total);
-            }
-
-            // ---- 3. Weights (with edge-truncated exposure) -------------
-            for src in 0..k {
-                for dst in 0..k {
-                    // Exposure: each src event contributes the fraction of
-                    // its impulse-response window inside the observation.
-                    let exposure = exposure_tables.exposure(
-                        src,
-                        events_per_proc[src],
-                        &theta[(src * k + dst) * b..(src * k + dst) * b + b],
-                        &phi_lag_major,
-                        &mut scratch.inside,
-                    );
-                    weights.set(
-                        src,
-                        dst,
-                        sample_gamma(
-                            rng,
-                            p.alpha_w + scratch.n_child.get(src, dst),
-                            p.beta_w + exposure,
-                        ),
-                    );
-                }
-            }
-
-            // ---- 4. Basis mixtures -------------------------------------
-            for pair in 0..k * k {
-                scratch.dir_alpha.clear();
-                for bi in 0..b {
-                    scratch
-                        .dir_alpha
-                        .push(p.gamma + scratch.m_basis[pair * b + bi]);
-                }
-                sample_dirichlet_into(rng, &scratch.dir_alpha, &mut scratch.dir_draw);
-                theta[pair * b..pair * b + b].copy_from_slice(&scratch.dir_draw);
-            }
-
-            // ---- 5. Record ---------------------------------------------
-            if sweep >= self.config.burn_in && (sweep - self.config.burn_in) % self.config.thin == 0
-            {
-                let ll = if self.config.record_likelihood {
-                    let model = DiscreteHawkes::new(
-                        lambda0.clone(),
-                        weights.clone(),
-                        theta.clone(),
-                        self.basis.clone(),
-                    );
-                    Some(model.log_likelihood(data))
-                } else {
-                    None
-                };
-                posterior.record(&lambda0, &weights, &theta, ll);
-            }
+            self.sweep_once(data, &setup, &mut st, rng);
 
             batched += 1;
             if batched == SWEEP_METRICS_BATCH {
@@ -633,7 +558,393 @@ impl GibbsSampler {
             sweep_counter.inc(batched);
             trace_sweep_batch(batch_start, batched);
         }
-        Some(posterior)
+        Some(st.posterior)
+    }
+
+    /// Run `M` independent chains (one per seed) and return their
+    /// combined posterior. Convenience wrapper over
+    /// [`GibbsSampler::fit_chains_cancellable`] with no convergence
+    /// target and no cancellation.
+    pub fn fit_chains(&self, data: &EventSeq, seeds: &[u64]) -> MultiChainPosterior {
+        self.fit_chains_cancellable(data, seeds, None, None)
+            .expect("fit without a cancellation flag cannot be cancelled")
+    }
+
+    /// Run `M` independent chains in parallel over shared setup, with
+    /// optional R-hat adaptive early stopping.
+    ///
+    /// Chains advance in lockstep rounds of [`RHAT_CHECK_INTERVAL`]
+    /// retained samples (one OS thread per chain per round, scoped so
+    /// no runtime dependency is needed). When `rhat_target` is set, the
+    /// worst-parameter split-chain R-hat
+    /// ([`crate::diagnostics::max_split_rhat`]) is evaluated at every
+    /// round barrier once [`RHAT_MIN_SAMPLES`] samples are in, and the
+    /// fit stops as soon as it drops below the target — often well
+    /// before the configured `n_samples` budget. Because the checks
+    /// happen at fixed sample counts, the result is bit-for-bit
+    /// deterministic in the seeds regardless of scheduling, and each
+    /// chain's stream is exactly the stream [`GibbsSampler::fit`] would
+    /// consume from the same seed.
+    ///
+    /// Returns `None` if `cancel` was observed set (as in
+    /// [`GibbsSampler::fit_cancellable`], partial state is discarded).
+    pub fn fit_chains_cancellable(
+        &self,
+        data: &EventSeq,
+        seeds: &[u64],
+        rhat_target: Option<f64>,
+        cancel: Option<&std::sync::atomic::AtomicBool>,
+    ) -> Option<MultiChainPosterior> {
+        assert!(
+            !seeds.is_empty(),
+            "fit_chains: at least one chain seed required"
+        );
+        let setup = self.prepare(data);
+        centipede_obs::counter(names::GIBBS_FITS).inc(seeds.len() as u64);
+        centipede_obs::counter(names::GIBBS_EVENTS_SEEN).inc(setup.events.len() as u64);
+
+        let mut chains: Vec<(ChainState, rand::rngs::StdRng)> = seeds
+            .iter()
+            .map(|&s| {
+                (
+                    self.chain_state(&setup),
+                    rand::rngs::StdRng::seed_from_u64(s),
+                )
+            })
+            .collect();
+
+        let n_samples = self.config.n_samples;
+        let cancelled = std::sync::atomic::AtomicBool::new(false);
+        let mut recorded = 0usize;
+        let mut rhat = None;
+        while recorded < n_samples {
+            let target = (recorded + RHAT_CHECK_INTERVAL).min(n_samples);
+            if chains.len() == 1 {
+                let (st, rng) = &mut chains[0];
+                self.advance_chain(data, &setup, st, rng, target, 0, cancel, &cancelled);
+            } else {
+                std::thread::scope(|scope| {
+                    for (ci, (st, rng)) in chains.iter_mut().enumerate() {
+                        let setup = &setup;
+                        let cancelled = &cancelled;
+                        scope.spawn(move || {
+                            self.advance_chain(
+                                data, setup, st, rng, target, ci as u32, cancel, cancelled,
+                            )
+                        });
+                    }
+                });
+            }
+            if cancelled.load(std::sync::atomic::Ordering::Relaxed) {
+                centipede_obs::counter(names::GIBBS_CANCELLED_FITS).inc(1);
+                return None;
+            }
+            recorded = target;
+            if let Some(threshold) = rhat_target {
+                if recorded >= RHAT_MIN_SAMPLES {
+                    let posts: Vec<&Posterior> =
+                        chains.iter().map(|(st, _)| &st.posterior).collect();
+                    if let Some(r) = crate::diagnostics::max_split_rhat(&posts) {
+                        rhat = Some(r);
+                        if r < threshold {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        if rhat.is_none() {
+            let posts: Vec<&Posterior> = chains.iter().map(|(st, _)| &st.posterior).collect();
+            rhat = crate::diagnostics::max_split_rhat(&posts);
+        }
+        Some(MultiChainPosterior::new(
+            chains.into_iter().map(|(st, _)| st.posterior).collect(),
+            rhat,
+        ))
+    }
+
+    /// Advance one chain until `target_samples` are retained, polling
+    /// `cancel` every [`CANCEL_POLL_SWEEPS`] sweeps (a set flag is
+    /// relayed through `cancelled` so sibling chains' rounds end too).
+    /// Emits one `gibbs_chain` trace span and the batched sweep metrics
+    /// for the round.
+    #[allow(clippy::too_many_arguments)]
+    fn advance_chain<R: Rng + ?Sized>(
+        &self,
+        data: &EventSeq,
+        setup: &FitSetup,
+        st: &mut ChainState,
+        rng: &mut R,
+        target_samples: usize,
+        chain_idx: u32,
+        cancel: Option<&std::sync::atomic::AtomicBool>,
+        cancelled: &std::sync::atomic::AtomicBool,
+    ) {
+        let round_start = std::time::Instant::now();
+        let sweeps_before = st.sweep;
+        while st.posterior.n_samples() < target_samples {
+            if st.sweep as u64 % CANCEL_POLL_SWEEPS == 0 {
+                if let Some(flag) = cancel {
+                    if flag.load(std::sync::atomic::Ordering::Relaxed) {
+                        cancelled.store(true, std::sync::atomic::Ordering::Relaxed);
+                        break;
+                    }
+                }
+            }
+            self.sweep_once(data, setup, st, rng);
+        }
+        let done = (st.sweep - sweeps_before) as u64;
+        if done > 0 {
+            let elapsed = round_start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            centipede_obs::histogram(names::GIBBS_SWEEP_NANOS).record_n(elapsed / done, done);
+            centipede_obs::counter(names::GIBBS_SWEEPS).inc(done);
+            centipede_obs::trace::complete(
+                names::TRACE_GIBBS_CHAIN,
+                round_start,
+                [
+                    centipede_obs::TraceTag::Chain(chain_idx),
+                    centipede_obs::TraceTag::Sweeps(done.min(u32::MAX as u64) as u32),
+                ],
+            );
+        }
+    }
+
+    /// Build the shared read-only setup for one event sequence.
+    fn prepare<'a>(&self, data: &'a EventSeq) -> FitSetup<'a> {
+        let k = data.n_processes();
+        let b = self.basis.n_basis();
+        let d_max = self.basis.max_lag();
+        let events = data.events();
+        let phi_lag_major = self.basis.lag_major_table();
+        let arena = CandidateArena::build(data, &phi_lag_major, b, d_max);
+
+        // Per-process totals used for exposures.
+        let mut events_per_proc = vec![0.0f64; k];
+        for e in events {
+            events_per_proc[e.k as usize] += e.count as f64;
+        }
+        // Events whose window is truncated by the end of the observation,
+        // grouped per source for exposure corrections.
+        let exposure_tables = ExposureTables::build(events, k, data.n_bins(), d_max);
+        let max_candidates = arena.max_candidates();
+        let max_trunc_entries = exposure_tables.max_entries();
+        FitSetup {
+            events,
+            k,
+            b,
+            t_total: data.n_bins() as f64,
+            phi_lag_major,
+            arena,
+            exposure_tables,
+            events_per_proc,
+            max_candidates,
+            max_trunc_entries,
+        }
+    }
+
+    /// Fresh chain state with the deterministic initialisation every
+    /// fit has always used: empirical half-rate background, prior-mean
+    /// weights, uniform basis mixtures.
+    fn chain_state(&self, setup: &FitSetup) -> ChainState {
+        let p = &self.config.priors;
+        let (k, b) = (setup.k, setup.b);
+        let lambda0 = (0..k)
+            .map(|ki| {
+                let empirical = setup.events_per_proc[ki] / setup.t_total;
+                (empirical * 0.5).max(1e-6)
+            })
+            .collect();
+        ChainState {
+            lambda0,
+            weights: Matrix::constant(k, p.alpha_w / p.beta_w),
+            theta: vec![1.0 / b as f64; k * k * b],
+            scratch: SweepScratch::new(k, b, setup.max_candidates, setup.max_trunc_entries),
+            posterior: Posterior::presized(k, k * k * b, self.config.n_samples),
+            sweep: 0,
+        }
+    }
+
+    /// One full Gibbs sweep of one chain: parent allocation, background
+    /// rates, weights, basis mixtures, and (when the sweep index is
+    /// past burn-in and on the thinning grid) recording.
+    fn sweep_once<R: Rng + ?Sized>(
+        &self,
+        data: &EventSeq,
+        setup: &FitSetup,
+        st: &mut ChainState,
+        rng: &mut R,
+    ) {
+        let (k, b) = (setup.k, setup.b);
+        let p = &self.config.priors;
+        let arena = &setup.arena;
+
+        // ---- 1. Parent allocation ---------------------------------
+        st.scratch.reset();
+        for (ei, e) in setup.events.iter().enumerate() {
+            let dst = e.k as usize;
+            let c0 = arena.offsets[ei] as usize;
+            let c1 = arena.offsets[ei + 1] as usize;
+            st.scratch.alloc_weights.clear();
+            st.scratch.alloc_weights.push(st.lambda0[dst]);
+            // Accumulate the total while building: `sum()` over the
+            // finished vector would fold the same values in the same
+            // order, so fusing the passes changes nothing bit-wise.
+            let mut total_w = st.lambda0[dst];
+            for ci in c0..c1 {
+                let src = arena.src[ci] as usize;
+                let cw = arena.count[ci] * st.weights.get(src, dst);
+                let th = &st.theta[(src * k + dst) * b..(src * k + dst) * b + b];
+                let phis = &arena.phi[ci * b..(ci + 1) * b];
+                kernels::accumulate_alloc_weights(
+                    cw,
+                    th,
+                    phis,
+                    &mut total_w,
+                    &mut st.scratch.alloc_weights,
+                );
+            }
+            if total_w <= 0.0 {
+                // Degenerate (all-zero rate); attribute to background.
+                st.scratch.z0[dst] += e.count as f64;
+                continue;
+            }
+            if e.count == 1 {
+                // Overwhelmingly common case (one event per bin):
+                // a single categorical draw with early-exit table
+                // construction.
+                let ti = sample_categorical_once(
+                    rng,
+                    &st.scratch.alloc_weights,
+                    total_w,
+                    &mut st.scratch.multinomial,
+                );
+                if ti == 0 {
+                    st.scratch.z0[dst] += 1.0;
+                } else {
+                    let slot = ti - 1;
+                    let src = arena.src[c0 + slot / b] as usize;
+                    st.scratch.n_child.add(src, dst, 1.0);
+                    st.scratch.m_basis[(src * k + dst) * b + slot % b] += 1.0;
+                }
+            } else if e.count as u64 <= 64 {
+                // Common path: decode only the drawn trials instead
+                // of scanning all K candidate slots. Accumulation
+                // order may differ from the count-vector scan, but
+                // every value involved is a small integer, so float
+                // addition is exact and order-independent here.
+                sample_multinomial_trials(
+                    rng,
+                    e.count as u64,
+                    &st.scratch.alloc_weights,
+                    total_w,
+                    &mut st.scratch.multinomial,
+                    &mut st.scratch.trial_idx,
+                );
+                for ti_slot in 0..st.scratch.trial_idx.len() {
+                    let ti = st.scratch.trial_idx[ti_slot];
+                    if ti == 0 {
+                        st.scratch.z0[dst] += 1.0;
+                    } else {
+                        let slot = ti as usize - 1;
+                        let src = arena.src[c0 + slot / b] as usize;
+                        st.scratch.n_child.add(src, dst, 1.0);
+                        st.scratch.m_basis[(src * k + dst) * b + slot % b] += 1.0;
+                    }
+                }
+            } else {
+                sample_multinomial_with(
+                    rng,
+                    e.count as u64,
+                    &st.scratch.alloc_weights,
+                    &mut st.scratch.multinomial,
+                    &mut st.scratch.draws,
+                );
+                st.scratch.z0[dst] += st.scratch.draws[0] as f64;
+                let mut idx = 1;
+                for ci in c0..c1 {
+                    let src = arena.src[ci] as usize;
+                    for bi in 0..b {
+                        let n = st.scratch.draws[idx] as f64;
+                        idx += 1;
+                        if n > 0.0 {
+                            st.scratch.n_child.add(src, dst, n);
+                            st.scratch.m_basis[(src * k + dst) * b + bi] += n;
+                        }
+                    }
+                }
+            }
+        }
+
+        // ---- 2. Background rates -----------------------------------
+        for (ki, l0) in st.lambda0.iter_mut().enumerate() {
+            *l0 = sample_gamma(rng, p.alpha0 + st.scratch.z0[ki], p.beta0 + setup.t_total);
+        }
+
+        // ---- 3. Weights (with edge-truncated exposure) -------------
+        for src in 0..k {
+            // Exposure: each src event contributes the fraction of its
+            // impulse-response window inside the observation. All K
+            // destinations share the source's entry walk; transposing
+            // the θ block lets the fold vectorize across destinations.
+            let th_block = &st.theta[src * k * b..(src + 1) * k * b];
+            for bi in 0..b {
+                for dst in 0..k {
+                    st.scratch.theta_t[bi * k + dst] = th_block[dst * b + bi];
+                }
+            }
+            setup.exposure_tables.exposure_all(
+                src,
+                setup.events_per_proc[src],
+                &st.scratch.theta_t,
+                k,
+                b,
+                &setup.phi_lag_major,
+                &mut st.scratch.inside,
+                &mut st.scratch.exposure_acc,
+                &mut st.scratch.exposures,
+            );
+            for dst in 0..k {
+                st.weights.set(
+                    src,
+                    dst,
+                    sample_gamma(
+                        rng,
+                        p.alpha_w + st.scratch.n_child.get(src, dst),
+                        p.beta_w + st.scratch.exposures[dst],
+                    ),
+                );
+            }
+        }
+
+        // ---- 4. Basis mixtures -------------------------------------
+        for pair in 0..k * k {
+            st.scratch.dir_alpha.clear();
+            for bi in 0..b {
+                st.scratch
+                    .dir_alpha
+                    .push(p.gamma + st.scratch.m_basis[pair * b + bi]);
+            }
+            sample_dirichlet_into(rng, &st.scratch.dir_alpha, &mut st.scratch.dir_draw);
+            st.theta[pair * b..pair * b + b].copy_from_slice(&st.scratch.dir_draw);
+        }
+
+        // ---- 5. Record ---------------------------------------------
+        let sweep = st.sweep;
+        if sweep >= self.config.burn_in && (sweep - self.config.burn_in) % self.config.thin == 0 {
+            let ll = if self.config.record_likelihood {
+                let model = DiscreteHawkes::new(
+                    st.lambda0.clone(),
+                    st.weights.clone(),
+                    st.theta.clone(),
+                    self.basis.clone(),
+                );
+                Some(model.log_likelihood(data))
+            } else {
+                None
+            };
+            st.posterior.record(&st.lambda0, &st.weights, &st.theta, ll);
+        }
+        st.sweep += 1;
     }
 }
 
@@ -783,6 +1094,102 @@ mod tests {
         let a = sampler.fit(&data, &mut rng(9)).mean_weights();
         let b = sampler.fit(&data, &mut rng(9)).mean_weights();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn multi_chain_chains_match_single_chain_fits_bitwise() {
+        // The multi-chain snapshot: every chain of `fit_chains` must
+        // reproduce exactly the posterior `fit` yields from the same
+        // seed — the chains are M independent single-chain RNG streams,
+        // and neither the shared setup nor the lockstep rounds may
+        // perturb them. This pins the multi-chain path to the same
+        // golden reference as the PR 2 snapshot.
+        let basis = BasisSet::log_gaussian(20, 2);
+        let data = EventSeq::from_points(
+            300,
+            2,
+            &[
+                (10, 0),
+                (12, 1),
+                (30, 0),
+                (120, 1),
+                (140, 0),
+                (290, 1),
+                (295, 0),
+            ],
+        );
+        let sampler = GibbsSampler::new(quick_config(24), basis);
+        let seeds = [9u64, 10, 11];
+        let multi = sampler.fit_chains(&data, &seeds);
+        assert_eq!(multi.n_chains(), 3);
+        for (chain, &seed) in multi.chains().iter().zip(&seeds) {
+            let solo = sampler.fit(&data, &mut rng(seed));
+            assert_eq!(chain.lambda0_samples(), solo.lambda0_samples());
+            assert_eq!(chain.weight_samples(), solo.weight_samples());
+            assert_eq!(chain.mean_theta(), solo.mean_theta());
+        }
+        // Runs are reproducible end to end, R-hat included (barriers at
+        // fixed sample counts make scheduling irrelevant).
+        let again = sampler.fit_chains(&data, &seeds);
+        assert_eq!(multi, again);
+        assert!(multi.rhat().is_some());
+    }
+
+    #[test]
+    fn multi_chain_pooled_sample_count() {
+        let basis = BasisSet::uniform(10);
+        let data = EventSeq::from_points(200, 1, &[(5, 0), (90, 0)]);
+        let sampler = GibbsSampler::new(quick_config(10), basis);
+        let multi = sampler.fit_chains(&data, &[1, 2]);
+        assert_eq!(multi.pooled().n_samples(), 20);
+    }
+
+    #[test]
+    fn adaptive_rhat_stops_early_at_a_round_barrier() {
+        // With no events every conditional collapses to its prior, so
+        // chains are i.i.d. draws and converge essentially immediately;
+        // a loose target must stop the fit at the first eligible
+        // barrier rather than burning the full 96-sample budget.
+        let data = EventSeq::from_points(1_000, 2, &[]);
+        let cfg = GibbsConfig {
+            n_samples: 96,
+            burn_in: 4,
+            ..GibbsConfig::default()
+        };
+        let sampler = GibbsSampler::new(cfg, BasisSet::uniform(10));
+        let multi = sampler
+            .fit_chains_cancellable(&data, &[1, 2], Some(1.5), None)
+            .expect("no cancel flag");
+        let per_chain = multi.chains()[0].n_samples();
+        assert!(per_chain < 96, "no early stop: {per_chain} samples");
+        assert!(per_chain >= RHAT_MIN_SAMPLES);
+        assert_eq!(
+            per_chain % RHAT_CHECK_INTERVAL,
+            0,
+            "stopped off-barrier at {per_chain}"
+        );
+        // All chains stop at the same barrier.
+        assert_eq!(multi.chains()[1].n_samples(), per_chain);
+        assert!(multi.rhat().expect("checked") < 1.5);
+    }
+
+    #[test]
+    fn no_rhat_target_runs_the_full_budget() {
+        let data = EventSeq::from_points(1_000, 1, &[]);
+        let sampler = GibbsSampler::new(quick_config(40), BasisSet::uniform(10));
+        let multi = sampler.fit_chains(&data, &[3, 4]);
+        assert!(multi.chains().iter().all(|c| c.n_samples() == 40));
+    }
+
+    #[test]
+    fn multi_chain_preset_cancel_flag_aborts() {
+        use std::sync::atomic::AtomicBool;
+        let data = EventSeq::from_points(500, 1, &[(10, 0)]);
+        let sampler = GibbsSampler::new(quick_config(8), BasisSet::uniform(10));
+        let flag = AtomicBool::new(true);
+        assert!(sampler
+            .fit_chains_cancellable(&data, &[1, 2], None, Some(&flag))
+            .is_none());
     }
 
     /// Verbatim copy of the pre-arena sweep loop, kept as a golden
@@ -1014,6 +1421,65 @@ mod tests {
                     legacy.to_bits(),
                     "trial={trial} src={src}: {grouped} vs {legacy}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn exposure_all_matches_per_pair() {
+        // The shared-walk multi-destination exposure must reproduce the
+        // per-pair fold bit-for-bit for every destination, across
+        // random layouts, dimensions, and per-destination mixtures.
+        let mut r = rng(78);
+        for trial in 0..60 {
+            let k = 1 + r.gen_range(0..5usize);
+            let d_max = 2 + r.gen_range(0..40usize);
+            let n_basis = 1 + r.gen_range(0..4usize);
+            let n_bins = d_max as u32 + 2 + r.gen_range(0..60u32);
+            let basis = BasisSet::log_gaussian(d_max, n_basis);
+            let mut pts: Vec<(u32, u16)> = Vec::new();
+            for t in 0..n_bins {
+                for ki in 0..k as u16 {
+                    if r.gen::<f64>() < 0.25 {
+                        pts.push((t, ki));
+                    }
+                }
+            }
+            let data = EventSeq::from_points(n_bins, k, &pts);
+            let events = data.events();
+            let tables = ExposureTables::build(events, k, n_bins, d_max);
+            let mut events_per_proc = vec![0.0f64; k];
+            for e in events {
+                events_per_proc[e.k as usize] += e.count as f64;
+            }
+            // Distinct mixture per destination, stored dst-major like a
+            // source's θ block, plus its basis-major transpose.
+            let theta: Vec<f64> = (0..k * n_basis).map(|_| r.gen::<f64>() + 0.01).collect();
+            let mut theta_t = vec![0.0; k * n_basis];
+            for bi in 0..n_basis {
+                for dst in 0..k {
+                    theta_t[bi * k + dst] = theta[dst * n_basis + bi];
+                }
+            }
+            let table = basis.lag_major_table();
+            let mut inside = Vec::new();
+            let mut accs = vec![0.0; k];
+            let mut out = vec![0.0; k];
+            for (src, &n_src) in events_per_proc.iter().enumerate() {
+                tables.exposure_all(
+                    src, n_src, &theta_t, k, n_basis, &table, &mut inside, &mut accs, &mut out,
+                );
+                for dst in 0..k {
+                    let pair =
+                        &theta[dst * n_basis..(dst + 1) * n_basis];
+                    let per_pair = tables.exposure(src, n_src, pair, &table, &mut inside);
+                    assert_eq!(
+                        out[dst].to_bits(),
+                        per_pair.to_bits(),
+                        "trial={trial} src={src} dst={dst}: {} vs {per_pair}",
+                        out[dst],
+                    );
+                }
             }
         }
     }

@@ -1,0 +1,397 @@
+//! Vectorized sweep kernels for the Gibbs hot loops.
+//!
+//! The two inner loops that dominate a sweep — the per-candidate
+//! allocation-weight products and the exposure CDF fold — are pure
+//! arithmetic over `B`-length basis rows. With the workspace default of
+//! `B = 4` both map onto 4-lane f64 blocks that LLVM turns into SIMD
+//! (`mulpd`/`addpd` on x86-64, or wider with `-C target-cpu=native`)
+//! without any `unsafe` or external crates: fixed-size `[f64; 4]`
+//! arrays with per-lane independent operations are the autovectorizer's
+//! best case.
+//!
+//! **Bit compatibility is load-bearing.** The PR 2 snapshot tests pin
+//! the exact RNG stream and float sequence of the scalar sweep, and the
+//! `simd` feature is on by default, so these kernels must be
+//! bit-identical to the scalar loops — not merely close:
+//!
+//! * products are per-lane independent (`(cw·θ_b)·φ_b` with the same
+//!   association as the scalar expression), so vectorizing them changes
+//!   nothing;
+//! * *reductions* keep the scalar visit order: lane values are folded
+//!   into the running totals sequentially (`t += v0; t += v1; …`), and
+//!   the blocked exposure fold keeps four *independent* per-row
+//!   accumulators whose per-row add order matches the scalar row fold
+//!   exactly, then drains them in row order.
+//!
+//! The win is therefore in the multiplies, the removed `Vec::push`
+//! per element, and — for the exposure fold — breaking the serial
+//! `acc += g_d` dependency chain into four independent chains.
+//! `tests::simd_kernels_bit_match_scalar` pins the equivalence
+//! exhaustively over random inputs.
+//!
+//! With `--no-default-features` both entry points compile to the
+//! original scalar loops, keeping a reference implementation alive for
+//! differential testing and for targets where the blocked layout loses.
+
+/// Basis width the vectorized blocks are specialized for.
+pub const LANES: usize = 4;
+
+/// Append `(cw·θ_b)·φ_b` for every basis `b` to `out`, folding each
+/// term into `*total` in basis order — bit-identical to
+///
+/// ```text
+/// for b { let v = cw * th[b] * phi[b]; *total += v; out.push(v); }
+/// ```
+///
+/// `th` and `phi` must have equal length (the basis width).
+#[cfg(feature = "simd")]
+#[inline(always)]
+pub fn accumulate_alloc_weights(
+    cw: f64,
+    th: &[f64],
+    phi: &[f64],
+    total: &mut f64,
+    out: &mut Vec<f64>,
+) {
+    debug_assert_eq!(th.len(), phi.len());
+    if th.len() == LANES {
+        let th: &[f64; LANES] = th.try_into().unwrap();
+        let phi: &[f64; LANES] = phi.try_into().unwrap();
+        let mut v = [0.0f64; LANES];
+        // Per-lane independent products — vectorizes; association
+        // matches the scalar `cw * th * phi` ( = `(cw*th)*phi` ).
+        for i in 0..LANES {
+            v[i] = cw * th[i] * phi[i];
+        }
+        // Sequential drain keeps the scalar accumulation order.
+        let mut t = *total;
+        for &vi in &v {
+            t += vi;
+        }
+        *total = t;
+        out.extend_from_slice(&v);
+    } else {
+        accumulate_alloc_weights_scalar(cw, th, phi, total, out);
+    }
+}
+
+/// Scalar build of [`accumulate_alloc_weights`] (also the fallback for
+/// non-4 basis widths under the `simd` feature).
+#[cfg(not(feature = "simd"))]
+#[inline(always)]
+pub fn accumulate_alloc_weights(
+    cw: f64,
+    th: &[f64],
+    phi: &[f64],
+    total: &mut f64,
+    out: &mut Vec<f64>,
+) {
+    accumulate_alloc_weights_scalar(cw, th, phi, total, out);
+}
+
+/// The reference loop both builds share.
+#[inline(always)]
+pub fn accumulate_alloc_weights_scalar(
+    cw: f64,
+    th: &[f64],
+    phi: &[f64],
+    total: &mut f64,
+    out: &mut Vec<f64>,
+) {
+    for (&thb, &phib) in th.iter().zip(phi) {
+        let v = cw * thb * phib;
+        *total += v;
+        out.push(v);
+    }
+}
+
+/// Fold the mixture-CDF prefix `Σ_{d = from..to} Σ_b θ_b·φ[d,b]` into
+/// `*acc`, visiting lags in increasing order with the same per-row and
+/// across-row float sequence as the scalar fold. `phi_lag_major` is the
+/// lag-major basis table (`φ[d·B + b]` holds lag `d + 1`).
+#[cfg(feature = "simd")]
+#[inline(always)]
+pub fn fold_mix_prefix(
+    theta: &[f64],
+    phi_lag_major: &[f64],
+    from: usize,
+    to: usize,
+    acc: &mut f64,
+) {
+    let b = theta.len();
+    let mut d = from;
+    if b == LANES {
+        let th: &[f64; LANES] = theta.try_into().unwrap();
+        // Four rows per block: per-row sums build in independent lanes
+        // (basis visit order unchanged within each lane), then drain in
+        // row order — four dependency chains instead of one.
+        while d + LANES <= to {
+            let rows = &phi_lag_major[d * LANES..(d + LANES) * LANES];
+            let rows: &[f64; LANES * LANES] = rows.try_into().unwrap();
+            let mut g = [0.0f64; LANES];
+            for bi in 0..LANES {
+                let t = th[bi];
+                for (j, gj) in g.iter_mut().enumerate() {
+                    *gj += t * rows[j * LANES + bi];
+                }
+            }
+            let mut a = *acc;
+            for &gj in &g {
+                a += gj;
+            }
+            *acc = a;
+            d += LANES;
+        }
+    }
+    fold_mix_prefix_scalar(theta, phi_lag_major, d, to, acc);
+}
+
+/// Scalar build of [`fold_mix_prefix`].
+#[cfg(not(feature = "simd"))]
+#[inline(always)]
+pub fn fold_mix_prefix(
+    theta: &[f64],
+    phi_lag_major: &[f64],
+    from: usize,
+    to: usize,
+    acc: &mut f64,
+) {
+    fold_mix_prefix_scalar(theta, phi_lag_major, from, to, acc);
+}
+
+/// [`fold_mix_prefix`] for many destinations of one source at once:
+/// `accs[dst] += Σ_{d = from..to} Σ_b θ[dst,b]·φ[d,b]`, with each
+/// destination's float sequence identical to its scalar fold. `theta_t`
+/// is the *basis-major* transpose of the source's mixture block
+/// (`theta_t[bi·n_dst + dst]` holds `θ[dst,bi]`), so the lanes of the
+/// vectorized build run over contiguous destinations and each φ row is
+/// loaded once instead of once per `(src, dst)` pair.
+#[cfg(feature = "simd")]
+#[inline(always)]
+pub fn fold_mix_prefix_multi(
+    theta_t: &[f64],
+    n_dst: usize,
+    b: usize,
+    phi_lag_major: &[f64],
+    from: usize,
+    to: usize,
+    accs: &mut [f64],
+) {
+    debug_assert_eq!(theta_t.len(), n_dst * b);
+    debug_assert_eq!(accs.len(), n_dst);
+    let mut dst0 = 0;
+    if b == LANES {
+        // Blocks of 4 destinations in lanes; per row, each lane builds
+        // its own `g` in basis order then drains into its accumulator —
+        // exactly the scalar per-destination sequence.
+        while dst0 + LANES <= n_dst {
+            let mut acc = [0.0f64; LANES];
+            acc.copy_from_slice(&accs[dst0..dst0 + LANES]);
+            for d in from..to {
+                let row: &[f64; LANES] = phi_lag_major[d * LANES..(d + 1) * LANES]
+                    .try_into()
+                    .unwrap();
+                let mut g = [0.0f64; LANES];
+                for (bi, &p) in row.iter().enumerate() {
+                    let th = &theta_t[bi * n_dst + dst0..bi * n_dst + dst0 + LANES];
+                    for j in 0..LANES {
+                        g[j] += th[j] * p;
+                    }
+                }
+                for j in 0..LANES {
+                    acc[j] += g[j];
+                }
+            }
+            accs[dst0..dst0 + LANES].copy_from_slice(&acc);
+            dst0 += LANES;
+        }
+    }
+    fold_mix_prefix_multi_tail(theta_t, n_dst, b, phi_lag_major, from, to, accs, dst0);
+}
+
+/// Scalar build of [`fold_mix_prefix_multi`].
+#[cfg(not(feature = "simd"))]
+#[inline(always)]
+pub fn fold_mix_prefix_multi(
+    theta_t: &[f64],
+    n_dst: usize,
+    b: usize,
+    phi_lag_major: &[f64],
+    from: usize,
+    to: usize,
+    accs: &mut [f64],
+) {
+    debug_assert_eq!(theta_t.len(), n_dst * b);
+    debug_assert_eq!(accs.len(), n_dst);
+    fold_mix_prefix_multi_tail(theta_t, n_dst, b, phi_lag_major, from, to, accs, 0);
+}
+
+/// The per-destination reference loop both builds share (the simd build
+/// uses it for the `n_dst % 4` remainder).
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn fold_mix_prefix_multi_tail(
+    theta_t: &[f64],
+    n_dst: usize,
+    b: usize,
+    phi_lag_major: &[f64],
+    from: usize,
+    to: usize,
+    accs: &mut [f64],
+    dst0: usize,
+) {
+    for dst in dst0..n_dst {
+        let mut acc = accs[dst];
+        for d in from..to {
+            let row = &phi_lag_major[d * b..(d + 1) * b];
+            let mut g = 0.0;
+            for (bi, &p) in row.iter().enumerate() {
+                g += theta_t[bi * n_dst + dst] * p;
+            }
+            acc += g;
+        }
+        accs[dst] = acc;
+    }
+}
+
+/// The reference fold both builds share: one row at a time, matching
+/// `BasisSet::mix` + the prefix sum of `mix_cumulative`
+/// operation-for-operation.
+#[inline(always)]
+pub fn fold_mix_prefix_scalar(
+    theta: &[f64],
+    phi_lag_major: &[f64],
+    from: usize,
+    to: usize,
+    acc: &mut f64,
+) {
+    let b = theta.len();
+    let mut d = from;
+    while d < to {
+        let row = &phi_lag_major[d * b..(d + 1) * b];
+        let mut g = 0.0;
+        for (th, p) in theta.iter().zip(row) {
+            g += th * p;
+        }
+        *acc += g;
+        d += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    /// The contract the Gibbs snapshot tests rely on: whatever build is
+    /// active, the kernels reproduce the scalar reference bit for bit —
+    /// across basis widths (the blocked path only engages at B = 4),
+    /// row counts (remainders after the 4-row blocks), and magnitudes.
+    #[test]
+    fn simd_kernels_bit_match_scalar() {
+        let mut r = rng(4242);
+        for trial in 0..200 {
+            let b = 1 + trial % 6;
+            let d_max = 1 + r.gen_range(0..40usize);
+            let table: Vec<f64> = (0..d_max * b).map(|_| r.gen::<f64>() * 0.1).collect();
+            let theta: Vec<f64> = (0..b).map(|_| r.gen::<f64>()).collect();
+            let cw = r.gen::<f64>() * 10.0;
+            let phi_row = &table[..b];
+
+            let mut total_k = r.gen::<f64>();
+            let mut total_s = total_k;
+            let mut out_k = Vec::new();
+            let mut out_s = Vec::new();
+            accumulate_alloc_weights(cw, &theta, phi_row, &mut total_k, &mut out_k);
+            accumulate_alloc_weights_scalar(cw, &theta, phi_row, &mut total_s, &mut out_s);
+            assert_eq!(total_k.to_bits(), total_s.to_bits(), "trial={trial} totals");
+            assert_eq!(out_k.len(), out_s.len());
+            for (a, b) in out_k.iter().zip(&out_s) {
+                assert_eq!(a.to_bits(), b.to_bits(), "trial={trial} weights");
+            }
+
+            let from = r.gen_range(0..d_max);
+            let to = r.gen_range(from..=d_max);
+            let mut acc_k = r.gen::<f64>();
+            let mut acc_s = acc_k;
+            fold_mix_prefix(&theta, &table, from, to, &mut acc_k);
+            fold_mix_prefix_scalar(&theta, &table, from, to, &mut acc_s);
+            assert_eq!(
+                acc_k.to_bits(),
+                acc_s.to_bits(),
+                "trial={trial} fold from={from} to={to}"
+            );
+        }
+    }
+
+    /// The multi-destination fold must reproduce the per-pair scalar
+    /// fold bit for bit for every destination — across basis widths,
+    /// destination counts (block + remainder lanes), and resumed folds
+    /// (`from > 0`, as the exposure tables produce).
+    #[test]
+    fn multi_dst_fold_bit_matches_per_dst_scalar() {
+        let mut r = rng(733);
+        for trial in 0..200 {
+            let b = 1 + trial % 6;
+            let n_dst = 1 + r.gen_range(0..11usize);
+            let d_max = 1 + r.gen_range(0..40usize);
+            let table: Vec<f64> = (0..d_max * b).map(|_| r.gen::<f64>() * 0.1).collect();
+            // Destination-major mixtures plus their basis-major transpose.
+            let theta: Vec<f64> = (0..n_dst * b).map(|_| r.gen::<f64>()).collect();
+            let mut theta_t = vec![0.0; n_dst * b];
+            for dst in 0..n_dst {
+                for bi in 0..b {
+                    theta_t[bi * n_dst + dst] = theta[dst * b + bi];
+                }
+            }
+            let from = r.gen_range(0..d_max);
+            let to = r.gen_range(from..=d_max);
+            let mut accs: Vec<f64> = (0..n_dst).map(|_| r.gen::<f64>()).collect();
+            let expect: Vec<f64> = (0..n_dst)
+                .map(|dst| {
+                    let mut acc = accs[dst];
+                    fold_mix_prefix_scalar(&theta[dst * b..(dst + 1) * b], &table, from, to, &mut acc);
+                    acc
+                })
+                .collect();
+            fold_mix_prefix_multi(&theta_t, n_dst, b, &table, from, to, &mut accs);
+            for (dst, (a, e)) in accs.iter().zip(&expect).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    e.to_bits(),
+                    "trial={trial} dst={dst} b={b} n_dst={n_dst} from={from} to={to}"
+                );
+            }
+        }
+    }
+
+    /// Non-finite and denormal inputs must flow through both builds
+    /// identically (NaN payloads included) — the kernels may reorder
+    /// independent products but never the folds that could observe a
+    /// difference.
+    #[test]
+    fn kernels_preserve_non_finite_bit_patterns() {
+        let theta = [f64::NAN, f64::INFINITY, -0.0, 5e-324];
+        let table: Vec<f64> = (0..32).map(|i| (i as f64 - 16.0) * 0.25).collect();
+        let mut acc_k = 1.0;
+        let mut acc_s = 1.0;
+        fold_mix_prefix(&theta, &table, 0, 8, &mut acc_k);
+        fold_mix_prefix_scalar(&theta, &table, 0, 8, &mut acc_s);
+        assert_eq!(acc_k.to_bits(), acc_s.to_bits());
+
+        let mut t_k = 0.0;
+        let mut t_s = 0.0;
+        let mut o_k = Vec::new();
+        let mut o_s = Vec::new();
+        accumulate_alloc_weights(f64::NEG_INFINITY, &theta, &table[..4], &mut t_k, &mut o_k);
+        accumulate_alloc_weights_scalar(f64::NEG_INFINITY, &theta, &table[..4], &mut t_s, &mut o_s);
+        assert_eq!(t_k.to_bits(), t_s.to_bits());
+        for (a, b) in o_k.iter().zip(&o_s) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}

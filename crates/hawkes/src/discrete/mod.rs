@@ -12,13 +12,17 @@
 mod basis;
 mod em;
 mod gibbs;
+pub mod kernels;
 mod model;
 mod posterior;
 mod simulate;
 
 pub use basis::BasisSet;
 pub use em::{EmConfig, EmFitter, EmResult};
-pub use gibbs::{GibbsConfig, GibbsSampler, Priors};
+pub use gibbs::{GibbsConfig, GibbsSampler, Priors, RHAT_CHECK_INTERVAL, RHAT_MIN_SAMPLES};
 pub use model::DiscreteHawkes;
-pub use posterior::{Posterior, PosteriorCodecError, POSTERIOR_MAGIC, POSTERIOR_VERSION};
+pub use posterior::{
+    MultiChainPosterior, Posterior, PosteriorCodecError, MULTI_CHAIN_MAGIC, MULTI_CHAIN_VERSION,
+    POSTERIOR_MAGIC, POSTERIOR_VERSION,
+};
 pub use simulate::simulate;

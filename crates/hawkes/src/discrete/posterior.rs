@@ -420,6 +420,151 @@ impl Posterior {
     }
 }
 
+/// Magic prefix of the stable binary [`MultiChainPosterior`] encoding.
+pub const MULTI_CHAIN_MAGIC: [u8; 4] = *b"CPMC";
+
+/// Version of the stable binary [`MultiChainPosterior`] encoding.
+pub const MULTI_CHAIN_VERSION: u32 = 1;
+
+/// Posterior samples from `M` independent Gibbs chains over the same
+/// data, plus the split-chain R-hat the adaptive fit observed when it
+/// stopped (if convergence checking was enabled).
+///
+/// Chains are kept separate — not pre-pooled — so convergence
+/// diagnostics stay computable after a round-trip through the
+/// checkpoint codec; [`MultiChainPosterior::pooled`] concatenates them
+/// when only the combined posterior matters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiChainPosterior {
+    chains: Vec<Posterior>,
+    rhat: Option<f64>,
+}
+
+impl MultiChainPosterior {
+    /// Wrap per-chain posteriors. All chains must agree on `K`.
+    ///
+    /// # Panics
+    /// Panics on an empty chain list or mismatched process counts.
+    pub fn new(chains: Vec<Posterior>, rhat: Option<f64>) -> Self {
+        assert!(
+            !chains.is_empty(),
+            "MultiChainPosterior: at least one chain required"
+        );
+        let k = chains[0].n_processes;
+        assert!(
+            chains.iter().all(|c| c.n_processes == k),
+            "MultiChainPosterior: chains disagree on process count"
+        );
+        MultiChainPosterior { chains, rhat }
+    }
+
+    /// The per-chain posteriors.
+    pub fn chains(&self) -> &[Posterior] {
+        &self.chains
+    }
+
+    /// Number of chains `M`.
+    pub fn n_chains(&self) -> usize {
+        self.chains.len()
+    }
+
+    /// Number of processes `K`.
+    pub fn n_processes(&self) -> usize {
+        self.chains[0].n_processes
+    }
+
+    /// Total retained samples across all chains.
+    pub fn n_samples(&self) -> usize {
+        self.chains.iter().map(|c| c.n_recorded).sum()
+    }
+
+    /// The worst-parameter split-chain R-hat recorded by the fit, if
+    /// convergence checking ran.
+    pub fn rhat(&self) -> Option<f64> {
+        self.rhat
+    }
+
+    /// Concatenate the chains into one pooled [`Posterior`] (samples in
+    /// chain order, then sweep order — the standard post-convergence
+    /// pooling for posterior summaries).
+    pub fn pooled(&self) -> Posterior {
+        let k = self.n_processes();
+        let mut out = Posterior::new(k, self.n_samples());
+        for c in &self.chains {
+            for i in 0..c.n_recorded {
+                out.lambda0.push(c.lambda0[i].clone());
+                out.weights.push(c.weights[i].clone());
+                out.theta.push(c.theta[i].clone());
+            }
+            out.log_likelihoods.extend_from_slice(&c.log_likelihoods);
+            out.n_recorded += c.n_recorded;
+        }
+        out
+    }
+
+    /// Encode as a stable self-describing blob: magic + version, the
+    /// chain count, an R-hat presence byte (+ `f64::to_bits` value),
+    /// then each chain as a length-prefixed [`Posterior::to_bytes`]
+    /// frame.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&MULTI_CHAIN_MAGIC);
+        out.extend_from_slice(&MULTI_CHAIN_VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.chains.len() as u64).to_le_bytes());
+        match self.rhat {
+            Some(r) => {
+                out.push(1);
+                out.extend_from_slice(&r.to_bits().to_le_bytes());
+            }
+            None => out.push(0),
+        }
+        for c in &self.chains {
+            let blob = c.to_bytes();
+            out.extend_from_slice(&(blob.len() as u64).to_le_bytes());
+            out.extend_from_slice(&blob);
+        }
+        out
+    }
+
+    /// Decode a [`MultiChainPosterior::to_bytes`] blob, validating
+    /// magic, version, counts, frame lengths, and cross-chain dimension
+    /// agreement. Trailing bytes are an error, matching
+    /// [`Posterior::from_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<MultiChainPosterior, PosteriorCodecError> {
+        let mut c = Cursor { bytes, pos: 0 };
+        if c.take(4)? != MULTI_CHAIN_MAGIC {
+            return Err(PosteriorCodecError::BadMagic);
+        }
+        let version = c.read_u32()?;
+        if version != MULTI_CHAIN_VERSION {
+            return Err(PosteriorCodecError::BadVersion(version));
+        }
+        let n_chains = c.read_u64()? as usize;
+        if n_chains == 0 || n_chains > 4096 {
+            return Err(PosteriorCodecError::BadDimensions);
+        }
+        let rhat = match c.take(1)?[0] {
+            0 => None,
+            1 => Some(c.read_f64()?),
+            _ => return Err(PosteriorCodecError::BadDimensions),
+        };
+        let mut chains = Vec::with_capacity(n_chains);
+        for _ in 0..n_chains {
+            let len = c.read_u64()? as usize;
+            let frame = c.take(len)?;
+            chains.push(Posterior::from_bytes(frame)?);
+        }
+        if c.pos != bytes.len() {
+            return Err(PosteriorCodecError::BadDimensions);
+        }
+        let k = chains[0].n_processes;
+        if chains.iter().any(|p| p.n_processes != k) {
+            return Err(PosteriorCodecError::BadDimensions);
+        }
+        Ok(MultiChainPosterior { chains, rhat })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -597,6 +742,117 @@ mod tests {
         );
         assert_eq!(back.weight_samples()[0].get(0, 0), f64::INFINITY);
         assert_eq!(back.log_likelihoods()[0], f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn multi_chain_pooled_concatenates_in_chain_order() {
+        let a = toy_posterior();
+        let mut b = Posterior::new(2, 1);
+        b.push(
+            vec![9.0, 9.0],
+            Matrix::constant(2, 9.0),
+            vec![0.25; 4],
+            None,
+        );
+        let mc = MultiChainPosterior::new(vec![a.clone(), b], Some(1.003));
+        assert_eq!(mc.n_chains(), 2);
+        assert_eq!(mc.n_processes(), 2);
+        assert_eq!(mc.n_samples(), 5);
+        assert_eq!(mc.rhat(), Some(1.003));
+        let pooled = mc.pooled();
+        assert_eq!(pooled.n_samples(), 5);
+        assert_eq!(&pooled.lambda0_samples()[..4], a.lambda0_samples());
+        assert_eq!(pooled.lambda0_samples()[4], vec![9.0, 9.0]);
+        // Only chain `a` recorded likelihoods; pooling keeps just those.
+        assert_eq!(pooled.log_likelihoods().len(), 4);
+    }
+
+    #[test]
+    fn multi_chain_codec_roundtrips_exactly() {
+        let mc = MultiChainPosterior::new(
+            vec![toy_posterior(), toy_posterior(), Posterior::new(2, 0)],
+            Some(f64::NAN),
+        );
+        let bytes = mc.to_bytes();
+        let back = MultiChainPosterior::from_bytes(&bytes).expect("decode");
+        assert_eq!(back.n_chains(), 3);
+        // NaN R-hat survives bit-for-bit (PartialEq would reject it).
+        assert_eq!(back.rhat().unwrap().to_bits(), mc.rhat().unwrap().to_bits());
+        assert_eq!(back.to_bytes(), bytes);
+
+        let plain = MultiChainPosterior::new(vec![toy_posterior()], None);
+        let back = MultiChainPosterior::from_bytes(&plain.to_bytes()).expect("decode");
+        assert_eq!(back, plain);
+    }
+
+    #[test]
+    fn multi_chain_codec_rejects_corruption_with_typed_errors() {
+        let mc = MultiChainPosterior::new(vec![toy_posterior()], Some(1.01));
+        let bytes = mc.to_bytes();
+
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] ^= 0xFF;
+        assert_eq!(
+            MultiChainPosterior::from_bytes(&bad_magic),
+            Err(PosteriorCodecError::BadMagic)
+        );
+
+        let mut bad_version = bytes.clone();
+        bad_version[4] = 99;
+        assert_eq!(
+            MultiChainPosterior::from_bytes(&bad_version),
+            Err(PosteriorCodecError::BadVersion(99))
+        );
+
+        // Chain-count field (bytes 8..16): zero chains is invalid.
+        let mut zero_chains = bytes.clone();
+        zero_chains[8..16].fill(0);
+        assert_eq!(
+            MultiChainPosterior::from_bytes(&zero_chains),
+            Err(PosteriorCodecError::BadDimensions)
+        );
+
+        // R-hat presence byte (offset 16) must be 0 or 1.
+        let mut bad_flag = bytes.clone();
+        bad_flag[16] = 9;
+        assert_eq!(
+            MultiChainPosterior::from_bytes(&bad_flag),
+            Err(PosteriorCodecError::BadDimensions)
+        );
+
+        assert_eq!(
+            MultiChainPosterior::from_bytes(&bytes[..bytes.len() - 1]),
+            Err(PosteriorCodecError::Truncated)
+        );
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert_eq!(
+            MultiChainPosterior::from_bytes(&trailing),
+            Err(PosteriorCodecError::BadDimensions)
+        );
+
+        // Frames disagreeing on K decode individually but are rejected
+        // as a container.
+        let mut mixed = Vec::new();
+        mixed.extend_from_slice(&MULTI_CHAIN_MAGIC);
+        mixed.extend_from_slice(&MULTI_CHAIN_VERSION.to_le_bytes());
+        mixed.extend_from_slice(&2u64.to_le_bytes());
+        mixed.push(0);
+        for p in [Posterior::new(2, 0), Posterior::new(3, 0)] {
+            let frame = p.to_bytes();
+            mixed.extend_from_slice(&(frame.len() as u64).to_le_bytes());
+            mixed.extend_from_slice(&frame);
+        }
+        assert_eq!(
+            MultiChainPosterior::from_bytes(&mixed),
+            Err(PosteriorCodecError::BadDimensions)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one chain")]
+    fn multi_chain_rejects_empty_chain_list() {
+        MultiChainPosterior::new(Vec::new(), None);
     }
 
     #[test]

@@ -5,31 +5,48 @@ use rand::SeedableRng;
 
 use centipede_hawkes::continuous::{simulate_continuous, ContinuousHawkes};
 use centipede_hawkes::discrete::{
-    simulate, BasisSet, DiscreteHawkes, GibbsConfig, GibbsSampler, Posterior,
+    simulate, BasisSet, DiscreteHawkes, GibbsConfig, GibbsSampler, MultiChainPosterior, Posterior,
 };
 use centipede_hawkes::events::EventSeq;
 use centipede_hawkes::matrix::Matrix;
 
-/// Strategy: an arbitrary recorded posterior — including NaN, ±inf,
-/// and signed-zero samples, which the codec must carry bit-for-bit.
+/// Strategy: one recorded chain of fixed dimensions — including NaN,
+/// ±inf, and signed-zero samples, which the codec must carry
+/// bit-for-bit.
+fn arb_chain(k: usize, theta_len: usize) -> impl Strategy<Value = Posterior> {
+    prop::collection::vec(
+        (
+            prop::collection::vec(any::<f64>(), k),
+            prop::collection::vec(any::<f64>(), k * k),
+            prop::collection::vec(any::<f64>(), theta_len),
+            prop::option::of(any::<f64>()),
+        ),
+        0..5,
+    )
+    .prop_map(move |samples| {
+        let mut p = Posterior::new(k, samples.len());
+        for (l0, w, th, ll) in samples {
+            p.push(l0, Matrix::from_flat(k, w), th, ll);
+        }
+        p
+    })
+}
+
+/// Strategy: an arbitrary recorded posterior.
 fn arb_posterior() -> impl Strategy<Value = Posterior> {
-    (1usize..4, 0usize..6, 0usize..5).prop_flat_map(|(k, theta_len, n)| {
-        prop::collection::vec(
-            (
-                prop::collection::vec(any::<f64>(), k),
-                prop::collection::vec(any::<f64>(), k * k),
-                prop::collection::vec(any::<f64>(), theta_len),
-                prop::option::of(any::<f64>()),
-            ),
-            n,
+    (1usize..4, 0usize..6).prop_flat_map(|(k, theta_len)| arb_chain(k, theta_len))
+}
+
+/// Strategy: a multi-chain posterior whose chains agree on dimensions
+/// (as the fit guarantees), with an optional — possibly non-finite —
+/// stored R-hat.
+fn arb_multi_chain() -> impl Strategy<Value = MultiChainPosterior> {
+    (1usize..4, 0usize..5).prop_flat_map(|(k, theta_len)| {
+        (
+            prop::collection::vec(arb_chain(k, theta_len), 1..4),
+            prop::option::of(any::<f64>()),
         )
-        .prop_map(move |samples| {
-            let mut p = Posterior::new(k, samples.len());
-            for (l0, w, th, ll) in samples {
-                p.push(l0, Matrix::from_flat(k, w), th, ll);
-            }
-            p
-        })
+            .prop_map(|(chains, rhat)| MultiChainPosterior::new(chains, rhat))
     })
 }
 
@@ -220,6 +237,35 @@ proptest! {
         let mut extended = bytes;
         extended.push(0);
         prop_assert!(Posterior::from_bytes(&extended).is_err());
+    }
+
+    #[test]
+    fn multi_chain_codec_roundtrips_bit_for_bit(mc in arb_multi_chain()) {
+        let bytes = mc.to_bytes();
+        let decoded = MultiChainPosterior::from_bytes(&bytes).expect("roundtrip");
+        prop_assert_eq!(decoded.n_chains(), mc.n_chains());
+        prop_assert_eq!(decoded.n_processes(), mc.n_processes());
+        prop_assert_eq!(
+            decoded.rhat().map(f64::to_bits),
+            mc.rhat().map(f64::to_bits)
+        );
+        prop_assert_eq!(decoded.pooled().n_samples(), mc.n_samples());
+        // Re-encode equality covers every chain, sample, and bit: a
+        // decode that dropped or altered anything would diverge here.
+        prop_assert_eq!(decoded.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn multi_chain_codec_rejects_any_truncation_or_extension(
+        mc in arb_multi_chain(),
+        cut_seed in any::<prop::sample::Index>(),
+    ) {
+        let bytes = mc.to_bytes();
+        let cut = cut_seed.index(bytes.len());
+        prop_assert!(MultiChainPosterior::from_bytes(&bytes[..cut]).is_err(), "cut={cut}");
+        let mut extended = bytes;
+        extended.push(0);
+        prop_assert!(MultiChainPosterior::from_bytes(&extended).is_err());
     }
 
     #[test]

@@ -190,3 +190,7 @@ pub const TRACE_CHECKPOINT_SHARD: &str = "checkpoint_shard";
 
 /// Complete-span covering one batched run of Gibbs sweeps (`sweeps`).
 pub const TRACE_GIBBS_SWEEPS: &str = "gibbs_sweeps";
+
+/// Complete-span covering one chain's share of a multi-chain Gibbs
+/// round (`chain`, `sweeps`).
+pub const TRACE_GIBBS_CHAIN: &str = "gibbs_chain";

@@ -52,6 +52,8 @@ pub enum TraceTag {
     Sweeps(u32),
     /// Retry attempt number.
     Attempt(u32),
+    /// Gibbs chain index within a multi-chain fit.
+    Chain(u32),
     /// Generic count payload.
     Count(u64),
 }
@@ -68,6 +70,7 @@ impl TraceTag {
             TraceTag::Worker(_) => Some("worker"),
             TraceTag::Sweeps(_) => Some("sweeps"),
             TraceTag::Attempt(_) => Some("attempt"),
+            TraceTag::Chain(_) => Some("chain"),
             TraceTag::Count(_) => Some("count"),
         }
     }

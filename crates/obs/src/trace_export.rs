@@ -75,7 +75,8 @@ pub fn chrome_trace_json(snapshot: &TraceSnapshot) -> String {
                             | TraceTag::Shard(v)
                             | TraceTag::Worker(v)
                             | TraceTag::Sweeps(v)
-                            | TraceTag::Attempt(v) => w.number(*v as f64),
+                            | TraceTag::Attempt(v)
+                            | TraceTag::Chain(v) => w.number(*v as f64),
                             TraceTag::Count(v) => w.number(*v as f64),
                             TraceTag::Stage(s) => w.string(s),
                             TraceTag::None => unreachable!("key() is None for None"),

@@ -278,7 +278,7 @@ proptest! {
             idx: 9,
             fingerprint: config_fingerprint(&config),
             fit,
-            posterior: None,
+            posterior: centipede::influence::FitPosterior::None,
         };
         let bytes = encode_shard(&shard);
         prop_assert_eq!(&decode_shard(&bytes).expect("clean decode"), &shard);
