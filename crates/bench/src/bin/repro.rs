@@ -6,6 +6,7 @@
 //! repro [--seed N] [--scale F] [--no-gaps] [--no-bots] [--em]
 //!       [--samples N] [--burn-in N] [--threads N] [--skip-influence]
 //!       [--checkpoint-dir PATH] [--resume] [--compare] [--out PATH]
+//!       [--supervised] [--workers N] [--fault SPEC]
 //!       [--metrics PATH] [--trace PATH] [--trace-flame PATH]
 //!       [--metrics-series PATH] [--metrics-interval MS]
 //!       [--quiet] [--verbose]
@@ -16,10 +17,22 @@
 //! With `--out`, also writes the report to a file.
 //!
 //! Crash recovery: `--checkpoint-dir` persists every completed URL fit
-//! as an atomic, checksummed shard; Ctrl-C finishes in-flight fits,
-//! flushes their shards, and exits with status 130. A later run with
-//! the same seed/config plus `--resume` skips the already-fitted URLs
-//! and reproduces the uninterrupted results bit for bit.
+//! into an append-only, checksummed segment file; Ctrl-C finishes
+//! in-flight fits, flushes the segment, and exits with status 130. A
+//! later run with the same seed/config plus `--resume` skips the
+//! already-fitted URLs and reproduces the uninterrupted results bit
+//! for bit.
+//!
+//! Supervised fleet: `--supervised` (requires `--checkpoint-dir`) runs
+//! the Hawkes fit fleet as `--workers N` separate worker *processes*
+//! monitored by an in-process supervisor — heartbeat liveness, shard
+//! reassignment from dead workers, bounded respawns, and per-worker
+//! segment checkpoints. `--fault SPEC` (repeatable; comma-joined)
+//! injects deterministic faults for testing, e.g. `kill:1:2` (worker 1
+//! exits after 2 fits), `torn:0:1`, `drophb:2:3`, `delayflush:0:50`,
+//! `poison:7`, `poisonhard:9`. Exit status 3 means URLs were lost
+//! unrecoverably; quarantine-only degradation still exits 0 and is
+//! reported on stderr.
 //!
 //! Observability: progress and status go through the `centipede-obs`
 //! global registry. `--quiet` silences them, `--verbose` additionally
@@ -61,6 +74,9 @@ struct Args {
     skip_influence: bool,
     checkpoint_dir: Option<String>,
     resume: bool,
+    supervised: bool,
+    workers: usize,
+    faults: Vec<String>,
     compare: bool,
     out: Option<String>,
     metrics: Option<String>,
@@ -86,6 +102,9 @@ fn parse_args() -> Args {
         skip_influence: false,
         checkpoint_dir: None,
         resume: false,
+        supervised: false,
+        workers: 2,
+        faults: Vec::new(),
         compare: false,
         out: None,
         metrics: None,
@@ -131,6 +150,13 @@ fn parse_args() -> Args {
                 args.checkpoint_dir = Some(it.next().expect("--checkpoint-dir PATH"))
             }
             "--resume" => args.resume = true,
+            "--supervised" => args.supervised = true,
+            "--workers" => {
+                let n: usize = it.next().expect("--workers N").parse().expect("workers");
+                assert!(n >= 1, "--workers must be >= 1");
+                args.workers = n;
+            }
+            "--fault" => args.faults.push(it.next().expect("--fault SPEC")),
             "--compare" => args.compare = true,
             "--out" => args.out = Some(it.next().expect("--out PATH")),
             "--metrics" => args.metrics = Some(it.next().expect("--metrics PATH")),
@@ -156,6 +182,7 @@ fn parse_args() -> Args {
                      [--samples N] [--burn-in N] [--chains N] [--rhat-target F] \
                      [--threads N] [--skip-influence] \
                      [--checkpoint-dir PATH] [--resume] \
+                     [--supervised] [--workers N] [--fault SPEC] \
                      [--compare] [--out PATH] [--metrics PATH] [--trace PATH] \
                      [--trace-flame PATH] [--metrics-series PATH] [--metrics-interval MS] \
                      [--quiet] [--verbose]\n\
@@ -172,8 +199,14 @@ fn parse_args() -> Args {
                                        (needs --chains >= 2; e.g. 1.01)\n\
                      --threads N       fit-fleet worker threads (default: all cores)\n\
                      --skip-influence  skip the §5 Hawkes fitting stage\n\
-                     --checkpoint-dir PATH  persist each URL fit as a resumable shard\n\
+                     --checkpoint-dir PATH  persist each URL fit in a resumable segment\n\
                      --resume          skip URLs already checkpointed under this config\n\
+                     --supervised      run the fit fleet as supervised worker processes\n\
+                                       (requires --checkpoint-dir; exit 3 on lost URLs)\n\
+                     --workers N       supervised worker process count (default 2)\n\
+                     --fault SPEC      inject deterministic faults (repeatable), e.g.\n\
+                                       kill:1:2 torn:0:1 drophb:2:3 delayflush:0:50\n\
+                                       poison:7 poisonhard:9\n\
                      --compare         print the paper-vs-repro comparison table\n\
                      --out PATH        also write the report text to PATH\n\
                      --metrics PATH    write a metrics.json snapshot to PATH\n\
@@ -241,7 +274,22 @@ mod sigint {
 }
 
 fn main() {
+    // Supervised-fleet worker divert: when the supervisor re-executes
+    // this binary with the worker env set, become that worker and never
+    // touch the CLI, the simulator, or the pipeline.
+    if let Some((work_dir, worker)) = centipede::influence::worker_env() {
+        std::process::exit(centipede::influence::worker_main(&work_dir, worker));
+    }
+
     let args = parse_args();
+    if args.supervised && args.checkpoint_dir.is_none() {
+        eprintln!("[repro] --supervised requires --checkpoint-dir PATH");
+        std::process::exit(2);
+    }
+    if !args.faults.is_empty() && !args.supervised {
+        eprintln!("[repro] --fault requires --supervised");
+        std::process::exit(2);
+    }
 
     let obs = centipede_obs::global();
     obs.add_sink(Arc::new(StderrReporter::new(args.verbosity)));
@@ -306,6 +354,17 @@ fn main() {
     config.fleet.checkpoint_dir = args.checkpoint_dir.as_ref().map(std::path::PathBuf::from);
     config.fleet.resume = args.resume;
     config.fleet.shutdown = Some(sigint::install());
+    if args.supervised {
+        config.supervisor = Some(centipede::influence::SupervisorOptions {
+            workers: args.workers,
+            faults: if args.faults.is_empty() {
+                None
+            } else {
+                Some(args.faults.join(","))
+            },
+            ..centipede::influence::SupervisorOptions::default()
+        });
+    }
 
     obs.message("running measurement pipeline ...");
     let t1 = std::time::Instant::now();
@@ -428,5 +487,28 @@ fn main() {
         );
         // Conventional exit status for death-by-SIGINT.
         std::process::exit(130);
+    }
+
+    if let Some(sup) = &report.supervisor {
+        if !sup.lost_urls.is_empty() {
+            // Unrecoverable loss: a worker died holding URLs no survivor
+            // or respawn could pick up. Distinct from quarantine-only
+            // degradation, which still exits 0.
+            eprintln!(
+                "[repro] supervised fleet lost {} URL(s) unrecoverably \
+                 ({} worker deaths, {} respawns exhausted)",
+                sup.lost_urls.len(),
+                sup.workers_died,
+                sup.respawns
+            );
+            std::process::exit(3);
+        }
+        if sup.degraded {
+            eprintln!(
+                "[repro] supervised fleet degraded: {} URL(s) remain quarantined \
+                 after the boosted-burn-in requeue",
+                report.fleet.quarantined.len()
+            );
+        }
     }
 }

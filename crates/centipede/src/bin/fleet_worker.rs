@@ -1,0 +1,22 @@
+//! Standalone worker process for the supervised fit fleet.
+//!
+//! Normally the supervisor re-executes its own binary (which diverts
+//! through `worker_env()` in `main`); this dedicated binary exists so
+//! integration tests — whose test-harness executable cannot be
+//! re-entered — have a worker to spawn, via
+//! `env!("CARGO_BIN_EXE_fleet_worker")`.
+
+fn main() {
+    match centipede::influence::worker_env() {
+        Some((work_dir, worker)) => {
+            std::process::exit(centipede::influence::worker_main(&work_dir, worker))
+        }
+        None => {
+            eprintln!(
+                "fleet_worker: CENTIPEDE_WORKER_DIR / CENTIPEDE_WORKER_ID not set; \
+                 this binary is spawned by the fleet supervisor, not run directly"
+            );
+            std::process::exit(2);
+        }
+    }
+}

@@ -565,12 +565,19 @@ pub struct ResumeScan {
     /// Shards skipped because they failed to decode (corruption,
     /// truncation, foreign files matching the name pattern).
     pub corrupt: usize,
+    /// Fingerprint-matching quarantine records recovered from segment
+    /// files, deduplicated by fleet index; indices that also have a
+    /// fit shard (a later run recovered them) are excluded.
+    pub quarantined: Vec<QuarantinedUrl>,
 }
 
-/// Scan `dir` for `shard-*.ckpt` files matching `fingerprint`.
-/// Leftover `.tmp` files from interrupted writes are ignored. A missing
-/// directory is an empty scan, not an error — resuming into a fresh
-/// directory is the same as a cold start.
+/// Scan `dir` for resumable checkpoints matching `fingerprint`: legacy
+/// one-file-per-URL `shard-*.ckpt` files and append-only `*.seg`
+/// segment files alike, so directories written before the segment
+/// format migrate transparently. Leftover `.tmp` files from
+/// interrupted writes are ignored. A missing directory is an empty
+/// scan, not an error — resuming into a fresh directory is the same as
+/// a cold start.
 pub fn scan_dir(dir: &Path, fingerprint: u64) -> Result<ResumeScan, ShardError> {
     let mut scan = ResumeScan::default();
     let entries = match fs::read_dir(dir) {
@@ -578,21 +585,59 @@ pub fn scan_dir(dir: &Path, fingerprint: u64) -> Result<ResumeScan, ShardError> 
         Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(scan),
         Err(e) => return Err(ShardError::Io(e)),
     };
+    let mut quarantined: BTreeMap<u64, QuarantinedUrl> = BTreeMap::new();
     for entry in entries {
         let entry = entry?;
         let name = entry.file_name();
         let name = name.to_string_lossy();
-        if !name.starts_with("shard-") || !name.ends_with(".ckpt") {
-            continue;
-        }
-        match read_shard(&entry.path()) {
-            Err(_) => scan.corrupt += 1,
-            Ok(shard) if shard.fingerprint != fingerprint => scan.mismatched += 1,
-            Ok(shard) => {
-                scan.shards.insert(shard.idx, shard);
+        if name.starts_with("shard-") && name.ends_with(".ckpt") {
+            match read_shard(&entry.path()) {
+                Err(_) => scan.corrupt += 1,
+                Ok(shard) if shard.fingerprint != fingerprint => scan.mismatched += 1,
+                Ok(shard) => {
+                    scan.shards.insert(shard.idx, shard);
+                }
+            }
+        } else if name.ends_with(".seg") {
+            match super::segment::load_segment(&entry.path()) {
+                // A .seg file that is not a segment at all counts once,
+                // like a corrupt legacy shard file.
+                Err(_) => scan.corrupt += 1,
+                Ok(seg) => {
+                    scan.corrupt += seg.corrupt.len();
+                    for record in seg.records {
+                        match record {
+                            super::segment::SegmentRecord::Fit(shard) => {
+                                if shard.fingerprint != fingerprint {
+                                    scan.mismatched += 1;
+                                } else {
+                                    scan.shards.insert(shard.idx, *shard);
+                                }
+                            }
+                            super::segment::SegmentRecord::Quarantine {
+                                fingerprint: fp,
+                                entry,
+                            } => {
+                                // Foreign-config quarantine records are
+                                // ignored, like a foreign quarantine
+                                // list: under new settings the URL
+                                // deserves a fresh attempt.
+                                if fp == fingerprint {
+                                    quarantined.entry(entry.idx).or_insert(entry);
+                                }
+                            }
+                        }
+                    }
+                }
             }
         }
     }
+    // A fit anywhere (including a later recovery) supersedes an earlier
+    // quarantine record for the same index.
+    scan.quarantined = quarantined
+        .into_values()
+        .filter(|q| !scan.shards.contains_key(&q.idx))
+        .collect();
     Ok(scan)
 }
 

@@ -1,0 +1,159 @@
+//! Deterministic fault injection for the supervised fit fleet.
+//!
+//! Crash recovery that is only reasoned about is crash recovery that
+//! does not work. This module turns a compact spec string — passed via
+//! `--fault` on the CLI or the `CENTIPEDE_FAULTS` environment variable
+//! — into a per-worker [`FaultPlan`] that the worker process consults
+//! at well-defined points: after each completed fit (kill / torn
+//! tail), per heartbeat (drop), and per segment append (delay). Every
+//! trigger counts events, never wall-clock time, so a faulted run is
+//! exactly reproducible.
+//!
+//! Grammar (comma-separated, unknown entries are an error):
+//!
+//! | spec                    | effect                                              |
+//! |-------------------------|-----------------------------------------------------|
+//! | `kill:<worker>:<n>`     | worker exits uncleanly after `n` fits               |
+//! | `torn:<worker>:<n>`     | worker appends a torn partial frame after `n` fits, |
+//! |                         | then exits uncleanly                                |
+//! | `drophb:<worker>:<n>`   | worker's heartbeat freezes after `n` beats          |
+//! | `delayflush:<worker>:<ms>` | worker sleeps `ms` before each segment append    |
+//! | `poison:<idx>`          | fitting fleet index `idx` panics at the base        |
+//! |                         | burn-in (recovers on the boosted requeue)           |
+//! | `poisonhard:<idx>`      | fitting fleet index `idx` always panics             |
+//!
+//! Worker-scoped faults apply per *incarnation*: a respawned worker
+//! starts its counters over, so `kill:0:2` with a respawn budget
+//! exercises the die → respawn → make-progress loop.
+
+use std::collections::BTreeSet;
+
+/// The faults one worker incarnation must act out. Parsed from the
+/// spec string; [`FaultPlan::default`] injects nothing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Exit uncleanly after this many completed fits.
+    pub kill_after: Option<u64>,
+    /// Append a torn partial frame after this many completed fits,
+    /// then exit uncleanly.
+    pub torn_after: Option<u64>,
+    /// Freeze the heartbeat after this many beats (the process keeps
+    /// fitting — this is the "hung but alive" failure mode).
+    pub drop_heartbeats_after: Option<u64>,
+    /// Sleep this many milliseconds before every segment append.
+    pub delay_flush_ms: Option<u64>,
+    /// Fleet indices whose fit panics when run at the base burn-in.
+    pub poison: BTreeSet<u64>,
+    /// Fleet indices whose fit always panics.
+    pub poison_hard: BTreeSet<u64>,
+}
+
+impl FaultPlan {
+    /// Parse the plan for worker `worker` out of a spec string.
+    /// Empty/whitespace specs produce an empty plan.
+    pub fn parse(spec: &str, worker: usize) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        for entry in spec.split(',') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let mut parts = entry.split(':');
+            let kind = parts.next().unwrap_or("");
+            let rest: Vec<&str> = parts.collect();
+            let scoped = |rest: &[&str]| -> Result<Option<u64>, String> {
+                let [w, n] = rest else {
+                    return Err(format!("fault `{entry}`: expected <worker>:<n>"));
+                };
+                let w: usize = w
+                    .parse()
+                    .map_err(|_| format!("fault `{entry}`: bad worker id `{w}`"))?;
+                let n: u64 = n
+                    .parse()
+                    .map_err(|_| format!("fault `{entry}`: bad count `{n}`"))?;
+                Ok((w == worker).then_some(n))
+            };
+            match kind {
+                "kill" => {
+                    if let Some(n) = scoped(&rest)? {
+                        plan.kill_after = Some(n);
+                    }
+                }
+                "torn" => {
+                    if let Some(n) = scoped(&rest)? {
+                        plan.torn_after = Some(n);
+                    }
+                }
+                "drophb" => {
+                    if let Some(n) = scoped(&rest)? {
+                        plan.drop_heartbeats_after = Some(n);
+                    }
+                }
+                "delayflush" => {
+                    if let Some(ms) = scoped(&rest)? {
+                        plan.delay_flush_ms = Some(ms);
+                    }
+                }
+                "poison" | "poisonhard" => {
+                    let [idx] = rest[..] else {
+                        return Err(format!("fault `{entry}`: expected <idx>"));
+                    };
+                    let idx: u64 = idx
+                        .parse()
+                        .map_err(|_| format!("fault `{entry}`: bad index `{idx}`"))?;
+                    if kind == "poison" {
+                        plan.poison.insert(idx);
+                    } else {
+                        plan.poison_hard.insert(idx);
+                    }
+                }
+                other => return Err(format!("unknown fault kind `{other}` in `{entry}`")),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        *self == FaultPlan::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_spec_is_empty_plan() {
+        let plan = FaultPlan::parse("", 0).unwrap();
+        assert!(plan.is_empty());
+        let plan = FaultPlan::parse(" , ", 3).unwrap();
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn worker_scoping_selects_only_matching_entries() {
+        let spec = "kill:1:2,torn:0:5,drophb:1:3,delayflush:2:40,poison:7,poisonhard:9";
+        let w1 = FaultPlan::parse(spec, 1).unwrap();
+        assert_eq!(w1.kill_after, Some(2));
+        assert_eq!(w1.torn_after, None);
+        assert_eq!(w1.drop_heartbeats_after, Some(3));
+        assert_eq!(w1.delay_flush_ms, None);
+        assert!(w1.poison.contains(&7) && w1.poison_hard.contains(&9));
+
+        let w0 = FaultPlan::parse(spec, 0).unwrap();
+        assert_eq!(w0.kill_after, None);
+        assert_eq!(w0.torn_after, Some(5));
+        // Poison entries are unscoped: every worker carries them.
+        assert!(w0.poison.contains(&7));
+    }
+
+    #[test]
+    fn malformed_specs_are_errors() {
+        assert!(FaultPlan::parse("kill:1", 0).is_err());
+        assert!(FaultPlan::parse("kill:x:2", 0).is_err());
+        assert!(FaultPlan::parse("kill:1:y", 0).is_err());
+        assert!(FaultPlan::parse("poison:abc", 0).is_err());
+        assert!(FaultPlan::parse("explode:1:2", 0).is_err());
+    }
+}

@@ -37,6 +37,12 @@ use centipede_obs::{TraceSpan, TraceTag};
 
 use super::checkpoint::{self, Shard};
 use super::prepare::PreparedUrl;
+use super::segment;
+
+/// Name of the in-process fleet's segment checkpoint file inside the
+/// checkpoint directory (supervised workers write `worker-<id>.seg`
+/// next to it; `checkpoint::scan_dir` reads them all).
+pub const FLEET_SEGMENT_FILE: &str = "fleet.seg";
 
 /// Which estimator drives the fleet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -48,7 +54,7 @@ pub enum Estimator {
 }
 
 /// Fleet configuration.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FitConfig {
     /// Maximum lag in minutes (the paper's Δt_max; default 720 = 12 h).
     pub max_lag_minutes: usize,
@@ -149,6 +155,17 @@ pub struct FleetOptions {
     pub resume: bool,
     /// Extra attempts after a fit panics before quarantining it.
     pub max_retries: u32,
+    /// Base delay for exponential backoff between retry attempts, in
+    /// milliseconds. Attempt `k`'s delay is `base << (k-1)` plus a
+    /// deterministic jitter derived from `(seed, idx, attempt)`; `0`
+    /// (the default) retries immediately.
+    pub backoff_base_ms: u64,
+    /// After the main queue drains, retry quarantined URLs once on a
+    /// low-priority queue with `requeue_burn_in_factor × burn_in`
+    /// sweeps instead of skipping them permanently.
+    pub requeue_quarantined: bool,
+    /// Burn-in multiplier for the requeue pass.
+    pub requeue_burn_in_factor: u32,
     /// Stop claiming new URLs once this many fits have started
     /// (simulates a mid-run kill in tests; `None` = unbounded).
     pub max_fits: Option<usize>,
@@ -163,6 +180,9 @@ impl Default for FleetOptions {
             checkpoint_dir: None,
             resume: false,
             max_retries: 1,
+            backoff_base_ms: 0,
+            requeue_quarantined: false,
+            requeue_burn_in_factor: 4,
             max_fits: None,
             shutdown: None,
         }
@@ -179,13 +199,16 @@ impl PartialEq for FleetOptions {
         self.checkpoint_dir == other.checkpoint_dir
             && self.resume == other.resume
             && self.max_retries == other.max_retries
+            && self.backoff_base_ms == other.backoff_base_ms
+            && self.requeue_quarantined == other.requeue_quarantined
+            && self.requeue_burn_in_factor == other.requeue_burn_in_factor
             && self.max_fits == other.max_fits
             && shutdown_eq
     }
 }
 
 /// A URL whose fit panicked on every allowed attempt.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct QuarantinedUrl {
     /// Which URL.
     pub url: UrlId,
@@ -215,6 +238,10 @@ pub struct FleetSummary {
     pub resume_quarantined: usize,
     /// Retry attempts performed after panics.
     pub retried: usize,
+    /// Quarantined URLs retried on the low-priority requeue pass.
+    pub requeued: usize,
+    /// Requeued URLs recovered by the larger-burn-in retry.
+    pub requeue_recovered: usize,
     /// Checkpoint shards written.
     pub shards_written: usize,
     /// Checkpoint shard writes that failed.
@@ -240,6 +267,122 @@ pub struct FleetReport {
 /// worker a run of similarly sized fits; shutdown and fit-budget
 /// checks still happen per URL inside the batch.
 const FIT_DISPATCH_BATCH: usize = 8;
+
+/// Retry discipline shared by the in-process fleet's threads and the
+/// supervised fleet's worker processes.
+#[derive(Debug, Clone)]
+pub(crate) struct RetryPolicy {
+    /// Extra attempts after a panic before quarantining.
+    pub max_retries: u32,
+    /// Exponential-backoff base delay (ms); `0` retries immediately.
+    pub backoff_base_ms: u64,
+    /// Base seed, mixed into the deterministic backoff jitter.
+    pub seed: u64,
+}
+
+/// What one URL's attempt loop produced.
+#[derive(Debug)]
+pub(crate) enum FitOutcome {
+    /// The fit completed (boxed: posteriors are large).
+    Fitted(Box<(UrlFit, FitPosterior)>),
+    /// The fit observed the shutdown flag mid-chain; the URL is neither
+    /// recorded nor quarantined.
+    Cancelled,
+    /// Every allowed attempt panicked.
+    Quarantined {
+        /// Message of the last panic.
+        panic_message: String,
+    },
+}
+
+/// Outcome plus attempt accounting from [`fit_with_retries`].
+#[derive(Debug)]
+pub(crate) struct FitAttemptResult {
+    /// What happened.
+    pub outcome: FitOutcome,
+    /// Attempts made (first try included).
+    pub attempts: u32,
+    /// Wall-clock duration of the successful attempt, if any.
+    pub fit_time: Option<std::time::Duration>,
+}
+
+/// Sleep the exponential-backoff delay before retry `attempt + 1`.
+/// The jitter is a deterministic hash of `(seed, idx, attempt)` — no
+/// wall-clock or global RNG involved, so two runs back off identically.
+fn backoff_sleep(policy: &RetryPolicy, idx: u64, attempt: u32) {
+    if policy.backoff_base_ms == 0 {
+        return;
+    }
+    let shift = (attempt - 1).min(10);
+    let delay = policy.backoff_base_ms.saturating_mul(1u64 << shift);
+    let mut h = checkpoint::Fnv1a::new();
+    h.update(&policy.seed.to_le_bytes());
+    h.update(&idx.to_le_bytes());
+    h.update(&attempt.to_le_bytes());
+    let jitter = h.finish() % policy.backoff_base_ms;
+    std::thread::sleep(std::time::Duration::from_millis(
+        delay.saturating_add(jitter).min(60_000),
+    ));
+}
+
+/// Run one URL's fit with panic isolation, retry, and backoff. Every
+/// attempt increments the `fleet.fit_attempts` counter; every panic
+/// that will be retried emits a `fit_retry` trace instant and sleeps
+/// the backoff delay.
+pub(crate) fn fit_with_retries<F>(
+    fit_fn: &F,
+    prepared: &PreparedUrl,
+    config: &FitConfig,
+    idx: u64,
+    cancel: Option<&AtomicBool>,
+    policy: &RetryPolicy,
+) -> FitAttemptResult
+where
+    F: Fn(&PreparedUrl, &FitConfig, u64, Option<&AtomicBool>) -> Option<(UrlFit, FitPosterior)>,
+{
+    let url_id = prepared.url.0;
+    let attempts_counter = centipede_obs::counter(metric::FLEET_FIT_ATTEMPTS);
+    let mut attempts = 0u32;
+    let mut last_panic = String::new();
+    while attempts <= policy.max_retries {
+        attempts += 1;
+        attempts_counter.inc(1);
+        let start = std::time::Instant::now();
+        match catch_unwind(AssertUnwindSafe(|| fit_fn(prepared, config, idx, cancel))) {
+            Ok(Some(res)) => {
+                return FitAttemptResult {
+                    outcome: FitOutcome::Fitted(Box::new(res)),
+                    attempts,
+                    fit_time: Some(start.elapsed()),
+                }
+            }
+            Ok(None) => {
+                return FitAttemptResult {
+                    outcome: FitOutcome::Cancelled,
+                    attempts,
+                    fit_time: None,
+                }
+            }
+            Err(payload) => {
+                last_panic = panic_message(payload.as_ref());
+                if attempts <= policy.max_retries {
+                    centipede_obs::trace::instant(
+                        metric::TRACE_FIT_RETRY,
+                        [TraceTag::Url(url_id), TraceTag::Attempt(attempts)],
+                    );
+                    backoff_sleep(policy, idx, attempts);
+                }
+            }
+        }
+    }
+    FitAttemptResult {
+        outcome: FitOutcome::Quarantined {
+            panic_message: last_panic,
+        },
+        attempts,
+        fit_time: None,
+    }
+}
 
 /// Fit every prepared URL. Returns fits in the input order.
 ///
@@ -317,9 +460,39 @@ where
         }
     }
 
+    // Completed fits and fresh quarantine entries append to a single
+    // per-run segment log instead of one shard file per URL — one open
+    // file descriptor and an amortised fsync instead of three syscalls
+    // per fit. A fresh (non-resume) run starts the log over; a resume
+    // reopens it, truncating any torn tail left by a crash mid-append.
+    let segment_writer: Option<Mutex<segment::SegmentWriter>> = match &checkpoint_dir {
+        Some(dir) => {
+            let path = dir.join(FLEET_SEGMENT_FILE);
+            if !options.resume {
+                let _ = std::fs::remove_file(&path);
+                let _ = std::fs::remove_file(segment::index_path(&path));
+            }
+            match segment::SegmentWriter::open(&path) {
+                Ok((writer, _)) => Some(Mutex::new(writer)),
+                Err(e) => {
+                    centipede_obs::global().message(&format!(
+                        "checkpointing disabled: cannot open {}: {e}",
+                        path.display()
+                    ));
+                    summary.shard_errors += 1;
+                    None
+                }
+            }
+        }
+        None => None,
+    };
+
     // Resume: trust a shard only if it decodes, carries the current
     // config fingerprint, and names the URL actually at its index.
+    // Quarantine records found inside segment files ride along and are
+    // merged with the quarantine.ckpt list below.
     let mut resumed: BTreeMap<usize, UrlFit> = BTreeMap::new();
+    let mut segment_quarantine: Vec<QuarantinedUrl> = Vec::new();
     if options.resume {
         if let Some(dir) = &checkpoint_dir {
             match checkpoint::scan_dir(dir, fingerprint) {
@@ -334,6 +507,7 @@ where
                             summary.resume_mismatched += 1;
                         }
                     }
+                    segment_quarantine = scan.quarantined;
                 }
                 Err(e) => {
                     centipede_obs::global().message(&format!(
@@ -373,6 +547,24 @@ where
                 }
             }
         }
+    }
+    // Quarantine records embedded in segment files cover the crash
+    // window between a quarantine decision and the final
+    // quarantine.ckpt write; dedupe against the list by index.
+    {
+        let known: std::collections::BTreeSet<u64> =
+            carried_quarantine.iter().map(|q| q.idx).collect();
+        for q in segment_quarantine {
+            let i = q.idx as usize;
+            if i < prepared.len()
+                && prepared[i].url == q.url
+                && !resumed.contains_key(&i)
+                && !known.contains(&q.idx)
+            {
+                carried_quarantine.push(q);
+            }
+        }
+        carried_quarantine.sort_unstable_by_key(|q| q.idx);
     }
     summary.resume_quarantined = carried_quarantine.len();
     let skip_quarantined: std::collections::BTreeSet<usize> =
@@ -426,6 +618,11 @@ where
     let shards_written = AtomicUsize::new(0);
     let shard_errors = AtomicUsize::new(0);
     let interrupted = AtomicBool::new(false);
+    let retry_policy = RetryPolicy {
+        max_retries: options.max_retries,
+        backoff_base_ms: options.backoff_base_ms,
+        seed: config.seed,
+    };
 
     crossbeam::scope(|scope| {
         for worker in 0..n_threads.min(pending.len()) {
@@ -440,7 +637,8 @@ where
             let progress = &progress;
             let fit_hist = &fit_hist;
             let fit_fn = &fit_fn;
-            let checkpoint_dir = checkpoint_dir.as_deref();
+            let segment_writer = segment_writer.as_ref();
+            let retry_policy = &retry_policy;
             let pending = &pending;
             scope.spawn(move |_| {
                 centipede_obs::trace::label_thread(&format!("fit-worker-{worker}"));
@@ -456,7 +654,7 @@ where
                         break;
                     }
                     let end = (base + FIT_DISPATCH_BATCH).min(pending.len());
-                    for pos in base..end {
+                    for &idx in &pending[base..end] {
                         if let Some(flag) = &options.shutdown {
                             if flag.load(Ordering::Relaxed) {
                                 interrupted.store(true, Ordering::Relaxed);
@@ -472,7 +670,6 @@ where
                                 break 'claims;
                             }
                         }
-                        let idx = pending[pos];
                         let url_id = prepared[idx].url.0;
                         // One trace span per URL, covering retries and the
                         // checkpoint write, tagged for per-shard attribution.
@@ -481,59 +678,41 @@ where
                             [TraceTag::Url(url_id), TraceTag::Shard(worker as u32)],
                         );
                         let cancel = options.shutdown.as_deref();
-                        let mut attempts = 0u32;
-                        let mut outcome: Option<(UrlFit, FitPosterior)> = None;
-                        let mut cancelled = false;
-                        let mut last_panic = String::new();
-                        while attempts <= options.max_retries {
-                            attempts += 1;
-                            let start = std::time::Instant::now();
-                            match catch_unwind(AssertUnwindSafe(|| {
-                                fit_fn(&prepared[idx], config, idx as u64, cancel)
-                            })) {
-                                Ok(Some(res)) => {
-                                    fit_hist.record_duration(start.elapsed());
-                                    outcome = Some(res);
-                                    break;
-                                }
-                                Ok(None) => {
-                                    // The fit observed the shutdown flag
-                                    // mid-chain. The URL is neither recorded
-                                    // nor quarantined — a resumed fleet
-                                    // refits it from scratch.
-                                    cancelled = true;
-                                    break;
-                                }
-                                Err(payload) => {
-                                    last_panic = panic_message(payload.as_ref());
-                                    if attempts <= options.max_retries {
-                                        retries.fetch_add(1, Ordering::Relaxed);
-                                        centipede_obs::trace::instant(
-                                            metric::TRACE_FIT_RETRY,
-                                            [TraceTag::Url(url_id), TraceTag::Attempt(attempts)],
-                                        );
-                                    }
-                                }
+                        let result = fit_with_retries(
+                            fit_fn,
+                            &prepared[idx],
+                            config,
+                            idx as u64,
+                            cancel,
+                            retry_policy,
+                        );
+                        retries.fetch_add((result.attempts - 1) as usize, Ordering::Relaxed);
+                        if let Some(d) = result.fit_time {
+                            fit_hist.record_duration(d);
+                        }
+                        match result.outcome {
+                            FitOutcome::Cancelled => {
+                                // The fit observed the shutdown flag
+                                // mid-chain. The URL is neither recorded
+                                // nor quarantined — a resumed fleet
+                                // refits it from scratch.
+                                centipede_obs::trace::instant(
+                                    metric::TRACE_FIT_CANCELLED,
+                                    [TraceTag::Url(url_id), TraceTag::None],
+                                );
+                                interrupted.store(true, Ordering::Relaxed);
+                                break 'claims;
                             }
-                        }
-                        if cancelled {
-                            centipede_obs::trace::instant(
-                                metric::TRACE_FIT_CANCELLED,
-                                [TraceTag::Url(url_id), TraceTag::None],
-                            );
-                            interrupted.store(true, Ordering::Relaxed);
-                            break 'claims;
-                        }
-                        match outcome {
-                            Some((fit, posterior)) => {
-                                if let Some(dir) = checkpoint_dir {
+                            FitOutcome::Fitted(boxed) => {
+                                let (fit, posterior) = *boxed;
+                                if let Some(writer) = segment_writer {
                                     let shard = Shard {
                                         idx: idx as u64,
                                         fingerprint,
                                         fit: fit.clone(),
                                         posterior,
                                     };
-                                    match checkpoint::write_shard_atomic(dir, &shard) {
+                                    match writer.lock().append_fit(&shard) {
                                         Ok(_) => {
                                             shards_written.fetch_add(1, Ordering::Relaxed);
                                             centipede_obs::trace::instant(
@@ -554,18 +733,28 @@ where
                                 progress.inc(1);
                                 local.push((idx, fit));
                             }
-                            None => {
+                            FitOutcome::Quarantined { panic_message } => {
                                 centipede_obs::trace::instant(
                                     metric::TRACE_FIT_QUARANTINE,
-                                    [TraceTag::Url(url_id), TraceTag::Attempt(attempts)],
+                                    [TraceTag::Url(url_id), TraceTag::Attempt(result.attempts)],
                                 );
                                 progress.inc(1);
-                                local_quarantine.push(QuarantinedUrl {
+                                let q = QuarantinedUrl {
                                     url: prepared[idx].url,
                                     idx: idx as u64,
-                                    attempts,
-                                    panic_message: last_panic,
-                                });
+                                    attempts: result.attempts,
+                                    panic_message,
+                                };
+                                // Quarantine decisions are logged to the
+                                // segment immediately, so a crash before
+                                // the final quarantine-list write still
+                                // skips known poison on resume.
+                                if let Some(writer) = segment_writer {
+                                    if writer.lock().append_quarantine(fingerprint, &q).is_err() {
+                                        shard_errors.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                }
+                                local_quarantine.push(q);
                             }
                         }
                     }
@@ -592,9 +781,73 @@ where
     summary.quarantined.extend(carried_quarantine);
     summary.quarantined.sort_unstable_by_key(|q| q.idx);
 
+    // Low-priority requeue: once the main queue has drained, retry each
+    // quarantined URL once more with a larger burn-in — the paper-scale
+    // failure mode is a chain that has not mixed yet, and more burn-in
+    // often clears it. Recovered fits are persisted under the *original*
+    // fingerprint so a later resume treats them like any other completed
+    // fit. Skipped after an interruption: the budget or the user said
+    // stop.
+    if options.requeue_quarantined && !summary.interrupted && !summary.quarantined.is_empty() {
+        let boosted = FitConfig {
+            burn_in: config
+                .burn_in
+                .saturating_mul(options.requeue_burn_in_factor.max(1) as usize),
+            ..config.clone()
+        };
+        let cancel = options.shutdown.as_deref();
+        let mut still = Vec::new();
+        for q in std::mem::take(&mut summary.quarantined) {
+            if cancel.is_some_and(|f| f.load(Ordering::Relaxed)) {
+                summary.interrupted = true;
+                still.push(q);
+                continue;
+            }
+            summary.requeued += 1;
+            centipede_obs::trace::instant(
+                metric::TRACE_FIT_REQUEUE,
+                [TraceTag::Url(q.url.0), TraceTag::Attempt(q.attempts)],
+            );
+            let idx = q.idx as usize;
+            match catch_unwind(AssertUnwindSafe(|| {
+                fit_fn(&prepared[idx], &boosted, q.idx, cancel)
+            })) {
+                Ok(Some((fit, posterior))) => {
+                    if let Some(writer) = &segment_writer {
+                        let shard = Shard {
+                            idx: q.idx,
+                            fingerprint,
+                            fit: fit.clone(),
+                            posterior,
+                        };
+                        match writer.lock().append_fit(&shard) {
+                            Ok(_) => summary.shards_written += 1,
+                            Err(e) => {
+                                summary.shard_errors += 1;
+                                centipede_obs::global().message(&format!(
+                                    "shard write failed for url {}: {e}",
+                                    fit.url.0
+                                ));
+                            }
+                        }
+                    }
+                    summary.requeue_recovered += 1;
+                    by_idx.insert(idx, fit);
+                }
+                Ok(None) => {
+                    summary.interrupted = true;
+                    still.push(q);
+                }
+                Err(_) => still.push(q),
+            }
+        }
+        summary.quarantined = still;
+    }
+
     // Persist the (merged) quarantine list so a later `--resume` skips
-    // known-poison URLs. Written only when non-empty: an all-clean run
-    // leaves no file to scan.
+    // known-poison URLs. Deleted when empty — the requeue pass may have
+    // recovered every carried entry, and a stale list would wrongly
+    // re-quarantine them.
     if let Some(dir) = &checkpoint_dir {
         if !summary.quarantined.is_empty() {
             if let Err(e) =
@@ -603,6 +856,17 @@ where
                 summary.shard_errors += 1;
                 centipede_obs::global().message(&format!("quarantine list write failed: {e}"));
             }
+        } else {
+            let _ = std::fs::remove_file(checkpoint::quarantine_path(dir));
+        }
+    }
+
+    // Seal the segment: flush appended records and write the index
+    // sidecar so the next open can skip the full scan.
+    if let Some(writer) = segment_writer {
+        if let Err(e) = writer.into_inner().finish() {
+            summary.shard_errors += 1;
+            centipede_obs::global().message(&format!("segment finish failed: {e}"));
         }
     }
 
@@ -615,6 +879,8 @@ where
     centipede_obs::counter(metric::FLEET_RESUME_MISMATCHED).inc(summary.resume_mismatched as u64);
     centipede_obs::counter(metric::FLEET_RESUME_CORRUPT).inc(summary.resume_corrupt as u64);
     centipede_obs::counter(metric::FLEET_RESUME_QUARANTINED).inc(summary.resume_quarantined as u64);
+    centipede_obs::counter(metric::FLEET_REQUEUED).inc(summary.requeued as u64);
+    centipede_obs::counter(metric::FLEET_REQUEUE_RECOVERED).inc(summary.requeue_recovered as u64);
     if summary.interrupted {
         centipede_obs::counter(metric::FLEET_INTERRUPTED).inc(1);
     }
@@ -1289,5 +1555,101 @@ mod tests {
         assert_eq!(report.summary.resume_mismatched, 2);
         assert_eq!(report.summary.fitted, 2);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn quarantined_url_recovers_on_boosted_requeue() {
+        // Panics only at the configured burn-in: the main queue
+        // quarantines it, the low-priority requeue at boosted burn-in
+        // recovers it, and the quarantine list ends empty.
+        let urls = small_fleet(3);
+        let config = quick_config();
+        let base_burn_in = config.burn_in;
+        let report = fit_fleet_with(
+            &urls,
+            &config,
+            &FleetOptions {
+                requeue_quarantined: true,
+                requeue_burn_in_factor: 4,
+                ..FleetOptions::default()
+            },
+            |p, c, i, _| {
+                if i == 1 && c.burn_in == base_burn_in {
+                    panic!("needs more burn-in");
+                }
+                Some(fit_one_full(p, c, i))
+            },
+        );
+        assert_eq!(report.summary.requeued, 1);
+        assert_eq!(report.summary.requeue_recovered, 1);
+        assert!(report.summary.quarantined.is_empty());
+        assert_eq!(report.fits.len(), 3);
+        assert_eq!(report.fits[1].url, UrlId(1));
+    }
+
+    #[test]
+    fn requeue_keeps_hard_failures_quarantined() {
+        let urls = small_fleet(3);
+        let report = fit_fleet_with(
+            &urls,
+            &quick_config(),
+            &FleetOptions {
+                requeue_quarantined: true,
+                ..FleetOptions::default()
+            },
+            |p, c, i, _| {
+                if i == 1 {
+                    panic!("poison at any burn-in");
+                }
+                Some(fit_one_full(p, c, i))
+            },
+        );
+        assert_eq!(report.summary.requeued, 1);
+        assert_eq!(report.summary.requeue_recovered, 0);
+        assert_eq!(report.summary.quarantined.len(), 1);
+        assert_eq!(report.summary.quarantined[0].url, UrlId(1));
+        assert_eq!(report.fits.len(), 2);
+    }
+
+    #[test]
+    fn backoff_counts_every_attempt_and_sleeps_between_retries() {
+        let urls = small_fleet(2);
+        let attempts_before = centipede_obs::counter(metric::FLEET_FIT_ATTEMPTS).get();
+        let t0 = std::time::Instant::now();
+        let report = fit_fleet_with(
+            &urls,
+            &quick_config(),
+            &FleetOptions {
+                max_retries: 2,
+                backoff_base_ms: 5,
+                ..FleetOptions::default()
+            },
+            |p, c, i, _| {
+                if i == 0 {
+                    panic!("always fails");
+                }
+                Some(fit_one_full(p, c, i))
+            },
+        );
+        // url 0: three attempts (try + 2 retries); url 1: one attempt.
+        assert_eq!(report.summary.retried, 2);
+        assert_eq!(report.summary.quarantined.len(), 1);
+        assert_eq!(report.summary.quarantined[0].attempts, 3);
+        let attempts_after = centipede_obs::counter(metric::FLEET_FIT_ATTEMPTS).get();
+        assert!(attempts_after - attempts_before >= 4);
+        // Two backoff sleeps of ≥ 5 ms and ≥ 10 ms must have happened.
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(15));
+    }
+
+    #[test]
+    fn zero_backoff_base_never_sleeps() {
+        let policy = RetryPolicy {
+            max_retries: 3,
+            backoff_base_ms: 0,
+            seed: 42,
+        };
+        let t0 = std::time::Instant::now();
+        backoff_sleep(&policy, 7, 3);
+        assert!(t0.elapsed() < std::time::Duration::from_millis(50));
     }
 }

@@ -5,26 +5,44 @@
 //!   per-minute binning into `EventSeq`s.
 //! * [`fit`] — the per-URL Gibbs fitting fleet (parallel over URLs),
 //!   with panic isolation, retry, and quarantine.
-//! * [`checkpoint`] — atomic, checksummed per-URL posterior shards
-//!   backing `--checkpoint-dir`/`--resume`.
+//! * [`checkpoint`] — atomic, checksummed posterior checkpoints
+//!   backing `--checkpoint-dir`/`--resume` (legacy per-URL shards plus
+//!   the segment logs written by current fleets).
+//! * [`segment`] — the append-only, checksummed segment checkpoint
+//!   format: one log + index sidecar per fleet/worker, torn-tail
+//!   truncation recovery on open.
+//! * [`supervisor`] / [`worker`] — the supervised multi-process fleet:
+//!   shard ownership per worker process, heartbeat liveness,
+//!   reassignment from dead workers, merged reports.
+//! * [`fault`] — deterministic fault injection (kill after N fits,
+//!   dropped heartbeats, torn segment tails, delayed flushes) driving
+//!   the crash-recovery tests and the CI kill-and-resume lane.
 //! * [`weights`] — Figure 10: per-category mean weight matrices,
 //!   percentage differences, KS significance stars; Table 11 summary.
 //! * [`impact`] — Figure 11: estimated percentage of events caused.
 
 pub mod checkpoint;
+pub mod fault;
 pub mod fit;
 pub mod impact;
 pub mod prepare;
+pub mod segment;
+pub mod supervisor;
 pub mod weights;
+pub mod worker;
 
 pub use checkpoint::{
     config_fingerprint, load_quarantine, quarantine_path, read_shard, scan_dir,
     write_quarantine_atomic, write_shard_atomic, ResumeScan, Shard, ShardError,
 };
+pub use fault::FaultPlan;
 pub use fit::{
     fit_fleet, fit_fleet_with, fit_one_cancellable, fit_urls, FitConfig, FitPosterior,
-    FleetOptions, FleetReport, FleetSummary, QuarantinedUrl, UrlFit,
+    FleetOptions, FleetReport, FleetSummary, QuarantinedUrl, UrlFit, FLEET_SEGMENT_FILE,
 };
 pub use impact::{impact_matrix, ImpactMatrix};
 pub use prepare::{prepare_urls, PreparedUrl, SelectionConfig, SelectionSummary};
+pub use segment::{load_segment, scan_segment, SegmentRecord, SegmentScan, SegmentWriter};
+pub use supervisor::{supervise_fleet, SupervisorOptions, SupervisorSummary};
 pub use weights::{weight_comparison, CellComparison, Table11, WeightComparison};
+pub use worker::{worker_env, worker_main, WorkerReport};

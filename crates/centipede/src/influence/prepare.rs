@@ -40,7 +40,7 @@ impl Default for SelectionConfig {
 }
 
 /// A URL ready for Hawkes fitting.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PreparedUrl {
     /// Which URL.
     pub url: UrlId,

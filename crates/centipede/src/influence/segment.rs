@@ -1,0 +1,771 @@
+//! Append-only segment checkpoints: one checksummed log + index per
+//! fleet worker.
+//!
+//! PR 3's one-file-per-URL checkpoint shards cost three syscalls per
+//! fit (create tmp, fsync, rename) — cheap locally, painful on a
+//! network filesystem under a fleet writing tens of thousands of
+//! shards. A **segment** replaces them with a single append-only file
+//! per worker:
+//!
+//! ```text
+//! segment := "CPSG" version:u32                        (file header)
+//!            record*
+//! record  := "CPR0" type:u8 idx:u64 len:u32            (frame header)
+//!            payload[len]
+//!            fnv64(payload)                            (frame trailer)
+//! ```
+//!
+//! Record types: `1` — a completed fit (payload is the PR 3
+//! [`super::checkpoint`] shard encoding, itself checksummed and
+//! self-describing); `2` — a quarantined URL (payload carries the
+//! config fingerprint, fleet index, URL id, attempt count, and panic
+//! message). One log therefore holds everything a worker learned.
+//!
+//! Recovery discipline on open:
+//!
+//! * **Torn tail** (crash mid-append): the first frame whose header is
+//!   unreadable, whose magic is wrong, or whose declared length runs
+//!   past EOF marks the torn offset; [`SegmentWriter::open`] truncates
+//!   there and appends after the last complete record. Only the one
+//!   in-flight fit is lost.
+//! * **Corrupt record** (bit rot mid-file): a frame whose header is
+//!   intact but whose payload fails its checksum is *skipped*, not
+//!   fatal — the frame length still locates the next record, so a
+//!   flipped byte quarantines exactly one URL's record and every other
+//!   record in the segment survives.
+//!
+//! The companion index file (`<segment>.idx`) maps fleet index →
+//! (offset, length) so a resume can seek straight to records without
+//! re-scanning; it is advisory — written on clean close, validated
+//! against the segment length, and silently ignored (full scan instead)
+//! when missing or stale.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::io::{self, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use centipede_dataset::event::UrlId;
+use centipede_obs::names as metric;
+
+use super::checkpoint::{decode_shard, encode_shard, Fnv1a, Shard, ShardError};
+use super::fit::QuarantinedUrl;
+
+/// Magic prefix of a segment file.
+pub const SEGMENT_MAGIC: [u8; 4] = *b"CPSG";
+
+/// Segment format version; decoders reject anything else.
+pub const SEGMENT_VERSION: u32 = 1;
+
+/// Magic prefix of every record frame.
+pub const RECORD_MAGIC: [u8; 4] = *b"CPR0";
+
+/// Magic prefix of a segment index file.
+pub const INDEX_MAGIC: [u8; 4] = *b"CPSI";
+
+/// Segment file header length in bytes.
+const HEADER_LEN: u64 = 8;
+
+/// Frame header: magic (4) + type (1) + idx (8) + len (4).
+const FRAME_HEADER_LEN: usize = 17;
+
+/// Frame trailer: FNV-1a 64 of the payload.
+const FRAME_TRAILER_LEN: usize = 8;
+
+/// Upper bound on a single record payload (defensive: a corrupted
+/// length field must not allocate the universe).
+const MAX_PAYLOAD_LEN: u32 = 1 << 30;
+
+/// Records appended between `fsync` calls. The torn-tail recovery makes
+/// fsync a durability knob, not a correctness one.
+const SYNC_EVERY: usize = 32;
+
+/// A fit-record frame carries a full checkpoint shard.
+const RECORD_FIT: u8 = 1;
+
+/// A quarantine-record frame carries one [`QuarantinedUrl`].
+const RECORD_QUARANTINE: u8 = 2;
+
+/// One decoded segment record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SegmentRecord {
+    /// A completed fit (the embedded shard carries its own config
+    /// fingerprint). Boxed: a shard with its posterior dwarfs a
+    /// quarantine entry.
+    Fit(Box<Shard>),
+    /// A URL quarantined under `fingerprint`.
+    Quarantine {
+        /// Fingerprint of the producing fit configuration.
+        fingerprint: u64,
+        /// The quarantine entry.
+        entry: QuarantinedUrl,
+    },
+}
+
+impl SegmentRecord {
+    /// The fleet index this record describes.
+    pub fn idx(&self) -> u64 {
+        match self {
+            SegmentRecord::Fit(shard) => shard.idx,
+            SegmentRecord::Quarantine { entry, .. } => entry.idx,
+        }
+    }
+}
+
+/// Outcome of scanning one segment file.
+#[derive(Debug, Default)]
+pub struct SegmentScan {
+    /// Decoded records in file order.
+    pub records: Vec<SegmentRecord>,
+    /// Fleet indices of frame-intact records whose payload failed its
+    /// checksum or decode — each costs exactly one URL, never the file.
+    pub corrupt: Vec<u64>,
+    /// Offset of a torn tail (crash mid-append), if any; bytes from
+    /// here to EOF hold no complete record.
+    pub torn_tail: Option<u64>,
+    /// Length of the fully framed prefix (the truncation point a
+    /// writer uses when reopening).
+    pub valid_len: u64,
+}
+
+fn encode_quarantine_record(fingerprint: u64, q: &QuarantinedUrl) -> Vec<u8> {
+    let msg = q.panic_message.as_bytes();
+    let mut out = Vec::with_capacity(32 + msg.len());
+    out.extend_from_slice(&fingerprint.to_le_bytes());
+    out.extend_from_slice(&q.idx.to_le_bytes());
+    out.extend_from_slice(&q.url.0.to_le_bytes());
+    out.extend_from_slice(&q.attempts.to_le_bytes());
+    out.extend_from_slice(&(msg.len() as u64).to_le_bytes());
+    out.extend_from_slice(msg);
+    out
+}
+
+fn decode_quarantine_record(bytes: &[u8]) -> Result<(u64, QuarantinedUrl), ShardError> {
+    let take = |pos: &mut usize, n: usize| -> Result<&[u8], ShardError> {
+        let end = pos.checked_add(n).ok_or(ShardError::Truncated)?;
+        if end > bytes.len() {
+            return Err(ShardError::Truncated);
+        }
+        let s = &bytes[*pos..end];
+        *pos = end;
+        Ok(s)
+    };
+    let mut pos = 0;
+    let fingerprint = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+    let idx = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+    let url = UrlId(u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()));
+    let attempts = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap());
+    let len = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap()) as usize;
+    let panic_message = std::str::from_utf8(take(&mut pos, len)?)
+        .map_err(|_| ShardError::Malformed("quarantine panic message"))?
+        .to_string();
+    if pos != bytes.len() {
+        return Err(ShardError::Malformed("trailing bytes"));
+    }
+    Ok((
+        fingerprint,
+        QuarantinedUrl {
+            url,
+            idx,
+            attempts,
+            panic_message,
+        },
+    ))
+}
+
+/// Scan raw segment bytes. The header must be valid; after that the
+/// scan never fails — damage degrades into `corrupt` entries or a
+/// `torn_tail`, both of which the fleet repairs by refitting.
+pub fn scan_bytes(bytes: &[u8]) -> Result<SegmentScan, ShardError> {
+    if bytes.len() < HEADER_LEN as usize {
+        return Err(ShardError::Truncated);
+    }
+    if bytes[..4] != SEGMENT_MAGIC {
+        return Err(ShardError::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    if version != SEGMENT_VERSION {
+        return Err(ShardError::BadVersion(version));
+    }
+
+    let mut scan = SegmentScan {
+        valid_len: HEADER_LEN,
+        ..SegmentScan::default()
+    };
+    let mut pos = HEADER_LEN as usize;
+    while pos < bytes.len() {
+        let remaining = bytes.len() - pos;
+        if remaining < FRAME_HEADER_LEN || bytes[pos..pos + 4] != RECORD_MAGIC {
+            scan.torn_tail = Some(pos as u64);
+            break;
+        }
+        let rec_type = bytes[pos + 4];
+        let idx = u64::from_le_bytes(bytes[pos + 5..pos + 13].try_into().unwrap());
+        let len = u32::from_le_bytes(bytes[pos + 13..pos + 17].try_into().unwrap());
+        let total = FRAME_HEADER_LEN + len as usize + FRAME_TRAILER_LEN;
+        if len > MAX_PAYLOAD_LEN
+            || !matches!(rec_type, RECORD_FIT | RECORD_QUARANTINE)
+            || total > remaining
+        {
+            scan.torn_tail = Some(pos as u64);
+            break;
+        }
+        let payload = &bytes[pos + FRAME_HEADER_LEN..pos + FRAME_HEADER_LEN + len as usize];
+        let stored = u64::from_le_bytes(
+            bytes[pos + total - FRAME_TRAILER_LEN..pos + total]
+                .try_into()
+                .unwrap(),
+        );
+        let mut h = Fnv1a::new();
+        h.update(payload);
+        // The frame is intact (magic matched, the declared length lands
+        // exactly on the next frame boundary), so a payload that fails
+        // its checksum or decode costs only this record: skip it and
+        // keep walking.
+        if h.finish() != stored {
+            scan.corrupt.push(idx);
+        } else {
+            let decoded = match rec_type {
+                RECORD_FIT => {
+                    decode_shard(payload).map(|shard| SegmentRecord::Fit(Box::new(shard)))
+                }
+                _ => decode_quarantine_record(payload)
+                    .map(|(fingerprint, entry)| SegmentRecord::Quarantine { fingerprint, entry }),
+            };
+            match decoded {
+                Ok(record) => scan.records.push(record),
+                Err(_) => scan.corrupt.push(idx),
+            }
+        }
+        pos += total;
+        scan.valid_len = pos as u64;
+    }
+    Ok(scan)
+}
+
+/// Scan one segment file. A missing file is an empty scan.
+pub fn scan_segment(path: &Path) -> Result<SegmentScan, ShardError> {
+    let bytes = match fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {
+            return Ok(SegmentScan {
+                valid_len: 0,
+                ..SegmentScan::default()
+            })
+        }
+        Err(e) => return Err(ShardError::Io(e)),
+    };
+    scan_bytes(&bytes)
+}
+
+/// One index entry: where a record for fleet index `idx` lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct IndexEntry {
+    rec_type: u8,
+    idx: u64,
+    offset: u64,
+    len: u32,
+}
+
+/// Canonical index path for a segment file (`<segment>.idx`).
+pub fn index_path(segment: &Path) -> PathBuf {
+    let mut name = segment.file_name().unwrap_or_default().to_os_string();
+    name.push(".idx");
+    segment.with_file_name(name)
+}
+
+fn encode_index(seg_len: u64, entries: &[IndexEntry]) -> Vec<u8> {
+    let mut body = Vec::with_capacity(16 + entries.len() * 21);
+    body.extend_from_slice(&seg_len.to_le_bytes());
+    body.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+    for e in entries {
+        body.push(e.rec_type);
+        body.extend_from_slice(&e.idx.to_le_bytes());
+        body.extend_from_slice(&e.offset.to_le_bytes());
+        body.extend_from_slice(&e.len.to_le_bytes());
+    }
+    let mut h = Fnv1a::new();
+    h.update(&body);
+    let mut out = Vec::with_capacity(16 + body.len());
+    out.extend_from_slice(&INDEX_MAGIC);
+    out.extend_from_slice(&SEGMENT_VERSION.to_le_bytes());
+    out.extend_from_slice(&body);
+    out.extend_from_slice(&h.finish().to_le_bytes());
+    out
+}
+
+fn decode_index(bytes: &[u8]) -> Result<(u64, Vec<IndexEntry>), ShardError> {
+    if bytes.len() < 16 {
+        return Err(ShardError::Truncated);
+    }
+    if bytes[..4] != INDEX_MAGIC {
+        return Err(ShardError::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    if version != SEGMENT_VERSION {
+        return Err(ShardError::BadVersion(version));
+    }
+    let body = &bytes[8..bytes.len() - 8];
+    let stored = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap());
+    let mut h = Fnv1a::new();
+    h.update(body);
+    if h.finish() != stored {
+        return Err(ShardError::ChecksumMismatch {
+            stored,
+            computed: h.finish(),
+        });
+    }
+    if body.len() < 16 {
+        return Err(ShardError::Truncated);
+    }
+    let seg_len = u64::from_le_bytes(body[..8].try_into().unwrap());
+    let n = u64::from_le_bytes(body[8..16].try_into().unwrap()) as usize;
+    if body.len() != 16 + n * 21 {
+        return Err(ShardError::Malformed("index entry count"));
+    }
+    let mut entries = Vec::with_capacity(n);
+    for i in 0..n {
+        let at = 16 + i * 21;
+        entries.push(IndexEntry {
+            rec_type: body[at],
+            idx: u64::from_le_bytes(body[at + 1..at + 9].try_into().unwrap()),
+            offset: u64::from_le_bytes(body[at + 9..at + 17].try_into().unwrap()),
+            len: u32::from_le_bytes(body[at + 17..at + 21].try_into().unwrap()),
+        });
+    }
+    Ok((seg_len, entries))
+}
+
+/// Load a segment through its index when possible, falling back to a
+/// full scan. The index is trusted only when it decodes *and* records
+/// the segment's exact current length — an interrupted run that
+/// appended past the last index write degrades to the scan, never to
+/// stale answers.
+pub fn load_segment(path: &Path) -> Result<SegmentScan, ShardError> {
+    let seg_bytes = match fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {
+            return Ok(SegmentScan {
+                valid_len: 0,
+                ..SegmentScan::default()
+            })
+        }
+        Err(e) => return Err(ShardError::Io(e)),
+    };
+    if let Ok(idx_bytes) = fs::read(index_path(path)) {
+        if let Ok((seg_len, entries)) = decode_index(&idx_bytes) {
+            if seg_len == seg_bytes.len() as u64 {
+                if let Some(scan) = load_via_index(&seg_bytes, &entries) {
+                    return Ok(scan);
+                }
+            }
+        }
+    }
+    scan_bytes(&seg_bytes)
+}
+
+/// Decode records at indexed offsets. Any inconsistency returns `None`
+/// and the caller falls back to the sequential scan.
+fn load_via_index(bytes: &[u8], entries: &[IndexEntry]) -> Option<SegmentScan> {
+    let mut scan = SegmentScan {
+        valid_len: bytes.len() as u64,
+        ..SegmentScan::default()
+    };
+    for e in entries {
+        let start = e.offset as usize;
+        let total = FRAME_HEADER_LEN + e.len as usize + FRAME_TRAILER_LEN;
+        if start + total > bytes.len() || bytes[start..start + 4] != RECORD_MAGIC {
+            return None;
+        }
+        let payload = &bytes[start + FRAME_HEADER_LEN..start + FRAME_HEADER_LEN + e.len as usize];
+        let stored = u64::from_le_bytes(
+            bytes[start + total - FRAME_TRAILER_LEN..start + total]
+                .try_into()
+                .unwrap(),
+        );
+        let mut h = Fnv1a::new();
+        h.update(payload);
+        if h.finish() != stored {
+            scan.corrupt.push(e.idx);
+            continue;
+        }
+        let decoded = match e.rec_type {
+            RECORD_FIT => decode_shard(payload).map(|shard| SegmentRecord::Fit(Box::new(shard))),
+            RECORD_QUARANTINE => decode_quarantine_record(payload)
+                .map(|(fingerprint, entry)| SegmentRecord::Quarantine { fingerprint, entry }),
+            _ => return None,
+        };
+        match decoded {
+            Ok(record) => scan.records.push(record),
+            Err(_) => scan.corrupt.push(e.idx),
+        }
+    }
+    Some(scan)
+}
+
+/// Append handle on one segment file.
+///
+/// `open` recovers the file first (truncating a torn tail), so a writer
+/// can always continue a log its previous incarnation died inside.
+#[derive(Debug)]
+pub struct SegmentWriter {
+    file: fs::File,
+    path: PathBuf,
+    len: u64,
+    since_sync: usize,
+    entries: Vec<IndexEntry>,
+}
+
+impl SegmentWriter {
+    /// Open (creating or recovering) the segment at `path`. Returns the
+    /// writer positioned after the last complete record plus the scan
+    /// of what the file already held.
+    pub fn open(path: &Path) -> Result<(SegmentWriter, SegmentScan), ShardError> {
+        let existing = match fs::read(path) {
+            Ok(bytes) => Some(bytes),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => None,
+            Err(e) => return Err(ShardError::Io(e)),
+        };
+        // A file too short to hold the header is a crash artifact from
+        // the moment of creation: start it over. Anything longer must
+        // carry a valid header or the file is not ours to touch.
+        let scan = match &existing {
+            Some(bytes) if bytes.len() >= HEADER_LEN as usize => scan_bytes(bytes)?,
+            _ => SegmentScan {
+                valid_len: 0,
+                ..SegmentScan::default()
+            },
+        };
+
+        let mut file = fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let mut len = scan.valid_len;
+        if len == 0 {
+            file.set_len(0)?;
+            file.write_all(&SEGMENT_MAGIC)?;
+            file.write_all(&SEGMENT_VERSION.to_le_bytes())?;
+            len = HEADER_LEN;
+        } else if scan.torn_tail.is_some() {
+            // Drop the torn bytes so the next append starts on a clean
+            // frame boundary.
+            file.set_len(len)?;
+            centipede_obs::counter(metric::SEGMENT_TORN_TAILS).inc(1);
+        }
+        file.seek(SeekFrom::Start(len))?;
+
+        // Seed the index with the surviving records so a clean close
+        // indexes the whole file, not just this incarnation's appends.
+        let mut entries = Vec::with_capacity(scan.records.len());
+        let mut reindex = Vec::new();
+        if !scan.records.is_empty() {
+            // Offsets are recovered by re-walking the frames (scan
+            // tracked only validity); this is the same single pass.
+            let bytes = existing.as_deref().unwrap_or(&[]);
+            let mut pos = HEADER_LEN as usize;
+            while (pos as u64) < len {
+                let rec_type = bytes[pos + 4];
+                let idx = u64::from_le_bytes(bytes[pos + 5..pos + 13].try_into().unwrap());
+                let rec_len = u32::from_le_bytes(bytes[pos + 13..pos + 17].try_into().unwrap());
+                reindex.push(IndexEntry {
+                    rec_type,
+                    idx,
+                    offset: pos as u64,
+                    len: rec_len,
+                });
+                pos += FRAME_HEADER_LEN + rec_len as usize + FRAME_TRAILER_LEN;
+            }
+            // Corrupt frames stay out of the index so an indexed load
+            // matches a scan's record set.
+            let corrupt: BTreeSet<u64> = scan.corrupt.iter().copied().collect();
+            entries.extend(reindex.into_iter().filter(|e| !corrupt.contains(&e.idx)));
+        }
+
+        if !scan.corrupt.is_empty() {
+            centipede_obs::counter(metric::SEGMENT_CORRUPT_RECORDS).inc(scan.corrupt.len() as u64);
+        }
+
+        Ok((
+            SegmentWriter {
+                file,
+                path: path.to_path_buf(),
+                len,
+                since_sync: 0,
+                entries,
+            },
+            scan,
+        ))
+    }
+
+    /// Segment file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Current (fully written) file length.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the segment holds no records yet.
+    pub fn is_empty(&self) -> bool {
+        self.len <= HEADER_LEN
+    }
+
+    fn append(&mut self, rec_type: u8, idx: u64, payload: &[u8]) -> Result<(), ShardError> {
+        let mut frame = Vec::with_capacity(FRAME_HEADER_LEN + payload.len() + FRAME_TRAILER_LEN);
+        frame.extend_from_slice(&RECORD_MAGIC);
+        frame.push(rec_type);
+        frame.extend_from_slice(&idx.to_le_bytes());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(payload);
+        let mut h = Fnv1a::new();
+        h.update(payload);
+        frame.extend_from_slice(&h.finish().to_le_bytes());
+
+        self.file.write_all(&frame)?;
+        self.entries.push(IndexEntry {
+            rec_type,
+            idx,
+            offset: self.len,
+            len: payload.len() as u32,
+        });
+        self.len += frame.len() as u64;
+        self.since_sync += 1;
+        if self.since_sync >= SYNC_EVERY {
+            self.sync()?;
+        }
+        centipede_obs::counter(metric::SEGMENT_RECORDS_APPENDED).inc(1);
+        Ok(())
+    }
+
+    /// Append one completed fit.
+    pub fn append_fit(&mut self, shard: &Shard) -> Result<(), ShardError> {
+        self.append(RECORD_FIT, shard.idx, &encode_shard(shard))
+    }
+
+    /// Append one quarantine entry.
+    pub fn append_quarantine(
+        &mut self,
+        fingerprint: u64,
+        q: &QuarantinedUrl,
+    ) -> Result<(), ShardError> {
+        self.append(
+            RECORD_QUARANTINE,
+            q.idx,
+            &encode_quarantine_record(fingerprint, q),
+        )
+    }
+
+    /// Flush appended records to stable storage.
+    pub fn sync(&mut self) -> Result<(), ShardError> {
+        self.file.sync_data()?;
+        self.since_sync = 0;
+        Ok(())
+    }
+
+    /// Sync the log and write the index file atomically (tmp → fsync →
+    /// rename, the `influence::checkpoint` discipline). The segment
+    /// stays valid without the index; the index only buys a resume a
+    /// seek instead of a scan.
+    pub fn finish(mut self) -> Result<(), ShardError> {
+        self.sync()?;
+        let final_path = index_path(&self.path);
+        let tmp_path = {
+            let mut name = final_path.file_name().unwrap_or_default().to_os_string();
+            name.push(".tmp");
+            final_path.with_file_name(name)
+        };
+        let bytes = encode_index(self.len, &self.entries);
+        let mut file = fs::File::create(&tmp_path)?;
+        file.write_all(&bytes)?;
+        file.sync_all()?;
+        drop(file);
+        fs::rename(&tmp_path, &final_path)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use centipede_dataset::domains::NewsCategory;
+    use centipede_hawkes::matrix::Matrix;
+
+    use crate::influence::fit::{FitPosterior, UrlFit};
+
+    fn test_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("centipede-seg-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir.join("worker-0.seg")
+    }
+
+    fn shard(idx: u64) -> Shard {
+        Shard {
+            idx,
+            fingerprint: 0xFEED_F00D,
+            fit: UrlFit {
+                url: UrlId(idx as u32 + 100),
+                category: NewsCategory::Mainstream,
+                weights: Matrix::constant(2, 0.5 + idx as f64),
+                lambda0: [0.25; 8],
+                events_per_community: [idx; 8],
+                n_bins: 640,
+            },
+            posterior: FitPosterior::None,
+        }
+    }
+
+    fn quarantine(idx: u64) -> QuarantinedUrl {
+        QuarantinedUrl {
+            url: UrlId(idx as u32 + 100),
+            idx,
+            attempts: 3,
+            panic_message: format!("boom {idx}"),
+        }
+    }
+
+    fn write_segment(path: &Path, fits: &[u64], quarantines: &[u64]) {
+        let (mut w, _) = SegmentWriter::open(path).unwrap();
+        for &i in fits {
+            w.append_fit(&shard(i)).unwrap();
+        }
+        for &i in quarantines {
+            w.append_quarantine(0xFEED_F00D, &quarantine(i)).unwrap();
+        }
+        w.finish().unwrap();
+    }
+
+    #[test]
+    fn roundtrips_fit_and_quarantine_records() {
+        let path = test_path("roundtrip");
+        write_segment(&path, &[0, 1], &[2]);
+        let scan = scan_segment(&path).unwrap();
+        assert_eq!(scan.records.len(), 3);
+        assert!(scan.corrupt.is_empty());
+        assert!(scan.torn_tail.is_none());
+        assert_eq!(scan.records[0], SegmentRecord::Fit(Box::new(shard(0))));
+        assert_eq!(scan.records[1], SegmentRecord::Fit(Box::new(shard(1))));
+        assert_eq!(
+            scan.records[2],
+            SegmentRecord::Quarantine {
+                fingerprint: 0xFEED_F00D,
+                entry: quarantine(2)
+            }
+        );
+        // The index fast path agrees with the scan.
+        assert!(index_path(&path).exists());
+        let via_index = load_segment(&path).unwrap();
+        assert_eq!(via_index.records, scan.records);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_reopen_and_appendable() {
+        let path = test_path("torn");
+        write_segment(&path, &[0, 1, 2], &[]);
+        let full_len = fs::metadata(&path).unwrap().len();
+        // Chop into the last record (simulating a crash mid-append).
+        fs::OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .unwrap()
+            .set_len(full_len - 5)
+            .unwrap();
+
+        let scan = scan_segment(&path).unwrap();
+        assert_eq!(scan.records.len(), 2, "torn record must not decode");
+        assert!(scan.torn_tail.is_some());
+
+        // Reopen: the tail is truncated and appends continue cleanly.
+        let (mut w, reopened) = SegmentWriter::open(&path).unwrap();
+        assert_eq!(reopened.records.len(), 2);
+        assert_eq!(fs::metadata(&path).unwrap().len(), reopened.valid_len);
+        w.append_fit(&shard(2)).unwrap();
+        w.finish().unwrap();
+        let healed = scan_segment(&path).unwrap();
+        assert_eq!(healed.records.len(), 3);
+        assert!(healed.torn_tail.is_none());
+    }
+
+    #[test]
+    fn corrupt_payload_loses_exactly_one_record() {
+        let path = test_path("corrupt");
+        write_segment(&path, &[0, 1, 2], &[]);
+        let clean = scan_segment(&path).unwrap();
+        assert_eq!(clean.records.len(), 3);
+
+        // Flip one payload byte of the middle record.
+        let mut bytes = fs::read(&path).unwrap();
+        let mid_offset = {
+            // Record 1 starts after the header + record 0's frame.
+            let rec0_len = u32::from_le_bytes(bytes[8 + 13..8 + 17].try_into().unwrap()) as usize;
+            8 + FRAME_HEADER_LEN + rec0_len + FRAME_TRAILER_LEN
+        };
+        bytes[mid_offset + FRAME_HEADER_LEN + 10] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+
+        let scan = scan_segment(&path).unwrap();
+        assert_eq!(scan.records.len(), 2, "only the flipped record is lost");
+        assert_eq!(scan.corrupt, vec![1]);
+        assert!(scan.torn_tail.is_none());
+        assert_eq!(scan.records[0].idx(), 0);
+        assert_eq!(scan.records[1].idx(), 2);
+
+        // Reopening keeps the corrupt record out of the rebuilt index.
+        let (w, _) = SegmentWriter::open(&path).unwrap();
+        w.finish().unwrap();
+        let via_index = load_segment(&path).unwrap();
+        assert_eq!(via_index.records.len(), 2);
+    }
+
+    #[test]
+    fn stale_index_falls_back_to_scan() {
+        let path = test_path("stale-index");
+        write_segment(&path, &[0], &[]);
+        // Append one more record without refreshing the index.
+        let (mut w, _) = SegmentWriter::open(&path).unwrap();
+        w.append_fit(&shard(1)).unwrap();
+        w.sync().unwrap();
+        drop(w);
+        let scan = load_segment(&path).unwrap();
+        assert_eq!(scan.records.len(), 2, "stale index must not hide appends");
+    }
+
+    #[test]
+    fn zero_length_and_missing_files_are_empty() {
+        let path = test_path("empty");
+        assert!(scan_segment(&path).unwrap().records.is_empty());
+        fs::write(&path, b"").unwrap();
+        let (w, scan) = SegmentWriter::open(&path).unwrap();
+        assert!(scan.records.is_empty());
+        assert!(w.is_empty());
+        drop(w);
+        // The rewritten file now carries a valid header.
+        assert!(scan_segment(&path).unwrap().records.is_empty());
+    }
+
+    #[test]
+    fn foreign_file_is_a_typed_error() {
+        let path = test_path("foreign");
+        fs::write(&path, b"definitely not a segment").unwrap();
+        assert!(matches!(scan_segment(&path), Err(ShardError::BadMagic)));
+        assert!(matches!(
+            SegmentWriter::open(&path),
+            Err(ShardError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn quarantine_record_codec_rejects_corruption() {
+        let q = quarantine(7);
+        let bytes = encode_quarantine_record(0xABCD, &q);
+        assert_eq!(decode_quarantine_record(&bytes).unwrap(), (0xABCD, q));
+        for len in 0..bytes.len() {
+            assert!(decode_quarantine_record(&bytes[..len]).is_err());
+        }
+    }
+}

@@ -1,0 +1,783 @@
+//! The supervisor side of the multi-process fit fleet.
+//!
+//! [`supervise_fleet`] partitions the pending URL space into shards
+//! owned by worker *processes* (see [`super::worker`] for the
+//! filesystem protocol), monitors their liveness through heartbeat
+//! files, and repairs failures:
+//!
+//! * a worker that exits uncleanly or misses its heartbeat deadline is
+//!   declared dead; its segment checkpoint is scanned and the
+//!   *unfinished* remainder of its shard is reassigned to the live
+//!   worker with the fewest outstanding URLs;
+//! * when no survivor exists, the dead worker is respawned under the
+//!   same shard ownership (up to a respawn budget) and resumes from
+//!   its own segment;
+//! * URLs quarantined by workers are retried once in-process on a
+//!   low-priority queue with a larger burn-in after every shard has
+//!   drained;
+//! * only when all of that fails is a URL reported lost, and the
+//!   caller maps loss to a nonzero exit — quarantine alone degrades
+//!   the report, it does not fail the run.
+//!
+//! Because per-URL RNG seeds derive from `(seed, idx)` alone, shard
+//! placement, worker count, death, and reassignment cannot change the
+//! fitted posteriors: a 4-worker run with one worker killed mid-run
+//! merges to bit-identical results as the in-process fleet.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::PathBuf;
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+use serde::Serialize;
+
+use centipede_obs::names as metric;
+use centipede_obs::{TraceSpan, TraceTag};
+
+use super::fault::FaultPlan;
+use super::fit::{FitConfig, FleetOptions, FleetReport, FleetSummary, QuarantinedUrl, UrlFit};
+use super::prepare::PreparedUrl;
+use super::worker::{
+    self, WorkerManifest, CLOSED_MARKER, ENV_FAULTS, ENV_WORKER_DIR, ENV_WORKER_ID, MANIFEST_FILE,
+    PREPARED_FILE,
+};
+use super::{checkpoint, Shard};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Name of the supervisor's work directory inside the checkpoint dir.
+pub const WORK_DIR: &str = "fleet-work";
+
+/// Knobs for a supervised fleet run. Defaults are tuned for tests and
+/// the repro binary alike: fast heartbeats, a liveness timeout long
+/// enough to never fire spuriously under load, and a small respawn
+/// budget.
+#[derive(Debug, Clone)]
+pub struct SupervisorOptions {
+    /// Worker processes to spawn (≥ 1).
+    pub workers: usize,
+    /// Binary to exec as a worker; `None` re-executes the current
+    /// binary (which must divert through [`worker::worker_env`]).
+    pub worker_exe: Option<PathBuf>,
+    /// Fault-injection spec forwarded to workers (see
+    /// [`FaultPlan::parse`]); `None` injects nothing.
+    pub faults: Option<String>,
+    /// Worker heartbeat cadence (ms).
+    pub heartbeat_interval_ms: u64,
+    /// A worker whose heartbeat is older than this is declared hung
+    /// and killed (ms).
+    pub liveness_timeout_ms: u64,
+    /// Supervisor poll cadence (ms).
+    pub poll_interval_ms: u64,
+    /// Times a worker is respawned when it dies with no survivor to
+    /// take its shard.
+    pub max_respawns: usize,
+}
+
+impl Default for SupervisorOptions {
+    fn default() -> Self {
+        SupervisorOptions {
+            workers: 2,
+            worker_exe: None,
+            faults: None,
+            heartbeat_interval_ms: 50,
+            liveness_timeout_ms: 5_000,
+            poll_interval_ms: 20,
+            max_respawns: 2,
+        }
+    }
+}
+
+impl PartialEq for SupervisorOptions {
+    fn eq(&self, other: &Self) -> bool {
+        self.workers == other.workers
+            && self.worker_exe == other.worker_exe
+            && self.faults == other.faults
+            && self.heartbeat_interval_ms == other.heartbeat_interval_ms
+            && self.liveness_timeout_ms == other.liveness_timeout_ms
+            && self.poll_interval_ms == other.poll_interval_ms
+            && self.max_respawns == other.max_respawns
+    }
+}
+
+/// Fault-tolerance accounting of one supervised run, reported next to
+/// the merged [`FleetSummary`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct SupervisorSummary {
+    /// Worker slots.
+    pub workers: usize,
+    /// Processes spawned (initial spawns plus respawns).
+    pub workers_spawned: usize,
+    /// Processes that died before finishing their shard.
+    pub workers_died: usize,
+    /// Deaths caused by a missed heartbeat deadline (subset of
+    /// `workers_died`).
+    pub heartbeat_timeouts: usize,
+    /// URLs moved from a dead worker's shard to a survivor's.
+    pub reassigned_urls: usize,
+    /// Dead workers restarted under the same shard ownership.
+    pub respawns: usize,
+    /// URLs neither fitted nor quarantined when the fleet ended —
+    /// the unrecoverable case; the caller should exit nonzero.
+    pub lost_urls: Vec<u64>,
+    /// Quarantine-only degradation: some URLs are missing from the
+    /// output, but every one of them is accounted for.
+    pub degraded: bool,
+}
+
+/// A supervised run that could not even be set up (the per-URL fault
+/// tolerance lives in the workers; this is for broken plumbing).
+#[derive(Debug)]
+pub enum SupervisorError {
+    /// The options/fleet combination cannot run.
+    Setup(String),
+    /// Filesystem protocol I/O failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for SupervisorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SupervisorError::Setup(msg) => write!(f, "supervisor setup: {msg}"),
+            SupervisorError::Io(e) => write!(f, "supervisor io: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SupervisorError {}
+
+impl From<std::io::Error> for SupervisorError {
+    fn from(e: std::io::Error) -> Self {
+        SupervisorError::Io(e)
+    }
+}
+
+/// Per-worker supervision state.
+struct WorkerState {
+    /// Fleet indices this worker owns (grows on reassignment *to* it).
+    assigned: BTreeSet<u64>,
+    /// Part files written to its queue so far.
+    parts_written: usize,
+    /// The running child process, if any.
+    child: Option<std::process::Child>,
+    /// Respawns consumed.
+    respawns: usize,
+    /// CLOSED marker written (no more parts will arrive).
+    closed: bool,
+    /// Heartbeat seq last observed, when it changed, and the reported
+    /// done count.
+    last_beat: (u64, Instant, u64),
+    /// The worker finished (cleanly or was retired dead-but-complete).
+    finished: bool,
+    /// The worker died and neither reassignment nor respawn could
+    /// cover its remainder.
+    lost: BTreeSet<u64>,
+}
+
+/// Run the fit fleet across `options.workers` supervised worker
+/// processes and merge their output into a single [`FleetReport`],
+/// exactly as if [`super::fit_fleet`] had run in-process.
+///
+/// Requires `fleet.checkpoint_dir`: segment checkpoints are the
+/// transport between workers and supervisor, not an optional insurance
+/// policy. `fleet.shutdown` is honoured — on signal the supervisor
+/// kills its workers and merges what completed (`interrupted` set).
+pub fn supervise_fleet(
+    prepared: &[PreparedUrl],
+    config: &FitConfig,
+    fleet: &FleetOptions,
+    options: &SupervisorOptions,
+) -> Result<(FleetReport, SupervisorSummary), SupervisorError> {
+    let _span = TraceSpan::enter(
+        "supervise_fleet",
+        [
+            TraceTag::Count(prepared.len() as u64),
+            TraceTag::Worker(options.workers as u32),
+        ],
+    );
+    if options.workers == 0 {
+        return Err(SupervisorError::Setup("workers must be >= 1".into()));
+    }
+    let Some(checkpoint_dir) = fleet.checkpoint_dir.clone() else {
+        return Err(SupervisorError::Setup(
+            "supervised fleet requires a checkpoint dir (segments are the worker transport)".into(),
+        ));
+    };
+    let worker_exe = match &options.worker_exe {
+        Some(exe) => exe.clone(),
+        None => std::env::current_exe()
+            .map_err(|e| SupervisorError::Setup(format!("cannot resolve current exe: {e}")))?,
+    };
+
+    let fingerprint = checkpoint::config_fingerprint(config);
+    let mut summary = SupervisorSummary {
+        workers: options.workers,
+        ..SupervisorSummary::default()
+    };
+    let mut fleet_summary = FleetSummary {
+        total: prepared.len(),
+        ..FleetSummary::default()
+    };
+    if prepared.is_empty() {
+        return Ok((
+            FleetReport {
+                fits: Vec::new(),
+                summary: fleet_summary,
+            },
+            summary,
+        ));
+    }
+
+    std::fs::create_dir_all(&checkpoint_dir)?;
+    let work_dir = checkpoint_dir.join(WORK_DIR);
+    // A fresh run starts the protocol over; stale segments from an
+    // abandoned run must not satisfy it.
+    if !fleet.resume {
+        let _ = std::fs::remove_dir_all(&work_dir);
+        if let Ok(entries) = std::fs::read_dir(&checkpoint_dir) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                let name = name.to_string_lossy();
+                if name.ends_with(".seg") || name.ends_with(".seg.idx") {
+                    let _ = std::fs::remove_file(entry.path());
+                }
+            }
+        }
+        let _ = std::fs::remove_file(checkpoint::quarantine_path(&checkpoint_dir));
+    } else {
+        // The protocol directory itself is per-run scratch even when
+        // resuming — only segments and the quarantine list carry over.
+        let _ = std::fs::remove_dir_all(&work_dir);
+    }
+    std::fs::create_dir_all(work_dir.join("hb"))?;
+    std::fs::create_dir_all(work_dir.join("report"))?;
+
+    // Resume exactly like the in-process fleet: completed fits (from
+    // any prior fleet — in-process segment, worker segments, or legacy
+    // per-URL shards) and known-poison quarantine entries are honoured
+    // under the same fingerprint + URL identity checks.
+    let mut resumed: BTreeMap<usize, UrlFit> = BTreeMap::new();
+    let mut carried_quarantine: Vec<QuarantinedUrl> = Vec::new();
+    if fleet.resume {
+        match checkpoint::scan_dir(&checkpoint_dir, fingerprint) {
+            Ok(scan) => {
+                fleet_summary.resume_mismatched = scan.mismatched;
+                fleet_summary.resume_corrupt = scan.corrupt;
+                for (idx, shard) in scan.shards {
+                    let i = idx as usize;
+                    if i < prepared.len() && shard.fit.url == prepared[i].url {
+                        resumed.insert(i, shard.fit);
+                    } else {
+                        fleet_summary.resume_mismatched += 1;
+                    }
+                }
+                for q in scan.quarantined {
+                    let i = q.idx as usize;
+                    if i < prepared.len() && prepared[i].url == q.url && !resumed.contains_key(&i) {
+                        carried_quarantine.push(q);
+                    }
+                }
+            }
+            Err(e) => {
+                centipede_obs::global().message(&format!(
+                    "resume scan of {} failed, fitting from scratch: {e}",
+                    checkpoint_dir.display()
+                ));
+            }
+        }
+        if let Ok(entries) = checkpoint::load_quarantine(&checkpoint_dir, fingerprint) {
+            let known: BTreeSet<u64> = carried_quarantine.iter().map(|q| q.idx).collect();
+            for q in entries {
+                let i = q.idx as usize;
+                if i < prepared.len()
+                    && prepared[i].url == q.url
+                    && !resumed.contains_key(&i)
+                    && !known.contains(&q.idx)
+                {
+                    carried_quarantine.push(q);
+                }
+            }
+        }
+        carried_quarantine.sort_unstable_by_key(|q| q.idx);
+    }
+    fleet_summary.resumed = resumed.len();
+    fleet_summary.resume_quarantined = carried_quarantine.len();
+    let skip: BTreeSet<u64> = carried_quarantine.iter().map(|q| q.idx).collect();
+
+    // Shard the pending URL space. The queue is bin-sorted like the
+    // in-process fleet's, then dealt round-robin so every shard holds a
+    // similar size mix. Placement is pure bookkeeping — per-URL seeds
+    // depend only on (seed, idx).
+    let mut pending: Vec<u64> = (0..prepared.len() as u64)
+        .filter(|idx| !resumed.contains_key(&(*idx as usize)) && !skip.contains(idx))
+        .collect();
+    pending.sort_by_key(|&idx| (prepared[idx as usize].events.n_bins(), idx));
+    let n_workers = options.workers.min(pending.len()).max(1);
+    let mut shards: Vec<Vec<u64>> = vec![Vec::new(); n_workers];
+    for (i, idx) in pending.iter().enumerate() {
+        shards[i % n_workers].push(*idx);
+    }
+
+    let manifest = WorkerManifest {
+        fingerprint,
+        config: config.clone(),
+        max_retries: fleet.max_retries,
+        backoff_base_ms: fleet.backoff_base_ms,
+        heartbeat_interval_ms: options.heartbeat_interval_ms,
+        checkpoint_dir: checkpoint_dir.clone(),
+    };
+    worker::write_manifest(&work_dir.join(MANIFEST_FILE), &manifest)
+        .map_err(SupervisorError::Setup)?;
+    worker::write_prepared(&work_dir.join(PREPARED_FILE), prepared)
+        .map_err(SupervisorError::Setup)?;
+
+    let mut states: Vec<WorkerState> = Vec::with_capacity(n_workers);
+    for (w, shard) in shards.iter().enumerate() {
+        let qdir = worker::queue_dir(&work_dir, w);
+        std::fs::create_dir_all(&qdir)?;
+        worker::write_part(&qdir.join("part-0000.bin"), shard).map_err(SupervisorError::Setup)?;
+        states.push(WorkerState {
+            assigned: shard.iter().copied().collect(),
+            parts_written: 1,
+            child: None,
+            respawns: 0,
+            closed: false,
+            last_beat: (0, Instant::now(), 0),
+            finished: false,
+            lost: BTreeSet::new(),
+        });
+    }
+    for (w, state) in states.iter_mut().enumerate() {
+        match spawn_worker(&worker_exe, &work_dir, w, options) {
+            Ok(child) => {
+                state.child = Some(child);
+                state.last_beat.1 = Instant::now();
+                summary.workers_spawned += 1;
+            }
+            Err(e) => {
+                // Treated like an instant death: the shard is
+                // reassigned or lost through the normal machinery.
+                centipede_obs::global().message(&format!("spawn worker {w} failed: {e}"));
+            }
+        }
+    }
+    if summary.workers_spawned == 0 && !pending.is_empty() {
+        return Err(SupervisorError::Setup(format!(
+            "no worker could be spawned from {}",
+            worker_exe.display()
+        )));
+    }
+    centipede_obs::counter(metric::SUP_WORKERS_SPAWNED).inc(summary.workers_spawned as u64);
+
+    // ------------------------------------------------------------------
+    // Supervision loop: watch exits and heartbeats, close drained
+    // queues, reassign or respawn on death.
+    // ------------------------------------------------------------------
+    let liveness = Duration::from_millis(options.liveness_timeout_ms.max(1));
+    let poll = Duration::from_millis(options.poll_interval_ms.max(1));
+    let mut interrupted = false;
+    loop {
+        if let Some(flag) = &fleet.shutdown {
+            if flag.load(Ordering::Relaxed) {
+                interrupted = true;
+                for state in &mut states {
+                    if let Some(child) = &mut state.child {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                    }
+                    state.child = None;
+                    state.finished = true;
+                }
+                break;
+            }
+        }
+
+        let mut deaths: Vec<usize> = Vec::new();
+        for (w, state) in states.iter_mut().enumerate() {
+            if state.finished {
+                continue;
+            }
+            let Some(child) = &mut state.child else {
+                // Never spawned (exec failure at startup): treat as a
+                // death so the shard is reassigned or respawned.
+                deaths.push(w);
+                continue;
+            };
+
+            // Heartbeat first: progress also drives queue closing.
+            if let Ok(beat) = worker::read_heartbeat(&worker::heartbeat_path(&work_dir, w)) {
+                if beat.seq != state.last_beat.0 {
+                    state.last_beat = (beat.seq, Instant::now(), beat.done);
+                } else {
+                    state.last_beat.2 = beat.done;
+                }
+            }
+            if !state.closed && state.last_beat.2 as usize >= state.assigned.len() {
+                let marker = worker::queue_dir(&work_dir, w).join(CLOSED_MARKER);
+                let _ = std::fs::write(&marker, b"closed");
+                state.closed = true;
+            }
+
+            match child.try_wait() {
+                Ok(Some(status)) => {
+                    state.child = None;
+                    let clean = status.success() && worker::report_path(&work_dir, w).exists();
+                    if clean {
+                        state.finished = true;
+                    } else {
+                        deaths.push(w);
+                    }
+                }
+                Ok(None) => {
+                    if state.last_beat.1.elapsed() > liveness {
+                        // Hung (or heartbeat-dropped): kill and treat
+                        // as dead. The segment keeps whatever it
+                        // finished.
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        state.child = None;
+                        summary.heartbeat_timeouts += 1;
+                        centipede_obs::counter(metric::SUP_HEARTBEAT_TIMEOUTS).inc(1);
+                        deaths.push(w);
+                    }
+                }
+                Err(_) => {
+                    state.child = None;
+                    deaths.push(w);
+                }
+            }
+        }
+
+        for w in deaths {
+            handle_death(
+                w,
+                &mut states,
+                &work_dir,
+                &checkpoint_dir,
+                &worker_exe,
+                fingerprint,
+                options,
+                &mut summary,
+            )?;
+        }
+
+        if states.iter().all(|s| s.finished) {
+            break;
+        }
+        std::thread::sleep(poll);
+    }
+
+    // ------------------------------------------------------------------
+    // Merge: one scan of the checkpoint dir collects every worker's
+    // segment (and any legacy shards), fingerprint-checked exactly like
+    // a resume.
+    // ------------------------------------------------------------------
+    let mut by_idx: BTreeMap<usize, UrlFit> = resumed;
+    let mut quarantined: Vec<QuarantinedUrl> = Vec::new();
+    match checkpoint::scan_dir(&checkpoint_dir, fingerprint) {
+        Ok(scan) => {
+            for (idx, shard) in scan.shards {
+                let i = idx as usize;
+                if i < prepared.len() && shard.fit.url == prepared[i].url {
+                    by_idx.entry(i).or_insert(shard.fit);
+                }
+            }
+            for q in scan.quarantined {
+                let i = q.idx as usize;
+                if i < prepared.len() && prepared[i].url == q.url && !by_idx.contains_key(&i) {
+                    quarantined.push(q);
+                }
+            }
+        }
+        Err(e) => {
+            return Err(SupervisorError::Setup(format!(
+                "merge scan of {} failed: {e}",
+                checkpoint_dir.display()
+            )));
+        }
+    }
+    {
+        let known: BTreeSet<u64> = quarantined.iter().map(|q| q.idx).collect();
+        for q in carried_quarantine {
+            if !known.contains(&q.idx) && !by_idx.contains_key(&(q.idx as usize)) {
+                quarantined.push(q);
+            }
+        }
+        quarantined.sort_unstable_by_key(|q| q.idx);
+    }
+    fleet_summary.fitted = by_idx.len() - fleet_summary.resumed;
+    fleet_summary.interrupted = interrupted;
+
+    // Worker reports are additive bookkeeping; dead incarnations simply
+    // do not contribute (their completed work is still in the segment).
+    for w in 0..states.len() {
+        if let Ok(report) = worker::read_report(&worker::report_path(&work_dir, w)) {
+            fleet_summary.retried += report.retried;
+        }
+    }
+    fleet_summary.shards_written = fleet_summary.fitted;
+
+    // ------------------------------------------------------------------
+    // Low-priority requeue: one in-process retry per quarantined URL
+    // with a larger burn-in, after every shard has drained. Recovered
+    // fits persist as legacy shards under the original fingerprint —
+    // scan_dir reads both formats, so a later resume accepts them.
+    // ------------------------------------------------------------------
+    if !interrupted && !quarantined.is_empty() {
+        let requeue_faults = options
+            .faults
+            .as_deref()
+            .map(|spec| FaultPlan::parse(spec, usize::MAX).unwrap_or_default())
+            .unwrap_or_default();
+        let boosted = FitConfig {
+            burn_in: config
+                .burn_in
+                .saturating_mul(fleet.requeue_burn_in_factor.max(1) as usize),
+            ..config.clone()
+        };
+        let mut still = Vec::new();
+        for q in quarantined {
+            fleet_summary.requeued += 1;
+            centipede_obs::trace::instant(
+                metric::TRACE_FIT_REQUEUE,
+                [TraceTag::Url(q.url.0), TraceTag::Attempt(q.attempts)],
+            );
+            let i = q.idx as usize;
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                if requeue_faults.poison_hard.contains(&q.idx) {
+                    panic!("injected hard poison for idx {}", q.idx);
+                }
+                super::fit::fit_one_cancellable(&prepared[i], &boosted, q.idx, None)
+            }));
+            match outcome {
+                Ok(Some((fit, posterior))) => {
+                    let shard = Shard {
+                        idx: q.idx,
+                        fingerprint,
+                        fit: fit.clone(),
+                        posterior,
+                    };
+                    if checkpoint::write_shard_atomic(&checkpoint_dir, &shard).is_ok() {
+                        fleet_summary.shards_written += 1;
+                    } else {
+                        fleet_summary.shard_errors += 1;
+                    }
+                    fleet_summary.requeue_recovered += 1;
+                    by_idx.insert(i, fit);
+                }
+                _ => still.push(q),
+            }
+        }
+        quarantined = still;
+    }
+    fleet_summary.quarantined = quarantined;
+
+    if !fleet_summary.quarantined.is_empty() {
+        if checkpoint::write_quarantine_atomic(
+            &checkpoint_dir,
+            fingerprint,
+            &fleet_summary.quarantined,
+        )
+        .is_err()
+        {
+            fleet_summary.shard_errors += 1;
+        }
+    } else {
+        let _ = std::fs::remove_file(checkpoint::quarantine_path(&checkpoint_dir));
+    }
+
+    // Anything neither fitted nor quarantined is lost. Recomputed from
+    // the merged output, not the running counters — the report must be
+    // exact even if the bookkeeping above missed a corner.
+    let accounted: BTreeSet<u64> = fleet_summary
+        .quarantined
+        .iter()
+        .map(|q| q.idx)
+        .chain(by_idx.keys().map(|&i| i as u64))
+        .collect();
+    summary.lost_urls = if interrupted {
+        Vec::new()
+    } else {
+        (0..prepared.len() as u64)
+            .filter(|idx| !accounted.contains(idx))
+            .collect()
+    };
+    summary.degraded = summary.lost_urls.is_empty() && !fleet_summary.quarantined.is_empty();
+    centipede_obs::counter(metric::SUP_LOST_URLS).inc(summary.lost_urls.len() as u64);
+
+    centipede_obs::counter(metric::FLEET_FITTED).inc(fleet_summary.fitted as u64);
+    centipede_obs::counter(metric::FLEET_RESUMED).inc(fleet_summary.resumed as u64);
+    centipede_obs::counter(metric::FLEET_QUARANTINED).inc(fleet_summary.quarantined.len() as u64);
+    centipede_obs::counter(metric::FLEET_RETRIES).inc(fleet_summary.retried as u64);
+    centipede_obs::counter(metric::FLEET_REQUEUED).inc(fleet_summary.requeued as u64);
+    centipede_obs::counter(metric::FLEET_REQUEUE_RECOVERED)
+        .inc(fleet_summary.requeue_recovered as u64);
+    if fleet_summary.interrupted {
+        centipede_obs::counter(metric::FLEET_INTERRUPTED).inc(1);
+    }
+
+    let report = FleetReport {
+        fits: by_idx.into_values().collect(),
+        summary: fleet_summary,
+    };
+    Ok((report, summary))
+}
+
+/// Spawn one worker incarnation.
+fn spawn_worker(
+    exe: &std::path::Path,
+    work_dir: &std::path::Path,
+    worker: usize,
+    options: &SupervisorOptions,
+) -> std::io::Result<std::process::Child> {
+    let mut cmd = std::process::Command::new(exe);
+    cmd.env(ENV_WORKER_DIR, work_dir)
+        .env(ENV_WORKER_ID, worker.to_string())
+        .stdin(std::process::Stdio::null())
+        .stdout(std::process::Stdio::null());
+    match &options.faults {
+        Some(spec) => {
+            cmd.env(ENV_FAULTS, spec);
+        }
+        None => {
+            cmd.env_remove(ENV_FAULTS);
+        }
+    }
+    cmd.spawn()
+}
+
+/// A worker died (unclean exit, missed heartbeat, or spawn failure).
+/// Salvage its segment, then reassign the remainder to a survivor,
+/// respawn it, or declare the remainder lost — in that order.
+#[allow(clippy::too_many_arguments)]
+fn handle_death(
+    w: usize,
+    states: &mut [WorkerState],
+    work_dir: &std::path::Path,
+    checkpoint_dir: &std::path::Path,
+    worker_exe: &std::path::Path,
+    fingerprint: u64,
+    options: &SupervisorOptions,
+    summary: &mut SupervisorSummary,
+) -> Result<(), SupervisorError> {
+    summary.workers_died += 1;
+    centipede_obs::counter(metric::SUP_WORKERS_DIED).inc(1);
+
+    // What did it finish before dying? Fits and quarantine decisions
+    // both count: neither needs re-running.
+    let seg_path = worker::worker_segment_path(checkpoint_dir, w);
+    let completed: BTreeSet<u64> = match super::segment::load_segment(&seg_path) {
+        Ok(scan) => scan
+            .records
+            .iter()
+            .filter(|r| match r {
+                super::segment::SegmentRecord::Fit(shard) => shard.fingerprint == fingerprint,
+                super::segment::SegmentRecord::Quarantine {
+                    fingerprint: fp, ..
+                } => *fp == fingerprint,
+            })
+            .map(|r| r.idx())
+            .collect(),
+        Err(_) => BTreeSet::new(),
+    };
+    let remaining: Vec<u64> = states[w]
+        .assigned
+        .iter()
+        .copied()
+        .filter(|idx| !completed.contains(idx))
+        .collect();
+    centipede_obs::trace::instant(
+        metric::TRACE_WORKER_DEATH,
+        [
+            TraceTag::Worker(w as u32),
+            TraceTag::Count(remaining.len() as u64),
+        ],
+    );
+    if remaining.is_empty() {
+        // Died after finishing everything (e.g. a kill fault on its
+        // last URL) — nothing to repair.
+        states[w].finished = true;
+        return Ok(());
+    }
+
+    // Prefer a survivor: pick the live, still-open worker with the
+    // fewest outstanding URLs.
+    let survivor = states
+        .iter()
+        .enumerate()
+        .filter(|(i, s)| *i != w && s.child.is_some() && !s.closed && !s.finished)
+        .min_by_key(|(_, s)| s.assigned.len().saturating_sub(s.last_beat.2 as usize))
+        .map(|(i, _)| i);
+    if let Some(to) = survivor {
+        let qdir = worker::queue_dir(work_dir, to);
+        let part = qdir.join(format!("part-{:04}.bin", states[to].parts_written));
+        worker::write_part(&part, &remaining).map_err(SupervisorError::Setup)?;
+        states[to].parts_written += 1;
+        states[to].assigned.extend(remaining.iter().copied());
+        summary.reassigned_urls += remaining.len();
+        centipede_obs::counter(metric::SUP_REASSIGNED_URLS).inc(remaining.len() as u64);
+        centipede_obs::trace::instant(
+            metric::TRACE_WORKER_REASSIGN,
+            [
+                TraceTag::Worker(to as u32),
+                TraceTag::Count(remaining.len() as u64),
+            ],
+        );
+        states[w].finished = true;
+        return Ok(());
+    }
+
+    if states[w].respawns < options.max_respawns {
+        states[w].respawns += 1;
+        summary.respawns += 1;
+        centipede_obs::counter(metric::SUP_RESPAWNS).inc(1);
+        match spawn_worker(worker_exe, work_dir, w, options) {
+            Ok(child) => {
+                states[w].child = Some(child);
+                states[w].last_beat = (0, Instant::now(), states[w].last_beat.2);
+                summary.workers_spawned += 1;
+                centipede_obs::counter(metric::SUP_WORKERS_SPAWNED).inc(1);
+                return Ok(());
+            }
+            Err(e) => {
+                centipede_obs::global().message(&format!("respawn of worker {w} failed: {e}"));
+            }
+        }
+    }
+
+    // Out of options: the remainder is lost (surfaced in the summary
+    // and recomputed exactly at merge time).
+    states[w].lost = remaining.into_iter().collect();
+    states[w].finished = true;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn supervised_fleet_requires_a_checkpoint_dir() {
+        let err = supervise_fleet(
+            &[],
+            &FitConfig::default(),
+            &FleetOptions::default(),
+            &SupervisorOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SupervisorError::Setup(_)));
+    }
+
+    #[test]
+    fn zero_workers_is_a_setup_error() {
+        let fleet = FleetOptions {
+            checkpoint_dir: Some(std::env::temp_dir()),
+            ..FleetOptions::default()
+        };
+        let options = SupervisorOptions {
+            workers: 0,
+            ..SupervisorOptions::default()
+        };
+        let err = supervise_fleet(&[], &FitConfig::default(), &fleet, &options).unwrap_err();
+        assert!(matches!(err, SupervisorError::Setup(_)));
+    }
+}

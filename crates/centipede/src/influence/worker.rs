@@ -1,0 +1,872 @@
+//! The worker-process side of the supervised fit fleet.
+//!
+//! A worker is the same binary as its supervisor, re-executed with
+//! three environment variables: [`ENV_WORKER_DIR`] pointing at the
+//! supervisor's work directory, [`ENV_WORKER_ID`] naming its slot, and
+//! optionally [`ENV_FAULTS`] carrying a fault-injection spec (see
+//! [`super::fault`]). Binaries that can host a worker call
+//! [`worker_env`] first thing in `main` and divert into
+//! [`worker_main`] when it returns `Some`.
+//!
+//! ## Filesystem protocol
+//!
+//! Everything is files under the work directory — no pipes or sockets,
+//! so a dead supervisor never wedges a worker and vice versa. All
+//! protocol files use the same checksummed binary framing
+//! (magic + version + kind + payload + FNV-64), written tmp + rename:
+//!
+//! ```text
+//! fleet-work/
+//!   manifest.bin             config + fingerprint + paths (read-only)
+//!   prepared.bin             the full PreparedUrl slice (read-only)
+//!   queue/worker-<id>/
+//!     part-0000.bin          assigned fleet indices
+//!     part-0001.bin          … appended on reassignment
+//!     CLOSED                 marker: no more parts will arrive
+//!   hb/worker-<id>.hb        heartbeat {seq, done}
+//!   report/worker-<id>.rpt   final WorkerReport, written before exit 0
+//! ```
+//!
+//! Completed fits and quarantine decisions append to
+//! `<checkpoint_dir>/worker-<id>.seg` (see [`super::segment`]), which
+//! doubles as the worker's own resume state: a respawned incarnation
+//! re-reads its parts, skips every index already in the segment, and
+//! continues. Per-URL RNG seeds derive from `(seed, idx)` alone, so
+//! which worker fits a URL — or how many times the worker died first —
+//! cannot change a single bit of the posterior.
+
+use std::collections::{BTreeSet, VecDeque};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use centipede_dataset::domains::NewsCategory;
+use centipede_dataset::event::UrlId;
+use centipede_hawkes::events::{BinEvent, EventSeq};
+use centipede_obs::names as metric;
+use centipede_obs::TraceTag;
+
+use super::checkpoint::Fnv1a;
+use super::fault::FaultPlan;
+use super::fit::{
+    self, fit_with_retries, Estimator, FitConfig, FitOutcome, FitPosterior, QuarantinedUrl,
+    RetryPolicy, UrlFit,
+};
+use super::prepare::PreparedUrl;
+use super::segment::SegmentWriter;
+use super::Shard;
+
+/// Work-directory path of the supervised fleet (presence selects
+/// worker mode).
+pub const ENV_WORKER_DIR: &str = "CENTIPEDE_WORKER_DIR";
+
+/// This worker's slot id.
+pub const ENV_WORKER_ID: &str = "CENTIPEDE_WORKER_ID";
+
+/// Optional fault-injection spec (see [`FaultPlan::parse`]).
+pub const ENV_FAULTS: &str = "CENTIPEDE_FAULTS";
+
+/// Manifest file name inside the work directory.
+pub const MANIFEST_FILE: &str = "manifest.bin";
+
+/// Prepared-URLs file name inside the work directory.
+pub const PREPARED_FILE: &str = "prepared.bin";
+
+/// Queue-closed marker file name inside a worker's queue directory.
+pub const CLOSED_MARKER: &str = "CLOSED";
+
+/// Exit code of a fault-injected kill.
+pub const EXIT_FAULT_KILL: i32 = 101;
+
+/// Exit code of a fault-injected torn-tail crash.
+pub const EXIT_FAULT_TORN: i32 = 102;
+
+/// Everything a worker needs beyond its id, written once by the
+/// supervisor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerManifest {
+    /// Fingerprint of `config` (workers trust, supervisors verify).
+    pub fingerprint: u64,
+    /// The fit configuration, identical across workers.
+    pub config: FitConfig,
+    /// Retry attempts after a panic before quarantining.
+    pub max_retries: u32,
+    /// Exponential-backoff base delay between retries (ms).
+    pub backoff_base_ms: u64,
+    /// Heartbeat cadence (ms).
+    pub heartbeat_interval_ms: u64,
+    /// Where segment checkpoint files live.
+    pub checkpoint_dir: PathBuf,
+}
+
+/// A worker's heartbeat, rewritten atomically every interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Heartbeat {
+    /// Monotonic beat counter; a stale `seq` means a hung worker.
+    pub seq: u64,
+    /// Assigned indices resolved so far (fitted, resumed from the
+    /// segment, or quarantined). The supervisor closes the queue when
+    /// this reaches the assignment size.
+    pub done: u64,
+}
+
+/// A worker's final accounting, written right before a clean exit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerReport {
+    /// The worker's slot id.
+    pub worker: usize,
+    /// URLs fitted by running the estimator in this incarnation.
+    pub fitted: usize,
+    /// URLs already present in the worker's segment on open (previous
+    /// incarnations' work).
+    pub resumed: usize,
+    /// Retry attempts performed after panics.
+    pub retried: usize,
+    /// URLs quarantined after exhausting their attempts.
+    pub quarantined: usize,
+}
+
+/// Heartbeat file path for `worker` under `work_dir`.
+pub fn heartbeat_path(work_dir: &Path, worker: usize) -> PathBuf {
+    work_dir.join("hb").join(format!("worker-{worker}.hb"))
+}
+
+/// Queue directory for `worker` under `work_dir`.
+pub fn queue_dir(work_dir: &Path, worker: usize) -> PathBuf {
+    work_dir.join("queue").join(format!("worker-{worker}"))
+}
+
+/// Report file path for `worker` under `work_dir`.
+pub fn report_path(work_dir: &Path, worker: usize) -> PathBuf {
+    work_dir.join("report").join(format!("worker-{worker}.rpt"))
+}
+
+/// Segment checkpoint path for `worker` under the checkpoint dir.
+pub fn worker_segment_path(checkpoint_dir: &Path, worker: usize) -> PathBuf {
+    checkpoint_dir.join(format!("worker-{worker}.seg"))
+}
+
+/// Detect worker mode: `Some((work_dir, worker_id))` when the worker
+/// environment variables are set and well-formed.
+pub fn worker_env() -> Option<(PathBuf, usize)> {
+    let dir = std::env::var_os(ENV_WORKER_DIR)?;
+    let id = std::env::var(ENV_WORKER_ID).ok()?.parse().ok()?;
+    Some((PathBuf::from(dir), id))
+}
+
+// ---------------------------------------------------------------------
+// Protocol codec. Deliberately serde-free: the checksummed framing
+// matches the checkpoint/segment discipline, and the protocol stays
+// independent of any serialization crate's behaviour.
+// ---------------------------------------------------------------------
+
+const PROTO_MAGIC: [u8; 4] = *b"CPFW";
+const PROTO_VERSION: u32 = 1;
+
+const KIND_MANIFEST: u8 = 1;
+const KIND_PREPARED: u8 = 2;
+const KIND_PART: u8 = 3;
+const KIND_HEARTBEAT: u8 = 4;
+const KIND_REPORT: u8 = 5;
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self
+            .at
+            .checked_add(n)
+            .filter(|&end| end <= self.bytes.len())
+            .ok_or("truncated protocol payload")?;
+        let slice = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, String> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn done(&self) -> Result<(), String> {
+        if self.at == self.bytes.len() {
+            Ok(())
+        } else {
+            Err("trailing bytes in protocol payload".into())
+        }
+    }
+}
+
+/// Frame `payload` as a protocol file and write it via tmp + rename
+/// (same-directory tmp so the rename cannot cross filesystems).
+fn write_frame_atomic(path: &Path, kind: u8, payload: &[u8]) -> Result<(), String> {
+    let mut buf = Vec::with_capacity(payload.len() + 17);
+    buf.extend_from_slice(&PROTO_MAGIC);
+    put_u32(&mut buf, PROTO_VERSION);
+    buf.push(kind);
+    buf.extend_from_slice(payload);
+    let mut h = Fnv1a::new();
+    h.update(payload);
+    put_u64(&mut buf, h.finish());
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, &buf).map_err(|e| format!("write {}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, path).map_err(|e| format!("rename {}: {e}", path.display()))?;
+    Ok(())
+}
+
+/// Read and verify a protocol file of the expected `kind`, returning
+/// its payload.
+fn read_frame(path: &Path, kind: u8) -> Result<Vec<u8>, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    if bytes.len() < 17 {
+        return Err(format!("{}: truncated protocol file", path.display()));
+    }
+    if bytes[..4] != PROTO_MAGIC {
+        return Err(format!("{}: bad protocol magic", path.display()));
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    if version != PROTO_VERSION {
+        return Err(format!("{}: protocol version {version}", path.display()));
+    }
+    if bytes[8] != kind {
+        return Err(format!(
+            "{}: protocol kind {} (expected {kind})",
+            path.display(),
+            bytes[8]
+        ));
+    }
+    let payload = &bytes[9..bytes.len() - 8];
+    let stored = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap());
+    let mut h = Fnv1a::new();
+    h.update(payload);
+    if h.finish() != stored {
+        return Err(format!("{}: protocol checksum mismatch", path.display()));
+    }
+    Ok(payload.to_vec())
+}
+
+fn encode_config(buf: &mut Vec<u8>, config: &FitConfig) {
+    put_u64(buf, config.max_lag_minutes as u64);
+    put_u64(buf, config.n_basis as u64);
+    put_u64(buf, config.n_samples as u64);
+    put_u64(buf, config.burn_in as u64);
+    buf.push(match config.estimator {
+        Estimator::Gibbs => 0,
+        Estimator::Em => 1,
+    });
+    put_u64(buf, config.seed);
+    match config.threads {
+        Some(t) => {
+            buf.push(1);
+            put_u64(buf, t as u64);
+        }
+        None => {
+            buf.push(0);
+            put_u64(buf, 0);
+        }
+    }
+    put_u64(buf, config.chains as u64);
+    match config.rhat_target {
+        Some(r) => {
+            buf.push(1);
+            put_u64(buf, r.to_bits());
+        }
+        None => {
+            buf.push(0);
+            put_u64(buf, 0);
+        }
+    }
+}
+
+fn decode_config(c: &mut Cursor<'_>) -> Result<FitConfig, String> {
+    let max_lag_minutes = c.u64()? as usize;
+    let n_basis = c.u64()? as usize;
+    let n_samples = c.u64()? as usize;
+    let burn_in = c.u64()? as usize;
+    let estimator = match c.u8()? {
+        0 => Estimator::Gibbs,
+        1 => Estimator::Em,
+        other => return Err(format!("unknown estimator tag {other}")),
+    };
+    let seed = c.u64()?;
+    let threads_flag = c.u8()?;
+    let threads_val = c.u64()? as usize;
+    let threads = (threads_flag == 1).then_some(threads_val);
+    let chains = c.u64()? as usize;
+    let rhat_flag = c.u8()?;
+    let rhat_bits = c.u64()?;
+    let rhat_target = (rhat_flag == 1).then_some(f64::from_bits(rhat_bits));
+    Ok(FitConfig {
+        max_lag_minutes,
+        n_basis,
+        n_samples,
+        burn_in,
+        estimator,
+        seed,
+        threads,
+        chains,
+        rhat_target,
+    })
+}
+
+/// Write the manifest file.
+pub fn write_manifest(path: &Path, manifest: &WorkerManifest) -> Result<(), String> {
+    let dir = manifest
+        .checkpoint_dir
+        .to_str()
+        .ok_or("checkpoint dir is not valid UTF-8")?;
+    let mut payload = Vec::new();
+    put_u64(&mut payload, manifest.fingerprint);
+    encode_config(&mut payload, &manifest.config);
+    put_u32(&mut payload, manifest.max_retries);
+    put_u64(&mut payload, manifest.backoff_base_ms);
+    put_u64(&mut payload, manifest.heartbeat_interval_ms);
+    put_u64(&mut payload, dir.len() as u64);
+    payload.extend_from_slice(dir.as_bytes());
+    write_frame_atomic(path, KIND_MANIFEST, &payload)
+}
+
+/// Read the manifest file.
+pub fn read_manifest(path: &Path) -> Result<WorkerManifest, String> {
+    let payload = read_frame(path, KIND_MANIFEST)?;
+    let mut c = Cursor {
+        bytes: &payload,
+        at: 0,
+    };
+    let fingerprint = c.u64()?;
+    let config = decode_config(&mut c)?;
+    let max_retries = c.u32()?;
+    let backoff_base_ms = c.u64()?;
+    let heartbeat_interval_ms = c.u64()?;
+    let dir_len = c.u64()? as usize;
+    let dir = std::str::from_utf8(c.take(dir_len)?)
+        .map_err(|_| "checkpoint dir is not valid UTF-8".to_string())?;
+    let manifest = WorkerManifest {
+        fingerprint,
+        config,
+        max_retries,
+        backoff_base_ms,
+        heartbeat_interval_ms,
+        checkpoint_dir: PathBuf::from(dir),
+    };
+    c.done()?;
+    Ok(manifest)
+}
+
+/// Write the prepared-URLs file.
+pub fn write_prepared(path: &Path, prepared: &[PreparedUrl]) -> Result<(), String> {
+    let mut payload = Vec::new();
+    put_u64(&mut payload, prepared.len() as u64);
+    for p in prepared {
+        put_u32(&mut payload, p.url.0);
+        payload.push(match p.category {
+            NewsCategory::Mainstream => 0,
+            NewsCategory::Alternative => 1,
+        });
+        put_u32(&mut payload, p.events.n_bins());
+        put_u64(&mut payload, p.events.n_processes() as u64);
+        let events = p.events.events();
+        put_u64(&mut payload, events.len() as u64);
+        for e in events {
+            put_u32(&mut payload, e.t);
+            payload.extend_from_slice(&e.k.to_le_bytes());
+            put_u32(&mut payload, e.count);
+        }
+        for &n in &p.events_per_community {
+            put_u64(&mut payload, n);
+        }
+        put_u64(&mut payload, p.duration as u64);
+    }
+    write_frame_atomic(path, KIND_PREPARED, &payload)
+}
+
+/// Read the prepared-URLs file.
+pub fn read_prepared(path: &Path) -> Result<Vec<PreparedUrl>, String> {
+    let payload = read_frame(path, KIND_PREPARED)?;
+    let mut c = Cursor {
+        bytes: &payload,
+        at: 0,
+    };
+    let count = c.u64()? as usize;
+    let mut prepared = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        let url = UrlId(c.u32()?);
+        let category = match c.u8()? {
+            0 => NewsCategory::Mainstream,
+            1 => NewsCategory::Alternative,
+            other => return Err(format!("unknown category tag {other}")),
+        };
+        let n_bins = c.u32()?;
+        let n_processes = c.u64()? as usize;
+        let n_events = c.u64()? as usize;
+        let mut events = Vec::with_capacity(n_events.min(1 << 20));
+        for _ in 0..n_events {
+            let t = c.u32()?;
+            let k = c.u16()?;
+            let count = c.u32()?;
+            events.push(BinEvent { t, k, count });
+        }
+        let mut events_per_community = [0u64; 8];
+        for slot in &mut events_per_community {
+            *slot = c.u64()?;
+        }
+        let duration = c.u64()? as i64;
+        prepared.push(PreparedUrl {
+            url,
+            category,
+            events: EventSeq::from_bins(n_bins, n_processes, events),
+            events_per_community,
+            duration,
+        });
+    }
+    c.done()?;
+    Ok(prepared)
+}
+
+/// Write a queue part file (a batch of assigned fleet indices).
+pub fn write_part(path: &Path, idxs: &[u64]) -> Result<(), String> {
+    let mut payload = Vec::with_capacity(8 + idxs.len() * 8);
+    put_u64(&mut payload, idxs.len() as u64);
+    for &idx in idxs {
+        put_u64(&mut payload, idx);
+    }
+    write_frame_atomic(path, KIND_PART, &payload)
+}
+
+/// Read a queue part file.
+pub fn read_part(path: &Path) -> Result<Vec<u64>, String> {
+    let payload = read_frame(path, KIND_PART)?;
+    let mut c = Cursor {
+        bytes: &payload,
+        at: 0,
+    };
+    let count = c.u64()? as usize;
+    let mut idxs = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        idxs.push(c.u64()?);
+    }
+    c.done()?;
+    Ok(idxs)
+}
+
+/// Write a heartbeat file.
+pub fn write_heartbeat(path: &Path, beat: &Heartbeat) -> Result<(), String> {
+    let mut payload = Vec::with_capacity(16);
+    put_u64(&mut payload, beat.seq);
+    put_u64(&mut payload, beat.done);
+    write_frame_atomic(path, KIND_HEARTBEAT, &payload)
+}
+
+/// Read a heartbeat file.
+pub fn read_heartbeat(path: &Path) -> Result<Heartbeat, String> {
+    let payload = read_frame(path, KIND_HEARTBEAT)?;
+    let mut c = Cursor {
+        bytes: &payload,
+        at: 0,
+    };
+    let beat = Heartbeat {
+        seq: c.u64()?,
+        done: c.u64()?,
+    };
+    c.done()?;
+    Ok(beat)
+}
+
+/// Write a worker report file.
+pub fn write_report(path: &Path, report: &WorkerReport) -> Result<(), String> {
+    let mut payload = Vec::with_capacity(40);
+    put_u64(&mut payload, report.worker as u64);
+    put_u64(&mut payload, report.fitted as u64);
+    put_u64(&mut payload, report.resumed as u64);
+    put_u64(&mut payload, report.retried as u64);
+    put_u64(&mut payload, report.quarantined as u64);
+    write_frame_atomic(path, KIND_REPORT, &payload)
+}
+
+/// Read a worker report file.
+pub fn read_report(path: &Path) -> Result<WorkerReport, String> {
+    let payload = read_frame(path, KIND_REPORT)?;
+    let mut c = Cursor {
+        bytes: &payload,
+        at: 0,
+    };
+    let report = WorkerReport {
+        worker: c.u64()? as usize,
+        fitted: c.u64()? as usize,
+        resumed: c.u64()? as usize,
+        retried: c.u64()? as usize,
+        quarantined: c.u64()? as usize,
+    };
+    c.done()?;
+    Ok(report)
+}
+
+// ---------------------------------------------------------------------
+// Worker main loop.
+// ---------------------------------------------------------------------
+
+/// Worker entry point. Returns the process exit code; never panics
+/// outward (fit panics are caught per URL, protocol errors exit 1).
+pub fn worker_main(work_dir: &Path, worker: usize) -> i32 {
+    match run_worker(work_dir, worker) {
+        Ok(()) => 0,
+        Err(msg) => {
+            eprintln!("fleet worker {worker}: {msg}");
+            1
+        }
+    }
+}
+
+fn run_worker(work_dir: &Path, worker: usize) -> Result<(), String> {
+    centipede_obs::trace::label_thread(&format!("fleet-worker-{worker}"));
+    let manifest = read_manifest(&work_dir.join(MANIFEST_FILE))?;
+    let prepared = read_prepared(&work_dir.join(PREPARED_FILE))?;
+    let faults = match std::env::var(ENV_FAULTS) {
+        Ok(spec) => FaultPlan::parse(&spec, worker)?,
+        Err(_) => FaultPlan::default(),
+    };
+
+    // The segment doubles as resume state: indices already recorded by
+    // a previous incarnation (as fits or quarantines under the same
+    // fingerprint) are skipped, not refitted.
+    let seg_path = worker_segment_path(&manifest.checkpoint_dir, worker);
+    let (writer, scan) = SegmentWriter::open(&seg_path)
+        .map_err(|e| format!("open segment {}: {e}", seg_path.display()))?;
+    let mut writer = Some(writer);
+    let mut resolved: BTreeSet<u64> = BTreeSet::new();
+    for record in &scan.records {
+        let fp = match record {
+            super::segment::SegmentRecord::Fit(shard) => shard.fingerprint,
+            super::segment::SegmentRecord::Quarantine { fingerprint, .. } => *fingerprint,
+        };
+        if fp == manifest.fingerprint {
+            resolved.insert(record.idx());
+        }
+    }
+    let resumed = resolved.len();
+
+    // Heartbeat thread: bump `seq` every interval, publish progress via
+    // `done`. A `drophb` fault freezes the *file* while the process
+    // keeps fitting — the hung-but-alive failure mode the supervisor's
+    // liveness timeout exists for.
+    let done = Arc::new(AtomicU64::new(resolved.len() as u64));
+    let stop = Arc::new(AtomicBool::new(false));
+    let hb_handle = {
+        let hb_path = heartbeat_path(work_dir, worker);
+        let done = Arc::clone(&done);
+        let stop = Arc::clone(&stop);
+        let interval = std::time::Duration::from_millis(manifest.heartbeat_interval_ms.max(1));
+        let freeze_after = faults.drop_heartbeats_after;
+        std::thread::spawn(move || {
+            let mut seq = 0u64;
+            loop {
+                if stop.load(Ordering::Relaxed) {
+                    return;
+                }
+                seq += 1;
+                let frozen = matches!(freeze_after, Some(limit) if seq > limit);
+                if !frozen {
+                    let beat = Heartbeat {
+                        seq,
+                        done: done.load(Ordering::Relaxed),
+                    };
+                    let _ = write_heartbeat(&hb_path, &beat);
+                }
+                std::thread::sleep(interval);
+            }
+        })
+    };
+
+    let policy = RetryPolicy {
+        max_retries: manifest.max_retries,
+        backoff_base_ms: manifest.backoff_base_ms,
+        seed: manifest.config.seed,
+    };
+    // Fault seam: poisoned indices panic instead of fitting. Soft
+    // poison recovers on the supervisor's boosted-burn-in requeue;
+    // hard poison panics there too and stays quarantined.
+    let fault_fit = |p: &PreparedUrl, c: &FitConfig, idx: u64, cancel: Option<&AtomicBool>| {
+        if faults.poison_hard.contains(&idx) {
+            panic!("injected hard poison for idx {idx}");
+        }
+        if faults.poison.contains(&idx) {
+            panic!("injected poison for idx {idx}");
+        }
+        fit::fit_one_cancellable(p, c, idx, cancel)
+    };
+
+    let queue_dir = queue_dir(work_dir, worker);
+    let closed_marker = queue_dir.join(CLOSED_MARKER);
+    let mut consumed: BTreeSet<std::ffi::OsString> = BTreeSet::new();
+    let mut queue: VecDeque<u64> = VecDeque::new();
+    let mut report = WorkerReport {
+        worker,
+        resumed,
+        ..WorkerReport::default()
+    };
+    let mut fits_completed = 0u64;
+
+    let part_file = |name: &std::ffi::OsString| {
+        let name = name.to_string_lossy();
+        name.starts_with("part-") && name.ends_with(".bin")
+    };
+    loop {
+        // Ingest any parts that appeared since the last sweep (initial
+        // assignment and mid-run reassignments look identical).
+        let mut part_names: Vec<std::ffi::OsString> = std::fs::read_dir(&queue_dir)
+            .map_err(|e| format!("read queue {}: {e}", queue_dir.display()))?
+            .filter_map(|entry| entry.ok())
+            .map(|entry| entry.file_name())
+            .filter(|name| part_file(name) && !consumed.contains(name))
+            .collect();
+        part_names.sort();
+        for name in part_names {
+            queue.extend(read_part(&queue_dir.join(&name))?);
+            consumed.insert(name);
+        }
+
+        while let Some(idx) = queue.pop_front() {
+            if resolved.contains(&idx) {
+                continue;
+            }
+            let i = idx as usize;
+            let Some(p) = prepared.get(i) else {
+                return Err(format!("assigned idx {idx} out of range"));
+            };
+            let result = fit_with_retries(&fault_fit, p, &manifest.config, idx, None, &policy);
+            report.retried += (result.attempts - 1) as usize;
+            if let Some(ms) = faults.delay_flush_ms {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+            }
+            match result.outcome {
+                FitOutcome::Fitted(boxed) => {
+                    let (fit, posterior): (UrlFit, FitPosterior) = *boxed;
+                    let shard = Shard {
+                        idx,
+                        fingerprint: manifest.fingerprint,
+                        fit,
+                        posterior,
+                    };
+                    writer
+                        .as_mut()
+                        .expect("segment writer live until a fault takes it")
+                        .append_fit(&shard)
+                        .map_err(|e| format!("append fit {idx}: {e}"))?;
+                    centipede_obs::trace::instant(
+                        metric::TRACE_CHECKPOINT_SHARD,
+                        [
+                            TraceTag::Url(shard.fit.url.0),
+                            TraceTag::Worker(worker as u32),
+                        ],
+                    );
+                    report.fitted += 1;
+                    fits_completed += 1;
+                }
+                FitOutcome::Quarantined { panic_message } => {
+                    let q = QuarantinedUrl {
+                        url: p.url,
+                        idx,
+                        attempts: result.attempts,
+                        panic_message,
+                    };
+                    writer
+                        .as_mut()
+                        .expect("segment writer live until a fault takes it")
+                        .append_quarantine(manifest.fingerprint, &q)
+                        .map_err(|e| format!("append quarantine {idx}: {e}"))?;
+                    report.quarantined += 1;
+                }
+                // Workers pass no cancellation flag; the supervisor
+                // kills the process instead.
+                FitOutcome::Cancelled => {}
+            }
+            resolved.insert(idx);
+            done.store(resolved.len() as u64, Ordering::Relaxed);
+
+            // Injected crashes: counted in completed fits of *this*
+            // incarnation, so respawn tests re-trigger deterministically.
+            if faults.torn_after == Some(fits_completed) {
+                drop(writer.take());
+                tear_segment_tail(&seg_path);
+                std::process::exit(EXIT_FAULT_TORN);
+            }
+            if faults.kill_after == Some(fits_completed) {
+                // Neither finish() nor the report runs — exactly what a
+                // SIGKILL mid-run leaves behind.
+                std::process::exit(EXIT_FAULT_KILL);
+            }
+        }
+
+        if closed_marker.exists() && queue.is_empty() {
+            // Parts are written before CLOSED, so one re-listing after
+            // seeing the marker closes the race.
+            let unread = std::fs::read_dir(&queue_dir)
+                .map_err(|e| format!("read queue {}: {e}", queue_dir.display()))?
+                .filter_map(|entry| entry.ok())
+                .map(|entry| entry.file_name())
+                .any(|name| part_file(&name) && !consumed.contains(&name));
+            if !unread {
+                break;
+            }
+        } else {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+    }
+
+    writer
+        .take()
+        .expect("segment writer live at clean shutdown")
+        .finish()
+        .map_err(|e| format!("finish segment: {e}"))?;
+    stop.store(true, Ordering::Relaxed);
+    let _ = hb_handle.join();
+    write_report(&report_path(work_dir, worker), &report)?;
+    Ok(())
+}
+
+/// Append a garbage partial frame to simulate a crash mid-append; the
+/// next [`SegmentWriter::open`] must truncate it.
+fn tear_segment_tail(seg_path: &Path) {
+    use std::io::Write as _;
+    if let Ok(mut f) = std::fs::OpenOptions::new().append(true).open(seg_path) {
+        // A valid record magic followed by a few bytes of a frame that
+        // never finished.
+        let _ = f.write_all(&[b'C', b'P', b'R', b'0', 1, 0xAB]);
+        let _ = f.sync_all();
+    }
+}
+
+// The worker loop itself is exercised end-to-end by
+// tests/fleet_supervisor.rs via real child processes; unit tests here
+// cover the protocol codec and pure helpers.
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "centipede-worker-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn worker_paths_are_stable() {
+        let work = Path::new("/tmp/work");
+        assert_eq!(
+            heartbeat_path(work, 3),
+            Path::new("/tmp/work/hb/worker-3.hb")
+        );
+        assert_eq!(queue_dir(work, 0), Path::new("/tmp/work/queue/worker-0"));
+        assert_eq!(
+            report_path(work, 7),
+            Path::new("/tmp/work/report/worker-7.rpt")
+        );
+        assert_eq!(
+            worker_segment_path(Path::new("/ckpt"), 2),
+            Path::new("/ckpt/worker-2.seg")
+        );
+    }
+
+    #[test]
+    fn manifest_roundtrips() {
+        let dir = temp_dir("manifest");
+        let manifest = WorkerManifest {
+            fingerprint: 0xDEAD_BEEF,
+            config: FitConfig {
+                threads: Some(2),
+                rhat_target: Some(1.01),
+                chains: 3,
+                ..FitConfig::default()
+            },
+            max_retries: 4,
+            backoff_base_ms: 25,
+            heartbeat_interval_ms: 50,
+            checkpoint_dir: dir.join("ckpt"),
+        };
+        let path = dir.join(MANIFEST_FILE);
+        write_manifest(&path, &manifest).unwrap();
+        assert_eq!(read_manifest(&path).unwrap(), manifest);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn prepared_part_heartbeat_report_roundtrip() {
+        let dir = temp_dir("proto");
+        let prepared = vec![PreparedUrl {
+            url: UrlId(7),
+            category: NewsCategory::Alternative,
+            events: EventSeq::from_points(64, 8, &[(0, 1), (0, 1), (5, 7), (63, 0)]),
+            events_per_community: [1, 2, 3, 4, 5, 6, 7, 8],
+            duration: -5,
+        }];
+        let p_path = dir.join(PREPARED_FILE);
+        write_prepared(&p_path, &prepared).unwrap();
+        assert_eq!(read_prepared(&p_path).unwrap(), prepared);
+
+        let part_path = dir.join("part-0000.bin");
+        write_part(&part_path, &[3, 1, 4, 1, 5]).unwrap();
+        assert_eq!(read_part(&part_path).unwrap(), vec![3, 1, 4, 1, 5]);
+
+        let hb_path = dir.join("worker-0.hb");
+        let beat = Heartbeat { seq: 9, done: 4 };
+        write_heartbeat(&hb_path, &beat).unwrap();
+        assert_eq!(read_heartbeat(&hb_path).unwrap(), beat);
+
+        let rpt_path = dir.join("worker-0.rpt");
+        let report = WorkerReport {
+            worker: 1,
+            fitted: 10,
+            resumed: 2,
+            retried: 3,
+            quarantined: 1,
+        };
+        write_report(&rpt_path, &report).unwrap();
+        assert_eq!(read_report(&rpt_path).unwrap(), report);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupted_protocol_files_are_rejected() {
+        let dir = temp_dir("corrupt");
+        let path = dir.join("part-0000.bin");
+        write_part(&path, &[1, 2, 3]).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(read_part(&path).unwrap_err().contains("checksum"));
+
+        std::fs::write(&path, b"short").unwrap();
+        assert!(read_part(&path).unwrap_err().contains("truncated"));
+
+        write_heartbeat(&path, &Heartbeat { seq: 1, done: 0 }).unwrap();
+        assert!(read_part(&path).unwrap_err().contains("kind"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -28,8 +28,9 @@ use crate::crossplatform::{
     SourceEdge,
 };
 use crate::influence::{
-    fit_fleet, impact_matrix, prepare_urls, weight_comparison, FitConfig, FleetOptions,
-    FleetSummary, ImpactMatrix, SelectionConfig, SelectionSummary, Table11, WeightComparison,
+    fit_fleet, impact_matrix, prepare_urls, supervise_fleet, weight_comparison, FitConfig,
+    FleetOptions, FleetSummary, ImpactMatrix, SelectionConfig, SelectionSummary, SupervisorOptions,
+    SupervisorSummary, Table11, WeightComparison,
 };
 use crate::report::{count_pct, render_series, TextTable};
 use crate::scheduler::{default_stage_threads, run_stages, StageJob, StageSlot};
@@ -47,6 +48,10 @@ pub struct PipelineConfig {
     /// Fault-tolerance options for the fitting fleet (checkpointing,
     /// resume, retry, shutdown).
     pub fleet: FleetOptions,
+    /// Run the fitting fleet across supervised worker processes
+    /// instead of in-process threads. `None` keeps the in-process
+    /// fleet; results are bit-identical either way.
+    pub supervisor: Option<SupervisorOptions>,
     /// Skip the (comparatively expensive) influence stage.
     pub skip_influence: bool,
     /// Worker threads for the table/figure stage scheduler. `None`
@@ -98,6 +103,9 @@ pub struct AnalysisReport {
     /// Fitting-fleet fault-tolerance accounting (default-zero if
     /// influence was skipped).
     pub fleet: FleetSummary,
+    /// Supervised-fleet accounting (`None` for the in-process fleet or
+    /// when influence was skipped).
+    pub supervisor: Option<SupervisorSummary>,
     /// Table 11 (empty-zero if influence was skipped).
     pub table11: Table11,
     /// Figure 10 (None if influence was skipped).
@@ -337,10 +345,11 @@ pub fn run_all<R: Rng + ?Sized>(
 
     // §5 influence — stays last and sequential: it dwarfs the stages
     // above and owns its own internal fleet parallelism.
-    let (selection, fleet, table11, fig10, fig11) = if config.skip_influence {
+    let (selection, fleet, supervisor, table11, fig10, fig11) = if config.skip_influence {
         (
             SelectionSummary::default(),
             FleetSummary::default(),
+            None,
             Table11::from_fits(&[]),
             None,
             None,
@@ -351,9 +360,23 @@ pub fn run_all<R: Rng + ?Sized>(
             let _s = centipede_obs::span!(names::SPAN_PREPARE);
             prepare_urls(&index, &config.selection)
         };
-        let fleet = {
+        let (fleet, supervisor) = {
             let _s = centipede_obs::span!(names::SPAN_FIT);
-            fit_fleet(&prepared, &config.fit, &config.fleet)
+            match &config.supervisor {
+                Some(sup) => match supervise_fleet(&prepared, &config.fit, &config.fleet, sup) {
+                    Ok((report, summary)) => (report, Some(summary)),
+                    Err(e) => {
+                        // Broken supervision plumbing degrades to the
+                        // in-process fleet rather than failing the run;
+                        // the fits are bit-identical either way.
+                        centipede_obs::global().message(&format!(
+                            "supervised fleet unavailable ({e}); running in-process"
+                        ));
+                        (fit_fleet(&prepared, &config.fit, &config.fleet), None)
+                    }
+                },
+                None => (fit_fleet(&prepared, &config.fit, &config.fleet), None),
+            }
         };
         let fits = fleet.fits;
         let (t11, cmp, imp) = {
@@ -364,7 +387,14 @@ pub fn run_all<R: Rng + ?Sized>(
                 impact_matrix(&fits),
             )
         };
-        (summary, fleet.summary, t11, Some(cmp), Some(imp))
+        (
+            summary,
+            fleet.summary,
+            supervisor,
+            t11,
+            Some(cmp),
+            Some(imp),
+        )
     };
 
     AnalysisReport {
@@ -386,6 +416,7 @@ pub fn run_all<R: Rng + ?Sized>(
         fig8,
         selection,
         fleet,
+        supervisor,
         table11,
         fig10,
         fig11,

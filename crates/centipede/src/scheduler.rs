@@ -80,11 +80,7 @@ impl<'env> StageJob<'env> {
         // after the `pipeline/<section>/` prefix, so per-category grid
         // cells keep their figure context (e.g. `fig1/alternative`)
         // instead of collapsing to the bare category name.
-        let stage = self
-            .name
-            .splitn(3, '/')
-            .nth(2)
-            .unwrap_or(self.name);
+        let stage = self.name.splitn(3, '/').nth(2).unwrap_or(self.name);
         let _span = centipede_obs::start_span_with_tags(
             self.name,
             [TraceTag::Stage(stage), TraceTag::Worker(worker)],

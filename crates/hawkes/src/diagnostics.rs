@@ -346,7 +346,8 @@ mod tests {
                 p.push(
                     vec![noise, noise + shift],
                     Matrix::constant(2, noise),
-                    vec![0.5; 2 * 2 * 1],
+                    // k × k × n_basis with n_basis = 1.
+                    vec![0.5; 2 * 2],
                     None,
                 );
             }

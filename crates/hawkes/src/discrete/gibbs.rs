@@ -696,7 +696,8 @@ impl GibbsSampler {
         let done = (st.sweep - sweeps_before) as u64;
         if done > 0 {
             let elapsed = round_start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
-            centipede_obs::histogram(names::GIBBS_SWEEP_NANOS).record_n(elapsed / done, done);
+            let per_sweep = elapsed.checked_div(done).unwrap_or(0);
+            centipede_obs::histogram(names::GIBBS_SWEEP_NANOS).record_n(per_sweep, done);
             centipede_obs::counter(names::GIBBS_SWEEPS).inc(done);
             centipede_obs::trace::complete(
                 names::TRACE_GIBBS_CHAIN,
@@ -1467,11 +1468,18 @@ mod tests {
             let mut out = vec![0.0; k];
             for (src, &n_src) in events_per_proc.iter().enumerate() {
                 tables.exposure_all(
-                    src, n_src, &theta_t, k, n_basis, &table, &mut inside, &mut accs, &mut out,
+                    src,
+                    n_src,
+                    &theta_t,
+                    k,
+                    n_basis,
+                    &table,
+                    &mut inside,
+                    &mut accs,
+                    &mut out,
                 );
                 for dst in 0..k {
-                    let pair =
-                        &theta[dst * n_basis..(dst + 1) * n_basis];
+                    let pair = &theta[dst * n_basis..(dst + 1) * n_basis];
                     let per_pair = tables.exposure(src, n_src, pair, &table, &mut inside);
                     assert_eq!(
                         out[dst].to_bits(),

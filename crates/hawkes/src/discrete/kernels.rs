@@ -354,7 +354,13 @@ mod tests {
             let expect: Vec<f64> = (0..n_dst)
                 .map(|dst| {
                     let mut acc = accs[dst];
-                    fold_mix_prefix_scalar(&theta[dst * b..(dst + 1) * b], &table, from, to, &mut acc);
+                    fold_mix_prefix_scalar(
+                        &theta[dst * b..(dst + 1) * b],
+                        &table,
+                        from,
+                        to,
+                        &mut acc,
+                    );
                     acc
                 })
                 .collect();

@@ -43,6 +43,51 @@ pub const FLEET_RESUME_QUARANTINED: &str = "fleet.resume_quarantined";
 /// Fleet runs that stopped early on a shutdown signal or fit budget.
 pub const FLEET_INTERRUPTED: &str = "fleet.interrupted";
 
+/// Fit attempts started (first tries and retries alike).
+pub const FLEET_FIT_ATTEMPTS: &str = "fleet.fit_attempts";
+
+/// Quarantined URLs re-enqueued on the low-priority requeue pass.
+pub const FLEET_REQUEUED: &str = "fleet.requeued";
+
+/// Requeued URLs recovered by the larger-burn-in retry.
+pub const FLEET_REQUEUE_RECOVERED: &str = "fleet.requeue_recovered";
+
+// ---------------------------------------------------------------------
+// Segment-checkpoint counters (`centipede::influence::segment`).
+// ---------------------------------------------------------------------
+
+/// Records appended to segment checkpoint files.
+pub const SEGMENT_RECORDS_APPENDED: &str = "segment.records_appended";
+
+/// Torn segment tails truncated on writer open (crash mid-append).
+pub const SEGMENT_TORN_TAILS: &str = "segment.torn_tails";
+
+/// Segment records skipped for a payload checksum/decode failure.
+pub const SEGMENT_CORRUPT_RECORDS: &str = "segment.corrupt_records";
+
+// ---------------------------------------------------------------------
+// Fit-fleet supervisor counters (`centipede::influence::supervisor`).
+// ---------------------------------------------------------------------
+
+/// Worker processes spawned (initial spawns plus respawns).
+pub const SUP_WORKERS_SPAWNED: &str = "supervisor.workers_spawned";
+
+/// Worker processes that died before finishing their assignment.
+pub const SUP_WORKERS_DIED: &str = "supervisor.workers_died";
+
+/// Workers killed for missing their heartbeat deadline.
+pub const SUP_HEARTBEAT_TIMEOUTS: &str = "supervisor.heartbeat_timeouts";
+
+/// URLs moved from a dead worker's queue to a survivor's.
+pub const SUP_REASSIGNED_URLS: &str = "supervisor.reassigned_urls";
+
+/// Dead workers respawned under the same shard ownership.
+pub const SUP_RESPAWNS: &str = "supervisor.respawns";
+
+/// URLs unrecoverably lost (dead owner, no survivor, respawn budget
+/// exhausted).
+pub const SUP_LOST_URLS: &str = "supervisor.lost_urls";
+
 // ---------------------------------------------------------------------
 // Fit-fleet throughput metrics.
 // ---------------------------------------------------------------------
@@ -187,6 +232,18 @@ pub const TRACE_FIT_CANCELLED: &str = "fit_cancelled";
 
 /// Instant: a checkpoint shard was written (`url`).
 pub const TRACE_CHECKPOINT_SHARD: &str = "checkpoint_shard";
+
+/// Instant: a quarantined URL was re-enqueued with a larger burn-in
+/// (`url`, `attempt`).
+pub const TRACE_FIT_REQUEUE: &str = "fit_requeue";
+
+/// Instant: the supervisor observed a worker process die (`worker`,
+/// `count` of unfinished URLs).
+pub const TRACE_WORKER_DEATH: &str = "worker_death";
+
+/// Instant: a dead worker's remaining URLs were reassigned to a
+/// survivor (`worker` = the receiving worker, `count`).
+pub const TRACE_WORKER_REASSIGN: &str = "worker_reassign";
 
 /// Complete-span covering one batched run of Gibbs sweeps (`sweeps`).
 pub const TRACE_GIBBS_SWEEPS: &str = "gibbs_sweeps";

@@ -10,8 +10,8 @@ use proptest::prelude::*;
 use centipede::influence::checkpoint::{decode_shard, encode_shard, shard_path};
 use centipede::influence::fit::fit_one_full;
 use centipede::influence::{
-    config_fingerprint, fit_fleet, fit_fleet_with, read_shard, FitConfig, FleetOptions,
-    PreparedUrl, ShardError, UrlFit,
+    config_fingerprint, fit_fleet, fit_fleet_with, FitConfig, FleetOptions, PreparedUrl, UrlFit,
+    FLEET_SEGMENT_FILE,
 };
 use centipede_dataset::domains::NewsCategory;
 use centipede_dataset::event::UrlId;
@@ -141,8 +141,26 @@ fn injected_panic_quarantines_without_failing_fleet() {
     assert!(retries_after > retries_before);
 }
 
+/// Byte offsets of each record frame in a segment file's raw bytes:
+/// (start_of_frame, start_of_payload, payload_len).
+fn segment_record_frames(bytes: &[u8]) -> Vec<(usize, usize, usize)> {
+    // Header: 4-byte magic + u32 version; record frame: 4-byte magic,
+    // type u8, idx u64, len u32, payload, fnv64 checksum.
+    let mut frames = Vec::new();
+    let mut at = 8;
+    while at + 17 <= bytes.len() {
+        let len = u32::from_le_bytes(bytes[at + 13..at + 17].try_into().unwrap()) as usize;
+        if at + 17 + len + 8 > bytes.len() {
+            break;
+        }
+        frames.push((at, at + 17, len));
+        at += 17 + len + 8;
+    }
+    frames
+}
+
 #[test]
-fn corrupted_shard_is_typed_error_and_refit_on_resume() {
+fn corrupted_segment_record_quarantines_only_that_record_on_resume() {
     let urls = fleet(3);
     let config = quick_config();
     let dir = temp_dir("corrupt");
@@ -154,18 +172,21 @@ fn corrupted_shard_is_typed_error_and_refit_on_resume() {
     let baseline = fit_fleet(&urls, &config, &opts);
     assert_eq!(baseline.summary.shards_written, 3);
 
-    // Flip the shard's trailing checksum byte.
-    let path = shard_path(&dir, 1);
-    let mut bytes = std::fs::read(&path).expect("read shard");
-    let last = bytes.len() - 1;
-    bytes[last] ^= 0xFF;
-    std::fs::write(&path, &bytes).expect("rewrite shard");
-    match read_shard(&path) {
-        Err(ShardError::ChecksumMismatch { .. }) => {}
-        other => panic!("expected checksum mismatch, got {other:?}"),
-    }
+    // Flip one payload byte inside the second record of the segment:
+    // its checksum no longer matches, but the frame stays intact, so
+    // only that record is skipped.
+    let path = dir.join(FLEET_SEGMENT_FILE);
+    let mut bytes = std::fs::read(&path).expect("read segment");
+    let frames = segment_record_frames(&bytes);
+    assert_eq!(frames.len(), 3, "expected three fit records");
+    let (_, payload_at, _) = frames[1];
+    bytes[payload_at] ^= 0xFF;
+    std::fs::write(&path, &bytes).expect("rewrite segment");
+    // The stale index sidecar would mask the corruption; a crash that
+    // mangles the log would not have refreshed the index either.
+    let _ = std::fs::remove_file(centipede::influence::segment::index_path(&path));
 
-    // Resume treats the corrupt shard as absent and refits that URL —
+    // Resume treats the corrupt record as absent and refits that URL —
     // to the identical bits.
     let resumed = fit_fleet(
         &urls,
@@ -181,6 +202,107 @@ fn corrupted_shard_is_typed_error_and_refit_on_resume() {
     assert_eq!(resumed.summary.fitted, 1);
     assert_fits_bit_identical(&baseline.fits, &resumed.fits);
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_segment_tail_is_truncated_and_the_url_refit_on_resume() {
+    let urls = fleet(3);
+    let config = quick_config();
+    let dir = temp_dir("torn");
+    let _ = std::fs::remove_dir_all(&dir);
+    let baseline = fit_fleet(
+        &urls,
+        &config,
+        &FleetOptions {
+            checkpoint_dir: Some(dir.clone()),
+            ..FleetOptions::default()
+        },
+    );
+    assert_eq!(baseline.summary.shards_written, 3);
+
+    // Tear the final record mid-frame, as a crash during append would.
+    let path = dir.join(FLEET_SEGMENT_FILE);
+    let bytes = std::fs::read(&path).expect("read segment");
+    let frames = segment_record_frames(&bytes);
+    let (last_at, payload_at, _) = frames[2];
+    assert!(last_at > 8);
+    let file = std::fs::OpenOptions::new()
+        .write(true)
+        .open(&path)
+        .expect("open segment");
+    file.set_len(payload_at as u64 + 3).expect("tear tail");
+    let _ = std::fs::remove_file(centipede::influence::segment::index_path(&path));
+
+    // A torn tail is truncation damage, not corruption: the partial
+    // record is dropped and its URL refit bit-for-bit.
+    let resumed = fit_fleet(
+        &urls,
+        &config,
+        &FleetOptions {
+            checkpoint_dir: Some(dir.clone()),
+            resume: true,
+            ..FleetOptions::default()
+        },
+    );
+    assert_eq!(resumed.summary.resume_corrupt, 0);
+    assert_eq!(resumed.summary.resumed, 2);
+    assert_eq!(resumed.summary.fitted, 1);
+    assert_fits_bit_identical(&baseline.fits, &resumed.fits);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn legacy_per_url_shards_migrate_into_a_segment_resume() {
+    let urls = fleet(3);
+    let config = quick_config();
+    let seg_dir = temp_dir("migrate-src");
+    let _ = std::fs::remove_dir_all(&seg_dir);
+    let baseline = fit_fleet(
+        &urls,
+        &config,
+        &FleetOptions {
+            checkpoint_dir: Some(seg_dir.clone()),
+            ..FleetOptions::default()
+        },
+    );
+
+    // Re-home two of the three fits as legacy one-file-per-URL shards
+    // in a fresh directory, as a pre-segment checkpoint dir would hold.
+    let seg = centipede::influence::load_segment(&seg_dir.join(FLEET_SEGMENT_FILE))
+        .expect("load segment");
+    let legacy_dir = temp_dir("migrate-dst");
+    let _ = std::fs::remove_dir_all(&legacy_dir);
+    std::fs::create_dir_all(&legacy_dir).expect("create legacy dir");
+    let mut rehomed = 0;
+    for record in seg.records {
+        if let centipede::influence::SegmentRecord::Fit(shard) = record {
+            if shard.idx < 2 {
+                centipede::influence::write_shard_atomic(&legacy_dir, &shard)
+                    .expect("write legacy shard");
+                rehomed += 1;
+            }
+        }
+    }
+    assert_eq!(rehomed, 2);
+    assert!(shard_path(&legacy_dir, 0).exists());
+
+    // Resuming reads the legacy shards, fits the rest into a fresh
+    // segment, and the merged fleet is bit-identical.
+    let resumed = fit_fleet(
+        &urls,
+        &config,
+        &FleetOptions {
+            checkpoint_dir: Some(legacy_dir.clone()),
+            resume: true,
+            ..FleetOptions::default()
+        },
+    );
+    assert_eq!(resumed.summary.resumed, 2);
+    assert_eq!(resumed.summary.fitted, 1);
+    assert!(legacy_dir.join(FLEET_SEGMENT_FILE).exists());
+    assert_fits_bit_identical(&baseline.fits, &resumed.fits);
+    let _ = std::fs::remove_dir_all(&seg_dir);
+    let _ = std::fs::remove_dir_all(&legacy_dir);
 }
 
 #[test]

@@ -1,0 +1,340 @@
+//! Integration tests of the supervised multi-process fit fleet: shard
+//! ownership across worker processes, heartbeat liveness, reassignment
+//! and respawn after injected deaths, quarantine requeue, and — the
+//! load-bearing invariant — bit-identical posteriors regardless of how
+//! the URL space was sharded or how many workers died along the way.
+//!
+//! Workers are spawned as real OS processes via the `fleet_worker`
+//! binary (the test harness executable itself cannot be re-entered).
+
+use std::path::{Path, PathBuf};
+
+use centipede::influence::{
+    fit_fleet, supervise_fleet, FitConfig, FleetOptions, FleetReport, PreparedUrl,
+    SupervisorOptions, SupervisorSummary, UrlFit,
+};
+use centipede_dataset::domains::NewsCategory;
+use centipede_dataset::event::UrlId;
+use centipede_hawkes::events::EventSeq;
+
+fn prepared(url: u32, n_bins: u32) -> PreparedUrl {
+    let points = [(0u32, 7u16), (3, 7), (10, 6), (12, 0), (40, 7)];
+    let events = EventSeq::from_points(n_bins, 8, &points);
+    let mut per = [0u64; 8];
+    for &(_, k) in &points {
+        per[k as usize] += 1;
+    }
+    PreparedUrl {
+        url: UrlId(url),
+        category: NewsCategory::Alternative,
+        events,
+        events_per_community: per,
+        duration: n_bins as i64 * 60,
+    }
+}
+
+fn fleet(n: u32) -> Vec<PreparedUrl> {
+    (0..n).map(|u| prepared(u, 500)).collect()
+}
+
+fn quick_config() -> FitConfig {
+    FitConfig {
+        n_samples: 24,
+        burn_in: 12,
+        threads: Some(2),
+        ..FitConfig::default()
+    }
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("centipede-sup-it-{}-{name}", std::process::id()))
+}
+
+fn worker_exe() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_fleet_worker"))
+}
+
+fn sup_options(workers: usize, faults: Option<&str>) -> SupervisorOptions {
+    SupervisorOptions {
+        workers,
+        worker_exe: Some(worker_exe()),
+        faults: faults.map(str::to_owned),
+        ..SupervisorOptions::default()
+    }
+}
+
+fn supervise(
+    urls: &[PreparedUrl],
+    config: &FitConfig,
+    dir: &Path,
+    options: &SupervisorOptions,
+) -> (FleetReport, SupervisorSummary) {
+    let fleet_opts = FleetOptions {
+        checkpoint_dir: Some(dir.to_path_buf()),
+        ..FleetOptions::default()
+    };
+    supervise_fleet(urls, config, &fleet_opts, options).expect("supervised fleet")
+}
+
+fn assert_fits_bit_identical(a: &[UrlFit], b: &[UrlFit]) {
+    assert_eq!(
+        a.iter().map(|f| f.url).collect::<Vec<_>>(),
+        b.iter().map(|f| f.url).collect::<Vec<_>>()
+    );
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(
+            x.weights.to_bits(),
+            y.weights.to_bits(),
+            "weights differ for url {}",
+            x.url.0
+        );
+        let (xb, yb): (Vec<u64>, Vec<u64>) = (
+            x.lambda0.iter().map(|v| v.to_bits()).collect(),
+            y.lambda0.iter().map(|v| v.to_bits()).collect(),
+        );
+        assert_eq!(xb, yb, "lambda0 differs for url {}", x.url.0);
+    }
+}
+
+/// Shard placement must not leak into the math: one worker process
+/// produces the same bits as the in-process fleet.
+#[test]
+fn one_worker_matches_the_in_process_fleet_bit_for_bit() {
+    let urls = fleet(4);
+    let config = quick_config();
+    let baseline = fit_fleet(&urls, &config, &FleetOptions::default());
+
+    let dir = temp_dir("one-worker");
+    let _ = std::fs::remove_dir_all(&dir);
+    let (report, summary) = supervise(&urls, &config, &dir, &sup_options(1, None));
+    assert_eq!(summary.workers, 1);
+    assert_eq!(summary.workers_spawned, 1);
+    assert_eq!(summary.workers_died, 0);
+    assert!(summary.lost_urls.is_empty());
+    assert!(!summary.degraded);
+    assert_eq!(report.summary.fitted, 4);
+    assert_fits_bit_identical(&baseline.fits, &report.fits);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Four workers, each owning a round-robin shard, still merge to the
+/// in-process bits.
+#[test]
+fn four_workers_match_the_in_process_fleet_bit_for_bit() {
+    let urls = fleet(5);
+    let config = quick_config();
+    let baseline = fit_fleet(&urls, &config, &FleetOptions::default());
+
+    let dir = temp_dir("four-workers");
+    let _ = std::fs::remove_dir_all(&dir);
+    let (report, summary) = supervise(&urls, &config, &dir, &sup_options(4, None));
+    assert_eq!(summary.workers_spawned, 4);
+    assert_eq!(summary.workers_died, 0);
+    assert!(summary.lost_urls.is_empty());
+    assert_eq!(report.summary.fitted, 5);
+    assert_fits_bit_identical(&baseline.fits, &report.fits);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A worker killed mid-shard hands its remaining URLs to the survivor;
+/// the merged result is still bit-identical.
+#[test]
+fn killed_worker_is_reassigned_to_the_survivor_bit_for_bit() {
+    let urls = fleet(6);
+    let config = quick_config();
+    let baseline = fit_fleet(&urls, &config, &FleetOptions::default());
+
+    let dir = temp_dir("kill-reassign");
+    let _ = std::fs::remove_dir_all(&dir);
+    let (report, summary) = supervise(&urls, &config, &dir, &sup_options(2, Some("kill:1:1")));
+    assert!(summary.workers_died >= 1, "worker 1 should have died");
+    assert!(
+        summary.reassigned_urls >= 1 || summary.respawns >= 1,
+        "death must trigger reassignment or respawn: {summary:?}"
+    );
+    assert!(summary.lost_urls.is_empty());
+    assert!(!summary.degraded);
+    assert_eq!(report.summary.fitted, 6);
+    assert!(report.summary.quarantined.is_empty());
+    assert_fits_bit_identical(&baseline.fits, &report.fits);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A worker that stops heartbeating but keeps running is declared hung
+/// and killed; its completed fits survive in its segment.
+#[test]
+fn dropped_heartbeats_trigger_the_liveness_timeout() {
+    let urls = fleet(4);
+    let config = quick_config();
+    let baseline = fit_fleet(&urls, &config, &FleetOptions::default());
+
+    let dir = temp_dir("drophb");
+    let _ = std::fs::remove_dir_all(&dir);
+    // The frozen heartbeat trips any finite deadline; the value only
+    // bounds test latency. Generous enough not to flake when the whole
+    // suite runs in parallel and the healthy worker beats slowly.
+    let options = SupervisorOptions {
+        liveness_timeout_ms: 2_000,
+        ..sup_options(2, Some("drophb:1:1"))
+    };
+    let (report, summary) = supervise(&urls, &config, &dir, &options);
+    assert!(
+        summary.heartbeat_timeouts >= 1,
+        "frozen heartbeat must trip the liveness timeout: {summary:?}"
+    );
+    assert!(summary.lost_urls.is_empty());
+    assert_eq!(report.summary.fitted, 4);
+    assert_fits_bit_identical(&baseline.fits, &report.fits);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// With no survivor to reassign to, a dead worker is respawned under
+/// the same shard and resumes from its own segment. The kill fault
+/// fires per incarnation, so every respawn dies after one more fit —
+/// the budget must cover the remaining URLs.
+#[test]
+fn solo_worker_respawns_and_resumes_its_own_segment() {
+    let urls = fleet(4);
+    let config = quick_config();
+    let baseline = fit_fleet(&urls, &config, &FleetOptions::default());
+
+    let dir = temp_dir("respawn");
+    let _ = std::fs::remove_dir_all(&dir);
+    let options = SupervisorOptions {
+        max_respawns: 3,
+        ..sup_options(1, Some("kill:0:1"))
+    };
+    let (report, summary) = supervise(&urls, &config, &dir, &options);
+    assert!(summary.respawns >= 1, "expected respawns: {summary:?}");
+    assert!(summary.workers_died >= summary.respawns);
+    assert!(summary.lost_urls.is_empty());
+    assert_eq!(report.summary.fitted, 4);
+    assert_fits_bit_identical(&baseline.fits, &report.fits);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An exhausted respawn budget is the unrecoverable case: the summary
+/// reports the lost URLs so the caller can exit nonzero.
+#[test]
+fn exhausted_respawn_budget_reports_lost_urls() {
+    let urls = fleet(4);
+    let config = quick_config();
+
+    let dir = temp_dir("lost");
+    let _ = std::fs::remove_dir_all(&dir);
+    let options = SupervisorOptions {
+        max_respawns: 0,
+        ..sup_options(1, Some("kill:0:1"))
+    };
+    let (report, summary) = supervise(&urls, &config, &dir, &options);
+    assert!(
+        !summary.lost_urls.is_empty(),
+        "no respawn budget and no survivor must lose URLs: {summary:?}"
+    );
+    assert!(report.summary.fitted < 4);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A worker whose segment tail is torn mid-append loses only the torn
+/// record; everything it completed beforehand is recovered.
+#[test]
+fn torn_worker_segment_recovers_completed_fits() {
+    let urls = fleet(4);
+    let config = quick_config();
+    let baseline = fit_fleet(&urls, &config, &FleetOptions::default());
+
+    let dir = temp_dir("torn-worker");
+    let _ = std::fs::remove_dir_all(&dir);
+    let (report, summary) = supervise(&urls, &config, &dir, &sup_options(2, Some("torn:0:1")));
+    assert!(summary.workers_died >= 1, "torn worker exits abnormally");
+    assert!(summary.lost_urls.is_empty());
+    assert_eq!(report.summary.fitted, 4);
+    assert_fits_bit_identical(&baseline.fits, &report.fits);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A URL that panics at the configured burn-in is quarantined by its
+/// worker, then recovered on the supervisor's low-priority requeue at
+/// boosted burn-in. Untouched URLs stay bit-identical.
+#[test]
+fn poisoned_url_is_recovered_on_the_boosted_requeue() {
+    let urls = fleet(4);
+    let config = quick_config();
+    let baseline = fit_fleet(&urls, &config, &FleetOptions::default());
+
+    let dir = temp_dir("poison");
+    let _ = std::fs::remove_dir_all(&dir);
+    let (report, summary) = supervise(&urls, &config, &dir, &sup_options(2, Some("poison:2")));
+    assert_eq!(summary.workers_died, 0);
+    assert!(summary.lost_urls.is_empty());
+    assert!(!summary.degraded, "recovered quarantine is not degradation");
+    assert_eq!(report.summary.requeued, 1);
+    assert_eq!(report.summary.requeue_recovered, 1);
+    assert!(report.summary.quarantined.is_empty());
+    // `fitted` counts first-pass fits; the recovery lands in `fits`.
+    assert_eq!(report.summary.fitted, 3);
+    assert_eq!(report.fits.len(), 4);
+    // The recovered fit ran at boosted burn-in, so only the untouched
+    // URLs are bit-comparable to the in-process baseline.
+    for (x, y) in baseline.fits.iter().zip(&report.fits) {
+        assert_eq!(x.url, y.url);
+        if x.url != UrlId(2) {
+            assert_eq!(x.weights.to_bits(), y.weights.to_bits());
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A URL that panics even at boosted burn-in stays quarantined: the
+/// fleet is degraded but nothing is lost, and the run still succeeds.
+#[test]
+fn hard_poisoned_url_degrades_without_losing_anything() {
+    let urls = fleet(4);
+    let config = quick_config();
+
+    let dir = temp_dir("poisonhard");
+    let _ = std::fs::remove_dir_all(&dir);
+    let (report, summary) = supervise(&urls, &config, &dir, &sup_options(2, Some("poisonhard:2")));
+    assert!(summary.lost_urls.is_empty());
+    assert!(summary.degraded, "unrecovered quarantine must degrade");
+    assert_eq!(report.summary.quarantined.len(), 1);
+    assert_eq!(report.summary.quarantined[0].idx, 2);
+    assert_eq!(report.summary.fitted, 3);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Killing a worker and resuming the supervised run afterwards reaches
+/// the same bits as an uninterrupted run — the CI kill-and-resume lane
+/// in miniature.
+#[test]
+fn supervised_resume_after_partial_run_is_bit_identical() {
+    let urls = fleet(6);
+    let config = quick_config();
+    let baseline = fit_fleet(&urls, &config, &FleetOptions::default());
+
+    // First pass: one worker, killed after two fits, no respawn budget
+    // and no survivor — the rest of its shard is reported lost.
+    let dir = temp_dir("sup-resume");
+    let _ = std::fs::remove_dir_all(&dir);
+    let options = SupervisorOptions {
+        max_respawns: 0,
+        ..sup_options(1, Some("kill:0:2"))
+    };
+    let (partial, summary) = supervise(&urls, &config, &dir, &options);
+    assert!(!summary.lost_urls.is_empty());
+    assert!(partial.summary.fitted < 6);
+
+    // Second pass resumes from the worker segments left behind.
+    let fleet_opts = FleetOptions {
+        checkpoint_dir: Some(dir.clone()),
+        resume: true,
+        ..FleetOptions::default()
+    };
+    let (resumed, summary2) =
+        supervise_fleet(&urls, &config, &fleet_opts, &sup_options(2, None)).expect("resume");
+    assert!(summary2.lost_urls.is_empty());
+    assert_eq!(resumed.summary.resumed, partial.summary.fitted);
+    assert_eq!(resumed.summary.resumed + resumed.summary.fitted, urls.len());
+    assert_fits_bit_identical(&baseline.fits, &resumed.fits);
+    let _ = std::fs::remove_dir_all(&dir);
+}
