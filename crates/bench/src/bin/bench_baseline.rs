@@ -14,6 +14,9 @@
 //! * `pipeline` — the analysis pipeline at the shared bench scale:
 //!   the per-URL partition build plus `run_all` with influence
 //!   skipped, appended to `BENCH_pipeline.json`.
+//! * `dataset-open` — zero-copy `MappedIndex::open` of a saved CPDM
+//!   container vs rebuilding the `DatasetIndex` from the same dataset,
+//!   appended to `BENCH_dataset.json`.
 //!
 //! Usage:
 //!
@@ -21,10 +24,11 @@
 //! cargo run --release -p centipede-bench --bin bench_baseline -- <mode> <label> [reps] [--check]
 //! ```
 //!
-//! `mode` is `hawkes`, `hawkes-adaptive`, or `pipeline`; `label` names
-//! the trajectory point (e.g. `pr2-after`); `reps` defaults to 7
-//! (hawkes), 3 (hawkes-adaptive), or 5 (pipeline) — the median is
-//! recorded after one warm-up.
+//! `mode` is `hawkes`, `hawkes-adaptive`, `pipeline`, or
+//! `dataset-open`; `label` names the trajectory point (e.g.
+//! `pr2-after`); `reps` defaults to 7 (hawkes), 3 (hawkes-adaptive), 5
+//! (pipeline), or 9 (dataset-open) — the median is recorded after one
+//! warm-up.
 //!
 //! With `--check`, nothing is appended: the fresh median is compared
 //! against the *last* tracked entry in the trajectory file and the
@@ -79,10 +83,11 @@ fn main() {
         "hawkes" => hawkes_baseline(&label, reps.unwrap_or(7), check),
         "hawkes-adaptive" => hawkes_adaptive_baseline(&label, reps.unwrap_or(3), check),
         "pipeline" => pipeline_baseline(&label, reps.unwrap_or(5), check),
+        "dataset-open" => dataset_open_baseline(&label, reps.unwrap_or(9), check),
         other => {
             eprintln!(
                 "bench_baseline: unknown mode `{other}` \
-                 (expected `hawkes`, `hawkes-adaptive`, or `pipeline`)"
+                 (expected `hawkes`, `hawkes-adaptive`, `pipeline`, or `dataset-open`)"
             );
             std::process::exit(2);
         }
@@ -299,6 +304,83 @@ fn pipeline_baseline(label: &str, reps: usize, check: bool) {
          \"events_per_sec\": {events_per_sec:.0}\n  }}"
     );
     append_entry("BENCH_pipeline.json", &entry);
+}
+
+/// Mapped open vs index rebuild: the work a saved CPDM container takes
+/// off every analysis run's startup. `open` is the structural-only
+/// fast path (`MappedIndex::open`); the per-section checksum pass
+/// (`open_verified`) is timed alongside for the trajectory but the
+/// advisory `--check` tracks the fast path.
+fn dataset_open_baseline(label: &str, reps: usize, check: bool) {
+    use centipede_dataset::mapped::{write_index, MappedIndex};
+
+    let dataset = centipede_bench::dataset();
+    let events = dataset.len();
+
+    // Index rebuild: what every run pays without a container.
+    let index = centipede_dataset::DatasetIndex::build(dataset);
+    let urls = index.n_urls();
+    let mut build_ns: Vec<u64> = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let start = Instant::now();
+        let rebuilt = centipede_dataset::DatasetIndex::build(dataset);
+        build_ns.push(start.elapsed().as_nanos() as u64);
+        assert_eq!(rebuilt.n_urls(), urls);
+    }
+    build_ns.sort_unstable();
+    let median_build_ns = build_ns[reps / 2];
+
+    let path = std::env::temp_dir().join(format!("bench-dataset-{}.cpdm", std::process::id()));
+    write_index(&path, &index).expect("write CPDM container");
+    let bytes = std::fs::metadata(&path).expect("stat container").len();
+
+    let time_open = |verified: bool| {
+        let open = |path: &std::path::Path| {
+            if verified {
+                MappedIndex::open_verified(path)
+            } else {
+                MappedIndex::open(path)
+            }
+        };
+        let _ = open(&path).expect("open container"); // warm-up
+        let mut open_ns: Vec<u64> = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            let start = Instant::now();
+            let mapped = open(&path).expect("open container");
+            open_ns.push(start.elapsed().as_nanos() as u64);
+            assert_eq!(mapped.n_urls(), urls);
+        }
+        open_ns.sort_unstable();
+        open_ns[reps / 2].max(1)
+    };
+    let median_open_ns = time_open(false);
+    let median_open_verified_ns = time_open(true);
+    let _ = std::fs::remove_file(&path);
+
+    let open_speedup = median_build_ns as f64 / median_open_ns as f64;
+    eprintln!(
+        "bench_baseline[{label}]: {events} events / {urls} urls, {bytes} bytes, \
+         median build {:.2} ms vs open {:.3} ms (verified {:.3} ms) = {open_speedup:.0}x",
+        median_build_ns as f64 / 1e6,
+        median_open_ns as f64 / 1e6,
+        median_open_verified_ns as f64 / 1e6,
+    );
+
+    if check {
+        check_against_baseline("BENCH_dataset.json", "median_open_ns", median_open_ns);
+        return;
+    }
+
+    let scale = centipede_bench::BENCH_SCALE;
+    let entry = format!(
+        "  {{\n    \"label\": \"{label}\",\n    \"bench\": \"dataset/mapped_open_vs_index_build\",\n    \
+         \"scale\": {scale},\n    \"events\": {events},\n    \"urls\": {urls},\n    \
+         \"container_bytes\": {bytes},\n    \"reps\": {reps},\n    \
+         \"median_build_ns\": {median_build_ns},\n    \"median_open_ns\": {median_open_ns},\n    \
+         \"median_open_verified_ns\": {median_open_verified_ns},\n    \
+         \"open_speedup\": {open_speedup:.1}\n  }}"
+    );
+    append_entry("BENCH_dataset.json", &entry);
 }
 
 /// Compare `current` against the most recent `key` value tracked in

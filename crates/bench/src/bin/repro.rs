@@ -7,6 +7,7 @@
 //!       [--samples N] [--burn-in N] [--threads N] [--skip-influence]
 //!       [--checkpoint-dir PATH] [--resume] [--compare] [--out PATH]
 //!       [--supervised] [--workers N] [--fault SPEC]
+//!       [--save-index PATH] [--load-index PATH]
 //!       [--metrics PATH] [--trace PATH] [--trace-flame PATH]
 //!       [--metrics-series PATH] [--metrics-interval MS]
 //!       [--quiet] [--verbose]
@@ -34,6 +35,14 @@
 //! unrecoverably; quarantine-only degradation still exits 0 and is
 //! reported on stderr.
 //!
+//! Persisted datasets: `--save-index PATH` writes the generated
+//! dataset plus its fully-built index as a CPDM container and runs the
+//! pipeline zero-copy off the map; `--load-index PATH` skips generation
+//! entirely and analyzes a previously saved container (checksums
+//! verified on open). Reports are bit-identical to the in-memory path.
+//! With `--supervised`, workers open the shared map by path instead of
+//! receiving a re-serialized prepared set.
+//!
 //! Observability: progress and status go through the `centipede-obs`
 //! global registry. `--quiet` silences them, `--verbose` additionally
 //! prints the stage tree and histogram summaries at exit, and
@@ -56,7 +65,9 @@ use std::sync::Arc;
 use rand::SeedableRng;
 
 use centipede::influence::fit::Estimator;
-use centipede::pipeline::{run_all, PipelineConfig};
+use centipede::pipeline::{run_all, run_indexed, AnalysisReport, PipelineConfig};
+use centipede_dataset::index::DatasetIndex;
+use centipede_dataset::mapped::{write_index, MappedIndex};
 use centipede_obs::{JsonExporter, StderrReporter, Verbosity};
 use centipede_platform_sim::{ecosystem, SimConfig};
 
@@ -78,6 +89,8 @@ struct Args {
     workers: usize,
     faults: Vec<String>,
     compare: bool,
+    save_index: Option<String>,
+    load_index: Option<String>,
     out: Option<String>,
     metrics: Option<String>,
     trace: Option<String>,
@@ -106,6 +119,8 @@ fn parse_args() -> Args {
         workers: 2,
         faults: Vec::new(),
         compare: false,
+        save_index: None,
+        load_index: None,
         out: None,
         metrics: None,
         trace: None,
@@ -158,6 +173,8 @@ fn parse_args() -> Args {
             }
             "--fault" => args.faults.push(it.next().expect("--fault SPEC")),
             "--compare" => args.compare = true,
+            "--save-index" => args.save_index = Some(it.next().expect("--save-index PATH")),
+            "--load-index" => args.load_index = Some(it.next().expect("--load-index PATH")),
             "--out" => args.out = Some(it.next().expect("--out PATH")),
             "--metrics" => args.metrics = Some(it.next().expect("--metrics PATH")),
             "--trace" => args.trace = Some(it.next().expect("--trace PATH")),
@@ -183,6 +200,7 @@ fn parse_args() -> Args {
                      [--threads N] [--skip-influence] \
                      [--checkpoint-dir PATH] [--resume] \
                      [--supervised] [--workers N] [--fault SPEC] \
+                     [--save-index PATH] [--load-index PATH] \
                      [--compare] [--out PATH] [--metrics PATH] [--trace PATH] \
                      [--trace-flame PATH] [--metrics-series PATH] [--metrics-interval MS] \
                      [--quiet] [--verbose]\n\
@@ -207,6 +225,9 @@ fn parse_args() -> Args {
                      --fault SPEC      inject deterministic faults (repeatable), e.g.\n\
                                        kill:1:2 torn:0:1 drophb:2:3 delayflush:0:50\n\
                                        poison:7 poisonhard:9\n\
+                     --save-index PATH write dataset + index as a CPDM container, then\n\
+                                       run the pipeline zero-copy off the map\n\
+                     --load-index PATH skip generation; analyze a saved CPDM container\n\
                      --compare         print the paper-vs-repro comparison table\n\
                      --out PATH        also write the report text to PATH\n\
                      --metrics PATH    write a metrics.json snapshot to PATH\n\
@@ -290,6 +311,10 @@ fn main() {
         eprintln!("[repro] --fault requires --supervised");
         std::process::exit(2);
     }
+    if args.save_index.is_some() && args.load_index.is_some() {
+        eprintln!("[repro] --save-index and --load-index are mutually exclusive");
+        std::process::exit(2);
+    }
 
     let obs = centipede_obs::global();
     obs.add_sink(Arc::new(StderrReporter::new(args.verbosity)));
@@ -323,26 +348,6 @@ fn main() {
 
     let mut rng = rand::rngs::StdRng::seed_from_u64(args.seed);
 
-    let sim = SimConfig {
-        scale: args.scale,
-        apply_gaps: args.apply_gaps,
-        bots_enabled: args.bots,
-        ..SimConfig::default()
-    };
-
-    obs.message(&format!(
-        "generating ecosystem (scale={}, gaps={}, bots={}) ...",
-        sim.scale, sim.apply_gaps, sim.bots_enabled
-    ));
-    let t0 = std::time::Instant::now();
-    let world = ecosystem::generate(&sim, &mut rng);
-    obs.message(&format!(
-        "{} events across {} URLs in {:.1}s",
-        world.dataset.len(),
-        world.dataset.timelines().len(),
-        t0.elapsed().as_secs_f64()
-    ));
-
     let mut config = PipelineConfig::default();
     config.fit.estimator = args.estimator;
     config.fit.n_samples = args.samples;
@@ -366,14 +371,88 @@ fn main() {
         });
     }
 
-    obs.message("running measurement pipeline ...");
-    let t1 = std::time::Instant::now();
-    let report = run_all(&world.dataset, &config, &mut rng);
-    obs.message(&format!(
-        "pipeline done in {:.1}s ({} URLs fitted)",
-        t1.elapsed().as_secs_f64(),
-        report.selection.selected
-    ));
+    // Three ways to a report: analyze a saved container, generate and
+    // persist+map, or generate and run purely in memory. The pipeline
+    // output is bit-identical across all three.
+    let (report, world): (AnalysisReport, Option<ecosystem::GeneratedWorld>) =
+        if let Some(path) = &args.load_index {
+            let path = std::path::Path::new(path);
+            let t0 = std::time::Instant::now();
+            let mapped = match MappedIndex::open_verified(path) {
+                Ok(mapped) => mapped,
+                Err(e) => {
+                    eprintln!("[repro] cannot open mapped dataset {}: {e}", path.display());
+                    std::process::exit(1);
+                }
+            };
+            obs.message(&format!(
+                "mapped {} events across {} URLs from {} in {:.3}s",
+                mapped.n_events(),
+                mapped.n_urls(),
+                path.display(),
+                t0.elapsed().as_secs_f64()
+            ));
+            obs.message("running measurement pipeline ...");
+            let t1 = std::time::Instant::now();
+            let report = run_indexed(&mapped, &config, &mut rng);
+            obs.message(&format!(
+                "pipeline done in {:.1}s ({} URLs fitted)",
+                t1.elapsed().as_secs_f64(),
+                report.selection.selected
+            ));
+            (report, None)
+        } else {
+            let sim = SimConfig {
+                scale: args.scale,
+                apply_gaps: args.apply_gaps,
+                bots_enabled: args.bots,
+                ..SimConfig::default()
+            };
+            obs.message(&format!(
+                "generating ecosystem (scale={}, gaps={}, bots={}) ...",
+                sim.scale, sim.apply_gaps, sim.bots_enabled
+            ));
+            let t0 = std::time::Instant::now();
+            let world = ecosystem::generate(&sim, &mut rng);
+            obs.message(&format!(
+                "{} events across {} URLs in {:.1}s",
+                world.dataset.len(),
+                world.dataset.timelines().len(),
+                t0.elapsed().as_secs_f64()
+            ));
+
+            obs.message("running measurement pipeline ...");
+            let t1 = std::time::Instant::now();
+            let report = if let Some(path) = &args.save_index {
+                let path = std::path::Path::new(path);
+                let index = DatasetIndex::build(&world.dataset);
+                if let Err(e) = write_index(path, &index) {
+                    eprintln!("[repro] cannot save dataset index {}: {e}", path.display());
+                    std::process::exit(1);
+                }
+                drop(index);
+                let mapped = match MappedIndex::open(path) {
+                    Ok(mapped) => mapped,
+                    Err(e) => {
+                        eprintln!(
+                            "[repro] cannot re-open saved dataset {}: {e}",
+                            path.display()
+                        );
+                        std::process::exit(1);
+                    }
+                };
+                obs.message(&format!("dataset index saved to {}", path.display()));
+                run_indexed(&mapped, &config, &mut rng)
+            } else {
+                run_all(&world.dataset, &config, &mut rng)
+            };
+            obs.message(&format!(
+                "pipeline done in {:.1}s ({} URLs fitted)",
+                t1.elapsed().as_secs_f64(),
+                report.selection.selected
+            ));
+            (report, Some(world))
+        };
     for q in &report.fleet.quarantined {
         eprintln!(
             "[repro] quarantined url {} (fleet idx {}) after {} attempts: {}",
@@ -385,8 +464,9 @@ fn main() {
     println!("{text}");
 
     // Ground-truth recovery summary and mechanical claim checks (the
-    // validation the paper couldn't do).
-    if let Some(fig10) = &report.fig10 {
+    // validation the paper couldn't do). A loaded container carries no
+    // ground truth, so these only print for generated worlds.
+    if let (Some(fig10), Some(world)) = (&report.fig10, &world) {
         use centipede::validation::{check_paper_claims, render_claims, score_recovery};
         use centipede_dataset::domains::NewsCategory;
         for (cat, truth) in [

@@ -1,6 +1,6 @@
 //! §3 — General characterization (Tables 1–7, Figures 2–3).
 //!
-//! Every stage consumes the one-pass [`DatasetIndex`]: categories,
+//! Every stage consumes any one-pass [`IndexSource`]: categories,
 //! analysis groups, and platforms are precomputed per event, and the
 //! per-subreddit / per-domain tallies run over dense arrays keyed by
 //! interned venue id or domain id instead of hash maps. Ranked tables
@@ -13,7 +13,7 @@ use serde::{Deserialize, Serialize};
 
 use centipede_dataset::domains::NewsCategory;
 use centipede_dataset::event::{UrlId, UserId};
-use centipede_dataset::index::DatasetIndex;
+use centipede_dataset::index::IndexSource;
 use centipede_dataset::platform::{AnalysisGroup, Platform, Venue};
 use centipede_stats::descriptive::{mean, stddev};
 use centipede_stats::ecdf::Ecdf;
@@ -34,7 +34,8 @@ pub struct PlatformTotalsRow {
 }
 
 /// Table 1: total crawled posts and news-URL densities.
-pub fn platform_totals(index: &DatasetIndex) -> Vec<PlatformTotalsRow> {
+pub fn platform_totals(index: &impl IndexSource) -> Vec<PlatformTotalsRow> {
+    let index = index.view();
     Platform::ALL
         .into_iter()
         .map(|platform| {
@@ -146,22 +147,19 @@ pub struct OverviewRow {
 }
 
 /// Table 2: posts and unique URLs per collection split.
-pub fn dataset_overview(index: &DatasetIndex) -> Vec<OverviewRow> {
+pub fn dataset_overview(index: &impl IndexSource) -> Vec<OverviewRow> {
+    let index = index.view();
     let mut posts = [0u64; 5];
     let mut uniq: [[HashSet<UrlId>; 2]; 5] = Default::default();
-    let groups = index.groups();
-    let platforms = index.platforms();
-    let categories = index.categories();
-    let urls = index.urls();
     for i in 0..index.n_events() {
-        let split = DatasetSplit::of_parts(groups[i], platforms[i]).slot();
+        let split = DatasetSplit::of_parts(index.group(i), index.platform(i)).slot();
         posts[split] += 1;
-        let cat = if categories[i] == NewsCategory::Alternative {
+        let cat = if index.category(i) == NewsCategory::Alternative {
             0
         } else {
             1
         };
-        uniq[split][cat].insert(urls[i]);
+        uniq[split][cat].insert(index.url(i));
     }
     DatasetSplit::ALL
         .into_iter()
@@ -211,9 +209,8 @@ pub struct TweetStatsRow {
 }
 
 /// Table 3: tweet re-crawl statistics per category.
-pub fn tweet_stats(index: &DatasetIndex) -> Vec<TweetStatsRow> {
-    let platforms = index.platforms();
-    let engagements = index.engagements();
+pub fn tweet_stats(index: &impl IndexSource) -> Vec<TweetStatsRow> {
+    let index = index.view();
     NewsCategory::ALL
         .into_iter()
         .map(|category| {
@@ -223,11 +220,11 @@ pub fn tweet_stats(index: &DatasetIndex) -> Vec<TweetStatsRow> {
             let mut retrieved = 0u64;
             for &i in index.category_events(category) {
                 let i = i as usize;
-                if platforms[i] != Platform::Twitter {
+                if index.platform(i) != Platform::Twitter {
                     continue;
                 }
                 tweets += 1;
-                if let Some(g) = engagements[i] {
+                if let Some(g) = index.engagement(i) {
                     if g.retrieved {
                         retrieved += 1;
                         retweets.push(g.retweets as f64);
@@ -282,21 +279,20 @@ fn rank_shares(rows: &mut Vec<(String, f64)>, top_n: usize) {
 /// Table 4: top subreddits per category `(name, share of Reddit events
 /// of that category)`.
 pub fn top_subreddits(
-    index: &DatasetIndex,
+    index: &impl IndexSource,
     top_n: usize,
 ) -> BTreeMap<NewsCategory, Vec<(String, f64)>> {
+    let index = index.view();
     // Dense per-venue tallies: venue ids are interned, so a flat array
     // replaces the (category, name) hash map of the scan-path version.
     let mut counts = vec![[0u64; 2]; index.venues().len()];
     let mut totals = [0u64; 2];
     let venue_ids = index.venue_ids();
-    let platforms = index.platforms();
-    let categories = index.categories();
     for i in 0..index.n_events() {
-        if platforms[i] != Platform::Reddit {
+        if index.platform(i) != Platform::Reddit {
             continue;
         }
-        let cat = if categories[i] == NewsCategory::Alternative {
+        let cat = if index.category(i) == NewsCategory::Alternative {
             0
         } else {
             1
@@ -350,22 +346,21 @@ pub fn render_table4(rows: &BTreeMap<NewsCategory, Vec<(String, f64)>>) -> Strin
 /// Tables 5/6/7: top domains `(domain, share of category URLs)` for one
 /// analysis group, computed over URL *occurrences* within the group.
 pub fn top_domains(
-    index: &DatasetIndex,
+    index: &impl IndexSource,
     group: AnalysisGroup,
     top_n: usize,
 ) -> BTreeMap<NewsCategory, Vec<(String, f64)>> {
+    let index = index.view();
     let mut counts = vec![[0u64; 2]; index.domains().len()];
     let mut totals = [0u64; 2];
-    let event_domains = index.event_domains();
-    let categories = index.categories();
     for &i in index.group_events(group) {
         let i = i as usize;
-        let cat = if categories[i] == NewsCategory::Alternative {
+        let cat = if index.category(i) == NewsCategory::Alternative {
             0
         } else {
             1
         };
-        counts[event_domains[i].0 as usize][cat] += 1;
+        counts[index.event_domain(i).0 as usize][cat] += 1;
         totals[cat] += 1;
     }
     let mut out = BTreeMap::new();
@@ -423,22 +418,21 @@ pub fn render_top_domains(
 /// occurrence), the fraction of their occurrences on each analysis
 /// group. Returns `(domain, [six subreddits, /pol/, Twitter])`.
 pub fn domain_platform_fractions(
-    index: &DatasetIndex,
+    index: &impl IndexSource,
     category: NewsCategory,
     top_n: usize,
 ) -> Vec<(String, [f64; 3])> {
+    let index = index.view();
     let mut per_domain = vec![[0u64; 3]; index.domains().len()];
-    let groups = index.groups();
-    let event_domains = index.event_domains();
     for &i in index.category_events(category) {
         let i = i as usize;
-        let slot = match groups[i] {
+        let slot = match index.group(i) {
             Some(AnalysisGroup::SixSubreddits) => 0,
             Some(AnalysisGroup::Pol) => 1,
             Some(AnalysisGroup::Twitter) => 2,
             None => continue,
         };
-        per_domain[event_domains[i].0 as usize][slot] += 1;
+        per_domain[index.event_domain(i).0 as usize][slot] += 1;
     }
     let mut rows: Vec<(usize, [u64; 3], u64)> = per_domain
         .into_iter()
@@ -481,20 +475,18 @@ pub struct UserAltFractions {
 
 /// Figure 3: per-user alternative fractions. 4chan is excluded (posts
 /// are anonymous).
-pub fn user_alt_fraction(index: &DatasetIndex) -> UserAltFractions {
+pub fn user_alt_fraction(index: &impl IndexSource) -> UserAltFractions {
+    let index = index.view();
     let mut per_user: HashMap<(AnalysisGroup, UserId), (u64, u64)> = HashMap::new();
-    let groups = index.groups();
-    let users = index.users();
-    let categories = index.categories();
     for i in 0..index.n_events() {
-        let (Some(group), Some(user)) = (groups[i], users[i]) else {
+        let (Some(group), Some(user)) = (index.group(i), index.user(i)) else {
             continue;
         };
         if group == AnalysisGroup::Pol {
             continue;
         }
         let entry = per_user.entry((group, user)).or_default();
-        match categories[i] {
+        match index.category(i) {
             NewsCategory::Alternative => entry.0 += 1,
             NewsCategory::Mainstream => entry.1 += 1,
         }
@@ -529,6 +521,7 @@ mod tests {
     use centipede_dataset::dataset::{Dataset, PlatformTotals};
     use centipede_dataset::domains::DomainTable;
     use centipede_dataset::event::{Engagement, NewsEvent};
+    use centipede_dataset::index::DatasetIndex;
 
     fn toy_dataset() -> Dataset {
         let domains = DomainTable::standard();

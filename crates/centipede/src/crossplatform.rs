@@ -5,7 +5,7 @@ use std::collections::BTreeMap;
 use serde::{Deserialize, Serialize};
 
 use centipede_dataset::domains::NewsCategory;
-use centipede_dataset::index::{DatasetIndex, TimelineView};
+use centipede_dataset::index::{IndexSource, IndexView, TimelineView};
 use centipede_dataset::platform::AnalysisGroup;
 use centipede_stats::ecdf::Ecdf;
 use centipede_stats::ks::{ks_two_sample, KsResult};
@@ -82,10 +82,10 @@ impl PairLagResult {
 /// The per-URL timeline views of one news category, in ascending URL
 /// order (the same order the old `BTreeMap<UrlId, UrlTimeline>` walk
 /// produced).
-fn category_timelines(
-    index: &DatasetIndex,
+fn category_timelines<'a>(
+    index: IndexView<'a>,
     category: NewsCategory,
-) -> impl Iterator<Item = TimelineView<'_>> {
+) -> impl Iterator<Item = TimelineView<'a>> + 'a {
     index
         .timelines()
         .filter(move |tl| tl.category() == category)
@@ -93,7 +93,8 @@ fn category_timelines(
 
 /// Figure 7 + Table 8: first-occurrence lag comparison for every pair
 /// and category.
-pub fn pair_lags(index: &DatasetIndex, category: NewsCategory) -> Vec<PairLagResult> {
+pub fn pair_lags(index: &impl IndexSource, category: NewsCategory) -> Vec<PairLagResult> {
+    let index = index.view();
     PAIRS
         .into_iter()
         .map(|(a, b)| {
@@ -197,11 +198,11 @@ fn ordered_groups(tl: &TimelineView<'_>) -> ([(AnalysisGroup, i64); 3], usize) {
 
 /// Table 9: distribution of first-hop sequences per category.
 pub fn first_hop_sequences(
-    index: &DatasetIndex,
+    index: &impl IndexSource,
     category: NewsCategory,
 ) -> BTreeMap<FirstHop, u64> {
     let mut out: BTreeMap<FirstHop, u64> = BTreeMap::new();
-    for tl in category_timelines(index, category) {
+    for tl in category_timelines(index.view(), category) {
         let (firsts, n) = ordered_groups(&tl);
         if n == 0 {
             continue;
@@ -221,9 +222,12 @@ pub fn first_hop_sequences(
 
 /// Table 10: full triplet sequences for URLs that appeared on all
 /// three groups. Key is e.g. `"R→T→4"`.
-pub fn triplet_sequences(index: &DatasetIndex, category: NewsCategory) -> BTreeMap<String, u64> {
+pub fn triplet_sequences(
+    index: &impl IndexSource,
+    category: NewsCategory,
+) -> BTreeMap<String, u64> {
     let mut out: BTreeMap<String, u64> = BTreeMap::new();
-    for tl in category_timelines(index, category) {
+    for tl in category_timelines(index.view(), category) {
         let (firsts, n) = ordered_groups(&tl);
         if n < 3 {
             continue;
@@ -251,7 +255,8 @@ pub struct SourceEdge {
 /// Figure 8: the news-ecosystem source graph for one category. For
 /// each URL, an edge `domain → first group`, and (if a second group
 /// exists) `first group → second group`.
-pub fn source_graph(index: &DatasetIndex, category: NewsCategory) -> Vec<SourceEdge> {
+pub fn source_graph(index: &impl IndexSource, category: NewsCategory) -> Vec<SourceEdge> {
+    let index = index.view();
     let domains = index.domains();
     let mut weights: BTreeMap<(String, String), u64> = BTreeMap::new();
     for tl in category_timelines(index, category) {
@@ -279,6 +284,7 @@ mod tests {
     use centipede_dataset::dataset::Dataset;
     use centipede_dataset::domains::DomainTable;
     use centipede_dataset::event::{NewsEvent, UrlId};
+    use centipede_dataset::index::DatasetIndex;
     use centipede_dataset::platform::Venue;
 
     fn mk_index() -> DatasetIndex {

@@ -45,4 +45,7 @@ pub use prepare::{prepare_urls, PreparedUrl, SelectionConfig, SelectionSummary};
 pub use segment::{load_segment, scan_segment, SegmentRecord, SegmentScan, SegmentWriter};
 pub use supervisor::{supervise_fleet, SupervisorOptions, SupervisorSummary};
 pub use weights::{weight_comparison, CellComparison, Table11, WeightComparison};
-pub use worker::{worker_env, worker_main, WorkerReport};
+pub use worker::{
+    read_manifest, worker_env, worker_main, WorkerReport, WorkerSource, MANIFEST_FILE,
+    PREPARED_FILE,
+};

@@ -12,7 +12,7 @@ use serde::{Deserialize, Serialize};
 
 use centipede_dataset::domains::NewsCategory;
 use centipede_dataset::event::UrlId;
-use centipede_dataset::index::{DatasetIndex, TimelineView};
+use centipede_dataset::index::{IndexSource, TimelineView};
 use centipede_dataset::platform::{AnalysisGroup, Community, Platform};
 use centipede_hawkes::events::EventSeq;
 
@@ -71,9 +71,10 @@ pub struct SelectionSummary {
 
 /// Select and bin URLs per the paper's §5.2 procedure.
 pub fn prepare_urls(
-    index: &DatasetIndex,
+    index: &impl IndexSource,
     config: &SelectionConfig,
 ) -> (Vec<PreparedUrl>, SelectionSummary) {
+    let index = index.view();
     assert!(config.bin_seconds > 0, "SelectionConfig: bin_seconds ≤ 0");
     assert!(
         (0.0..1.0).contains(&config.gap_drop_fraction),
@@ -152,6 +153,7 @@ mod tests {
     use centipede_dataset::domains::DomainTable;
     use centipede_dataset::event::NewsEvent;
     use centipede_dataset::gaps::Gaps;
+    use centipede_dataset::index::DatasetIndex;
     use centipede_dataset::platform::Venue;
     use centipede_dataset::time::ymd_to_unix;
 

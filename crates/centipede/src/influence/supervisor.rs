@@ -36,10 +36,10 @@ use centipede_obs::{TraceSpan, TraceTag};
 
 use super::fault::FaultPlan;
 use super::fit::{FitConfig, FleetOptions, FleetReport, FleetSummary, QuarantinedUrl, UrlFit};
-use super::prepare::PreparedUrl;
+use super::prepare::{PreparedUrl, SelectionConfig};
 use super::worker::{
-    self, WorkerManifest, CLOSED_MARKER, ENV_FAULTS, ENV_WORKER_DIR, ENV_WORKER_ID, MANIFEST_FILE,
-    PREPARED_FILE,
+    self, WorkerManifest, WorkerSource, CLOSED_MARKER, ENV_FAULTS, ENV_WORKER_DIR, ENV_WORKER_ID,
+    MANIFEST_FILE, PREPARED_FILE,
 };
 use super::{checkpoint, Shard};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -71,6 +71,13 @@ pub struct SupervisorOptions {
     /// Times a worker is respawned when it dies with no survivor to
     /// take its shard.
     pub max_respawns: usize,
+    /// When set, workers open this CPDM container and re-derive the
+    /// prepared set with the given selection instead of reading a
+    /// supervisor-serialized `prepared.bin` — every process shares one
+    /// read-only map and nothing is re-serialized. The caller must pass
+    /// the same `prepared` slice that `prepare_urls` produced from this
+    /// map with this selection.
+    pub map_source: Option<(PathBuf, SelectionConfig)>,
 }
 
 impl Default for SupervisorOptions {
@@ -83,6 +90,7 @@ impl Default for SupervisorOptions {
             liveness_timeout_ms: 5_000,
             poll_interval_ms: 20,
             max_respawns: 2,
+            map_source: None,
         }
     }
 }
@@ -96,6 +104,7 @@ impl PartialEq for SupervisorOptions {
             && self.liveness_timeout_ms == other.liveness_timeout_ms
             && self.poll_interval_ms == other.poll_interval_ms
             && self.max_respawns == other.max_respawns
+            && self.map_source == other.map_source
     }
 }
 
@@ -317,6 +326,13 @@ pub fn supervise_fleet(
         shards[i % n_workers].push(*idx);
     }
 
+    let source = match &options.map_source {
+        Some((path, selection)) => WorkerSource::Mapped {
+            path: path.clone(),
+            selection: *selection,
+        },
+        None => WorkerSource::PreparedFile,
+    };
     let manifest = WorkerManifest {
         fingerprint,
         config: config.clone(),
@@ -324,11 +340,16 @@ pub fn supervise_fleet(
         backoff_base_ms: fleet.backoff_base_ms,
         heartbeat_interval_ms: options.heartbeat_interval_ms,
         checkpoint_dir: checkpoint_dir.clone(),
+        source,
     };
     worker::write_manifest(&work_dir.join(MANIFEST_FILE), &manifest)
         .map_err(SupervisorError::Setup)?;
-    worker::write_prepared(&work_dir.join(PREPARED_FILE), prepared)
-        .map_err(SupervisorError::Setup)?;
+    // With a mapped source the container on disk *is* the prepared set;
+    // serializing it again would defeat the zero-copy handoff.
+    if options.map_source.is_none() {
+        worker::write_prepared(&work_dir.join(PREPARED_FILE), prepared)
+            .map_err(SupervisorError::Setup)?;
+    }
 
     let mut states: Vec<WorkerState> = Vec::with_capacity(n_workers);
     for (w, shard) in shards.iter().enumerate() {

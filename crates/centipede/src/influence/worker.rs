@@ -17,8 +17,10 @@
 //!
 //! ```text
 //! fleet-work/
-//!   manifest.bin             config + fingerprint + paths (read-only)
-//!   prepared.bin             the full PreparedUrl slice (read-only)
+//!   manifest.bin             config + fingerprint + paths + source (read-only)
+//!   prepared.bin             the full PreparedUrl slice (read-only;
+//!                            absent when the manifest names a mapped
+//!                            CPDM container instead)
 //!   queue/worker-<id>/
 //!     part-0000.bin          assigned fleet indices
 //!     part-0001.bin          … appended on reassignment
@@ -42,6 +44,7 @@ use std::sync::Arc;
 
 use centipede_dataset::domains::NewsCategory;
 use centipede_dataset::event::UrlId;
+use centipede_dataset::mapped::MappedIndex;
 use centipede_hawkes::events::{BinEvent, EventSeq};
 use centipede_obs::names as metric;
 use centipede_obs::TraceTag;
@@ -52,7 +55,7 @@ use super::fit::{
     self, fit_with_retries, Estimator, FitConfig, FitOutcome, FitPosterior, QuarantinedUrl,
     RetryPolicy, UrlFit,
 };
-use super::prepare::PreparedUrl;
+use super::prepare::{PreparedUrl, SelectionConfig};
 use super::segment::SegmentWriter;
 use super::Shard;
 
@@ -81,6 +84,26 @@ pub const EXIT_FAULT_KILL: i32 = 101;
 /// Exit code of a fault-injected torn-tail crash.
 pub const EXIT_FAULT_TORN: i32 = 102;
 
+/// Where a worker obtains its prepared URL set.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkerSource {
+    /// Deserialize the supervisor-written `prepared.bin` from the work
+    /// directory.
+    PreparedFile,
+    /// Open the CPDM container at `path` zero-copy and re-derive the
+    /// prepared set with `selection`. Because
+    /// [`super::prepare::prepare_urls`] is deterministic, every worker
+    /// sees exactly the slice the supervisor sharded — without the
+    /// supervisor serializing it.
+    Mapped {
+        /// Path of the container written by
+        /// [`centipede_dataset::mapped::write_index`].
+        path: PathBuf,
+        /// Selection parameters, identical to the supervisor's.
+        selection: SelectionConfig,
+    },
+}
+
 /// Everything a worker needs beyond its id, written once by the
 /// supervisor.
 #[derive(Debug, Clone, PartialEq)]
@@ -97,6 +120,8 @@ pub struct WorkerManifest {
     pub heartbeat_interval_ms: u64,
     /// Where segment checkpoint files live.
     pub checkpoint_dir: PathBuf,
+    /// Where the prepared URL set comes from.
+    pub source: WorkerSource,
 }
 
 /// A worker's heartbeat, rewritten atomically every interval.
@@ -331,20 +356,43 @@ fn decode_config(c: &mut Cursor<'_>) -> Result<FitConfig, String> {
     })
 }
 
+fn put_path(payload: &mut Vec<u8>, path: &Path, what: &str) -> Result<(), String> {
+    let s = path
+        .to_str()
+        .ok_or_else(|| format!("{what} is not valid UTF-8"))?;
+    put_u64(payload, s.len() as u64);
+    payload.extend_from_slice(s.as_bytes());
+    Ok(())
+}
+
+fn take_path(c: &mut Cursor<'_>, what: &str) -> Result<PathBuf, String> {
+    let len = c.u64()? as usize;
+    let s = std::str::from_utf8(c.take(len)?).map_err(|_| format!("{what} is not valid UTF-8"))?;
+    Ok(PathBuf::from(s))
+}
+
 /// Write the manifest file.
 pub fn write_manifest(path: &Path, manifest: &WorkerManifest) -> Result<(), String> {
-    let dir = manifest
-        .checkpoint_dir
-        .to_str()
-        .ok_or("checkpoint dir is not valid UTF-8")?;
     let mut payload = Vec::new();
     put_u64(&mut payload, manifest.fingerprint);
     encode_config(&mut payload, &manifest.config);
     put_u32(&mut payload, manifest.max_retries);
     put_u64(&mut payload, manifest.backoff_base_ms);
     put_u64(&mut payload, manifest.heartbeat_interval_ms);
-    put_u64(&mut payload, dir.len() as u64);
-    payload.extend_from_slice(dir.as_bytes());
+    put_path(&mut payload, &manifest.checkpoint_dir, "checkpoint dir")?;
+    match &manifest.source {
+        WorkerSource::PreparedFile => payload.push(0),
+        WorkerSource::Mapped {
+            path: map,
+            selection,
+        } => {
+            payload.push(1);
+            put_path(&mut payload, map, "mapped dataset path")?;
+            put_u64(&mut payload, selection.bin_seconds as u64);
+            put_u64(&mut payload, selection.gap_drop_fraction.to_bits());
+            put_u64(&mut payload, selection.max_events as u64);
+        }
+    }
     write_frame_atomic(path, KIND_MANIFEST, &payload)
 }
 
@@ -360,16 +408,33 @@ pub fn read_manifest(path: &Path) -> Result<WorkerManifest, String> {
     let max_retries = c.u32()?;
     let backoff_base_ms = c.u64()?;
     let heartbeat_interval_ms = c.u64()?;
-    let dir_len = c.u64()? as usize;
-    let dir = std::str::from_utf8(c.take(dir_len)?)
-        .map_err(|_| "checkpoint dir is not valid UTF-8".to_string())?;
+    let checkpoint_dir = take_path(&mut c, "checkpoint dir")?;
+    let source = match c.u8()? {
+        0 => WorkerSource::PreparedFile,
+        1 => {
+            let map = take_path(&mut c, "mapped dataset path")?;
+            let bin_seconds = c.u64()? as i64;
+            let gap_drop_fraction = f64::from_bits(c.u64()?);
+            let max_events = c.u64()? as usize;
+            WorkerSource::Mapped {
+                path: map,
+                selection: SelectionConfig {
+                    bin_seconds,
+                    gap_drop_fraction,
+                    max_events,
+                },
+            }
+        }
+        other => return Err(format!("unknown worker source tag {other}")),
+    };
     let manifest = WorkerManifest {
         fingerprint,
         config,
         max_retries,
         backoff_base_ms,
         heartbeat_interval_ms,
-        checkpoint_dir: PathBuf::from(dir),
+        checkpoint_dir,
+        source,
     };
     c.done()?;
     Ok(manifest)
@@ -542,7 +607,19 @@ pub fn worker_main(work_dir: &Path, worker: usize) -> i32 {
 fn run_worker(work_dir: &Path, worker: usize) -> Result<(), String> {
     centipede_obs::trace::label_thread(&format!("fleet-worker-{worker}"));
     let manifest = read_manifest(&work_dir.join(MANIFEST_FILE))?;
-    let prepared = read_prepared(&work_dir.join(PREPARED_FILE))?;
+    let prepared = match &manifest.source {
+        WorkerSource::PreparedFile => read_prepared(&work_dir.join(PREPARED_FILE))?,
+        WorkerSource::Mapped { path, selection } => {
+            // Zero-copy resume of the supervisor's selection: the map
+            // is opened read-only (structural validation only — the
+            // supervisor verified checksums when it produced the
+            // prepared set) and the deterministic selection re-derives
+            // an identical PreparedUrl slice.
+            let mapped = MappedIndex::open(path)
+                .map_err(|e| format!("open mapped dataset {}: {e}", path.display()))?;
+            super::prepare::prepare_urls(&mapped, selection).0
+        }
+    };
     let faults = match std::env::var(ENV_FAULTS) {
         Ok(spec) => FaultPlan::parse(&spec, worker)?,
         Err(_) => FaultPlan::default(),
@@ -808,10 +885,25 @@ mod tests {
             backoff_base_ms: 25,
             heartbeat_interval_ms: 50,
             checkpoint_dir: dir.join("ckpt"),
+            source: WorkerSource::PreparedFile,
         };
         let path = dir.join(MANIFEST_FILE);
         write_manifest(&path, &manifest).unwrap();
         assert_eq!(read_manifest(&path).unwrap(), manifest);
+
+        let mapped = WorkerManifest {
+            source: WorkerSource::Mapped {
+                path: dir.join("dataset.cpdm"),
+                selection: SelectionConfig {
+                    bin_seconds: 30,
+                    gap_drop_fraction: 0.25,
+                    max_events: 1_000,
+                },
+            },
+            ..manifest
+        };
+        write_manifest(&path, &mapped).unwrap();
+        assert_eq!(read_manifest(&path).unwrap(), mapped);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -1,9 +1,11 @@
 //! One-call orchestration of the full measurement pipeline.
 //!
-//! `run_all` builds the columnar [`DatasetIndex`] once, fans the
-//! independent table/figure stages out over the [`crate::scheduler`]
-//! worker pool, and finishes with the (sequential, comparatively
-//! expensive) influence stage. Stage results land in typed
+//! `run_all` builds the columnar [`DatasetIndex`] once and hands it to
+//! `run_indexed`, which fans the independent table/figure stages out
+//! over the [`crate::scheduler`] worker pool and finishes with the
+//! (sequential, comparatively expensive) influence stage. `run_indexed`
+//! accepts any [`IndexSource`] — the in-memory index or a mapped CPDM
+//! container open zero-copy. Stage results land in typed
 //! [`StageSlot`]s and are assembled into the [`AnalysisReport`] in a
 //! fixed order, so the report is deterministic regardless of how the
 //! stages interleave.
@@ -14,7 +16,7 @@ use rand::Rng;
 
 use centipede_dataset::dataset::Dataset;
 use centipede_dataset::domains::NewsCategory;
-use centipede_dataset::index::DatasetIndex;
+use centipede_dataset::index::{DatasetIndex, IndexSource};
 use centipede_dataset::platform::AnalysisGroup;
 use centipede_obs::names;
 
@@ -144,21 +146,38 @@ fn concat_per_category<T>(slots: &[StageSlot<Vec<T>>; 2]) -> Vec<T> {
 }
 
 /// Run the complete analysis over a dataset.
+///
+/// Builds the columnar [`DatasetIndex`] in one pass over the events,
+/// then delegates to [`run_indexed`].
 pub fn run_all<R: Rng + ?Sized>(
     dataset: &Dataset,
+    config: &PipelineConfig,
+    rng: &mut R,
+) -> AnalysisReport {
+    centipede_obs::counter(names::PIPELINE_EVENTS).inc(dataset.len() as u64);
+    // One pass over the events; every stage reads the index.
+    let index = {
+        let _s = centipede_obs::span!(names::SPAN_INDEX);
+        DatasetIndex::build(dataset)
+    };
+    run_indexed(&index, config, rng)
+}
+
+/// Run the complete analysis over an already-built index.
+///
+/// The source can be an in-memory [`DatasetIndex`] or a
+/// [`centipede_dataset::mapped::MappedIndex`] opened zero-copy from a
+/// CPDM container — the report is bit-identical either way. When the
+/// source is mapped and a supervised fleet is configured, workers are
+/// handed the container path instead of a re-serialized prepared set.
+pub fn run_indexed<S: IndexSource + Sync, R: Rng + ?Sized>(
+    source: &S,
     config: &PipelineConfig,
     _rng: &mut R,
 ) -> AnalysisReport {
     let _pipeline_span = centipede_obs::span!(names::SPAN_PIPELINE);
     centipede_obs::counter(names::PIPELINE_RUNS).inc(1);
-    centipede_obs::counter(names::PIPELINE_EVENTS).inc(dataset.len() as u64);
-
-    // One pass over the events; every stage below reads the index.
-    let index = {
-        let _s = centipede_obs::span!(names::SPAN_INDEX);
-        DatasetIndex::build(dataset)
-    };
-    centipede_obs::counter(names::PIPELINE_URLS).inc(index.n_urls() as u64);
+    centipede_obs::counter(names::PIPELINE_URLS).inc(source.view().n_urls() as u64);
 
     let threads = config.stage_threads.unwrap_or_else(default_stage_threads);
 
@@ -190,7 +209,7 @@ pub fn run_all<R: Rng + ?Sized>(
     let fig8_slots = [StageSlot::new(), StageSlot::new()];
 
     {
-        let index = &index;
+        let index = source;
         // Worker span stacks are empty, so job names carry the full
         // span path (matching the paths the nested spans used to
         // produce).
@@ -358,23 +377,36 @@ pub fn run_all<R: Rng + ?Sized>(
         let _influence_span = centipede_obs::span!(names::SPAN_INFLUENCE);
         let (prepared, summary) = {
             let _s = centipede_obs::span!(names::SPAN_PREPARE);
-            prepare_urls(&index, &config.selection)
+            prepare_urls(source, &config.selection)
         };
         let (fleet, supervisor) = {
             let _s = centipede_obs::span!(names::SPAN_FIT);
             match &config.supervisor {
-                Some(sup) => match supervise_fleet(&prepared, &config.fit, &config.fleet, sup) {
-                    Ok((report, summary)) => (report, Some(summary)),
-                    Err(e) => {
-                        // Broken supervision plumbing degrades to the
-                        // in-process fleet rather than failing the run;
-                        // the fits are bit-identical either way.
-                        centipede_obs::global().message(&format!(
-                            "supervised fleet unavailable ({e}); running in-process"
-                        ));
-                        (fit_fleet(&prepared, &config.fit, &config.fleet), None)
+                Some(sup) => {
+                    // A mapped source is handed to workers by path; the
+                    // prepared set is never re-serialized.
+                    let sup: std::borrow::Cow<'_, SupervisorOptions> = match source.map_path() {
+                        Some(path) if sup.map_source.is_none() => {
+                            let mut owned = sup.clone();
+                            owned.map_source = Some((path.to_path_buf(), config.selection));
+                            std::borrow::Cow::Owned(owned)
+                        }
+                        _ => std::borrow::Cow::Borrowed(sup),
+                    };
+                    match supervise_fleet(&prepared, &config.fit, &config.fleet, &sup) {
+                        Ok((report, summary)) => (report, Some(summary)),
+                        Err(e) => {
+                            // Broken supervision plumbing degrades to
+                            // the in-process fleet rather than failing
+                            // the run; the fits are bit-identical
+                            // either way.
+                            centipede_obs::global().message(&format!(
+                                "supervised fleet unavailable ({e}); running in-process"
+                            ));
+                            (fit_fleet(&prepared, &config.fit, &config.fleet), None)
+                        }
                     }
-                },
+                }
                 None => (fit_fleet(&prepared, &config.fit, &config.fleet), None),
             }
         };

@@ -1,6 +1,7 @@
 //! §4.1 — Temporal dynamics within platforms (Figures 1, 4, 5, 6).
 //!
-//! All stages run on the [`DatasetIndex`]: per-URL scans use its
+//! All stages run on any [`IndexSource`] (the in-memory
+//! `DatasetIndex` or the mapped container): per-URL scans use its
 //! zero-copy [`TimelineView`]s (ascending-UrlId order, matching the
 //! old `BTreeMap` iteration), and the daily-occurrence series fill in
 //! a single pass over the precomputed group/platform columns instead
@@ -11,7 +12,7 @@ use std::collections::BTreeMap;
 use serde::{Deserialize, Serialize};
 
 use centipede_dataset::domains::NewsCategory;
-use centipede_dataset::index::{group_slot, DatasetIndex, TimelineView};
+use centipede_dataset::index::{group_slot, IndexSource, IndexView, TimelineView};
 use centipede_dataset::platform::{AnalysisGroup, Platform, Venue};
 use centipede_dataset::time::{study_end, study_start};
 use centipede_stats::ecdf::Ecdf;
@@ -25,7 +26,11 @@ use centipede_stats::timeseries::{series_fraction, BucketSeries, SECONDS_PER_DAY
 /// once (`count_in_group` is a precomputed O(1) lookup), instead of
 /// rescanning the index per group; per-group ordering matches the
 /// former group-by-group scan, so the ECDFs are identical.
-pub fn appearance_cdf(index: &DatasetIndex, category: NewsCategory) -> Vec<(AnalysisGroup, Ecdf)> {
+pub fn appearance_cdf(
+    index: &impl IndexSource,
+    category: NewsCategory,
+) -> Vec<(AnalysisGroup, Ecdf)> {
+    let index = index.view();
     let mut counts: Vec<Vec<f64>> = vec![Vec::new(); AnalysisGroup::ALL.len()];
     for tl in index.timelines() {
         if tl.category() != category {
@@ -135,7 +140,8 @@ pub struct DailySeries {
 
 /// Figure 4: normalised daily occurrence of news URLs per community,
 /// with crawler-gap days masked out of the normalisation.
-pub fn daily_occurrence(index: &DatasetIndex) -> Vec<DailySeries> {
+pub fn daily_occurrence(index: &impl IndexSource) -> Vec<DailySeries> {
+    let index = index.view();
     let start = study_start();
     let end = study_end();
     // One pass over the columns fills all five series (the scan-path
@@ -149,18 +155,14 @@ pub fn daily_occurrence(index: &DatasetIndex) -> Vec<DailySeries> {
             )
         })
         .collect();
-    let timestamps = index.timestamps();
-    let groups = index.groups();
-    let platforms = index.platforms();
-    let categories = index.categories();
-    for i in 0..index.n_events() {
-        let slot = OccurrenceSeries::of_parts(groups[i], platforms[i]).slot();
-        match categories[i] {
+    for (i, &ts) in index.timestamps().iter().enumerate() {
+        let slot = OccurrenceSeries::of_parts(index.group(i), index.platform(i)).slot();
+        match index.category(i) {
             NewsCategory::Alternative => {
-                buckets[slot].0.add(timestamps[i]);
+                buckets[slot].0.add(ts);
             }
             NewsCategory::Mainstream => {
-                buckets[slot].1.add(timestamps[i]);
+                buckets[slot].1.add(ts);
             }
         }
     }
@@ -197,16 +199,16 @@ fn main_plus(alt: &BucketSeries, main: &BucketSeries) -> Vec<u64> {
 /// Figure 5: per analysis group, lags (in hours) from a URL's first
 /// appearance in the group to each subsequent appearance in the same
 /// group.
-pub fn repost_lags(index: &DatasetIndex, category: NewsCategory) -> Vec<(AnalysisGroup, Ecdf)> {
+pub fn repost_lags(index: &impl IndexSource, category: NewsCategory) -> Vec<(AnalysisGroup, Ecdf)> {
     // One scan per timeline fills all three groups' lag pools (the
     // per-group version rescanned every timeline three times and
     // allocated a times Vec per group per URL).
     let mut lags: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
-    for tl in category_timelines(index, category) {
+    for tl in category_timelines(index.view(), category) {
         let mut first: [Option<i64>; 3] = [None; 3];
         for (&t, g) in tl.times().iter().zip(tl.groups()) {
             let Some(g) = g else { continue };
-            let s = group_slot(*g);
+            let s = group_slot(g);
             match first[s] {
                 None => first[s] = Some(t),
                 // Zero lags (same second) are clamped to the paper's
@@ -224,10 +226,10 @@ pub fn repost_lags(index: &DatasetIndex, category: NewsCategory) -> Vec<(Analysi
 }
 
 /// Timelines of one category, in ascending-UrlId order.
-fn category_timelines(
-    index: &DatasetIndex,
+fn category_timelines<'a>(
+    index: IndexView<'a>,
     category: NewsCategory,
-) -> impl Iterator<Item = TimelineView<'_>> + '_ {
+) -> impl Iterator<Item = TimelineView<'a>> + 'a {
     index
         .timelines()
         .filter(move |tl| tl.category() == category)
@@ -265,7 +267,7 @@ pub struct InterarrivalResult {
 /// (the paper's Figures 6(a)/(b)); otherwise all URLs are used
 /// (Figures 6(c)/(d)).
 pub fn interarrival(
-    index: &DatasetIndex,
+    index: &impl IndexSource,
     category: NewsCategory,
     common_only: bool,
 ) -> InterarrivalResult {
@@ -274,7 +276,7 @@ pub fn interarrival(
     // Per-timeline scratch gap buffers, reused across URLs; `append`
     // below drains them back to empty.
     let mut gaps: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
-    for tl in category_timelines(index, category) {
+    for tl in category_timelines(index.view(), category) {
         if common_only
             && AnalysisGroup::ALL
                 .iter()
@@ -285,7 +287,7 @@ pub fn interarrival(
         let mut prev: [Option<i64>; 3] = [None; 3];
         for (&t, g) in tl.times().iter().zip(tl.groups()) {
             let Some(g) = g else { continue };
-            let s = group_slot(*g);
+            let s = group_slot(g);
             if let Some(p) = prev[s] {
                 gaps[s].push(((t - p) as f64).max(0.5));
             }
@@ -336,6 +338,7 @@ mod tests {
     use centipede_dataset::dataset::Dataset;
     use centipede_dataset::domains::DomainTable;
     use centipede_dataset::event::{NewsEvent, UrlId};
+    use centipede_dataset::index::DatasetIndex;
     use std::collections::BTreeMap as Map;
 
     fn index_with(events: Vec<NewsEvent>) -> DatasetIndex {

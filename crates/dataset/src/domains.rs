@@ -254,6 +254,13 @@ impl DomainTable {
         DomainTable { domains }
     }
 
+    /// Assemble a table from explicit domain descriptions, in id
+    /// order. Used when decoding a persisted table; [`Self::standard`]
+    /// remains the source of the paper's 99-domain list.
+    pub fn from_domains(domains: Vec<DomainInfo>) -> Self {
+        DomainTable { domains }
+    }
+
     /// Number of domains.
     pub fn len(&self) -> usize {
         self.domains.len()

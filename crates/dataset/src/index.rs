@@ -27,9 +27,19 @@
 //!   count per analysis group, precomputed per URL so the hot
 //!   [`TimelineView::first_in_group`] / [`TimelineView::count_in_group`]
 //!   queries are O(1) lookups instead of timeline scans.
+//!
+//! Every column is stored in the fixed-width little-endian-friendly
+//! encoding of the `CPDM` on-disk container (see [`crate::mapped`]):
+//! enums as `u8` codes ([`platform_code`], [`group_code`], …), options
+//! as sentinel values ([`NO_USER`], [`NO_FIRST`]), engagement split
+//! into three parallel columns. [`IndexView`] decodes per element, so
+//! the exact same accessor surface works zero-copy over a read-only
+//! `mmap` ([`crate::mapped::MappedIndex`]) and over this in-memory
+//! build; analysis stages accept either through [`IndexSource`].
 
 use std::collections::BTreeMap;
 use std::collections::HashMap;
+use std::path::Path;
 
 use crate::dataset::{Dataset, PlatformTotals, UrlTimeline};
 use crate::domains::{DomainId, DomainTable, NewsCategory};
@@ -37,49 +47,14 @@ use crate::event::{Engagement, UrlId, UserId};
 use crate::gaps::Gaps;
 use crate::platform::{AnalysisGroup, Community, Platform, Venue};
 
-/// Columnar index of a [`Dataset`]; see the module docs.
-#[derive(Debug, Clone)]
-pub struct DatasetIndex {
-    domains: DomainTable,
-    totals: BTreeMap<Platform, PlatformTotals>,
-    gaps: BTreeMap<Platform, Gaps>,
+/// Sentinel code for "no posting user" in the `users` column. Real
+/// user ids must stay below this value (asserted at build time); the
+/// on-disk format shares the limitation.
+pub const NO_USER: u32 = u32::MAX;
 
-    /// Unique venues in first-appearance order.
-    venues: Vec<Venue>,
-
-    // Event columns, parallel, in dataset (time-sorted) order.
-    timestamps: Vec<i64>,
-    venue_ids: Vec<u32>,
-    platforms: Vec<Platform>,
-    urls: Vec<UrlId>,
-    event_domains: Vec<DomainId>,
-    users: Vec<Option<UserId>>,
-    engagements: Vec<Option<Engagement>>,
-    categories: Vec<NewsCategory>,
-    groups: Vec<Option<AnalysisGroup>>,
-    communities: Vec<Option<Community>>,
-
-    // CSR per-URL partition. `url_events[url_offsets[s]..url_offsets[s+1]]`
-    // are the event indices of URL slot `s`, time-sorted.
-    url_ids: Vec<UrlId>,
-    url_offsets: Vec<u32>,
-    url_events: Vec<u32>,
-    url_domains: Vec<DomainId>,
-    url_categories: Vec<NewsCategory>,
-    // Per-URL, per-analysis-group summaries in `AnalysisGroup::ALL`
-    // slot order: first occurrence time and event count.
-    url_group_first: Vec<[Option<i64>; 3]>,
-    url_group_count: Vec<[u32; 3]>,
-    // Permuted copies of the three timeline columns, contiguous per
-    // URL, backing the zero-copy `TimelineView` slices.
-    tl_times: Vec<i64>,
-    tl_groups: Vec<Option<AnalysisGroup>>,
-    tl_communities: Vec<Option<Community>>,
-
-    // Event-index posting lists (ascending, i.e. time-sorted).
-    category_posting: [Vec<u32>; 2],
-    group_posting: [Vec<u32>; 3],
-}
+/// Sentinel for "group never appeared" in the per-URL group-first
+/// column. Real timestamps must be greater (asserted at build time).
+pub const NO_FIRST: i64 = i64::MIN;
 
 /// Slot of a category in [`NewsCategory::ALL`] order.
 fn cat_slot(category: NewsCategory) -> usize {
@@ -97,6 +72,148 @@ pub fn group_slot(group: AnalysisGroup) -> usize {
         .expect("group in ALL")
 }
 
+/// Stable on-disk code of a platform: its [`Platform::ALL`] position.
+pub fn platform_code(platform: Platform) -> u8 {
+    match platform {
+        Platform::Twitter => 0,
+        Platform::Reddit => 1,
+        Platform::FourChan => 2,
+    }
+}
+
+/// Decode a platform code. Total: out-of-range codes map to the last
+/// variant so corrupt bytes can never cause a panic, only wrong data
+/// (which the checksum layer catches first).
+pub fn platform_from_code(code: u8) -> Platform {
+    match code {
+        0 => Platform::Twitter,
+        1 => Platform::Reddit,
+        _ => Platform::FourChan,
+    }
+}
+
+/// Stable on-disk code of a news category.
+pub fn category_code(category: NewsCategory) -> u8 {
+    match category {
+        NewsCategory::Alternative => 0,
+        NewsCategory::Mainstream => 1,
+    }
+}
+
+/// Decode a category code (total; see [`platform_from_code`]).
+pub fn category_from_code(code: u8) -> NewsCategory {
+    match code {
+        0 => NewsCategory::Alternative,
+        _ => NewsCategory::Mainstream,
+    }
+}
+
+/// Stable on-disk code of an optional analysis group: 0 for `None`,
+/// else the [`AnalysisGroup::ALL`] slot + 1.
+pub fn group_code(group: Option<AnalysisGroup>) -> u8 {
+    match group {
+        None => 0,
+        Some(g) => group_slot(g) as u8 + 1,
+    }
+}
+
+/// Decode an analysis-group code (total: invalid codes are `None`).
+pub fn group_from_code(code: u8) -> Option<AnalysisGroup> {
+    match code {
+        1..=3 => Some(AnalysisGroup::ALL[code as usize - 1]),
+        _ => None,
+    }
+}
+
+/// Stable on-disk code of an optional Hawkes community: 0 for `None`,
+/// else [`Community::index`] + 1.
+pub fn community_code(community: Option<Community>) -> u8 {
+    match community {
+        None => 0,
+        Some(c) => c.index() as u8 + 1,
+    }
+}
+
+/// Decode a community code (total: invalid codes are `None`).
+pub fn community_from_code(code: u8) -> Option<Community> {
+    match code {
+        1..=8 => Some(Community::from_index(code as usize - 1)),
+        _ => None,
+    }
+}
+
+/// Engagement presence flags for the split engagement columns.
+fn engagement_flag(engagement: Option<Engagement>) -> u8 {
+    match engagement {
+        None => 0,
+        Some(g) if !g.retrieved => 1,
+        Some(_) => 2,
+    }
+}
+
+fn engagement_from_parts(flag: u8, retweets: u32, likes: u32) -> Option<Engagement> {
+    match flag {
+        0 => None,
+        flag => Some(Engagement {
+            retweets,
+            likes,
+            retrieved: flag >= 2,
+        }),
+    }
+}
+
+/// Columnar index of a [`Dataset`]; see the module docs.
+///
+/// Internally every column uses the stable fixed-width encoding shared
+/// with the `CPDM` on-disk container: enum codes, option sentinels,
+/// flattened per-URL summary arrays. Use [`DatasetIndex::view`] (or
+/// the [`IndexSource`] trait) for the decoded accessor surface.
+#[derive(Debug, Clone)]
+pub struct DatasetIndex {
+    pub(crate) domains: DomainTable,
+    pub(crate) totals: BTreeMap<Platform, PlatformTotals>,
+    pub(crate) gaps: BTreeMap<Platform, Gaps>,
+
+    /// Unique venues in first-appearance order.
+    pub(crate) venues: Vec<Venue>,
+
+    // Event columns, parallel, in dataset (time-sorted) order.
+    pub(crate) timestamps: Vec<i64>,
+    pub(crate) venue_ids: Vec<u32>,
+    pub(crate) platforms: Vec<u8>,
+    pub(crate) urls: Vec<u32>,
+    pub(crate) event_domains: Vec<u16>,
+    pub(crate) users: Vec<u32>,
+    pub(crate) eng_retweets: Vec<u32>,
+    pub(crate) eng_likes: Vec<u32>,
+    pub(crate) eng_flags: Vec<u8>,
+    pub(crate) categories: Vec<u8>,
+    pub(crate) groups: Vec<u8>,
+    pub(crate) communities: Vec<u8>,
+
+    // CSR per-URL partition. `url_events[url_offsets[s]..url_offsets[s+1]]`
+    // are the event indices of URL slot `s`, time-sorted.
+    pub(crate) url_ids: Vec<u32>,
+    pub(crate) url_offsets: Vec<u32>,
+    pub(crate) url_events: Vec<u32>,
+    pub(crate) url_domains: Vec<u16>,
+    pub(crate) url_categories: Vec<u8>,
+    // Per-URL, per-analysis-group summaries, flattened 3 per URL in
+    // `AnalysisGroup::ALL` slot order: first occurrence time
+    // (`NO_FIRST` = never) and event count.
+    pub(crate) url_group_first: Vec<i64>,
+    pub(crate) url_group_count: Vec<u32>,
+    // Permuted copies of the three timeline columns, contiguous per
+    // URL, backing the zero-copy `TimelineView` slices.
+    pub(crate) tl_times: Vec<i64>,
+    pub(crate) tl_groups: Vec<u8>,
+    pub(crate) tl_communities: Vec<u8>,
+
+    // Event-index posting lists (ascending, i.e. time-sorted).
+    pub(crate) category_posting: [Vec<u32>; 2],
+    pub(crate) group_posting: [Vec<u32>; 3],
+}
+
 impl DatasetIndex {
     /// Build the index in one pass over `dataset.events` (plus linear
     /// passes over the already-built columns for the CSR partition).
@@ -110,9 +227,9 @@ impl DatasetIndex {
         // Venue interning: derived values are memoised per unique venue.
         let mut venue_slots: HashMap<&Venue, u32> = HashMap::new();
         let mut venues: Vec<Venue> = Vec::new();
-        let mut venue_platform: Vec<Platform> = Vec::new();
-        let mut venue_group: Vec<Option<AnalysisGroup>> = Vec::new();
-        let mut venue_community: Vec<Option<Community>> = Vec::new();
+        let mut venue_platform: Vec<u8> = Vec::new();
+        let mut venue_group: Vec<u8> = Vec::new();
+        let mut venue_community: Vec<u8> = Vec::new();
 
         let mut timestamps = Vec::with_capacity(n);
         let mut venue_ids = Vec::with_capacity(n);
@@ -120,7 +237,9 @@ impl DatasetIndex {
         let mut urls = Vec::with_capacity(n);
         let mut event_domains = Vec::with_capacity(n);
         let mut users = Vec::with_capacity(n);
-        let mut engagements = Vec::with_capacity(n);
+        let mut eng_retweets = Vec::with_capacity(n);
+        let mut eng_likes = Vec::with_capacity(n);
+        let mut eng_flags = Vec::with_capacity(n);
         let mut categories = Vec::with_capacity(n);
         let mut groups = Vec::with_capacity(n);
         let mut communities = Vec::with_capacity(n);
@@ -131,27 +250,43 @@ impl DatasetIndex {
         for (i, e) in dataset.events.iter().enumerate() {
             let vid = *venue_slots.entry(&e.venue).or_insert_with(|| {
                 venues.push(e.venue.clone());
-                venue_platform.push(e.venue.platform());
-                venue_group.push(e.venue.analysis_group());
-                venue_community.push(e.venue.community());
+                venue_platform.push(platform_code(e.venue.platform()));
+                venue_group.push(group_code(e.venue.analysis_group()));
+                venue_community.push(community_code(e.venue.community()));
                 (venues.len() - 1) as u32
             });
             let category = dataset.domains.category(e.domain);
             let group = venue_group[vid as usize];
+            // The sentinel encodings reserve one value each; real data
+            // never reaches them (u32::MAX users, i64::MIN timestamps).
+            assert!(e.timestamp != NO_FIRST, "timestamp collides with sentinel");
+            let user = match e.user {
+                None => NO_USER,
+                Some(UserId(u)) => {
+                    assert!(u != NO_USER, "user id collides with sentinel");
+                    u
+                }
+            };
+            let (retweets, likes) = match e.engagement {
+                None => (0, 0),
+                Some(g) => (g.retweets, g.likes),
+            };
 
             timestamps.push(e.timestamp);
             venue_ids.push(vid);
             platforms.push(venue_platform[vid as usize]);
-            urls.push(e.url);
-            event_domains.push(e.domain);
-            users.push(e.user);
-            engagements.push(e.engagement);
-            categories.push(category);
+            urls.push(e.url.0);
+            event_domains.push(e.domain.0);
+            users.push(user);
+            eng_retweets.push(retweets);
+            eng_likes.push(likes);
+            eng_flags.push(engagement_flag(e.engagement));
+            categories.push(category_code(category));
             groups.push(group);
             communities.push(venue_community[vid as usize]);
 
             category_posting[cat_slot(category)].push(i as u32);
-            if let Some(g) = group {
+            if let Some(g) = group_from_code(group) {
                 group_posting[group_slot(g)].push(i as u32);
             }
         }
@@ -162,28 +297,28 @@ impl DatasetIndex {
         // practice, so the id→slot table is a flat array when the id
         // space is not much larger than the event count; a HashMap
         // fallback covers pathological sparse id spaces.
-        let max_url = urls.iter().map(|u| u.0 as usize).max().unwrap_or(0);
-        let mut url_ids: Vec<UrlId> = Vec::new();
+        let max_url = urls.iter().map(|&u| u as usize).max().unwrap_or(0);
+        let mut url_ids: Vec<u32> = Vec::new();
         let event_slots: Vec<u32> = if n == 0 {
             Vec::new()
         } else if max_url < 4 * n + 1024 {
             let mut counts = vec![0u32; max_url + 1];
-            for u in &urls {
-                counts[u.0 as usize] += 1;
+            for &u in &urls {
+                counts[u as usize] += 1;
             }
             let mut slot_table = vec![u32::MAX; max_url + 1];
             for (id, &c) in counts.iter().enumerate() {
                 if c > 0 {
                     slot_table[id] = url_ids.len() as u32;
-                    url_ids.push(UrlId(id as u32));
+                    url_ids.push(id as u32);
                 }
             }
-            urls.iter().map(|u| slot_table[u.0 as usize]).collect()
+            urls.iter().map(|&u| slot_table[u as usize]).collect()
         } else {
             url_ids = urls.clone();
             url_ids.sort_unstable();
             url_ids.dedup();
-            let slot_of: HashMap<UrlId, u32> = url_ids
+            let slot_of: HashMap<u32, u32> = url_ids
                 .iter()
                 .enumerate()
                 .map(|(s, &u)| (u, s as u32))
@@ -217,25 +352,25 @@ impl DatasetIndex {
         // `Dataset::timelines`. Group summaries in the same pass.
         let mut url_domains = Vec::with_capacity(url_ids.len());
         let mut url_categories = Vec::with_capacity(url_ids.len());
-        let mut url_group_first = Vec::with_capacity(url_ids.len());
-        let mut url_group_count = Vec::with_capacity(url_ids.len());
+        let mut url_group_first = Vec::with_capacity(url_ids.len() * 3);
+        let mut url_group_count = Vec::with_capacity(url_ids.len() * 3);
         for s in 0..url_ids.len() {
             let first = url_events[url_offsets[s] as usize] as usize;
             url_domains.push(event_domains[first]);
             url_categories.push(categories[first]);
-            let mut group_first = [None; 3];
+            let mut group_first = [NO_FIRST; 3];
             let mut group_count = [0u32; 3];
             for e in url_offsets[s] as usize..url_offsets[s + 1] as usize {
-                if let Some(g) = tl_groups[e] {
+                if let Some(g) = group_from_code(tl_groups[e]) {
                     let gs = group_slot(g);
-                    if group_first[gs].is_none() {
-                        group_first[gs] = Some(tl_times[e]);
+                    if group_first[gs] == NO_FIRST {
+                        group_first[gs] = tl_times[e];
                     }
                     group_count[gs] += 1;
                 }
             }
-            url_group_first.push(group_first);
-            url_group_count.push(group_count);
+            url_group_first.extend_from_slice(&group_first);
+            url_group_count.extend_from_slice(&group_count);
         }
 
         DatasetIndex {
@@ -249,7 +384,9 @@ impl DatasetIndex {
             urls,
             event_domains,
             users,
-            engagements,
+            eng_retweets,
+            eng_likes,
+            eng_flags,
             categories,
             groups,
             communities,
@@ -265,6 +402,44 @@ impl DatasetIndex {
             tl_communities,
             category_posting,
             group_posting,
+        }
+    }
+
+    /// Borrow the full decoded accessor surface.
+    pub fn view(&self) -> IndexView<'_> {
+        IndexView {
+            domains: &self.domains,
+            totals: &self.totals,
+            gaps: &self.gaps,
+            venues: &self.venues,
+            timestamps: &self.timestamps,
+            venue_ids: &self.venue_ids,
+            platforms: &self.platforms,
+            urls: &self.urls,
+            event_domains: &self.event_domains,
+            users: &self.users,
+            eng_retweets: &self.eng_retweets,
+            eng_likes: &self.eng_likes,
+            eng_flags: &self.eng_flags,
+            categories: &self.categories,
+            groups: &self.groups,
+            communities: &self.communities,
+            url_ids: &self.url_ids,
+            url_offsets: &self.url_offsets,
+            url_events: &self.url_events,
+            url_domains: &self.url_domains,
+            url_categories: &self.url_categories,
+            url_group_first: &self.url_group_first,
+            url_group_count: &self.url_group_count,
+            tl_times: &self.tl_times,
+            tl_groups: &self.tl_groups,
+            tl_communities: &self.tl_communities,
+            category_posting: [&self.category_posting[0], &self.category_posting[1]],
+            group_posting: [
+                &self.group_posting[0],
+                &self.group_posting[1],
+                &self.group_posting[2],
+            ],
         }
     }
 
@@ -298,7 +473,7 @@ impl DatasetIndex {
         self.gaps.get(&platform).cloned().unwrap_or_default()
     }
 
-    /// Unique venues; index with the values of [`Self::venue_ids`].
+    /// Unique venues; index with the values of [`IndexView::venue_ids`].
     pub fn venues(&self) -> &[Venue] {
         &self.venues
     }
@@ -308,54 +483,9 @@ impl DatasetIndex {
         &self.venues[self.venue_ids[event] as usize]
     }
 
-    /// Per-event interned venue ids.
-    pub fn venue_ids(&self) -> &[u32] {
-        &self.venue_ids
-    }
-
     /// Per-event timestamps (ascending).
     pub fn timestamps(&self) -> &[i64] {
         &self.timestamps
-    }
-
-    /// Per-event platforms.
-    pub fn platforms(&self) -> &[Platform] {
-        &self.platforms
-    }
-
-    /// Per-event URL ids.
-    pub fn urls(&self) -> &[UrlId] {
-        &self.urls
-    }
-
-    /// Per-event news domains.
-    pub fn event_domains(&self) -> &[DomainId] {
-        &self.event_domains
-    }
-
-    /// Per-event posting users.
-    pub fn users(&self) -> &[Option<UserId>] {
-        &self.users
-    }
-
-    /// Per-event Twitter engagement.
-    pub fn engagements(&self) -> &[Option<Engagement>] {
-        &self.engagements
-    }
-
-    /// Precomputed per-event news category.
-    pub fn categories(&self) -> &[NewsCategory] {
-        &self.categories
-    }
-
-    /// Precomputed per-event §4 analysis group.
-    pub fn groups(&self) -> &[Option<AnalysisGroup>] {
-        &self.groups
-    }
-
-    /// Precomputed per-event §5 Hawkes community.
-    pub fn communities(&self) -> &[Option<Community>] {
-        &self.communities
     }
 
     /// Event indices of one news category (time-sorted).
@@ -368,45 +498,234 @@ impl DatasetIndex {
         &self.group_posting[group_slot(group)]
     }
 
-    /// Distinct URLs in ascending id order (the slot order of
-    /// [`Self::timeline`]).
-    pub fn url_ids(&self) -> &[UrlId] {
-        &self.url_ids
+    /// Zero-copy timeline of the URL at `slot` (ascending-UrlId order).
+    pub fn timeline(&self, slot: usize) -> TimelineView<'_> {
+        self.view().timeline(slot)
     }
 
-    /// Event indices of the URL at `slot`, time-sorted.
-    pub fn url_event_indices(&self, slot: usize) -> &[u32] {
+    /// Timeline of a URL by id, if present.
+    pub fn timeline_of(&self, url: UrlId) -> Option<TimelineView<'_>> {
+        self.view().timeline_of(url)
+    }
+
+    /// Iterate all timelines in ascending UrlId order — the same
+    /// deterministic order as `Dataset::timelines()`.
+    pub fn timelines(&self) -> impl Iterator<Item = TimelineView<'_>> + '_ {
+        let view = self.view();
+        (0..self.n_urls()).map(move |s| view.timeline(s))
+    }
+}
+
+/// A backing that can produce an [`IndexView`]: the in-memory
+/// [`DatasetIndex`] or the zero-copy [`crate::mapped::MappedIndex`].
+/// Analysis stages take `&impl IndexSource` and run unchanged against
+/// either.
+pub trait IndexSource {
+    /// Borrow the decoded accessor surface.
+    fn view(&self) -> IndexView<'_>;
+
+    /// The on-disk container path backing this index, when there is
+    /// one. Lets the supervised fit fleet hand workers the map instead
+    /// of re-serializing the prepared set.
+    fn map_path(&self) -> Option<&Path> {
+        None
+    }
+}
+
+impl IndexSource for DatasetIndex {
+    fn view(&self) -> IndexView<'_> {
+        DatasetIndex::view(self)
+    }
+}
+
+/// Borrowed, `Copy` view of every index column plus the decoded
+/// per-element accessors. All slices live for `'a` — the view itself
+/// can go out of scope while data borrowed through it stays usable.
+#[derive(Debug, Clone, Copy)]
+pub struct IndexView<'a> {
+    pub(crate) domains: &'a DomainTable,
+    pub(crate) totals: &'a BTreeMap<Platform, PlatformTotals>,
+    pub(crate) gaps: &'a BTreeMap<Platform, Gaps>,
+    pub(crate) venues: &'a [Venue],
+    pub(crate) timestamps: &'a [i64],
+    pub(crate) venue_ids: &'a [u32],
+    pub(crate) platforms: &'a [u8],
+    pub(crate) urls: &'a [u32],
+    pub(crate) event_domains: &'a [u16],
+    pub(crate) users: &'a [u32],
+    pub(crate) eng_retweets: &'a [u32],
+    pub(crate) eng_likes: &'a [u32],
+    pub(crate) eng_flags: &'a [u8],
+    pub(crate) categories: &'a [u8],
+    pub(crate) groups: &'a [u8],
+    pub(crate) communities: &'a [u8],
+    pub(crate) url_ids: &'a [u32],
+    pub(crate) url_offsets: &'a [u32],
+    pub(crate) url_events: &'a [u32],
+    pub(crate) url_domains: &'a [u16],
+    pub(crate) url_categories: &'a [u8],
+    pub(crate) url_group_first: &'a [i64],
+    pub(crate) url_group_count: &'a [u32],
+    pub(crate) tl_times: &'a [i64],
+    pub(crate) tl_groups: &'a [u8],
+    pub(crate) tl_communities: &'a [u8],
+    pub(crate) category_posting: [&'a [u32]; 2],
+    pub(crate) group_posting: [&'a [u32]; 3],
+}
+
+impl<'a> IndexView<'a> {
+    /// Number of indexed events.
+    pub fn n_events(&self) -> usize {
+        self.timestamps.len()
+    }
+
+    /// Number of distinct URLs.
+    pub fn n_urls(&self) -> usize {
+        self.url_ids.len()
+    }
+
+    /// Whether the index holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.timestamps.is_empty()
+    }
+
+    /// The domain table.
+    pub fn domains(&self) -> &'a DomainTable {
+        self.domains
+    }
+
+    /// Raw crawl volumes per platform.
+    pub fn totals(&self) -> &'a BTreeMap<Platform, PlatformTotals> {
+        self.totals
+    }
+
+    /// The collection gaps for a platform (empty if unset).
+    pub fn gaps_for(&self, platform: Platform) -> Gaps {
+        self.gaps.get(&platform).cloned().unwrap_or_default()
+    }
+
+    /// Unique venues; index with the values of [`Self::venue_ids`].
+    pub fn venues(&self) -> &'a [Venue] {
+        self.venues
+    }
+
+    /// The venue of one event.
+    pub fn venue(&self, event: usize) -> &'a Venue {
+        &self.venues[self.venue_ids[event] as usize]
+    }
+
+    /// Per-event interned venue ids.
+    pub fn venue_ids(&self) -> &'a [u32] {
+        self.venue_ids
+    }
+
+    /// Per-event timestamps (ascending); zero-copy.
+    pub fn timestamps(&self) -> &'a [i64] {
+        self.timestamps
+    }
+
+    /// The platform of one event.
+    pub fn platform(&self, event: usize) -> Platform {
+        platform_from_code(self.platforms[event])
+    }
+
+    /// The URL of one event.
+    pub fn url(&self, event: usize) -> UrlId {
+        UrlId(self.urls[event])
+    }
+
+    /// The news domain of one event.
+    pub fn event_domain(&self, event: usize) -> DomainId {
+        DomainId(self.event_domains[event])
+    }
+
+    /// The posting user of one event.
+    pub fn user(&self, event: usize) -> Option<UserId> {
+        match self.users[event] {
+            NO_USER => None,
+            u => Some(UserId(u)),
+        }
+    }
+
+    /// The Twitter engagement of one event.
+    pub fn engagement(&self, event: usize) -> Option<Engagement> {
+        engagement_from_parts(
+            self.eng_flags[event],
+            self.eng_retweets[event],
+            self.eng_likes[event],
+        )
+    }
+
+    /// The precomputed news category of one event.
+    pub fn category(&self, event: usize) -> NewsCategory {
+        category_from_code(self.categories[event])
+    }
+
+    /// The precomputed §4 analysis group of one event.
+    pub fn group(&self, event: usize) -> Option<AnalysisGroup> {
+        group_from_code(self.groups[event])
+    }
+
+    /// The precomputed §5 Hawkes community of one event.
+    pub fn community(&self, event: usize) -> Option<Community> {
+        community_from_code(self.communities[event])
+    }
+
+    /// Event indices of one news category (time-sorted); zero-copy.
+    pub fn category_events(&self, category: NewsCategory) -> &'a [u32] {
+        self.category_posting[cat_slot(category)]
+    }
+
+    /// Event indices of one analysis group (time-sorted); zero-copy.
+    pub fn group_events(&self, group: AnalysisGroup) -> &'a [u32] {
+        self.group_posting[group_slot(group)]
+    }
+
+    /// Distinct URL ids (raw `u32`s) in ascending order — the slot
+    /// order of [`Self::timeline`].
+    pub fn url_ids(&self) -> &'a [u32] {
+        self.url_ids
+    }
+
+    /// The URL at a slot.
+    pub fn url_id(&self, slot: usize) -> UrlId {
+        UrlId(self.url_ids[slot])
+    }
+
+    /// Event indices of the URL at `slot`, time-sorted; zero-copy.
+    pub fn url_event_indices(&self, slot: usize) -> &'a [u32] {
         let lo = self.url_offsets[slot] as usize;
         let hi = self.url_offsets[slot + 1] as usize;
         &self.url_events[lo..hi]
     }
 
     /// Zero-copy timeline of the URL at `slot` (ascending-UrlId order).
-    pub fn timeline(&self, slot: usize) -> TimelineView<'_> {
+    pub fn timeline(&self, slot: usize) -> TimelineView<'a> {
         let lo = self.url_offsets[slot] as usize;
         let hi = self.url_offsets[slot + 1] as usize;
         TimelineView {
-            url: self.url_ids[slot],
-            domain: self.url_domains[slot],
-            category: self.url_categories[slot],
+            url: UrlId(self.url_ids[slot]),
+            domain: DomainId(self.url_domains[slot]),
+            category: category_from_code(self.url_categories[slot]),
             times: &self.tl_times[lo..hi],
             groups: &self.tl_groups[lo..hi],
             communities: &self.tl_communities[lo..hi],
-            group_first: &self.url_group_first[slot],
-            group_count: &self.url_group_count[slot],
+            group_first: &self.url_group_first[slot * 3..slot * 3 + 3],
+            group_count: &self.url_group_count[slot * 3..slot * 3 + 3],
         }
     }
 
     /// Timeline of a URL by id, if present.
-    pub fn timeline_of(&self, url: UrlId) -> Option<TimelineView<'_>> {
-        let slot = self.url_ids.binary_search(&url).ok()?;
+    pub fn timeline_of(&self, url: UrlId) -> Option<TimelineView<'a>> {
+        let slot = self.url_ids.binary_search(&url.0).ok()?;
         Some(self.timeline(slot))
     }
 
     /// Iterate all timelines in ascending UrlId order — the same
     /// deterministic order as `Dataset::timelines()`.
-    pub fn timelines(&self) -> impl Iterator<Item = TimelineView<'_>> + '_ {
-        (0..self.n_urls()).map(move |s| self.timeline(s))
+    pub fn timelines(&self) -> impl Iterator<Item = TimelineView<'a>> + 'a {
+        let view = *self;
+        (0..view.n_urls()).map(move |s| view.timeline(s))
     }
 }
 
@@ -419,10 +738,10 @@ pub struct TimelineView<'a> {
     domain: DomainId,
     category: NewsCategory,
     times: &'a [i64],
-    groups: &'a [Option<AnalysisGroup>],
-    communities: &'a [Option<Community>],
-    group_first: &'a [Option<i64>; 3],
-    group_count: &'a [u32; 3],
+    groups: &'a [u8],
+    communities: &'a [u8],
+    group_first: &'a [i64],
+    group_count: &'a [u32],
 }
 
 impl<'a> TimelineView<'a> {
@@ -442,19 +761,21 @@ impl<'a> TimelineView<'a> {
     }
 
     /// Event timestamps (sorted ascending; parallel to the other
-    /// slices).
+    /// columns); zero-copy.
     pub fn times(&self) -> &'a [i64] {
         self.times
     }
 
-    /// Analysis group of each event (None for unmodelled venues).
-    pub fn groups(&self) -> &'a [Option<AnalysisGroup>] {
-        self.groups
+    /// Analysis group of each event (None for unmodelled venues),
+    /// decoded on the fly from the code column.
+    pub fn groups(&self) -> impl Iterator<Item = Option<AnalysisGroup>> + 'a {
+        self.groups.iter().map(|&g| group_from_code(g))
     }
 
-    /// Hawkes community of each event (None for unmodelled venues).
-    pub fn communities(&self) -> &'a [Option<Community>] {
-        self.communities
+    /// Hawkes community of each event (None for unmodelled venues),
+    /// decoded on the fly from the code column.
+    pub fn communities(&self) -> impl Iterator<Item = Option<Community>> + 'a {
+        self.communities.iter().map(|&c| community_from_code(c))
     }
 
     /// Total observations.
@@ -469,17 +790,21 @@ impl<'a> TimelineView<'a> {
 
     /// Timestamps of events in one analysis group.
     pub fn times_in_group(&self, group: AnalysisGroup) -> Vec<i64> {
+        let code = group_code(Some(group));
         self.times
             .iter()
             .zip(self.groups)
-            .filter(|(_, g)| **g == Some(group))
+            .filter(|(_, g)| **g == code)
             .map(|(&t, _)| t)
             .collect()
     }
 
     /// First occurrence time in a group (precomputed; O(1)).
     pub fn first_in_group(&self, group: AnalysisGroup) -> Option<i64> {
-        self.group_first[group_slot(group)]
+        match self.group_first[group_slot(group)] {
+            NO_FIRST => None,
+            t => Some(t),
+        }
     }
 
     /// Count of events in one analysis group (precomputed; O(1)).
@@ -489,20 +814,19 @@ impl<'a> TimelineView<'a> {
 
     /// Timestamps of events in one Hawkes community.
     pub fn times_in_community(&self, community: Community) -> Vec<i64> {
+        let code = community_code(Some(community));
         self.times
             .iter()
             .zip(self.communities)
-            .filter(|(_, c)| **c == Some(community))
+            .filter(|(_, c)| **c == code)
             .map(|(&t, _)| t)
             .collect()
     }
 
     /// Count of events in one community.
     pub fn count_in_community(&self, community: Community) -> usize {
-        self.communities
-            .iter()
-            .filter(|c| **c == Some(community))
-            .count()
+        let code = community_code(Some(community));
+        self.communities.iter().filter(|&&c| c == code).count()
     }
 
     /// Which analysis groups this URL appeared in.
@@ -525,8 +849,8 @@ impl<'a> TimelineView<'a> {
             domain: self.domain,
             category: self.category,
             times: self.times.to_vec(),
-            groups: self.groups.to_vec(),
-            communities: self.communities.to_vec(),
+            groups: self.groups().collect(),
+            communities: self.communities().collect(),
         }
     }
 }
@@ -559,32 +883,37 @@ mod tests {
     fn columns_follow_event_order() {
         let d = toy_dataset();
         let idx = DatasetIndex::build(&d);
+        let v = idx.view();
         assert_eq!(idx.n_events(), 5);
         assert_eq!(idx.timestamps(), &[100, 150, 200, 300, 400]);
-        assert_eq!(idx.groups()[0], Some(AnalysisGroup::Twitter));
-        assert_eq!(idx.groups()[1], None);
-        assert_eq!(idx.categories()[0], NewsCategory::Alternative);
-        assert_eq!(idx.categories()[1], NewsCategory::Mainstream);
+        assert_eq!(v.group(0), Some(AnalysisGroup::Twitter));
+        assert_eq!(v.group(1), None);
+        assert_eq!(v.category(0), NewsCategory::Alternative);
+        assert_eq!(v.category(1), NewsCategory::Mainstream);
         assert_eq!(idx.venue(0), &Venue::Twitter);
-        assert_eq!(idx.platforms()[3], Platform::FourChan);
+        assert_eq!(v.platform(3), Platform::FourChan);
     }
 
     #[test]
     fn posting_lists_partition_events() {
         let d = toy_dataset();
         let idx = DatasetIndex::build(&d);
+        let v = idx.view();
         let alt = idx.category_events(NewsCategory::Alternative);
         let main = idx.category_events(NewsCategory::Mainstream);
         assert_eq!(alt.len() + main.len(), idx.n_events());
         for &i in alt {
-            assert_eq!(idx.categories()[i as usize], NewsCategory::Alternative);
+            assert_eq!(v.category(i as usize), NewsCategory::Alternative);
         }
         // Group posting lists cover exactly the Some-group events.
         let grouped: usize = AnalysisGroup::ALL
             .iter()
             .map(|&g| idx.group_events(g).len())
             .sum();
-        assert_eq!(grouped, idx.groups().iter().filter(|g| g.is_some()).count());
+        let some_group = (0..idx.n_events())
+            .filter(|&i| v.group(i).is_some())
+            .count();
+        assert_eq!(grouped, some_group);
     }
 
     #[test]
@@ -619,5 +948,45 @@ mod tests {
         assert_eq!(view.count_in_community(Community::Twitter), 1);
         assert_eq!(view.span(), Some((100, 300)));
         assert!(idx.timeline_of(UrlId(99)).is_none());
+    }
+
+    #[test]
+    fn codes_round_trip_every_variant() {
+        for p in Platform::ALL {
+            assert_eq!(platform_from_code(platform_code(p)), p);
+        }
+        for c in NewsCategory::ALL {
+            assert_eq!(category_from_code(category_code(c)), c);
+        }
+        assert_eq!(group_from_code(group_code(None)), None);
+        for g in AnalysisGroup::ALL {
+            assert_eq!(group_from_code(group_code(Some(g))), Some(g));
+        }
+        assert_eq!(community_from_code(community_code(None)), None);
+        for c in Community::ALL {
+            assert_eq!(community_from_code(community_code(Some(c))), Some(c));
+        }
+        // Invalid codes decode, never panic.
+        assert_eq!(group_from_code(200), None);
+        assert_eq!(community_from_code(200), None);
+        let _ = platform_from_code(200);
+        let _ = category_from_code(200);
+        // Engagement flag split round-trips all three shapes.
+        for e in [
+            None,
+            Some(Engagement {
+                retweets: 3,
+                likes: 9,
+                retrieved: false,
+            }),
+            Some(Engagement {
+                retweets: 3,
+                likes: 9,
+                retrieved: true,
+            }),
+        ] {
+            let (r, l) = e.map_or((0, 0), |g| (g.retweets, g.likes));
+            assert_eq!(engagement_from_parts(engagement_flag(e), r, l), e);
+        }
     }
 }

@@ -17,10 +17,14 @@
 //!   timeline views.
 //! * [`index`] — one-pass columnar index (struct-of-arrays columns,
 //!   CSR per-URL partition, posting lists) the analysis stages run on.
-//! * [`store`] — JSONL persistence.
+//! * [`mapped`] — the `CPDM` on-disk container: the same index,
+//!   checksummed and memory-mapped for zero-copy reopening.
+//! * [`store`] — JSONL persistence (with transparent `CPDM` routing).
 //! * [`time`] — civil-date ↔ Unix-time conversion for the study period.
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide and allowed in exactly one audited
+// module, `mapped::region` (the mmap syscalls and checked casts).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod dataset;
@@ -28,6 +32,7 @@ pub mod domains;
 pub mod event;
 pub mod gaps;
 pub mod index;
+pub mod mapped;
 pub mod platform;
 pub mod store;
 pub mod time;
@@ -37,5 +42,6 @@ pub use dataset::{Dataset, UrlTimeline};
 pub use domains::{DomainId, DomainTable, NewsCategory};
 pub use event::{Engagement, NewsEvent, UrlId, UserId};
 pub use gaps::Gaps;
-pub use index::{DatasetIndex, TimelineView};
+pub use index::{DatasetIndex, IndexSource, IndexView, TimelineView};
+pub use mapped::{MapError, MappedIndex};
 pub use platform::{Community, Platform, Venue};

@@ -1,0 +1,1524 @@
+//! `CPDM`: a versioned, checksummed, memory-mapped container for a
+//! fully-built [`DatasetIndex`].
+//!
+//! The paper's pipeline runs over a 587M-event-scale corpus; rebuilding
+//! the columnar index on every run (and re-serializing the prepared
+//! set for every fit-fleet worker) is the scaling wall named by ROADMAP
+//! item 3. This module persists the index once in a fixed-width
+//! little-endian layout and re-opens it as a read-only `mmap`, so
+//! every numeric column is a zero-copy slice straight off the page
+//! cache and any number of worker processes share one physical copy.
+//!
+//! # Layout (version 1)
+//!
+//! ```text
+//! offset 0    header, 40 bytes:
+//!               magic "CPDM" · version u32 · n_events u64 · n_urls u64
+//!               · n_sections u32 · reserved u32 (must be 0)
+//!               · dir_checksum u64 (FNV-64 of the directory bytes)
+//! offset 40   directory, 29 × 32-byte entries:
+//!               id u32 · pad u32 (must be 0) · offset u64 · len u64
+//!               · checksum u64 (FNV-64 of the section payload)
+//! offset 968  section payloads, exactly contiguous, in a canonical
+//!             descending-alignment order (i64 → u32 → u16 → u8 →
+//!             variable-length) so every column is naturally aligned
+//!             with zero padding and every file byte is covered by
+//!             exactly one checksum.
+//! ```
+//!
+//! Columns use the same encoding as the in-memory [`DatasetIndex`]
+//! (enum codes, option sentinels, flattened per-URL summaries — see
+//! [`crate::index`]); the only non-columnar sections are `VENUES` (a
+//! compact length-prefixed string table) and `META` (a compact binary
+//! record of the domain table, crawl totals, and gap windows).
+//!
+//! # Validation tiers
+//!
+//! [`MappedIndex::open`] performs *structural* validation only —
+//! header, directory checksum, section order/contiguity/alignment,
+//! and every fixed length relation — in O(directory) time plus one
+//! O(n_urls) scan of the CSR offsets, so opening a paper-scale file
+//! costs microseconds. A structurally valid file can never cause
+//! undefined behaviour or an out-of-bounds *slice construction*;
+//! payload bytes are trusted until [`MappedIndex::verify`] (or
+//! [`MappedIndex::open_verified`]) additionally checks every section
+//! checksum and the semantic invariants (code ranges, permutation
+//! property, posting-list order). Corrupt payloads under plain `open`
+//! can at worst produce wrong values or a safe index panic — never UB.
+//!
+//! Misaligned, overlapping, reordered, or out-of-bounds directories
+//! all fail closed with a typed [`MapError`].
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+
+use crate::dataset::{Dataset, PlatformTotals};
+use crate::domains::{DomainInfo, DomainTable};
+use crate::event::NewsEvent;
+use crate::gaps::Gaps;
+use crate::index::category_code;
+use crate::index::{
+    category_from_code, platform_code, platform_from_code, DatasetIndex, IndexSource, IndexView,
+    NO_FIRST,
+};
+use crate::platform::{Platform, Venue};
+
+mod region;
+
+use region::{cast_i64, cast_u16, cast_u32, Region};
+
+/// File magic: the first four bytes of every container.
+pub const MAGIC: [u8; 4] = *b"CPDM";
+/// Container format version written and accepted by this build.
+pub const VERSION: u32 = 1;
+/// Size of the fixed header in bytes.
+pub const HEADER_LEN: usize = 40;
+/// Size of one directory entry in bytes.
+pub const DIR_ENTRY_LEN: usize = 32;
+/// Number of sections in a version-1 container.
+pub const N_SECTIONS: usize = 29;
+/// Offset of the first section payload (header + directory).
+pub const PAYLOAD_START: usize = HEADER_LEN + N_SECTIONS * DIR_ENTRY_LEN;
+
+/// FNV-1a 64-bit hash — the checksum of the directory and of every
+/// section payload. Exposed so tests can re-seal doctored containers.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Typed failure from opening or verifying a container. Every corrupt
+/// input maps to one of these — never a panic in `open`, never UB.
+#[derive(Debug)]
+pub enum MapError {
+    /// Underlying I/O failure (open, stat, map, read).
+    Io(std::io::Error),
+    /// The container stores little-endian columns for zero-copy reads;
+    /// big-endian hosts must rebuild from the JSONL source instead.
+    BigEndianHost,
+    /// The file ends before the declared structure does.
+    Truncated {
+        /// Bytes the structure requires.
+        expected: u64,
+        /// Bytes actually present.
+        actual: u64,
+    },
+    /// The first four bytes are not `CPDM`.
+    BadMagic([u8; 4]),
+    /// A version this build does not understand.
+    BadVersion(u32),
+    /// Reserved header bits were not zero.
+    ReservedBits(u32),
+    /// A header count is outside the representable range.
+    HeaderRange(String),
+    /// The directory declares the wrong number of sections.
+    SectionCount {
+        /// Sections a version-1 container must declare.
+        expected: u32,
+        /// Sections the header declared.
+        actual: u32,
+    },
+    /// The directory bytes do not match the header's checksum.
+    DirectoryChecksum {
+        /// Checksum the header declares.
+        expected: u64,
+        /// Checksum of the directory bytes as read.
+        actual: u64,
+    },
+    /// A directory entry is out of canonical order.
+    SectionOrder {
+        /// Directory position of the offending entry.
+        position: usize,
+        /// Section id required at that position.
+        expected: u32,
+        /// Section id found.
+        actual: u32,
+    },
+    /// A section's offset/length violates the layout (misaligned,
+    /// non-contiguous, wrong length for the declared event/URL counts,
+    /// or trailing bytes after the last section).
+    SectionLayout {
+        /// Section id (0 when the violation is file-level).
+        id: u32,
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+    /// A section payload does not match its directory checksum.
+    SectionChecksum {
+        /// Section id.
+        id: u32,
+        /// Checksum the directory declares.
+        expected: u64,
+        /// Checksum of the payload as read.
+        actual: u64,
+    },
+    /// A section decoded but its contents violate a semantic invariant.
+    SectionData {
+        /// Section id.
+        id: u32,
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for MapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MapError::Io(e) => write!(f, "I/O error: {e}"),
+            MapError::BigEndianHost => {
+                write!(f, "mapped containers require a little-endian host")
+            }
+            MapError::Truncated { expected, actual } => {
+                write!(f, "truncated container: need {expected} bytes, have {actual}")
+            }
+            MapError::BadMagic(m) => write!(f, "bad magic {m:02x?} (expected \"CPDM\")"),
+            MapError::BadVersion(v) => write!(f, "unsupported container version {v}"),
+            MapError::ReservedBits(r) => write!(f, "reserved header field is {r:#x}, not 0"),
+            MapError::HeaderRange(d) => write!(f, "header count out of range: {d}"),
+            MapError::SectionCount { expected, actual } => {
+                write!(f, "directory declares {actual} sections, expected {expected}")
+            }
+            MapError::DirectoryChecksum { expected, actual } => write!(
+                f,
+                "directory checksum mismatch: header says {expected:#018x}, bytes hash to {actual:#018x}"
+            ),
+            MapError::SectionOrder {
+                position,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "section id {actual} at directory position {position}, expected {expected}"
+            ),
+            MapError::SectionLayout { id, detail } => {
+                write!(f, "section {id} layout violation: {detail}")
+            }
+            MapError::SectionChecksum {
+                id,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "section {id} checksum mismatch: directory says {expected:#018x}, payload hashes to {actual:#018x}"
+            ),
+            MapError::SectionData { id, detail } => {
+                write!(f, "section {id} data violation: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MapError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MapError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for MapError {
+    fn from(e: std::io::Error) -> Self {
+        MapError::Io(e)
+    }
+}
+
+/// Stable section ids (the `id` field of directory entries).
+pub mod section_id {
+    /// Per-event timestamps, i64.
+    pub const TIMESTAMPS: u32 = 1;
+    /// CSR-permuted timeline timestamps, i64.
+    pub const TL_TIMES: u32 = 2;
+    /// Per-URL first-occurrence time per group (flat 3/URL), i64.
+    pub const URL_GROUP_FIRST: u32 = 3;
+    /// Per-event interned venue ids, u32.
+    pub const VENUE_IDS: u32 = 10;
+    /// Per-event URL ids, u32.
+    pub const URLS: u32 = 11;
+    /// Per-event user ids (`NO_USER` sentinel), u32.
+    pub const USERS: u32 = 12;
+    /// Per-event retweet counts, u32.
+    pub const ENG_RETWEETS: u32 = 13;
+    /// Per-event like counts, u32.
+    pub const ENG_LIKES: u32 = 14;
+    /// Distinct URL ids in ascending order, u32.
+    pub const URL_IDS: u32 = 15;
+    /// CSR offsets (`n_urls + 1` entries), u32.
+    pub const URL_OFFSETS: u32 = 16;
+    /// CSR event-permutation array, u32.
+    pub const URL_EVENTS: u32 = 17;
+    /// Per-URL event count per group (flat 3/URL), u32.
+    pub const URL_GROUP_COUNT: u32 = 18;
+    /// Posting list of alternative-news events, u32.
+    pub const CAT_POSTING_0: u32 = 19;
+    /// Posting list of mainstream-news events, u32.
+    pub const CAT_POSTING_1: u32 = 20;
+    /// Posting list of the first analysis group, u32.
+    pub const GROUP_POSTING_0: u32 = 21;
+    /// Posting list of the second analysis group, u32.
+    pub const GROUP_POSTING_1: u32 = 22;
+    /// Posting list of the third analysis group, u32.
+    pub const GROUP_POSTING_2: u32 = 23;
+    /// Per-event domain ids, u16.
+    pub const EVENT_DOMAINS: u32 = 30;
+    /// Per-URL domain ids, u16.
+    pub const URL_DOMAINS: u32 = 31;
+    /// Per-event platform codes, u8.
+    pub const PLATFORMS: u32 = 40;
+    /// Per-event news-category codes, u8.
+    pub const CATEGORIES: u32 = 41;
+    /// Per-event analysis-group codes, u8.
+    pub const GROUPS: u32 = 42;
+    /// Per-event community codes, u8.
+    pub const COMMUNITIES: u32 = 43;
+    /// Per-event engagement presence flags, u8.
+    pub const ENG_FLAGS: u32 = 44;
+    /// Per-URL news-category codes, u8.
+    pub const URL_CATEGORIES: u32 = 45;
+    /// CSR-permuted timeline group codes, u8.
+    pub const TL_GROUPS: u32 = 46;
+    /// CSR-permuted timeline community codes, u8.
+    pub const TL_COMMUNITIES: u32 = 47;
+    /// Interned venue table (compact binary string table).
+    pub const VENUES: u32 = 60;
+    /// Domain table, crawl totals, and gap windows as JSON.
+    pub const META: u32 = 61;
+}
+
+/// Section positions in canonical (descending-alignment) order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Sec {
+    Timestamps,
+    TlTimes,
+    UrlGroupFirst,
+    VenueIds,
+    Urls,
+    Users,
+    EngRetweets,
+    EngLikes,
+    UrlIds,
+    UrlOffsets,
+    UrlEvents,
+    UrlGroupCount,
+    CatPosting0,
+    CatPosting1,
+    GroupPosting0,
+    GroupPosting1,
+    GroupPosting2,
+    EventDomains,
+    UrlDomains,
+    Platforms,
+    Categories,
+    Groups,
+    Communities,
+    EngFlags,
+    UrlCategories,
+    TlGroups,
+    TlCommunities,
+    Venues,
+    Meta,
+}
+
+impl Sec {
+    /// All sections in canonical file order.
+    const ALL: [Sec; N_SECTIONS] = [
+        Sec::Timestamps,
+        Sec::TlTimes,
+        Sec::UrlGroupFirst,
+        Sec::VenueIds,
+        Sec::Urls,
+        Sec::Users,
+        Sec::EngRetweets,
+        Sec::EngLikes,
+        Sec::UrlIds,
+        Sec::UrlOffsets,
+        Sec::UrlEvents,
+        Sec::UrlGroupCount,
+        Sec::CatPosting0,
+        Sec::CatPosting1,
+        Sec::GroupPosting0,
+        Sec::GroupPosting1,
+        Sec::GroupPosting2,
+        Sec::EventDomains,
+        Sec::UrlDomains,
+        Sec::Platforms,
+        Sec::Categories,
+        Sec::Groups,
+        Sec::Communities,
+        Sec::EngFlags,
+        Sec::UrlCategories,
+        Sec::TlGroups,
+        Sec::TlCommunities,
+        Sec::Venues,
+        Sec::Meta,
+    ];
+
+    /// Stable on-disk section id.
+    fn id(self) -> u32 {
+        use section_id::*;
+        match self {
+            Sec::Timestamps => TIMESTAMPS,
+            Sec::TlTimes => TL_TIMES,
+            Sec::UrlGroupFirst => URL_GROUP_FIRST,
+            Sec::VenueIds => VENUE_IDS,
+            Sec::Urls => URLS,
+            Sec::Users => USERS,
+            Sec::EngRetweets => ENG_RETWEETS,
+            Sec::EngLikes => ENG_LIKES,
+            Sec::UrlIds => URL_IDS,
+            Sec::UrlOffsets => URL_OFFSETS,
+            Sec::UrlEvents => URL_EVENTS,
+            Sec::UrlGroupCount => URL_GROUP_COUNT,
+            Sec::CatPosting0 => CAT_POSTING_0,
+            Sec::CatPosting1 => CAT_POSTING_1,
+            Sec::GroupPosting0 => GROUP_POSTING_0,
+            Sec::GroupPosting1 => GROUP_POSTING_1,
+            Sec::GroupPosting2 => GROUP_POSTING_2,
+            Sec::EventDomains => EVENT_DOMAINS,
+            Sec::UrlDomains => URL_DOMAINS,
+            Sec::Platforms => PLATFORMS,
+            Sec::Categories => CATEGORIES,
+            Sec::Groups => GROUPS,
+            Sec::Communities => COMMUNITIES,
+            Sec::EngFlags => ENG_FLAGS,
+            Sec::UrlCategories => URL_CATEGORIES,
+            Sec::TlGroups => TL_GROUPS,
+            Sec::TlCommunities => TL_COMMUNITIES,
+            Sec::Venues => VENUES,
+            Sec::Meta => META,
+        }
+    }
+
+    /// Required payload alignment in bytes.
+    fn align(self) -> u64 {
+        match self {
+            Sec::Timestamps | Sec::TlTimes | Sec::UrlGroupFirst => 8,
+            Sec::VenueIds
+            | Sec::Urls
+            | Sec::Users
+            | Sec::EngRetweets
+            | Sec::EngLikes
+            | Sec::UrlIds
+            | Sec::UrlOffsets
+            | Sec::UrlEvents
+            | Sec::UrlGroupCount
+            | Sec::CatPosting0
+            | Sec::CatPosting1
+            | Sec::GroupPosting0
+            | Sec::GroupPosting1
+            | Sec::GroupPosting2 => 4,
+            Sec::EventDomains | Sec::UrlDomains => 2,
+            _ => 1,
+        }
+    }
+
+    /// The structural length rule for this section, in bytes, as a
+    /// function of the header's event count `n` and URL count `u`.
+    fn length_rule(self, n: u128, u: u128) -> LengthRule {
+        match self {
+            Sec::Timestamps | Sec::TlTimes => LengthRule::Exact(8 * n),
+            Sec::UrlGroupFirst => LengthRule::Exact(24 * u),
+            Sec::VenueIds
+            | Sec::Urls
+            | Sec::Users
+            | Sec::EngRetweets
+            | Sec::EngLikes
+            | Sec::UrlEvents => LengthRule::Exact(4 * n),
+            Sec::UrlIds => LengthRule::Exact(4 * u),
+            Sec::UrlOffsets => LengthRule::Exact(4 * (u + 1)),
+            Sec::UrlGroupCount => LengthRule::Exact(12 * u),
+            Sec::CatPosting0
+            | Sec::CatPosting1
+            | Sec::GroupPosting0
+            | Sec::GroupPosting1
+            | Sec::GroupPosting2 => LengthRule::Posting(4 * n),
+            Sec::EventDomains => LengthRule::Exact(2 * n),
+            Sec::UrlDomains => LengthRule::Exact(2 * u),
+            Sec::Platforms
+            | Sec::Categories
+            | Sec::Groups
+            | Sec::Communities
+            | Sec::EngFlags
+            | Sec::TlGroups
+            | Sec::TlCommunities => LengthRule::Exact(n),
+            Sec::UrlCategories => LengthRule::Exact(u),
+            Sec::Venues | Sec::Meta => LengthRule::Any,
+        }
+    }
+}
+
+/// Structural length constraint of one section.
+enum LengthRule {
+    /// Exactly this many bytes.
+    Exact(u128),
+    /// A multiple of 4 of at most this many bytes (posting lists; the
+    /// two category lists must additionally sum to `4 * n`, checked
+    /// after the directory walk).
+    Posting(u128),
+    /// Variable length (venue table, metadata blob).
+    Any,
+}
+
+/// The decoded fixed header of a container. The codec is public so the
+/// property tests can round-trip it directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Header {
+    /// Number of events in every event-parallel column.
+    pub n_events: u64,
+    /// Number of distinct URLs in every URL-parallel column.
+    pub n_urls: u64,
+    /// Number of directory entries that follow the header.
+    pub n_sections: u32,
+    /// FNV-64 of the directory bytes.
+    pub dir_checksum: u64,
+}
+
+impl Header {
+    /// Encode to the fixed 40-byte wire form (reserved field zero).
+    pub fn encode(&self) -> [u8; HEADER_LEN] {
+        let mut out = [0u8; HEADER_LEN];
+        out[0..4].copy_from_slice(&MAGIC);
+        out[4..8].copy_from_slice(&VERSION.to_le_bytes());
+        out[8..16].copy_from_slice(&self.n_events.to_le_bytes());
+        out[16..24].copy_from_slice(&self.n_urls.to_le_bytes());
+        out[24..28].copy_from_slice(&self.n_sections.to_le_bytes());
+        // bytes 28..32 reserved, zero
+        out[32..40].copy_from_slice(&self.dir_checksum.to_le_bytes());
+        out
+    }
+
+    /// Decode and validate the fixed fields (magic, version, reserved).
+    pub fn decode(bytes: &[u8]) -> Result<Header, MapError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(MapError::Truncated {
+                expected: HEADER_LEN as u64,
+                actual: bytes.len() as u64,
+            });
+        }
+        let magic: [u8; 4] = bytes[0..4].try_into().expect("4 bytes");
+        if magic != MAGIC {
+            return Err(MapError::BadMagic(magic));
+        }
+        let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+        if version != VERSION {
+            return Err(MapError::BadVersion(version));
+        }
+        let reserved = u32::from_le_bytes(bytes[28..32].try_into().expect("4 bytes"));
+        if reserved != 0 {
+            return Err(MapError::ReservedBits(reserved));
+        }
+        Ok(Header {
+            n_events: u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")),
+            n_urls: u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes")),
+            n_sections: u32::from_le_bytes(bytes[24..28].try_into().expect("4 bytes")),
+            dir_checksum: u64::from_le_bytes(bytes[32..40].try_into().expect("8 bytes")),
+        })
+    }
+}
+
+/// One decoded directory entry. Public for the property tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DirEntry {
+    /// Stable section id (see [`section_id`]).
+    pub id: u32,
+    /// Absolute byte offset of the payload.
+    pub offset: u64,
+    /// Payload length in bytes.
+    pub len: u64,
+    /// FNV-64 of the payload bytes.
+    pub checksum: u64,
+}
+
+impl DirEntry {
+    /// Encode to the fixed 32-byte wire form (pad field zero).
+    pub fn encode(&self) -> [u8; DIR_ENTRY_LEN] {
+        let mut out = [0u8; DIR_ENTRY_LEN];
+        out[0..4].copy_from_slice(&self.id.to_le_bytes());
+        // bytes 4..8 pad, zero
+        out[8..16].copy_from_slice(&self.offset.to_le_bytes());
+        out[16..24].copy_from_slice(&self.len.to_le_bytes());
+        out[24..32].copy_from_slice(&self.checksum.to_le_bytes());
+        out
+    }
+
+    /// Decode one entry, rejecting nonzero padding.
+    pub fn decode(bytes: &[u8]) -> Result<DirEntry, MapError> {
+        if bytes.len() < DIR_ENTRY_LEN {
+            return Err(MapError::Truncated {
+                expected: DIR_ENTRY_LEN as u64,
+                actual: bytes.len() as u64,
+            });
+        }
+        let id = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes"));
+        let pad = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+        if pad != 0 {
+            return Err(MapError::SectionLayout {
+                id,
+                detail: format!("nonzero directory padding {pad:#x}"),
+            });
+        }
+        Ok(DirEntry {
+            id,
+            offset: u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")),
+            len: u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes")),
+            checksum: u64::from_le_bytes(bytes[24..32].try_into().expect("8 bytes")),
+        })
+    }
+}
+
+/// The decoded `META` section: everything that is not a flat column.
+struct Meta {
+    domains: DomainTable,
+    totals: BTreeMap<Platform, PlatformTotals>,
+    gaps: BTreeMap<Platform, Gaps>,
+}
+
+/// Bounds-checked little-endian cursor over a variable-length section.
+/// Every overrun returns a typed [`MapError::SectionData`] — the
+/// decoders below can never panic on malformed input.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+    id: u32,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8], id: u32) -> Self {
+        Reader { bytes, at: 0, id }
+    }
+
+    fn err(&self, detail: String) -> MapError {
+        MapError::SectionData {
+            id: self.id,
+            detail,
+        }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], MapError> {
+        let slice = self
+            .bytes
+            .get(self.at..self.at.saturating_add(n))
+            .ok_or_else(|| {
+                self.err(format!(
+                    "{what} overruns the section ({} of {} bytes consumed)",
+                    self.at,
+                    self.bytes.len()
+                ))
+            })?;
+        self.at += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, MapError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u16(&mut self, what: &str) -> Result<u16, MapError> {
+        Ok(u16::from_le_bytes(
+            self.take(2, what)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, MapError> {
+        Ok(u32::from_le_bytes(
+            self.take(4, what)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, MapError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, what)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn i64(&mut self, what: &str) -> Result<i64, MapError> {
+        Ok(self.u64(what)? as i64)
+    }
+
+    fn f64(&mut self, what: &str) -> Result<f64, MapError> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+
+    /// A u16-length-prefixed UTF-8 string.
+    fn str(&mut self, what: &str) -> Result<&'a str, MapError> {
+        let len = self.u16(what)? as usize;
+        let bytes = self.take(len, what)?;
+        std::str::from_utf8(bytes).map_err(|e| self.err(format!("{what} is not UTF-8: {e}")))
+    }
+
+    fn finish(self) -> Result<(), MapError> {
+        if self.at != self.bytes.len() {
+            return Err(MapError::SectionData {
+                id: self.id,
+                detail: format!("{} trailing bytes", self.bytes.len() - self.at),
+            });
+        }
+        Ok(())
+    }
+}
+
+fn push_str(out: &mut Vec<u8>, s: &str, id: u32) -> Result<(), MapError> {
+    let len = u16::try_from(s.len()).map_err(|_| MapError::SectionData {
+        id,
+        detail: format!("string longer than u16: {} bytes", s.len()),
+    })?;
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+    Ok(())
+}
+
+/// Encode the `META` section: the domain table, crawl totals, and gap
+/// windows in a compact binary form (no JSON on the open path — the
+/// 99-domain table decodes in microseconds).
+fn encode_meta(
+    domains: &DomainTable,
+    totals: &BTreeMap<Platform, PlatformTotals>,
+    gaps: &BTreeMap<Platform, Gaps>,
+) -> Result<Vec<u8>, MapError> {
+    const ID: u32 = section_id::META;
+    let mut out = Vec::new();
+    out.extend_from_slice(&(domains.len() as u32).to_le_bytes());
+    for (_, info) in domains.iter() {
+        push_str(&mut out, &info.name, ID)?;
+        out.push(category_code(info.category));
+        out.extend_from_slice(&info.weight_subreddits.to_bits().to_le_bytes());
+        out.extend_from_slice(&info.weight_twitter.to_bits().to_le_bytes());
+        out.extend_from_slice(&info.weight_pol.to_bits().to_le_bytes());
+    }
+    out.extend_from_slice(&(totals.len() as u32).to_le_bytes());
+    for (platform, t) in totals {
+        out.push(platform_code(*platform));
+        out.extend_from_slice(&t.total_posts.to_le_bytes());
+        out.extend_from_slice(&t.posts_with_alternative.to_le_bytes());
+        out.extend_from_slice(&t.posts_with_mainstream.to_le_bytes());
+    }
+    out.extend_from_slice(&(gaps.len() as u32).to_le_bytes());
+    for (platform, g) in gaps {
+        out.push(platform_code(*platform));
+        out.extend_from_slice(&(g.windows().len() as u32).to_le_bytes());
+        for &(start, end) in g.windows() {
+            out.extend_from_slice(&start.to_le_bytes());
+            out.extend_from_slice(&end.to_le_bytes());
+        }
+    }
+    Ok(out)
+}
+
+/// Decode the `META` section with full bounds checking.
+fn decode_meta(bytes: &[u8]) -> Result<Meta, MapError> {
+    let mut r = Reader::new(bytes, section_id::META);
+    let n_domains = r.u32("domain count")? as usize;
+    let mut domains = Vec::new();
+    for _ in 0..n_domains {
+        let name = r.str("domain name")?.to_string();
+        let category = category_from_code(r.u8("domain category")?);
+        domains.push(DomainInfo {
+            name,
+            category,
+            weight_subreddits: r.f64("domain weight")?,
+            weight_twitter: r.f64("domain weight")?,
+            weight_pol: r.f64("domain weight")?,
+        });
+    }
+    let n_totals = r.u32("totals count")? as usize;
+    let mut totals = BTreeMap::new();
+    for _ in 0..n_totals {
+        let platform = platform_from_code(r.u8("totals platform")?);
+        totals.insert(
+            platform,
+            PlatformTotals {
+                total_posts: r.u64("total posts")?,
+                posts_with_alternative: r.u64("alternative posts")?,
+                posts_with_mainstream: r.u64("mainstream posts")?,
+            },
+        );
+    }
+    let n_gaps = r.u32("gaps count")? as usize;
+    let mut gaps = BTreeMap::new();
+    for _ in 0..n_gaps {
+        let platform = platform_from_code(r.u8("gaps platform")?);
+        let n_windows = r.u32("window count")? as usize;
+        let mut windows = Vec::new();
+        for _ in 0..n_windows {
+            let start = r.i64("window start")?;
+            let end = r.i64("window end")?;
+            // `Gaps::new` asserts on degenerate windows; a corrupted
+            // file must fail closed instead of panicking.
+            if start >= end {
+                return Err(r.err("inverted gap window".into()));
+            }
+            windows.push((start, end));
+        }
+        gaps.insert(platform, Gaps::new(windows));
+    }
+    r.finish()?;
+    Ok(Meta {
+        domains: DomainTable::from_domains(domains),
+        totals,
+        gaps,
+    })
+}
+
+fn le_i64(values: &[i64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 8);
+    for &v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+fn le_u32(values: &[u32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 4);
+    for &v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+fn le_u16(values: &[u16]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 2);
+    for &v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Encode the venue table: u32 count, then per venue a tag byte
+/// (0 = Twitter, 1 = Subreddit, 2 = Board) and, for named venues, a
+/// u16 length-prefixed UTF-8 name.
+fn encode_venues(venues: &[Venue]) -> Result<Vec<u8>, MapError> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(venues.len() as u32).to_le_bytes());
+    for v in venues {
+        let (tag, name) = match v {
+            Venue::Twitter => (0u8, None),
+            Venue::Subreddit(name) => (1, Some(name)),
+            Venue::Board(name) => (2, Some(name)),
+        };
+        out.push(tag);
+        if let Some(name) = name {
+            push_str(&mut out, name, section_id::VENUES)?;
+        }
+    }
+    Ok(out)
+}
+
+/// Decode the venue table with full bounds checking; every malformed
+/// input path returns an error, never panics or over-allocates.
+fn decode_venues(bytes: &[u8]) -> Result<Vec<Venue>, MapError> {
+    let mut r = Reader::new(bytes, section_id::VENUES);
+    let count = r.u32("venue count")? as usize;
+    let mut venues = Vec::new();
+    for i in 0..count {
+        let venue = match r.u8("venue tag")? {
+            0 => Venue::Twitter,
+            1 => Venue::Subreddit(r.str("venue name")?.to_string()),
+            2 => Venue::Board(r.str("venue name")?.to_string()),
+            t => {
+                return Err(MapError::SectionData {
+                    id: section_id::VENUES,
+                    detail: format!("venue {i}: unknown tag {t}"),
+                })
+            }
+        };
+        venues.push(venue);
+    }
+    r.finish()?;
+    Ok(venues)
+}
+
+/// Encode every section payload in canonical order.
+fn encode_sections(index: &DatasetIndex) -> Result<Vec<Vec<u8>>, MapError> {
+    let meta = encode_meta(&index.domains, &index.totals, &index.gaps)?;
+    Ok(vec![
+        le_i64(&index.timestamps),
+        le_i64(&index.tl_times),
+        le_i64(&index.url_group_first),
+        le_u32(&index.venue_ids),
+        le_u32(&index.urls),
+        le_u32(&index.users),
+        le_u32(&index.eng_retweets),
+        le_u32(&index.eng_likes),
+        le_u32(&index.url_ids),
+        le_u32(&index.url_offsets),
+        le_u32(&index.url_events),
+        le_u32(&index.url_group_count),
+        le_u32(&index.category_posting[0]),
+        le_u32(&index.category_posting[1]),
+        le_u32(&index.group_posting[0]),
+        le_u32(&index.group_posting[1]),
+        le_u32(&index.group_posting[2]),
+        le_u16(&index.event_domains),
+        le_u16(&index.url_domains),
+        index.platforms.clone(),
+        index.categories.clone(),
+        index.groups.clone(),
+        index.communities.clone(),
+        index.eng_flags.clone(),
+        index.url_categories.clone(),
+        index.tl_groups.clone(),
+        index.tl_communities.clone(),
+        encode_venues(&index.venues)?,
+        meta,
+    ])
+}
+
+/// Serialize a fully-built index to `path` as a `CPDM` container.
+///
+/// The write is atomic (tmp sibling + rename) so a crash mid-write
+/// never leaves a half-written container at the destination — readers
+/// may treat mapped files as immutable.
+pub fn write_index(path: &Path, index: &DatasetIndex) -> Result<(), MapError> {
+    let payloads = encode_sections(index)?;
+    debug_assert_eq!(payloads.len(), N_SECTIONS);
+    let mut dir = Vec::with_capacity(N_SECTIONS * DIR_ENTRY_LEN);
+    let mut offset = PAYLOAD_START as u64;
+    for (sec, payload) in Sec::ALL.iter().zip(&payloads) {
+        dir.extend_from_slice(
+            &DirEntry {
+                id: sec.id(),
+                offset,
+                len: payload.len() as u64,
+                checksum: fnv64(payload),
+            }
+            .encode(),
+        );
+        offset += payload.len() as u64;
+    }
+    let header = Header {
+        n_events: index.n_events() as u64,
+        n_urls: index.n_urls() as u64,
+        n_sections: N_SECTIONS as u32,
+        dir_checksum: fnv64(&dir),
+    };
+
+    let tmp = path.with_extension("cpdm.tmp");
+    let mut file = std::fs::File::create(&tmp)?;
+    file.write_all(&header.encode())?;
+    file.write_all(&dir)?;
+    for payload in &payloads {
+        file.write_all(payload)?;
+    }
+    file.sync_all()?;
+    drop(file);
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// A read-only, zero-copy index backed by a mapped `CPDM` container.
+///
+/// Implements [`IndexSource`] with the same accessor surface as the
+/// in-memory [`DatasetIndex`]; only the venue table and metadata are
+/// decoded into heap memory at open time, every numeric column is a
+/// slice straight off the map.
+#[derive(Debug)]
+pub struct MappedIndex {
+    region: Region,
+    path: PathBuf,
+    n_events: usize,
+    n_urls: usize,
+    ranges: Vec<Range<usize>>,
+    dir: Vec<DirEntry>,
+    domains: DomainTable,
+    totals: BTreeMap<Platform, PlatformTotals>,
+    gaps: BTreeMap<Platform, Gaps>,
+    venues: Vec<Venue>,
+}
+
+impl MappedIndex {
+    /// Map and structurally validate a container.
+    ///
+    /// Validates the header, directory checksum, section order,
+    /// contiguity, alignment, and every fixed length relation, then
+    /// decodes the venue table and metadata. Runs in microseconds on
+    /// paper-scale files; payload column *contents* are trusted until
+    /// [`Self::verify`].
+    pub fn open(path: &Path) -> Result<MappedIndex, MapError> {
+        if cfg!(target_endian = "big") {
+            return Err(MapError::BigEndianHost);
+        }
+        let region = Region::map_file(path)?;
+        Self::from_region(region, path.to_path_buf())
+    }
+
+    /// [`Self::open`] plus [`Self::verify`]: every section checksum
+    /// and semantic invariant checked before the index is returned.
+    pub fn open_verified(path: &Path) -> Result<MappedIndex, MapError> {
+        let mapped = Self::open(path)?;
+        mapped.verify()?;
+        Ok(mapped)
+    }
+
+    fn from_region(region: Region, path: PathBuf) -> Result<MappedIndex, MapError> {
+        let bytes = region.bytes();
+        let file_len = bytes.len() as u64;
+        let header = Header::decode(bytes)?;
+        if header.n_sections as usize != N_SECTIONS {
+            return Err(MapError::SectionCount {
+                expected: N_SECTIONS as u32,
+                actual: header.n_sections,
+            });
+        }
+        if header.n_events > u64::from(u32::MAX) {
+            return Err(MapError::HeaderRange(format!(
+                "n_events {} exceeds the u32 index space",
+                header.n_events
+            )));
+        }
+        if header.n_urls > header.n_events {
+            return Err(MapError::HeaderRange(format!(
+                "n_urls {} exceeds n_events {}",
+                header.n_urls, header.n_events
+            )));
+        }
+        if (bytes.len() as u64) < PAYLOAD_START as u64 {
+            return Err(MapError::Truncated {
+                expected: PAYLOAD_START as u64,
+                actual: file_len,
+            });
+        }
+        let dir_bytes = &bytes[HEADER_LEN..PAYLOAD_START];
+        let actual = fnv64(dir_bytes);
+        if actual != header.dir_checksum {
+            return Err(MapError::DirectoryChecksum {
+                expected: header.dir_checksum,
+                actual,
+            });
+        }
+
+        let n = u128::from(header.n_events);
+        let u = u128::from(header.n_urls);
+        let mut dir = Vec::with_capacity(N_SECTIONS);
+        let mut ranges = Vec::with_capacity(N_SECTIONS);
+        let mut cursor = PAYLOAD_START as u64;
+        let mut cat_posting_total = 0u128;
+        for (position, sec) in Sec::ALL.iter().enumerate() {
+            let entry = DirEntry::decode(&dir_bytes[position * DIR_ENTRY_LEN..])?;
+            if entry.id != sec.id() {
+                return Err(MapError::SectionOrder {
+                    position,
+                    expected: sec.id(),
+                    actual: entry.id,
+                });
+            }
+            let layout = |detail: String| MapError::SectionLayout {
+                id: entry.id,
+                detail,
+            };
+            if entry.offset != cursor {
+                return Err(layout(format!(
+                    "offset {} breaks contiguity (expected {cursor})",
+                    entry.offset
+                )));
+            }
+            if entry.offset % sec.align() != 0 {
+                return Err(layout(format!(
+                    "offset {} misaligned for a {}-byte element",
+                    entry.offset,
+                    sec.align()
+                )));
+            }
+            let len = u128::from(entry.len);
+            match sec.length_rule(n, u) {
+                LengthRule::Exact(expected) => {
+                    if len != expected {
+                        return Err(layout(format!(
+                            "length {len} does not match the declared counts (expected {expected})"
+                        )));
+                    }
+                }
+                LengthRule::Posting(max) => {
+                    if len % 4 != 0 || len > max {
+                        return Err(layout(format!(
+                            "posting list length {len} invalid (must be a multiple of 4, at most {max})"
+                        )));
+                    }
+                    if matches!(sec, Sec::CatPosting0 | Sec::CatPosting1) {
+                        cat_posting_total += len;
+                    }
+                }
+                LengthRule::Any => {}
+            }
+            let end = cursor
+                .checked_add(entry.len)
+                .ok_or_else(|| layout("section end overflows u64".to_string()))?;
+            if end > file_len {
+                return Err(MapError::Truncated {
+                    expected: end,
+                    actual: file_len,
+                });
+            }
+            ranges.push(entry.offset as usize..end as usize);
+            dir.push(entry);
+            cursor = end;
+        }
+        if cursor != file_len {
+            return Err(MapError::SectionLayout {
+                id: 0,
+                detail: format!(
+                    "{} trailing bytes after the last section",
+                    file_len - cursor
+                ),
+            });
+        }
+        if cat_posting_total != 4 * n {
+            return Err(MapError::SectionLayout {
+                id: section_id::CAT_POSTING_0,
+                detail: format!(
+                    "category posting lists cover {} events, expected {}",
+                    cat_posting_total / 4,
+                    n
+                ),
+            });
+        }
+
+        let venues = decode_venues(&bytes[ranges[Sec::Venues as usize].clone()])?;
+        let meta = decode_meta(&bytes[ranges[Sec::Meta as usize].clone()])?;
+
+        let mapped = MappedIndex {
+            region,
+            path,
+            n_events: header.n_events as usize,
+            n_urls: header.n_urls as usize,
+            ranges,
+            dir,
+            domains: meta.domains,
+            totals: meta.totals,
+            gaps: meta.gaps,
+            venues,
+        };
+        // CSR offsets gate every timeline slice; checking them here
+        // (one linear scan) keeps `timeline()` panic-free for any
+        // in-range slot even before `verify`.
+        let offsets = mapped.section_u32(Sec::UrlOffsets);
+        let n32 = header.n_events as u32;
+        if offsets.first() != Some(&0) || offsets.last() != Some(&n32) {
+            return Err(MapError::SectionData {
+                id: section_id::URL_OFFSETS,
+                detail: format!(
+                    "CSR offsets must run 0..={n32}, found {:?}..={:?}",
+                    offsets.first(),
+                    offsets.last()
+                ),
+            });
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(MapError::SectionData {
+                id: section_id::URL_OFFSETS,
+                detail: "CSR offsets are not monotone".to_string(),
+            });
+        }
+        Ok(mapped)
+    }
+
+    fn section(&self, sec: Sec) -> &[u8] {
+        &self.region.bytes()[self.ranges[sec as usize].clone()]
+    }
+
+    fn section_i64(&self, sec: Sec) -> &[i64] {
+        cast_i64(self.section(sec)).expect("alignment and length validated at open")
+    }
+
+    fn section_u32(&self, sec: Sec) -> &[u32] {
+        cast_u32(self.section(sec)).expect("alignment and length validated at open")
+    }
+
+    fn section_u16(&self, sec: Sec) -> &[u16] {
+        cast_u16(self.section(sec)).expect("alignment and length validated at open")
+    }
+
+    /// Verify every section checksum and the semantic invariants of
+    /// the column contents (code ranges, id bounds, permutation and
+    /// ordering properties). O(file size).
+    pub fn verify(&self) -> Result<(), MapError> {
+        let bytes = self.region.bytes();
+        for (sec, entry) in Sec::ALL.iter().zip(&self.dir) {
+            let actual = fnv64(&bytes[self.ranges[*sec as usize].clone()]);
+            if actual != entry.checksum {
+                return Err(MapError::SectionChecksum {
+                    id: entry.id,
+                    expected: entry.checksum,
+                    actual,
+                });
+            }
+        }
+
+        let data = |sec: Sec, detail: String| MapError::SectionData {
+            id: sec.id(),
+            detail,
+        };
+        let code_max: [(Sec, u8); 8] = [
+            (Sec::Platforms, 2),
+            (Sec::Categories, 1),
+            (Sec::Groups, 3),
+            (Sec::Communities, 8),
+            (Sec::EngFlags, 2),
+            (Sec::UrlCategories, 1),
+            (Sec::TlGroups, 3),
+            (Sec::TlCommunities, 8),
+        ];
+        for (sec, max) in code_max {
+            if let Some(bad) = self.section(sec).iter().find(|&&c| c > max) {
+                return Err(data(sec, format!("code {bad} exceeds maximum {max}")));
+            }
+        }
+        let n_venues = self.venues.len() as u32;
+        if let Some(bad) = self
+            .section_u32(Sec::VenueIds)
+            .iter()
+            .find(|&&v| v >= n_venues)
+        {
+            return Err(data(
+                Sec::VenueIds,
+                format!("venue id {bad} out of range for {n_venues} venues"),
+            ));
+        }
+        let n_domains = self.domains.len() as u16;
+        for sec in [Sec::EventDomains, Sec::UrlDomains] {
+            if let Some(bad) = self.section_u16(sec).iter().find(|&&d| d >= n_domains) {
+                return Err(data(
+                    sec,
+                    format!("domain id {bad} out of range for {n_domains} domains"),
+                ));
+            }
+        }
+        let timestamps = self.section_i64(Sec::Timestamps);
+        if timestamps.windows(2).any(|w| w[0] > w[1]) {
+            return Err(data(Sec::Timestamps, "timestamps not sorted".to_string()));
+        }
+        if timestamps.contains(&NO_FIRST) {
+            return Err(data(
+                Sec::Timestamps,
+                "timestamp collides with the NO_FIRST sentinel".to_string(),
+            ));
+        }
+        let url_ids = self.section_u32(Sec::UrlIds);
+        if url_ids.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(data(
+                Sec::UrlIds,
+                "URL ids not strictly ascending".to_string(),
+            ));
+        }
+
+        // The CSR permutation must cover each event exactly once, and
+        // the permuted timeline columns must agree with the event
+        // columns they were permuted from.
+        let n = self.n_events;
+        let url_events = self.section_u32(Sec::UrlEvents);
+        let mut seen = vec![false; n];
+        for &e in url_events {
+            match seen.get_mut(e as usize) {
+                Some(s) if !*s => *s = true,
+                Some(_) => {
+                    return Err(data(
+                        Sec::UrlEvents,
+                        format!("event {e} appears twice in the permutation"),
+                    ))
+                }
+                None => {
+                    return Err(data(
+                        Sec::UrlEvents,
+                        format!("event index {e} out of range for {n} events"),
+                    ))
+                }
+            }
+        }
+        let groups = self.section(Sec::Groups);
+        let communities = self.section(Sec::Communities);
+        let tl_times = self.section_i64(Sec::TlTimes);
+        let tl_groups = self.section(Sec::TlGroups);
+        let tl_communities = self.section(Sec::TlCommunities);
+        for (j, &e) in url_events.iter().enumerate() {
+            let e = e as usize;
+            if tl_times[j] != timestamps[e]
+                || tl_groups[j] != groups[e]
+                || tl_communities[j] != communities[e]
+            {
+                return Err(data(
+                    Sec::TlTimes,
+                    format!("permuted timeline slot {j} disagrees with event {e}"),
+                ));
+            }
+        }
+        for sec in [
+            Sec::CatPosting0,
+            Sec::CatPosting1,
+            Sec::GroupPosting0,
+            Sec::GroupPosting1,
+            Sec::GroupPosting2,
+        ] {
+            let posting = self.section_u32(sec);
+            if posting.iter().any(|&e| e as usize >= n) {
+                return Err(data(
+                    sec,
+                    format!("posting entry out of range for {n} events"),
+                ));
+            }
+            if posting.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(data(sec, "posting list not strictly ascending".to_string()));
+            }
+        }
+        Ok(())
+    }
+
+    /// The container path this index is mapped from.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of indexed events.
+    pub fn n_events(&self) -> usize {
+        self.n_events
+    }
+
+    /// Number of distinct URLs.
+    pub fn n_urls(&self) -> usize {
+        self.n_urls
+    }
+
+    /// Borrow the full decoded accessor surface (zero-copy).
+    pub fn view(&self) -> IndexView<'_> {
+        IndexView {
+            domains: &self.domains,
+            totals: &self.totals,
+            gaps: &self.gaps,
+            venues: &self.venues,
+            timestamps: self.section_i64(Sec::Timestamps),
+            venue_ids: self.section_u32(Sec::VenueIds),
+            platforms: self.section(Sec::Platforms),
+            urls: self.section_u32(Sec::Urls),
+            event_domains: self.section_u16(Sec::EventDomains),
+            users: self.section_u32(Sec::Users),
+            eng_retweets: self.section_u32(Sec::EngRetweets),
+            eng_likes: self.section_u32(Sec::EngLikes),
+            eng_flags: self.section(Sec::EngFlags),
+            categories: self.section(Sec::Categories),
+            groups: self.section(Sec::Groups),
+            communities: self.section(Sec::Communities),
+            url_ids: self.section_u32(Sec::UrlIds),
+            url_offsets: self.section_u32(Sec::UrlOffsets),
+            url_events: self.section_u32(Sec::UrlEvents),
+            url_domains: self.section_u16(Sec::UrlDomains),
+            url_categories: self.section(Sec::UrlCategories),
+            url_group_first: self.section_i64(Sec::UrlGroupFirst),
+            url_group_count: self.section_u32(Sec::UrlGroupCount),
+            tl_times: self.section_i64(Sec::TlTimes),
+            tl_groups: self.section(Sec::TlGroups),
+            tl_communities: self.section(Sec::TlCommunities),
+            category_posting: [
+                self.section_u32(Sec::CatPosting0),
+                self.section_u32(Sec::CatPosting1),
+            ],
+            group_posting: [
+                self.section_u32(Sec::GroupPosting0),
+                self.section_u32(Sec::GroupPosting1),
+                self.section_u32(Sec::GroupPosting2),
+            ],
+        }
+    }
+
+    /// Reconstruct the owned [`Dataset`] this index was built from.
+    ///
+    /// The stored event order is already time-sorted, so the result is
+    /// identical (not just equivalent) to the original dataset.
+    pub fn to_dataset(&self) -> Dataset {
+        let view = self.view();
+        let mut events = Vec::with_capacity(self.n_events);
+        for i in 0..self.n_events {
+            events.push(NewsEvent {
+                timestamp: view.timestamps()[i],
+                venue: view.venue(i).clone(),
+                url: view.url(i),
+                domain: view.event_domain(i),
+                user: view.user(i),
+                engagement: view.engagement(i),
+            });
+        }
+        Dataset::new(
+            self.domains.clone(),
+            events,
+            self.totals.clone(),
+            self.gaps.clone(),
+        )
+    }
+}
+
+impl IndexSource for MappedIndex {
+    fn view(&self) -> IndexView<'_> {
+        MappedIndex::view(self)
+    }
+
+    fn map_path(&self) -> Option<&Path> {
+        Some(&self.path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domains::NewsCategory;
+    use crate::event::{Engagement, UrlId, UserId};
+    use crate::platform::AnalysisGroup;
+
+    fn toy_dataset() -> Dataset {
+        let domains = DomainTable::standard();
+        let breitbart = domains.id_by_name("breitbart.com").unwrap();
+        let nyt = domains.id_by_name("nytimes.com").unwrap();
+        let mut events = vec![
+            NewsEvent::basic(300, Venue::Board("pol".into()), UrlId(1), breitbart),
+            NewsEvent::basic(100, Venue::Twitter, UrlId(1), breitbart),
+            NewsEvent::basic(
+                200,
+                Venue::Subreddit("The_Donald".into()),
+                UrlId(1),
+                breitbart,
+            ),
+            NewsEvent::basic(150, Venue::Subreddit("cats".into()), UrlId(2), nyt),
+            NewsEvent::basic(400, Venue::Twitter, UrlId(2), nyt),
+        ];
+        events[1].user = Some(UserId(7));
+        events[1].engagement = Some(Engagement {
+            retweets: 3,
+            likes: 11,
+            retrieved: true,
+        });
+        Dataset::new(domains, events, BTreeMap::new(), BTreeMap::new())
+    }
+
+    fn tmp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cpdm-mod-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn round_trip_preserves_index_and_dataset() {
+        let dataset = toy_dataset();
+        let index = DatasetIndex::build(&dataset);
+        let path = tmp_path("roundtrip.cpdm");
+        write_index(&path, &index).unwrap();
+        let mapped = MappedIndex::open_verified(&path).unwrap();
+
+        assert_eq!(mapped.n_events(), index.n_events());
+        assert_eq!(mapped.n_urls(), index.n_urls());
+        let (a, b) = (index.view(), mapped.view());
+        assert_eq!(a.timestamps(), b.timestamps());
+        assert_eq!(a.venues(), b.venues());
+        for i in 0..index.n_events() {
+            assert_eq!(a.platform(i), b.platform(i));
+            assert_eq!(a.group(i), b.group(i));
+            assert_eq!(a.community(i), b.community(i));
+            assert_eq!(a.user(i), b.user(i));
+            assert_eq!(a.engagement(i), b.engagement(i));
+        }
+        assert_eq!(
+            a.category_events(NewsCategory::Alternative),
+            b.category_events(NewsCategory::Alternative)
+        );
+        assert_eq!(
+            a.group_events(AnalysisGroup::Pol),
+            b.group_events(AnalysisGroup::Pol)
+        );
+        for (ta, tb) in a.timelines().zip(b.timelines()) {
+            assert_eq!(ta.to_timeline(), tb.to_timeline());
+            assert_eq!(
+                ta.first_in_group(AnalysisGroup::Twitter),
+                tb.first_in_group(AnalysisGroup::Twitter)
+            );
+        }
+        assert_eq!(mapped.to_dataset(), dataset);
+        assert_eq!(IndexSource::map_path(&mapped).unwrap(), path.as_path());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn open_rejects_bad_magic_version_and_truncation() {
+        let index = DatasetIndex::build(&toy_dataset());
+        let path = tmp_path("reject.cpdm");
+        write_index(&path, &index).unwrap();
+        let good = std::fs::read(&path).unwrap();
+
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            MappedIndex::open(&path),
+            Err(MapError::BadMagic(_))
+        ));
+
+        let mut bad = good.clone();
+        bad[4] = 9;
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            MappedIndex::open(&path),
+            Err(MapError::BadVersion(9))
+        ));
+
+        std::fs::write(&path, &good[..good.len() - 1]).unwrap();
+        assert!(matches!(
+            MappedIndex::open(&path),
+            Err(MapError::Truncated { .. })
+        ));
+
+        std::fs::write(&path, b"").unwrap();
+        assert!(matches!(
+            MappedIndex::open(&path),
+            Err(MapError::Truncated { .. })
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn verify_catches_payload_corruption_open_catches_directory() {
+        let index = DatasetIndex::build(&toy_dataset());
+        let path = tmp_path("corrupt.cpdm");
+        write_index(&path, &index).unwrap();
+        let good = std::fs::read(&path).unwrap();
+
+        // Payload flip (first timestamp byte): structural open
+        // succeeds, verify fails typed.
+        let mut bad = good.clone();
+        bad[PAYLOAD_START] ^= 0x40;
+        std::fs::write(&path, &bad).unwrap();
+        let mapped = MappedIndex::open(&path).unwrap();
+        assert!(matches!(
+            mapped.verify(),
+            Err(MapError::SectionChecksum { .. } | MapError::SectionData { .. })
+        ));
+        drop(mapped);
+
+        // Directory flip without re-sealing: checksum catches it.
+        let mut bad = good.clone();
+        bad[HEADER_LEN + 8] ^= 1;
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            MappedIndex::open(&path),
+            Err(MapError::DirectoryChecksum { .. })
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn header_and_direntry_codecs_round_trip() {
+        let h = Header {
+            n_events: 123,
+            n_urls: 45,
+            n_sections: N_SECTIONS as u32,
+            dir_checksum: 0xdead_beef_cafe_f00d,
+        };
+        assert_eq!(Header::decode(&h.encode()).unwrap(), h);
+        let e = DirEntry {
+            id: section_id::TL_TIMES,
+            offset: 968,
+            len: 40,
+            checksum: 7,
+        };
+        assert_eq!(DirEntry::decode(&e.encode()).unwrap(), e);
+    }
+}

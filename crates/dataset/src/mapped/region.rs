@@ -1,0 +1,289 @@
+//! The single audited `unsafe` module of the dataset crate: a
+//! read-only byte region backed by `mmap`, plus checked byte→typed
+//! slice casts.
+//!
+//! The crate denies `unsafe_code` everywhere else; this module owns
+//! exactly two kinds of unsafety, both narrowly scoped and commented:
+//!
+//! 1. **Mapping** — on x86_64 Linux the `mmap`/`munmap` syscalls are
+//!    issued directly through `core::arch::asm!` (the workspace has no
+//!    libc binding and must not grow dependencies). Everywhere else —
+//!    and for empty files, which `mmap` rejects — the file is read
+//!    into an 8-byte-aligned heap buffer instead, preserving the same
+//!    alignment guarantees without any syscall.
+//! 2. **Casting** — [`cast_u16`]/[`cast_u32`]/[`cast_u64`]/[`cast_i64`]/
+//!    [`cast_f64`] reinterpret a validated byte slice as a typed
+//!    little-endian column. Alignment and length-multiple are checked
+//!    first and a failed check returns `None`, never undefined
+//!    behaviour. All target element types admit every bit pattern.
+//!
+//! The mapping is `PROT_READ`/`MAP_PRIVATE`: the kernel enforces
+//! immutability of the pages, which is what makes handing `&[u8]`
+//! slices out for the `Region`'s lifetime sound. Callers must not
+//! truncate the underlying file while a map is live (a load from a
+//! truncated page raises `SIGBUS` — the one hazard a userspace check
+//! cannot close); the container layer treats mapped files as
+//! immutable artifacts and rewrites via tmp+rename only.
+#![allow(unsafe_code)]
+
+use std::fs::File;
+use std::io;
+use std::path::Path;
+
+/// A read-only byte region: either a private file mapping (x86_64
+/// Linux) or an aligned heap copy (fallback and empty files). The
+/// base address is always at least 8-byte aligned.
+#[derive(Debug)]
+pub(crate) struct Region {
+    backing: Backing,
+    len: usize,
+}
+
+#[derive(Debug)]
+enum Backing {
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    Mmap { ptr: *mut u8, map_len: usize },
+    /// `Vec<u64>` rather than `Vec<u8>` so the base pointer is 8-byte
+    /// aligned (a `Vec<u8>` allocation only guarantees 1).
+    Heap { buf: Vec<u64> },
+}
+
+// SAFETY: the region is strictly read-only for its whole lifetime —
+// the mapping is PROT_READ and the heap buffer is never written after
+// construction — so shared references from multiple threads are sound.
+unsafe impl Send for Region {}
+unsafe impl Sync for Region {}
+
+impl Region {
+    /// Map (or read) the file at `path` read-only.
+    pub(crate) fn map_file(path: &Path) -> io::Result<Region> {
+        let file = File::open(path)?;
+        let len = file.metadata()?.len();
+        if len > usize::MAX as u64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "file larger than the address space",
+            ));
+        }
+        let len = len as usize;
+        if len == 0 {
+            // mmap(len=0) is EINVAL; an empty heap buffer behaves the
+            // same (the container layer rejects it as truncated).
+            return Ok(Region {
+                backing: Backing::Heap { buf: Vec::new() },
+                len: 0,
+            });
+        }
+        Self::map_file_inner(&file, len, path)
+    }
+
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    fn map_file_inner(file: &File, len: usize, _path: &Path) -> io::Result<Region> {
+        use std::os::fd::AsRawFd;
+        // SAFETY: fd is a valid open file descriptor for the duration
+        // of the call; len > 0; the syscall either returns a mapped
+        // address (page-aligned, hence 8-aligned) valid for `len`
+        // read-only bytes, or a negative errno we turn into an error.
+        // The mapping outlives the fd (POSIX: closing the file does
+        // not unmap), and Drop munmaps exactly once.
+        match unsafe { sys::mmap_readonly(len, file.as_raw_fd()) } {
+            Ok(ptr) => Ok(Region {
+                backing: Backing::Mmap { ptr, map_len: len },
+                len,
+            }),
+            Err(errno) => Err(io::Error::from_raw_os_error(errno)),
+        }
+    }
+
+    #[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+    fn map_file_inner(_file: &File, len: usize, path: &Path) -> io::Result<Region> {
+        Ok(Self::heap_from_bytes(&std::fs::read(path)?, len))
+    }
+
+    /// Build an aligned heap-backed region from raw bytes (fallback
+    /// path and tests).
+    #[cfg_attr(all(target_os = "linux", target_arch = "x86_64"), allow(dead_code))]
+    fn heap_from_bytes(bytes: &[u8], len: usize) -> Region {
+        let words = len.div_ceil(8);
+        let mut buf = vec![0u64; words];
+        // SAFETY: the Vec<u64> allocation spans words*8 ≥ len bytes;
+        // u64 has no padding, so viewing it as bytes is sound.
+        let dst =
+            unsafe { std::slice::from_raw_parts_mut(buf.as_mut_ptr().cast::<u8>(), words * 8) };
+        dst[..bytes.len().min(len)].copy_from_slice(&bytes[..bytes.len().min(len)]);
+        Region {
+            backing: Backing::Heap { buf },
+            len,
+        }
+    }
+
+    /// The mapped bytes.
+    pub(crate) fn bytes(&self) -> &[u8] {
+        match &self.backing {
+            #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+            Backing::Mmap { ptr, .. } => {
+                // SAFETY: ptr..ptr+len is a live PROT_READ mapping for
+                // the lifetime of self; u8 has no invalid patterns.
+                unsafe { std::slice::from_raw_parts(*ptr, self.len) }
+            }
+            Backing::Heap { buf } => {
+                // SAFETY: the buffer spans at least self.len bytes
+                // (len ≤ buf.len()*8 by construction); u64 → u8
+                // reinterpretation is sound (no padding).
+                unsafe { std::slice::from_raw_parts(buf.as_ptr().cast::<u8>(), self.len) }
+            }
+        }
+    }
+}
+
+impl Drop for Region {
+    fn drop(&mut self) {
+        #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+        if let Backing::Mmap { ptr, map_len } = self.backing {
+            // SAFETY: ptr/map_len came from a successful mmap and are
+            // unmapped exactly once; no slice borrowed from self can
+            // outlive self.
+            unsafe { sys::munmap(ptr, map_len) };
+        }
+    }
+}
+
+/// Raw x86_64 Linux syscalls. No libc in the dependency tree, so the
+/// two calls this module needs are issued directly.
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+mod sys {
+    const SYS_MMAP: usize = 9;
+    const SYS_MUNMAP: usize = 11;
+    const PROT_READ: usize = 1;
+    const MAP_PRIVATE: usize = 2;
+
+    /// `mmap(NULL, len, PROT_READ, MAP_PRIVATE, fd, 0)`.
+    ///
+    /// # Safety
+    /// `fd` must be a valid open file descriptor and `len` non-zero.
+    pub(super) unsafe fn mmap_readonly(len: usize, fd: i32) -> Result<*mut u8, i32> {
+        let ret: isize;
+        // SAFETY: the x86_64 Linux syscall convention — args in
+        // rdi/rsi/rdx/r10/r8/r9, number in rax, return in rax, rcx and
+        // r11 clobbered by the `syscall` instruction itself.
+        unsafe {
+            core::arch::asm!(
+                "syscall",
+                inlateout("rax") SYS_MMAP as isize => ret,
+                in("rdi") 0usize,
+                in("rsi") len,
+                in("rdx") PROT_READ,
+                in("r10") MAP_PRIVATE,
+                in("r8") fd as isize,
+                in("r9") 0usize,
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack),
+            );
+        }
+        if (-4095..0).contains(&ret) {
+            Err(-ret as i32)
+        } else {
+            Ok(ret as *mut u8)
+        }
+    }
+
+    /// `munmap(ptr, len)`. Failure is ignored (nothing to do in Drop).
+    ///
+    /// # Safety
+    /// `ptr`/`len` must describe a live mapping created by
+    /// [`mmap_readonly`], unmapped exactly once.
+    pub(super) unsafe fn munmap(ptr: *mut u8, len: usize) {
+        let _ret: isize;
+        // SAFETY: same convention as above.
+        unsafe {
+            core::arch::asm!(
+                "syscall",
+                inlateout("rax") SYS_MUNMAP as isize => _ret,
+                in("rdi") ptr,
+                in("rsi") len,
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack),
+            );
+        }
+    }
+}
+
+macro_rules! checked_cast {
+    ($name:ident, $ty:ty) => {
+        /// Reinterpret little-endian bytes as a typed column slice.
+        /// Returns `None` (never UB) when the pointer is misaligned
+        /// for the element type or the length is not a multiple of
+        /// its size.
+        pub(crate) fn $name(bytes: &[u8]) -> Option<&[$ty]> {
+            if bytes.is_empty() {
+                // An empty byte slice may carry a dangling 1-aligned
+                // pointer; the empty typed slice is always valid.
+                return Some(&[]);
+            }
+            let size = std::mem::size_of::<$ty>();
+            if bytes.len() % size != 0 {
+                return None;
+            }
+            if bytes.as_ptr() as usize % std::mem::align_of::<$ty>() != 0 {
+                return None;
+            }
+            // SAFETY: alignment and length-multiple verified above;
+            // the element type admits every bit pattern; the returned
+            // slice borrows `bytes` so the region outlives it. (This
+            // decodes little-endian columns and is only reached on
+            // little-endian hosts — the container open rejects
+            // big-endian hosts up front.)
+            Some(unsafe {
+                std::slice::from_raw_parts(bytes.as_ptr().cast::<$ty>(), bytes.len() / size)
+            })
+        }
+    };
+}
+
+checked_cast!(cast_u16, u16);
+checked_cast!(cast_u32, u32);
+checked_cast!(cast_i64, i64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heap_region_is_aligned_and_exact() {
+        let bytes: Vec<u8> = (0..37u8).collect();
+        let region = Region::heap_from_bytes(&bytes, bytes.len());
+        assert_eq!(region.bytes(), &bytes[..]);
+        assert_eq!(region.bytes().as_ptr() as usize % 8, 0);
+    }
+
+    #[test]
+    fn map_file_reads_back_contents() {
+        let dir = std::env::temp_dir().join(format!("cpdm-region-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("blob.bin");
+        let payload: Vec<u8> = (0..=255u8).cycle().take(5000).collect();
+        std::fs::write(&path, &payload).unwrap();
+        let region = Region::map_file(&path).unwrap();
+        assert_eq!(region.bytes(), &payload[..]);
+        assert_eq!(region.bytes().as_ptr() as usize % 8, 0);
+        drop(region);
+        let empty = dir.join("empty.bin");
+        std::fs::write(&empty, b"").unwrap();
+        assert_eq!(Region::map_file(&empty).unwrap().bytes().len(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn casts_enforce_alignment_and_length() {
+        let region = Region::heap_from_bytes(&[1, 0, 0, 0, 2, 0, 0, 0, 3, 0, 0, 0, 4, 0, 0, 0], 16);
+        let b = region.bytes();
+        assert_eq!(cast_u32(b).unwrap(), &[1, 2, 3, 4]);
+        assert!(cast_i64(&b[..7]).is_none(), "length not a multiple");
+        assert!(cast_i64(&b[4..12]).is_none(), "misaligned base");
+        assert_eq!(cast_u16(&b[..2]).unwrap(), &[1]);
+        assert_eq!(cast_i64(&b[..8]).unwrap(), &[0x2_0000_0001]);
+        assert_eq!(cast_u32(&[]).unwrap(), &[] as &[u32]);
+    }
+}

@@ -1,13 +1,19 @@
-//! JSONL persistence for datasets.
+//! Dataset persistence: legacy JSONL and the `CPDM` container.
 //!
-//! Format: line 1 is a header object (domain table, totals, gaps);
-//! each subsequent line is one [`NewsEvent`]. Streaming-friendly in
-//! both directions so multi-million-event datasets never need a single
-//! giant in-memory JSON value.
+//! JSONL format: line 1 is a header object (domain table, totals,
+//! gaps); each subsequent line is one [`NewsEvent`]. Streaming-friendly
+//! in both directions so multi-million-event datasets never need a
+//! single giant in-memory JSON value.
+//!
+//! [`load`] transparently routes `CPDM` containers (see
+//! [`crate::mapped`]) through the mapped reader, so a path saved with
+//! [`crate::mapped::write_index`] loads with the same call as a legacy
+//! JSONL file. Loading legacy JSONL emits a one-shot migration warning
+//! on stderr pointing at the container format.
 
 use std::collections::BTreeMap;
 use std::fs::File;
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{BufWriter, Write};
 use std::path::Path;
 
 use serde::{Deserialize, Serialize};
@@ -16,6 +22,7 @@ use crate::dataset::{Dataset, PlatformTotals};
 use crate::domains::DomainTable;
 use crate::event::NewsEvent;
 use crate::gaps::Gaps;
+use crate::mapped::{MapError, MappedIndex, MAGIC};
 use crate::platform::Platform;
 
 /// Errors from dataset persistence.
@@ -28,6 +35,13 @@ pub enum StoreError {
     Json(usize, serde_json::Error),
     /// The file had no header line.
     MissingHeader,
+    /// The file ends mid-record: only this many bytes decode cleanly.
+    Truncated {
+        /// Bytes of valid content before the cut.
+        bytes: usize,
+    },
+    /// The file is a `CPDM` container that failed to open.
+    Map(MapError),
 }
 
 impl std::fmt::Display for StoreError {
@@ -36,6 +50,10 @@ impl std::fmt::Display for StoreError {
             StoreError::Io(e) => write!(f, "I/O error: {e}"),
             StoreError::Json(line, e) => write!(f, "JSON error at line {line}: {e}"),
             StoreError::MissingHeader => write!(f, "dataset file has no header line"),
+            StoreError::Truncated { bytes } => {
+                write!(f, "dataset file truncated after {bytes} valid bytes")
+            }
+            StoreError::Map(e) => write!(f, "mapped container error: {e}"),
         }
     }
 }
@@ -45,8 +63,15 @@ impl std::error::Error for StoreError {
         match self {
             StoreError::Io(e) => Some(e),
             StoreError::Json(_, e) => Some(e),
-            StoreError::MissingHeader => None,
+            StoreError::MissingHeader | StoreError::Truncated { .. } => None,
+            StoreError::Map(e) => Some(e),
         }
+    }
+}
+
+impl From<MapError> for StoreError {
+    fn from(e: MapError) -> Self {
+        StoreError::Map(e)
     }
 }
 
@@ -84,23 +109,31 @@ pub fn save(dataset: &Dataset, path: &Path) -> Result<(), StoreError> {
     Ok(())
 }
 
-/// Read a dataset back from a JSONL file.
+/// Read a dataset back from disk: a `CPDM` container (routed through
+/// [`MappedIndex`]) or a legacy JSONL file, sniffed by magic bytes.
+///
+/// Every failure mode is a typed [`StoreError`]; a short or non-UTF-8
+/// file reports [`StoreError::Truncated`] with the count of bytes that
+/// decoded cleanly, never a raw I/O error mid-parse.
 pub fn load(path: &Path) -> Result<Dataset, StoreError> {
-    let file = File::open(path)?;
-    let mut reader = BufReader::new(file);
-    let mut header_line = String::new();
-    if reader.read_line(&mut header_line)? == 0 {
-        return Err(StoreError::MissingHeader);
+    let bytes = std::fs::read(path)?;
+    if bytes.starts_with(&MAGIC) {
+        return Ok(MappedIndex::open(path)?.to_dataset());
     }
-    let header: Header = serde_json::from_str(&header_line).map_err(|e| StoreError::Json(0, e))?;
+    warn_legacy_once(path);
+    let text = String::from_utf8(bytes).map_err(|e| StoreError::Truncated {
+        bytes: e.utf8_error().valid_up_to(),
+    })?;
+    let mut lines = text.lines();
+    let header_line = lines.next().ok_or(StoreError::MissingHeader)?;
+    let header: Header = serde_json::from_str(header_line).map_err(|e| StoreError::Json(0, e))?;
     let mut events: Vec<NewsEvent> = Vec::with_capacity(header.n_events);
-    for (i, line) in reader.lines().enumerate() {
-        let line = line?;
+    for (i, line) in lines.enumerate() {
         if line.trim().is_empty() {
             continue;
         }
         let event: NewsEvent =
-            serde_json::from_str(&line).map_err(|e| StoreError::Json(i + 1, e))?;
+            serde_json::from_str(line).map_err(|e| StoreError::Json(i + 1, e))?;
         events.push(event);
     }
     Ok(Dataset::new(
@@ -109,6 +142,19 @@ pub fn load(path: &Path) -> Result<Dataset, StoreError> {
         header.totals,
         header.gaps,
     ))
+}
+
+/// One-shot stderr note when a legacy JSONL dataset is loaded: the
+/// `CPDM` container opens orders of magnitude faster.
+fn warn_legacy_once(path: &Path) {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        eprintln!(
+            "[store] {} is legacy JSONL; re-save it as a CPDM container \
+             (repro --save-index) for zero-copy mapped opens",
+            path.display()
+        );
+    });
 }
 
 #[cfg(test)]
@@ -179,6 +225,39 @@ mod tests {
         match load(&path) {
             Err(StoreError::Json(line, _)) => assert_eq!(line, 3),
             other => panic!("expected Json error, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn cpdm_container_routes_through_mapped_reader() {
+        let path = temp_path("routed.cpdm");
+        let ds = sample_dataset();
+        let index = crate::index::DatasetIndex::build(&ds);
+        crate::mapped::write_index(&path, &index).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(ds, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn short_cpdm_file_is_typed_map_error() {
+        let path = temp_path("short.cpdm");
+        std::fs::write(&path, b"CPDM\x01\x00\x00").unwrap();
+        match load(&path) {
+            Err(StoreError::Map(MapError::Truncated { .. })) => {}
+            other => panic!("expected Map(Truncated), got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn non_utf8_jsonl_is_typed_truncation() {
+        let path = temp_path("binary.jsonl");
+        std::fs::write(&path, [b'{', b'"', 0xff, 0xfe, 0xfd]).unwrap();
+        match load(&path) {
+            Err(StoreError::Truncated { bytes: 2 }) => {}
+            other => panic!("expected Truncated after 2 bytes, got {other:?}"),
         }
         std::fs::remove_file(&path).ok();
     }

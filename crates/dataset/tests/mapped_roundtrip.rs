@@ -1,0 +1,177 @@
+//! Property-based round-trip tests of the `CPDM` mapped container:
+//! arbitrary dataset → build index → write → map → logical equality,
+//! plus header/directory codec round-trips (same discipline as the
+//! fleet segment codec proptests).
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use centipede_dataset::dataset::{Dataset, PlatformTotals};
+use centipede_dataset::domains::DomainTable;
+use centipede_dataset::event::{Engagement, NewsEvent, UrlId, UserId};
+use centipede_dataset::gaps::Gaps;
+use centipede_dataset::index::DatasetIndex;
+use centipede_dataset::mapped::{
+    write_index, DirEntry, Header, MappedIndex, DIR_ENTRY_LEN, HEADER_LEN, N_SECTIONS,
+};
+use centipede_dataset::platform::{Platform, Venue};
+
+/// Arbitrary event stream over a handful of venues/URLs/domains, with
+/// users and engagement exercised (bounded away from the `u32::MAX`
+/// user sentinel and the `i64::MIN` timestamp sentinel by
+/// construction).
+fn arb_events() -> impl Strategy<Value = Vec<NewsEvent>> {
+    let names = ["breitbart.com", "rt.com", "nytimes.com", "bbc.com"];
+    let event = (
+        -500_000i64..500_000,
+        0usize..5,
+        0u32..12,
+        0usize..names.len(),
+        prop::option::of(0u32..1_000),
+        prop::option::of((0u32..50, 0u32..50, any::<bool>())),
+    )
+        .prop_map(move |(timestamp, v, url, d, user, engagement)| {
+            let venue = match v {
+                0 => Venue::Twitter,
+                1 => Venue::Subreddit("The_Donald".into()),
+                2 => Venue::Subreddit("cats".into()),
+                3 => Venue::Board("pol".into()),
+                _ => Venue::Board("sp".into()),
+            };
+            let domains = DomainTable::standard();
+            let mut e = NewsEvent::basic(
+                timestamp,
+                venue,
+                UrlId(url),
+                domains.id_by_name(names[d]).expect("standard domain"),
+            );
+            e.user = user.map(UserId);
+            e.engagement = engagement.map(|(retweets, likes, retrieved)| Engagement {
+                retweets,
+                likes,
+                retrieved,
+            });
+            e
+        });
+    prop::collection::vec(event, 0..60)
+}
+
+fn arb_totals() -> impl Strategy<Value = BTreeMap<Platform, PlatformTotals>> {
+    prop::collection::vec((0usize..3, 0u64..9_000, 0u64..500, 0u64..500), 0..3).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(p, total, alt, main)| {
+                (
+                    [Platform::Twitter, Platform::Reddit, Platform::FourChan][p],
+                    PlatformTotals {
+                        total_posts: total,
+                        posts_with_alternative: alt,
+                        posts_with_mainstream: main,
+                    },
+                )
+            })
+            .collect()
+    })
+}
+
+fn arb_gaps() -> impl Strategy<Value = BTreeMap<Platform, Gaps>> {
+    prop::collection::vec(
+        (
+            0usize..3,
+            prop::collection::vec((0i64..1_000, 1i64..100), 0..4),
+        ),
+        0..3,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .map(|(p, windows)| {
+                (
+                    [Platform::Twitter, Platform::Reddit, Platform::FourChan][p],
+                    Gaps::new(windows.iter().map(|&(s, len)| (s, s + len)).collect()),
+                )
+            })
+            .collect()
+    })
+}
+
+fn tmp_path(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("cpdm-proptest-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{tag}.cpdm"))
+}
+
+proptest! {
+    /// write → map → every accessor agrees with the in-memory index,
+    /// and the reconstructed dataset is identical to the original.
+    #[test]
+    fn mapped_container_round_trips_arbitrary_datasets(
+        events in arb_events(),
+        totals in arb_totals(),
+        gaps in arb_gaps(),
+    ) {
+        let dataset = Dataset::new(DomainTable::standard(), events, totals, gaps);
+        let index = DatasetIndex::build(&dataset);
+        let path = tmp_path("roundtrip");
+        write_index(&path, &index).unwrap();
+        let mapped = MappedIndex::open_verified(&path).unwrap();
+
+        prop_assert_eq!(mapped.n_events(), index.n_events());
+        prop_assert_eq!(mapped.n_urls(), index.n_urls());
+        let (a, b) = (index.view(), mapped.view());
+        prop_assert_eq!(a.timestamps(), b.timestamps());
+        prop_assert_eq!(a.venues(), b.venues());
+        prop_assert_eq!(a.venue_ids(), b.venue_ids());
+        prop_assert_eq!(a.url_ids(), b.url_ids());
+        for i in 0..index.n_events() {
+            prop_assert_eq!(a.platform(i), b.platform(i));
+            prop_assert_eq!(a.url(i), b.url(i));
+            prop_assert_eq!(a.event_domain(i), b.event_domain(i));
+            prop_assert_eq!(a.user(i), b.user(i));
+            prop_assert_eq!(a.engagement(i), b.engagement(i));
+            prop_assert_eq!(a.category(i), b.category(i));
+            prop_assert_eq!(a.group(i), b.group(i));
+            prop_assert_eq!(a.community(i), b.community(i));
+        }
+        for (ta, tb) in a.timelines().zip(b.timelines()) {
+            prop_assert_eq!(ta.to_timeline(), tb.to_timeline());
+        }
+        prop_assert_eq!(a.totals(), b.totals());
+        for p in [Platform::Twitter, Platform::Reddit, Platform::FourChan] {
+            prop_assert_eq!(a.gaps_for(p), b.gaps_for(p));
+        }
+        prop_assert_eq!(mapped.to_dataset(), dataset);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// The header codec is a bijection over its wire form.
+    #[test]
+    fn header_codec_round_trips(
+        n_events in 0u64..u64::from(u32::MAX),
+        n_urls in 0u64..u64::from(u32::MAX),
+        dir_checksum in any::<u64>(),
+    ) {
+        let header = Header {
+            n_events,
+            n_urls,
+            n_sections: N_SECTIONS as u32,
+            dir_checksum,
+        };
+        let wire = header.encode();
+        prop_assert_eq!(wire.len(), HEADER_LEN);
+        prop_assert_eq!(Header::decode(&wire).unwrap(), header);
+    }
+
+    /// The directory-entry codec is a bijection over its wire form.
+    #[test]
+    fn direntry_codec_round_trips(
+        id in any::<u32>(),
+        offset in any::<u64>(),
+        len in any::<u64>(),
+        checksum in any::<u64>(),
+    ) {
+        let entry = DirEntry { id, offset, len, checksum };
+        let wire = entry.encode();
+        prop_assert_eq!(wire.len(), DIR_ENTRY_LEN);
+        prop_assert_eq!(DirEntry::decode(&wire).unwrap(), entry);
+    }
+}

@@ -63,8 +63,8 @@ proptest! {
             prop_assert_eq!(view.domain(), old.domain);
             prop_assert_eq!(view.category(), old.category);
             prop_assert_eq!(view.times(), old.times.as_slice());
-            prop_assert_eq!(view.groups(), old.groups.as_slice());
-            prop_assert_eq!(view.communities(), old.communities.as_slice());
+            prop_assert_eq!(view.groups().collect::<Vec<_>>(), old.groups.clone());
+            prop_assert_eq!(view.communities().collect::<Vec<_>>(), old.communities.clone());
             prop_assert_eq!(view.len(), old.len());
             prop_assert_eq!(view.span(), old.span());
             prop_assert_eq!(&view.to_timeline(), old);
@@ -85,11 +85,12 @@ proptest! {
             BTreeMap::new(),
         );
         let index = DatasetIndex::build(&dataset);
+        let view = index.view();
 
         let mut covered = 0usize;
         for cat in NewsCategory::ALL {
             let expected: Vec<u32> = (0..dataset.len() as u32)
-                .filter(|&i| index.categories()[i as usize] == cat)
+                .filter(|&i| view.category(i as usize) == cat)
                 .collect();
             prop_assert_eq!(index.category_events(cat), expected.as_slice());
             covered += expected.len();
@@ -98,7 +99,7 @@ proptest! {
 
         for group in AnalysisGroup::ALL {
             let expected: Vec<u32> = (0..dataset.len() as u32)
-                .filter(|&i| index.groups()[i as usize] == Some(group))
+                .filter(|&i| view.group(i as usize) == Some(group))
                 .collect();
             prop_assert_eq!(index.group_events(group), expected.as_slice());
         }

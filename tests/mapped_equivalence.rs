@@ -1,0 +1,176 @@
+//! Report-equivalence tests for the mapped CPDM dataset container.
+//!
+//! The pipeline must not be able to tell whether it is reading the
+//! in-memory `DatasetIndex` or a `MappedIndex` opened zero-copy from a
+//! saved container: every test here renders the full `AnalysisReport`
+//! from both backings and compares the text byte for byte — exact
+//! equality, not approximate, because the mapped accessors are required
+//! to return the same bits the in-memory columns hold.
+//!
+//! The supervised test additionally pins the zero-copy handoff: when
+//! the pipeline runs off a map and spawns worker processes, the workers
+//! must open the *same* container by path and `prepared.bin` must never
+//! be written.
+
+use std::path::PathBuf;
+
+use rand::SeedableRng;
+
+use centipede::influence::supervisor::WORK_DIR;
+use centipede::influence::{SupervisorOptions, WorkerSource, MANIFEST_FILE, PREPARED_FILE};
+use centipede::pipeline::{run_all, run_indexed, PipelineConfig};
+use centipede_dataset::index::DatasetIndex;
+use centipede_dataset::mapped::{write_index, MappedIndex};
+use centipede_platform_sim::{ecosystem, GeneratedWorld, SimConfig};
+
+/// Moderate-scale seed world (same discipline as `index_equivalence`):
+/// large enough to populate every table and figure, small enough to
+/// stay fast.
+fn seed_world() -> GeneratedWorld {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(20170701);
+    let sim = SimConfig {
+        scale: 0.25,
+        ..SimConfig::default()
+    };
+    ecosystem::generate(&sim, &mut rng)
+}
+
+/// Tiny world for the influence-stage tests (same fixture as the
+/// pipeline unit tests).
+fn tiny_world() -> GeneratedWorld {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+    let mut config = SimConfig::small();
+    config.scale = 0.05;
+    ecosystem::generate(&config, &mut rng)
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "centipede-mapped-eq-{}-{tag}.cpdm",
+        std::process::id()
+    ))
+}
+
+/// Build the index, persist it as a CPDM container, and reopen it with
+/// full checksum verification.
+fn save_and_map(world: &GeneratedWorld, tag: &str) -> (PathBuf, MappedIndex) {
+    let index = DatasetIndex::build(&world.dataset);
+    let path = temp_path(tag);
+    write_index(&path, &index).expect("write CPDM container");
+    let mapped = MappedIndex::open_verified(&path).expect("reopen container");
+    assert_eq!(mapped.n_events(), world.dataset.len());
+    (path, mapped)
+}
+
+/// Every characterization/temporal/cross-platform stage renders the
+/// same bytes off the map as off the in-memory index.
+#[test]
+fn mapped_report_matches_in_memory_without_influence() {
+    let world = seed_world();
+    let config = PipelineConfig {
+        skip_influence: true,
+        ..PipelineConfig::default()
+    };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let in_memory = run_all(&world.dataset, &config, &mut rng);
+
+    let (path, mapped) = save_and_map(&world, "stages");
+    let off_map = run_indexed(&mapped, &config, &mut rng);
+    let _ = std::fs::remove_file(&path);
+
+    assert_eq!(in_memory.render(), off_map.render());
+    // Structured spot checks so a vacuous render cannot hide a drift.
+    assert_eq!(in_memory.table4, off_map.table4);
+    assert_eq!(in_memory.fig1, off_map.fig1);
+    assert_eq!(in_memory.fig4, off_map.fig4);
+    assert_eq!(in_memory.pair_lags, off_map.pair_lags);
+    assert_eq!(in_memory.table9, off_map.table9);
+    assert_eq!(in_memory.fig8, off_map.fig8);
+    assert!(!in_memory.fig1.is_empty(), "comparison must not be vacuous");
+}
+
+/// The influence stage — URL selection, Hawkes fits, Table 11,
+/// Figures 10/11 — is bit-identical off the map.
+#[test]
+fn mapped_influence_stage_matches_in_memory() {
+    let world = tiny_world();
+    let mut config = PipelineConfig::default();
+    config.fit.n_samples = 20;
+    config.fit.burn_in = 10;
+    config.fit.threads = Some(2);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let in_memory = run_all(&world.dataset, &config, &mut rng);
+    assert!(in_memory.selection.selected > 0, "no URLs selected");
+
+    let (path, mapped) = save_and_map(&world, "influence");
+    let off_map = run_indexed(&mapped, &config, &mut rng);
+    let _ = std::fs::remove_file(&path);
+
+    assert_eq!(in_memory.selection, off_map.selection);
+    assert_eq!(in_memory.render(), off_map.render());
+    let (a, b) = (
+        in_memory.fig10.expect("fig10 in memory"),
+        off_map.fig10.expect("fig10 off map"),
+    );
+    assert_eq!(a, b);
+}
+
+/// A supervised 2-worker fleet run off a map shares the container by
+/// path: the manifest names the map, `prepared.bin` is never written,
+/// and the merged fits still render the in-memory bytes.
+#[test]
+fn supervised_workers_share_one_map_without_prepared_bin() {
+    let world = tiny_world();
+    let mut config = PipelineConfig::default();
+    config.fit.n_samples = 20;
+    config.fit.burn_in = 10;
+    config.fit.threads = Some(2);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let in_memory = run_all(&world.dataset, &config, &mut rng);
+
+    let ckpt = std::env::temp_dir().join(format!(
+        "centipede-mapped-eq-{}-supervised-ckpt",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&ckpt);
+    config.fleet.checkpoint_dir = Some(ckpt.clone());
+    config.supervisor = Some(SupervisorOptions {
+        workers: 2,
+        worker_exe: Some(PathBuf::from(env!("CARGO_BIN_EXE_fleet_worker"))),
+        ..SupervisorOptions::default()
+    });
+
+    let (path, mapped) = save_and_map(&world, "supervised");
+    let off_map = run_indexed(&mapped, &config, &mut rng);
+
+    // The supervised path ran (no silent fallback to in-process) and
+    // every URL survived it.
+    let sup = off_map.supervisor.as_ref().expect("supervised fleet ran");
+    assert!(sup.lost_urls.is_empty());
+    assert!(!sup.degraded);
+
+    // Zero-copy handoff: the manifest points the workers at the map and
+    // the prepared set was never re-serialized.
+    let work_dir = ckpt.join(WORK_DIR);
+    let manifest =
+        centipede::influence::read_manifest(&work_dir.join(MANIFEST_FILE)).expect("manifest");
+    match &manifest.source {
+        WorkerSource::Mapped {
+            path: map_path,
+            selection,
+        } => {
+            assert_eq!(map_path, &path);
+            assert_eq!(*selection, config.selection);
+        }
+        WorkerSource::PreparedFile => panic!("manifest should name the mapped container"),
+    }
+    assert!(
+        !work_dir.join(PREPARED_FILE).exists(),
+        "prepared.bin must not be written when workers share the map"
+    );
+
+    assert_eq!(in_memory.render(), off_map.render());
+
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_dir_all(&ckpt);
+}
