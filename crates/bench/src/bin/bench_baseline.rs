@@ -17,6 +17,11 @@
 //! * `dataset-open` — zero-copy `MappedIndex::open` of a saved CPDM
 //!   container vs rebuilding the `DatasetIndex` from the same dataset,
 //!   appended to `BENCH_dataset.json`.
+//! * `ingest` — the live append path: batch-build half the bench
+//!   dataset as the sealed base, append the other half event by event
+//!   through `IncrementalIndex::append`, then time the merge
+//!   (`refresh`), the compaction (`seal`), and a post-seal stats
+//!   query, appended to `BENCH_ingest.json`.
 //!
 //! Usage:
 //!
@@ -24,10 +29,10 @@
 //! cargo run --release -p centipede-bench --bin bench_baseline -- <mode> <label> [reps] [--check]
 //! ```
 //!
-//! `mode` is `hawkes`, `hawkes-adaptive`, `pipeline`, or
-//! `dataset-open`; `label` names the trajectory point (e.g.
-//! `pr2-after`); `reps` defaults to 7 (hawkes), 3 (hawkes-adaptive), 5
-//! (pipeline), or 9 (dataset-open) — the median is recorded after one
+//! `mode` is `hawkes`, `hawkes-adaptive`, `pipeline`, `dataset-open`,
+//! or `ingest`; `label` names the trajectory point (e.g. `pr2-after`);
+//! `reps` defaults to 7 (hawkes), 3 (hawkes-adaptive), 5 (pipeline), 9
+//! (dataset-open), or 5 (ingest) — the median is recorded after one
 //! warm-up.
 //!
 //! With `--check`, nothing is appended: the fresh median is compared
@@ -84,10 +89,11 @@ fn main() {
         "hawkes-adaptive" => hawkes_adaptive_baseline(&label, reps.unwrap_or(3), check),
         "pipeline" => pipeline_baseline(&label, reps.unwrap_or(5), check),
         "dataset-open" => dataset_open_baseline(&label, reps.unwrap_or(9), check),
+        "ingest" => ingest_baseline(&label, reps.unwrap_or(5), check),
         other => {
             eprintln!(
                 "bench_baseline: unknown mode `{other}` \
-                 (expected `hawkes`, `hawkes-adaptive`, `pipeline`, or `dataset-open`)"
+                 (expected `hawkes`, `hawkes-adaptive`, `pipeline`, `dataset-open`, or `ingest`)"
             );
             std::process::exit(2);
         }
@@ -381,6 +387,105 @@ fn dataset_open_baseline(label: &str, reps: usize, check: bool) {
          \"open_speedup\": {open_speedup:.1}\n  }}"
     );
     append_entry("BENCH_dataset.json", &entry);
+}
+
+/// The live append path behind `centipede-serve`: half the bench
+/// dataset batch-built as the sealed base, the other half appended
+/// event by event through `IncrementalIndex::append`, then one
+/// `refresh` merge, one `seal_to` compaction, and the post-seal stats
+/// query the service answers `/stats` from. The advisory `--check`
+/// tracks the append median (the per-request hot path).
+fn ingest_baseline(label: &str, reps: usize, check: bool) {
+    use centipede_dataset::dataset::Dataset;
+    use centipede_dataset::incremental::IncrementalIndex;
+    use centipede_serve::projection::stats_projection;
+
+    let dataset = centipede_bench::dataset();
+    let events = dataset.len();
+    let split = events / 2;
+    let base = Dataset::new(
+        dataset.domains.clone(),
+        dataset.events[..split].to_vec(),
+        dataset.totals.clone(),
+        dataset.gaps.clone(),
+    );
+    let live = &dataset.events[split..];
+    let live_events = live.len();
+
+    // Each rep rebuilds the base and replays the whole tail so the
+    // median covers steady-state appends plus delta growth, then the
+    // single merge that makes the batch queryable.
+    let replay = || {
+        let mut index = IncrementalIndex::from_dataset(&base);
+        let start = Instant::now();
+        for event in live {
+            index.append(event).expect("tail stays in timestamp order");
+        }
+        let append_ns = start.elapsed().as_nanos() as u64;
+        let start = Instant::now();
+        index.refresh();
+        let refresh_ns = start.elapsed().as_nanos() as u64;
+        assert_eq!(index.n_events(), events);
+        (index, append_ns, refresh_ns)
+    };
+    let _ = replay(); // warm-up
+    let mut append_ns: Vec<u64> = Vec::with_capacity(reps);
+    let mut refresh_ns: Vec<u64> = Vec::with_capacity(reps);
+    let mut last = None;
+    for _ in 0..reps {
+        let (index, append, refresh) = replay();
+        append_ns.push(append);
+        refresh_ns.push(refresh);
+        last = Some(index);
+    }
+    append_ns.sort_unstable();
+    refresh_ns.sort_unstable();
+    let median_append_ns = append_ns[reps / 2].max(1);
+    let median_refresh_ns = refresh_ns[reps / 2].max(1);
+    let append_ns_per_event = (median_append_ns / live_events.max(1) as u64).max(1);
+    let events_per_sec = live_events as f64 / (median_append_ns as f64 / 1e9);
+
+    // One compaction cycle on the last replayed index, then the stats
+    // query the service serves from the sealed view.
+    let mut index = last.expect("reps >= 1");
+    let segment = std::env::temp_dir().join(format!("bench-ingest-{}.cpdm", std::process::id()));
+    let start = Instant::now();
+    let seal = index.seal_to(&segment).expect("seal segment");
+    let seal_ns = start.elapsed().as_nanos() as u64;
+    assert_eq!(seal.sealed_events, events);
+    let _ = std::fs::remove_file(&segment);
+    let start = Instant::now();
+    let stats = stats_projection(&index);
+    let query_ns = start.elapsed().as_nanos() as u64;
+    assert_eq!(stats.n_events, events as u64);
+
+    eprintln!(
+        "bench_baseline[{label}]: {split} sealed + {live_events} live events, \
+         median append {:.2} ms ({append_ns_per_event} ns/event, {events_per_sec:.0} events/s), \
+         refresh {:.2} ms, seal {:.2} ms, stats query {:.3} ms",
+        median_append_ns as f64 / 1e6,
+        median_refresh_ns as f64 / 1e6,
+        seal_ns as f64 / 1e6,
+        query_ns as f64 / 1e6,
+    );
+
+    if check {
+        check_against_baseline("BENCH_ingest.json", "median_append_ns", median_append_ns);
+        return;
+    }
+
+    let scale = centipede_bench::BENCH_SCALE;
+    let entry = format!(
+        "  {{\n    \"label\": \"{label}\",\n    \"bench\": \"ingest/append_tail_refresh_seal\",\n    \
+         \"scale\": {scale},\n    \"events\": {events},\n    \"sealed_events\": {split},\n    \
+         \"live_events\": {live_events},\n    \"reps\": {reps},\n    \
+         \"median_append_ns\": {median_append_ns},\n    \
+         \"append_ns_per_event\": {append_ns_per_event},\n    \
+         \"events_per_sec\": {events_per_sec:.0},\n    \
+         \"median_refresh_ns\": {median_refresh_ns},\n    \"seal_ns\": {seal_ns},\n    \
+         \"stats_query_ns\": {query_ns}\n  }}"
+    );
+    append_entry("BENCH_ingest.json", &entry);
 }
 
 /// Compare `current` against the most recent `key` value tracked in

@@ -8,6 +8,9 @@
 //!       [--checkpoint-dir PATH] [--resume] [--compare] [--out PATH]
 //!       [--supervised] [--workers N] [--fault SPEC]
 //!       [--save-index PATH] [--load-index PATH]
+//!       [--serve ADDR] [--serve-empty] [--serve-influence]
+//!       [--refresh-interval MS] [--seal-dir PATH]
+//!       [--save-events PATH] [--stats-json PATH]
 //!       [--metrics PATH] [--trace PATH] [--trace-flame PATH]
 //!       [--metrics-series PATH] [--metrics-interval MS]
 //!       [--quiet] [--verbose]
@@ -66,10 +69,13 @@ use rand::SeedableRng;
 
 use centipede::influence::fit::Estimator;
 use centipede::pipeline::{run_all, run_indexed, AnalysisReport, PipelineConfig};
+use centipede_dataset::dataset::Dataset;
+use centipede_dataset::incremental::IncrementalIndex;
 use centipede_dataset::index::DatasetIndex;
 use centipede_dataset::mapped::{write_index, MappedIndex};
 use centipede_obs::{JsonExporter, StderrReporter, Verbosity};
 use centipede_platform_sim::{ecosystem, SimConfig};
+use centipede_serve::{serve, Engine, EngineConfig, InfluenceOptions};
 
 struct Args {
     seed: u64,
@@ -92,6 +98,13 @@ struct Args {
     save_index: Option<String>,
     load_index: Option<String>,
     out: Option<String>,
+    serve: Option<String>,
+    serve_empty: bool,
+    serve_influence: bool,
+    refresh_interval_ms: u64,
+    seal_dir: Option<String>,
+    save_events: Option<String>,
+    stats_json: Option<String>,
     metrics: Option<String>,
     trace: Option<String>,
     trace_flame: Option<String>,
@@ -122,6 +135,13 @@ fn parse_args() -> Args {
         save_index: None,
         load_index: None,
         out: None,
+        serve: None,
+        serve_empty: false,
+        serve_influence: false,
+        refresh_interval_ms: 250,
+        seal_dir: None,
+        save_events: None,
+        stats_json: None,
         metrics: None,
         trace: None,
         trace_flame: None,
@@ -176,6 +196,21 @@ fn parse_args() -> Args {
             "--save-index" => args.save_index = Some(it.next().expect("--save-index PATH")),
             "--load-index" => args.load_index = Some(it.next().expect("--load-index PATH")),
             "--out" => args.out = Some(it.next().expect("--out PATH")),
+            "--serve" => args.serve = Some(it.next().expect("--serve ADDR")),
+            "--serve-empty" => args.serve_empty = true,
+            "--serve-influence" => args.serve_influence = true,
+            "--refresh-interval" => {
+                let ms: u64 = it
+                    .next()
+                    .expect("--refresh-interval MS")
+                    .parse()
+                    .expect("refresh-interval");
+                assert!(ms >= 1, "--refresh-interval must be >= 1 ms");
+                args.refresh_interval_ms = ms;
+            }
+            "--seal-dir" => args.seal_dir = Some(it.next().expect("--seal-dir PATH")),
+            "--save-events" => args.save_events = Some(it.next().expect("--save-events PATH")),
+            "--stats-json" => args.stats_json = Some(it.next().expect("--stats-json PATH")),
             "--metrics" => args.metrics = Some(it.next().expect("--metrics PATH")),
             "--trace" => args.trace = Some(it.next().expect("--trace PATH")),
             "--trace-flame" => args.trace_flame = Some(it.next().expect("--trace-flame PATH")),
@@ -201,6 +236,9 @@ fn parse_args() -> Args {
                      [--checkpoint-dir PATH] [--resume] \
                      [--supervised] [--workers N] [--fault SPEC] \
                      [--save-index PATH] [--load-index PATH] \
+                     [--serve ADDR] [--serve-empty] [--serve-influence] \
+                     [--refresh-interval MS] [--seal-dir PATH] \
+                     [--save-events PATH] [--stats-json PATH] \
                      [--compare] [--out PATH] [--metrics PATH] [--trace PATH] \
                      [--trace-flame PATH] [--metrics-series PATH] [--metrics-interval MS] \
                      [--quiet] [--verbose]\n\
@@ -229,6 +267,21 @@ fn parse_args() -> Args {
                                        run the pipeline zero-copy off the map\n\
                      --load-index PATH skip generation; analyze a saved CPDM container\n\
                      --compare         print the paper-vs-repro comparison table\n\
+                     --serve ADDR      run the live ingestion service on ADDR instead of\n\
+                                       the one-shot pipeline (POST /ingest NDJSON,\n\
+                                       GET /stats /characterization /temporal /influence\n\
+                                       /healthz /metrics, POST /refresh /seal /shutdown)\n\
+                     --serve-empty     start the service on an empty index (all events\n\
+                                       arrive via /ingest); default serves the generated\n\
+                                       or --load-index dataset as the sealed base\n\
+                     --serve-influence recompute the Hawkes influence projection on each\n\
+                                       /seal (uses --samples/--burn-in/--threads/--em)\n\
+                     --refresh-interval MS  delta merge interval for the service (default 250)\n\
+                     --seal-dir PATH   where /seal writes CPDM segments\n\
+                     --save-events PATH  write the generated dataset as JSONL (streamable\n\
+                                       into /ingest after stripping the header line)\n\
+                     --stats-json PATH write the batch /stats projection as JSON (CI\n\
+                                       parity check against the live service)\n\
                      --out PATH        also write the report text to PATH\n\
                      --metrics PATH    write a metrics.json snapshot to PATH\n\
                      --trace PATH      write a Chrome trace-event JSON timeline to PATH\n\
@@ -346,6 +399,10 @@ fn main() {
         (None, None) => None,
     };
 
+    if args.serve.is_some() {
+        serve_mode(&args, sampler);
+    }
+
     let mut rng = rand::rngs::StdRng::seed_from_u64(args.seed);
 
     let mut config = PipelineConfig::default();
@@ -420,6 +477,7 @@ fn main() {
                 world.dataset.timelines().len(),
                 t0.elapsed().as_secs_f64()
             ));
+            export_dataset_artifacts(&world.dataset, &args);
 
             obs.message("running measurement pipeline ...");
             let t1 = std::time::Instant::now();
@@ -591,4 +649,156 @@ fn main() {
             );
         }
     }
+}
+
+/// `--save-events` / `--stats-json`: persist the generated dataset as
+/// streamable JSONL and its batch stats projection for the service
+/// parity check.
+fn export_dataset_artifacts(dataset: &Dataset, args: &Args) {
+    let obs = centipede_obs::global();
+    if let Some(path) = &args.save_events {
+        let path = std::path::Path::new(path);
+        if let Err(e) = centipede_dataset::store::save(dataset, path) {
+            eprintln!("[repro] cannot save events to {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        obs.message(&format!(
+            "{} events saved as JSONL to {}",
+            dataset.len(),
+            path.display()
+        ));
+    }
+    if let Some(path) = &args.stats_json {
+        let index = DatasetIndex::build(dataset);
+        let stats = centipede_serve::projection::stats_projection(&index);
+        let json = match serde_json::to_string(&stats) {
+            Ok(json) => json,
+            Err(e) => {
+                eprintln!("[repro] cannot serialize stats projection: {e}");
+                std::process::exit(1);
+            }
+        };
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("[repro] cannot write stats projection to {path}: {e}");
+            std::process::exit(1);
+        }
+        obs.message(&format!("batch stats projection written to {path}"));
+    }
+}
+
+/// `--serve ADDR`: run the live ingestion service instead of the
+/// one-shot pipeline. Blocks until `POST /shutdown` or SIGINT.
+fn serve_mode(args: &Args, sampler: Option<centipede_obs::MetricsSampler>) -> ! {
+    let obs = centipede_obs::global();
+    let addr = args.serve.as_deref().expect("serve mode requires --serve");
+    if args.serve_empty && args.load_index.is_some() {
+        eprintln!("[repro] --serve-empty and --load-index are mutually exclusive");
+        std::process::exit(2);
+    }
+
+    // The initial index: a mapped sealed base, an empty index, or the
+    // generated world batch-built and moved in.
+    let index = if let Some(path) = &args.load_index {
+        let path = std::path::Path::new(path);
+        match MappedIndex::open_verified(path) {
+            Ok(mapped) => {
+                obs.message(&format!(
+                    "serving sealed base of {} events from {}",
+                    mapped.n_events(),
+                    path.display()
+                ));
+                IncrementalIndex::from_source(&mapped)
+            }
+            Err(e) => {
+                eprintln!("[repro] cannot open mapped dataset {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    } else if args.serve_empty {
+        obs.message("serving an empty index; all events arrive via POST /ingest");
+        IncrementalIndex::empty(
+            centipede_dataset::domains::DomainTable::standard(),
+            Default::default(),
+            Default::default(),
+        )
+    } else {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(args.seed);
+        let sim = SimConfig {
+            scale: args.scale,
+            apply_gaps: args.apply_gaps,
+            bots_enabled: args.bots,
+            ..SimConfig::default()
+        };
+        obs.message(&format!(
+            "generating ecosystem for the sealed base (scale={}) ...",
+            sim.scale
+        ));
+        let world = ecosystem::generate(&sim, &mut rng);
+        obs.message(&format!("sealed base: {} events", world.dataset.len()));
+        export_dataset_artifacts(&world.dataset, args);
+        IncrementalIndex::from_dataset(&world.dataset)
+    };
+
+    let influence = if args.serve_influence {
+        let mut options = InfluenceOptions::default();
+        options.fit.estimator = args.estimator;
+        options.fit.n_samples = args.samples;
+        options.fit.burn_in = args.burn_in.unwrap_or(args.samples / 2);
+        options.fit.threads = args.threads;
+        options.fit.chains = args.chains;
+        options.fit.rhat_target = args.rhat_target;
+        Some(options)
+    } else {
+        None
+    };
+    if let Some(dir) = &args.seal_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("[repro] cannot create --seal-dir {dir}: {e}");
+            std::process::exit(1);
+        }
+    }
+    let engine = Arc::new(Engine::start(
+        index,
+        EngineConfig {
+            refresh_interval: std::time::Duration::from_millis(args.refresh_interval_ms),
+            seal_dir: args.seal_dir.as_ref().map(std::path::PathBuf::from),
+            influence,
+        },
+    ));
+
+    let handle = match serve(addr, Arc::clone(&engine)) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("[repro] cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    obs.message(&format!(
+        "serving on http://{} — POST /ingest (NDJSON), GET /stats /characterization \
+         /temporal /influence /healthz /metrics, POST /refresh /seal /shutdown",
+        handle.local_addr()
+    ));
+
+    // Exit on POST /shutdown or SIGINT, whichever lands first.
+    let interrupted = sigint::install();
+    while !handle.is_shutdown() && !interrupted.load(std::sync::atomic::Ordering::Relaxed) {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    obs.message("shutting down ingestion service");
+    handle.stop();
+
+    if let Some(sampler) = sampler {
+        match sampler.stop() {
+            Ok(samples) => obs.message(&format!("metrics series: {samples} samples written")),
+            Err(err) => {
+                eprintln!("[repro] metrics series export failed: {err}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Err(err) = obs.flush() {
+        eprintln!("[repro] metrics export failed: {err}");
+        std::process::exit(1);
+    }
+    std::process::exit(0);
 }

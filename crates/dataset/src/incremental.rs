@@ -1,0 +1,1108 @@
+//! Sealed-base + delta incremental index: the live append path.
+//!
+//! Everything upstream of this module is batch: simulate → build a
+//! [`DatasetIndex`] → analyze. [`IncrementalIndex`] refactors that
+//! spine for streaming ingestion — news-URL events arrive in timestamp
+//! order while influence and characterization queries are still being
+//! answered — without changing a single analysis consumer:
+//!
+//! * **Sealed base.** An immutable prefix of the event columns, taken
+//!   from a batch-built [`DatasetIndex`], a zero-copy
+//!   [`crate::mapped::MappedIndex`] (any [`IndexSource`]), or empty.
+//!   The base is never rewritten; [`IncrementalIndex::sealed_len`]
+//!   marks its extent.
+//! * **Append-only delta.** [`IncrementalIndex::append`] accepts
+//!   timestamp-ordered events at O(1) amortized cost: event columns
+//!   and category/group posting lists grow by push, the venue interner
+//!   memoises per-venue derived values exactly like the batch build,
+//!   and per-URL delta posting lists accumulate the event indices that
+//!   have not yet been merged into the CSR partition. Out-of-order
+//!   timestamps, sentinel collisions, and unknown domains are typed
+//!   [`AppendError`]s, never panics.
+//! * **Merge-on-read CSR.** The per-URL CSR partition (slot table,
+//!   offsets, permuted timeline columns, group summaries) is rebuilt
+//!   lazily by [`IncrementalIndex::refresh`]: a sorted merge of the
+//!   existing URL slots with the delta URLs, concatenating each URL's
+//!   base slice with its delta list — valid because appends are
+//!   time-ordered, so within a URL every delta event follows every
+//!   base event. Per-URL group summaries fold only the delta events on
+//!   top of the previous summaries.
+//! * **Seal.** [`IncrementalIndex::seal`] compacts base+delta into a
+//!   fresh sealed prefix; [`IncrementalIndex::seal_to`] additionally
+//!   persists the compacted segment through the `CPDM` writer
+//!   ([`crate::mapped::write_view`]), so sealed segments reopen
+//!   zero-copy by `mmap` like any batch-built container.
+//!
+//! [`IncrementalIndex`] implements [`IndexSource`]: after a
+//! [`refresh`](IncrementalIndex::refresh) its [`IndexView`] is
+//! *identical* (same slices, same encodings, same slot order) to the
+//! view of a batch-built index over the same events — pinned by the
+//! equivalence suite (`tests/incremental_equivalence.rs`) asserting
+//! byte-identical pipeline reports between "build over N events" and
+//! "build over a prefix, append the remainder", including across a
+//! seal. `pipeline::run_indexed`, every characterization / temporal /
+//! cross-platform stage, and `influence::prepare` run unchanged.
+//!
+//! # Contract
+//!
+//! [`append`](IncrementalIndex::append) leaves the CSR stale;
+//! [`view`](IncrementalIndex::view) panics until
+//! [`refresh`](IncrementalIndex::refresh) folds the delta in. The
+//! single-writer ingest loop in `centipede-serve` batches appends and
+//! refreshes on an interval, so readers always see a consistent merged
+//! snapshot.
+
+use std::collections::{BTreeMap, HashMap};
+use std::path::{Path, PathBuf};
+
+use crate::dataset::{Dataset, PlatformTotals};
+use crate::domains::DomainTable;
+use crate::event::NewsEvent;
+use crate::gaps::Gaps;
+use crate::index::{
+    category_code, community_code, group_code, group_from_code, group_slot, platform_code,
+    DatasetIndex, IndexSource, IndexView, NO_FIRST, NO_USER,
+};
+use crate::mapped::MapError;
+use crate::platform::{Platform, Venue};
+
+/// Slot count of the per-URL group-summary arrays (one per
+/// [`crate::platform::AnalysisGroup`]).
+const N_GROUPS: usize = 3;
+
+/// Typed rejection of one appended event. The index is unchanged when
+/// any of these is returned — a rejected event leaves no partial
+/// column writes behind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AppendError {
+    /// The event's timestamp precedes the newest indexed event. The
+    /// append path requires the same non-decreasing order the batch
+    /// build gets from `Dataset::new`'s sort.
+    OutOfOrder {
+        /// Timestamp of the newest event already indexed.
+        last: i64,
+        /// Timestamp of the rejected event.
+        timestamp: i64,
+    },
+    /// The timestamp collides with the `NO_FIRST` sentinel
+    /// (`i64::MIN`) reserved by the column encoding.
+    SentinelTimestamp,
+    /// The user id collides with the `NO_USER` sentinel (`u32::MAX`)
+    /// reserved by the column encoding.
+    SentinelUser,
+    /// The event references a domain id outside the index's domain
+    /// table.
+    UnknownDomain {
+        /// The offending domain id.
+        id: u16,
+        /// Domains in the table.
+        n_domains: usize,
+    },
+    /// The `u32` event-index space is exhausted.
+    Full,
+}
+
+impl std::fmt::Display for AppendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AppendError::OutOfOrder { last, timestamp } => write!(
+                f,
+                "out-of-order append: timestamp {timestamp} precedes newest indexed event {last}"
+            ),
+            AppendError::SentinelTimestamp => {
+                write!(
+                    f,
+                    "timestamp collides with the NO_FIRST sentinel (i64::MIN)"
+                )
+            }
+            AppendError::SentinelUser => {
+                write!(f, "user id collides with the NO_USER sentinel (u32::MAX)")
+            }
+            AppendError::UnknownDomain { id, n_domains } => write!(
+                f,
+                "unknown domain id {id} (domain table has {n_domains} entries)"
+            ),
+            AppendError::Full => write!(f, "event index space (u32) exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for AppendError {}
+
+/// Outcome of a [`IncrementalIndex::seal`] / [`IncrementalIndex::seal_to`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SealSummary {
+    /// Events in the sealed segment (the whole index at seal time).
+    pub sealed_events: usize,
+    /// Distinct URLs in the sealed segment.
+    pub sealed_urls: usize,
+    /// Delta events folded in by this seal (appended since the
+    /// previous seal or base).
+    pub delta_events: usize,
+}
+
+/// Sealed-base + delta incremental index; see the module docs.
+#[derive(Debug)]
+pub struct IncrementalIndex {
+    domains: DomainTable,
+    totals: BTreeMap<Platform, PlatformTotals>,
+    gaps: BTreeMap<Platform, Gaps>,
+
+    // Venue interner: `venues` in first-appearance order with the
+    // derived group/community memoised per venue, plus the reverse map
+    // used by the append path.
+    venues: Vec<Venue>,
+    venue_group: Vec<u8>,
+    venue_community: Vec<u8>,
+    venue_slots: HashMap<Venue, u32>,
+
+    // Append-only event columns (sealed prefix + delta tail), in the
+    // same fixed-width encodings as `DatasetIndex`.
+    timestamps: Vec<i64>,
+    venue_ids: Vec<u32>,
+    platforms: Vec<u8>,
+    urls: Vec<u32>,
+    event_domains: Vec<u16>,
+    users: Vec<u32>,
+    eng_retweets: Vec<u32>,
+    eng_likes: Vec<u32>,
+    eng_flags: Vec<u8>,
+    categories: Vec<u8>,
+    groups: Vec<u8>,
+    communities: Vec<u8>,
+
+    // Append-only posting lists.
+    category_posting: [Vec<u32>; 2],
+    group_posting: [Vec<u32>; 3],
+
+    // Merged CSR partition — valid only while `csr_clean`. Same layout
+    // as `DatasetIndex`.
+    url_ids: Vec<u32>,
+    url_offsets: Vec<u32>,
+    url_events: Vec<u32>,
+    url_domains: Vec<u16>,
+    url_categories: Vec<u8>,
+    url_group_first: Vec<i64>,
+    url_group_count: Vec<u32>,
+    tl_times: Vec<i64>,
+    tl_groups: Vec<u8>,
+    tl_communities: Vec<u8>,
+
+    // Per-URL delta posting lists: event indices appended since the
+    // last refresh, keyed by raw URL id (sorted keys give the merge
+    // its deterministic order).
+    delta_url_events: BTreeMap<u32, Vec<u32>>,
+    csr_clean: bool,
+
+    // Events merged into the CSR (everything below this index is
+    // queryable through `view`).
+    merged_len: usize,
+    // Extent of the immutable sealed prefix.
+    sealed_len: usize,
+    last_timestamp: i64,
+    // Path of the CPDM segment this index was sealed to (or based
+    // on), valid only while no events have been appended on top.
+    sealed_path: Option<PathBuf>,
+}
+
+impl IncrementalIndex {
+    /// An empty index carrying only metadata (domain table, crawl
+    /// totals, gap windows). The first appended event starts the
+    /// delta.
+    pub fn empty(
+        domains: DomainTable,
+        totals: BTreeMap<Platform, PlatformTotals>,
+        gaps: BTreeMap<Platform, Gaps>,
+    ) -> IncrementalIndex {
+        IncrementalIndex {
+            domains,
+            totals,
+            gaps,
+            venues: Vec::new(),
+            venue_group: Vec::new(),
+            venue_community: Vec::new(),
+            venue_slots: HashMap::new(),
+            timestamps: Vec::new(),
+            venue_ids: Vec::new(),
+            platforms: Vec::new(),
+            urls: Vec::new(),
+            event_domains: Vec::new(),
+            users: Vec::new(),
+            eng_retweets: Vec::new(),
+            eng_likes: Vec::new(),
+            eng_flags: Vec::new(),
+            categories: Vec::new(),
+            groups: Vec::new(),
+            communities: Vec::new(),
+            category_posting: [Vec::new(), Vec::new()],
+            group_posting: [Vec::new(), Vec::new(), Vec::new()],
+            url_ids: Vec::new(),
+            url_offsets: vec![0],
+            url_events: Vec::new(),
+            url_domains: Vec::new(),
+            url_categories: Vec::new(),
+            url_group_first: Vec::new(),
+            url_group_count: Vec::new(),
+            tl_times: Vec::new(),
+            tl_groups: Vec::new(),
+            tl_communities: Vec::new(),
+            delta_url_events: BTreeMap::new(),
+            csr_clean: true,
+            merged_len: 0,
+            sealed_len: 0,
+            last_timestamp: i64::MIN + 1,
+            sealed_path: None,
+        }
+    }
+
+    /// Take ownership of a batch-built index as the sealed base
+    /// (O(1): the columns move in).
+    pub fn from_index(index: DatasetIndex) -> IncrementalIndex {
+        let n = index.n_events();
+        let venue_slots = index
+            .venues
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.clone(), i as u32))
+            .collect();
+        let venue_group = index
+            .venues
+            .iter()
+            .map(|v| group_code(v.analysis_group()))
+            .collect();
+        let venue_community = index
+            .venues
+            .iter()
+            .map(|v| community_code(v.community()))
+            .collect();
+        let last_timestamp = index.timestamps.last().copied().unwrap_or(i64::MIN + 1);
+        IncrementalIndex {
+            domains: index.domains,
+            totals: index.totals,
+            gaps: index.gaps,
+            venues: index.venues,
+            venue_group,
+            venue_community,
+            venue_slots,
+            timestamps: index.timestamps,
+            venue_ids: index.venue_ids,
+            platforms: index.platforms,
+            urls: index.urls,
+            event_domains: index.event_domains,
+            users: index.users,
+            eng_retweets: index.eng_retweets,
+            eng_likes: index.eng_likes,
+            eng_flags: index.eng_flags,
+            categories: index.categories,
+            groups: index.groups,
+            communities: index.communities,
+            category_posting: index.category_posting,
+            group_posting: index.group_posting,
+            url_ids: index.url_ids,
+            url_offsets: index.url_offsets,
+            url_events: index.url_events,
+            url_domains: index.url_domains,
+            url_categories: index.url_categories,
+            url_group_first: index.url_group_first,
+            url_group_count: index.url_group_count,
+            tl_times: index.tl_times,
+            tl_groups: index.tl_groups,
+            tl_communities: index.tl_communities,
+            delta_url_events: BTreeMap::new(),
+            csr_clean: true,
+            merged_len: n,
+            sealed_len: n,
+            last_timestamp,
+            sealed_path: None,
+        }
+    }
+
+    /// Copy any [`IndexSource`] (in particular a zero-copy
+    /// [`crate::mapped::MappedIndex`]) into an appendable index. One
+    /// O(n) column copy — the mapped container itself is immutable, so
+    /// growing past it requires owned columns. Remembers the
+    /// container path: until the first append, [`IndexSource::map_path`]
+    /// still hands workers the sealed segment.
+    pub fn from_source<S: IndexSource>(source: &S) -> IncrementalIndex {
+        let v = source.view();
+        let venues: Vec<Venue> = v.venues().to_vec();
+        let venue_slots = venues
+            .iter()
+            .enumerate()
+            .map(|(i, venue)| (venue.clone(), i as u32))
+            .collect();
+        let venue_group = venues
+            .iter()
+            .map(|venue| group_code(venue.analysis_group()))
+            .collect();
+        let venue_community = venues
+            .iter()
+            .map(|venue| community_code(venue.community()))
+            .collect();
+        let n = v.n_events();
+        IncrementalIndex {
+            domains: v.domains.clone(),
+            totals: v.totals.clone(),
+            gaps: v.gaps.clone(),
+            venues,
+            venue_group,
+            venue_community,
+            venue_slots,
+            timestamps: v.timestamps.to_vec(),
+            venue_ids: v.venue_ids.to_vec(),
+            platforms: v.platforms.to_vec(),
+            urls: v.urls.to_vec(),
+            event_domains: v.event_domains.to_vec(),
+            users: v.users.to_vec(),
+            eng_retweets: v.eng_retweets.to_vec(),
+            eng_likes: v.eng_likes.to_vec(),
+            eng_flags: v.eng_flags.to_vec(),
+            categories: v.categories.to_vec(),
+            groups: v.groups.to_vec(),
+            communities: v.communities.to_vec(),
+            category_posting: [
+                v.category_posting[0].to_vec(),
+                v.category_posting[1].to_vec(),
+            ],
+            group_posting: [
+                v.group_posting[0].to_vec(),
+                v.group_posting[1].to_vec(),
+                v.group_posting[2].to_vec(),
+            ],
+            url_ids: v.url_ids.to_vec(),
+            url_offsets: v.url_offsets.to_vec(),
+            url_events: v.url_events.to_vec(),
+            url_domains: v.url_domains.to_vec(),
+            url_categories: v.url_categories.to_vec(),
+            url_group_first: v.url_group_first.to_vec(),
+            url_group_count: v.url_group_count.to_vec(),
+            tl_times: v.tl_times.to_vec(),
+            tl_groups: v.tl_groups.to_vec(),
+            tl_communities: v.tl_communities.to_vec(),
+            delta_url_events: BTreeMap::new(),
+            csr_clean: true,
+            merged_len: n,
+            sealed_len: n,
+            last_timestamp: v.timestamps.last().copied().unwrap_or(i64::MIN + 1),
+            sealed_path: source.map_path().map(Path::to_path_buf),
+        }
+    }
+
+    /// Build the sealed base from a dataset (batch build, then move).
+    pub fn from_dataset(dataset: &Dataset) -> IncrementalIndex {
+        IncrementalIndex::from_index(DatasetIndex::build(dataset))
+    }
+
+    /// Append one timestamp-ordered event. O(1) amortized: column
+    /// pushes plus one delta-posting push. The CSR partition goes
+    /// stale; call [`refresh`](Self::refresh) before reading.
+    pub fn append(&mut self, e: &NewsEvent) -> Result<u32, AppendError> {
+        // Sentinel first: NO_FIRST is i64::MIN, which would otherwise
+        // always report as merely out of order.
+        if e.timestamp == NO_FIRST {
+            return Err(AppendError::SentinelTimestamp);
+        }
+        if e.timestamp < self.last_timestamp {
+            return Err(AppendError::OutOfOrder {
+                last: self.last_timestamp,
+                timestamp: e.timestamp,
+            });
+        }
+        let user = match e.user {
+            None => NO_USER,
+            Some(u) if u.0 == NO_USER => return Err(AppendError::SentinelUser),
+            Some(u) => u.0,
+        };
+        if (e.domain.0 as usize) >= self.domains.len() {
+            return Err(AppendError::UnknownDomain {
+                id: e.domain.0,
+                n_domains: self.domains.len(),
+            });
+        }
+        if self.timestamps.len() >= u32::MAX as usize {
+            return Err(AppendError::Full);
+        }
+
+        let idx = self.timestamps.len() as u32;
+        let vid = match self.venue_slots.get(&e.venue) {
+            Some(&vid) => vid,
+            None => {
+                let vid = self.venues.len() as u32;
+                self.venues.push(e.venue.clone());
+                self.venue_group.push(group_code(e.venue.analysis_group()));
+                self.venue_community
+                    .push(community_code(e.venue.community()));
+                self.venue_slots.insert(e.venue.clone(), vid);
+                vid
+            }
+        };
+        let category = self.domains.category(e.domain);
+        let group = self.venue_group[vid as usize];
+        let (retweets, likes) = match e.engagement {
+            None => (0, 0),
+            Some(g) => (g.retweets, g.likes),
+        };
+        let eng_flag = match e.engagement {
+            None => 0,
+            Some(g) if !g.retrieved => 1,
+            Some(_) => 2,
+        };
+
+        self.timestamps.push(e.timestamp);
+        self.venue_ids.push(vid);
+        self.platforms.push(platform_code(e.venue.platform()));
+        self.urls.push(e.url.0);
+        self.event_domains.push(e.domain.0);
+        self.users.push(user);
+        self.eng_retweets.push(retweets);
+        self.eng_likes.push(likes);
+        self.eng_flags.push(eng_flag);
+        self.categories.push(category_code(category));
+        self.groups.push(group);
+        self.communities.push(self.venue_community[vid as usize]);
+
+        // `category_code` equals the `NewsCategory::ALL` slot, so the
+        // posting lists land in the same partition as the batch build.
+        self.category_posting[category_code(category) as usize].push(idx);
+        if let Some(g) = group_from_code(group) {
+            self.group_posting[group_slot(g)].push(idx);
+        }
+
+        self.delta_url_events.entry(e.url.0).or_default().push(idx);
+        self.csr_clean = false;
+        self.last_timestamp = e.timestamp;
+        self.sealed_path = None;
+        Ok(idx)
+    }
+
+    /// Fold the delta into the merged CSR partition (merge-on-read).
+    ///
+    /// Sorted merge of the existing URL slots with the delta URLs;
+    /// each URL's base event slice is concatenated with its delta list
+    /// (time order is preserved because appends are time-ordered), and
+    /// per-URL group summaries fold only the delta events on top of
+    /// the previous summaries. O(existing URLs + total events) for the
+    /// permuted timeline gather; no-op when the CSR is already clean.
+    pub fn refresh(&mut self) {
+        if self.csr_clean {
+            return;
+        }
+        let n = self.timestamps.len();
+        let delta = std::mem::take(&mut self.delta_url_events);
+
+        // Merged URL slot list: old slots are ascending, BTreeMap keys
+        // are ascending — a classic two-finger merge.
+        let old_n_urls = self.url_ids.len();
+        let mut new_url_ids: Vec<u32> = Vec::with_capacity(old_n_urls + delta.len());
+        let mut new_url_offsets: Vec<u32> = Vec::with_capacity(old_n_urls + delta.len() + 1);
+        let mut new_url_events: Vec<u32> = Vec::with_capacity(n);
+        let mut new_url_domains: Vec<u16> = Vec::with_capacity(old_n_urls + delta.len());
+        let mut new_url_categories: Vec<u8> = Vec::with_capacity(old_n_urls + delta.len());
+        let mut new_group_first: Vec<i64> =
+            Vec::with_capacity((old_n_urls + delta.len()) * N_GROUPS);
+        let mut new_group_count: Vec<u32> =
+            Vec::with_capacity((old_n_urls + delta.len()) * N_GROUPS);
+
+        new_url_offsets.push(0);
+        let mut delta_iter = delta.iter().peekable();
+        let mut old_slot = 0usize;
+        loop {
+            let old_id = (old_slot < old_n_urls).then(|| self.url_ids[old_slot]);
+            let delta_id = delta_iter.peek().map(|(&id, _)| id);
+            let (id, take_old, delta_events) = match (old_id, delta_id) {
+                (None, None) => break,
+                (Some(o), None) => (o, true, None),
+                (None, Some(d)) => (d, false, delta_iter.next().map(|(_, ev)| ev)),
+                (Some(o), Some(d)) => {
+                    if o < d {
+                        (o, true, None)
+                    } else if d < o {
+                        (d, false, delta_iter.next().map(|(_, ev)| ev))
+                    } else {
+                        (o, true, delta_iter.next().map(|(_, ev)| ev))
+                    }
+                }
+            };
+
+            let mut group_first = [NO_FIRST; N_GROUPS];
+            let mut group_count = [0u32; N_GROUPS];
+            if take_old {
+                let lo = self.url_offsets[old_slot] as usize;
+                let hi = self.url_offsets[old_slot + 1] as usize;
+                new_url_events.extend_from_slice(&self.url_events[lo..hi]);
+                new_url_domains.push(self.url_domains[old_slot]);
+                new_url_categories.push(self.url_categories[old_slot]);
+                let base = old_slot * N_GROUPS;
+                group_first.copy_from_slice(&self.url_group_first[base..base + N_GROUPS]);
+                group_count
+                    .iter_mut()
+                    .zip(&self.url_group_count[base..base + N_GROUPS])
+                    .for_each(|(c, &old)| *c = old);
+                old_slot += 1;
+            }
+            if let Some(events) = delta_events {
+                if !take_old {
+                    // Brand-new URL: domain/category from its first
+                    // event, exactly like the batch build.
+                    let first = events[0] as usize;
+                    new_url_domains.push(self.event_domains[first]);
+                    new_url_categories.push(self.categories[first]);
+                }
+                new_url_events.extend_from_slice(events);
+                for &ev in events {
+                    let ev = ev as usize;
+                    if let Some(g) = group_from_code(self.groups[ev]) {
+                        let gs = group_slot(g);
+                        if group_first[gs] == NO_FIRST {
+                            group_first[gs] = self.timestamps[ev];
+                        }
+                        group_count[gs] += 1;
+                    }
+                }
+            }
+            new_url_ids.push(id);
+            new_url_offsets.push(new_url_events.len() as u32);
+            new_group_first.extend_from_slice(&group_first);
+            new_group_count.extend_from_slice(&group_count);
+        }
+
+        // Gather the permuted timeline columns over the new partition.
+        self.tl_times.clear();
+        self.tl_groups.clear();
+        self.tl_communities.clear();
+        self.tl_times.reserve(n);
+        self.tl_groups.reserve(n);
+        self.tl_communities.reserve(n);
+        for &i in &new_url_events {
+            let i = i as usize;
+            self.tl_times.push(self.timestamps[i]);
+            self.tl_groups.push(self.groups[i]);
+            self.tl_communities.push(self.communities[i]);
+        }
+
+        self.url_ids = new_url_ids;
+        self.url_offsets = new_url_offsets;
+        self.url_events = new_url_events;
+        self.url_domains = new_url_domains;
+        self.url_categories = new_url_categories;
+        self.url_group_first = new_group_first;
+        self.url_group_count = new_group_count;
+        self.csr_clean = true;
+        self.merged_len = n;
+    }
+
+    /// Compact base+delta into a fresh sealed (in-memory) segment:
+    /// refresh the merged CSR and advance the sealed boundary over the
+    /// whole index.
+    pub fn seal(&mut self) -> SealSummary {
+        self.refresh();
+        let delta_events = self.timestamps.len() - self.sealed_len;
+        self.sealed_len = self.timestamps.len();
+        SealSummary {
+            sealed_events: self.timestamps.len(),
+            sealed_urls: self.url_ids.len(),
+            delta_events,
+        }
+    }
+
+    /// Seal and persist the compacted segment as a `CPDM` container at
+    /// `path` (atomic write through the mapped-store writer). The
+    /// sealed segment reopens zero-copy via
+    /// [`crate::mapped::MappedIndex::open`], and until the next append
+    /// this index's [`IndexSource::map_path`] points at it.
+    pub fn seal_to(&mut self, path: &Path) -> Result<SealSummary, MapError> {
+        let summary = self.seal();
+        crate::mapped::write_view(path, self.view())?;
+        self.sealed_path = Some(path.to_path_buf());
+        Ok(summary)
+    }
+
+    /// Clone the current merged state into a standalone batch index
+    /// (refreshes first).
+    pub fn to_index(&mut self) -> DatasetIndex {
+        self.refresh();
+        DatasetIndex {
+            domains: self.domains.clone(),
+            totals: self.totals.clone(),
+            gaps: self.gaps.clone(),
+            venues: self.venues.clone(),
+            timestamps: self.timestamps.clone(),
+            venue_ids: self.venue_ids.clone(),
+            platforms: self.platforms.clone(),
+            urls: self.urls.clone(),
+            event_domains: self.event_domains.clone(),
+            users: self.users.clone(),
+            eng_retweets: self.eng_retweets.clone(),
+            eng_likes: self.eng_likes.clone(),
+            eng_flags: self.eng_flags.clone(),
+            categories: self.categories.clone(),
+            groups: self.groups.clone(),
+            communities: self.communities.clone(),
+            url_ids: self.url_ids.clone(),
+            url_offsets: self.url_offsets.clone(),
+            url_events: self.url_events.clone(),
+            url_domains: self.url_domains.clone(),
+            url_categories: self.url_categories.clone(),
+            url_group_first: self.url_group_first.clone(),
+            url_group_count: self.url_group_count.clone(),
+            tl_times: self.tl_times.clone(),
+            tl_groups: self.tl_groups.clone(),
+            tl_communities: self.tl_communities.clone(),
+            category_posting: self.category_posting.clone(),
+            group_posting: self.group_posting.clone(),
+        }
+    }
+
+    /// Total events (sealed base + delta, merged or not).
+    pub fn n_events(&self) -> usize {
+        self.timestamps.len()
+    }
+
+    /// Events in the immutable sealed prefix.
+    pub fn sealed_len(&self) -> usize {
+        self.sealed_len
+    }
+
+    /// Events appended since the last seal (merged or not).
+    pub fn delta_len(&self) -> usize {
+        self.timestamps.len() - self.sealed_len
+    }
+
+    /// Events appended but not yet folded into the merged CSR view.
+    pub fn unmerged_len(&self) -> usize {
+        self.timestamps.len() - self.merged_len
+    }
+
+    /// Whether the merged CSR view is up to date with every append.
+    pub fn is_refreshed(&self) -> bool {
+        self.csr_clean
+    }
+
+    /// Timestamp of the newest indexed event (`None` when empty).
+    pub fn last_timestamp(&self) -> Option<i64> {
+        self.timestamps.last().copied()
+    }
+
+    /// Distinct URLs in the merged view (refreshed state only).
+    pub fn n_urls(&self) -> usize {
+        self.url_ids.len()
+    }
+
+    /// The domain table.
+    pub fn domains(&self) -> &DomainTable {
+        &self.domains
+    }
+
+    /// Replace the raw crawl totals (Table 1 denominators) — streams
+    /// deliver these out of band from the events.
+    pub fn set_totals(&mut self, totals: BTreeMap<Platform, PlatformTotals>) {
+        self.totals = totals;
+    }
+
+    /// Borrow the merged accessor surface.
+    ///
+    /// # Panics
+    ///
+    /// If events were appended since the last
+    /// [`refresh`](Self::refresh) — reading a half-merged CSR would
+    /// silently drop the delta, so this is a loud contract violation
+    /// instead.
+    pub fn view(&self) -> IndexView<'_> {
+        assert!(
+            self.csr_clean,
+            "IncrementalIndex::view: {} unmerged appends; call refresh() first",
+            self.timestamps.len() - self.merged_len
+        );
+        IndexView {
+            domains: &self.domains,
+            totals: &self.totals,
+            gaps: &self.gaps,
+            venues: &self.venues,
+            timestamps: &self.timestamps,
+            venue_ids: &self.venue_ids,
+            platforms: &self.platforms,
+            urls: &self.urls,
+            event_domains: &self.event_domains,
+            users: &self.users,
+            eng_retweets: &self.eng_retweets,
+            eng_likes: &self.eng_likes,
+            eng_flags: &self.eng_flags,
+            categories: &self.categories,
+            groups: &self.groups,
+            communities: &self.communities,
+            url_ids: &self.url_ids,
+            url_offsets: &self.url_offsets,
+            url_events: &self.url_events,
+            url_domains: &self.url_domains,
+            url_categories: &self.url_categories,
+            url_group_first: &self.url_group_first,
+            url_group_count: &self.url_group_count,
+            tl_times: &self.tl_times,
+            tl_groups: &self.tl_groups,
+            tl_communities: &self.tl_communities,
+            category_posting: [&self.category_posting[0], &self.category_posting[1]],
+            group_posting: [
+                &self.group_posting[0],
+                &self.group_posting[1],
+                &self.group_posting[2],
+            ],
+        }
+    }
+}
+
+impl IndexSource for IncrementalIndex {
+    fn view(&self) -> IndexView<'_> {
+        IncrementalIndex::view(self)
+    }
+
+    /// The sealed container path — only while no events sit on top of
+    /// it, so workers never open a stale segment.
+    fn map_path(&self) -> Option<&Path> {
+        match self.delta_len() {
+            0 => self.sealed_path.as_deref(),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domains::NewsCategory;
+    use crate::event::{Engagement, UrlId, UserId};
+    use crate::platform::AnalysisGroup;
+
+    fn ev(t: i64, venue: Venue, url: u32, domain: &str, domains: &DomainTable) -> NewsEvent {
+        NewsEvent::basic(t, venue, UrlId(url), domains.id_by_name(domain).unwrap())
+    }
+
+    fn sample_events(domains: &DomainTable) -> Vec<NewsEvent> {
+        vec![
+            ev(100, Venue::Twitter, 1, "breitbart.com", domains),
+            ev(
+                150,
+                Venue::Subreddit("cats".into()),
+                2,
+                "nytimes.com",
+                domains,
+            ),
+            ev(
+                200,
+                Venue::Subreddit("The_Donald".into()),
+                1,
+                "breitbart.com",
+                domains,
+            ),
+            ev(300, Venue::Board("pol".into()), 1, "breitbart.com", domains),
+            ev(400, Venue::Twitter, 2, "nytimes.com", domains),
+            ev(400, Venue::Board("pol".into()), 3, "rt.com", domains),
+            ev(
+                450,
+                Venue::Subreddit("worldnews".into()),
+                2,
+                "nytimes.com",
+                domains,
+            ),
+        ]
+    }
+
+    fn full_dataset() -> Dataset {
+        let domains = DomainTable::standard();
+        let events = sample_events(&domains);
+        Dataset::new(domains, events, BTreeMap::new(), BTreeMap::new())
+    }
+
+    /// Batch-build over all events vs prefix-build + append remainder:
+    /// views must be structurally identical.
+    fn assert_views_equal(batch: &DatasetIndex, inc: &IncrementalIndex) {
+        let b = batch.view();
+        let i = inc.view();
+        assert_eq!(b.timestamps, i.timestamps);
+        assert_eq!(b.venue_ids, i.venue_ids);
+        assert_eq!(b.platforms, i.platforms);
+        assert_eq!(b.urls, i.urls);
+        assert_eq!(b.event_domains, i.event_domains);
+        assert_eq!(b.users, i.users);
+        assert_eq!(b.eng_retweets, i.eng_retweets);
+        assert_eq!(b.eng_likes, i.eng_likes);
+        assert_eq!(b.eng_flags, i.eng_flags);
+        assert_eq!(b.categories, i.categories);
+        assert_eq!(b.groups, i.groups);
+        assert_eq!(b.communities, i.communities);
+        assert_eq!(b.url_ids, i.url_ids);
+        assert_eq!(b.url_offsets, i.url_offsets);
+        assert_eq!(b.url_events, i.url_events);
+        assert_eq!(b.url_domains, i.url_domains);
+        assert_eq!(b.url_categories, i.url_categories);
+        assert_eq!(b.url_group_first, i.url_group_first);
+        assert_eq!(b.url_group_count, i.url_group_count);
+        assert_eq!(b.tl_times, i.tl_times);
+        assert_eq!(b.tl_groups, i.tl_groups);
+        assert_eq!(b.tl_communities, i.tl_communities);
+        assert_eq!(b.category_posting, i.category_posting);
+        assert_eq!(b.group_posting, i.group_posting);
+        assert_eq!(b.venues(), i.venues());
+    }
+
+    #[test]
+    fn prefix_plus_append_matches_batch() {
+        let full = full_dataset();
+        let batch = DatasetIndex::build(&full);
+        for split in 0..=full.events.len() {
+            let prefix = Dataset::new(
+                full.domains.clone(),
+                full.events[..split].to_vec(),
+                BTreeMap::new(),
+                BTreeMap::new(),
+            );
+            let mut inc = IncrementalIndex::from_dataset(&prefix);
+            for e in &full.events[split..] {
+                inc.append(e).unwrap();
+            }
+            inc.refresh();
+            assert_views_equal(&batch, &inc);
+        }
+    }
+
+    #[test]
+    fn empty_base_appends_match_batch() {
+        let full = full_dataset();
+        let batch = DatasetIndex::build(&full);
+        let mut inc =
+            IncrementalIndex::empty(full.domains.clone(), BTreeMap::new(), BTreeMap::new());
+        for e in &full.events {
+            inc.append(e).unwrap();
+        }
+        inc.refresh();
+        assert_views_equal(&batch, &inc);
+        assert_eq!(inc.sealed_len(), 0);
+        assert_eq!(inc.delta_len(), full.events.len());
+    }
+
+    #[test]
+    fn out_of_order_append_is_typed_rejection() {
+        let full = full_dataset();
+        let mut inc = IncrementalIndex::from_dataset(&full);
+        let before = inc.n_events();
+        let stale = ev(10, Venue::Twitter, 9, "rt.com", &full.domains);
+        match inc.append(&stale) {
+            Err(AppendError::OutOfOrder { last, timestamp }) => {
+                assert_eq!(last, 450);
+                assert_eq!(timestamp, 10);
+            }
+            other => panic!("expected OutOfOrder, got {other:?}"),
+        }
+        // The rejection left nothing behind: the index still refreshes
+        // to exactly the batch state.
+        assert_eq!(inc.n_events(), before);
+        assert!(inc.is_refreshed());
+        assert_views_equal(&DatasetIndex::build(&full), &inc);
+    }
+
+    #[test]
+    fn sentinel_and_unknown_domain_rejections() {
+        let full = full_dataset();
+        let mut inc = IncrementalIndex::from_dataset(&full);
+        let mut bad_ts = ev(500, Venue::Twitter, 9, "rt.com", &full.domains);
+        bad_ts.timestamp = NO_FIRST;
+        assert_eq!(inc.append(&bad_ts), Err(AppendError::SentinelTimestamp));
+
+        let mut bad_user = ev(500, Venue::Twitter, 9, "rt.com", &full.domains);
+        bad_user.user = Some(UserId(NO_USER));
+        assert_eq!(inc.append(&bad_user), Err(AppendError::SentinelUser));
+
+        let mut bad_domain = ev(500, Venue::Twitter, 9, "rt.com", &full.domains);
+        bad_domain.domain = crate::domains::DomainId(60000);
+        match inc.append(&bad_domain) {
+            Err(AppendError::UnknownDomain { id: 60000, .. }) => {}
+            other => panic!("expected UnknownDomain, got {other:?}"),
+        }
+        assert_eq!(inc.n_events(), full.events.len());
+    }
+
+    #[test]
+    fn new_url_venue_and_equal_timestamps_append() {
+        let full = full_dataset();
+        let mut inc = IncrementalIndex::from_dataset(&full);
+        // Equal to the newest timestamp is allowed (non-decreasing).
+        let tie = ev(450, Venue::Twitter, 2, "nytimes.com", &full.domains);
+        inc.append(&tie).unwrap();
+        // Brand-new URL in a brand-new venue with engagement.
+        let mut novel = ev(
+            500,
+            Venue::Subreddit("neveronceseen".into()),
+            77,
+            "infowars.com",
+            &full.domains,
+        );
+        novel.user = Some(UserId(12));
+        novel.engagement = Some(Engagement {
+            retweets: 3,
+            likes: 4,
+            retrieved: true,
+        });
+        inc.append(&novel).unwrap();
+        inc.refresh();
+
+        let view = IncrementalIndex::view(&inc);
+        let tl = view.timeline_of(UrlId(77)).expect("new URL present");
+        assert_eq!(tl.times(), &[500]);
+        assert_eq!(tl.category(), NewsCategory::Alternative);
+        assert_eq!(view.n_urls(), 4);
+        // The whole state still matches a batch build over the same
+        // event sequence.
+        let mut events = full.events.clone();
+        events.push(tie);
+        events.push(novel);
+        let batch = DatasetIndex::build(&Dataset::new(
+            full.domains.clone(),
+            events,
+            BTreeMap::new(),
+            BTreeMap::new(),
+        ));
+        assert_views_equal(&batch, &inc);
+    }
+
+    #[test]
+    fn view_panics_on_unmerged_appends() {
+        let full = full_dataset();
+        let mut inc = IncrementalIndex::from_dataset(&full);
+        inc.append(&ev(500, Venue::Twitter, 9, "rt.com", &full.domains))
+            .unwrap();
+        assert!(!inc.is_refreshed());
+        assert_eq!(inc.unmerged_len(), 1);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = IncrementalIndex::view(&inc);
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("panic message");
+        assert!(msg.contains("unmerged appends"), "unexpected panic: {msg}");
+    }
+
+    #[test]
+    fn seal_compacts_and_tracks_boundary() {
+        let full = full_dataset();
+        let split = 4;
+        let prefix = Dataset::new(
+            full.domains.clone(),
+            full.events[..split].to_vec(),
+            BTreeMap::new(),
+            BTreeMap::new(),
+        );
+        let mut inc = IncrementalIndex::from_dataset(&prefix);
+        for e in &full.events[split..] {
+            inc.append(e).unwrap();
+        }
+        let summary = inc.seal();
+        assert_eq!(summary.sealed_events, full.events.len());
+        assert_eq!(summary.delta_events, full.events.len() - split);
+        assert_eq!(inc.delta_len(), 0);
+        assert_views_equal(&DatasetIndex::build(&full), &inc);
+        // Appending after a seal starts a new delta.
+        inc.append(&ev(600, Venue::Twitter, 9, "rt.com", &full.domains))
+            .unwrap();
+        assert_eq!(inc.delta_len(), 1);
+    }
+
+    #[test]
+    fn seal_to_writes_reopenable_cpdm_segment() {
+        let dir = std::env::temp_dir().join(format!("centipede-inc-seal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("segment.cpdm");
+
+        let full = full_dataset();
+        let prefix = Dataset::new(
+            full.domains.clone(),
+            full.events[..3].to_vec(),
+            BTreeMap::new(),
+            BTreeMap::new(),
+        );
+        let mut inc = IncrementalIndex::from_dataset(&prefix);
+        for e in &full.events[3..] {
+            inc.append(e).unwrap();
+        }
+        let summary = inc.seal_to(&path).unwrap();
+        assert_eq!(summary.sealed_events, full.events.len());
+        assert_eq!(IndexSource::map_path(&inc), Some(path.as_path()));
+
+        let mapped = crate::mapped::MappedIndex::open_verified(&path).unwrap();
+        assert_eq!(mapped.n_events(), full.events.len());
+        assert_views_equal(
+            &DatasetIndex::build(&full),
+            &IncrementalIndex::from_source(&mapped),
+        );
+
+        // Appending on top of the sealed segment hides the stale path.
+        inc.append(&ev(999, Venue::Twitter, 9, "rt.com", &full.domains))
+            .unwrap();
+        assert_eq!(IndexSource::map_path(&inc), None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn from_source_round_trips_through_mapped() {
+        let full = full_dataset();
+        let batch = DatasetIndex::build(&full);
+        let dir = std::env::temp_dir().join(format!("centipede-inc-src-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("base.cpdm");
+        crate::mapped::write_index(&path, &batch).unwrap();
+        let mapped = crate::mapped::MappedIndex::open(&path).unwrap();
+
+        let mut inc = IncrementalIndex::from_source(&mapped);
+        assert_eq!(IndexSource::map_path(&inc), Some(path.as_path()));
+        assert_views_equal(&batch, &inc);
+
+        // And it can grow past the immutable container.
+        inc.append(&ev(500, Venue::Twitter, 9, "rt.com", &full.domains))
+            .unwrap();
+        inc.refresh();
+        assert_eq!(inc.n_events(), full.events.len() + 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn group_summaries_match_batch_after_interleaved_refreshes() {
+        let full = full_dataset();
+        let mut inc =
+            IncrementalIndex::empty(full.domains.clone(), BTreeMap::new(), BTreeMap::new());
+        // Refresh after every single append — the merge path runs with
+        // every possible old/new URL interleaving.
+        for e in &full.events {
+            inc.append(e).unwrap();
+            inc.refresh();
+        }
+        let batch = DatasetIndex::build(&full);
+        assert_views_equal(&batch, &inc);
+        let bv = batch.view();
+        let iv = IncrementalIndex::view(&inc);
+        for slot in 0..bv.n_urls() {
+            let b = bv.timeline(slot);
+            let i = iv.timeline(slot);
+            for g in AnalysisGroup::ALL {
+                assert_eq!(b.first_in_group(g), i.first_in_group(g));
+                assert_eq!(b.count_in_group(g), i.count_in_group(g));
+            }
+            assert_eq!(b.groups_present(), i.groups_present());
+        }
+    }
+
+    #[test]
+    fn append_error_display_renders() {
+        for e in [
+            AppendError::OutOfOrder {
+                last: 5,
+                timestamp: 3,
+            },
+            AppendError::SentinelTimestamp,
+            AppendError::SentinelUser,
+            AppendError::UnknownDomain {
+                id: 9,
+                n_domains: 99,
+            },
+            AppendError::Full,
+        ] {
+            assert!(!format!("{e}").is_empty());
+        }
+    }
+}

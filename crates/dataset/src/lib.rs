@@ -17,6 +17,8 @@
 //!   timeline views.
 //! * [`index`] — one-pass columnar index (struct-of-arrays columns,
 //!   CSR per-URL partition, posting lists) the analysis stages run on.
+//! * [`incremental`] — sealed-base + delta index for live ingestion:
+//!   O(1) amortized appends, merge-on-read CSR, seal/compact lifecycle.
 //! * [`mapped`] — the `CPDM` on-disk container: the same index,
 //!   checksummed and memory-mapped for zero-copy reopening.
 //! * [`store`] — JSONL persistence (with transparent `CPDM` routing).
@@ -31,6 +33,7 @@ pub mod dataset;
 pub mod domains;
 pub mod event;
 pub mod gaps;
+pub mod incremental;
 pub mod index;
 pub mod mapped;
 pub mod platform;
@@ -42,6 +45,7 @@ pub use dataset::{Dataset, UrlTimeline};
 pub use domains::{DomainId, DomainTable, NewsCategory};
 pub use event::{Engagement, NewsEvent, UrlId, UserId};
 pub use gaps::Gaps;
+pub use incremental::{AppendError, IncrementalIndex, SealSummary};
 pub use index::{DatasetIndex, IndexSource, IndexView, TimelineView};
 pub use mapped::{MapError, MappedIndex};
 pub use platform::{Community, Platform, Venue};

@@ -833,38 +833,41 @@ fn decode_venues(bytes: &[u8]) -> Result<Vec<Venue>, MapError> {
     Ok(venues)
 }
 
-/// Encode every section payload in canonical order.
-fn encode_sections(index: &DatasetIndex) -> Result<Vec<Vec<u8>>, MapError> {
-    let meta = encode_meta(&index.domains, &index.totals, &index.gaps)?;
+/// Encode every section payload in canonical order. Takes the borrowed
+/// [`IndexView`] surface, so any index backing — batch-built,
+/// incremental merged state, even another map — serializes through the
+/// same path.
+fn encode_sections(view: IndexView<'_>) -> Result<Vec<Vec<u8>>, MapError> {
+    let meta = encode_meta(view.domains, view.totals, view.gaps)?;
     Ok(vec![
-        le_i64(&index.timestamps),
-        le_i64(&index.tl_times),
-        le_i64(&index.url_group_first),
-        le_u32(&index.venue_ids),
-        le_u32(&index.urls),
-        le_u32(&index.users),
-        le_u32(&index.eng_retweets),
-        le_u32(&index.eng_likes),
-        le_u32(&index.url_ids),
-        le_u32(&index.url_offsets),
-        le_u32(&index.url_events),
-        le_u32(&index.url_group_count),
-        le_u32(&index.category_posting[0]),
-        le_u32(&index.category_posting[1]),
-        le_u32(&index.group_posting[0]),
-        le_u32(&index.group_posting[1]),
-        le_u32(&index.group_posting[2]),
-        le_u16(&index.event_domains),
-        le_u16(&index.url_domains),
-        index.platforms.clone(),
-        index.categories.clone(),
-        index.groups.clone(),
-        index.communities.clone(),
-        index.eng_flags.clone(),
-        index.url_categories.clone(),
-        index.tl_groups.clone(),
-        index.tl_communities.clone(),
-        encode_venues(&index.venues)?,
+        le_i64(view.timestamps),
+        le_i64(view.tl_times),
+        le_i64(view.url_group_first),
+        le_u32(view.venue_ids),
+        le_u32(view.urls),
+        le_u32(view.users),
+        le_u32(view.eng_retweets),
+        le_u32(view.eng_likes),
+        le_u32(view.url_ids),
+        le_u32(view.url_offsets),
+        le_u32(view.url_events),
+        le_u32(view.url_group_count),
+        le_u32(view.category_posting[0]),
+        le_u32(view.category_posting[1]),
+        le_u32(view.group_posting[0]),
+        le_u32(view.group_posting[1]),
+        le_u32(view.group_posting[2]),
+        le_u16(view.event_domains),
+        le_u16(view.url_domains),
+        view.platforms.to_vec(),
+        view.categories.to_vec(),
+        view.groups.to_vec(),
+        view.communities.to_vec(),
+        view.eng_flags.to_vec(),
+        view.url_categories.to_vec(),
+        view.tl_groups.to_vec(),
+        view.tl_communities.to_vec(),
+        encode_venues(view.venues)?,
         meta,
     ])
 }
@@ -875,7 +878,14 @@ fn encode_sections(index: &DatasetIndex) -> Result<Vec<Vec<u8>>, MapError> {
 /// never leaves a half-written container at the destination — readers
 /// may treat mapped files as immutable.
 pub fn write_index(path: &Path, index: &DatasetIndex) -> Result<(), MapError> {
-    let payloads = encode_sections(index)?;
+    write_view(path, index.view())
+}
+
+/// [`write_index`] over any borrowed [`IndexView`] — the seal path of
+/// [`crate::incremental::IncrementalIndex`] persists its merged
+/// columns through this without cloning them into a `DatasetIndex`.
+pub fn write_view(path: &Path, view: IndexView<'_>) -> Result<(), MapError> {
+    let payloads = encode_sections(view)?;
     debug_assert_eq!(payloads.len(), N_SECTIONS);
     let mut dir = Vec::with_capacity(N_SECTIONS * DIR_ENTRY_LEN);
     let mut offset = PAYLOAD_START as u64;
@@ -892,8 +902,8 @@ pub fn write_index(path: &Path, index: &DatasetIndex) -> Result<(), MapError> {
         offset += payload.len() as u64;
     }
     let header = Header {
-        n_events: index.n_events() as u64,
-        n_urls: index.n_urls() as u64,
+        n_events: view.n_events() as u64,
+        n_urls: view.n_urls() as u64,
         n_sections: N_SECTIONS as u32,
         dir_checksum: fnv64(&dir),
     };

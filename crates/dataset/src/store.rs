@@ -13,7 +13,7 @@
 
 use std::collections::BTreeMap;
 use std::fs::File;
-use std::io::{BufWriter, Write};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
 use serde::{Deserialize, Serialize};
@@ -42,6 +42,9 @@ pub enum StoreError {
     },
     /// The file is a `CPDM` container that failed to open.
     Map(MapError),
+    /// The file is a `CPDM` container; line streaming applies only to
+    /// JSONL files (open containers with [`MappedIndex`] instead).
+    IsContainer,
 }
 
 impl std::fmt::Display for StoreError {
@@ -54,6 +57,12 @@ impl std::fmt::Display for StoreError {
                 write!(f, "dataset file truncated after {bytes} valid bytes")
             }
             StoreError::Map(e) => write!(f, "mapped container error: {e}"),
+            StoreError::IsContainer => {
+                write!(
+                    f,
+                    "file is a CPDM container; event streaming requires JSONL"
+                )
+            }
         }
     }
 }
@@ -63,7 +72,9 @@ impl std::error::Error for StoreError {
         match self {
             StoreError::Io(e) => Some(e),
             StoreError::Json(_, e) => Some(e),
-            StoreError::MissingHeader | StoreError::Truncated { .. } => None,
+            StoreError::MissingHeader | StoreError::Truncated { .. } | StoreError::IsContainer => {
+                None
+            }
             StoreError::Map(e) => Some(e),
         }
     }
@@ -114,34 +125,167 @@ pub fn save(dataset: &Dataset, path: &Path) -> Result<(), StoreError> {
 ///
 /// Every failure mode is a typed [`StoreError`]; a short or non-UTF-8
 /// file reports [`StoreError::Truncated`] with the count of bytes that
-/// decoded cleanly, never a raw I/O error mid-parse.
+/// decoded cleanly, never a raw I/O error mid-parse. JSONL files stream
+/// line by line through [`EventStream`] — only the event vector itself
+/// is materialised, never a second copy of the file's text.
 pub fn load(path: &Path) -> Result<Dataset, StoreError> {
-    let bytes = std::fs::read(path)?;
-    if bytes.starts_with(&MAGIC) {
+    if is_container(path)? {
         return Ok(MappedIndex::open(path)?.to_dataset());
     }
     warn_legacy_once(path);
-    let text = String::from_utf8(bytes).map_err(|e| StoreError::Truncated {
-        bytes: e.utf8_error().valid_up_to(),
-    })?;
-    let mut lines = text.lines();
-    let header_line = lines.next().ok_or(StoreError::MissingHeader)?;
-    let header: Header = serde_json::from_str(header_line).map_err(|e| StoreError::Json(0, e))?;
-    let mut events: Vec<NewsEvent> = Vec::with_capacity(header.n_events);
-    for (i, line) in lines.enumerate() {
-        if line.trim().is_empty() {
-            continue;
-        }
-        let event: NewsEvent =
-            serde_json::from_str(line).map_err(|e| StoreError::Json(i + 1, e))?;
-        events.push(event);
+    let mut stream = open_stream(path)?;
+    let mut events: Vec<NewsEvent> = Vec::with_capacity(stream.n_events_hint());
+    for event in &mut stream {
+        events.push(event?);
     }
-    Ok(Dataset::new(
-        header.domains,
-        events,
-        header.totals,
-        header.gaps,
-    ))
+    let (domains, totals, gaps) = stream.into_meta();
+    Ok(Dataset::new(domains, events, totals, gaps))
+}
+
+/// Whether the file starts with the `CPDM` container magic.
+fn is_container(path: &Path) -> Result<bool, StoreError> {
+    let mut file = File::open(path)?;
+    let mut magic = [0u8; MAGIC.len()];
+    let mut got = 0;
+    while got < magic.len() {
+        match file.read(&mut magic[got..])? {
+            0 => return Ok(false),
+            n => got += n,
+        }
+    }
+    Ok(magic == MAGIC)
+}
+
+/// Open a JSONL dataset file for streaming: the header decodes
+/// eagerly, events decode lazily one line at a time, so multi-GB event
+/// logs can be replayed (or tailed while a writer appends whole lines)
+/// without materialising the file.
+///
+/// `CPDM` containers are refused with [`StoreError::IsContainer`] —
+/// open those with [`MappedIndex`].
+pub fn open_stream(path: &Path) -> Result<EventStream, StoreError> {
+    if is_container(path)? {
+        return Err(StoreError::IsContainer);
+    }
+    let mut reader = BufReader::new(File::open(path)?);
+    let mut buf = Vec::new();
+    let n = reader.read_until(b'\n', &mut buf)?;
+    if n == 0 {
+        return Err(StoreError::MissingHeader);
+    }
+    let line = std::str::from_utf8(&buf).map_err(|e| StoreError::Truncated {
+        bytes: e.valid_up_to(),
+    })?;
+    let header: Header = serde_json::from_str(line.trim_end_matches('\n').trim_end_matches('\r'))
+        .map_err(|e| StoreError::Json(0, e))?;
+    Ok(EventStream {
+        reader,
+        header,
+        buf: Vec::new(),
+        offset: n,
+        next_line: 1,
+        failed: false,
+    })
+}
+
+/// Streaming reader over a JSONL dataset file; see [`open_stream`].
+///
+/// Iterates `Result<NewsEvent, StoreError>` with the same error
+/// semantics as [`load`]: JSON errors carry the physical line number
+/// (header = 0, blank lines counted), non-UTF-8 content reports
+/// [`StoreError::Truncated`] with the bytes that decoded cleanly. End
+/// of file yields `None` but does not latch: calling `next` again
+/// picks up whole lines appended since — the tail-follow mode of the
+/// live ingest path.
+pub struct EventStream {
+    reader: BufReader<File>,
+    header: Header,
+    buf: Vec<u8>,
+    /// Bytes cleanly consumed so far (for `Truncated` reporting).
+    offset: usize,
+    /// Physical line number of the next line (header was line 0).
+    next_line: usize,
+    /// A decode error latches the stream shut.
+    failed: bool,
+}
+
+impl EventStream {
+    /// The file's domain table.
+    pub fn domains(&self) -> &DomainTable {
+        &self.header.domains
+    }
+
+    /// The file's raw crawl totals per platform.
+    pub fn totals(&self) -> &BTreeMap<Platform, PlatformTotals> {
+        &self.header.totals
+    }
+
+    /// The file's collection gap windows per platform.
+    pub fn gaps(&self) -> &BTreeMap<Platform, Gaps> {
+        &self.header.gaps
+    }
+
+    /// Event count recorded in the header — a capacity hint, not a
+    /// promise (a tailed file may hold more lines by now).
+    pub fn n_events_hint(&self) -> usize {
+        self.header.n_events
+    }
+
+    /// Consume the stream, keeping the header metadata.
+    pub fn into_meta(
+        self,
+    ) -> (
+        DomainTable,
+        BTreeMap<Platform, PlatformTotals>,
+        BTreeMap<Platform, Gaps>,
+    ) {
+        (self.header.domains, self.header.totals, self.header.gaps)
+    }
+}
+
+impl Iterator for EventStream {
+    type Item = Result<NewsEvent, StoreError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        loop {
+            self.buf.clear();
+            let n = match self.reader.read_until(b'\n', &mut self.buf) {
+                Ok(n) => n,
+                Err(e) => {
+                    self.failed = true;
+                    return Some(Err(StoreError::Io(e)));
+                }
+            };
+            if n == 0 {
+                return None;
+            }
+            let line = match std::str::from_utf8(&self.buf) {
+                Ok(s) => s.trim_end_matches('\n').trim_end_matches('\r'),
+                Err(e) => {
+                    self.failed = true;
+                    return Some(Err(StoreError::Truncated {
+                        bytes: self.offset + e.valid_up_to(),
+                    }));
+                }
+            };
+            self.offset += n;
+            let lineno = self.next_line;
+            self.next_line += 1;
+            if line.trim().is_empty() {
+                continue;
+            }
+            return match serde_json::from_str(line) {
+                Ok(event) => Some(Ok(event)),
+                Err(e) => {
+                    self.failed = true;
+                    Some(Err(StoreError::Json(lineno, e)))
+                }
+            };
+        }
+    }
 }
 
 /// One-shot stderr note when a legacy JSONL dataset is loaded: the
@@ -274,5 +418,80 @@ mod tests {
     fn error_display_renders() {
         let e = StoreError::MissingHeader;
         assert!(format!("{e}").contains("header"));
+        assert!(format!("{}", StoreError::IsContainer).contains("CPDM"));
+    }
+
+    #[test]
+    fn stream_yields_events_and_metadata() {
+        let path = temp_path("stream.jsonl");
+        let ds = sample_dataset();
+        save(&ds, &path).unwrap();
+        let mut stream = open_stream(&path).unwrap();
+        assert_eq!(stream.n_events_hint(), ds.events.len());
+        assert_eq!(stream.domains(), &ds.domains);
+        assert_eq!(stream.totals(), &ds.totals);
+        assert_eq!(stream.gaps(), &ds.gaps);
+        let events: Vec<NewsEvent> = (&mut stream).map(|e| e.unwrap()).collect();
+        assert_eq!(events, ds.events);
+        // EOF does not latch: nothing more yet…
+        assert!(stream.next().is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stream_tails_appended_lines_after_eof() {
+        let path = temp_path("tail.jsonl");
+        let ds = sample_dataset();
+        save(&ds, &path).unwrap();
+        let mut stream = open_stream(&path).unwrap();
+        assert_eq!((&mut stream).count(), ds.events.len());
+        assert!(stream.next().is_none());
+        // A writer appends one whole line; the same stream picks it up.
+        let extra = NewsEvent::basic(30, Venue::Twitter, UrlId(1), ds.events[0].domain);
+        let mut line = serde_json::to_string(&extra).unwrap();
+        line.push('\n');
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        f.write_all(line.as_bytes()).unwrap();
+        drop(f);
+        assert_eq!(stream.next().unwrap().unwrap(), extra);
+        assert!(stream.next().is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stream_counts_blank_lines_in_error_positions() {
+        let path = temp_path("blank.jsonl");
+        let ds = sample_dataset();
+        save(&ds, &path).unwrap();
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push('\n'); // blank line 3
+        text.push_str("{not json}\n"); // corrupt line 4
+        std::fs::write(&path, text).unwrap();
+        let mut stream = open_stream(&path).unwrap();
+        assert_eq!((&mut stream).take(2).filter(|e| e.is_ok()).count(), 2);
+        match stream.next() {
+            Some(Err(StoreError::Json(line, _))) => assert_eq!(line, 4),
+            other => panic!("expected Json error, got {other:?}"),
+        }
+        // An error latches the stream.
+        assert!(stream.next().is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stream_refuses_cpdm_container() {
+        let path = temp_path("refuse.cpdm");
+        let ds = sample_dataset();
+        let index = crate::index::DatasetIndex::build(&ds);
+        crate::mapped::write_index(&path, &index).unwrap();
+        match open_stream(&path) {
+            Err(StoreError::IsContainer) => {}
+            other => panic!("expected IsContainer, got {:?}", other.err()),
+        }
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -1,0 +1,178 @@
+//! Property-based equivalence between the incremental index and the
+//! batch-built [`DatasetIndex`].
+//!
+//! The contract under test: for ANY event stream and ANY split point,
+//! batch-building a prefix, appending the (timestamp-ordered) tail
+//! through [`IncrementalIndex::append`], and refreshing must yield a
+//! view indistinguishable from a batch build of the whole stream —
+//! including group/category posting lists and per-URL timelines, and
+//! regardless of where seals land in the append sequence.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use centipede_dataset::dataset::Dataset;
+use centipede_dataset::domains::{DomainTable, NewsCategory};
+use centipede_dataset::event::{NewsEvent, UrlId};
+use centipede_dataset::incremental::IncrementalIndex;
+use centipede_dataset::index::DatasetIndex;
+use centipede_dataset::platform::{AnalysisGroup, Venue};
+use centipede_dataset::IndexSource;
+
+/// Strategy: an arbitrary small event set over a handful of venues,
+/// URLs, and domains (both categories represented). Timestamps are
+/// drawn freely; `Dataset::new` sorts, and splits are taken from the
+/// sorted order so appended tails are valid.
+fn arb_events() -> impl Strategy<Value = Vec<NewsEvent>> {
+    let names = ["breitbart.com", "rt.com", "nytimes.com", "bbc.com"];
+    let event = (0i64..500_000, 0usize..5, 0u32..12, 0usize..names.len()).prop_map(
+        move |(timestamp, v, url, d)| {
+            let venue = match v {
+                0 => Venue::Twitter,
+                1 => Venue::Subreddit("The_Donald".into()),
+                2 => Venue::Subreddit("cats".into()),
+                3 => Venue::Board("pol".into()),
+                _ => Venue::Board("sp".into()),
+            };
+            let domains = DomainTable::standard();
+            let domain = domains.id_by_name(names[d]).expect("standard domain");
+            NewsEvent::basic(timestamp, venue, UrlId(url), domain)
+        },
+    );
+    prop::collection::vec(event, 0..60)
+}
+
+fn dataset_of(events: Vec<NewsEvent>) -> Dataset {
+    Dataset::new(
+        DomainTable::standard(),
+        events,
+        BTreeMap::new(),
+        BTreeMap::new(),
+    )
+}
+
+/// Every observable surface of the two views must agree: event
+/// columns, posting lists, and the full per-URL CSR timelines.
+/// Plain panics on mismatch — proptest treats panics as failures and
+/// still shrinks the input.
+fn assert_views_agree(batch: &DatasetIndex, inc: &IncrementalIndex) {
+    let b = batch.view();
+    let i = IndexSource::view(inc);
+
+    assert_eq!(b.n_events(), i.n_events());
+    assert_eq!(b.n_urls(), i.n_urls());
+    assert_eq!(b.timestamps(), i.timestamps());
+    assert_eq!(b.venue_ids(), i.venue_ids());
+    assert_eq!(b.venues(), i.venues());
+    assert_eq!(b.totals(), i.totals());
+
+    for cat in NewsCategory::ALL {
+        assert_eq!(b.category_events(cat), i.category_events(cat));
+    }
+    for group in AnalysisGroup::ALL {
+        assert_eq!(b.group_events(group), i.group_events(group));
+    }
+    for idx in 0..b.n_events() {
+        assert_eq!(b.category(idx), i.category(idx));
+        assert_eq!(b.group(idx), i.group(idx));
+        assert_eq!(b.platform(idx), i.platform(idx));
+    }
+
+    let urls: Vec<UrlId> = b.timelines().map(|tl| tl.url()).collect();
+    let inc_urls: Vec<UrlId> = i.timelines().map(|tl| tl.url()).collect();
+    assert_eq!(urls, inc_urls);
+    for url in urls {
+        let want = b.timeline_of(url).expect("url in batch index");
+        let got = i.timeline_of(url).expect("url in incremental index");
+        assert_eq!(want.domain(), got.domain());
+        assert_eq!(want.category(), got.category());
+        assert_eq!(want.times(), got.times());
+        assert_eq!(
+            want.groups().collect::<Vec<_>>(),
+            got.groups().collect::<Vec<_>>()
+        );
+        assert_eq!(
+            want.communities().collect::<Vec<_>>(),
+            got.communities().collect::<Vec<_>>()
+        );
+    }
+}
+
+proptest! {
+    /// Prefix batch build + tail appends + refresh ≡ full batch build,
+    /// for any stream and any split point.
+    #[test]
+    fn appended_tail_matches_batch_build(
+        events in arb_events(),
+        split_frac in 0.0f64..=1.0,
+    ) {
+        let full = dataset_of(events);
+        let split = (full.len() as f64 * split_frac) as usize;
+
+        let base = dataset_of(full.events[..split].to_vec());
+        let mut inc = IncrementalIndex::from_dataset(&base);
+        for event in &full.events[split..] {
+            inc.append(event).expect("sorted tail appends in order");
+        }
+        inc.refresh();
+
+        let batch = DatasetIndex::build(&full);
+        prop_assert_eq!(inc.sealed_len(), split);
+        prop_assert_eq!(inc.delta_len(), full.len() - split);
+        assert_views_agree(&batch, &inc);
+    }
+
+    /// Seals at arbitrary points in the append sequence never change
+    /// what the view reports — compaction is invisible to readers.
+    #[test]
+    fn seals_mid_stream_preserve_equivalence(
+        events in arb_events(),
+        seal_every in 1usize..8,
+    ) {
+        let full = dataset_of(events);
+        let mut inc = IncrementalIndex::empty(
+            DomainTable::standard(),
+            BTreeMap::new(),
+            BTreeMap::new(),
+        );
+        for (n, event) in full.events.iter().enumerate() {
+            inc.append(event).expect("sorted appends");
+            if n % seal_every == seal_every - 1 {
+                let summary = inc.seal();
+                prop_assert_eq!(summary.sealed_events, n + 1);
+            }
+        }
+        inc.refresh();
+        prop_assert_eq!(inc.n_events(), full.len());
+        assert_views_agree(&DatasetIndex::build(&full), &inc);
+    }
+
+    /// A rejected out-of-order append leaves the index byte-identical:
+    /// rejection is total, not partial.
+    #[test]
+    fn rejected_appends_leave_the_index_unchanged(
+        events in arb_events(),
+        backstep in 1i64..1_000_000,
+    ) {
+        let full = dataset_of(events);
+        prop_assume!(!full.events.is_empty());
+        let mut inc = IncrementalIndex::from_dataset(&full);
+        let last = inc.last_timestamp().expect("non-empty index");
+
+        let domains = DomainTable::standard();
+        let stale = NewsEvent::basic(
+            last.saturating_sub(backstep),
+            Venue::Twitter,
+            UrlId(2),
+            domains.id_by_name("rt.com").expect("standard domain"),
+        );
+        prop_assume!(stale.timestamp < last);
+        inc.append(&stale).expect_err("out-of-order append rejected");
+
+        prop_assert!(inc.is_refreshed());
+        prop_assert_eq!(inc.n_events(), full.len());
+        prop_assert_eq!(inc.unmerged_len(), 0);
+        assert_views_agree(&DatasetIndex::build(&full), &inc);
+    }
+}

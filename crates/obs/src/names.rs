@@ -168,6 +168,47 @@ pub fn sim_rate(platform: &str) -> String {
 }
 
 // ---------------------------------------------------------------------
+// Ingestion-service metrics (`centipede-serve`).
+// ---------------------------------------------------------------------
+
+/// Events accepted by the ingest writer.
+pub const SERVE_INGESTED: &str = "serve.ingested";
+
+/// Events rejected by the append path (out-of-order, sentinel,
+/// unknown domain).
+pub const SERVE_REJECTED: &str = "serve.rejected";
+
+/// Delta refreshes folded into the merged view.
+pub const SERVE_REFRESHES: &str = "serve.refreshes";
+
+/// Seal cycles completed.
+pub const SERVE_SEALS: &str = "serve.seals";
+
+/// HTTP requests served, across all endpoints.
+pub const SERVE_REQUESTS: &str = "serve.requests";
+
+/// Malformed HTTP requests answered with a 4xx.
+pub const SERVE_BAD_REQUESTS: &str = "serve.bad_requests";
+
+/// Events appended but not yet visible to readers (gauge).
+pub const SERVE_INGEST_LAG_EVENTS: &str = "serve.ingest_lag_events";
+
+/// Ingest-to-queryable lag histogram (nanoseconds from enqueue to the
+/// refresh that published the event).
+pub const SERVE_INGEST_LAG_NANOS: &str = "serve.ingest_lag_nanos";
+
+/// Refresh latency histogram (nanoseconds).
+pub const SERVE_REFRESH_NANOS: &str = "serve.refresh_nanos";
+
+/// Seal latency histogram (nanoseconds).
+pub const SERVE_SEAL_NANOS: &str = "serve.seal_nanos";
+
+/// Per-endpoint request-latency histogram, `serve.http.<endpoint>.nanos`.
+pub fn serve_endpoint_nanos(endpoint: &str) -> String {
+    format!("serve.http.{endpoint}.nanos")
+}
+
+// ---------------------------------------------------------------------
 // Span names. Spans nest into `/`-joined registry paths (e.g.
 // `pipeline/influence/fit`) and mirror into the event trace under the
 // same leaf name.
@@ -211,6 +252,15 @@ pub const SPAN_SIM_TOTALS: &str = "totals";
 
 /// Simulator: crawler artefact injection.
 pub const SPAN_SIM_CRAWLER: &str = "crawler";
+
+/// Ingestion-service root span (writer thread lifetime).
+pub const SPAN_SERVE: &str = "serve";
+
+/// Ingestion service: one delta refresh + projection rebuild.
+pub const SPAN_SERVE_REFRESH: &str = "refresh";
+
+/// Ingestion service: one seal cycle.
+pub const SPAN_SERVE_SEAL: &str = "seal";
 
 // ---------------------------------------------------------------------
 // Trace-event names (timeline-only; see `crate::trace`).

@@ -1,0 +1,347 @@
+//! The single-writer ingest engine.
+//!
+//! One background thread exclusively owns the [`IncrementalIndex`]:
+//! every append, refresh, and seal happens on that thread, serialized
+//! through an mpsc channel. Read endpoints never touch the index —
+//! they read the last published [`ProjectionSet`] through an
+//! `Arc` swap — so ingest throughput and query latency cannot block
+//! each other.
+//!
+//! Refreshes happen three ways: a `?sync=1` ingest refreshes before
+//! acking (read-your-writes for tests and the CI smoke lane), an
+//! explicit `/refresh` request forces one, and otherwise the writer's
+//! `recv_timeout` tick folds any unmerged appends in after
+//! `refresh_interval` of ingest quiet. Ingest-to-queryable lag is
+//! measured per POST batch: the enqueue instant travels with the
+//! batch, and the refresh that publishes it records the elapsed time
+//! into the [`names::SERVE_INGEST_LAG_NANOS`] histogram.
+
+use std::path::PathBuf;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use centipede_dataset::event::NewsEvent;
+use centipede_dataset::incremental::IncrementalIndex;
+use centipede_obs::names;
+
+use crate::projection::{influence_projection, InfluenceOptions, ProjectionSet};
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// How long the writer waits for traffic before folding unmerged
+    /// appends into the queryable view on its own.
+    pub refresh_interval: Duration,
+    /// Where `seal` writes CPDM segments; `None` seals in memory only.
+    pub seal_dir: Option<PathBuf>,
+    /// When set, each seal recomputes the influence projection (the
+    /// full Hawkes fitting fleet) over the sealed index.
+    pub influence: Option<InfluenceOptions>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            refresh_interval: Duration::from_millis(250),
+            seal_dir: None,
+            influence: None,
+        }
+    }
+}
+
+/// What one ingest batch produced.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IngestOutcome {
+    /// Events appended.
+    pub accepted: u64,
+    /// Events rejected (out-of-order, sentinel fields, unknown domain).
+    pub rejected: u64,
+    /// Rendered message of the first rejection, if any.
+    pub first_error: Option<String>,
+}
+
+/// What one seal cycle produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SealOutcome {
+    /// Events in the sealed base after compaction.
+    pub sealed_events: u64,
+    /// URLs in the sealed base.
+    pub sealed_urls: u64,
+    /// Delta events folded in by this seal.
+    pub delta_events: u64,
+    /// CPDM segment written, when a seal directory is configured.
+    pub segment: Option<PathBuf>,
+    /// Total seal cycles completed, including this one.
+    pub seals: u64,
+}
+
+enum Msg {
+    Ingest {
+        events: Vec<NewsEvent>,
+        enqueued: Instant,
+        sync: bool,
+        ack: Sender<IngestOutcome>,
+    },
+    Refresh {
+        ack: Sender<u64>,
+    },
+    Seal {
+        ack: Sender<Result<SealOutcome, String>>,
+    },
+    Stop,
+}
+
+/// Handle to a running ingest engine.
+pub struct Engine {
+    tx: Sender<Msg>,
+    projections: Arc<RwLock<Arc<ProjectionSet>>>,
+    writer: Option<JoinHandle<IncrementalIndex>>,
+}
+
+impl Engine {
+    /// Start the writer thread over an existing index (possibly a
+    /// sealed base loaded from disk) and publish initial projections
+    /// before returning, so reads are valid immediately.
+    pub fn start(mut index: IncrementalIndex, config: EngineConfig) -> Engine {
+        let (tx, rx) = channel();
+        let projections = Arc::new(RwLock::new(Arc::new(ProjectionSet::empty())));
+        let shared = Arc::clone(&projections);
+        index.refresh();
+        publish(&shared, &mut index, None);
+        let writer = std::thread::Builder::new()
+            .name("centipede-serve-writer".to_string())
+            .spawn(move || writer_loop(index, rx, shared, config))
+            .expect("spawn ingest writer thread");
+        Engine {
+            tx,
+            projections,
+            writer: Some(writer),
+        }
+    }
+
+    /// Append a batch of events. With `sync`, the ack arrives only
+    /// after a refresh made the batch queryable (read-your-writes).
+    pub fn ingest(&self, events: Vec<NewsEvent>, sync: bool) -> IngestOutcome {
+        let n = events.len() as u64;
+        let (ack, rx) = channel();
+        let msg = Msg::Ingest {
+            events,
+            enqueued: Instant::now(),
+            sync,
+            ack,
+        };
+        if self.tx.send(msg).is_err() {
+            return writer_gone(n);
+        }
+        rx.recv().unwrap_or_else(|_| writer_gone(n))
+    }
+
+    /// Force a refresh; returns the number of events now queryable.
+    pub fn refresh(&self) -> u64 {
+        let (ack, rx) = channel();
+        if self.tx.send(Msg::Refresh { ack }).is_err() {
+            return self.projections().n_events;
+        }
+        rx.recv().unwrap_or_else(|_| self.projections().n_events)
+    }
+
+    /// Seal the index: compact base + delta into a new sealed base
+    /// (written as a CPDM segment when configured) and rebuild all
+    /// projections, including influence when enabled.
+    pub fn seal(&self) -> Result<SealOutcome, String> {
+        let (ack, rx) = channel();
+        self.tx
+            .send(Msg::Seal { ack })
+            .map_err(|_| "ingest writer thread is gone".to_string())?;
+        rx.recv()
+            .map_err(|_| "ingest writer thread is gone".to_string())?
+    }
+
+    /// The last published projection set.
+    pub fn projections(&self) -> Arc<ProjectionSet> {
+        Arc::clone(&self.projections.read().expect("projection lock").clone())
+    }
+
+    /// Stop the writer and recover the index (tests use this to compare
+    /// the live index against a batch build).
+    pub fn shutdown(mut self) -> IncrementalIndex {
+        let _ = self.tx.send(Msg::Stop);
+        self.writer
+            .take()
+            .expect("writer joined once")
+            .join()
+            .expect("ingest writer thread panicked")
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        if let Some(writer) = self.writer.take() {
+            let _ = self.tx.send(Msg::Stop);
+            let _ = writer.join();
+        }
+    }
+}
+
+fn writer_gone(n: u64) -> IngestOutcome {
+    IngestOutcome {
+        accepted: 0,
+        rejected: n,
+        first_error: Some("ingest writer thread is gone".to_string()),
+    }
+}
+
+/// Swap in fresh cheap projections, carrying the influence payload
+/// forward (it only changes on seal).
+fn publish(
+    shared: &RwLock<Arc<ProjectionSet>>,
+    index: &mut IncrementalIndex,
+    influence_json: Option<Option<String>>,
+) {
+    let (prior, seals) = {
+        let cur = shared.read().expect("projection lock");
+        (cur.influence_json.clone(), cur.seals)
+    };
+    let influence = influence_json.unwrap_or(prior);
+    let set = ProjectionSet::build(index, index.sealed_len() as u64, seals, influence);
+    *shared.write().expect("projection lock") = Arc::new(set);
+}
+
+struct WriterState {
+    shared: Arc<RwLock<Arc<ProjectionSet>>>,
+    config: EngineConfig,
+    /// Ingest batches appended but not yet published, with their
+    /// enqueue instants — drained into the lag histogram at refresh.
+    pending: Vec<Instant>,
+    seals: u64,
+}
+
+impl WriterState {
+    fn refresh(&mut self, index: &mut IncrementalIndex) {
+        let _span = centipede_obs::span!(names::SPAN_SERVE_REFRESH);
+        let t0 = Instant::now();
+        index.refresh();
+        publish(&self.shared, index, None);
+        centipede_obs::counter(names::SERVE_REFRESHES).inc(1);
+        centipede_obs::histogram(names::SERVE_REFRESH_NANOS).record(t0.elapsed().as_nanos() as u64);
+        let lag = centipede_obs::histogram(names::SERVE_INGEST_LAG_NANOS);
+        for enqueued in self.pending.drain(..) {
+            lag.record(enqueued.elapsed().as_nanos() as u64);
+        }
+        centipede_obs::gauge(names::SERVE_INGEST_LAG_EVENTS).set(0.0);
+    }
+
+    fn seal(&mut self, index: &mut IncrementalIndex) -> Result<SealOutcome, String> {
+        let _span = centipede_obs::span!(names::SPAN_SERVE_SEAL);
+        let t0 = Instant::now();
+        self.seals += 1;
+        let (summary, segment) = match &self.config.seal_dir {
+            Some(dir) => {
+                let path = dir.join(format!("segment-{:06}.cpdm", self.seals));
+                let summary = index
+                    .seal_to(&path)
+                    .map_err(|e| format!("seal segment write failed: {e}"))?;
+                (summary, Some(path))
+            }
+            None => (index.seal(), None),
+        };
+        let influence = self.config.influence.as_ref().map(|opts| {
+            serde_json::to_string(&influence_projection(index, opts))
+                .unwrap_or_else(|_| "{}".to_string())
+        });
+        // Rebuild everything over the compacted base, then stamp the
+        // new seal count into the published set.
+        publish(&self.shared, index, Some(influence));
+        {
+            let mut cur = self.shared.write().expect("projection lock");
+            let mut set = (**cur).clone();
+            set.seals = self.seals;
+            *cur = Arc::new(set);
+        }
+        let lag = centipede_obs::histogram(names::SERVE_INGEST_LAG_NANOS);
+        for enqueued in self.pending.drain(..) {
+            lag.record(enqueued.elapsed().as_nanos() as u64);
+        }
+        centipede_obs::gauge(names::SERVE_INGEST_LAG_EVENTS).set(0.0);
+        centipede_obs::counter(names::SERVE_SEALS).inc(1);
+        centipede_obs::histogram(names::SERVE_SEAL_NANOS).record(t0.elapsed().as_nanos() as u64);
+        Ok(SealOutcome {
+            sealed_events: summary.sealed_events as u64,
+            sealed_urls: summary.sealed_urls as u64,
+            delta_events: summary.delta_events as u64,
+            segment,
+            seals: self.seals,
+        })
+    }
+}
+
+fn writer_loop(
+    mut index: IncrementalIndex,
+    rx: Receiver<Msg>,
+    shared: Arc<RwLock<Arc<ProjectionSet>>>,
+    config: EngineConfig,
+) -> IncrementalIndex {
+    let _span = centipede_obs::span!(names::SPAN_SERVE);
+    let refresh_interval = config.refresh_interval;
+    let mut state = WriterState {
+        shared,
+        config,
+        pending: Vec::new(),
+        seals: 0,
+    };
+    loop {
+        match rx.recv_timeout(refresh_interval) {
+            Ok(Msg::Ingest {
+                events,
+                enqueued,
+                sync,
+                ack,
+            }) => {
+                let mut outcome = IngestOutcome::default();
+                for event in &events {
+                    match index.append(event) {
+                        Ok(_) => outcome.accepted += 1,
+                        Err(e) => {
+                            outcome.rejected += 1;
+                            if outcome.first_error.is_none() {
+                                outcome.first_error = Some(e.to_string());
+                            }
+                        }
+                    }
+                }
+                centipede_obs::counter(names::SERVE_INGESTED).inc(outcome.accepted);
+                centipede_obs::counter(names::SERVE_REJECTED).inc(outcome.rejected);
+                if outcome.accepted > 0 {
+                    state.pending.push(enqueued);
+                }
+                centipede_obs::gauge(names::SERVE_INGEST_LAG_EVENTS)
+                    .set(index.unmerged_len() as f64);
+                if sync {
+                    state.refresh(&mut index);
+                }
+                let _ = ack.send(outcome);
+            }
+            Ok(Msg::Refresh { ack }) => {
+                state.refresh(&mut index);
+                let _ = ack.send(index.n_events() as u64);
+            }
+            Ok(Msg::Seal { ack }) => {
+                let _ = ack.send(state.seal(&mut index));
+            }
+            Ok(Msg::Stop) => break,
+            Err(RecvTimeoutError::Timeout) => {
+                if index.unmerged_len() > 0 {
+                    state.refresh(&mut index);
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    // Final fold so the returned index is immediately viewable.
+    if index.unmerged_len() > 0 {
+        index.refresh();
+    }
+    index
+}

@@ -1,0 +1,297 @@
+//! A deliberately small HTTP/1.1 layer over [`std::io`] streams.
+//!
+//! The service needs exactly: parse one request (method, target,
+//! `Content-Length` body), write one response, close. No keep-alive,
+//! no chunked encoding, no TLS, no external dependencies — `curl`,
+//! load-test scripts, and the CI smoke lane all speak this subset
+//! natively. Requests are read with a hard body-size cap so a
+//! misbehaving client cannot balloon the process.
+
+use std::io::{BufRead, Write};
+
+/// Default request-body cap (64 MiB) — a full fixture event batch fits
+/// comfortably, a runaway upload does not.
+pub const DEFAULT_MAX_BODY: usize = 64 * 1024 * 1024;
+
+/// Upper bound on a single header line; longer lines are malformed.
+const MAX_HEADER_LINE: usize = 16 * 1024;
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, …).
+    pub method: String,
+    /// Path component of the target, without the query string.
+    pub path: String,
+    /// Raw query string (no leading `?`; empty if absent).
+    pub query: String,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Whether the query string contains `key` or `key=<truthy>`
+    /// (`1`, `true`, `yes`).
+    pub fn query_flag(&self, key: &str) -> bool {
+        self.query.split('&').any(|pair| {
+            let mut it = pair.splitn(2, '=');
+            let k = it.next().unwrap_or("");
+            let v = it.next();
+            k == key && matches!(v, None | Some("1") | Some("true") | Some("yes"))
+        })
+    }
+}
+
+/// A request that could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The connection failed mid-read.
+    Io(std::io::Error),
+    /// The bytes on the wire were not a well-formed request.
+    Malformed(String),
+    /// The declared body length exceeded the cap.
+    BodyTooLarge {
+        /// Declared `Content-Length`.
+        declared: usize,
+        /// Configured cap.
+        cap: usize,
+    },
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "I/O error: {e}"),
+            HttpError::Malformed(detail) => write!(f, "malformed request: {detail}"),
+            HttpError::BodyTooLarge { declared, cap } => {
+                write!(
+                    f,
+                    "declared body of {declared} bytes exceeds the {cap}-byte cap"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+fn read_line(r: &mut impl BufRead) -> Result<Option<String>, HttpError> {
+    let mut buf = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match r.read(&mut byte)? {
+            0 => {
+                return if buf.is_empty() {
+                    Ok(None)
+                } else {
+                    Err(HttpError::Malformed("connection closed mid-line".into()))
+                }
+            }
+            _ => {
+                if byte[0] == b'\n' {
+                    if buf.last() == Some(&b'\r') {
+                        buf.pop();
+                    }
+                    let line = String::from_utf8(buf)
+                        .map_err(|_| HttpError::Malformed("non-UTF-8 header line".into()))?;
+                    return Ok(Some(line));
+                }
+                if buf.len() >= MAX_HEADER_LINE {
+                    return Err(HttpError::Malformed("header line too long".into()));
+                }
+                buf.push(byte[0]);
+            }
+        }
+    }
+}
+
+/// Read one request off the stream. `Ok(None)` means the client closed
+/// the connection before sending anything (a clean no-op).
+pub fn read_request(r: &mut impl BufRead, max_body: usize) -> Result<Option<Request>, HttpError> {
+    let request_line = match read_line(r)? {
+        None => return Ok(None),
+        Some(line) => line,
+    };
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty request line".into()))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("request line has no target".into()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("request line has no version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!(
+            "unsupported version {version}"
+        )));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+
+    let mut content_length = 0usize;
+    loop {
+        let line = read_line(r)?
+            .ok_or_else(|| HttpError::Malformed("connection closed mid-headers".into()))?;
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| HttpError::Malformed("bad Content-Length".into()))?;
+            }
+        }
+    }
+    if content_length > max_body {
+        return Err(HttpError::BodyTooLarge {
+            declared: content_length,
+            cap: max_body,
+        });
+    }
+    let mut body = vec![0u8; content_length];
+    r.read_exact(&mut body)?;
+    Ok(Some(Request {
+        method,
+        path,
+        query,
+        body,
+    }))
+}
+
+/// Reason phrase for the handful of statuses the service uses.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Write one complete response and flush. Always `Connection: close` —
+/// the server closes after each exchange.
+pub fn write_response(
+    w: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status,
+        reason(status),
+        content_type,
+        body.len()
+    )?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &[u8]) -> Result<Option<Request>, HttpError> {
+        read_request(&mut BufReader::new(raw), DEFAULT_MAX_BODY)
+    }
+
+    #[test]
+    fn parses_get_with_query() {
+        let req = parse(b"GET /stats?pretty=1 HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/stats");
+        assert_eq!(req.query, "pretty=1");
+        assert!(req.query_flag("pretty"));
+        assert!(!req.query_flag("sync"));
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_body_by_content_length() {
+        let req = parse(b"POST /ingest HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn query_flag_accepts_bare_and_truthy_forms() {
+        let req = parse(b"POST /ingest?sync HTTP/1.1\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(req.query_flag("sync"));
+        let req = parse(b"POST /ingest?sync=true&x=2 HTTP/1.1\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(req.query_flag("sync"));
+        let req = parse(b"POST /ingest?sync=0 HTTP/1.1\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(!req.query_flag("sync"));
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        assert!(parse(b"").unwrap().is_none());
+    }
+
+    #[test]
+    fn oversize_body_is_typed_error() {
+        let raw = b"POST /ingest HTTP/1.1\r\nContent-Length: 999\r\n\r\n";
+        match read_request(&mut BufReader::new(&raw[..]), 10) {
+            Err(HttpError::BodyTooLarge {
+                declared: 999,
+                cap: 10,
+            }) => {}
+            other => panic!("expected BodyTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_lines_are_typed_errors() {
+        assert!(matches!(
+            parse(b"NONSENSE\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse(b"GET /x SPDY/9\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse(b"GET /x HTTP/1.1\r\nContent-Length: soup\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn response_has_framing_headers() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "application/json", b"{\"ok\":true}").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("{\"ok\":true}"));
+    }
+}

@@ -1,0 +1,35 @@
+//! Live ingestion service over the sealed-base + delta index.
+//!
+//! This crate turns the batch pipeline into a long-running service:
+//!
+//! * [`engine::Engine`] — a single-writer ingest thread that
+//!   exclusively owns a [`centipede_dataset::incremental::IncrementalIndex`],
+//!   appending NDJSON events, folding the delta into the queryable
+//!   view on a refresh interval (or synchronously on demand), and
+//!   compacting base + delta into CPDM segments on seal.
+//! * [`projection`] — per-refresh recomputation of the `/stats`,
+//!   `/characterization`, and `/temporal` payloads (and, on seal, the
+//!   expensive `/influence` Hawkes outputs), published behind an
+//!   `Arc` swap so reads never contend with ingest.
+//! * [`http`] + [`service`] — a dependency-free HTTP/1.1 front on
+//!   `std::net::TcpListener`, one thread per connection, wired into
+//!   the obs registry (per-endpoint latency histograms, ingest-lag
+//!   histogram and gauge, refresh/seal spans).
+//!
+//! The binary entry point is `repro --serve ADDR` in the bench crate;
+//! `examples/live_ingest.rs` replays a synthetic surge through the
+//! engine and reports ingest-to-queryable lag quantiles.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod http;
+pub mod projection;
+pub mod service;
+
+pub use engine::{Engine, EngineConfig, IngestOutcome, SealOutcome};
+pub use projection::{
+    CharacterizationProjection, InfluenceOptions, InfluenceProjection, ProjectionSet,
+    StatsProjection, TemporalProjection,
+};
+pub use service::{serve, ServiceHandle};

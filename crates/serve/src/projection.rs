@@ -1,0 +1,280 @@
+//! Query projections recomputed from the live index.
+//!
+//! The ingest thread owns the [`IncrementalIndex`] exclusively; read
+//! endpoints never touch it. Instead, each refresh recomputes a
+//! [`ProjectionSet`] — pre-serialized JSON for every read endpoint —
+//! and publishes it behind an `Arc` swap. Readers therefore serve
+//! whatever refresh last completed, with zero locking against ingest.
+//!
+//! The stats projection is deliberately a pure function of index
+//! *content* (no service-side fields), so the CI smoke lane can assert
+//! byte-equality between the live service's `/stats` payload and the
+//! same projection computed over a batch-built index.
+
+use std::collections::BTreeMap;
+
+use serde::Serialize;
+
+use centipede::characterization::{
+    dataset_overview, platform_totals, top_domains, top_subreddits, tweet_stats, OverviewRow,
+    PlatformTotalsRow, TweetStatsRow,
+};
+use centipede::influence::{
+    fit_fleet, impact_matrix, prepare_urls, weight_comparison, FitConfig, FleetOptions,
+    ImpactMatrix, SelectionConfig, SelectionSummary, Table11, WeightComparison,
+};
+use centipede::temporal::{daily_occurrence, repost_lags, DailySeries};
+use centipede_dataset::domains::NewsCategory;
+use centipede_dataset::index::IndexSource;
+use centipede_dataset::platform::AnalysisGroup;
+
+/// How many rows the ranked tables keep, matching the batch pipeline.
+const TOP_N: usize = 20;
+
+/// `/stats` payload: cheap whole-dataset tallies, derived from index
+/// content only (batch and live builds of the same events agree).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct StatsProjection {
+    /// Total indexed events.
+    pub n_events: u64,
+    /// Distinct URLs.
+    pub n_urls: u64,
+    /// Distinct interned venues.
+    pub n_venues: u64,
+    /// Events per platform, keyed by platform display name.
+    pub events_by_platform: BTreeMap<String, u64>,
+    /// Events per news category, keyed by category name.
+    pub events_by_category: BTreeMap<String, u64>,
+    /// Earliest event timestamp (None when empty).
+    pub first_timestamp: Option<i64>,
+    /// Latest event timestamp (None when empty).
+    pub last_timestamp: Option<i64>,
+}
+
+/// Compute the stats projection over any index source.
+pub fn stats_projection(source: &impl IndexSource) -> StatsProjection {
+    let view = source.view();
+    let mut by_platform: BTreeMap<String, u64> = BTreeMap::new();
+    let mut by_category: BTreeMap<String, u64> = BTreeMap::new();
+    for i in 0..view.n_events() {
+        *by_platform
+            .entry(view.platform(i).name().to_string())
+            .or_default() += 1;
+        *by_category
+            .entry(category_name(view.category(i)).to_string())
+            .or_default() += 1;
+    }
+    let ts = view.timestamps();
+    StatsProjection {
+        n_events: view.n_events() as u64,
+        n_urls: view.n_urls() as u64,
+        n_venues: view.venues().len() as u64,
+        events_by_platform: by_platform,
+        events_by_category: by_category,
+        first_timestamp: ts.first().copied(),
+        last_timestamp: ts.last().copied(),
+    }
+}
+
+fn category_name(cat: NewsCategory) -> &'static str {
+    match cat {
+        NewsCategory::Alternative => "alternative",
+        NewsCategory::Mainstream => "mainstream",
+    }
+}
+
+/// `/characterization` payload: the §3 tables recomputed live.
+#[derive(Debug, Clone, Serialize)]
+pub struct CharacterizationProjection {
+    /// Table 1.
+    pub table1: Vec<PlatformTotalsRow>,
+    /// Table 2.
+    pub table2: Vec<OverviewRow>,
+    /// Table 3.
+    pub table3: Vec<TweetStatsRow>,
+    /// Table 4 (top 20 subreddits per category).
+    pub table4: BTreeMap<NewsCategory, Vec<(String, f64)>>,
+    /// Tables 5/6/7 (top 20 domains per analysis group).
+    pub top_domains: BTreeMap<AnalysisGroup, BTreeMap<NewsCategory, Vec<(String, f64)>>>,
+}
+
+/// Compute the characterization projection.
+pub fn characterization_projection(source: &impl IndexSource) -> CharacterizationProjection {
+    CharacterizationProjection {
+        table1: platform_totals(source),
+        table2: dataset_overview(source),
+        table3: tweet_stats(source),
+        table4: top_subreddits(source, TOP_N),
+        top_domains: AnalysisGroup::ALL
+            .into_iter()
+            .map(|g| (g, top_domains(source, g, TOP_N)))
+            .collect(),
+    }
+}
+
+/// One Figure 5 summary row: repost-lag quantiles for a (group,
+/// category) pair.
+#[derive(Debug, Clone, Serialize)]
+pub struct RepostLagRow {
+    /// Analysis group display name.
+    pub group: String,
+    /// News category.
+    pub category: NewsCategory,
+    /// Median repost lag (hours).
+    pub median_hours: f64,
+    /// 90th-percentile repost lag (hours).
+    pub p90_hours: f64,
+}
+
+/// `/temporal` payload: Figure 4 daily series plus Figure 5 lag
+/// quantiles.
+#[derive(Debug, Clone, Serialize)]
+pub struct TemporalProjection {
+    /// Figure 4 series.
+    pub fig4: Vec<DailySeries>,
+    /// Figure 5 quantile summaries.
+    pub fig5: Vec<RepostLagRow>,
+}
+
+/// Compute the temporal projection.
+pub fn temporal_projection(source: &impl IndexSource) -> TemporalProjection {
+    let mut fig5 = Vec::new();
+    for cat in NewsCategory::ALL {
+        for (group, ecdf) in repost_lags(source, cat) {
+            fig5.push(RepostLagRow {
+                group: group.name().to_string(),
+                category: cat,
+                median_hours: ecdf.quantile(0.5),
+                p90_hours: ecdf.quantile(0.9),
+            });
+        }
+    }
+    TemporalProjection {
+        fig4: daily_occurrence(source),
+        fig5,
+    }
+}
+
+/// Configuration for the (expensive) influence projection, recomputed
+/// only on seal.
+#[derive(Debug, Clone, Default)]
+pub struct InfluenceOptions {
+    /// URL selection parameters (§5.2).
+    pub selection: SelectionConfig,
+    /// Hawkes fit configuration.
+    pub fit: FitConfig,
+    /// Fleet fault-tolerance options.
+    pub fleet: FleetOptions,
+}
+
+/// `/influence` payload: §5 Hawkes-influence outputs over the sealed
+/// index.
+#[derive(Debug, Clone, Serialize)]
+pub struct InfluenceProjection {
+    /// URL selection accounting.
+    pub selection: SelectionSummary,
+    /// Table 11.
+    pub table11: Table11,
+    /// Figure 10.
+    pub fig10: WeightComparison,
+    /// Figure 11.
+    pub fig11: ImpactMatrix,
+}
+
+/// Compute the influence projection (runs the full fitting fleet — the
+/// engine invokes this on seal only).
+pub fn influence_projection(
+    source: &impl IndexSource,
+    options: &InfluenceOptions,
+) -> InfluenceProjection {
+    let (prepared, selection) = prepare_urls(source, &options.selection);
+    let report = fit_fleet(&prepared, &options.fit, &options.fleet);
+    InfluenceProjection {
+        selection,
+        table11: Table11::from_fits(&report.fits),
+        fig10: weight_comparison(&report.fits),
+        fig11: impact_matrix(&report.fits),
+    }
+}
+
+/// Everything the read endpoints serve, pre-serialized at refresh time.
+#[derive(Debug, Clone)]
+pub struct ProjectionSet {
+    /// The structured stats (kept for tests and engine accounting).
+    pub stats: StatsProjection,
+    /// `/stats` body fragment (index-content part only).
+    pub stats_json: String,
+    /// `/characterization` body.
+    pub characterization_json: String,
+    /// `/temporal` body.
+    pub temporal_json: String,
+    /// `/influence` body; `None` until the first seal with influence
+    /// enabled.
+    pub influence_json: Option<String>,
+    /// Events visible to these projections.
+    pub n_events: u64,
+    /// Events inside the sealed base at build time.
+    pub sealed_events: u64,
+    /// Seal cycles completed at build time.
+    pub seals: u64,
+}
+
+impl ProjectionSet {
+    /// An empty set served before the first refresh completes.
+    pub fn empty() -> Self {
+        ProjectionSet {
+            stats: StatsProjection {
+                n_events: 0,
+                n_urls: 0,
+                n_venues: 0,
+                events_by_platform: BTreeMap::new(),
+                events_by_category: BTreeMap::new(),
+                first_timestamp: None,
+                last_timestamp: None,
+            },
+            stats_json: "{}".to_string(),
+            characterization_json: "{}".to_string(),
+            temporal_json: "{}".to_string(),
+            influence_json: None,
+            n_events: 0,
+            sealed_events: 0,
+            seals: 0,
+        }
+    }
+
+    /// Build the cheap projections (stats, characterization, temporal)
+    /// from a refreshed index. The influence payload is carried over
+    /// unchanged; [`ProjectionSet::with_influence`] replaces it on seal.
+    pub fn build(
+        source: &impl IndexSource,
+        sealed_events: u64,
+        seals: u64,
+        prior_influence: Option<String>,
+    ) -> Self {
+        let stats = stats_projection(source);
+        let stats_json = to_json(&stats);
+        let characterization_json = to_json(&characterization_projection(source));
+        let temporal_json = to_json(&temporal_projection(source));
+        let n_events = stats.n_events;
+        ProjectionSet {
+            stats,
+            stats_json,
+            characterization_json,
+            temporal_json,
+            influence_json: prior_influence,
+            n_events,
+            sealed_events,
+            seals,
+        }
+    }
+
+    /// Replace the influence payload (computed on seal).
+    pub fn with_influence(mut self, influence: &InfluenceProjection) -> Self {
+        self.influence_json = Some(to_json(influence));
+        self
+    }
+}
+
+fn to_json<T: Serialize>(value: &T) -> String {
+    serde_json::to_string(value).unwrap_or_else(|_| "{}".to_string())
+}

@@ -1,0 +1,342 @@
+//! The HTTP front: a `std::net::TcpListener` accept loop, a
+//! thread-per-connection router over the [`Engine`], and a handle for
+//! orderly shutdown.
+//!
+//! | Method | Path                | Body / effect                                      |
+//! |--------|---------------------|----------------------------------------------------|
+//! | POST   | `/ingest[?sync=1]`  | NDJSON events; `sync` acks after a refresh         |
+//! | POST   | `/refresh`          | Force a merge of unmerged appends                  |
+//! | POST   | `/seal`             | Compact base+delta, write a CPDM segment           |
+//! | POST   | `/shutdown`         | Stop the accept loop                               |
+//! | GET    | `/stats`            | `{"stats": …, "service": …}`                       |
+//! | GET    | `/characterization` | §3 tables over the live view                       |
+//! | GET    | `/temporal`         | Figure 4/5 projections                             |
+//! | GET    | `/influence`        | §5 outputs (503 until a seal computed them)        |
+//! | GET    | `/healthz`          | Liveness                                           |
+//! | GET    | `/metrics`          | Full obs metrics snapshot                          |
+//!
+//! Every response is `Connection: close`; per-endpoint latency lands
+//! in `serve.http.<endpoint>.nanos` histograms.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use centipede_dataset::event::NewsEvent;
+use centipede_obs::names;
+
+use crate::engine::{Engine, IngestOutcome};
+use crate::http::{read_request, write_response, HttpError, Request, DEFAULT_MAX_BODY};
+
+/// A running HTTP service.
+pub struct ServiceHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ServiceHandle {
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether `/shutdown` has been requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Stop accepting connections and join the accept thread.
+    pub fn stop(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Block until the accept loop exits (e.g. via `/shutdown`).
+    pub fn join(mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServiceHandle {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Bind `addr` and start serving the engine. The engine stays usable
+/// through the returned `Arc` (tests ingest directly and read over
+/// HTTP).
+pub fn serve(addr: &str, engine: Arc<Engine>) -> std::io::Result<ServiceHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&shutdown);
+    let accept_thread = std::thread::Builder::new()
+        .name("centipede-serve-accept".to_string())
+        .spawn(move || accept_loop(listener, local, engine, flag))?;
+    Ok(ServiceHandle {
+        addr: local,
+        shutdown,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    addr: SocketAddr,
+    engine: Arc<Engine>,
+    shutdown: Arc<AtomicBool>,
+) {
+    let mut workers: Vec<JoinHandle<()>> = Vec::new();
+    for conn in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        let engine = Arc::clone(&engine);
+        let flag = Arc::clone(&shutdown);
+        workers.retain(|w| !w.is_finished());
+        let worker = std::thread::Builder::new()
+            .name("centipede-serve-conn".to_string())
+            .spawn(move || {
+                if handle_connection(stream, &engine, &flag) {
+                    // /shutdown: wake the accept loop so it observes
+                    // the flag and exits.
+                    let _ = TcpStream::connect(addr);
+                }
+            });
+        if let Ok(w) = worker {
+            workers.push(w);
+        }
+    }
+    for w in workers {
+        let _ = w.join();
+    }
+}
+
+/// Serve one connection; returns true if the request asked for
+/// shutdown.
+fn handle_connection(stream: TcpStream, engine: &Engine, shutdown: &AtomicBool) -> bool {
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return false,
+    });
+    let mut writer = stream;
+    let request = match read_request(&mut reader, DEFAULT_MAX_BODY) {
+        Ok(Some(req)) => req,
+        Ok(None) => return false,
+        Err(e) => {
+            centipede_obs::counter(names::SERVE_BAD_REQUESTS).inc(1);
+            let status = match e {
+                HttpError::BodyTooLarge { .. } => 413,
+                _ => 400,
+            };
+            let body = error_json(&e.to_string());
+            let _ = write_response(&mut writer, status, "application/json", body.as_bytes());
+            return false;
+        }
+    };
+    centipede_obs::counter(names::SERVE_REQUESTS).inc(1);
+    let t0 = Instant::now();
+    let endpoint = endpoint_label(&request.path);
+    let (status, body) = route(&request, engine, shutdown);
+    if status >= 400 {
+        centipede_obs::counter(names::SERVE_BAD_REQUESTS).inc(1);
+    }
+    let _ = write_response(&mut writer, status, "application/json", body.as_bytes());
+    centipede_obs::histogram(&names::serve_endpoint_nanos(endpoint))
+        .record(t0.elapsed().as_nanos() as u64);
+    shutdown.load(Ordering::SeqCst)
+}
+
+/// Histogram label for a path (unknown paths share one bucket so a
+/// scanner cannot mint unbounded metric names).
+fn endpoint_label(path: &str) -> &'static str {
+    match path {
+        "/ingest" => "ingest",
+        "/refresh" => "refresh",
+        "/seal" => "seal",
+        "/shutdown" => "shutdown",
+        "/stats" => "stats",
+        "/characterization" => "characterization",
+        "/temporal" => "temporal",
+        "/influence" => "influence",
+        "/healthz" => "healthz",
+        "/metrics" => "metrics",
+        _ => "other",
+    }
+}
+
+fn route(request: &Request, engine: &Engine, shutdown: &AtomicBool) -> (u16, String) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/ingest") => ingest(request, engine),
+        ("POST", "/refresh") => {
+            let events = engine.refresh();
+            (200, format!("{{\"events\":{events}}}"))
+        }
+        ("POST", "/seal") => match engine.seal() {
+            Ok(outcome) => {
+                let segment = match &outcome.segment {
+                    Some(p) => json_string(&p.display().to_string()),
+                    None => "null".to_string(),
+                };
+                (
+                    200,
+                    format!(
+                        "{{\"sealed_events\":{},\"sealed_urls\":{},\"delta_events\":{},\"segment\":{},\"seals\":{}}}",
+                        outcome.sealed_events,
+                        outcome.sealed_urls,
+                        outcome.delta_events,
+                        segment,
+                        outcome.seals
+                    ),
+                )
+            }
+            Err(e) => (500, error_json(&e)),
+        },
+        ("POST", "/shutdown") => {
+            shutdown.store(true, Ordering::SeqCst);
+            (200, "{\"ok\":true}".to_string())
+        }
+        ("GET", "/healthz") => {
+            let p = engine.projections();
+            (200, format!("{{\"ok\":true,\"events\":{}}}", p.n_events))
+        }
+        ("GET", "/stats") => {
+            let p = engine.projections();
+            (
+                200,
+                format!(
+                    "{{\"stats\":{},\"service\":{{\"n_events\":{},\"sealed_events\":{},\"seals\":{}}}}}",
+                    p.stats_json, p.n_events, p.sealed_events, p.seals
+                ),
+            )
+        }
+        ("GET", "/characterization") => (200, engine.projections().characterization_json.clone()),
+        ("GET", "/temporal") => (200, engine.projections().temporal_json.clone()),
+        ("GET", "/influence") => match &engine.projections().influence_json {
+            Some(json) => (200, json.clone()),
+            None => (
+                503,
+                error_json("no influence projection yet; POST /seal with influence enabled"),
+            ),
+        },
+        ("GET", "/metrics") => (200, centipede_obs::global().snapshot().to_json()),
+        (_, path) if endpoint_label(path) != "other" => {
+            (405, error_json("method not allowed for this path"))
+        }
+        _ => (404, error_json("no such endpoint")),
+    }
+}
+
+/// Decode the NDJSON body and hand the batch to the engine. Lines that
+/// fail to decode count as rejections alongside the engine's typed
+/// append rejections.
+fn ingest(request: &Request, engine: &Engine) -> (u16, String) {
+    let body = match std::str::from_utf8(&request.body) {
+        Ok(s) => s,
+        Err(_) => return (400, error_json("ingest body is not UTF-8")),
+    };
+    let mut events = Vec::new();
+    let mut decode_rejected = 0u64;
+    let mut first_error: Option<String> = None;
+    for (lineno, line) in body.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match serde_json::from_str::<NewsEvent>(line) {
+            Ok(event) => events.push(event),
+            Err(e) => {
+                decode_rejected += 1;
+                if first_error.is_none() {
+                    first_error = Some(format!("line {}: {e}", lineno + 1));
+                }
+            }
+        }
+    }
+    if events.is_empty() && decode_rejected == 0 {
+        return (400, error_json("empty ingest body"));
+    }
+    let sync = request.query_flag("sync");
+    let outcome = if events.is_empty() {
+        IngestOutcome::default()
+    } else {
+        engine.ingest(events, sync)
+    };
+    let rejected = outcome.rejected + decode_rejected;
+    let first = first_error.or(outcome.first_error);
+    let status = if outcome.accepted == 0 && rejected > 0 {
+        400
+    } else {
+        200
+    };
+    let first_json = match &first {
+        Some(msg) => json_string(msg),
+        None => "null".to_string(),
+    };
+    (
+        status,
+        format!(
+            "{{\"accepted\":{},\"rejected\":{},\"first_error\":{}}}",
+            outcome.accepted, rejected, first_json
+        ),
+    )
+}
+
+fn error_json(message: &str) -> String {
+    format!("{{\"error\":{}}}", json_string(message))
+}
+
+/// Minimal JSON string encoder for hand-formatted responses.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_string_escapes_specials() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("x\ny"), "\"x\\ny\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn endpoint_labels_are_bounded() {
+        assert_eq!(endpoint_label("/stats"), "stats");
+        assert_eq!(endpoint_label("/../../etc"), "other");
+        assert_eq!(endpoint_label("/anything-else"), "other");
+    }
+}

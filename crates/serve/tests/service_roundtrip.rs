@@ -1,0 +1,304 @@
+//! End-to-end tests for the live ingestion engine and its HTTP front.
+//!
+//! Engine-level tests construct events directly (no serde), so they
+//! are trustworthy under the offline stub crates too; the NDJSON
+//! ingest round-trip depends on real `serde_json` and is a CI-trusted
+//! test (it fails under the stub serde, like the store round-trips).
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use centipede_dataset::dataset::Dataset;
+use centipede_dataset::domains::DomainTable;
+use centipede_dataset::event::{NewsEvent, UrlId};
+use centipede_dataset::incremental::IncrementalIndex;
+use centipede_dataset::index::DatasetIndex;
+use centipede_dataset::platform::Venue;
+use centipede_serve::projection::{stats_projection, ProjectionSet};
+use centipede_serve::{serve, Engine, EngineConfig};
+
+/// Deterministic ascending-timestamp events spread over venues, URLs,
+/// and both news categories.
+fn sample_events(domains: &DomainTable, n: usize) -> Vec<NewsEvent> {
+    let names = ["breitbart.com", "nytimes.com", "rt.com", "infowars.com"];
+    let venues = [
+        Venue::Twitter,
+        Venue::Subreddit("The_Donald".into()),
+        Venue::Board("pol".into()),
+        Venue::Subreddit("worldnews".into()),
+        Venue::Board("sci".into()),
+    ];
+    (0..n)
+        .map(|i| {
+            NewsEvent::basic(
+                1_000 + (i as i64) * 37,
+                venues[i % venues.len()].clone(),
+                UrlId((i % 11) as u32),
+                domains.id_by_name(names[i % names.len()]).unwrap(),
+            )
+        })
+        .collect()
+}
+
+fn dataset_of(events: Vec<NewsEvent>) -> Dataset {
+    Dataset::new(
+        DomainTable::standard(),
+        events,
+        BTreeMap::new(),
+        BTreeMap::new(),
+    )
+}
+
+fn empty_index() -> IncrementalIndex {
+    IncrementalIndex::empty(DomainTable::standard(), BTreeMap::new(), BTreeMap::new())
+}
+
+fn quick_config() -> EngineConfig {
+    EngineConfig {
+        refresh_interval: Duration::from_millis(10),
+        ..EngineConfig::default()
+    }
+}
+
+#[test]
+fn sync_ingest_projections_match_batch_build() {
+    let domains = DomainTable::standard();
+    let events = sample_events(&domains, 60);
+    let batch = DatasetIndex::build(&dataset_of(events.clone()));
+
+    let engine = Engine::start(empty_index(), quick_config());
+    let outcome = engine.ingest(events, true);
+    assert_eq!(outcome.accepted, 60);
+    assert_eq!(outcome.rejected, 0);
+
+    let live = engine.projections();
+    assert_eq!(live.stats, stats_projection(&batch));
+    // The pre-serialized payloads must match a batch-built projection
+    // set byte for byte (both sides use the same serializer).
+    let batch_set = ProjectionSet::build(&batch, batch.n_events() as u64, 0, None);
+    assert_eq!(live.stats_json, batch_set.stats_json);
+    assert_eq!(live.characterization_json, batch_set.characterization_json);
+    assert_eq!(live.temporal_json, batch_set.temporal_json);
+    assert!(live.influence_json.is_none());
+}
+
+#[test]
+fn out_of_order_batch_reports_typed_rejection() {
+    let domains = DomainTable::standard();
+    let mut events = sample_events(&domains, 10);
+    events.reverse(); // every event after the first is out of order
+    let engine = Engine::start(empty_index(), quick_config());
+    let outcome = engine.ingest(events, true);
+    assert_eq!(outcome.accepted, 1);
+    assert_eq!(outcome.rejected, 9);
+    let msg = outcome.first_error.expect("first rejection rendered");
+    assert!(msg.contains("out-of-order"), "unexpected message: {msg}");
+    assert_eq!(engine.projections().stats.n_events, 1);
+}
+
+#[test]
+fn recovered_index_matches_batch_after_live_appends() {
+    let domains = DomainTable::standard();
+    let events = sample_events(&domains, 40);
+    let (first, rest) = events.split_at(20);
+
+    let base = IncrementalIndex::from_dataset(&dataset_of(first.to_vec()));
+    let engine = Engine::start(base, quick_config());
+    assert_eq!(engine.ingest(rest.to_vec(), true).accepted, 20);
+    let mut recovered = engine.shutdown();
+
+    let batch = DatasetIndex::build(&dataset_of(events));
+    assert_eq!(recovered.n_events(), 40);
+    assert_eq!(
+        recovered.to_index().view().timestamps(),
+        batch.view().timestamps()
+    );
+    assert_eq!(stats_projection(&recovered), stats_projection(&batch));
+}
+
+#[test]
+fn seal_under_concurrent_reads_keeps_projections_consistent() {
+    let domains = DomainTable::standard();
+    let events = sample_events(&domains, 120);
+    let (first, rest) = events.split_at(40);
+
+    let seal_dir = std::env::temp_dir().join(format!(
+        "centipede-serve-seal-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::create_dir_all(&seal_dir).unwrap();
+
+    let engine = Arc::new(Engine::start(
+        IncrementalIndex::from_dataset(&dataset_of(first.to_vec())),
+        EngineConfig {
+            refresh_interval: Duration::from_millis(5),
+            seal_dir: Some(seal_dir.clone()),
+            influence: None,
+        },
+    ));
+
+    // Readers hammer the projections while ingest and seals proceed.
+    let stop = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..4)
+        .map(|_| {
+            let engine = Arc::clone(&engine);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut last_seen = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let p = engine.projections();
+                    // Published views only ever grow and stay
+                    // internally consistent.
+                    assert!(p.n_events >= last_seen, "view went backwards");
+                    assert!(p.stats.n_events == p.n_events);
+                    assert!(p.sealed_events <= p.n_events);
+                    last_seen = p.n_events;
+                }
+            })
+        })
+        .collect();
+
+    for (i, chunk) in rest.chunks(20).enumerate() {
+        assert_eq!(engine.ingest(chunk.to_vec(), true).accepted, 20);
+        if i % 2 == 1 {
+            let seal = engine.seal().expect("seal succeeds");
+            assert_eq!(seal.sealed_events as usize, 40 + (i + 1) * 20);
+            let segment = seal.segment.expect("segment written");
+            assert!(segment.exists(), "segment file missing: {segment:?}");
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    for r in readers {
+        r.join().expect("reader thread");
+    }
+
+    let p = engine.projections();
+    assert_eq!(p.n_events, 120);
+    assert_eq!(p.sealed_events, 120);
+    assert_eq!(p.seals, 2);
+    let _ = std::fs::remove_dir_all(&seal_dir);
+}
+
+/// Send one raw request and return (status line, full body).
+fn http(addr: std::net::SocketAddr, raw: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(raw.as_bytes()).expect("send");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("recv");
+    let status = response.lines().next().unwrap_or_default().to_string();
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn get(addr: std::net::SocketAddr, path: &str) -> (String, String) {
+    http(addr, &format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n"))
+}
+
+fn post(addr: std::net::SocketAddr, path: &str, body: &str) -> (String, String) {
+    http(
+        addr,
+        &format!(
+            "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+#[test]
+fn http_surface_round_trips_without_serde() {
+    let domains = DomainTable::standard();
+    let events = sample_events(&domains, 25);
+    let engine = Arc::new(Engine::start(
+        IncrementalIndex::from_dataset(&dataset_of(events)),
+        quick_config(),
+    ));
+    let handle = serve("127.0.0.1:0", Arc::clone(&engine)).expect("bind");
+    let addr = handle.local_addr();
+
+    let (status, body) = get(addr, "/healthz");
+    assert!(status.contains("200"), "healthz: {status}");
+    assert!(body.contains("\"ok\":true"), "healthz body: {body}");
+    assert!(body.contains("\"events\":25"), "healthz body: {body}");
+
+    let (status, body) = get(addr, "/stats");
+    assert!(status.contains("200"), "stats: {status}");
+    // The service section is hand-formatted, so it is checkable even
+    // under the stub serializer.
+    assert!(body.contains("\"n_events\":25"), "stats body: {body}");
+    assert!(body.contains("\"seals\":0"), "stats body: {body}");
+
+    let (status, body) = post(addr, "/refresh", "");
+    assert!(status.contains("200"), "refresh: {status}");
+    assert!(body.contains("\"events\":25"), "refresh body: {body}");
+
+    let (status, _) = get(addr, "/characterization");
+    assert!(status.contains("200"), "characterization: {status}");
+    let (status, _) = get(addr, "/temporal");
+    assert!(status.contains("200"), "temporal: {status}");
+
+    let (status, body) = get(addr, "/influence");
+    assert!(status.contains("503"), "influence before seal: {status}");
+    assert!(body.contains("error"), "influence body: {body}");
+
+    let (status, body) = get(addr, "/metrics");
+    assert!(status.contains("200"), "metrics: {status}");
+    assert!(!body.is_empty());
+
+    let (status, _) = get(addr, "/no-such-endpoint");
+    assert!(status.contains("404"), "unknown path: {status}");
+    let (status, _) = http(addr, "DELETE /stats HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert!(status.contains("405"), "bad method: {status}");
+    let (status, _) = http(addr, "GARBAGE\r\n\r\n");
+    assert!(status.contains("400"), "malformed: {status}");
+
+    let (status, body) = post(addr, "/seal", "");
+    assert!(status.contains("200"), "seal: {status}");
+    assert!(body.contains("\"sealed_events\":25"), "seal body: {body}");
+    assert!(body.contains("\"seals\":1"), "seal body: {body}");
+
+    let (status, body) = post(addr, "/shutdown", "");
+    assert!(status.contains("200"), "shutdown: {status}");
+    assert!(body.contains("\"ok\":true"));
+    handle.join(); // accept loop exits on its own after /shutdown
+}
+
+/// CI-trusted: NDJSON decode requires real serde_json (fails under the
+/// offline stub serde, like the store round-trip tests).
+#[test]
+fn http_ndjson_ingest_round_trips() {
+    let domains = DomainTable::standard();
+    let events = sample_events(&domains, 12);
+    let ndjson: String = events
+        .iter()
+        .map(|e| serde_json::to_string(e).expect("encode event"))
+        .collect::<Vec<_>>()
+        .join("\n");
+
+    let engine = Arc::new(Engine::start(empty_index(), quick_config()));
+    let handle = serve("127.0.0.1:0", Arc::clone(&engine)).expect("bind");
+    let addr = handle.local_addr();
+
+    let (status, body) = post(addr, "/ingest?sync=1", &ndjson);
+    assert!(status.contains("200"), "ingest: {status} body: {body}");
+    assert!(body.contains("\"accepted\":12"), "ingest body: {body}");
+    assert!(body.contains("\"rejected\":0"), "ingest body: {body}");
+
+    // sync=1 means the batch is queryable as soon as the ack arrives.
+    let (_, stats) = get(addr, "/stats");
+    assert!(stats.contains("\"n_events\":12"), "stats body: {stats}");
+
+    let (status, body) = post(addr, "/ingest", "this is not json\n");
+    assert!(status.contains("400"), "bad ingest: {status}");
+    assert!(body.contains("\"rejected\":1"), "bad ingest body: {body}");
+    assert!(body.contains("line 1"), "bad ingest body: {body}");
+
+    handle.stop();
+}

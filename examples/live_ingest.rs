@@ -1,0 +1,136 @@
+//! Surge replay through the live ingestion engine.
+//!
+//! Generates a synthetic world, seals the first half of its events as
+//! the base index, then replays the second half through
+//! [`centipede_serve::Engine`] on a bursty schedule: quiet ticks at
+//! the replay's mean event rate, periodic surge ticks at a
+//! configurable multiple of it (the 10–100× range the service is
+//! expected to absorb). Prints ingest-to-queryable lag quantiles from
+//! the obs histogram the engine records at each refresh.
+//!
+//! ```text
+//! cargo run --release --example live_ingest -- [SURGE_FACTOR]
+//! ```
+//!
+//! `SURGE_FACTOR` defaults to 50 (clamped to 10–100).
+
+use std::time::{Duration, Instant};
+
+use rand::SeedableRng;
+
+use centipede_dataset::dataset::Dataset;
+use centipede_dataset::incremental::IncrementalIndex;
+use centipede_obs::names;
+use centipede_platform_sim::{ecosystem, SimConfig};
+use centipede_serve::{Engine, EngineConfig};
+
+/// Wall-clock tick length of the replay schedule.
+const TICK: Duration = Duration::from_millis(25);
+/// Quiet ticks between surges.
+const QUIET_TICKS_PER_SURGE: usize = 7;
+/// Target replay duration at the mean rate (surges finish it sooner).
+const TARGET_WALL: Duration = Duration::from_secs(4);
+
+fn main() {
+    let surge: f64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse::<f64>().ok())
+        .unwrap_or(50.0)
+        .clamp(10.0, 100.0);
+
+    // 1. A deterministic synthetic world; half sealed base, half live.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+    let sim = SimConfig {
+        scale: 0.1,
+        ..SimConfig::default()
+    };
+    let world = ecosystem::generate(&sim, &mut rng);
+    let dataset = world.dataset;
+    let split = dataset.events.len() / 2;
+    let live: Vec<_> = dataset.events[split..].to_vec();
+    let base = Dataset::new(
+        dataset.domains.clone(),
+        dataset.events[..split].to_vec(),
+        dataset.totals.clone(),
+        dataset.gaps.clone(),
+    );
+    println!(
+        "Sealed base: {} events; live replay: {} events at {surge:.0}x surges.",
+        split,
+        live.len()
+    );
+
+    // 2. Start the engine with a tight refresh interval so lag is
+    //    dominated by merge work, not idle waiting.
+    let engine = Engine::start(
+        IncrementalIndex::from_dataset(&base),
+        EngineConfig {
+            refresh_interval: Duration::from_millis(20),
+            ..EngineConfig::default()
+        },
+    );
+
+    // 3. Bursty replay: the mean per-tick chunk is sized so a
+    //    surge-free replay would take TARGET_WALL; every eighth tick
+    //    sends `surge`× that chunk in one batch.
+    let n_ticks = (TARGET_WALL.as_millis() / TICK.as_millis()).max(1) as usize;
+    let mean_chunk = (live.len() / n_ticks).max(1);
+    let t0 = Instant::now();
+    let mut sent = 0usize;
+    let mut accepted = 0u64;
+    let mut rejected = 0u64;
+    let mut tick = 0usize;
+    while sent < live.len() {
+        let factor = if tick % (QUIET_TICKS_PER_SURGE + 1) == QUIET_TICKS_PER_SURGE {
+            surge
+        } else {
+            1.0
+        };
+        let chunk = ((mean_chunk as f64 * factor) as usize).max(1);
+        let batch = live[sent..(sent + chunk).min(live.len())].to_vec();
+        sent += batch.len();
+        let outcome = engine.ingest(batch, false);
+        accepted += outcome.accepted;
+        rejected += outcome.rejected;
+        tick += 1;
+        let next_tick = TICK * tick as u32;
+        if let Some(sleep) = next_tick.checked_sub(t0.elapsed()) {
+            std::thread::sleep(sleep);
+        }
+    }
+    engine.refresh();
+    let wall = t0.elapsed();
+
+    // 4. Lag quantiles straight from the engine's obs histogram.
+    let lag = centipede_obs::histogram(names::SERVE_INGEST_LAG_NANOS).snapshot();
+    let ms = |nanos: u64| nanos as f64 / 1e6;
+    println!(
+        "Replayed {accepted} events ({rejected} rejected) in {:.2}s — {:.0} events/s sustained.",
+        wall.as_secs_f64(),
+        accepted as f64 / wall.as_secs_f64()
+    );
+    println!(
+        "Ingest-to-queryable lag over {} batches: p50 {:.2} ms, p90 {:.2} ms, p99 {:.2} ms, max {:.2} ms.",
+        lag.count,
+        ms(lag.p50),
+        ms(lag.p90),
+        ms(lag.p99),
+        ms(lag.max)
+    );
+
+    // 5. One seal cycle to show compaction under the same engine.
+    match engine.seal() {
+        Ok(seal) => println!(
+            "Seal #{}: {} events compacted ({} from the delta).",
+            seal.seals, seal.sealed_events, seal.delta_events
+        ),
+        Err(e) => println!("Seal failed: {e}"),
+    }
+    let refreshes = centipede_obs::histogram(names::SERVE_REFRESH_NANOS).snapshot();
+    println!(
+        "Refreshes: {} at p50 {:.2} ms (p99 {:.2} ms).",
+        refreshes.count,
+        ms(refreshes.p50),
+        ms(refreshes.p99)
+    );
+}

@@ -1,0 +1,163 @@
+//! Report-equivalence tests for the incremental (sealed-base + delta)
+//! index.
+//!
+//! The pipeline must not be able to tell whether its `IndexSource` is
+//! a batch-built `DatasetIndex` or an `IncrementalIndex` that grew the
+//! same events through the live append path: every test renders the
+//! full `AnalysisReport` from both backings and compares the text byte
+//! for byte — exact equality, not approximate, because the merge-on-
+//! read CSR rebuild is required to reproduce the batch layout bit for
+//! bit. Compaction is exercised too: a `seal_to` mid-stream (with more
+//! appends on top of the sealed segment) must be invisible in the
+//! rendered report.
+
+use std::path::PathBuf;
+
+use rand::SeedableRng;
+
+use centipede::pipeline::{run_all, run_indexed, PipelineConfig};
+use centipede_dataset::dataset::Dataset;
+use centipede_dataset::incremental::IncrementalIndex;
+use centipede_platform_sim::{ecosystem, GeneratedWorld, SimConfig};
+
+/// Moderate-scale seed world (same discipline as `index_equivalence`):
+/// large enough to populate every table and figure, small enough to
+/// stay fast.
+fn seed_world() -> GeneratedWorld {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(20170701);
+    let sim = SimConfig {
+        scale: 0.25,
+        ..SimConfig::default()
+    };
+    ecosystem::generate(&sim, &mut rng)
+}
+
+/// Tiny world for the influence-stage test (same fixture as the
+/// pipeline unit tests).
+fn tiny_world() -> GeneratedWorld {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+    let mut config = SimConfig::small();
+    config.scale = 0.05;
+    ecosystem::generate(&config, &mut rng)
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "centipede-incremental-eq-{}-{tag}.cpdm",
+        std::process::id()
+    ))
+}
+
+/// Batch-build a prefix of the world's events as the sealed base and
+/// append the rest one by one (the dataset is timestamp-sorted, so the
+/// tail replays in append order).
+fn grow_from_prefix(dataset: &Dataset, split: usize) -> IncrementalIndex {
+    let base = Dataset::new(
+        dataset.domains.clone(),
+        dataset.events[..split].to_vec(),
+        dataset.totals.clone(),
+        dataset.gaps.clone(),
+    );
+    let mut inc = IncrementalIndex::from_dataset(&base);
+    for event in &dataset.events[split..] {
+        inc.append(event).expect("sorted tail appends in order");
+    }
+    inc
+}
+
+/// Every characterization/temporal/cross-platform stage renders the
+/// same bytes off the grown index as off a batch build.
+#[test]
+fn incremental_report_matches_batch_without_influence() {
+    let world = seed_world();
+    let config = PipelineConfig {
+        skip_influence: true,
+        ..PipelineConfig::default()
+    };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let batch = run_all(&world.dataset, &config, &mut rng);
+
+    let mut inc = grow_from_prefix(&world.dataset, world.dataset.len() * 3 / 5);
+    inc.refresh();
+    let live = run_indexed(&inc, &config, &mut rng);
+
+    assert_eq!(batch.render(), live.render());
+    // Structured spot checks so a vacuous render cannot hide a drift.
+    assert_eq!(batch.table4, live.table4);
+    assert_eq!(batch.fig1, live.fig1);
+    assert_eq!(batch.fig4, live.fig4);
+    assert_eq!(batch.pair_lags, live.pair_lags);
+    assert_eq!(batch.table9, live.table9);
+    assert_eq!(batch.fig8, live.fig8);
+    assert!(!batch.fig1.is_empty(), "comparison must not be vacuous");
+}
+
+/// A `seal_to` compaction mid-stream — with more appends landing on
+/// top of the sealed segment — changes nothing in the report.
+#[test]
+fn incremental_report_survives_mid_stream_seal() {
+    let world = seed_world();
+    let config = PipelineConfig {
+        skip_influence: true,
+        ..PipelineConfig::default()
+    };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let batch = run_all(&world.dataset, &config, &mut rng);
+
+    // Batch-build the first third, append to two thirds, seal there,
+    // then replay the final third on top of the sealed segment.
+    let n = world.dataset.len();
+    let two_thirds = n * 2 / 3;
+    let segment = temp_path("midstream");
+    let base = Dataset::new(
+        world.dataset.domains.clone(),
+        world.dataset.events[..n / 3].to_vec(),
+        world.dataset.totals.clone(),
+        world.dataset.gaps.clone(),
+    );
+    let mut inc = IncrementalIndex::from_dataset(&base);
+    for event in &world.dataset.events[n / 3..two_thirds] {
+        inc.append(event).expect("sorted appends");
+    }
+    let summary = inc.seal_to(&segment).expect("seal segment");
+    assert_eq!(summary.sealed_events, two_thirds);
+    assert_eq!(summary.delta_events, two_thirds - n / 3);
+    for event in &world.dataset.events[two_thirds..] {
+        inc.append(event).expect("sorted appends");
+    }
+    inc.refresh();
+    assert_eq!(inc.sealed_len(), two_thirds);
+    assert_eq!(inc.delta_len(), n - two_thirds);
+
+    let live = run_indexed(&inc, &config, &mut rng);
+    let _ = std::fs::remove_file(&segment);
+    assert_eq!(batch.render(), live.render());
+    assert_eq!(batch.table4, live.table4);
+    assert_eq!(batch.fig4, live.fig4);
+}
+
+/// The influence stage — URL selection, Hawkes fits, Table 11,
+/// Figures 10/11 — is bit-identical off the grown index.
+#[test]
+fn incremental_influence_stage_matches_batch() {
+    let world = tiny_world();
+    let mut config = PipelineConfig::default();
+    config.fit.n_samples = 20;
+    config.fit.burn_in = 10;
+    config.fit.threads = Some(2);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let batch = run_all(&world.dataset, &config, &mut rng);
+    assert!(batch.selection.selected > 0, "no URLs selected");
+
+    let mut inc = grow_from_prefix(&world.dataset, world.dataset.len() / 2);
+    inc.refresh();
+    let live = run_indexed(&inc, &config, &mut rng);
+
+    assert_eq!(batch.selection, live.selection);
+    assert_eq!(batch.render(), live.render());
+    let (a, b) = (
+        batch.fig10.expect("fig10 from batch"),
+        live.fig10.expect("fig10 from live index"),
+    );
+    assert_eq!(a, b);
+}
